@@ -1,0 +1,460 @@
+//! Simulated annealing for placement — the non-ML baseline of the paper.
+//!
+//! The paper compares its multi-level multi-agent Q-learning against a
+//! simulated-annealing placer sharing the same environment, move set, and
+//! simulator-driven cost ("SA … has been extensively used in physical
+//! design", the paper's ref 2). This crate provides that baseline:
+//!
+//! - the same legal moves as the RL agents (unit pushes + group
+//!   translations from [`LayoutEnv`]),
+//! - Metropolis acceptance with a geometric cooling schedule and an
+//!   optional automatic initial temperature,
+//! - full bookkeeping: evaluations, acceptances, and a best-cost
+//!   trajectory for the SA-vs-Q convergence ablation.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_anneal::{Annealer, SaConfig};
+//! use breaksym_geometry::GridSpec;
+//! use breaksym_layout::LayoutEnv;
+//! use breaksym_netlist::circuits;
+//! use breaksym_route::RoutingEstimate;
+//!
+//! let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10))?;
+//! // Cheap wirelength cost for the example; real runs pass the simulator.
+//! let result = Annealer::new(SaConfig { max_evals: 200, ..SaConfig::default() })
+//!     .run(&mut env, |e| RoutingEstimate::of(e).weighted_um);
+//! assert!(result.best_cost <= result.initial_cost);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use breaksym_geometry::Direction;
+use breaksym_layout::{GroupMove, LayoutEnv, Placement, PlacementMove, SwapMove, UnitMove};
+use breaksym_netlist::{GroupId, UnitId};
+
+/// Configuration of one annealing run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Initial temperature; `None` calibrates it automatically from the
+    /// cost spread of random probe moves.
+    pub initial_temp: Option<f64>,
+    /// Geometric cooling factor per temperature step (e.g. 0.95).
+    pub cooling: f64,
+    /// Proposed moves per temperature step.
+    pub steps_per_temp: usize,
+    /// Stop when the temperature falls below this value.
+    pub min_temp: f64,
+    /// Hard budget on cost evaluations (simulations).
+    pub max_evals: u64,
+    /// Probability of proposing a group translation instead of a unit push.
+    pub group_move_prob: f64,
+    /// Probability of proposing a two-unit swap. Swaps let SA tunnel
+    /// through packed placements, but they are **not** part of the paper's
+    /// shared action space, so the default is 0 (move-set parity with the
+    /// Q-learning agents); enable explicitly for a stronger SA.
+    pub swap_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig {
+            initial_temp: None,
+            cooling: 0.92,
+            steps_per_temp: 40,
+            min_temp: 1e-4,
+            max_evals: 5_000,
+            group_move_prob: 0.25,
+            swap_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of an annealing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaResult {
+    /// Cost of the starting placement.
+    pub initial_cost: f64,
+    /// Best cost reached.
+    pub best_cost: f64,
+    /// The best placement reached (also left installed in the env).
+    pub best_placement: Placement,
+    /// Cost evaluations spent (= simulations for a simulator-driven cost).
+    pub evaluations: u64,
+    /// Accepted moves.
+    pub accepted: u64,
+    /// Rejected moves.
+    pub rejected: u64,
+    /// `(evaluation index, best-so-far cost)` — recorded every time the
+    /// best improves, for convergence plots.
+    pub trajectory: Vec<(u64, f64)>,
+}
+
+/// Pure random search: propose random legal moves from the same move set,
+/// always accept, track the best — the no-intelligence floor both SA and
+/// Q-learning must clear to justify themselves.
+#[derive(Debug, Clone, Default)]
+pub struct RandomSearch {
+    config: SaConfig,
+}
+
+impl RandomSearch {
+    /// Creates a random searcher; only `max_evals`, the move-mix
+    /// probabilities, and `seed` of the config are used.
+    pub fn new(config: SaConfig) -> Self {
+        RandomSearch { config }
+    }
+
+    /// Runs a random walk over legal moves, minimising `cost`; the
+    /// environment ends at the best placement found.
+    pub fn run<F>(&self, env: &mut LayoutEnv, mut cost: F) -> SaResult
+    where
+        F: FnMut(&LayoutEnv) -> f64,
+    {
+        let annealer = Annealer::new(self.config);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut evals: u64 = 1;
+        let initial_cost = cost(env);
+        let mut best = initial_cost;
+        let mut best_placement = env.placement().clone();
+        let mut trajectory = vec![(evals, best)];
+        let mut accepted = 0u64;
+
+        while evals < self.config.max_evals {
+            let Some(mv) = annealer.propose(env, &mut rng) else { break };
+            env.apply(mv).expect("proposed moves are legal");
+            evals += 1;
+            accepted += 1;
+            let c = cost(env);
+            if c < best {
+                best = c;
+                best_placement = env.placement().clone();
+                trajectory.push((evals, best));
+            }
+        }
+        env.set_placement(best_placement.clone())
+            .expect("best placement was valid when recorded");
+        SaResult {
+            initial_cost,
+            best_cost: best,
+            best_placement,
+            evaluations: evals,
+            accepted,
+            rejected: 0,
+            trajectory,
+        }
+    }
+}
+
+/// The simulated-annealing engine.
+#[derive(Debug, Clone, Default)]
+pub struct Annealer {
+    config: SaConfig,
+}
+
+impl Annealer {
+    /// Creates an annealer with the given configuration.
+    pub fn new(config: SaConfig) -> Self {
+        Annealer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SaConfig {
+        &self.config
+    }
+
+    /// Runs annealing on `env`, minimising `cost`. On return the
+    /// environment holds the **best** placement found.
+    ///
+    /// The cost closure is called once per proposed move (plus once for the
+    /// initial placement and a handful of probes when the initial
+    /// temperature is auto-calibrated) — its call count is the paper's
+    /// "#simulations".
+    pub fn run<F>(&self, env: &mut LayoutEnv, mut cost: F) -> SaResult
+    where
+        F: FnMut(&LayoutEnv) -> f64,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut evals: u64 = 0;
+        let mut eval = |env: &LayoutEnv, evals: &mut u64| {
+            *evals += 1;
+            cost(env)
+        };
+
+        let initial_cost = eval(env, &mut evals);
+        let mut current = initial_cost;
+        let mut best = initial_cost;
+        let mut best_placement = env.placement().clone();
+        let mut trajectory = vec![(evals, best)];
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+
+        // Auto temperature: std-dev of |Δcost| over a few probe moves.
+        let mut temp = match self.config.initial_temp {
+            Some(t) => t,
+            None => {
+                let mut deltas = Vec::new();
+                for _ in 0..12 {
+                    if evals >= self.config.max_evals {
+                        break;
+                    }
+                    if let Some(mv) = self.propose(env, &mut rng) {
+                        let undo = env.apply(mv).expect("proposed moves are legal");
+                        let c = eval(env, &mut evals);
+                        deltas.push((c - current).abs());
+                        env.undo(undo);
+                    }
+                }
+                let mean = if deltas.is_empty() {
+                    0.0
+                } else {
+                    deltas.iter().sum::<f64>() / deltas.len() as f64
+                };
+                (mean * 3.0).max(1e-6)
+            }
+        };
+
+        'outer: while temp > self.config.min_temp {
+            for _ in 0..self.config.steps_per_temp {
+                if evals >= self.config.max_evals {
+                    break 'outer;
+                }
+                let Some(mv) = self.propose(env, &mut rng) else {
+                    break 'outer; // fully locked placement
+                };
+                let undo = env.apply(mv).expect("proposed moves are legal");
+                let c = eval(env, &mut evals);
+                let delta = c - current;
+                let accept = delta <= 0.0 || {
+                    let p = (-delta / temp).exp();
+                    rng.gen_range(0.0..1.0) < p
+                };
+                if accept {
+                    current = c;
+                    accepted += 1;
+                    if c < best {
+                        best = c;
+                        best_placement = env.placement().clone();
+                        trajectory.push((evals, best));
+                    }
+                } else {
+                    env.undo(undo);
+                    rejected += 1;
+                }
+            }
+            temp *= self.config.cooling;
+        }
+
+        env.set_placement(best_placement.clone())
+            .expect("best placement was valid when recorded");
+        SaResult {
+            initial_cost,
+            best_cost: best,
+            best_placement,
+            evaluations: evals,
+            accepted,
+            rejected,
+            trajectory,
+        }
+    }
+
+    /// Proposes a random legal move, or `None` when nothing can move.
+    pub(crate) fn propose(&self, env: &LayoutEnv, rng: &mut ChaCha8Rng) -> Option<PlacementMove> {
+        let circuit = env.circuit();
+        for _ in 0..64 {
+            let draw: f64 = rng.gen_range(0.0..1.0);
+            if draw < self.config.group_move_prob {
+                let g = GroupId::new(rng.gen_range(0..circuit.groups().len() as u32));
+                let dirs = env.legal_group_moves(g);
+                if let Some(&dir) = pick(rng, &dirs) {
+                    return Some(GroupMove { group: g, dir }.into());
+                }
+            } else if draw < self.config.group_move_prob + self.config.swap_prob {
+                let a = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
+                let b = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
+                // Same-device swaps are no-ops for the objective; skip them.
+                if a != b && circuit.unit(a).device != circuit.unit(b).device {
+                    let mv: PlacementMove = SwapMove { a, b }.into();
+                    if env.check(mv).is_ok() {
+                        return Some(mv);
+                    }
+                }
+            } else {
+                let u = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
+                let dirs = env.legal_unit_moves(u);
+                if let Some(&dir) = pick(rng, &dirs) {
+                    return Some(UnitMove { unit: u, dir }.into());
+                }
+            }
+        }
+        // Exhaustive fallback so a nearly-locked placement still anneals.
+        for u in 0..circuit.num_units() as u32 {
+            let unit = UnitId::new(u);
+            let dirs = env.legal_unit_moves(unit);
+            if let Some(&dir) = pick(rng, &dirs) {
+                return Some(UnitMove { unit, dir }.into());
+            }
+        }
+        None
+    }
+}
+
+fn pick<'a>(rng: &mut ChaCha8Rng, dirs: &'a [Direction]) -> Option<&'a Direction> {
+    if dirs.is_empty() {
+        None
+    } else {
+        Some(&dirs[rng.gen_range(0..dirs.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+    use breaksym_route::RoutingEstimate;
+
+    fn wirelength_cost(env: &LayoutEnv) -> f64 {
+        RoutingEstimate::of(env).weighted_um
+    }
+
+    #[test]
+    fn annealing_reduces_wirelength() {
+        let mut env = LayoutEnv::sequential(
+            circuits::five_transistor_ota(),
+            GridSpec::square(14),
+        )
+        .unwrap();
+        let cfg = SaConfig { max_evals: 1500, seed: 1, ..SaConfig::default() };
+        let result = Annealer::new(cfg).run(&mut env, wirelength_cost);
+        assert!(result.best_cost <= result.initial_cost);
+        assert!(result.evaluations <= 1500);
+        assert!(result.accepted + result.rejected > 0);
+        // Env holds the best placement.
+        assert_eq!(env.placement(), &result.best_placement);
+        assert!((wirelength_cost(&env) - result.best_cost).abs() < 1e-9);
+        env.validate().unwrap();
+    }
+
+    #[test]
+    fn trajectory_is_monotone_decreasing() {
+        let mut env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let result = Annealer::new(SaConfig { max_evals: 500, seed: 3, ..SaConfig::default() })
+            .run(&mut env, wirelength_cost);
+        for w in result.trajectory.windows(2) {
+            assert!(w[1].1 <= w[0].1, "best-so-far must not increase");
+            assert!(w[1].0 >= w[0].0, "evaluation indices must not decrease");
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let run = |seed| {
+            let mut env =
+                LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+            Annealer::new(SaConfig { max_evals: 300, seed, ..SaConfig::default() })
+                .run(&mut env, wirelength_cost)
+        };
+        let a = run(7);
+        let b = run(7);
+        let c = run(8);
+        assert_eq!(a, b);
+        assert!(a != c || a.best_cost == c.best_cost, "different seeds explore differently");
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let mut env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut calls = 0u64;
+        let result = Annealer::new(SaConfig { max_evals: 50, seed: 0, ..SaConfig::default() })
+            .run(&mut env, |e| {
+                calls += 1;
+                wirelength_cost(e)
+            });
+        assert_eq!(calls, result.evaluations);
+        assert!(calls <= 50);
+    }
+
+    #[test]
+    fn random_search_finds_improvements_but_anneal_matches_or_beats_it() {
+        let run_rs = |seed| {
+            let mut env = LayoutEnv::sequential(
+                circuits::five_transistor_ota(),
+                GridSpec::square(14),
+            )
+            .unwrap();
+            RandomSearch::new(SaConfig { max_evals: 800, seed, ..SaConfig::default() })
+                .run(&mut env, wirelength_cost)
+        };
+        let run_sa = |seed| {
+            let mut env = LayoutEnv::sequential(
+                circuits::five_transistor_ota(),
+                GridSpec::square(14),
+            )
+            .unwrap();
+            Annealer::new(SaConfig { max_evals: 800, seed, ..SaConfig::default() })
+                .run(&mut env, wirelength_cost)
+        };
+        let rs = run_rs(9);
+        assert!(rs.best_cost < rs.initial_cost, "random walks still stumble onto gains");
+        // Averaged over a few seeds, SA should not lose to pure chance.
+        let (mut sa_total, mut rs_total) = (0.0, 0.0);
+        for seed in [1u64, 2, 3] {
+            sa_total += run_sa(seed).best_cost;
+            rs_total += run_rs(seed).best_cost;
+        }
+        assert!(
+            sa_total <= rs_total * 1.05,
+            "sa ({sa_total:.2}) must roughly match/beat random ({rs_total:.2})"
+        );
+    }
+
+    #[test]
+    fn swap_proposals_are_exercised_and_legal() {
+        // With unit/group moves disabled, every accepted proposal is a swap.
+        let mut env = LayoutEnv::sequential(
+            circuits::five_transistor_ota(),
+            GridSpec::square(14),
+        )
+        .unwrap();
+        let cfg = SaConfig {
+            group_move_prob: 0.0,
+            swap_prob: 1.0,
+            max_evals: 300,
+            seed: 5,
+            ..SaConfig::default()
+        };
+        let result = Annealer::new(cfg).run(&mut env, wirelength_cost);
+        env.validate().unwrap();
+        assert!(result.accepted + result.rejected > 0);
+        assert!(result.best_cost <= result.initial_cost);
+    }
+
+    #[test]
+    fn fixed_temperature_config_skips_probing() {
+        let mut env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let cfg = SaConfig {
+            initial_temp: Some(10.0),
+            max_evals: 100,
+            seed: 2,
+            ..SaConfig::default()
+        };
+        let result = Annealer::new(cfg).run(&mut env, wirelength_cost);
+        // One initial eval + moves; no 12 probe evals needed before moving.
+        assert!(result.evaluations > 1);
+    }
+}

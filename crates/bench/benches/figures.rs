@@ -1,0 +1,146 @@
+//! Criterion benches: one target per paper figure/ablation, each timing a
+//! scaled-down regeneration of that experiment, plus component
+//! micro-benches of the hot paths (simulator, router, Q-table).
+//!
+//! Full-scale regeneration lives in the `repro` binary; these benches keep
+//! the experiments runnable under `cargo bench` in minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use breaksym_bench as bench;
+use breaksym_geometry::GridSpec;
+use breaksym_layout::LayoutEnv;
+use breaksym_lde::LdeModel;
+use breaksym_netlist::circuits;
+use breaksym_lde::{Atlas, Component};
+use breaksym_netlist::lint::lint;
+use breaksym_route::{CongestionMap, MazeRouter, RouteConfig};
+use breaksym_sim::{EvalOptions, Evaluator};
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_symmetric_styles", |b| {
+        b.iter(|| bench::fig1(black_box(7)).expect("fig1 regenerates"))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig2_env_moves", |b| {
+        b.iter(|| bench::fig2().expect("fig2 regenerates"))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_main_results");
+    g.sample_size(10);
+    g.bench_function("budget_150", |b| {
+        b.iter(|| bench::fig3(black_box(150), black_box(7)).expect("fig3 regenerates"))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("sa_vs_q_trajectories", |b| {
+        b.iter(|| bench::ablation_trajectories(black_box(120), 7).expect("A1 regenerates"))
+    });
+    g.bench_function("flat_vs_mlma", |b| {
+        b.iter(|| bench::ablation_multilevel(black_box(80), 7).expect("A2 regenerates"))
+    });
+    g.bench_function("linearity_sweep", |b| {
+        b.iter(|| bench::ablation_linearity(black_box(60), 7).expect("A3 regenerates"))
+    });
+    g.bench_function("dummy_fill", |b| {
+        b.iter(|| bench::ablation_dummies(black_box(7)).expect("A4 regenerates"))
+    });
+    g.bench_function("exploration_policies", |b| {
+        b.iter(|| bench::ablation_policies(black_box(60), 7).expect("A5 regenerates"))
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let mut g = c.benchmark_group("components");
+
+    let env = LayoutEnv::sequential(circuits::folded_cascode_ota(), GridSpec::square(18))
+        .expect("fits");
+    let eval = Evaluator::new(LdeModel::nonlinear(1.0, 7));
+    g.bench_function("simulate_ota_once", |b| {
+        b.iter(|| eval.evaluate(black_box(&env)).expect("simulates"))
+    });
+
+    let cm_env = LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16))
+        .expect("fits");
+    g.bench_function("simulate_cm_once", |b| {
+        b.iter(|| eval.evaluate(black_box(&cm_env)).expect("simulates"))
+    });
+
+    let router = MazeRouter::new(RouteConfig::default());
+    g.bench_function("maze_route_ota", |b| b.iter(|| router.route(black_box(&env))));
+
+    g.bench_function("legal_moves_full_scan", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for u in 0..env.circuit().num_units() as u32 {
+                total += env.legal_unit_moves(breaksym_netlist::UnitId::new(u)).len();
+            }
+            total
+        })
+    });
+
+    g.bench_function("transient_comparator_decision", |b| {
+        let comp_env = LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16))
+            .expect("fits");
+        let tran_eval = Evaluator::new(LdeModel::none())
+            .with_options(EvalOptions { comp_transient: true, ..EvalOptions::default() });
+        b.iter(|| tran_eval.evaluate(black_box(&comp_env)).expect("simulates"))
+    });
+
+    g.bench_function("lint_all_benchmarks", |b| {
+        let all = [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+            circuits::two_stage_miller(),
+        ];
+        b.iter(|| {
+            all.iter().map(|c| lint(black_box(c)).len()).sum::<usize>()
+        })
+    });
+
+    g.bench_function("lde_atlas_64", |b| {
+        let model = LdeModel::nonlinear(1.0, 7);
+        b.iter(|| Atlas::sample(black_box(&model), Component::Vth, 64).roughness())
+    });
+
+    g.bench_function("congestion_map_ota", |b| {
+        let routed = router.route(&env);
+        b.iter(|| {
+            let map = CongestionMap::new(black_box(&routed), env.spec());
+            breaksym_route::congestion_score(&map)
+        })
+    });
+
+    g.bench_function("qtable_update_1k", |b| {
+        b.iter(|| {
+            let mut q = breaksym_core::QTable::new(64);
+            for i in 0..1000u64 {
+                q.update(i % 37, (i % 64) as usize, 0.5, (i + 1) % 37, 0.3, 0.9);
+            }
+            q.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_ablations,
+    bench_components
+);
+criterion_main!(figures);

@@ -1,0 +1,383 @@
+//! `repro` — regenerates every figure of the paper from the command line.
+//!
+//! ```text
+//! cargo run --release -p breaksym-bench --bin repro -- all
+//! cargo run --release -p breaksym-bench --bin repro -- fig3 --budget 3000 --seed 7
+//! ```
+//!
+//! Subcommands: `fig1`, `fig2`, `fig3`, `ablation-traj`,
+//! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`, `all`.
+
+use std::env;
+
+use breaksym_bench as bench;
+
+struct Args {
+    cmd: String,
+    budget: u64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    let mut args = Args { cmd: "all".into(), budget: 3_000, seed: 7, json: false };
+    let mut it = argv.iter();
+    if let Some(first) = it.next() {
+        args.cmd = first.clone();
+    }
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--budget needs an integer"))
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--json" => args.json = true,
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args = parse_args();
+    let run = |name: &str| args.cmd == name || args.cmd == "all";
+    let mut ran = false;
+
+    // --json prints one machine-readable JSON document per experiment
+    // instead of the human tables.
+    macro_rules! emit_json {
+        ($name:literal, $value:expr) => {{
+            let value = $value.unwrap_or_else(|e| die(&e.to_string()));
+            let doc = serde_json::json!({ "experiment": $name, "rows": value });
+            println!("{}", serde_json::to_string_pretty(&doc).expect("serialises"));
+        }};
+    }
+
+    if run("fig1") {
+        ran = true;
+        if args.json {
+            emit_json!("fig1", bench::fig1(args.seed));
+        } else {
+            fig1(args.seed);
+        }
+    }
+    if run("fig2") {
+        ran = true;
+        if args.json {
+            emit_json!("fig2", bench::fig2());
+        } else {
+            fig2();
+        }
+    }
+    if run("fig3") {
+        ran = true;
+        if args.json {
+            emit_json!("fig3", bench::fig3(args.budget, args.seed));
+        } else {
+            fig3(args.budget, args.seed);
+        }
+    }
+    if run("ablation-traj") {
+        ran = true;
+        if args.json {
+            emit_json!("ablation-traj", bench::ablation_trajectories(args.budget, args.seed));
+        } else {
+            ablation_traj(args.budget, args.seed);
+        }
+    }
+    if run("ablation-multilevel") {
+        ran = true;
+        if args.json {
+            emit_json!(
+                "ablation-multilevel",
+                bench::ablation_multilevel(args.budget.min(1_500), args.seed)
+            );
+        } else {
+            ablation_multilevel(args.budget.min(1_500), args.seed);
+        }
+    }
+    if run("ablation-linearity") {
+        ran = true;
+        if args.json {
+            emit_json!(
+                "ablation-linearity",
+                bench::ablation_linearity(args.budget.min(1_500), args.seed)
+            );
+        } else {
+            ablation_linearity(args.budget.min(1_500), args.seed);
+        }
+    }
+    if run("ablation-dummies") {
+        ran = true;
+        if args.json {
+            emit_json!("ablation-dummies", bench::ablation_dummies(args.seed));
+        } else {
+            ablation_dummies(args.seed);
+        }
+    }
+    if run("ablation-policy") {
+        ran = true;
+        if args.json {
+            emit_json!(
+                "ablation-policy",
+                bench::ablation_policies(args.budget.min(1_500), args.seed)
+            );
+        } else {
+            ablation_policy(args.budget.min(1_500), args.seed);
+        }
+    }
+    if run("ablation-weights") {
+        ran = true;
+        if args.json {
+            emit_json!(
+                "ablation-weights",
+                bench::ablation_weights(args.budget.min(1_200), args.seed)
+            );
+        } else {
+            ablation_weights(args.budget.min(1_200), args.seed);
+        }
+    }
+    if run("ablation-budget") {
+        ran = true;
+        if args.json {
+            emit_json!("ablation-budget", bench::ablation_budget(args.seed));
+        } else {
+            ablation_budget(args.seed);
+        }
+    }
+    if run("ablation-seeds") {
+        ran = true;
+        if args.json {
+            emit_json!(
+                "ablation-seeds",
+                bench::ablation_seeds(args.budget.min(1_500), &[3, 7, 11, 19, 23])
+            );
+        } else {
+            ablation_seeds(args.budget.min(1_500));
+        }
+    }
+    if !ran {
+        die(&format!(
+            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget all)",
+            args.cmd
+        ));
+    }
+}
+
+fn fig1(seed: u64) {
+    println!("== Fig. 1 — conventional symmetric layout styles (folded-cascode OTA) ==");
+    let rows = bench::fig1(seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:10} {:16} {:>12} {:>10} {:>10} {:>9} {:>8} {:>9} {:>7}",
+        "regime", "style", "offset[mV]", "area[um2]", "routed[um]", "symmetry", "ctr-err", "congest", "skew"
+    );
+    for r in rows {
+        println!(
+            "{:10} {:16} {:>12.4} {:>10.1} {:>10.1} {:>9.3} {:>8.4} {:>9.1} {:>7}",
+            r.regime,
+            r.style,
+            r.offset_v * 1e3,
+            r.area_um2,
+            r.routed_um,
+            r.symmetry,
+            r.centroid_error,
+            r.congestion,
+            r.input_skew_cells.map_or("-".into(), |s| s.to_string()),
+        );
+    }
+    println!();
+}
+
+fn fig2() {
+    println!("== Fig. 2 — layout environment and legal moves ==");
+    let s = bench::fig2().unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{} units in {} groups; action space = {} moves/unit",
+        s.units, s.groups, s.actions_per_unit
+    );
+    println!("legal moves per unit (initial placement): {:?}", s.legal_per_unit);
+    println!("{}", s.ascii);
+}
+
+fn fig3(budget: u64, seed: u64) {
+    println!("== Fig. 3 — placement results (budget {budget} sims, seed {seed}) ==");
+    let rows = bench::fig3(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:5} {:28} {:>16} {:>8} {:>8} {:>10}",
+        "ckt", "method", "mismatch/offset", "FOM", "#sims", "sims@tgt"
+    );
+    for r in &rows {
+        let primary = if r.primary_unit == "%" {
+            format!("{:.3} %", r.primary)
+        } else {
+            format!("{:.4} mV", r.primary * 1e3)
+        };
+        println!(
+            "{:5} {:28} {:>16} {:>8.3} {:>8} {:>10}",
+            r.circuit,
+            r.method,
+            primary,
+            r.fom,
+            r.sims,
+            r.sims_to_target.map_or("-".into(), |s| s.to_string()),
+        );
+    }
+    println!();
+}
+
+fn ablation_traj(budget: u64, seed: u64) {
+    println!("== A1 — SA vs Q-learning convergence (OTA, budget {budget}) ==");
+    let t = bench::ablation_trajectories(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!("sa improvements   : {:?}", concise(&t.sa));
+    println!("mlma improvements : {:?}", concise(&t.mlma));
+    let sa_final = t.sa.last().map(|x| x.1).unwrap_or(f64::NAN);
+    let rl_final = t.mlma.last().map(|x| x.1).unwrap_or(f64::NAN);
+    println!("final best cost   : sa {sa_final:.4} vs mlma {rl_final:.4}\n");
+}
+
+fn concise(tr: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut v: Vec<(u64, f64)> = tr
+        .iter()
+        .map(|&(e, c)| (e, (c * 1e4).round() / 1e4))
+        .collect();
+    if v.len() > 12 {
+        let tail = v.split_off(v.len() - 4);
+        v.truncate(8);
+        v.extend(tail);
+    }
+    v
+}
+
+fn ablation_multilevel(budget: u64, seed: u64) {
+    println!("== A2 — flat vs multi-level Q (budget {budget}) ==");
+    let rows = bench::ablation_multilevel(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:6} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "ckt", "units", "flat cost", "flat states", "mlma cost", "mlma states"
+    );
+    for r in rows {
+        println!(
+            "{:6} {:>6} {:>12.4} {:>12} {:>12.4} {:>12}",
+            r.circuit, r.units, r.flat_cost, r.flat_states, r.mlma_cost, r.mlma_states
+        );
+    }
+    println!();
+}
+
+fn ablation_linearity(budget: u64, seed: u64) {
+    println!("== A3 — symmetric-vs-RL gap over LDE non-linearity (budget {budget}) ==");
+    println!(
+        "{:>6} {:>18} {:>14} {:>14}",
+        "alpha", "symmetric[mV]", "rl[mV]", "rl advantage"
+    );
+    let rows = bench::ablation_linearity(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
+    for r in rows {
+        println!(
+            "{:>6.2} {:>18.4} {:>14.4} {:>13.2}x",
+            r.alpha,
+            r.symmetric_offset * 1e3,
+            r.rl_offset * 1e3,
+            r.rl_advantage
+        );
+    }
+    println!();
+}
+
+fn ablation_policy(budget: u64, seed: u64) {
+    println!("== A5 — exploration policy & double-Q (5T OTA, budget {budget}) ==");
+    let rows = bench::ablation_policies(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:24} {:>14} {:>10} {:>10}",
+        "policy", "offset[mV]", "sims@tgt", "q-states"
+    );
+    for r in rows {
+        println!(
+            "{:24} {:>14.4} {:>10} {:>10}",
+            r.policy,
+            r.best_primary * 1e3,
+            r.sims_to_target.map_or("-".into(), |s| s.to_string()),
+            r.qtable_states
+        );
+    }
+    println!();
+}
+
+fn ablation_weights(budget: u64, seed: u64) {
+    println!("== A7 — objective-weight sensitivity (CM, budget {budget}) ==");
+    let rows = bench::ablation_weights(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:>22} {:>14} {:>12} {:>10}",
+        "weights (p/a/wl)", "mismatch[%]", "area[um2]", "wl[um]"
+    );
+    for r in rows {
+        println!(
+            "{:>22} {:>14.3} {:>12.1} {:>10.1}",
+            format!("{:.2}/{:.2}/{:.2}", r.weights.0, r.weights.1, r.weights.2),
+            r.mismatch_pct,
+            r.area_um2,
+            r.wirelength_um
+        );
+    }
+    println!();
+}
+
+fn ablation_budget(seed: u64) {
+    println!("== A8 — quality vs simulation budget (5T OTA, seed {seed}) ==");
+    let rows = bench::ablation_budget(seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!("{:>8} {:>12} {:>12}", "budget", "sa cost", "q cost");
+    for r in rows {
+        println!("{:>8} {:>12.4} {:>12.4}", r.budget, r.sa_cost, r.mlma_cost);
+    }
+    println!();
+}
+
+fn ablation_seeds(budget: u64) {
+    println!("== A6 — seed robustness of the CM comparison (budget {budget}) ==");
+    let seeds = [3u64, 7, 11, 19, 23];
+    let rows = bench::ablation_seeds(budget, &seeds).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "seed", "sym[%]", "sa[%]", "sa+swap[%]", "q[%]", "sa sims@tgt", "q sims@tgt"
+    );
+    let mut q_wins = 0;
+    for r in &rows {
+        if r.mlma <= r.sa {
+            q_wins += 1;
+        }
+        println!(
+            "{:>6} {:>12.3} {:>10.3} {:>12.3} {:>10.3} {:>12} {:>12}",
+            r.seed,
+            r.symmetric,
+            r.sa,
+            r.sa_swap,
+            r.mlma,
+            r.sa_sims_to_target.map_or("-".into(), |s| s.to_string()),
+            r.mlma_sims_to_target.map_or("-".into(), |s| s.to_string()),
+        );
+    }
+    println!("q beats or matches sa on {q_wins}/{} seeds\n", rows.len());
+}
+
+fn ablation_dummies(seed: u64) {
+    println!("== A4 — dummy fill: matching benefit vs area cost (CM) ==");
+    let rows = bench::ablation_dummies(seed).unwrap_or_else(|e| die(&e.to_string()));
+    println!("{:26} {:>14} {:>12}", "style", "mismatch[%]", "area[um2]");
+    for r in rows {
+        println!("{:26} {:>14.3} {:>12.1}", r.style, r.mismatch_pct, r.area_um2);
+    }
+    println!();
+}

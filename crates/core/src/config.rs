@@ -1,0 +1,192 @@
+//! Hyper-parameters of the Q-learning placers.
+
+use serde::{Deserialize, Serialize};
+
+/// Core Q-learning parameters of Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QParams {
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+}
+
+impl Default for QParams {
+    fn default() -> Self {
+        QParams { alpha: 0.3, gamma: 0.9 }
+    }
+}
+
+/// An exponentially decaying ε-greedy exploration schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonSchedule {
+    /// ε at episode 0.
+    pub start: f64,
+    /// Asymptotic ε.
+    pub end: f64,
+    /// Episodes over which ε decays by ~63 % of the gap.
+    pub decay_episodes: f64,
+}
+
+impl Default for EpsilonSchedule {
+    fn default() -> Self {
+        EpsilonSchedule { start: 0.9, end: 0.05, decay_episodes: 12.0 }
+    }
+}
+
+impl EpsilonSchedule {
+    /// ε for a given episode index.
+    pub fn at(&self, episode: usize) -> f64 {
+        let t = episode as f64 / self.decay_episodes.max(1e-9);
+        self.end + (self.start - self.end) * (-t).exp()
+    }
+}
+
+/// An exponentially decaying Boltzmann (softmax) temperature schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxSchedule {
+    /// Temperature at episode 0 (in units of Q-value).
+    pub temp_start: f64,
+    /// Asymptotic temperature.
+    pub temp_end: f64,
+    /// Episodes over which the temperature decays by ~63 % of the gap.
+    pub decay_episodes: f64,
+}
+
+impl Default for SoftmaxSchedule {
+    fn default() -> Self {
+        SoftmaxSchedule { temp_start: 50.0, temp_end: 1.0, decay_episodes: 10.0 }
+    }
+}
+
+impl SoftmaxSchedule {
+    /// Temperature for a given episode index.
+    pub fn at(&self, episode: usize) -> f64 {
+        let t = episode as f64 / self.decay_episodes.max(1e-9);
+        (self.temp_end + (self.temp_start - self.temp_end) * (-t).exp()).max(1e-9)
+    }
+}
+
+/// The exploration policy of the Q-learning agents.
+///
+/// The paper uses ε-greedy (the default); Boltzmann exploration is
+/// provided for the exploration-policy ablation — it weights actions by
+/// `exp(Q/T)` so "almost as good" actions keep being tried while clearly
+/// bad ones fade quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Exploration {
+    /// ε-greedy with a decaying ε.
+    EpsilonGreedy(EpsilonSchedule),
+    /// Boltzmann/softmax with a decaying temperature.
+    Softmax(SoftmaxSchedule),
+}
+
+impl Default for Exploration {
+    fn default() -> Self {
+        Exploration::EpsilonGreedy(EpsilonSchedule::default())
+    }
+}
+
+/// Configuration of a multi-level multi-agent (or flat) Q-learning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MlmaConfig {
+    /// Bellman parameters shared by every agent.
+    pub q: QParams,
+    /// Exploration policy shared by every agent.
+    pub exploration: Exploration,
+    /// Double Q-learning: two tables per agent, each bootstrapping from
+    /// the other — reduces maximisation bias on noisy rewards.
+    pub double_q: bool,
+    /// Number of episodes (each restarts from the initial placement).
+    pub episodes: usize,
+    /// Agent *rounds* per episode; one round = one top-level action plus
+    /// one action by every bottom-level agent, interleaved.
+    pub steps_per_episode: usize,
+    /// Hard budget on simulator evaluations across the whole run.
+    pub max_evals: u64,
+    /// Stop as soon as the best placement's **primary** mismatch/offset
+    /// metric reaches this target (the paper sets it from the best
+    /// symmetric layout), if set.
+    pub target_primary: Option<f64>,
+    /// When `true` (default) the run stops as soon as the target is
+    /// reached; when `false` it records
+    /// [`RunReport::sims_to_target`](crate::RunReport::sims_to_target)
+    /// but keeps optimising until the budget is spent.
+    pub stop_at_target: bool,
+    /// Warm-start: when `true`, two of every three episodes restart from
+    /// the best placement found so far instead of the initial placement
+    /// (exploitation), with every third episode restarting from the
+    /// initial placement (exploration).
+    pub reset_to_best: bool,
+    /// Reward scale applied to normalized cost improvements.
+    pub reward_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MlmaConfig {
+    fn default() -> Self {
+        MlmaConfig {
+            q: QParams::default(),
+            exploration: Exploration::default(),
+            double_q: false,
+            episodes: 30,
+            steps_per_episode: 60,
+            max_evals: 5_000,
+            target_primary: None,
+            stop_at_target: true,
+            reset_to_best: true,
+            reward_scale: 100.0,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_decays_monotonically_between_bounds() {
+        let e = EpsilonSchedule::default();
+        let mut prev = e.at(0);
+        assert!(prev <= e.start + 1e-12);
+        for ep in 1..100 {
+            let cur = e.at(ep);
+            assert!(cur <= prev + 1e-12, "ε must not increase");
+            assert!(cur >= e.end - 1e-12);
+            prev = cur;
+        }
+        assert!((e.at(1000) - e.end).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_temperature_decays_between_bounds() {
+        let s = SoftmaxSchedule::default();
+        let mut prev = s.at(0);
+        for ep in 1..60 {
+            let cur = s.at(ep);
+            assert!(cur <= prev + 1e-12);
+            assert!(cur >= s.temp_end - 1e-12);
+            prev = cur;
+        }
+        // Never returns a degenerate zero temperature.
+        let zeroish = SoftmaxSchedule { temp_start: 0.0, temp_end: 0.0, decay_episodes: 1.0 };
+        assert!(zeroish.at(5) > 0.0);
+    }
+
+    #[test]
+    fn exploration_default_is_epsilon_greedy() {
+        assert!(matches!(Exploration::default(), Exploration::EpsilonGreedy(_)));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MlmaConfig::default();
+        assert!(c.q.alpha > 0.0 && c.q.alpha <= 1.0);
+        assert!(c.q.gamma >= 0.0 && c.q.gamma < 1.0);
+        assert!(c.episodes > 0 && c.steps_per_episode > 0);
+        assert!(c.target_primary.is_none());
+        assert!(c.reset_to_best);
+    }
+}

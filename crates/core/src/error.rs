@@ -1,0 +1,77 @@
+//! Error type for placement optimisation runs.
+
+use std::error::Error;
+use std::fmt;
+
+use breaksym_layout::LayoutError;
+use breaksym_sim::SimError;
+
+/// Errors produced while setting up or running a placement optimisation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// Environment construction or a placement operation failed.
+    Layout(LayoutError),
+    /// The simulator failed.
+    Sim(SimError),
+    /// The run configuration is unusable.
+    BadConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceError::Layout(e) => write!(f, "layout error: {e}"),
+            PlaceError::Sim(e) => write!(f, "simulation error: {e}"),
+            PlaceError::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for PlaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlaceError::Layout(e) => Some(e),
+            PlaceError::Sim(e) => Some(e),
+            PlaceError::BadConfig { .. } => None,
+        }
+    }
+}
+
+impl From<LayoutError> for PlaceError {
+    fn from(e: LayoutError) -> Self {
+        PlaceError::Layout(e)
+    }
+}
+
+impl From<SimError> for PlaceError {
+    fn from(e: SimError) -> Self {
+        PlaceError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PlaceError = LayoutError::DuplicateCell {
+            cell: breaksym_geometry::GridPoint::ORIGIN,
+        }
+        .into();
+        assert!(e.to_string().contains("layout error"));
+        assert!(Error::source(&e).is_some());
+        let s: PlaceError = SimError::SingularMatrix { column: 0 }.into();
+        assert!(s.to_string().contains("simulation error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PlaceError>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Single-level, single-agent Q-learning — the scalability ablation.
+//!
+//! One monolithic agent over the **full** placement state
+//! ([`LayoutEnv::state_key`]) with the complete `(unit, direction)` action
+//! set. This is what the paper's multi-level decomposition replaces: the
+//! table grows with every distinct full placement visited, so it explodes
+//! combinatorially with circuit size while the hierarchical tables stay
+//! small.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use breaksym_geometry::Direction;
+use breaksym_layout::{LayoutEnv, PlacementMove, UnitMove};
+use breaksym_netlist::UnitId;
+
+use crate::mlma::{select_action, RunTracker, Sample};
+use crate::qtable::AgentTable;
+use crate::{MlmaConfig, QTable};
+
+/// The flat (single-level, single-agent) tabular Q-learning placer.
+#[derive(Debug, Clone)]
+pub struct FlatQPlacer {
+    cfg: MlmaConfig,
+    table: AgentTable,
+    num_units: usize,
+}
+
+impl FlatQPlacer {
+    /// Builds the single agent for `env`'s circuit.
+    pub fn new(env: &LayoutEnv, cfg: MlmaConfig) -> Self {
+        let num_units = env.circuit().num_units();
+        FlatQPlacer { cfg, table: AgentTable::new(num_units * 8, cfg.double_q), num_units }
+    }
+
+    /// The agent's (primary) Q-table.
+    pub fn table(&self) -> &QTable {
+        self.table.primary()
+    }
+
+    /// States visited — compare with
+    /// [`MultiLevelPlacer::total_states`](crate::MultiLevelPlacer::total_states).
+    pub fn total_states(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Runs the optimisation; see
+    /// [`MultiLevelPlacer`](crate::MultiLevelPlacer) for the loop contract.
+    /// To keep the comparison fair, one "round" of the multi-level placer
+    /// (1 + #groups agent actions) corresponds to `1 + #groups` flat steps
+    /// per `steps_per_episode` unit.
+    pub(crate) fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
+    where
+        F: FnMut(&LayoutEnv) -> Sample,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        let initial_placement = env.placement().clone();
+        let initial = cost(env);
+        let mut tracker = RunTracker::new(initial, initial_placement.clone(), &self.cfg);
+        let scale = self.cfg.reward_scale / initial.cost.abs().max(1e-12);
+        let moves_per_episode =
+            self.cfg.steps_per_episode * (1 + env.circuit().groups().len());
+
+        'run: for episode in 0..self.cfg.episodes {
+            if tracker.done() {
+                break;
+            }
+            let (start, mut current) =
+                if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
+                    (tracker.best_placement.clone(), tracker.best_cost)
+                } else {
+                    (initial_placement.clone(), initial.cost)
+                };
+            env.set_placement(start).expect("recorded placements are valid");
+
+            for _ in 0..moves_per_episode {
+                if tracker.done() {
+                    break 'run;
+                }
+                let s = env.state_key();
+                let legal = self.legal_actions(env);
+                let Some(a) = select_action(
+                    &self.table,
+                    s,
+                    &legal,
+                    &self.cfg.exploration,
+                    episode,
+                    &mut rng,
+                ) else {
+                    break 'run; // fully locked
+                };
+                let mv = self.decode(a);
+                env.apply(mv).expect("legal actions apply");
+                let smp = cost(env);
+                let r = (current - smp.cost) * scale;
+                let s_next = env.state_key();
+                let flip = rng.gen_range(0.0..1.0) < 0.5;
+                self.table
+                    .update(s, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
+                current = smp.cost;
+                if tracker.record(smp, env) {
+                    break 'run;
+                }
+            }
+        }
+
+        env.set_placement(tracker.best_placement.clone())
+            .expect("best placement was valid when recorded");
+        tracker
+    }
+
+    fn legal_actions(&self, env: &LayoutEnv) -> Vec<usize> {
+        let mut out = Vec::new();
+        for u in 0..self.num_units as u32 {
+            for dir in env.legal_unit_moves(UnitId::new(u)) {
+                out.push(u as usize * 8 + dir.index());
+            }
+        }
+        out
+    }
+
+    fn decode(&self, action: usize) -> PlacementMove {
+        let dir = Direction::from_index(action % 8).expect("index < 8 by construction");
+        UnitMove { unit: UnitId::new((action / 8) as u32), dir }.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+    use breaksym_route::RoutingEstimate;
+
+    fn wl(env: &LayoutEnv) -> Sample {
+        let c = RoutingEstimate::of(env).weighted_um;
+        Sample { cost: c, primary: c }
+    }
+
+    #[test]
+    fn flat_placer_improves_and_learns() {
+        let mut env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let cfg = MlmaConfig {
+            episodes: 5,
+            steps_per_episode: 20,
+            max_evals: 600,
+            seed: 4,
+            ..MlmaConfig::default()
+        };
+        let mut placer = FlatQPlacer::new(&env, cfg);
+        let t = placer.run(&mut env, wl);
+        assert!(t.best_cost <= t.trajectory[0].1);
+        assert!(placer.total_states() > 0);
+        env.validate().unwrap();
+    }
+
+    #[test]
+    fn flat_state_space_grows_faster_than_hierarchical() {
+        // The core scalability claim (§II.A): on the same budget the flat
+        // agent visits far more distinct states than all hierarchical
+        // agents combined, because its state is the whole placement.
+        let cfg = MlmaConfig {
+            episodes: 4,
+            steps_per_episode: 25,
+            max_evals: 500,
+            seed: 9,
+            ..MlmaConfig::default()
+        };
+        let mut env_flat =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16))
+                .unwrap();
+        let mut flat = FlatQPlacer::new(&env_flat, cfg);
+        let tf = flat.run(&mut env_flat, wl);
+
+        let mut env_ml =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16))
+                .unwrap();
+        let mut ml = crate::MultiLevelPlacer::new(&env_ml, cfg);
+        let tm = ml.run(&mut env_ml, wl);
+
+        assert!(
+            flat.total_states() > ml.total_states(),
+            "flat {} must exceed hierarchical {}",
+            flat.total_states(),
+            ml.total_states()
+        );
+        // Both ran on comparable budgets.
+        assert!(tf.evals <= 500 && tm.evals <= 500);
+    }
+}

@@ -1,0 +1,559 @@
+//! The multi-level, multi-agent Q-learning placer (Fig. 2c).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use breaksym_geometry::Direction;
+use breaksym_layout::{GroupMove, LayoutEnv, Placement, PlacementMove, UnitMove};
+use breaksym_netlist::GroupId;
+
+use serde::{Deserialize, Serialize};
+
+use crate::qtable::AgentTable;
+use crate::{Exploration, MlmaConfig, QTable};
+
+/// Action selection under the configured exploration policy.
+pub(crate) fn select_action(
+    table: &AgentTable,
+    state: u64,
+    legal: &[usize],
+    exploration: &Exploration,
+    episode: usize,
+    rng: &mut ChaCha8Rng,
+) -> Option<usize> {
+    if legal.is_empty() {
+        return None;
+    }
+    match exploration {
+        Exploration::EpsilonGreedy(sched) => {
+            if rng.gen_range(0.0..1.0) < sched.at(episode) {
+                Some(legal[rng.gen_range(0..legal.len())])
+            } else {
+                table.greedy(state, legal)
+            }
+        }
+        Exploration::Softmax(sched) => {
+            let temp = sched.at(episode);
+            let qs: Vec<f64> = legal.iter().map(|&a| table.q(state, a)).collect();
+            let max = qs.iter().fold(f64::NEG_INFINITY, |m, &q| m.max(q));
+            let weights: Vec<f64> = qs.iter().map(|q| ((q - max) / temp).exp()).collect();
+            let total: f64 = weights.iter().sum();
+            let mut r = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+            for (i, w) in weights.iter().enumerate() {
+                if r < *w {
+                    return Some(legal[i]);
+                }
+                r -= w;
+            }
+            legal.last().copied()
+        }
+    }
+}
+
+/// One simulator verdict: the scalar objective the agents minimise plus
+/// the raw primary (mismatch/offset) metric the paper sets targets on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Objective cost (normalised primary + regularisers).
+    pub cost: f64,
+    /// Raw primary metric (mismatch % or offset V).
+    pub primary: f64,
+}
+
+/// Shared run bookkeeping: budget, best-so-far, trajectory, target.
+#[derive(Debug, Clone)]
+pub(crate) struct RunTracker {
+    pub evals: u64,
+    pub max_evals: u64,
+    pub target_primary: Option<f64>,
+    pub stop_at_target: bool,
+    pub best_cost: f64,
+    pub best_primary: f64,
+    pub best_placement: Placement,
+    pub trajectory: Vec<(u64, f64)>,
+    pub reached_target: bool,
+    pub sims_to_target: Option<u64>,
+}
+
+impl RunTracker {
+    pub fn new(initial: Sample, placement: Placement, cfg: &MlmaConfig) -> Self {
+        let reached = cfg.target_primary.is_some_and(|t| initial.primary <= t);
+        RunTracker {
+            evals: 1, // the initial evaluation
+            max_evals: cfg.max_evals,
+            target_primary: cfg.target_primary,
+            stop_at_target: cfg.stop_at_target,
+            best_cost: initial.cost,
+            best_primary: initial.primary,
+            best_placement: placement,
+            trajectory: vec![(1, initial.cost)],
+            reached_target: reached,
+            sims_to_target: reached.then_some(1),
+        }
+    }
+
+    /// Records one evaluation; returns `true` when the run must stop.
+    pub fn record(&mut self, sample: Sample, env: &LayoutEnv) -> bool {
+        self.evals += 1;
+        if sample.cost < self.best_cost {
+            self.best_cost = sample.cost;
+            self.best_primary = sample.primary;
+            self.best_placement = env.placement().clone();
+            self.trajectory.push((self.evals, sample.cost));
+        }
+        // Candidate-level check: a placement that meets the target counts
+        // even if a regulariser keeps it from being the best-cost one.
+        if !self.reached_target && self.target_primary.is_some_and(|t| sample.primary <= t) {
+            self.reached_target = true;
+            self.sims_to_target = Some(self.evals);
+        }
+        self.done()
+    }
+
+    pub fn done(&self) -> bool {
+        (self.reached_target && self.stop_at_target) || self.evals >= self.max_evals
+    }
+}
+
+/// The multi-level, multi-agent placer.
+///
+/// One Q-table learns **group** translations at the top level; one Q-table
+/// per group learns **unit** rearrangements at the bottom. The agents act
+/// in an interleaved round-robin (top agent, then every bottom agent),
+/// which keeps moves conflict-free: only one agent touches the placement
+/// at a time, and a bottom agent only moves its own group's units.
+///
+/// All agents share the global, simulator-derived reward — the framework
+/// is cooperative: every agent optimises the same circuit objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLevelPlacer {
+    cfg: MlmaConfig,
+    top: AgentTable,
+    bottom: Vec<AgentTable>,
+}
+
+impl MultiLevelPlacer {
+    /// Builds the agent hierarchy for `env`'s circuit.
+    pub fn new(env: &LayoutEnv, cfg: MlmaConfig) -> Self {
+        let groups = env.circuit().groups().len();
+        let bottom = env
+            .circuit()
+            .group_ids()
+            .map(|g| AgentTable::new(env.units_of_group(g).len() * 8, cfg.double_q))
+            .collect();
+        MultiLevelPlacer { cfg, top: AgentTable::new(groups * 8, cfg.double_q), bottom }
+    }
+
+    /// The top-level agent's (primary) Q-table.
+    pub fn top_table(&self) -> &QTable {
+        self.top.primary()
+    }
+
+    /// The bottom-level agents, one per group.
+    pub fn bottom_agents(&self) -> &[AgentTable] {
+        &self.bottom
+    }
+
+    /// Total states across all tables (both halves of double agents) — the
+    /// scalability measure of the multi-level ablation.
+    pub fn total_states(&self) -> usize {
+        self.top.len() + self.bottom.iter().map(AgentTable::len).sum::<usize>()
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &MlmaConfig {
+        &self.cfg
+    }
+
+    /// Replaces the configuration (e.g. to lower exploration before a
+    /// resumed run) while keeping everything learned.
+    pub fn set_config(&mut self, cfg: MlmaConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Plays the learned policy **greedily** — no exploration, no learning,
+    /// no simulations — for up to `rounds` interleaved rounds, applying
+    /// moves to `env` and returning them. This extracts what the agents
+    /// actually learned as a deterministic placement-refinement macro.
+    ///
+    /// Agents only act in states they have positive learned value for;
+    /// rounds stop early when nobody acts, which also bounds policy cycles.
+    pub fn greedy_rollout(&self, env: &mut LayoutEnv, rounds: usize) -> Vec<PlacementMove> {
+        let group_ids: Vec<GroupId> = env.circuit().group_ids().collect();
+        let mut moves = Vec::new();
+        for _ in 0..rounds {
+            let mut acted = false;
+            let s_top = env.group_state_key();
+            let legal = top_legal_actions(env, &group_ids);
+            if let Some(a) = self.top.greedy(s_top, &legal) {
+                if self.top.q(s_top, a) > 0.0 {
+                    let mv = decode_top(a, &group_ids);
+                    env.apply(mv).expect("legal actions apply");
+                    moves.push(mv);
+                    acted = true;
+                }
+            }
+            for &g in &group_ids {
+                let s = env.local_state_key(g);
+                let units = env.units_of_group(g).to_vec();
+                let legal = bottom_legal_actions(env, &units);
+                if let Some(a) = self.bottom[g.index()].greedy(s, &legal) {
+                    if self.bottom[g.index()].q(s, a) > 0.0 {
+                        let mv = decode_bottom(a, &units);
+                        env.apply(mv).expect("legal actions apply");
+                        moves.push(mv);
+                        acted = true;
+                    }
+                }
+            }
+            if !acted {
+                break;
+            }
+        }
+        moves
+    }
+
+    /// Serialises the whole learned state (configuration + every Q-table)
+    /// to JSON — the checkpoint format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (practically impossible for this
+    /// type).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Restores a placer from a [`MultiLevelPlacer::to_json`] checkpoint.
+    /// Running it resumes learning with the saved tables — transfer across
+    /// sessions or across related placements of the same circuit.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Runs the optimisation. `cost` is called once per proposed move (the
+    /// simulator); the environment ends at the **initial** placement's
+    /// episode reset state of the best placement — read the best from the
+    /// returned tracker.
+    pub(crate) fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
+    where
+        F: FnMut(&LayoutEnv) -> Sample,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
+        let initial_placement = env.placement().clone();
+        let initial = cost(env);
+        let mut tracker = RunTracker::new(initial, initial_placement.clone(), &self.cfg);
+        let scale = self.cfg.reward_scale / initial.cost.abs().max(1e-12);
+        let group_ids: Vec<GroupId> = env.circuit().group_ids().collect();
+
+        'run: for episode in 0..self.cfg.episodes {
+            if tracker.done() {
+                break;
+            }
+            // Warm-start policy: exploit from the best placement two
+            // episodes out of three, explore from the initial otherwise.
+            let (start, mut current) =
+                if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
+                    (tracker.best_placement.clone(), tracker.best_cost)
+                } else {
+                    (initial_placement.clone(), initial.cost)
+                };
+            env.set_placement(start).expect("recorded placements are valid");
+
+            for _ in 0..self.cfg.steps_per_episode {
+                // --- top level: one group translation ---
+                if tracker.done() {
+                    break 'run;
+                }
+                let s_top = env.group_state_key();
+                let legal = top_legal_actions(env, &group_ids);
+                if let Some(a) = select_action(
+                    &self.top,
+                    s_top,
+                    &legal,
+                    &self.cfg.exploration,
+                    episode,
+                    &mut rng,
+                ) {
+                    let mv = decode_top(a, &group_ids);
+                    env.apply(mv).expect("legal actions apply");
+                    let s = cost(env);
+                    let r = (current - s.cost) * scale;
+                    let s_next = env.group_state_key();
+                    let flip = rng.gen_range(0.0..1.0) < 0.5;
+                    self.top
+                        .update(s_top, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
+                    current = s.cost;
+                    if tracker.record(s, env) {
+                        break 'run;
+                    }
+                }
+
+                // --- bottom level: every group agent, interleaved ---
+                for &g in &group_ids {
+                    if tracker.done() {
+                        break 'run;
+                    }
+                    let table = &mut self.bottom[g.index()];
+                    let s = env.local_state_key(g);
+                    let units = env.units_of_group(g).to_vec();
+                    let legal = bottom_legal_actions(env, &units);
+                    let Some(a) = select_action(
+                        table,
+                        s,
+                        &legal,
+                        &self.cfg.exploration,
+                        episode,
+                        &mut rng,
+                    ) else {
+                        continue;
+                    };
+                    let mv = decode_bottom(a, &units);
+                    env.apply(mv).expect("legal actions apply");
+                    let smp = cost(env);
+                    let r = (current - smp.cost) * scale;
+                    let s_next = env.local_state_key(g);
+                    let flip = rng.gen_range(0.0..1.0) < 0.5;
+                    table.update(s, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
+                    current = smp.cost;
+                    if tracker.record(smp, env) {
+                        break 'run;
+                    }
+                }
+            }
+        }
+
+        env.set_placement(tracker.best_placement.clone())
+            .expect("best placement was valid when recorded");
+        tracker
+    }
+}
+
+/// Encodes `(group, direction)` as `group_index * 8 + dir_index`.
+fn top_legal_actions(env: &LayoutEnv, groups: &[GroupId]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (gi, &g) in groups.iter().enumerate() {
+        for dir in env.legal_group_moves(g) {
+            out.push(gi * 8 + dir.index());
+        }
+    }
+    out
+}
+
+fn decode_top(action: usize, groups: &[GroupId]) -> PlacementMove {
+    let dir = Direction::from_index(action % 8).expect("index < 8 by construction");
+    GroupMove { group: groups[action / 8], dir }.into()
+}
+
+/// Encodes `(unit-in-group, direction)` as `unit_pos * 8 + dir_index`.
+fn bottom_legal_actions(env: &LayoutEnv, units: &[breaksym_netlist::UnitId]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (ui, &u) in units.iter().enumerate() {
+        for dir in env.legal_unit_moves(u) {
+            out.push(ui * 8 + dir.index());
+        }
+    }
+    out
+}
+
+fn decode_bottom(action: usize, units: &[breaksym_netlist::UnitId]) -> PlacementMove {
+    let dir = Direction::from_index(action % 8).expect("index < 8 by construction");
+    UnitMove { unit: units[action / 8], dir }.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+    use breaksym_route::RoutingEstimate;
+
+    fn wl(env: &LayoutEnv) -> Sample {
+        let c = RoutingEstimate::of(env).weighted_um;
+        Sample { cost: c, primary: c }
+    }
+
+    fn small_cfg(seed: u64) -> MlmaConfig {
+        MlmaConfig {
+            episodes: 6,
+            steps_per_episode: 20,
+            max_evals: 1200,
+            seed,
+            ..MlmaConfig::default()
+        }
+    }
+
+    #[test]
+    fn improves_wirelength_and_tracks_best() {
+        let mut env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
+        let mut placer = MultiLevelPlacer::new(&env, small_cfg(1));
+        let t = placer.run(&mut env, wl);
+        assert!(t.best_cost <= t.trajectory[0].1);
+        assert!(t.evals <= 1200);
+        // Env holds the best placement at the end.
+        assert!((wl(&env).cost - t.best_cost).abs() < 1e-9);
+        env.validate().unwrap();
+        // Learning happened.
+        assert!(placer.total_states() > 0);
+        assert!(
+            !placer.top_table().is_empty()
+                || placer.bottom_agents().iter().any(|t| !t.is_empty())
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut env =
+                LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+            let mut placer = MultiLevelPlacer::new(&env, small_cfg(seed));
+            let t = placer.run(&mut env, wl);
+            (t.best_cost, t.evals, t.trajectory)
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn target_stops_early() {
+        let mut env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let initial = wl(&env);
+        let cfg = MlmaConfig {
+            target_primary: Some(initial.primary * 2.0), // trivially satisfied
+            ..small_cfg(0)
+        };
+        let mut placer = MultiLevelPlacer::new(&env, cfg);
+        let t = placer.run(&mut env, wl);
+        assert!(t.reached_target);
+        assert_eq!(t.evals, 1, "already at target: only the initial eval");
+    }
+
+    #[test]
+    fn action_codecs_round_trip() {
+        let env =
+            LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
+        let groups: Vec<GroupId> = env.circuit().group_ids().collect();
+        for a in top_legal_actions(&env, &groups) {
+            match decode_top(a, &groups) {
+                PlacementMove::Group(gm) => {
+                    assert_eq!(gm.group, groups[a / 8]);
+                    assert_eq!(gm.dir.index(), a % 8);
+                    env.check(gm.into()).expect("legal action must check out");
+                }
+                other => panic!("expected group move, got {other}"),
+            }
+        }
+        let units = env.units_of_group(groups[0]).to_vec();
+        for a in bottom_legal_actions(&env, &units) {
+            match decode_bottom(a, &units) {
+                PlacementMove::Unit(um) => {
+                    assert_eq!(um.unit, units[a / 8]);
+                    env.check(um.into()).expect("legal action must check out");
+                }
+                other => panic!("expected unit move, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_resumes() {
+        let mut env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
+        let mut placer = MultiLevelPlacer::new(&env, small_cfg(2));
+        let first = placer.run(&mut env, wl);
+        assert!(placer.total_states() > 0);
+
+        // Round trip through JSON preserves everything learned.
+        let json = placer.to_json().expect("serialises");
+        let mut restored = MultiLevelPlacer::from_json(&json).expect("deserialises");
+        assert_eq!(&restored, &placer);
+
+        // Resuming from the checkpoint keeps learning (tables only grow).
+        let states_before = restored.total_states();
+        let mut env2 =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
+        let second = restored.run(&mut env2, wl);
+        assert!(restored.total_states() >= states_before);
+        // The resumed run is at least not worse than the fresh one started
+        // from the same initial placement.
+        assert!(second.best_cost <= first.trajectory[0].1);
+    }
+
+    #[test]
+    fn double_q_placer_runs_and_counts_both_tables() {
+        let env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let cfg = MlmaConfig { double_q: true, ..small_cfg(5) };
+        let mut placer = MultiLevelPlacer::new(&env, cfg);
+        let mut env2 = env.clone();
+        let t = placer.run(&mut env2, wl);
+        assert!(t.best_cost <= t.trajectory[0].1);
+        assert!(placer.total_states() > 0);
+    }
+
+    #[test]
+    fn softmax_exploration_runs() {
+        use crate::{Exploration, SoftmaxSchedule};
+        let env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let cfg = MlmaConfig {
+            exploration: Exploration::Softmax(SoftmaxSchedule::default()),
+            ..small_cfg(6)
+        };
+        let mut placer = MultiLevelPlacer::new(&env, cfg);
+        let mut env2 = env.clone();
+        let t = placer.run(&mut env2, wl);
+        assert!(t.best_cost <= t.trajectory[0].1);
+        env2.validate().unwrap();
+    }
+
+    #[test]
+    fn greedy_rollout_is_deterministic_and_legal() {
+        let mut env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
+        let mut placer = MultiLevelPlacer::new(&env, small_cfg(3));
+        placer.run(&mut env, wl);
+
+        // Roll out from the initial placement twice: identical move lists.
+        let mut env1 =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
+        let mut env2 = env1.clone();
+        let m1 = placer.greedy_rollout(&mut env1, 10);
+        let m2 = placer.greedy_rollout(&mut env2, 10);
+        assert_eq!(m1, m2);
+        env1.validate().unwrap();
+        assert_eq!(env1.state_key(), env2.state_key());
+        // Bounded by rounds × (1 + #groups) actions.
+        assert!(m1.len() <= 10 * (1 + env1.circuit().groups().len()));
+    }
+
+    #[test]
+    fn untrained_placer_rolls_out_nothing() {
+        let mut env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let placer = MultiLevelPlacer::new(&env, small_cfg(0));
+        let moves = placer.greedy_rollout(&mut env, 5);
+        assert!(moves.is_empty(), "zero-valued tables must not act");
+    }
+
+    #[test]
+    fn bottom_tables_match_group_sizes() {
+        let env =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
+        let placer = MultiLevelPlacer::new(&env, MlmaConfig::default());
+        assert_eq!(placer.bottom_agents().len(), env.circuit().groups().len());
+        for (g, t) in env.circuit().group_ids().zip(placer.bottom_agents()) {
+            assert_eq!(t.num_actions(), env.units_of_group(g).len() * 8);
+        }
+        assert_eq!(
+            placer.top_table().num_actions(),
+            env.circuit().groups().len() * 8
+        );
+    }
+}

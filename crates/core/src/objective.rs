@@ -1,0 +1,227 @@
+//! The optimisation objective and the paper's figure of merit (FOM).
+
+use breaksym_netlist::CircuitClass;
+use breaksym_sim::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// The scalar cost the optimizers minimise.
+///
+/// The paper's placement is *objective-driven*: the primary term is the
+/// class's mismatch/offset metric; area and wirelength enter as small
+/// regularisers so the agent does not trade unbounded sprawl for matching.
+/// All terms are normalised by the metrics of the initial placement so the
+/// weights are dimensionless and circuit-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Weight of the primary (mismatch/offset) term.
+    pub w_primary: f64,
+    /// Weight of the area term.
+    pub w_area: f64,
+    /// Weight of the wirelength term.
+    pub w_wirelength: f64,
+    /// Normalisation reference (typically the initial placement's metrics).
+    norm_primary: f64,
+    norm_area: f64,
+    norm_wirelength: f64,
+}
+
+impl Objective {
+    /// Default weights, normalised against `reference`.
+    pub fn normalized_to(reference: &Metrics) -> Self {
+        Objective {
+            w_primary: 1.0,
+            w_area: 0.05,
+            w_wirelength: 0.03,
+            norm_primary: reference.primary().max(1e-12),
+            norm_area: reference.area_um2.max(1e-12),
+            norm_wirelength: reference.wirelength_um.max(1e-12),
+        }
+    }
+
+    /// Adjusts the weights.
+    pub fn with_weights(mut self, primary: f64, area: f64, wirelength: f64) -> Self {
+        self.w_primary = primary;
+        self.w_area = area;
+        self.w_wirelength = wirelength;
+        self
+    }
+
+    /// The scalar cost of a metric vector (lower is better; the reference
+    /// placement costs `w_primary + w_area + w_wirelength`).
+    pub fn cost(&self, m: &Metrics) -> f64 {
+        self.w_primary * (m.primary() / self.norm_primary)
+            + self.w_area * (m.area_um2 / self.norm_area)
+            + self.w_wirelength * (m.wirelength_um / self.norm_wirelength)
+    }
+}
+
+/// One FOM term: an extractor plus its improvement direction.
+type MetricEntry = (fn(&Metrics) -> Option<f64>, Better);
+
+/// Which direction a metric improves in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Better {
+    Lower,
+    Higher,
+}
+
+/// The paper's per-class figure of merit.
+///
+/// Fig. 3 reports a FOM covering: CM (mismatch, area), COMP (offset,
+/// delay, power, area), OTA (gain, BW, PM, offset, power, area). We define
+/// it as the geometric mean of per-metric improvement ratios against a
+/// reference layout, so **FOM = 1 at the reference and larger is better**.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FomSpec {
+    class: CircuitClass,
+}
+
+/// A computed figure of merit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fom {
+    /// Geometric-mean improvement over the reference (1.0 = parity).
+    pub value: f64,
+    /// Number of metrics that entered the mean.
+    pub terms: usize,
+}
+
+impl FomSpec {
+    /// The paper's metric set for `class`.
+    pub fn for_class(class: CircuitClass) -> Self {
+        FomSpec { class }
+    }
+
+    fn metric_list(&self) -> Vec<MetricEntry> {
+        match self.class {
+            CircuitClass::CurrentMirror => vec![
+                (|m: &Metrics| m.mismatch_pct, Better::Lower),
+                (|m: &Metrics| Some(m.area_um2), Better::Lower),
+            ],
+            CircuitClass::Comparator => vec![
+                (|m: &Metrics| m.offset_v, Better::Lower),
+                (|m: &Metrics| m.delay_s, Better::Lower),
+                (|m: &Metrics| m.power_w, Better::Lower),
+                (|m: &Metrics| Some(m.area_um2), Better::Lower),
+            ],
+            CircuitClass::Ota => vec![
+                (|m: &Metrics| m.gain_db, Better::Higher),
+                (|m: &Metrics| m.ugb_hz, Better::Higher),
+                (|m: &Metrics| m.phase_margin_deg, Better::Higher),
+                (|m: &Metrics| m.offset_v, Better::Lower),
+                (|m: &Metrics| m.power_w, Better::Lower),
+                (|m: &Metrics| Some(m.area_um2), Better::Lower),
+            ],
+            CircuitClass::Generic => vec![
+                (|m: &Metrics| m.offset_v, Better::Lower),
+                (|m: &Metrics| Some(m.wirelength_um), Better::Lower),
+            ],
+        }
+    }
+
+    /// FOM of `m` against `reference`: geometric mean of improvement
+    /// ratios. Metrics missing in either vector are skipped; degenerate
+    /// (zero/non-finite) pairs are skipped too.
+    pub fn fom(&self, m: &Metrics, reference: &Metrics) -> Fom {
+        let mut log_sum = 0.0;
+        let mut terms = 0usize;
+        for (get, better) in self.metric_list() {
+            let (Some(x), Some(r)) = (get(m), get(reference)) else { continue };
+            if !(x.is_finite() && r.is_finite()) {
+                continue;
+            }
+            let (x, r) = (x.abs().max(1e-15), r.abs().max(1e-15));
+            let ratio = match better {
+                Better::Lower => r / x,
+                Better::Higher => x / r,
+            };
+            log_sum += ratio.ln();
+            terms += 1;
+        }
+        if terms == 0 {
+            Fom { value: 1.0, terms: 0 }
+        } else {
+            Fom { value: (log_sum / terms as f64).exp(), terms }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(class: CircuitClass) -> Metrics {
+        let mut m = Metrics::empty(class);
+        m.mismatch_pct = Some(2.0);
+        m.offset_v = Some(4e-3);
+        m.gain_db = Some(40.0);
+        m.ugb_hz = Some(1e8);
+        m.phase_margin_deg = Some(60.0);
+        m.delay_s = Some(20e-12);
+        m.power_w = Some(1e-4);
+        m.area_um2 = 100.0;
+        m.wirelength_um = 50.0;
+        m
+    }
+
+    #[test]
+    fn cost_is_one_plus_regularizers_at_reference() {
+        let r = metrics(CircuitClass::CurrentMirror);
+        let obj = Objective::normalized_to(&r);
+        let c = obj.cost(&r);
+        assert!((c - (1.0 + 0.05 + 0.03)).abs() < 1e-9);
+        // Halving mismatch halves the primary term.
+        let mut better = r;
+        better.mismatch_pct = Some(1.0);
+        assert!((obj.cost(&better) - (0.5 + 0.08)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_weights_apply() {
+        let r = metrics(CircuitClass::Ota);
+        let obj = Objective::normalized_to(&r).with_weights(2.0, 0.0, 0.0);
+        assert!((obj.cost(&r) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fom_is_one_at_reference_for_every_class() {
+        for class in [
+            CircuitClass::CurrentMirror,
+            CircuitClass::Comparator,
+            CircuitClass::Ota,
+            CircuitClass::Generic,
+        ] {
+            let r = metrics(class);
+            let fom = FomSpec::for_class(class).fom(&r, &r);
+            assert!((fom.value - 1.0).abs() < 1e-12, "{class}: {fom:?}");
+            assert!(fom.terms > 0);
+        }
+    }
+
+    #[test]
+    fn fom_rewards_improvement_in_the_right_direction() {
+        let r = metrics(CircuitClass::Ota);
+        let spec = FomSpec::for_class(CircuitClass::Ota);
+        let mut better = r;
+        better.offset_v = Some(1e-3); // 4x lower offset
+        assert!(spec.fom(&better, &r).value > 1.0);
+        let mut more_gain = r;
+        more_gain.gain_db = Some(60.0);
+        assert!(spec.fom(&more_gain, &r).value > 1.0);
+        let mut worse = r;
+        worse.power_w = Some(1e-3);
+        assert!(spec.fom(&worse, &r).value < 1.0);
+    }
+
+    #[test]
+    fn fom_skips_missing_metrics() {
+        let r = metrics(CircuitClass::Comparator);
+        let mut partial = r;
+        partial.delay_s = None;
+        let fom = FomSpec::for_class(CircuitClass::Comparator).fom(&partial, &r);
+        assert_eq!(fom.terms, 3); // offset, power, area — delay skipped
+        let empty = Metrics::empty(CircuitClass::Comparator);
+        let f = FomSpec::for_class(CircuitClass::Comparator).fom(&empty, &empty);
+        // area 0 vs 0 → ratio 1 still enters; offset/delay/power skipped.
+        assert!(f.value > 0.0);
+    }
+}

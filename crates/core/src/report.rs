@@ -1,0 +1,112 @@
+//! The result record of one optimisation run.
+
+use std::fmt;
+
+use breaksym_layout::Placement;
+use breaksym_sim::Metrics;
+use serde::{Deserialize, Serialize};
+
+use crate::{Fom, FomSpec};
+
+/// Everything a Fig. 3 row needs about one run of one method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Method label, e.g. `"mlma-q"`, `"sa"`, `"mirror-y"`.
+    pub method: String,
+    /// Cost of the initial placement under the run's objective.
+    pub initial_cost: f64,
+    /// Best cost reached.
+    pub best_cost: f64,
+    /// Metrics of the initial placement.
+    pub initial_metrics: Metrics,
+    /// Metrics of the best placement.
+    pub best_metrics: Metrics,
+    /// The best placement itself.
+    pub best_placement: Placement,
+    /// Simulator evaluations spent (the "#simulations" column).
+    pub evaluations: u64,
+    /// `(evaluation index, best-so-far cost)` improvements.
+    pub trajectory: Vec<(u64, f64)>,
+    /// Total Q-table states across all agents (0 for non-learning methods).
+    pub qtable_states: usize,
+    /// Whether the run hit its primary-metric target before exhausting its
+    /// budget.
+    pub reached_target: bool,
+    /// The first simulation at which the target was reached, if ever.
+    pub sims_to_target: Option<u64>,
+}
+
+impl RunReport {
+    /// The primary mismatch/offset value of the best placement.
+    pub fn best_primary(&self) -> f64 {
+        self.best_metrics.primary()
+    }
+
+    /// The paper's FOM of the best placement against a reference layout's
+    /// metrics (typically the best symmetric baseline).
+    pub fn fom_against(&self, reference: &Metrics) -> Fom {
+        FomSpec::for_class(self.best_metrics.class).fom(&self.best_metrics, reference)
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cost {:.4} -> {:.4} | primary {:.4e} | {} sims | {} q-states{}",
+            self.method,
+            self.initial_cost,
+            self.best_cost,
+            self.best_primary(),
+            self.evaluations,
+            self.qtable_states,
+            if self.reached_target { " | target reached" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridPoint;
+    use breaksym_netlist::CircuitClass;
+
+    fn report() -> RunReport {
+        let mut m = Metrics::empty(CircuitClass::CurrentMirror);
+        m.mismatch_pct = Some(1.5);
+        m.area_um2 = 64.0;
+        let mut init = m;
+        init.mismatch_pct = Some(6.0);
+        RunReport {
+            method: "mlma-q".into(),
+            initial_cost: 1.25,
+            best_cost: 0.5,
+            initial_metrics: init,
+            best_metrics: m,
+            best_placement: Placement::from_positions(vec![GridPoint::ORIGIN]).unwrap(),
+            evaluations: 420,
+            trajectory: vec![(1, 1.25), (100, 0.5)],
+            qtable_states: 37,
+            reached_target: true,
+            sims_to_target: Some(100),
+        }
+    }
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let s = report().to_string();
+        assert!(s.contains("mlma-q"));
+        assert!(s.contains("420 sims"));
+        assert!(s.contains("target reached"));
+    }
+
+    #[test]
+    fn fom_against_reference() {
+        let r = report();
+        let mut reference = r.best_metrics;
+        reference.mismatch_pct = Some(3.0); // we are 2x better on mismatch
+        let fom = r.fom_against(&reference);
+        assert!(fom.value > 1.0);
+        assert_eq!(r.best_primary(), 1.5);
+    }
+}

@@ -1,0 +1,76 @@
+//! The definition of one placement-optimisation problem.
+
+use breaksym_geometry::GridSpec;
+use breaksym_layout::LayoutEnv;
+use breaksym_lde::LdeModel;
+use breaksym_netlist::Circuit;
+use breaksym_sim::{Evaluator, SimCounter};
+
+use crate::PlaceError;
+
+/// One placement problem: a circuit, a grid, and the LDE model the
+/// simulator applies.
+///
+/// All optimisation entry points ([`runner`](crate::runner)) consume the
+/// same task so every method sees an identical problem — identical initial
+/// placement (signal-flow driven), identical simulator, identical LDEs.
+#[derive(Debug, Clone)]
+pub struct PlacementTask {
+    /// The circuit to place.
+    pub circuit: Circuit,
+    /// The placement grid.
+    pub spec: GridSpec,
+    /// The layout-dependent-effect model.
+    pub lde: LdeModel,
+}
+
+impl PlacementTask {
+    /// A task on a square grid of `side` cells at 1 µm pitch.
+    pub fn new(circuit: Circuit, side: i32, lde: LdeModel) -> Self {
+        PlacementTask { circuit, spec: GridSpec::square(side), lde }
+    }
+
+    /// A task with an explicit grid specification.
+    pub fn with_spec(circuit: Circuit, spec: GridSpec, lde: LdeModel) -> Self {
+        PlacementTask { circuit, spec, lde }
+    }
+
+    /// The paper's initial placement: groups in signal-flow order, units
+    /// placed sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the circuit does not fit the grid.
+    pub fn initial_env(&self) -> Result<LayoutEnv, PlaceError> {
+        Ok(breaksym_sfg::initial_env(self.circuit.clone(), self.spec)?)
+    }
+
+    /// An evaluator for this task sharing `counter`.
+    pub fn evaluator(&self, counter: SimCounter) -> Evaluator {
+        Evaluator::new(self.lde.clone()).with_counter(counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn task_produces_consistent_env_and_evaluator() {
+        let task = PlacementTask::new(circuits::diff_pair(), 10, LdeModel::linear(1.0));
+        let env = task.initial_env().unwrap();
+        env.validate().unwrap();
+        let counter = SimCounter::new();
+        let eval = task.evaluator(counter.clone());
+        let m = eval.evaluate(&env).unwrap();
+        assert!(m.offset_v.is_some());
+        assert_eq!(counter.count(), 1);
+    }
+
+    #[test]
+    fn too_small_grid_errors() {
+        let task = PlacementTask::new(circuits::folded_cascode_ota(), 4, LdeModel::none());
+        assert!(task.initial_env().is_err());
+    }
+}

@@ -1,0 +1,247 @@
+//! The eight-neighbour move directions of the placement action space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GridVector;
+
+/// One of the eight possible unit moves of a device unit (Fig. 2b of the
+/// paper).
+///
+/// The paper's action space lets an agent push a unit to any of the eight
+/// surrounding cells; legality (bounds, vacancy, group connectivity) is
+/// checked by the layout environment, so a typical state exposes only a
+/// subset of these (five in the paper's example).
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::{Direction, GridPoint};
+///
+/// let p = GridPoint::ORIGIN;
+/// assert_eq!(p + Direction::North.vector(), GridPoint::new(0, 1));
+/// assert_eq!(Direction::ALL.len(), 8);
+/// assert_eq!(Direction::North.opposite(), Direction::South);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Direction {
+    /// +x
+    East,
+    /// +x, +y
+    NorthEast,
+    /// +y
+    North,
+    /// -x, +y
+    NorthWest,
+    /// -x
+    West,
+    /// -x, -y
+    SouthWest,
+    /// -y
+    South,
+    /// +x, -y
+    SouthEast,
+}
+
+impl Direction {
+    /// All eight directions in counter-clockwise order starting from east.
+    ///
+    /// The order is stable and is relied on by the Q-table action indexing.
+    pub const ALL: [Direction; 8] = [
+        Direction::East,
+        Direction::NorthEast,
+        Direction::North,
+        Direction::NorthWest,
+        Direction::West,
+        Direction::SouthWest,
+        Direction::South,
+        Direction::SouthEast,
+    ];
+
+    /// The four cardinal (edge-sharing) directions.
+    pub const CARDINAL: [Direction; 4] = [
+        Direction::East,
+        Direction::North,
+        Direction::West,
+        Direction::South,
+    ];
+
+    /// The unit displacement of this direction.
+    #[inline]
+    pub const fn vector(self) -> GridVector {
+        match self {
+            Direction::East => GridVector::new(1, 0),
+            Direction::NorthEast => GridVector::new(1, 1),
+            Direction::North => GridVector::new(0, 1),
+            Direction::NorthWest => GridVector::new(-1, 1),
+            Direction::West => GridVector::new(-1, 0),
+            Direction::SouthWest => GridVector::new(-1, -1),
+            Direction::South => GridVector::new(0, -1),
+            Direction::SouthEast => GridVector::new(1, -1),
+        }
+    }
+
+    /// Stable index of this direction in [`Direction::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::NorthEast => 1,
+            Direction::North => 2,
+            Direction::NorthWest => 3,
+            Direction::West => 4,
+            Direction::SouthWest => 5,
+            Direction::South => 6,
+            Direction::SouthEast => 7,
+        }
+    }
+
+    /// Inverse lookup of [`Direction::index`].
+    ///
+    /// Returns `None` when `i >= 8`.
+    #[inline]
+    pub fn from_index(i: usize) -> Option<Direction> {
+        Direction::ALL.get(i).copied()
+    }
+
+    /// The direction pointing the opposite way; applying a move and then its
+    /// opposite returns a unit to its original cell.
+    #[inline]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::NorthEast => Direction::SouthWest,
+            Direction::North => Direction::South,
+            Direction::NorthWest => Direction::SouthEast,
+            Direction::West => Direction::East,
+            Direction::SouthWest => Direction::NorthEast,
+            Direction::South => Direction::North,
+            Direction::SouthEast => Direction::NorthWest,
+        }
+    }
+
+    /// Whether the move is diagonal (Chebyshev step touching two axes).
+    #[inline]
+    pub const fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            Direction::NorthEast
+                | Direction::NorthWest
+                | Direction::SouthWest
+                | Direction::SouthEast
+        )
+    }
+
+    /// Mirrors the direction across the Y axis (x ↦ −x).
+    #[inline]
+    pub const fn mirror_y(self) -> Direction {
+        match self {
+            Direction::East => Direction::West,
+            Direction::NorthEast => Direction::NorthWest,
+            Direction::North => Direction::North,
+            Direction::NorthWest => Direction::NorthEast,
+            Direction::West => Direction::East,
+            Direction::SouthWest => Direction::SouthEast,
+            Direction::South => Direction::South,
+            Direction::SouthEast => Direction::SouthWest,
+        }
+    }
+
+    /// Mirrors the direction across the X axis (y ↦ −y).
+    #[inline]
+    pub const fn mirror_x(self) -> Direction {
+        match self {
+            Direction::East => Direction::East,
+            Direction::NorthEast => Direction::SouthEast,
+            Direction::North => Direction::South,
+            Direction::NorthWest => Direction::SouthWest,
+            Direction::West => Direction::West,
+            Direction::SouthWest => Direction::NorthWest,
+            Direction::South => Direction::North,
+            Direction::SouthEast => Direction::NorthEast,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::East => "E",
+            Direction::NorthEast => "NE",
+            Direction::North => "N",
+            Direction::NorthWest => "NW",
+            Direction::West => "W",
+            Direction::SouthWest => "SW",
+            Direction::South => "S",
+            Direction::SouthEast => "SE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GridPoint;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_covers_neighbors8_in_order() {
+        let p = GridPoint::new(10, 10);
+        let n8 = p.neighbors8();
+        for (i, d) in Direction::ALL.iter().enumerate() {
+            assert_eq!(p + d.vector(), n8[i], "direction {d} out of order");
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), Some(d));
+        }
+        assert_eq!(Direction::from_index(8), None);
+    }
+
+    #[test]
+    fn opposite_is_involutive_and_negates_vector() {
+        for d in Direction::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.opposite().vector(), -d.vector());
+        }
+    }
+
+    #[test]
+    fn cardinal_moves_are_not_diagonal() {
+        for d in Direction::CARDINAL {
+            assert!(!d.is_diagonal());
+            assert_eq!(d.vector().manhattan_len(), 1);
+        }
+        assert!(Direction::NorthEast.is_diagonal());
+    }
+
+    #[test]
+    fn mirrors_flip_the_right_component() {
+        for d in Direction::ALL {
+            let v = d.vector();
+            assert_eq!(d.mirror_y().vector(), crate::GridVector::new(-v.dx, v.dy));
+            assert_eq!(d.mirror_x().vector(), crate::GridVector::new(v.dx, -v.dy));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_move_then_opposite_is_identity(x in -500i32..500, y in -500i32..500, i in 0usize..8) {
+            let p = GridPoint::new(x, y);
+            let d = Direction::from_index(i).unwrap();
+            prop_assert_eq!(p + d.vector() + d.opposite().vector(), p);
+        }
+
+        #[test]
+        fn prop_mirror_y_is_involutive(i in 0usize..8) {
+            let d = Direction::from_index(i).unwrap();
+            prop_assert_eq!(d.mirror_y().mirror_y(), d);
+            prop_assert_eq!(d.mirror_x().mirror_x(), d);
+        }
+    }
+}

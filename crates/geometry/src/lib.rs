@@ -1,0 +1,44 @@
+//! Geometry primitives for grid-based analog placement.
+//!
+//! Analog placement in `breaksym` happens on a uniform *placement grid*:
+//! every device **unit** (one finger / one unit transistor) occupies exactly
+//! one grid cell. This crate provides the coordinate types shared by every
+//! other crate in the workspace:
+//!
+//! - [`GridPoint`] / [`GridVector`] — integer cell coordinates and offsets,
+//! - [`GridRect`] — half-open axis-aligned rectangles of cells,
+//! - [`Direction`] — the eight neighbour moves of the paper's action space
+//!   (Fig. 2b),
+//! - [`Micron`] and [`GridSpec`] — physical units and the mapping between
+//!   grid cells and microns,
+//! - [`Transform`] — the mirror/rotate operations used by symmetric layout
+//!   generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_geometry::{Direction, GridPoint, GridRect};
+//!
+//! let p = GridPoint::new(3, 4);
+//! let q = p + Direction::NorthEast.vector();
+//! assert_eq!(q, GridPoint::new(4, 5));
+//!
+//! let bounds = GridRect::from_size(8, 8);
+//! assert!(bounds.contains(q));
+//! assert_eq!(p.manhattan(q), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod direction;
+mod micron;
+mod point;
+mod rect;
+mod transform;
+
+pub use direction::Direction;
+pub use micron::{GridSpec, Micron};
+pub use point::{GridPoint, GridVector};
+pub use rect::GridRect;
+pub use transform::Transform;

@@ -1,0 +1,315 @@
+//! Physical units and the grid ↔ micron mapping.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GridPoint, GridRect};
+
+/// A physical length in microns.
+///
+/// A newtype over `f64` so physical lengths cannot be confused with grid
+/// indices or other dimensionless quantities.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::Micron;
+///
+/// let pitch = Micron::new(0.8);
+/// let run = pitch * 5.0;
+/// assert_eq!(run, Micron::new(4.0));
+/// assert!((run / pitch - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Micron(f64);
+
+impl Micron {
+    /// Zero length.
+    pub const ZERO: Micron = Micron(0.0);
+
+    /// Creates a length of `um` microns.
+    #[inline]
+    pub const fn new(um: f64) -> Self {
+        Micron(um)
+    }
+
+    /// The raw value in microns.
+    #[inline]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Micron {
+        Micron(self.0.abs())
+    }
+
+    /// Converts to meters (for parasitic formulas expressed in SI units).
+    #[inline]
+    pub fn to_meters(self) -> f64 {
+        self.0 * 1e-6
+    }
+}
+
+impl fmt::Display for Micron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} um", self.0)
+    }
+}
+
+impl Add for Micron {
+    type Output = Micron;
+    #[inline]
+    fn add(self, o: Micron) -> Micron {
+        Micron(self.0 + o.0)
+    }
+}
+
+impl Sub for Micron {
+    type Output = Micron;
+    #[inline]
+    fn sub(self, o: Micron) -> Micron {
+        Micron(self.0 - o.0)
+    }
+}
+
+impl Neg for Micron {
+    type Output = Micron;
+    #[inline]
+    fn neg(self) -> Micron {
+        Micron(-self.0)
+    }
+}
+
+impl Mul<f64> for Micron {
+    type Output = Micron;
+    #[inline]
+    fn mul(self, k: f64) -> Micron {
+        Micron(self.0 * k)
+    }
+}
+
+impl Div<f64> for Micron {
+    type Output = Micron;
+    #[inline]
+    fn div(self, k: f64) -> Micron {
+        Micron(self.0 / k)
+    }
+}
+
+impl Div for Micron {
+    type Output = f64;
+    #[inline]
+    fn div(self, o: Micron) -> f64 {
+        self.0 / o.0
+    }
+}
+
+/// The physical specification of a placement grid: how many cells it has and
+/// how large a cell is in silicon.
+///
+/// The LDE field models are defined over *normalized* die coordinates in
+/// `[0, 1]²`; `GridSpec` performs the cell → normalized/physical mapping.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::{GridPoint, GridSpec, Micron};
+///
+/// let spec = GridSpec::new(10, 10, Micron::new(1.0), Micron::new(2.0));
+/// let (x, y) = spec.cell_center_um(GridPoint::new(0, 0));
+/// assert_eq!((x.value(), y.value()), (0.5, 1.0));
+/// let (nx, ny) = spec.normalized(GridPoint::new(9, 9));
+/// assert!((nx - 0.95).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    cols: i32,
+    rows: i32,
+    pitch_x: Micron,
+    pitch_y: Micron,
+}
+
+impl GridSpec {
+    /// Creates a `cols × rows` grid with the given cell pitches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is not positive, or a pitch is not a
+    /// positive finite length.
+    pub fn new(cols: i32, rows: i32, pitch_x: Micron, pitch_y: Micron) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must be non-empty: {cols}x{rows}");
+        assert!(
+            pitch_x.value() > 0.0 && pitch_x.value().is_finite(),
+            "pitch_x must be positive and finite"
+        );
+        assert!(
+            pitch_y.value() > 0.0 && pitch_y.value().is_finite(),
+            "pitch_y must be positive and finite"
+        );
+        GridSpec { cols, rows, pitch_x, pitch_y }
+    }
+
+    /// A square grid with a 1 µm pitch — convenient for tests and examples.
+    pub fn square(side: i32) -> Self {
+        GridSpec::new(side, side, Micron::new(1.0), Micron::new(1.0))
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> i32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> i32 {
+        self.rows
+    }
+
+    /// Horizontal cell pitch.
+    #[inline]
+    pub fn pitch_x(&self) -> Micron {
+        self.pitch_x
+    }
+
+    /// Vertical cell pitch.
+    #[inline]
+    pub fn pitch_y(&self) -> Micron {
+        self.pitch_y
+    }
+
+    /// The grid's cell region as a rectangle anchored at the origin.
+    #[inline]
+    pub fn bounds(&self) -> GridRect {
+        GridRect::from_size(self.cols, self.rows)
+    }
+
+    /// Physical die extent.
+    pub fn die_size_um(&self) -> (Micron, Micron) {
+        (
+            self.pitch_x * f64::from(self.cols),
+            self.pitch_y * f64::from(self.rows),
+        )
+    }
+
+    /// Physical location of the center of cell `p` (the cell at the origin
+    /// has its center at half a pitch).
+    pub fn cell_center_um(&self, p: GridPoint) -> (Micron, Micron) {
+        (
+            self.pitch_x * (f64::from(p.x) + 0.5),
+            self.pitch_y * (f64::from(p.y) + 0.5),
+        )
+    }
+
+    /// Cell center in normalized die coordinates `[0, 1]²` (cells inside the
+    /// grid map strictly inside the unit square).
+    pub fn normalized(&self, p: GridPoint) -> (f64, f64) {
+        (
+            (f64::from(p.x) + 0.5) / f64::from(self.cols),
+            (f64::from(p.y) + 0.5) / f64::from(self.rows),
+        )
+    }
+
+    /// Physical area of `cells` grid cells, in µm².
+    pub fn cells_area_um2(&self, cells: u64) -> f64 {
+        cells as f64 * self.pitch_x.value() * self.pitch_y.value()
+    }
+
+    /// Physical Manhattan distance between two cell centers.
+    pub fn manhattan_um(&self, a: GridPoint, b: GridPoint) -> Micron {
+        let dx = self.pitch_x * f64::from(a.x.abs_diff(b.x) as i32);
+        let dy = self.pitch_y * f64::from(a.y.abs_diff(b.y) as i32);
+        dx + dy
+    }
+}
+
+impl Default for GridSpec {
+    /// A 16×16 grid at 1 µm pitch.
+    fn default() -> Self {
+        GridSpec::square(16)
+    }
+}
+
+impl fmt::Display for GridSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} grid @ {} x {}",
+            self.cols, self.rows, self.pitch_x, self.pitch_y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn micron_arithmetic() {
+        let a = Micron::new(2.5);
+        let b = Micron::new(1.5);
+        assert_eq!(a + b, Micron::new(4.0));
+        assert_eq!(a - b, Micron::new(1.0));
+        assert_eq!(-b, Micron::new(-1.5));
+        assert_eq!((a * 2.0).value(), 5.0);
+        assert_eq!((a / 2.5).value(), 1.0);
+        assert!((a / b - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Micron::new(-3.0).abs(), Micron::new(3.0));
+        assert!((Micron::new(2.0).to_meters() - 2e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn normalized_coordinates_stay_in_unit_square() {
+        let spec = GridSpec::square(7);
+        for p in spec.bounds().cells() {
+            let (nx, ny) = spec.normalized(p);
+            assert!(nx > 0.0 && nx < 1.0, "nx={nx}");
+            assert!(ny > 0.0 && ny < 1.0, "ny={ny}");
+        }
+    }
+
+    #[test]
+    fn die_size_and_area() {
+        let spec = GridSpec::new(10, 20, Micron::new(0.5), Micron::new(2.0));
+        let (w, h) = spec.die_size_um();
+        assert_eq!(w, Micron::new(5.0));
+        assert_eq!(h, Micron::new(40.0));
+        assert_eq!(spec.cells_area_um2(4), 4.0);
+    }
+
+    #[test]
+    fn manhattan_um_scales_with_pitch() {
+        let spec = GridSpec::new(10, 10, Micron::new(2.0), Micron::new(3.0));
+        let d = spec.manhattan_um(GridPoint::new(0, 0), GridPoint::new(2, 1));
+        assert_eq!(d, Micron::new(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_sized_grid_panics() {
+        let _ = GridSpec::new(0, 4, Micron::new(1.0), Micron::new(1.0));
+    }
+
+    #[test]
+    fn default_is_square_16() {
+        let spec = GridSpec::default();
+        assert_eq!((spec.cols(), spec.rows()), (16, 16));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cell_center_inside_die(side in 1i32..40, x in 0i32..40, y in 0i32..40) {
+            prop_assume!(x < side && y < side);
+            let spec = GridSpec::square(side);
+            let (cx, cy) = spec.cell_center_um(GridPoint::new(x, y));
+            let (w, h) = spec.die_size_um();
+            prop_assert!(cx.value() > 0.0 && cx.value() < w.value());
+            prop_assert!(cy.value() > 0.0 && cy.value() < h.value());
+        }
+    }
+}

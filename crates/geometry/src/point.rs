@@ -1,0 +1,308 @@
+//! Integer grid coordinates and displacement vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A cell coordinate on the placement grid.
+///
+/// `x` grows to the **east** (right), `y` grows to the **north** (up).
+/// Coordinates are signed so that transient off-grid positions produced by
+/// candidate moves can be represented and then rejected by legality checks.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::{GridPoint, GridVector};
+///
+/// let a = GridPoint::new(1, 2);
+/// let b = a + GridVector::new(3, -1);
+/// assert_eq!(b, GridPoint::new(4, 1));
+/// assert_eq!(b - a, GridVector::new(3, -1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Column index (grows east).
+    pub x: i32,
+    /// Row index (grows north).
+    pub y: i32,
+}
+
+/// A displacement between two [`GridPoint`]s.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct GridVector {
+    /// Horizontal component.
+    pub dx: i32,
+    /// Vertical component.
+    pub dy: i32,
+}
+
+impl GridPoint {
+    /// The origin cell `(0, 0)`.
+    pub const ORIGIN: GridPoint = GridPoint { x: 0, y: 0 };
+
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Self {
+        GridPoint { x, y }
+    }
+
+    /// Manhattan (L1) distance between two cells, in cell pitches.
+    ///
+    /// This is the wirelength metric used by the router's lower bound.
+    #[inline]
+    pub fn manhattan(self, other: GridPoint) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Chebyshev (L∞) distance: the number of king moves between two cells.
+    #[inline]
+    pub fn chebyshev(self, other: GridPoint) -> u32 {
+        self.x.abs_diff(other.x).max(self.y.abs_diff(other.y))
+    }
+
+    /// Squared Euclidean distance in cell pitches.
+    ///
+    /// Kept squared (exact integer) so callers can compare distances without
+    /// floating point; take a square root only at reporting boundaries.
+    #[inline]
+    pub fn distance_sq(self, other: GridPoint) -> u64 {
+        let dx = i64::from(self.x) - i64::from(other.x);
+        let dy = i64::from(self.y) - i64::from(other.y);
+        (dx * dx + dy * dy) as u64
+    }
+
+    /// The four edge-sharing neighbours (E, N, W, S), in that order.
+    ///
+    /// Used by the group-connectivity invariant: units of a group must form
+    /// a 4-connected region.
+    #[inline]
+    pub fn neighbors4(self) -> [GridPoint; 4] {
+        [
+            GridPoint::new(self.x + 1, self.y),
+            GridPoint::new(self.x, self.y + 1),
+            GridPoint::new(self.x - 1, self.y),
+            GridPoint::new(self.x, self.y - 1),
+        ]
+    }
+
+    /// The eight surrounding neighbours in counter-clockwise order starting
+    /// from east. These are the candidate targets of the paper's action
+    /// space (Fig. 2b).
+    #[inline]
+    pub fn neighbors8(self) -> [GridPoint; 8] {
+        [
+            GridPoint::new(self.x + 1, self.y),
+            GridPoint::new(self.x + 1, self.y + 1),
+            GridPoint::new(self.x, self.y + 1),
+            GridPoint::new(self.x - 1, self.y + 1),
+            GridPoint::new(self.x - 1, self.y),
+            GridPoint::new(self.x - 1, self.y - 1),
+            GridPoint::new(self.x, self.y - 1),
+            GridPoint::new(self.x + 1, self.y - 1),
+        ]
+    }
+
+    /// Whether `other` shares an edge with `self`.
+    #[inline]
+    pub fn is_adjacent4(self, other: GridPoint) -> bool {
+        self.manhattan(other) == 1
+    }
+}
+
+impl GridVector {
+    /// The zero displacement.
+    pub const ZERO: GridVector = GridVector { dx: 0, dy: 0 };
+
+    /// Creates a displacement of `(dx, dy)`.
+    #[inline]
+    pub const fn new(dx: i32, dy: i32) -> Self {
+        GridVector { dx, dy }
+    }
+
+    /// L1 norm of the displacement.
+    #[inline]
+    pub fn manhattan_len(self) -> u32 {
+        self.dx.unsigned_abs() + self.dy.unsigned_abs()
+    }
+}
+
+impl fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for GridVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+impl Add<GridVector> for GridPoint {
+    type Output = GridPoint;
+    #[inline]
+    fn add(self, v: GridVector) -> GridPoint {
+        GridPoint::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl AddAssign<GridVector> for GridPoint {
+    #[inline]
+    fn add_assign(&mut self, v: GridVector) {
+        self.x += v.dx;
+        self.y += v.dy;
+    }
+}
+
+impl Sub<GridVector> for GridPoint {
+    type Output = GridPoint;
+    #[inline]
+    fn sub(self, v: GridVector) -> GridPoint {
+        GridPoint::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl SubAssign<GridVector> for GridPoint {
+    #[inline]
+    fn sub_assign(&mut self, v: GridVector) {
+        self.x -= v.dx;
+        self.y -= v.dy;
+    }
+}
+
+impl Sub for GridPoint {
+    type Output = GridVector;
+    #[inline]
+    fn sub(self, other: GridPoint) -> GridVector {
+        GridVector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for GridVector {
+    type Output = GridVector;
+    #[inline]
+    fn add(self, other: GridVector) -> GridVector {
+        GridVector::new(self.dx + other.dx, self.dy + other.dy)
+    }
+}
+
+impl Sub for GridVector {
+    type Output = GridVector;
+    #[inline]
+    fn sub(self, other: GridVector) -> GridVector {
+        GridVector::new(self.dx - other.dx, self.dy - other.dy)
+    }
+}
+
+impl Neg for GridVector {
+    type Output = GridVector;
+    #[inline]
+    fn neg(self) -> GridVector {
+        GridVector::new(-self.dx, -self.dy)
+    }
+}
+
+impl From<(i32, i32)> for GridPoint {
+    fn from((x, y): (i32, i32)) -> Self {
+        GridPoint::new(x, y)
+    }
+}
+
+impl From<(i32, i32)> for GridVector {
+    fn from((dx, dy): (i32, i32)) -> Self {
+        GridVector::new(dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric_and_zero_on_self() {
+        let a = GridPoint::new(2, -3);
+        let b = GridPoint::new(-1, 4);
+        assert_eq!(a.manhattan(b), 10);
+        assert_eq!(b.manhattan(a), 10);
+        assert_eq!(a.manhattan(a), 0);
+    }
+
+    #[test]
+    fn chebyshev_counts_king_moves() {
+        let a = GridPoint::ORIGIN;
+        assert_eq!(a.chebyshev(GridPoint::new(3, 1)), 3);
+        assert_eq!(a.chebyshev(GridPoint::new(-2, -2)), 2);
+    }
+
+    #[test]
+    fn neighbors8_are_all_distinct_and_adjacent() {
+        let p = GridPoint::new(5, 5);
+        let n = p.neighbors8();
+        for (i, a) in n.iter().enumerate() {
+            assert_eq!(p.chebyshev(*a), 1);
+            for b in &n[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors4_are_the_manhattan_1_subset_of_neighbors8() {
+        let p = GridPoint::new(-2, 7);
+        let n8 = p.neighbors8();
+        for q in p.neighbors4() {
+            assert!(n8.contains(&q));
+            assert!(p.is_adjacent4(q));
+        }
+    }
+
+    #[test]
+    fn vector_arithmetic_round_trips() {
+        let a = GridPoint::new(3, 4);
+        let v = GridVector::new(-7, 2);
+        assert_eq!((a + v) - v, a);
+        assert_eq!((a + v) - a, v);
+        assert_eq!(a + GridVector::ZERO, a);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(GridPoint::new(1, -2).to_string(), "(1, -2)");
+        assert_eq!(GridVector::new(0, 3).to_string(), "<0, 3>");
+    }
+
+    fn arb_point() -> impl Strategy<Value = GridPoint> {
+        (-1000i32..1000, -1000i32..1000).prop_map(|(x, y)| GridPoint::new(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_manhattan_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+            prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        }
+
+        #[test]
+        fn prop_chebyshev_le_manhattan(a in arb_point(), b in arb_point()) {
+            prop_assert!(a.chebyshev(b) <= a.manhattan(b));
+            prop_assert!(a.manhattan(b) <= 2 * a.chebyshev(b));
+        }
+
+        #[test]
+        fn prop_add_sub_inverse(a in arb_point(), dx in -100i32..100, dy in -100i32..100) {
+            let v = GridVector::new(dx, dy);
+            prop_assert_eq!((a + v) - v, a);
+            prop_assert_eq!(a + v - a, v);
+        }
+
+        #[test]
+        fn prop_distance_sq_matches_manhattan_on_axes(a in arb_point(), d in -100i32..100) {
+            let b = GridPoint::new(a.x + d, a.y);
+            prop_assert_eq!(a.distance_sq(b), u64::from(a.manhattan(b)) * u64::from(a.manhattan(b)));
+        }
+    }
+}

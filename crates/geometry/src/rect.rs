@@ -1,0 +1,354 @@
+//! Half-open axis-aligned rectangles of grid cells.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::GridPoint;
+
+/// An axis-aligned rectangle of grid cells, **half-open** on the high edges:
+/// a cell `(x, y)` is inside iff `x0 <= x < x1` and `y0 <= y < y1`.
+///
+/// Used for placement-region bounds, group bounding boxes, and area
+/// accounting.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::{GridPoint, GridRect};
+///
+/// let r = GridRect::new(GridPoint::new(0, 0), GridPoint::new(4, 3));
+/// assert_eq!(r.width(), 4);
+/// assert_eq!(r.height(), 3);
+/// assert_eq!(r.area(), 12);
+/// assert!(r.contains(GridPoint::new(3, 2)));
+/// assert!(!r.contains(GridPoint::new(4, 2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridRect {
+    min: GridPoint,
+    max: GridPoint,
+}
+
+impl GridRect {
+    /// Creates a rectangle from an inclusive low corner and exclusive high
+    /// corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max.x < min.x` or `max.y < min.y` (empty rectangles with
+    /// `max == min` are allowed).
+    pub fn new(min: GridPoint, max: GridPoint) -> Self {
+        assert!(
+            max.x >= min.x && max.y >= min.y,
+            "invalid rectangle corners: min={min}, max={max}"
+        );
+        GridRect { min, max }
+    }
+
+    /// A `w × h` rectangle anchored at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `h` is negative.
+    pub fn from_size(w: i32, h: i32) -> Self {
+        assert!(w >= 0 && h >= 0, "negative rectangle size {w}x{h}");
+        GridRect::new(GridPoint::ORIGIN, GridPoint::new(w, h))
+    }
+
+    /// The tightest rectangle covering every point in `points`.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn bounding<I: IntoIterator<Item = GridPoint>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (mut lo, mut hi) = (first, first);
+        for p in it {
+            lo.x = lo.x.min(p.x);
+            lo.y = lo.y.min(p.y);
+            hi.x = hi.x.max(p.x);
+            hi.y = hi.y.max(p.y);
+        }
+        Some(GridRect::new(lo, GridPoint::new(hi.x + 1, hi.y + 1)))
+    }
+
+    /// Inclusive low corner.
+    #[inline]
+    pub fn min(&self) -> GridPoint {
+        self.min
+    }
+
+    /// Exclusive high corner.
+    #[inline]
+    pub fn max(&self) -> GridPoint {
+        self.max
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.max.x - self.min.x
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.max.y - self.min.y
+    }
+
+    /// Number of cells covered.
+    #[inline]
+    pub fn area(&self) -> u64 {
+        self.width() as u64 * self.height() as u64
+    }
+
+    /// Whether the rectangle covers no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Half-perimeter of the rectangle — the HPWL contribution of a net
+    /// whose pins have this bounding box.
+    ///
+    /// Measured between cell centers, hence `(w − 1) + (h − 1)` for a
+    /// non-empty box and `0` for an empty one.
+    #[inline]
+    pub fn half_perimeter(&self) -> u32 {
+        if self.is_empty() {
+            0
+        } else {
+            (self.width() - 1) as u32 + (self.height() - 1) as u32
+        }
+    }
+
+    /// Whether `p` lies inside the rectangle.
+    #[inline]
+    pub fn contains(&self, p: GridPoint) -> bool {
+        p.x >= self.min.x && p.x < self.max.x && p.y >= self.min.y && p.y < self.max.y
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    #[inline]
+    pub fn contains_rect(&self, other: &GridRect) -> bool {
+        other.is_empty()
+            || (other.min.x >= self.min.x
+                && other.min.y >= self.min.y
+                && other.max.x <= self.max.x
+                && other.max.y <= self.max.y)
+    }
+
+    /// Whether the two rectangles share at least one cell (hence always
+    /// `false` when either is empty).
+    #[inline]
+    pub fn intersects(&self, other: &GridRect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.min.x < other.max.x
+            && other.min.x < self.max.x
+            && self.min.y < other.max.y
+            && other.min.y < self.max.y
+    }
+
+    /// The smallest rectangle covering both.
+    pub fn union(&self, other: &GridRect) -> GridRect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        GridRect::new(
+            GridPoint::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            GridPoint::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        )
+    }
+
+    /// The overlap of both rectangles, or `None` if they are disjoint.
+    pub fn intersection(&self, other: &GridRect) -> Option<GridRect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(GridRect::new(
+            GridPoint::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            GridPoint::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        ))
+    }
+
+    /// Geometric center in continuous coordinates (cell-center convention).
+    ///
+    /// A 1×1 rectangle at the origin has center `(0.0, 0.0)`.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            f64::from(self.min.x) + (f64::from(self.width()) - 1.0) / 2.0,
+            f64::from(self.min.y) + (f64::from(self.height()) - 1.0) / 2.0,
+        )
+    }
+
+    /// Iterates over every cell of the rectangle row-major (y outer, x
+    /// inner), a deterministic order relied on by placement initialisation.
+    pub fn cells(&self) -> Cells {
+        Cells {
+            rect: *self,
+            next: if self.is_empty() { None } else { Some(self.min) },
+        }
+    }
+}
+
+impl fmt::Display for GridRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{})", self.min, self.max)
+    }
+}
+
+/// Iterator over the cells of a [`GridRect`], produced by [`GridRect::cells`].
+#[derive(Debug, Clone)]
+pub struct Cells {
+    rect: GridRect,
+    next: Option<GridPoint>,
+}
+
+impl Iterator for Cells {
+    type Item = GridPoint;
+
+    fn next(&mut self) -> Option<GridPoint> {
+        let cur = self.next?;
+        let mut nxt = GridPoint::new(cur.x + 1, cur.y);
+        if nxt.x >= self.rect.max.x {
+            nxt = GridPoint::new(self.rect.min.x, cur.y + 1);
+        }
+        self.next = if nxt.y >= self.rect.max.y { None } else { Some(nxt) };
+        Some(cur)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = match self.next {
+            None => 0,
+            Some(p) => {
+                let full_rows = (self.rect.max.y - p.y - 1) as usize * self.rect.width() as usize;
+                full_rows + (self.rect.max.x - p.x) as usize
+            }
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Cells {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bounding_box_of_points() {
+        let pts = [
+            GridPoint::new(2, 3),
+            GridPoint::new(-1, 0),
+            GridPoint::new(4, 1),
+        ];
+        let r = GridRect::bounding(pts).unwrap();
+        assert_eq!(r.min(), GridPoint::new(-1, 0));
+        assert_eq!(r.max(), GridPoint::new(5, 4));
+        for p in pts {
+            assert!(r.contains(p));
+        }
+        assert!(GridRect::bounding(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn half_perimeter_matches_hpwl_convention() {
+        let r = GridRect::bounding([GridPoint::new(0, 0), GridPoint::new(3, 2)]).unwrap();
+        assert_eq!(r.half_perimeter(), 3 + 2);
+        let single = GridRect::bounding([GridPoint::new(5, 5)]).unwrap();
+        assert_eq!(single.half_perimeter(), 0);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = GridRect::from_size(4, 4);
+        let b = GridRect::new(GridPoint::new(2, 2), GridPoint::new(6, 6));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, GridRect::new(GridPoint::new(2, 2), GridPoint::new(4, 4)));
+        let u = a.union(&b);
+        assert_eq!(u, GridRect::new(GridPoint::new(0, 0), GridPoint::new(6, 6)));
+        let far = GridRect::new(GridPoint::new(10, 10), GridPoint::new(11, 11));
+        assert!(a.intersection(&far).is_none());
+        assert!(!a.intersects(&far));
+    }
+
+    #[test]
+    fn cells_iterates_row_major_exactly_area_times() {
+        let r = GridRect::new(GridPoint::new(1, 1), GridPoint::new(4, 3));
+        let cells: Vec<_> = r.cells().collect();
+        assert_eq!(cells.len() as u64, r.area());
+        assert_eq!(cells[0], GridPoint::new(1, 1));
+        assert_eq!(cells[1], GridPoint::new(2, 1));
+        assert_eq!(cells[3], GridPoint::new(1, 2));
+        assert_eq!(*cells.last().unwrap(), GridPoint::new(3, 2));
+        assert_eq!(r.cells().len(), 6);
+    }
+
+    #[test]
+    fn empty_rect_behaves() {
+        let e = GridRect::from_size(0, 5);
+        assert!(e.is_empty());
+        assert_eq!(e.area(), 0);
+        assert_eq!(e.cells().count(), 0);
+        assert_eq!(e.half_perimeter(), 0);
+        let a = GridRect::from_size(3, 3);
+        assert!(a.contains_rect(&e));
+    }
+
+    #[test]
+    fn center_uses_cell_center_convention() {
+        let r = GridRect::from_size(1, 1);
+        assert_eq!(r.center(), (0.0, 0.0));
+        let r2 = GridRect::from_size(3, 2);
+        assert_eq!(r2.center(), (1.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rectangle")]
+    fn inverted_corners_panic() {
+        let _ = GridRect::new(GridPoint::new(2, 2), GridPoint::new(1, 3));
+    }
+
+    fn arb_rect() -> impl Strategy<Value = GridRect> {
+        (-50i32..50, -50i32..50, 0i32..30, 0i32..30).prop_map(|(x, y, w, h)| {
+            GridRect::new(GridPoint::new(x, y), GridPoint::new(x + w, y + h))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_union_contains_both(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn prop_intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+                prop_assert!(!i.is_empty());
+            } else {
+                prop_assert!(!a.intersects(&b));
+            }
+        }
+
+        #[test]
+        fn prop_cells_count_equals_area(r in arb_rect()) {
+            prop_assert_eq!(r.cells().count() as u64, r.area());
+        }
+
+        #[test]
+        fn prop_contains_iff_in_cells(r in arb_rect(), x in -60i32..60, y in -60i32..60) {
+            let p = GridPoint::new(x, y);
+            let in_cells = r.cells().any(|c| c == p);
+            prop_assert_eq!(r.contains(p), in_cells);
+        }
+    }
+}

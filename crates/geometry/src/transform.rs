@@ -1,0 +1,252 @@
+//! Mirror/rotation transforms used by symmetric layout generators.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GridPoint, GridRect};
+
+/// A rigid transform of the grid used when constructing symmetric layouts:
+/// identity, mirror across a vertical axis, mirror across a horizontal axis,
+/// or a 180° rotation about a point.
+///
+/// Axes are expressed in **doubled coordinates** so that mirror axes can run
+/// either *through* a column of cells or *between* two columns: the vertical
+/// axis `x = a/2` is stored as the integer `a`. Mirroring cell `x` across it
+/// yields `a − x`.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::{GridPoint, Transform};
+///
+/// // Axis between columns 3 and 4 (x = 3.5 → doubled 7):
+/// let m = Transform::mirror_y_doubled(7);
+/// assert_eq!(m.apply(GridPoint::new(3, 0)), GridPoint::new(4, 0));
+/// assert_eq!(m.apply(GridPoint::new(0, 2)), GridPoint::new(7, 2));
+/// // Involutive:
+/// let p = GridPoint::new(1, 5);
+/// assert_eq!(m.apply(m.apply(p)), p);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transform {
+    /// Leave points unchanged.
+    #[default]
+    Identity,
+    /// Mirror across the vertical line `x = a/2` (doubled coordinate `a`).
+    MirrorY {
+        /// Doubled x-coordinate of the mirror axis.
+        axis2: i32,
+    },
+    /// Mirror across the horizontal line `y = a/2` (doubled coordinate `a`).
+    MirrorX {
+        /// Doubled y-coordinate of the mirror axis.
+        axis2: i32,
+    },
+    /// Rotate 180° about the point `(cx/2, cy/2)` (doubled coordinates).
+    Rotate180 {
+        /// Doubled x-coordinate of the rotation center.
+        cx2: i32,
+        /// Doubled y-coordinate of the rotation center.
+        cy2: i32,
+    },
+}
+
+impl Transform {
+    /// Mirror across the vertical axis with doubled coordinate `axis2`
+    /// (i.e. the physical line `x = axis2 / 2`).
+    pub const fn mirror_y_doubled(axis2: i32) -> Self {
+        Transform::MirrorY { axis2 }
+    }
+
+    /// Mirror across the horizontal axis with doubled coordinate `axis2`.
+    pub const fn mirror_x_doubled(axis2: i32) -> Self {
+        Transform::MirrorX { axis2 }
+    }
+
+    /// Mirror across the vertical center line of `bounds`.
+    pub fn mirror_y_of(bounds: &GridRect) -> Self {
+        Transform::MirrorY { axis2: bounds.min().x + bounds.max().x - 1 }
+    }
+
+    /// Mirror across the horizontal center line of `bounds`.
+    pub fn mirror_x_of(bounds: &GridRect) -> Self {
+        Transform::MirrorX { axis2: bounds.min().y + bounds.max().y - 1 }
+    }
+
+    /// 180° rotation about the center of `bounds`.
+    pub fn rotate180_of(bounds: &GridRect) -> Self {
+        Transform::Rotate180 {
+            cx2: bounds.min().x + bounds.max().x - 1,
+            cy2: bounds.min().y + bounds.max().y - 1,
+        }
+    }
+
+    /// Applies the transform to a cell.
+    #[inline]
+    pub fn apply(&self, p: GridPoint) -> GridPoint {
+        match *self {
+            Transform::Identity => p,
+            Transform::MirrorY { axis2 } => GridPoint::new(axis2 - p.x, p.y),
+            Transform::MirrorX { axis2 } => GridPoint::new(p.x, axis2 - p.y),
+            Transform::Rotate180 { cx2, cy2 } => GridPoint::new(cx2 - p.x, cy2 - p.y),
+        }
+    }
+
+    /// Whether the transform maps every cell of `bounds` back into `bounds`.
+    pub fn preserves(&self, bounds: &GridRect) -> bool {
+        if bounds.is_empty() {
+            return true;
+        }
+        let corners = [
+            bounds.min(),
+            GridPoint::new(bounds.max().x - 1, bounds.min().y),
+            GridPoint::new(bounds.min().x, bounds.max().y - 1),
+            GridPoint::new(bounds.max().x - 1, bounds.max().y - 1),
+        ];
+        corners.iter().all(|&c| bounds.contains(self.apply(c)))
+    }
+
+    /// Composition `self ∘ other` restricted to the mirror/rotation group
+    /// (the Klein four-group when axes coincide). Returns `None` when the
+    /// composition leaves the representable set (e.g. two mirrors across
+    /// *different parallel* axes compose to a translation).
+    pub fn compose(&self, other: &Transform) -> Option<Transform> {
+        use Transform::*;
+        Some(match (*self, *other) {
+            (Identity, t) | (t, Identity) => t,
+            (MirrorY { axis2: a }, MirrorY { axis2: b }) if a == b => Identity,
+            (MirrorX { axis2: a }, MirrorX { axis2: b }) if a == b => Identity,
+            (MirrorY { axis2: a }, MirrorX { axis2: b })
+            | (MirrorX { axis2: b }, MirrorY { axis2: a }) => Rotate180 { cx2: a, cy2: b },
+            (Rotate180 { cx2, cy2 }, MirrorY { axis2 }) | (MirrorY { axis2 }, Rotate180 { cx2, cy2 })
+                if cx2 == axis2 =>
+            {
+                MirrorX { axis2: cy2 }
+            }
+            (Rotate180 { cx2, cy2 }, MirrorX { axis2 }) | (MirrorX { axis2 }, Rotate180 { cx2, cy2 })
+                if cy2 == axis2 =>
+            {
+                MirrorY { axis2: cx2 }
+            }
+            (Rotate180 { cx2: a, cy2: b }, Rotate180 { cx2: c, cy2: d }) if a == c && b == d => {
+                Identity
+            }
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Identity => write!(f, "id"),
+            Transform::MirrorY { axis2 } => write!(f, "mirror-y @ x={}", *axis2 as f64 / 2.0),
+            Transform::MirrorX { axis2 } => write!(f, "mirror-x @ y={}", *axis2 as f64 / 2.0),
+            Transform::Rotate180 { cx2, cy2 } => {
+                write!(f, "rot180 @ ({}, {})", *cx2 as f64 / 2.0, *cy2 as f64 / 2.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mirror_of_bounds_preserves_bounds() {
+        let b = GridRect::from_size(8, 5);
+        for t in [
+            Transform::mirror_y_of(&b),
+            Transform::mirror_x_of(&b),
+            Transform::rotate180_of(&b),
+            Transform::Identity,
+        ] {
+            assert!(t.preserves(&b), "{t} must preserve {b}");
+            for p in b.cells() {
+                assert!(b.contains(t.apply(p)));
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_y_of_even_width_swaps_halves() {
+        let b = GridRect::from_size(4, 1);
+        let m = Transform::mirror_y_of(&b);
+        assert_eq!(m.apply(GridPoint::new(0, 0)), GridPoint::new(3, 0));
+        assert_eq!(m.apply(GridPoint::new(1, 0)), GridPoint::new(2, 0));
+    }
+
+    #[test]
+    fn mirror_y_of_odd_width_fixes_center_column() {
+        let b = GridRect::from_size(5, 1);
+        let m = Transform::mirror_y_of(&b);
+        assert_eq!(m.apply(GridPoint::new(2, 0)), GridPoint::new(2, 0));
+        assert_eq!(m.apply(GridPoint::new(0, 0)), GridPoint::new(4, 0));
+    }
+
+    #[test]
+    fn compose_mirrors_gives_rotation() {
+        let b = GridRect::from_size(6, 6);
+        let my = Transform::mirror_y_of(&b);
+        let mx = Transform::mirror_x_of(&b);
+        let r = my.compose(&mx).unwrap();
+        assert_eq!(r, Transform::rotate180_of(&b));
+        assert_eq!(my.compose(&my).unwrap(), Transform::Identity);
+        assert_eq!(r.compose(&r).unwrap(), Transform::Identity);
+    }
+
+    #[test]
+    fn compose_parallel_distinct_mirrors_is_unrepresentable() {
+        let a = Transform::mirror_y_doubled(3);
+        let b = Transform::mirror_y_doubled(5);
+        assert_eq!(a.compose(&b), None);
+    }
+
+    #[test]
+    fn default_is_identity() {
+        assert_eq!(Transform::default().apply(GridPoint::new(9, -4)), GridPoint::new(9, -4));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mirrors_are_involutive(
+            axis2 in -40i32..40,
+            x in -20i32..20,
+            y in -20i32..20,
+        ) {
+            let p = GridPoint::new(x, y);
+            for t in [
+                Transform::mirror_y_doubled(axis2),
+                Transform::mirror_x_doubled(axis2),
+                Transform::Rotate180 { cx2: axis2, cy2: axis2 + 1 },
+            ] {
+                prop_assert_eq!(t.apply(t.apply(p)), p);
+            }
+        }
+
+        #[test]
+        fn prop_compose_agrees_with_sequential_application(
+            w in 1i32..12, h in 1i32..12, x in 0i32..12, y in 0i32..12,
+        ) {
+            prop_assume!(x < w && y < h);
+            let b = GridRect::from_size(w, h);
+            let p = GridPoint::new(x, y);
+            let ts = [
+                Transform::Identity,
+                Transform::mirror_y_of(&b),
+                Transform::mirror_x_of(&b),
+                Transform::rotate180_of(&b),
+            ];
+            for a in ts {
+                for c in ts {
+                    if let Some(comp) = a.compose(&c) {
+                        prop_assert_eq!(comp.apply(p), a.apply(c.apply(p)));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! ASCII rendering of placements, for examples and debugging.
+
+use crate::LayoutEnv;
+
+impl LayoutEnv {
+    /// Renders the grid as ASCII art: one letter per group (`A`, `B`, …,
+    /// wrapping after `Z`), `#` for dummy fill, `.` for vacant cells. Row
+    /// `y = rows-1` prints first so north is up.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use breaksym_geometry::GridSpec;
+    /// use breaksym_layout::LayoutEnv;
+    /// use breaksym_netlist::circuits;
+    ///
+    /// let env = LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8))?;
+    /// let art = env.render_ascii();
+    /// assert!(art.contains('A'));
+    /// assert!(art.contains('C'));
+    /// # Ok::<(), breaksym_layout::LayoutError>(())
+    /// ```
+    pub fn render_ascii(&self) -> String {
+        let spec = self.spec();
+        let mut out = String::with_capacity(((spec.cols() + 1) * spec.rows()) as usize);
+        for y in (0..spec.rows()).rev() {
+            for x in 0..spec.cols() {
+                let p = breaksym_geometry::GridPoint::new(x, y);
+                let ch = if let Some(u) = self.placement().unit_at(p) {
+                    let g = self.circuit().group_of_unit(u);
+                    char::from(b'A' + (g.index() % 26) as u8)
+                } else if self.placement().dummies().contains(&p) {
+                    '#'
+                } else {
+                    '.'
+                };
+                out.push(ch);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+
+    use crate::LayoutEnv;
+
+    #[test]
+    fn render_has_grid_dimensions() {
+        let env = LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
+        let art = env.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.len() == 8));
+        // 12 units → 12 letters.
+        let letters = art.chars().filter(|c| c.is_ascii_uppercase()).count();
+        assert_eq!(letters, 12);
+    }
+
+    #[test]
+    fn dummies_render_as_hash() {
+        let mut env =
+            LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
+        let mut placement = env.placement().clone();
+        placement
+            .set_dummies(vec![breaksym_geometry::GridPoint::new(7, 7)])
+            .unwrap();
+        env.set_placement(placement).unwrap();
+        assert!(env.render_ascii().contains('#'));
+    }
+}

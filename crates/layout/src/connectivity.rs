@@ -1,0 +1,121 @@
+//! 4-connectivity checks for group regions.
+
+use std::collections::HashSet;
+
+use breaksym_geometry::GridPoint;
+
+/// Whether `cells` form a single 4-connected region.
+///
+/// The empty set and singletons are connected by convention. Runs a BFS
+/// over edge-sharing neighbours; `O(n)` with a hash set.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::GridPoint;
+/// use breaksym_layout::is_connected4;
+///
+/// let l_shape = [
+///     GridPoint::new(0, 0),
+///     GridPoint::new(0, 1),
+///     GridPoint::new(1, 0),
+/// ];
+/// assert!(is_connected4(&l_shape));
+///
+/// let diagonal = [GridPoint::new(0, 0), GridPoint::new(1, 1)];
+/// assert!(!is_connected4(&diagonal)); // corners do not connect
+/// ```
+pub fn is_connected4(cells: &[GridPoint]) -> bool {
+    if cells.len() <= 1 {
+        return true;
+    }
+    let set: HashSet<GridPoint> = cells.iter().copied().collect();
+    let mut seen = HashSet::with_capacity(set.len());
+    let mut stack = vec![cells[0]];
+    seen.insert(cells[0]);
+    while let Some(p) = stack.pop() {
+        for q in p.neighbors4() {
+            if set.contains(&q) && seen.insert(q) {
+                stack.push(q);
+            }
+        }
+    }
+    seen.len() == set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pts(coords: &[(i32, i32)]) -> Vec<GridPoint> {
+        coords.iter().map(|&(x, y)| GridPoint::new(x, y)).collect()
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected4(&[]));
+        assert!(is_connected4(&[GridPoint::new(7, -1)]));
+    }
+
+    #[test]
+    fn row_and_column_are_connected() {
+        assert!(is_connected4(&pts(&[(0, 0), (1, 0), (2, 0), (3, 0)])));
+        assert!(is_connected4(&pts(&[(5, 2), (5, 3), (5, 4)])));
+    }
+
+    #[test]
+    fn gap_disconnects() {
+        assert!(!is_connected4(&pts(&[(0, 0), (2, 0)])));
+        assert!(!is_connected4(&pts(&[(0, 0), (1, 0), (3, 0)])));
+    }
+
+    #[test]
+    fn u_shape_is_connected() {
+        // ██.██
+        // █████
+        assert!(is_connected4(&pts(&[
+            (0, 1),
+            (1, 1),
+            (3, 1),
+            (4, 1),
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 0),
+        ])));
+    }
+
+    proptest! {
+        /// Any prefix-order "snake" built by repeatedly extending from an
+        /// existing cell is connected.
+        #[test]
+        fn prop_grown_region_is_connected(steps in proptest::collection::vec(0usize..4, 1..40)) {
+            let mut cells = vec![GridPoint::ORIGIN];
+            for (i, s) in steps.iter().enumerate() {
+                let base = cells[i % cells.len()];
+                let next = base.neighbors4()[*s];
+                if !cells.contains(&next) {
+                    cells.push(next);
+                }
+            }
+            prop_assert!(is_connected4(&cells));
+        }
+
+        /// Adding a far-away cell disconnects any finite region.
+        #[test]
+        fn prop_remote_cell_disconnects(steps in proptest::collection::vec(0usize..4, 1..20)) {
+            let mut cells = vec![GridPoint::ORIGIN];
+            for (i, s) in steps.iter().enumerate() {
+                let base = cells[i % cells.len()];
+                let next = base.neighbors4()[*s];
+                if !cells.contains(&next) {
+                    cells.push(next);
+                }
+            }
+            cells.push(GridPoint::new(1000, 1000));
+            prop_assert!(!is_connected4(&cells));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type for placement operations.
+
+use std::error::Error;
+use std::fmt;
+
+use breaksym_geometry::GridPoint;
+use breaksym_netlist::{GroupId, UnitId};
+
+/// Errors produced by placement construction and moves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A cell outside the grid bounds was targeted.
+    OutOfBounds {
+        /// The offending cell.
+        cell: GridPoint,
+    },
+    /// A move targeted a cell that is already occupied.
+    Occupied {
+        /// The contested cell.
+        cell: GridPoint,
+        /// The unit already there, or `None` for a dummy fill cell.
+        by: Option<UnitId>,
+    },
+    /// A move would break a group's 4-connectivity invariant.
+    DisconnectsGroup {
+        /// The group that would split.
+        group: GroupId,
+    },
+    /// Two units were assigned the same cell at construction.
+    DuplicateCell {
+        /// The doubly-assigned cell.
+        cell: GridPoint,
+    },
+    /// The placement has a different number of positions than the circuit
+    /// has units.
+    WrongUnitCount {
+        /// Positions supplied.
+        got: usize,
+        /// Units required.
+        expected: usize,
+    },
+    /// The grid is too small to fit the circuit.
+    GridTooSmall {
+        /// Cells available.
+        capacity: u64,
+        /// Cells needed.
+        needed: u64,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::OutOfBounds { cell } => write!(f, "cell {cell} is out of bounds"),
+            LayoutError::Occupied { cell, by: Some(u) } => {
+                write!(f, "cell {cell} is occupied by unit {u}")
+            }
+            LayoutError::Occupied { cell, by: None } => {
+                write!(f, "cell {cell} is occupied by a dummy")
+            }
+            LayoutError::DisconnectsGroup { group } => {
+                write!(f, "move would disconnect group {group}")
+            }
+            LayoutError::DuplicateCell { cell } => {
+                write!(f, "two units assigned to the same cell {cell}")
+            }
+            LayoutError::WrongUnitCount { got, expected } => {
+                write!(f, "placement has {got} positions but the circuit has {expected} units")
+            }
+            LayoutError::GridTooSmall { capacity, needed } => {
+                write!(f, "grid has {capacity} cells but the circuit needs {needed}")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LayoutError::OutOfBounds { cell: GridPoint::new(9, 9) };
+        assert!(e.to_string().contains("out of bounds"));
+        let e = LayoutError::Occupied { cell: GridPoint::ORIGIN, by: Some(UnitId::new(3)) };
+        assert!(e.to_string().contains("u3"));
+        let e = LayoutError::Occupied { cell: GridPoint::ORIGIN, by: None };
+        assert!(e.to_string().contains("dummy"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<LayoutError>();
+    }
+}

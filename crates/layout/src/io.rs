@@ -1,0 +1,165 @@
+//! A plain-text placement interchange format (`.plc`), so optimised
+//! layouts can be saved, diffed, and reloaded without JSON tooling.
+//!
+//! ```text
+//! # breaksym placement v1
+//! grid 16 16 1.0 1.0      ; cols rows pitch_x_um pitch_y_um
+//! unit 0 3 4              ; unit-id x y
+//! dummy 5 5               ; dummy fill cell
+//! ```
+
+use breaksym_geometry::{GridPoint, GridSpec, Micron};
+use breaksym_netlist::Circuit;
+
+use crate::{LayoutEnv, LayoutError, Placement};
+
+/// Serialises the environment's grid and placement as `.plc` text.
+pub fn write_placement(env: &LayoutEnv) -> String {
+    use std::fmt::Write as _;
+    let spec = env.spec();
+    let mut out = String::from("# breaksym placement v1\n");
+    let _ = writeln!(
+        out,
+        "grid {} {} {} {}",
+        spec.cols(),
+        spec.rows(),
+        spec.pitch_x().value(),
+        spec.pitch_y().value()
+    );
+    for (i, p) in env.placement().positions().iter().enumerate() {
+        let _ = writeln!(out, "unit {i} {} {}", p.x, p.y);
+    }
+    for d in env.placement().dummies() {
+        let _ = writeln!(out, "dummy {} {}", d.x, d.y);
+    }
+    out
+}
+
+/// Parses `.plc` text back into a validated environment over `circuit`.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::WrongUnitCount`] when the file does not cover
+/// every unit exactly once, and any validation error of
+/// [`LayoutEnv::new`]. Syntax problems surface as `WrongUnitCount` (a
+/// malformed line simply fails to assign its unit).
+pub fn parse_placement(circuit: Circuit, text: &str) -> Result<LayoutEnv, LayoutError> {
+    let mut spec: Option<GridSpec> = None;
+    let num_units = circuit.num_units();
+    let mut positions: Vec<Option<GridPoint>> = vec![None; num_units];
+    let mut dummies = Vec::new();
+
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("grid") => {
+                let nums: Vec<f64> = toks.filter_map(|t| t.parse().ok()).collect();
+                if nums.len() == 4 && nums[0] >= 1.0 && nums[1] >= 1.0 {
+                    spec = Some(GridSpec::new(
+                        nums[0] as i32,
+                        nums[1] as i32,
+                        Micron::new(nums[2]),
+                        Micron::new(nums[3]),
+                    ));
+                }
+            }
+            Some("unit") => {
+                let nums: Vec<i64> = toks.filter_map(|t| t.parse().ok()).collect();
+                if let [id, x, y] = nums[..] {
+                    if let Some(slot) = positions.get_mut(id as usize) {
+                        *slot = Some(GridPoint::new(x as i32, y as i32));
+                    }
+                }
+            }
+            Some("dummy") => {
+                let nums: Vec<i64> = toks.filter_map(|t| t.parse().ok()).collect();
+                if let [x, y] = nums[..] {
+                    dummies.push(GridPoint::new(x as i32, y as i32));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let assigned: Option<Vec<GridPoint>> = positions.into_iter().collect();
+    let Some(assigned) = assigned else {
+        return Err(LayoutError::WrongUnitCount { got: 0, expected: num_units });
+    };
+    let spec = spec.unwrap_or_default();
+    let mut placement = Placement::from_positions(assigned)?;
+    placement.set_dummies(dummies)?;
+    LayoutEnv::new(circuit, spec, placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn round_trips_a_placement_with_dummies() {
+        let mut env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12)).unwrap();
+        let mut p = env.placement().clone();
+        p.set_dummies(vec![GridPoint::new(11, 11), GridPoint::new(10, 11)]).unwrap();
+        env.set_placement(p).unwrap();
+
+        let text = write_placement(&env);
+        let back = parse_placement(env.circuit().clone(), &text).unwrap();
+        assert_eq!(back.placement(), env.placement());
+        assert_eq!(back.spec(), env.spec());
+        assert_eq!(back.state_key(), env.state_key());
+    }
+
+    #[test]
+    fn comments_and_noise_are_ignored() {
+        let env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut text = String::from("# header\n; lone comment\nnonsense line\n");
+        text.push_str(&write_placement(&env));
+        text.push_str("# trailing\n");
+        let back = parse_placement(env.circuit().clone(), &text).unwrap();
+        assert_eq!(back.placement(), env.placement());
+    }
+
+    #[test]
+    fn missing_units_are_rejected() {
+        let env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let text = write_placement(&env);
+        // Drop one `unit` line.
+        let partial: String = text
+            .lines()
+            .filter(|l| !l.starts_with("unit 3 "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(matches!(
+            parse_placement(env.circuit().clone(), &partial),
+            Err(LayoutError::WrongUnitCount { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_units_are_rejected_by_validation() {
+        let env =
+            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let text = write_placement(&env).replace("unit 1 1 0", "unit 1 0 0");
+        assert!(parse_placement(env.circuit().clone(), &text).is_err());
+    }
+
+    #[test]
+    fn missing_grid_falls_back_to_default_spec() {
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::default()).unwrap();
+        let text: String = write_placement(&env)
+            .lines()
+            .filter(|l| !l.starts_with("grid"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = parse_placement(env.circuit().clone(), &text).unwrap();
+        assert_eq!(back.spec(), &GridSpec::default());
+    }
+}

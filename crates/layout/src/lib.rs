@@ -1,0 +1,48 @@
+//! The placement-grid environment the agents interact with.
+//!
+//! A [`Placement`] assigns every circuit unit to a distinct grid cell; a
+//! [`LayoutEnv`] wraps a placement together with its [`Circuit`] and
+//! [`GridSpec`] and exposes the paper's interface (Fig. 2):
+//!
+//! - the **action space**: move one unit, or translate a whole group, to
+//!   one of the eight neighbouring cells;
+//! - **legality**: targets must be in bounds and vacant, and the units of a
+//!   group must remain 4-connected after every move ("during optimization,
+//!   all units within a group remain connected");
+//! - **state keys** at both hierarchy levels, used by the Q-tables;
+//! - apply/undo so optimizers can backtrack cheaply.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_geometry::GridSpec;
+//! use breaksym_layout::LayoutEnv;
+//! use breaksym_netlist::circuits;
+//!
+//! let circuit = circuits::fig2_example();
+//! let env = LayoutEnv::sequential(circuit, GridSpec::square(8))?;
+//! assert!(env.validate().is_ok());
+//! // Every unit sits somewhere legal and every group is connected.
+//! # Ok::<(), breaksym_layout::LayoutError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod connectivity;
+mod env;
+mod error;
+pub mod io;
+mod moves;
+mod placement;
+
+pub use connectivity::is_connected4;
+pub use env::LayoutEnv;
+pub use error::LayoutError;
+pub use moves::{AppliedMove, GroupMove, PlacementMove, SwapMove, UnitMove};
+pub use placement::Placement;
+
+// Re-export the geometry vocabulary users need alongside this crate.
+pub use breaksym_geometry::{Direction, GridPoint, GridRect, GridSpec};
+pub use breaksym_netlist::Circuit;

@@ -1,0 +1,133 @@
+//! Moves at both hierarchy levels, and their undo records.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use breaksym_geometry::Direction;
+use breaksym_netlist::{GroupId, UnitId};
+
+/// A bottom-level action: push one unit one cell in a direction
+/// (Fig. 2b of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UnitMove {
+    /// The unit to move.
+    pub unit: UnitId,
+    /// Where to push it.
+    pub dir: Direction,
+}
+
+/// A top-level action: translate every unit of a group one cell in a
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GroupMove {
+    /// The group to translate.
+    pub group: GroupId,
+    /// Where to translate it.
+    pub dir: Direction,
+}
+
+/// Exchange the cells of two units — useful to annealers because it can
+/// tunnel through packed placements where no single-unit move is legal.
+/// A swap is its own inverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwapMove {
+    /// First unit.
+    pub a: UnitId,
+    /// Second unit.
+    pub b: UnitId,
+}
+
+/// Either kind of move — the full action vocabulary of the framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementMove {
+    /// Move a single unit.
+    Unit(UnitMove),
+    /// Translate a whole group.
+    Group(GroupMove),
+    /// Exchange two units' cells.
+    Swap(SwapMove),
+}
+
+/// Proof that a move was applied, sufficient to undo it exactly.
+///
+/// Returned by [`LayoutEnv::apply`](crate::LayoutEnv::apply); pass it back
+/// to [`LayoutEnv::undo`](crate::LayoutEnv::undo). Undo records do not nest
+/// arbitrarily — apply/undo must pair up LIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppliedMove {
+    pub(crate) mv: PlacementMove,
+}
+
+impl AppliedMove {
+    /// The move that was applied.
+    pub fn applied(&self) -> PlacementMove {
+        self.mv
+    }
+}
+
+impl From<UnitMove> for PlacementMove {
+    fn from(m: UnitMove) -> Self {
+        PlacementMove::Unit(m)
+    }
+}
+
+impl From<GroupMove> for PlacementMove {
+    fn from(m: GroupMove) -> Self {
+        PlacementMove::Group(m)
+    }
+}
+
+impl From<SwapMove> for PlacementMove {
+    fn from(m: SwapMove) -> Self {
+        PlacementMove::Swap(m)
+    }
+}
+
+impl fmt::Display for UnitMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.unit, self.dir)
+    }
+}
+
+impl fmt::Display for GroupMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.group, self.dir)
+    }
+}
+
+impl fmt::Display for SwapMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-> {}", self.a, self.b)
+    }
+}
+
+impl fmt::Display for PlacementMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementMove::Unit(m) => write!(f, "unit {m}"),
+            PlacementMove::Group(m) => write!(f, "group {m}"),
+            PlacementMove::Swap(m) => write!(f, "swap {m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let um = UnitMove { unit: UnitId::new(1), dir: Direction::North };
+        let gm = GroupMove { group: GroupId::new(2), dir: Direction::SouthWest };
+        let pm: PlacementMove = um.into();
+        assert_eq!(pm, PlacementMove::Unit(um));
+        let pg: PlacementMove = gm.into();
+        assert_eq!(pg, PlacementMove::Group(gm));
+        assert_eq!(um.to_string(), "u1 -> N");
+        assert_eq!(pg.to_string(), "group g2 -> SW");
+        let sw = SwapMove { a: UnitId::new(0), b: UnitId::new(3) };
+        let ps: PlacementMove = sw.into();
+        assert_eq!(ps.to_string(), "swap u0 <-> u3");
+    }
+}

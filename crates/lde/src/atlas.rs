@@ -1,0 +1,196 @@
+//! Sampling and visualisation of LDE fields.
+//!
+//! An [`Atlas`] samples a model's position field on a uniform grid so it
+//! can be inspected (ASCII heatmap for terminals, CSV for plotting) and
+//! characterised (range, roughness). Used by the documentation examples
+//! and handy when designing custom fields.
+
+use std::fmt::Write as _;
+
+use crate::LdeModel;
+
+/// A uniform sampling of one scalar component of an LDE field over the
+/// normalized die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atlas {
+    resolution: usize,
+    /// Row-major samples, `values[y * resolution + x]`.
+    values: Vec<f64>,
+}
+
+/// Which component of the [`ParamShift`](crate::ParamShift) to sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Threshold-voltage shift (volts).
+    Vth,
+    /// Relative mobility shift.
+    Mobility,
+    /// Relative resistance shift.
+    Resistance,
+}
+
+impl Atlas {
+    /// Samples `model`'s position field at `resolution × resolution` cell
+    /// centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution == 0`.
+    pub fn sample(model: &LdeModel, component: Component, resolution: usize) -> Self {
+        assert!(resolution > 0, "atlas needs at least one sample");
+        let mut values = Vec::with_capacity(resolution * resolution);
+        for y in 0..resolution {
+            for x in 0..resolution {
+                let nx = (x as f64 + 0.5) / resolution as f64;
+                let ny = (y as f64 + 0.5) / resolution as f64;
+                let s = model.shift_at_norm(nx, ny);
+                values.push(match component {
+                    Component::Vth => s.dvth_v,
+                    Component::Mobility => s.dmu_rel,
+                    Component::Resistance => s.dr_rel,
+                });
+            }
+        }
+        Atlas { resolution, values }
+    }
+
+    /// Samples per side.
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// The sample at grid cell `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn value(&self, x: usize, y: usize) -> f64 {
+        assert!(x < self.resolution && y < self.resolution, "atlas index out of range");
+        self.values[y * self.resolution + x]
+    }
+
+    /// Minimum and maximum sample.
+    pub fn range(&self) -> (f64, f64) {
+        let min = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (min, max)
+    }
+
+    /// Mean absolute difference between horizontally adjacent samples — a
+    /// cheap roughness measure: 0 for a flat field, large for
+    /// short-wavelength content (what defeats symmetric layouts).
+    pub fn roughness(&self) -> f64 {
+        let n = self.resolution;
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for y in 0..n {
+            for x in 1..n {
+                total += (self.value(x, y) - self.value(x - 1, y)).abs();
+                count += 1;
+            }
+        }
+        total / count as f64
+    }
+
+    /// Renders an ASCII heatmap (north up): ten brightness levels from
+    /// `' '` (minimum) to `'#'` (maximum).
+    pub fn render_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*%@#";
+        let (min, max) = self.range();
+        let span = (max - min).max(1e-30);
+        let mut out = String::with_capacity((self.resolution + 1) * self.resolution);
+        for y in (0..self.resolution).rev() {
+            for x in 0..self.resolution {
+                let t = (self.value(x, y) - min) / span;
+                let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises as CSV (`x,y,value` per line, header included) for
+    /// external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y,value\n");
+        for y in 0..self.resolution {
+            for x in 0..self.resolution {
+                let _ = writeln!(out, "{x},{y},{}", self.value(x, y));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolyGradient;
+
+    #[test]
+    fn linear_field_atlas_is_monotone_and_smooth() {
+        let model = LdeModel::none().with_poly(PolyGradient::linear(10e-3, 0.0, 0.0, 0.0));
+        let atlas = Atlas::sample(&model, Component::Vth, 16);
+        // Monotone in x for every row.
+        for y in 0..16 {
+            for x in 1..16 {
+                assert!(atlas.value(x, y) > atlas.value(x - 1, y));
+            }
+        }
+        let (min, max) = atlas.range();
+        assert!(min > 0.0 && max < 10e-3);
+        // Linear field: roughness equals the per-cell increment.
+        assert!((atlas.roughness() - 10e-3 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonlinear_model_is_rougher_than_linear() {
+        let lin = Atlas::sample(&LdeModel::linear(1.0), Component::Vth, 24);
+        let non = Atlas::sample(&LdeModel::nonlinear(1.0, 7), Component::Vth, 24);
+        assert!(non.roughness() > lin.roughness());
+    }
+
+    #[test]
+    fn ascii_heatmap_has_grid_shape_and_full_ramp() {
+        let atlas = Atlas::sample(&LdeModel::nonlinear(1.0, 3), Component::Vth, 12);
+        let art = atlas.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 12);
+        assert!(lines.iter().all(|l| l.chars().count() == 12));
+        assert!(art.contains('#'), "max bucket must appear");
+        assert!(art.contains(' ') || art.contains('.'), "min bucket must appear");
+    }
+
+    #[test]
+    fn csv_has_header_and_all_samples() {
+        let atlas = Atlas::sample(&LdeModel::linear(1.0), Component::Mobility, 4);
+        let csv = atlas.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,y,value");
+        assert_eq!(lines.len(), 1 + 16);
+        assert!(lines[1].starts_with("0,0,"));
+    }
+
+    #[test]
+    fn components_select_different_fields() {
+        let model = LdeModel::none().with_poly(PolyGradient::linear(10e-3, 0.0, 0.05, 0.0));
+        let vth = Atlas::sample(&model, Component::Vth, 8);
+        let mu = Atlas::sample(&model, Component::Mobility, 8);
+        let r = Atlas::sample(&model, Component::Resistance, 8);
+        assert!(vth.range().1 > 0.0);
+        assert!(mu.range().1 > vth.range().1, "mobility coefficient is larger");
+        // The linear() constructor couples resistance to the vth slope.
+        assert!(r.range().1 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_sample_panics() {
+        let atlas = Atlas::sample(&LdeModel::linear(1.0), Component::Vth, 4);
+        let _ = atlas.value(4, 0);
+    }
+}

@@ -1,0 +1,411 @@
+//! The individual LDE field models.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::ParamShift;
+
+/// A position-dependent systematic variation field over the normalized die
+/// `[0, 1]²`.
+///
+/// Implementors are pure functions of position — the neighbourhood-
+/// dependent stress term lives in [`NeighborhoodLde`] instead because it
+/// needs the occupancy map, not just a coordinate.
+pub trait LdeField: std::fmt::Debug {
+    /// The parameter shift at normalized die position `(x, y)`.
+    fn shift_at(&self, x: f64, y: f64) -> ParamShift;
+
+    /// Whether the field is affine in `(x, y)` — the regime in which
+    /// symmetric placement cancels it exactly (McAndrew).
+    fn is_linear(&self) -> bool;
+}
+
+/// One monomial term `coeff · x^px · y^py` of a [`PolyGradient`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolyTerm {
+    /// Power of x.
+    pub px: u8,
+    /// Power of y.
+    pub py: u8,
+    /// Vth coefficient in volts (full-scale across the unit square).
+    pub vth: f64,
+    /// Relative-mobility coefficient.
+    pub mu: f64,
+    /// Relative-resistance coefficient.
+    pub r: f64,
+}
+
+/// A 2-D polynomial process gradient.
+///
+/// The canonical McAndrew decomposition: the affine part (terms with
+/// `px + py <= 1`) is cancelled by any centroid-balanced layout; everything
+/// of higher order is the "non-linear variation" the paper targets.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_lde::{LdeField, PolyGradient};
+///
+/// let g = PolyGradient::linear(0.01, 0.005, 0.02, 0.0);
+/// assert!(g.is_linear());
+/// let s = g.shift_at(1.0, 1.0);
+/// assert!((s.dvth_v - 0.015).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolyGradient {
+    terms: Vec<PolyTerm>,
+}
+
+impl PolyGradient {
+    /// A gradient from explicit monomial terms.
+    pub fn from_terms(terms: Vec<PolyTerm>) -> Self {
+        PolyGradient { terms }
+    }
+
+    /// A purely affine gradient: `vth = vx·x + vy·y`, `mu = mx·x + my·y`.
+    pub fn linear(vx: f64, vy: f64, mx: f64, my: f64) -> Self {
+        PolyGradient {
+            terms: vec![
+                PolyTerm { px: 1, py: 0, vth: vx, mu: mx, r: vx * 0.5 },
+                PolyTerm { px: 0, py: 1, vth: vy, mu: my, r: vy * 0.5 },
+            ],
+        }
+    }
+
+    /// A random polynomial of total order `<= order` with coefficient
+    /// magnitudes `vth_scale` (volts) / `mu_scale` (relative), seeded and
+    /// reproducible.
+    pub fn random(order: u8, vth_scale: f64, mu_scale: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut terms = Vec::new();
+        for px in 0..=order {
+            for py in 0..=(order - px) {
+                if px == 0 && py == 0 {
+                    continue; // constant offsets affect every device equally
+                }
+                // Higher orders get smaller coefficients, like real process
+                // gradients where curvature is a correction.
+                let atten = 1.0 / f64::from(px + py);
+                terms.push(PolyTerm {
+                    px,
+                    py,
+                    vth: rng.gen_range(-1.0..1.0) * vth_scale * atten,
+                    mu: rng.gen_range(-1.0..1.0) * mu_scale * atten,
+                    r: rng.gen_range(-1.0..1.0) * mu_scale * atten,
+                });
+            }
+        }
+        PolyGradient { terms }
+    }
+
+    /// The monomial terms.
+    pub fn terms(&self) -> &[PolyTerm] {
+        &self.terms
+    }
+
+    /// Splits into (affine, higher-order) parts. Used by the linearity
+    /// ablation to dial non-linearity from 0 to full strength.
+    pub fn split_linear(&self) -> (PolyGradient, PolyGradient) {
+        let (lin, nonlin): (Vec<PolyTerm>, Vec<PolyTerm>) = self
+            .terms
+            .iter()
+            .copied()
+            .partition(|t| u32::from(t.px) + u32::from(t.py) <= 1);
+        (PolyGradient { terms: lin }, PolyGradient { terms: nonlin })
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scaled(&self, k: f64) -> PolyGradient {
+        PolyGradient {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| PolyTerm { vth: t.vth * k, mu: t.mu * k, r: t.r * k, ..*t })
+                .collect(),
+        }
+    }
+}
+
+impl LdeField for PolyGradient {
+    fn shift_at(&self, x: f64, y: f64) -> ParamShift {
+        let mut s = ParamShift::ZERO;
+        for t in &self.terms {
+            let basis = x.powi(i32::from(t.px)) * y.powi(i32::from(t.py));
+            s.dvth_v += t.vth * basis;
+            s.dmu_rel += t.mu * basis;
+            s.dr_rel += t.r * basis;
+        }
+        s
+    }
+
+    fn is_linear(&self) -> bool {
+        self.terms.iter().all(|t| {
+            u32::from(t.px) + u32::from(t.py) <= 1
+                || (t.vth == 0.0 && t.mu == 0.0 && t.r == 0.0)
+        })
+    }
+}
+
+/// Well-proximity effect: Vth rises exponentially toward the well edges,
+/// modelled as the four borders of the die.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WellProximity {
+    /// Peak Vth shift at the edge, in volts.
+    pub dvth_edge: f64,
+    /// Decay length in normalized die units.
+    pub lambda: f64,
+}
+
+impl WellProximity {
+    /// A typical WPE: ~8 mV at the edge decaying over 15 % of the die.
+    pub fn typical() -> Self {
+        WellProximity { dvth_edge: 8e-3, lambda: 0.15 }
+    }
+}
+
+impl LdeField for WellProximity {
+    fn shift_at(&self, x: f64, y: f64) -> ParamShift {
+        let l = self.lambda.max(1e-9);
+        let e = (-x / l).exp() + (-(1.0 - x) / l).exp() + (-y / l).exp() + (-(1.0 - y) / l).exp();
+        ParamShift::new(self.dvth_edge * e, 0.0, 0.0)
+    }
+
+    fn is_linear(&self) -> bool {
+        // Exponentials are non-linear unless they vanish.
+        self.dvth_edge == 0.0
+    }
+}
+
+/// A Gaussian on-die hotspot (thermal or stress) shifting Vth and mobility.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalHotspot {
+    /// Hotspot center, normalized.
+    pub cx: f64,
+    /// Hotspot center, normalized.
+    pub cy: f64,
+    /// Gaussian sigma, normalized.
+    pub sigma: f64,
+    /// Peak Vth shift in volts.
+    pub dvth_peak: f64,
+    /// Peak relative mobility shift (negative: hot silicon is slower).
+    pub dmu_peak: f64,
+}
+
+impl ThermalHotspot {
+    /// A typical hotspot off-center of the die.
+    pub fn typical() -> Self {
+        ThermalHotspot { cx: 0.3, cy: 0.65, sigma: 0.25, dvth_peak: -5e-3, dmu_peak: -0.03 }
+    }
+}
+
+impl LdeField for ThermalHotspot {
+    fn shift_at(&self, x: f64, y: f64) -> ParamShift {
+        let s2 = 2.0 * self.sigma * self.sigma;
+        let d2 = (x - self.cx).powi(2) + (y - self.cy).powi(2);
+        let g = (-d2 / s2.max(1e-12)).exp();
+        ParamShift::new(self.dvth_peak * g, self.dmu_peak * g, 0.0)
+    }
+
+    fn is_linear(&self) -> bool {
+        self.dvth_peak == 0.0 && self.dmu_peak == 0.0
+    }
+}
+
+/// Short-wavelength systematic ripple, e.g. STI/poly-density pattern
+/// stress: `dvth(x, y) = a · sin(2π(kx·x + φx)) · sin(2π(ky·y + φy))`.
+///
+/// This is the field component symmetric layouts are most helpless
+/// against: a matched pair a few cells apart can straddle half a ripple
+/// period, while an objective-driven placer can park whole groups on the
+/// locally flat extrema.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ripple {
+    /// Horizontal spatial frequency in periods per die.
+    pub kx: f64,
+    /// Vertical spatial frequency in periods per die.
+    pub ky: f64,
+    /// Horizontal phase in periods.
+    pub phase_x: f64,
+    /// Vertical phase in periods.
+    pub phase_y: f64,
+    /// Vth amplitude in volts.
+    pub dvth: f64,
+    /// Relative mobility amplitude.
+    pub dmu: f64,
+}
+
+impl Ripple {
+    /// A typical density-pattern ripple: ~2.5 periods across the die,
+    /// 4 mV Vth and 1.5 % mobility amplitude.
+    pub fn typical() -> Self {
+        Ripple { kx: 2.5, ky: 2.0, phase_x: 0.13, phase_y: 0.41, dvth: 4e-3, dmu: 0.015 }
+    }
+
+    /// A seeded random ripple with frequencies in `[1.5, 3.5)` periods.
+    pub fn random(dvth: f64, dmu: f64, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed_1e55);
+        Ripple {
+            kx: rng.gen_range(1.5..3.5),
+            ky: rng.gen_range(1.5..3.5),
+            phase_x: rng.gen_range(0.0..1.0),
+            phase_y: rng.gen_range(0.0..1.0),
+            dvth,
+            dmu,
+        }
+    }
+}
+
+impl LdeField for Ripple {
+    fn shift_at(&self, x: f64, y: f64) -> ParamShift {
+        let tau = std::f64::consts::TAU;
+        let s = (tau * (self.kx * x + self.phase_x)).sin()
+            * (tau * (self.ky * y + self.phase_y)).sin();
+        ParamShift::new(self.dvth * s, self.dmu * s, 0.0)
+    }
+
+    fn is_linear(&self) -> bool {
+        self.dvth == 0.0 && self.dmu == 0.0
+    }
+}
+
+/// STI/LOD-style stress that depends on the local **occupancy pattern**
+/// rather than die position: a unit with vacant neighbour cells sees a
+/// mobility shift proportional to its exposed sides.
+///
+/// This is the effect dummy fill mitigates — surrounding matched devices
+/// with dummies equalises every unit's neighbourhood (at an area cost, as
+/// the paper notes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborhoodLde {
+    /// Relative mobility shift per exposed neighbour cell (of 8).
+    pub dmu_per_exposed: f64,
+    /// Vth shift per exposed neighbour cell, in volts.
+    pub dvth_per_exposed: f64,
+}
+
+impl NeighborhoodLde {
+    /// Typical magnitudes: ~0.4 % mobility and 1 mV Vth per exposed side.
+    pub fn typical() -> Self {
+        NeighborhoodLde { dmu_per_exposed: 4e-3, dvth_per_exposed: 1e-3 }
+    }
+
+    /// Shift for a unit with `exposed` of its 8 neighbour cells vacant.
+    pub fn shift_for_exposure(&self, exposed: u32) -> ParamShift {
+        let e = f64::from(exposed.min(8));
+        ParamShift::new(self.dvth_per_exposed * e, self.dmu_per_exposed * e, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_gradient_evaluates_affinely() {
+        let g = PolyGradient::linear(0.02, -0.01, 0.05, 0.0);
+        assert!(g.is_linear());
+        let s00 = g.shift_at(0.0, 0.0);
+        assert_eq!(s00, ParamShift::ZERO);
+        let s10 = g.shift_at(1.0, 0.0);
+        assert!((s10.dvth_v - 0.02).abs() < 1e-15);
+        let mid = g.shift_at(0.5, 0.5);
+        assert!((mid.dvth_v - (0.02 - 0.01) * 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn split_linear_partitions_terms() {
+        let g = PolyGradient::random(3, 0.01, 0.05, 7);
+        let (lin, nonlin) = g.split_linear();
+        assert!(lin.is_linear());
+        assert!(!nonlin.terms().is_empty());
+        assert!(!nonlin.is_linear());
+        assert_eq!(lin.terms().len() + nonlin.terms().len(), g.terms().len());
+        // Evaluation splits additively.
+        let (x, y) = (0.3, 0.8);
+        let whole = g.shift_at(x, y);
+        let parts = lin.shift_at(x, y) + nonlin.shift_at(x, y);
+        assert!((whole.dvth_v - parts.dvth_v).abs() < 1e-15);
+        assert!((whole.dmu_rel - parts.dmu_rel).abs() < 1e-15);
+    }
+
+    #[test]
+    fn random_gradient_is_reproducible_and_seed_sensitive() {
+        let a = PolyGradient::random(2, 0.01, 0.03, 11);
+        let b = PolyGradient::random(2, 0.01, 0.03, 11);
+        let c = PolyGradient::random(2, 0.01, 0.03, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaled_by_zero_vanishes() {
+        let g = PolyGradient::random(3, 0.01, 0.03, 3).scaled(0.0);
+        let s = g.shift_at(0.7, 0.2);
+        assert_eq!(s, ParamShift::ZERO);
+    }
+
+    #[test]
+    fn wpe_peaks_at_corners_and_fades_in_center() {
+        let w = WellProximity::typical();
+        let corner = w.shift_at(0.0, 0.0).dvth_v;
+        let center = w.shift_at(0.5, 0.5).dvth_v;
+        assert!(corner > center);
+        assert!(center > 0.0);
+        assert!(!w.is_linear());
+        assert!(WellProximity { dvth_edge: 0.0, lambda: 0.1 }.is_linear());
+    }
+
+    #[test]
+    fn hotspot_peaks_at_center() {
+        let h = ThermalHotspot::typical();
+        let at_peak = h.shift_at(h.cx, h.cy);
+        let far = h.shift_at(1.0, 0.0);
+        assert!(at_peak.dmu_rel.abs() > far.dmu_rel.abs());
+        assert!((at_peak.dvth_v - h.dvth_peak).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighborhood_shift_scales_with_exposure() {
+        let n = NeighborhoodLde::typical();
+        assert_eq!(n.shift_for_exposure(0), ParamShift::ZERO);
+        let full = n.shift_for_exposure(8);
+        assert!((full.dmu_rel - 8.0 * n.dmu_per_exposed).abs() < 1e-15);
+        // Clamped at 8.
+        assert_eq!(n.shift_for_exposure(99), full);
+    }
+
+    proptest! {
+        /// A linear field is exactly cancelled by averaging any point with
+        /// its reflection through the die center — the McAndrew property
+        /// symmetric layouts exploit.
+        #[test]
+        fn prop_linear_field_cancels_under_central_symmetry(
+            x in 0.0f64..1.0, y in 0.0f64..1.0, seed in 0u64..100,
+        ) {
+            let g = PolyGradient::random(1, 0.01, 0.05, seed);
+            prop_assert!(g.is_linear());
+            let a = g.shift_at(x, y);
+            let b = g.shift_at(1.0 - x, 1.0 - y);
+            let center = g.shift_at(0.5, 0.5);
+            prop_assert!(((a.dvth_v + b.dvth_v) / 2.0 - center.dvth_v).abs() < 1e-12);
+            prop_assert!(((a.dmu_rel + b.dmu_rel) / 2.0 - center.dmu_rel).abs() < 1e-12);
+        }
+
+        /// A quadratic field generally does NOT cancel — the paper's core
+        /// premise. (We assert the residual is non-zero for a specific
+        /// strongly quadratic field.)
+        #[test]
+        fn prop_quadratic_field_leaves_residual(x in 0.05f64..0.45, y in 0.05f64..0.45) {
+            let g = PolyGradient::from_terms(vec![PolyTerm { px: 2, py: 0, vth: 0.01, mu: 0.0, r: 0.0 }]);
+            let a = g.shift_at(x, y);
+            let b = g.shift_at(1.0 - x, 1.0 - y);
+            let center = g.shift_at(0.5, 0.5);
+            let residual = (a.dvth_v + b.dvth_v) / 2.0 - center.dvth_v;
+            // (x² + (1−x)²)/2 − ¼ = (x − ½)² > 0 away from the center.
+            prop_assert!(residual > 1e-9);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Layout-dependent effect (LDE) models.
+//!
+//! This crate is the substitute for the paper's TSMC 40 nm PDK +
+//! variation-aware extraction: it maps the **position of each placed unit**
+//! to systematic shifts of its device parameters (threshold voltage,
+//! mobility, sheet resistance). The model family follows McAndrew's
+//! quantification of layout symmetries (TCAD 2017, the paper's ref 1):
+//!
+//! - [`PolyGradient`] — a 2-D polynomial process gradient over the die.
+//!   Its **linear part is exactly what symmetric layouts cancel**; the
+//!   higher-order part is what they cannot.
+//! - [`WellProximity`] — exponential Vth increase near the well edge (WPE).
+//! - [`ThermalHotspot`] — Gaussian on-die temperature/stress bump.
+//! - [`NeighborhoodLde`] — STI/LOD-style stress depending on how many of a
+//!   unit's eight neighbour cells are occupied (this is why designers add
+//!   dummies, and what the dummy ablation exercises).
+//!
+//! An [`LdeModel`] composes any number of fields plus the neighbourhood
+//! term and evaluates per-unit or per-device [`ParamShift`]s against a
+//! [`LayoutEnv`](breaksym_layout::LayoutEnv).
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_lde::{LdeModel, ParamShift};
+//!
+//! // The standard non-linear model of the experiments:
+//! let model = LdeModel::nonlinear(1.0, 42);
+//! let a = model.shift_at_norm(0.1, 0.1);
+//! let b = model.shift_at_norm(0.9, 0.9);
+//! assert!((a.dvth_v - b.dvth_v).abs() > 0.0, "field must vary over the die");
+//!
+//! // A purely linear gradient — the regime where symmetry works:
+//! let lin = LdeModel::linear(1.0);
+//! assert!(lin.is_linear());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atlas;
+mod fields;
+mod model;
+mod shift;
+
+pub use atlas::{Atlas, Component};
+pub use fields::{
+    LdeField, NeighborhoodLde, PolyGradient, PolyTerm, Ripple, ThermalHotspot, WellProximity,
+};
+pub use model::LdeModel;
+pub use shift::ParamShift;

@@ -1,0 +1,349 @@
+//! The composite LDE model evaluated against a placement.
+
+use serde::{Deserialize, Serialize};
+
+use breaksym_layout::LayoutEnv;
+use breaksym_netlist::{DeviceId, UnitId};
+
+use crate::{
+    fields::{LdeField, NeighborhoodLde, PolyGradient, Ripple, ThermalHotspot, WellProximity},
+    ParamShift,
+};
+
+/// One field of a composite model (enum rather than trait objects so the
+/// model stays `Clone`, `PartialEq`, and serde-able).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum FieldKind {
+    Poly(PolyGradient),
+    Well(WellProximity),
+    Thermal(ThermalHotspot),
+    Ripple(Ripple),
+}
+
+impl FieldKind {
+    fn shift_at(&self, x: f64, y: f64) -> ParamShift {
+        match self {
+            FieldKind::Poly(f) => f.shift_at(x, y),
+            FieldKind::Well(f) => f.shift_at(x, y),
+            FieldKind::Thermal(f) => f.shift_at(x, y),
+            FieldKind::Ripple(f) => f.shift_at(x, y),
+        }
+    }
+
+    fn is_linear(&self) -> bool {
+        match self {
+            FieldKind::Poly(f) => f.is_linear(),
+            FieldKind::Well(f) => f.is_linear(),
+            FieldKind::Thermal(f) => f.is_linear(),
+            FieldKind::Ripple(f) => f.is_linear(),
+        }
+    }
+}
+
+/// A complete LDE model: a sum of position fields plus an optional
+/// neighbourhood (stress) term.
+///
+/// This is the object passed to the simulator: for a given [`LayoutEnv`]
+/// it produces the systematic [`ParamShift`] of every unit and device.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::GridSpec;
+/// use breaksym_layout::LayoutEnv;
+/// use breaksym_lde::LdeModel;
+/// use breaksym_netlist::circuits;
+///
+/// let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(8))?;
+/// let model = LdeModel::nonlinear(1.0, 1);
+/// let input_pair = env.circuit().find_group("g_in").expect("exists");
+/// let devs = &env.circuit().group(input_pair).devices;
+/// let d0 = model.device_shift(&env, devs[0]);
+/// let d1 = model.device_shift(&env, devs[1]);
+/// // The two halves of the pair see different systematic shifts:
+/// assert!((d0.dvth_v - d1.dvth_v).abs() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdeModel {
+    fields: Vec<FieldKind>,
+    neighborhood: Option<NeighborhoodLde>,
+}
+
+impl LdeModel {
+    /// An empty model (no systematic variation at all).
+    pub fn none() -> Self {
+        LdeModel { fields: Vec::new(), neighborhood: None }
+    }
+
+    /// A purely **linear** gradient of the given relative strength — the
+    /// regime in which symmetric layouts are optimal. `strength = 1.0`
+    /// corresponds to ~10 mV Vth and ~4 % mobility across the die.
+    pub fn linear(strength: f64) -> Self {
+        LdeModel {
+            fields: vec![FieldKind::Poly(PolyGradient::linear(
+                10e-3 * strength,
+                6e-3 * strength,
+                0.04 * strength,
+                0.02 * strength,
+            ))],
+            neighborhood: None,
+        }
+    }
+
+    /// The standard **non-linear** model of the experiments: a random
+    /// order-3 polynomial gradient, well-proximity, a thermal hotspot, and
+    /// the neighbourhood stress term. Reproducible for a given `seed`.
+    pub fn nonlinear(strength: f64, seed: u64) -> Self {
+        LdeModel {
+            fields: vec![
+                FieldKind::Poly(
+                    PolyGradient::random(3, 12e-3, 0.05, seed).scaled(strength),
+                ),
+                FieldKind::Well(WellProximity {
+                    dvth_edge: 8e-3 * strength,
+                    ..WellProximity::typical()
+                }),
+                FieldKind::Thermal(ThermalHotspot {
+                    dvth_peak: -5e-3 * strength,
+                    dmu_peak: -0.03 * strength,
+                    ..ThermalHotspot::typical()
+                }),
+                FieldKind::Ripple(Ripple::random(4e-3 * strength, 0.015 * strength, seed)),
+            ],
+            neighborhood: Some(NeighborhoodLde::typical()),
+        }
+    }
+
+    /// A model whose non-linear content is dialled by `alpha ∈ [0, 1]`:
+    /// `alpha = 0` keeps only the affine part of [`LdeModel::nonlinear`]
+    /// (symmetry cancels everything), `alpha = 1` reproduces it fully.
+    /// Used by the linearity-sweep ablation (A3).
+    pub fn blend(strength: f64, alpha: f64, seed: u64) -> Self {
+        let poly = PolyGradient::random(3, 12e-3, 0.05, seed).scaled(strength);
+        let (lin, nonlin) = poly.split_linear();
+        let mut fields = vec![
+            FieldKind::Poly(lin),
+            FieldKind::Poly(nonlin.scaled(alpha)),
+            FieldKind::Well(WellProximity {
+                dvth_edge: 8e-3 * strength * alpha,
+                ..WellProximity::typical()
+            }),
+            FieldKind::Thermal(ThermalHotspot {
+                dvth_peak: -5e-3 * strength * alpha,
+                dmu_peak: -0.03 * strength * alpha,
+                ..ThermalHotspot::typical()
+            }),
+            FieldKind::Ripple(Ripple::random(
+                4e-3 * strength * alpha,
+                0.015 * strength * alpha,
+                seed,
+            )),
+        ];
+        fields.retain(|f| !matches!(f, FieldKind::Poly(p) if p.terms().is_empty()));
+        LdeModel {
+            fields,
+            neighborhood: if alpha > 0.0 {
+                Some(NeighborhoodLde {
+                    dmu_per_exposed: NeighborhoodLde::typical().dmu_per_exposed * alpha,
+                    dvth_per_exposed: NeighborhoodLde::typical().dvth_per_exposed * alpha,
+                })
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Adds a custom polynomial gradient field.
+    pub fn with_poly(mut self, poly: PolyGradient) -> Self {
+        self.fields.push(FieldKind::Poly(poly));
+        self
+    }
+
+    /// Adds a well-proximity field.
+    pub fn with_well(mut self, well: WellProximity) -> Self {
+        self.fields.push(FieldKind::Well(well));
+        self
+    }
+
+    /// Adds a thermal hotspot field.
+    pub fn with_thermal(mut self, hot: ThermalHotspot) -> Self {
+        self.fields.push(FieldKind::Thermal(hot));
+        self
+    }
+
+    /// Adds a short-wavelength ripple field.
+    pub fn with_ripple(mut self, ripple: Ripple) -> Self {
+        self.fields.push(FieldKind::Ripple(ripple));
+        self
+    }
+
+    /// Sets (or clears) the neighbourhood stress term.
+    pub fn with_neighborhood(mut self, n: Option<NeighborhoodLde>) -> Self {
+        self.neighborhood = n;
+        self
+    }
+
+    /// Whether every component of the model is affine in die position.
+    /// (The neighbourhood term is occupancy-dependent, hence non-linear.)
+    pub fn is_linear(&self) -> bool {
+        self.neighborhood.is_none() && self.fields.iter().all(FieldKind::is_linear)
+    }
+
+    /// Field-only shift at a normalized die position (no occupancy term).
+    pub fn shift_at_norm(&self, x: f64, y: f64) -> ParamShift {
+        self.fields.iter().map(|f| f.shift_at(x, y)).sum()
+    }
+
+    /// The full systematic shift of one unit under the current placement:
+    /// field shift at the unit's cell center plus the neighbourhood term
+    /// from its exposed neighbour cells (dummies count as occupied).
+    pub fn unit_shift(&self, env: &LayoutEnv, unit: UnitId) -> ParamShift {
+        let pos = env.placement().position(unit);
+        let (x, y) = env.spec().normalized(pos);
+        let mut s = self.shift_at_norm(x, y);
+        if let Some(n) = &self.neighborhood {
+            let exposed = pos
+                .neighbors8()
+                .into_iter()
+                .filter(|&q| env.placement().is_vacant(q))
+                .count() as u32;
+            s += n.shift_for_exposure(exposed);
+        }
+        s
+    }
+
+    /// The effective systematic shift of a device: the mean over its units
+    /// (fingers act in parallel; first-order, their parameter shifts
+    /// average).
+    pub fn device_shift(&self, env: &LayoutEnv, device: DeviceId) -> ParamShift {
+        let units: Vec<UnitId> = env.circuit().units_of_device(device).collect();
+        if units.is_empty() {
+            return ParamShift::ZERO;
+        }
+        let sum: ParamShift = units.iter().map(|&u| self.unit_shift(env, u)).sum();
+        sum * (1.0 / units.len() as f64)
+    }
+
+    /// Shifts of every device, indexed by device id (unplaceable sources
+    /// get [`ParamShift::ZERO`]).
+    pub fn all_device_shifts(&self, env: &LayoutEnv) -> Vec<ParamShift> {
+        (0..env.circuit().devices().len() as u32)
+            .map(|i| {
+                let d = DeviceId::new(i);
+                if env.circuit().device(d).kind.is_placeable() {
+                    self.device_shift(env, d)
+                } else {
+                    ParamShift::ZERO
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for LdeModel {
+    /// The standard non-linear model with seed 0.
+    fn default() -> Self {
+        LdeModel::nonlinear(1.0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+
+    fn env() -> LayoutEnv {
+        LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap()
+    }
+
+    #[test]
+    fn linearity_classification() {
+        assert!(LdeModel::none().is_linear());
+        assert!(LdeModel::linear(1.0).is_linear());
+        assert!(!LdeModel::nonlinear(1.0, 0).is_linear());
+        assert!(LdeModel::blend(1.0, 0.0, 5).is_linear(), "alpha=0 must be linear");
+        assert!(!LdeModel::blend(1.0, 1.0, 5).is_linear());
+    }
+
+    #[test]
+    fn blend_interpolates_between_linear_and_full() {
+        let (x, y) = (0.8, 0.3);
+        let lin = LdeModel::blend(1.0, 0.0, 9).shift_at_norm(x, y);
+        let full = LdeModel::blend(1.0, 1.0, 9).shift_at_norm(x, y);
+        let half = LdeModel::blend(1.0, 0.5, 9).shift_at_norm(x, y);
+        // The interpolation is affine in alpha for the polynomial parts;
+        // well/thermal scale linearly too, so midpoint is exact.
+        assert!((half.dvth_v - (lin.dvth_v + full.dvth_v) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_model_produces_zero_shifts() {
+        let e = env();
+        let m = LdeModel::none();
+        for i in 0..e.circuit().num_units() as u32 {
+            assert_eq!(m.unit_shift(&e, UnitId::new(i)), ParamShift::ZERO);
+        }
+    }
+
+    #[test]
+    fn device_shift_is_mean_of_unit_shifts() {
+        let e = env();
+        let m = LdeModel::nonlinear(1.0, 3);
+        let d = e.circuit().find_device("M00").unwrap();
+        let units: Vec<UnitId> = e.circuit().units_of_device(d).collect();
+        let mean: ParamShift = units
+            .iter()
+            .map(|&u| m.unit_shift(&e, u))
+            .sum::<ParamShift>()
+            * (1.0 / units.len() as f64);
+        let ds = m.device_shift(&e, d);
+        assert!((ds.dvth_v - mean.dvth_v).abs() < 1e-15);
+        assert!((ds.dmu_rel - mean.dmu_rel).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neighborhood_term_reacts_to_occupancy() {
+        // Use the CM benchmark: its 12-unit mirror group packs as a 4x3
+        // block with fully-surrounded interior units, while corner units
+        // keep 5 exposed sides.
+        let e = LayoutEnv::sequential(
+            circuits::current_mirror_medium(),
+            GridSpec::square(16),
+        )
+        .unwrap();
+        let m = LdeModel::none().with_neighborhood(Some(NeighborhoodLde::typical()));
+        let shifts: Vec<f64> = (0..e.circuit().num_units() as u32)
+            .map(|i| m.unit_shift(&e, UnitId::new(i)).dmu_rel)
+            .collect();
+        let min = shifts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = shifts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min, "occupancy differences must differentiate units");
+    }
+
+    #[test]
+    fn all_device_shifts_zero_for_sources() {
+        let e = env();
+        let m = LdeModel::default();
+        let shifts = m.all_device_shifts(&e);
+        assert_eq!(shifts.len(), e.circuit().devices().len());
+        let vdd = e.circuit().find_device("VDD").unwrap();
+        assert_eq!(shifts[vdd.index()], ParamShift::ZERO);
+    }
+
+    #[test]
+    fn moving_a_unit_changes_its_shift_under_gradient() {
+        let mut e = env();
+        let m = LdeModel::linear(1.0);
+        // Find a movable unit.
+        let (unit, dirs) = (0..e.circuit().num_units() as u32)
+            .map(|i| (UnitId::new(i), e.legal_unit_moves(UnitId::new(i))))
+            .find(|(_, d)| !d.is_empty())
+            .unwrap();
+        let before = m.unit_shift(&e, unit);
+        e.apply(breaksym_layout::UnitMove { unit, dir: dirs[0] }.into()).unwrap();
+        let after = m.unit_shift(&e, unit);
+        assert_ne!(before, after);
+    }
+}

@@ -1,0 +1,105 @@
+//! The parameter-shift vector produced by LDE evaluation.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+/// Systematic shifts of one device's (or unit's) parameters caused by its
+/// layout position.
+///
+/// All components are *deltas from nominal*: `dvth_v` in volts, `dmu_rel`
+/// and `dr_rel` as relative (fractional) changes of mobility and sheet
+/// resistance.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ParamShift {
+    /// Threshold-voltage shift in volts.
+    pub dvth_v: f64,
+    /// Relative mobility shift (e.g. `0.02` = +2 %).
+    pub dmu_rel: f64,
+    /// Relative sheet-resistance shift.
+    pub dr_rel: f64,
+}
+
+impl ParamShift {
+    /// The zero shift (nominal device).
+    pub const ZERO: ParamShift = ParamShift { dvth_v: 0.0, dmu_rel: 0.0, dr_rel: 0.0 };
+
+    /// Creates a shift from its three components.
+    pub const fn new(dvth_v: f64, dmu_rel: f64, dr_rel: f64) -> Self {
+        ParamShift { dvth_v, dmu_rel, dr_rel }
+    }
+
+    /// An L2-style magnitude used for quick comparisons in tests and
+    /// diagnostics (volts and relative units are mixed deliberately —
+    /// this is not a physical quantity).
+    pub fn magnitude(&self) -> f64 {
+        (self.dvth_v * self.dvth_v + self.dmu_rel * self.dmu_rel + self.dr_rel * self.dr_rel)
+            .sqrt()
+    }
+}
+
+impl Add for ParamShift {
+    type Output = ParamShift;
+    #[inline]
+    fn add(self, o: ParamShift) -> ParamShift {
+        ParamShift {
+            dvth_v: self.dvth_v + o.dvth_v,
+            dmu_rel: self.dmu_rel + o.dmu_rel,
+            dr_rel: self.dr_rel + o.dr_rel,
+        }
+    }
+}
+
+impl AddAssign for ParamShift {
+    #[inline]
+    fn add_assign(&mut self, o: ParamShift) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f64> for ParamShift {
+    type Output = ParamShift;
+    #[inline]
+    fn mul(self, k: f64) -> ParamShift {
+        ParamShift {
+            dvth_v: self.dvth_v * k,
+            dmu_rel: self.dmu_rel * k,
+            dr_rel: self.dr_rel * k,
+        }
+    }
+}
+
+impl Sum for ParamShift {
+    fn sum<I: Iterator<Item = ParamShift>>(iter: I) -> ParamShift {
+        iter.fold(ParamShift::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algebra() {
+        let a = ParamShift::new(0.01, 0.02, -0.01);
+        let b = ParamShift::new(-0.005, 0.01, 0.02);
+        let s = a + b;
+        assert!((s.dvth_v - 0.005).abs() < 1e-15);
+        assert!((s.dmu_rel - 0.03).abs() < 1e-15);
+        assert!((s.dr_rel - 0.01).abs() < 1e-15);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, s);
+        let scaled = a * 2.0;
+        assert_eq!(scaled.dvth_v, 0.02);
+        let total: ParamShift = [a, b, ParamShift::ZERO].into_iter().sum();
+        assert_eq!(total, s);
+    }
+
+    #[test]
+    fn magnitude_is_zero_only_at_zero() {
+        assert_eq!(ParamShift::ZERO.magnitude(), 0.0);
+        assert!(ParamShift::new(1e-3, 0.0, 0.0).magnitude() > 0.0);
+    }
+}

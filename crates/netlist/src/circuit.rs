@@ -1,0 +1,727 @@
+//! The circuit container and its builder.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Device, DeviceId, DeviceKind, Group, GroupId, GroupKind, MosParams, MosPolarity, Net, NetId,
+    NetKind, NetlistError, Unit, UnitId,
+};
+
+/// The benchmark class of a circuit; selects the testbench and the FOM
+/// metric set used by the simulator (paper §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CircuitClass {
+    /// Current mirror — metrics: mismatch, area.
+    CurrentMirror,
+    /// Dynamic comparator — metrics: offset, delay, power, area.
+    Comparator,
+    /// Operational transconductance amplifier — metrics: gain, bandwidth,
+    /// phase margin, offset, power, area.
+    Ota,
+    /// Anything else — generic mismatch + wirelength objective.
+    Generic,
+}
+
+impl fmt::Display for CircuitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CircuitClass::CurrentMirror => "current-mirror",
+            CircuitClass::Comparator => "comparator",
+            CircuitClass::Ota => "ota",
+            CircuitClass::Generic => "generic",
+        })
+    }
+}
+
+/// A named external port of the circuit, binding testbench roles to nets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortRole {
+    /// Positive supply.
+    Vdd,
+    /// Negative supply / ground.
+    Vss,
+    /// Non-inverting input.
+    InP,
+    /// Inverting input.
+    InN,
+    /// Single-ended output.
+    Out,
+    /// Positive differential output.
+    OutP,
+    /// Negative differential output.
+    OutN,
+    /// Bias voltage/current input.
+    Bias,
+    /// Current-mirror reference branch.
+    Iref,
+    /// `k`-th current-mirror output branch.
+    Iout(u8),
+    /// Clock (dynamic comparators).
+    Clock,
+}
+
+impl fmt::Display for PortRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortRole::Vdd => f.write_str("vdd"),
+            PortRole::Vss => f.write_str("vss"),
+            PortRole::InP => f.write_str("inp"),
+            PortRole::InN => f.write_str("inn"),
+            PortRole::Out => f.write_str("out"),
+            PortRole::OutP => f.write_str("outp"),
+            PortRole::OutN => f.write_str("outn"),
+            PortRole::Bias => f.write_str("bias"),
+            PortRole::Iref => f.write_str("iref"),
+            PortRole::Iout(k) => write!(f, "iout{k}"),
+            PortRole::Clock => f.write_str("clk"),
+        }
+    }
+}
+
+/// An immutable analog circuit: nets, devices, their units, and groups.
+///
+/// Built with [`CircuitBuilder`]; all structural invariants (unique names,
+/// grouped placeable devices, valid parameters) are validated at build time
+/// so downstream crates can index without re-checking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    class: CircuitClass,
+    nets: Vec<Net>,
+    devices: Vec<Device>,
+    groups: Vec<Group>,
+    units: Vec<Unit>,
+    /// `device_units[d]` is the range of unit indices of device `d`.
+    device_units: Vec<Range<u32>>,
+    ports: Vec<(PortRole, NetId)>,
+}
+
+impl Circuit {
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Benchmark class.
+    pub fn class(&self) -> CircuitClass {
+        self.class
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All devices (including unplaceable testbench sources).
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// All placeable units, ordered device-major.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Number of placeable units.
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are only minted by this circuit's
+    /// builder, so this indicates a cross-circuit id mix-up).
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Looks up a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.index()]
+    }
+
+    /// Looks up a unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn unit(&self, id: UnitId) -> &Unit {
+        &self.units[id.index()]
+    }
+
+    /// The group of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is an unplaceable source (which has no group) —
+    /// callers iterate placeable devices only.
+    pub fn group_of_device(&self, id: DeviceId) -> GroupId {
+        self.device(id)
+            .group
+            .unwrap_or_else(|| panic!("device {} has no group", self.device(id).name))
+    }
+
+    /// The group a unit belongss to.
+    pub fn group_of_unit(&self, id: UnitId) -> GroupId {
+        self.group_of_device(self.unit(id).device)
+    }
+
+    /// The ids of the units of `device`, in unit-index order.
+    pub fn units_of_device(&self, device: DeviceId) -> impl Iterator<Item = UnitId> + '_ {
+        self.device_units[device.index()].clone().map(UnitId::new)
+    }
+
+    /// The ids of all units of every device in `group`, device-major.
+    pub fn units_of_group(&self, group: GroupId) -> Vec<UnitId> {
+        self.groups[group.index()]
+            .devices
+            .iter()
+            .flat_map(|&d| self.units_of_device(d))
+            .collect()
+    }
+
+    /// Ids of all placeable devices.
+    pub fn placeable_devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind.is_placeable())
+            .map(|(i, _)| DeviceId::new(i as u32))
+    }
+
+    /// Devices with at least one pin on `net` (with no terminal filter).
+    pub fn devices_on_net(&self, net: NetId) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.pins.contains(&net))
+            .map(|(i, _)| DeviceId::new(i as u32))
+            .collect()
+    }
+
+    /// The net bound to a port role, if any.
+    pub fn port(&self, role: PortRole) -> Option<NetId> {
+        self.ports.iter().find(|(r, _)| *r == role).map(|(_, n)| *n)
+    }
+
+    /// All port bindings.
+    pub fn ports(&self) -> &[(PortRole, NetId)] {
+        &self.ports
+    }
+
+    /// The net bound to a port role.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MissingPort`] when the role is unbound.
+    pub fn require_port(&self, role: PortRole) -> Result<NetId, NetlistError> {
+        self.port(role)
+            .ok_or_else(|| NetlistError::MissingPort { role: role.to_string() })
+    }
+
+    /// Finds a net id by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId::new(i as u32))
+    }
+
+    /// Finds a device id by instance name.
+    pub fn find_device(&self, name: &str) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| DeviceId::new(i as u32))
+    }
+
+    /// Finds a group id by name.
+    pub fn find_group(&self, name: &str) -> Option<GroupId> {
+        self.groups
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GroupId::new(i as u32))
+    }
+
+    /// Ids of all groups.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.groups.len() as u32).map(GroupId::new)
+    }
+
+    /// Total silicon cell count: one grid cell per unit.
+    pub fn total_unit_cells(&self) -> usize {
+        self.units.len()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {} devices, {} units, {} groups, {} nets",
+            self.name,
+            self.class,
+            self.devices.len(),
+            self.units.len(),
+            self.groups.len(),
+            self.nets.len()
+        )
+    }
+}
+
+/// Incremental builder for a [`Circuit`].
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_netlist::{
+///     CircuitBuilder, CircuitClass, GroupKind, MosParams, MosPolarity, NetKind, PortRole,
+/// };
+///
+/// # fn main() -> Result<(), breaksym_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("simple_mirror", CircuitClass::CurrentMirror);
+/// let vss = b.add_net("vss", NetKind::Ground)?;
+/// let iref = b.add_net("iref", NetKind::Signal)?;
+/// let iout = b.add_net("iout", NetKind::Signal)?;
+/// let g = b.add_group("gm", GroupKind::CurrentMirror)?;
+/// let p = MosParams::nmos_default(2.0, 0.5);
+/// b.add_mos("MREF", MosPolarity::Nmos, p, 2, g, iref, iref, vss, vss)?;
+/// b.add_mos("MOUT", MosPolarity::Nmos, p, 2, g, iout, iref, vss, vss)?;
+/// b.bind_port(PortRole::Vss, vss);
+/// b.bind_port(PortRole::Iref, iref);
+/// b.bind_port(PortRole::Iout(0), iout);
+/// let circuit = b.build()?;
+/// assert_eq!(circuit.num_units(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    name: String,
+    class: CircuitClass,
+    nets: Vec<Net>,
+    devices: Vec<Device>,
+    groups: Vec<Group>,
+    ports: Vec<(PortRole, NetId)>,
+    net_names: HashMap<String, NetId>,
+    device_names: HashMap<String, DeviceId>,
+    group_names: HashMap<String, GroupId>,
+}
+
+impl CircuitBuilder {
+    /// Starts a new empty circuit.
+    pub fn new(name: impl Into<String>, class: CircuitClass) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            class,
+            nets: Vec::new(),
+            devices: Vec::new(),
+            groups: Vec::new(),
+            ports: Vec::new(),
+            net_names: HashMap::new(),
+            device_names: HashMap::new(),
+            group_names: HashMap::new(),
+        }
+    }
+
+    /// Adds a net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_net(&mut self, name: &str, kind: NetKind) -> Result<NetId, NetlistError> {
+        if self.net_names.contains_key(name) {
+            return Err(NetlistError::DuplicateName { kind: "net", name: name.into() });
+        }
+        let id = NetId::new(self.nets.len() as u32);
+        self.nets.push(Net { name: name.into(), kind });
+        self.net_names.insert(name.into(), id);
+        Ok(id)
+    }
+
+    /// Returns the existing net with `name` or creates a new one of `kind`.
+    pub fn net(&mut self, name: &str, kind: NetKind) -> NetId {
+        if let Some(&id) = self.net_names.get(name) {
+            return id;
+        }
+        self.add_net(name, kind).expect("name checked above")
+    }
+
+    /// Adds an empty group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateName`] if the name is taken.
+    pub fn add_group(&mut self, name: &str, kind: GroupKind) -> Result<GroupId, NetlistError> {
+        if self.group_names.contains_key(name) {
+            return Err(NetlistError::DuplicateName { kind: "group", name: name.into() });
+        }
+        let id = GroupId::new(self.groups.len() as u32);
+        self.groups.push(Group::new(name, kind));
+        self.group_names.insert(name.into(), id);
+        Ok(id)
+    }
+
+    fn add_device(&mut self, dev: Device) -> Result<DeviceId, NetlistError> {
+        if self.device_names.contains_key(&dev.name) {
+            return Err(NetlistError::DuplicateName { kind: "device", name: dev.name });
+        }
+        if dev.kind.is_placeable() {
+            if dev.num_units == 0 {
+                return Err(NetlistError::ZeroUnits { device: dev.name });
+            }
+            let Some(g) = dev.group else {
+                return Err(NetlistError::Ungrouped { device: dev.name });
+            };
+            if g.index() >= self.groups.len() {
+                return Err(NetlistError::UnknownName {
+                    kind: "group",
+                    name: format!("{g}"),
+                });
+            }
+        }
+        for &pin in &dev.pins {
+            if pin.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownName { kind: "net", name: format!("{pin}") });
+            }
+        }
+        let id = DeviceId::new(self.devices.len() as u32);
+        if let Some(g) = dev.group {
+            self.groups[g.index()].devices.push(id);
+        }
+        self.device_names.insert(dev.name.clone(), id);
+        self.devices.push(dev);
+        Ok(id)
+    }
+
+    /// Adds a MOS transistor with `units` placeable fingers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, zero units, unknown group/nets, or
+    /// non-positive channel dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mos(
+        &mut self,
+        name: &str,
+        polarity: MosPolarity,
+        params: MosParams,
+        units: u32,
+        group: GroupId,
+        d: NetId,
+        g: NetId,
+        s: NetId,
+        b: NetId,
+    ) -> Result<DeviceId, NetlistError> {
+        if !(params.w_um > 0.0 && params.l_um > 0.0 && params.kp > 0.0) {
+            return Err(NetlistError::InvalidParam {
+                device: name.into(),
+                reason: format!(
+                    "w={} l={} kp={} must all be positive",
+                    params.w_um, params.l_um, params.kp
+                ),
+            });
+        }
+        self.add_device(Device {
+            name: name.into(),
+            kind: DeviceKind::Mos { polarity, params },
+            pins: vec![d, g, s, b],
+            num_units: units,
+            group: Some(group),
+        })
+    }
+
+    /// Adds a resistor with `units` series segments.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name, zero units, or non-positive resistance.
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        ohms: f64,
+        units: u32,
+        group: GroupId,
+        p: NetId,
+        n: NetId,
+    ) -> Result<DeviceId, NetlistError> {
+        if !(ohms > 0.0 && ohms.is_finite()) {
+            return Err(NetlistError::InvalidParam {
+                device: name.into(),
+                reason: format!("resistance {ohms} must be positive and finite"),
+            });
+        }
+        self.add_device(Device {
+            name: name.into(),
+            kind: DeviceKind::Resistor { ohms },
+            pins: vec![p, n],
+            num_units: units,
+            group: Some(group),
+        })
+    }
+
+    /// Adds a capacitor with `units` parallel segments.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name, zero units, or non-positive capacitance.
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        farads: f64,
+        units: u32,
+        group: GroupId,
+        p: NetId,
+        n: NetId,
+    ) -> Result<DeviceId, NetlistError> {
+        if !(farads > 0.0 && farads.is_finite()) {
+            return Err(NetlistError::InvalidParam {
+                device: name.into(),
+                reason: format!("capacitance {farads} must be positive and finite"),
+            });
+        }
+        self.add_device(Device {
+            name: name.into(),
+            kind: DeviceKind::Capacitor { farads },
+            pins: vec![p, n],
+            num_units: units,
+            group: Some(group),
+        })
+    }
+
+    /// Adds an ideal (testbench, unplaceable) DC current source.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        amps: f64,
+        p: NetId,
+        n: NetId,
+    ) -> Result<DeviceId, NetlistError> {
+        self.add_device(Device {
+            name: name.into(),
+            kind: DeviceKind::CurrentSource { amps },
+            pins: vec![p, n],
+            num_units: 0,
+            group: None,
+        })
+    }
+
+    /// Adds an ideal (testbench, unplaceable) DC voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate name.
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        volts: f64,
+        p: NetId,
+        n: NetId,
+    ) -> Result<DeviceId, NetlistError> {
+        self.add_device(Device {
+            name: name.into(),
+            kind: DeviceKind::VoltageSource { volts },
+            pins: vec![p, n],
+            num_units: 0,
+            group: None,
+        })
+    }
+
+    /// Binds a port role to a net (overwrites a previous binding of the
+    /// same role).
+    pub fn bind_port(&mut self, role: PortRole, net: NetId) -> &mut Self {
+        self.ports.retain(|(r, _)| *r != role);
+        self.ports.push((role, net));
+        self
+    }
+
+    /// Finalises the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any group ended up empty (a declared group with
+    /// no devices is almost certainly a construction bug).
+    pub fn build(self) -> Result<Circuit, NetlistError> {
+        for g in &self.groups {
+            if g.devices.is_empty() {
+                return Err(NetlistError::UnknownName { kind: "group devices", name: g.name.clone() });
+            }
+        }
+        let mut units = Vec::new();
+        let mut device_units = Vec::with_capacity(self.devices.len());
+        for (i, dev) in self.devices.iter().enumerate() {
+            let start = units.len() as u32;
+            for k in 0..dev.num_units {
+                units.push(Unit { device: DeviceId::new(i as u32), index: k });
+            }
+            device_units.push(start..units.len() as u32);
+        }
+        Ok(Circuit {
+            name: self.name,
+            class: self.class,
+            nets: self.nets,
+            devices: self.devices,
+            groups: self.groups,
+            units,
+            device_units,
+            ports: self.ports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CircuitBuilder {
+        let mut b = CircuitBuilder::new("t", CircuitClass::Generic);
+        let vss = b.add_net("vss", NetKind::Ground).unwrap();
+        let a = b.add_net("a", NetKind::Signal).unwrap();
+        let g = b.add_group("g0", GroupKind::CurrentMirror).unwrap();
+        let p = MosParams::nmos_default(1.0, 0.2);
+        b.add_mos("M1", MosPolarity::Nmos, p, 3, g, a, a, vss, vss).unwrap();
+        b.add_mos("M2", MosPolarity::Nmos, p, 2, g, a, a, vss, vss).unwrap();
+        b
+    }
+
+    #[test]
+    fn units_are_generated_device_major() {
+        let c = tiny().build().unwrap();
+        assert_eq!(c.num_units(), 5);
+        let m1 = c.find_device("M1").unwrap();
+        let m2 = c.find_device("M2").unwrap();
+        let u1: Vec<_> = c.units_of_device(m1).collect();
+        let u2: Vec<_> = c.units_of_device(m2).collect();
+        assert_eq!(u1.len(), 3);
+        assert_eq!(u2.len(), 2);
+        assert_eq!(c.unit(u1[0]).device, m1);
+        assert_eq!(c.unit(u1[2]).index, 2);
+        assert_eq!(c.unit(u2[0]).device, m2);
+        // Group sees all five units.
+        let g = c.find_group("g0").unwrap();
+        assert_eq!(c.units_of_group(g).len(), 5);
+        assert_eq!(c.group_of_unit(u2[1]), g);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = tiny();
+        assert!(matches!(
+            b.add_net("vss", NetKind::Ground),
+            Err(NetlistError::DuplicateName { kind: "net", .. })
+        ));
+        assert!(matches!(
+            b.add_group("g0", GroupKind::Custom),
+            Err(NetlistError::DuplicateName { kind: "group", .. })
+        ));
+        let vss = b.net("vss", NetKind::Ground);
+        let g = b.group_names["g0"];
+        let p = MosParams::nmos_default(1.0, 0.2);
+        assert!(matches!(
+            b.add_mos("M1", MosPolarity::Nmos, p, 1, g, vss, vss, vss, vss),
+            Err(NetlistError::DuplicateName { kind: "device", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_units_and_bad_params_rejected() {
+        let mut b = tiny();
+        let vss = b.net("vss", NetKind::Ground);
+        let g = b.group_names["g0"];
+        let p = MosParams::nmos_default(1.0, 0.2);
+        assert!(matches!(
+            b.add_mos("M9", MosPolarity::Nmos, p, 0, g, vss, vss, vss, vss),
+            Err(NetlistError::ZeroUnits { .. })
+        ));
+        let bad = MosParams { w_um: -1.0, ..p };
+        assert!(matches!(
+            b.add_mos("M10", MosPolarity::Nmos, bad, 1, g, vss, vss, vss, vss),
+            Err(NetlistError::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            b.add_resistor("R1", 0.0, 1, g, vss, vss),
+            Err(NetlistError::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            b.add_capacitor("C1", f64::INFINITY, 1, g, vss, vss),
+            Err(NetlistError::InvalidParam { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_group_rejected_at_build() {
+        let mut b = tiny();
+        b.add_group("empty", GroupKind::Custom).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn ports_bind_and_rebind() {
+        let mut b = tiny();
+        let vss = b.net("vss", NetKind::Ground);
+        let a = b.net("a", NetKind::Signal);
+        b.bind_port(PortRole::Vss, vss);
+        b.bind_port(PortRole::Vss, a); // rebind wins
+        let c = b.build().unwrap();
+        assert_eq!(c.port(PortRole::Vss), Some(a));
+        assert_eq!(c.port(PortRole::Vdd), None);
+        assert!(c.require_port(PortRole::Vdd).is_err());
+    }
+
+    #[test]
+    fn sources_are_unplaceable_and_ungrouped() {
+        let mut b = tiny();
+        let vss = b.net("vss", NetKind::Ground);
+        let a = b.net("a", NetKind::Signal);
+        b.add_isource("I1", 10e-6, a, vss).unwrap();
+        b.add_vsource("V1", 1.1, a, vss).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.num_units(), 5); // sources add no units
+        assert_eq!(c.placeable_devices().count(), 2);
+        let i1 = c.find_device("I1").unwrap();
+        assert!(c.device(i1).group.is_none());
+    }
+
+    #[test]
+    fn devices_on_net_query() {
+        let c = tiny().build().unwrap();
+        let a = c.find_net("a").unwrap();
+        assert_eq!(c.devices_on_net(a).len(), 2);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let c = tiny().build().unwrap();
+        let s = c.to_string();
+        assert!(s.contains("2 devices"));
+        assert!(s.contains("5 units"));
+    }
+}

@@ -1,0 +1,537 @@
+//! The benchmark circuits of the paper's evaluation, plus small circuits
+//! used throughout the test suites.
+//!
+//! The paper evaluates a medium current mirror (CM), a dynamic comparator
+//! (COMP), and a folded-cascode OTA (OTA) in TSMC 40 nm. We rebuild the same
+//! topologies behaviourally: sizes are chosen so device/unit/group counts
+//! are comparable, and every matching-critical primitive of the originals is
+//! present (input pairs, cross-coupled pairs, mirrors, cascodes).
+//!
+//! All constructors return fully validated circuits and never fail: they
+//! `expect` internally because their inputs are compile-time constants.
+
+use crate::{
+    Circuit, CircuitBuilder, CircuitClass, GroupKind, MosParams, MosPolarity, NetKind, PortRole,
+};
+
+/// Supply voltage used by every benchmark testbench, in volts.
+pub const VDD: f64 = 1.1;
+
+/// The medium-sized cascode current mirror ("CM" in Fig. 3).
+///
+/// One diode-connected reference column and three output columns, each
+/// column a mirror device (3 units) topped by a cascode device (2 units),
+/// plus a matched bias-resistor pair: 3 groups, 24 placeable units.
+///
+/// Metrics (paper): mismatch, area.
+pub fn current_mirror_medium() -> Circuit {
+    let mut b = CircuitBuilder::new("cm_medium", CircuitClass::CurrentMirror);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let nref = b.net("nref", NetKind::Signal); // cascode-top of the reference column
+    let nmid_r = b.net("nmid_r", NetKind::Signal);
+    let ncasb = b.net("ncasb", NetKind::Bias); // cascode gate bias
+
+    let g_mirror = b.add_group("g_mirror", GroupKind::CurrentMirror).expect("fresh name");
+    let g_cas = b.add_group("g_cascode", GroupKind::CascodePair).expect("fresh name");
+    let g_bias = b.add_group("g_bias", GroupKind::Passive).expect("fresh name");
+
+    let pm = MosParams::nmos_default(2.0, 0.4);
+    let pc = MosParams::nmos_default(2.0, 0.2);
+
+    // Reference column: bottom mirror device is diode-connected through the
+    // cascode (gate of the mirror row tied to nref).
+    b.add_mos("MREF", MosPolarity::Nmos, pm, 3, g_mirror, nmid_r, nref, vss, vss)
+        .expect("valid");
+    b.add_mos("MCREF", MosPolarity::Nmos, pc, 2, g_cas, nref, ncasb, nmid_r, vss)
+        .expect("valid");
+
+    for k in 0..3u8 {
+        let nmid = b.net(&format!("nmid{k}"), NetKind::Signal);
+        let nout = b.net(&format!("iout{k}"), NetKind::Signal);
+        b.add_mos(
+            &format!("MOUT{k}"),
+            MosPolarity::Nmos,
+            pm,
+            3,
+            g_mirror,
+            nmid,
+            nref,
+            vss,
+            vss,
+        )
+        .expect("valid");
+        b.add_mos(
+            &format!("MCOUT{k}"),
+            MosPolarity::Nmos,
+            pc,
+            2,
+            g_cas,
+            nout,
+            ncasb,
+            nmid,
+            vss,
+        )
+        .expect("valid");
+        b.bind_port(PortRole::Iout(k), nout);
+    }
+
+    // Matched bias divider for the cascode gate.
+    b.add_resistor("RB1", 20e3, 2, g_bias, vdd, ncasb).expect("valid");
+    b.add_resistor("RB2", 20e3, 2, g_bias, ncasb, vss).expect("valid");
+
+    // Testbench: supply and reference current.
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_isource("IREF", 20e-6, vdd, nref).expect("valid");
+
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::Iref, nref);
+    b.build().expect("static construction is valid")
+}
+
+/// The StrongARM-style dynamic comparator ("COMP" in Fig. 3).
+///
+/// Tail, differential input pair, NMOS and PMOS cross-coupled pairs and
+/// four precharge switches: 5 groups, 24 placeable units.
+///
+/// Metrics (paper): offset, delay, power, area.
+pub fn comparator() -> Circuit {
+    let mut b = CircuitBuilder::new("comp_strongarm", CircuitClass::Comparator);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let clk = b.net("clk", NetKind::Signal);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let xp = b.net("xp", NetKind::Signal); // drains of the input pair
+    let xn = b.net("xn", NetKind::Signal);
+    let outp = b.net("outp", NetKind::Signal);
+    let outn = b.net("outn", NetKind::Signal);
+
+    let g_tail = b.add_group("g_tail", GroupKind::TailSource).expect("fresh name");
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_ccn = b.add_group("g_ccn", GroupKind::CrossCoupledPair).expect("fresh name");
+    let g_ccp = b.add_group("g_ccp", GroupKind::CrossCoupledPair).expect("fresh name");
+    let g_sw = b.add_group("g_sw", GroupKind::Switch).expect("fresh name");
+
+    let pt = MosParams::nmos_default(3.0, 0.1);
+    let pin = MosParams::nmos_default(2.5, 0.1);
+    let pcn = MosParams::nmos_default(2.0, 0.15);
+    let pcp = MosParams::pmos_default(2.5, 0.15);
+    let psw = MosParams::pmos_default(1.0, 0.1);
+
+    b.add_mos("MTAIL", MosPolarity::Nmos, pt, 4, g_tail, tail, clk, vss, vss).expect("valid");
+    b.add_mos("MINP", MosPolarity::Nmos, pin, 4, g_in, xp, inp, tail, vss).expect("valid");
+    b.add_mos("MINN", MosPolarity::Nmos, pin, 4, g_in, xn, inn, tail, vss).expect("valid");
+    // NMOS latch pair: gates cross-coupled to the opposite outputs.
+    b.add_mos("MLN1", MosPolarity::Nmos, pcn, 2, g_ccn, outp, outn, xp, vss).expect("valid");
+    b.add_mos("MLN2", MosPolarity::Nmos, pcn, 2, g_ccn, outn, outp, xn, vss).expect("valid");
+    // PMOS latch pair.
+    b.add_mos("MLP1", MosPolarity::Pmos, pcp, 2, g_ccp, outp, outn, vdd, vdd).expect("valid");
+    b.add_mos("MLP2", MosPolarity::Pmos, pcp, 2, g_ccp, outn, outp, vdd, vdd).expect("valid");
+    // Precharge switches on the four internal nodes.
+    b.add_mos("MS1", MosPolarity::Pmos, psw, 1, g_sw, outp, clk, vdd, vdd).expect("valid");
+    b.add_mos("MS2", MosPolarity::Pmos, psw, 1, g_sw, outn, clk, vdd, vdd).expect("valid");
+    b.add_mos("MS3", MosPolarity::Pmos, psw, 1, g_sw, xp, clk, vdd, vdd).expect("valid");
+    b.add_mos("MS4", MosPolarity::Pmos, psw, 1, g_sw, xn, clk, vdd, vdd).expect("valid");
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_vsource("VCM", 0.55, inp, vss).expect("valid");
+
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::OutP, outp);
+    b.bind_port(PortRole::OutN, outn);
+    b.bind_port(PortRole::Clock, clk);
+    b.build().expect("static construction is valid")
+}
+
+/// The folded-cascode OTA of Fig. 1(a) ("OTA" in Fig. 3).
+///
+/// PMOS input pair and tail, NMOS mirror + cascode on the folding branch,
+/// PMOS mirror + cascode on top, single-ended output with a load capacitor:
+/// 6 groups, 32 placeable units.
+///
+/// Metrics (paper): gain, bandwidth, phase margin, offset, power, area.
+pub fn folded_cascode_ota() -> Circuit {
+    let mut b = CircuitBuilder::new("ota_folded_cascode", CircuitClass::Ota);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let fp = b.net("nfold_p", NetKind::Signal); // fold node, + side
+    let fn_ = b.net("nfold_n", NetKind::Signal); // fold node, − side
+    let out = b.net("out", NetKind::Signal);
+    let casc = b.net("ncasc", NetKind::Signal); // cascoded internal node (mirror side)
+    let nbn = b.net("nb_ncas", NetKind::Bias);
+    let nbp = b.net("nb_pcas", NetKind::Bias);
+    let nbt = b.net("nb_tail", NetKind::Bias);
+
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_tail = b.add_group("g_tail", GroupKind::TailSource).expect("fresh name");
+    let g_ncas = b.add_group("g_ncas", GroupKind::CascodePair).expect("fresh name");
+    let g_nmir = b.add_group("g_nmir", GroupKind::CurrentMirror).expect("fresh name");
+    let g_pcas = b.add_group("g_pcas", GroupKind::CascodePair).expect("fresh name");
+    let g_pmir = b.add_group("g_pmir", GroupKind::CurrentMirror).expect("fresh name");
+
+    let p_in = MosParams::pmos_default(4.0, 0.2);
+    let p_tail = MosParams::pmos_default(4.0, 0.4);
+    let p_ncas = MosParams::nmos_default(1.5, 0.2);
+    let p_nmir = MosParams::nmos_default(2.0, 0.4);
+    let p_pcas = MosParams::pmos_default(2.5, 0.2);
+    let p_pmir = MosParams::pmos_default(3.0, 0.4);
+
+    // PMOS input pair (sources at the tail node).
+    b.add_mos("M1", MosPolarity::Pmos, p_in, 4, g_in, fp, inp, tail, vdd).expect("valid");
+    b.add_mos("M2", MosPolarity::Pmos, p_in, 4, g_in, fn_, inn, tail, vdd).expect("valid");
+    // Tail current source.
+    b.add_mos("M0", MosPolarity::Pmos, p_tail, 4, g_tail, tail, nbt, vdd, vdd).expect("valid");
+    // NMOS bottom mirror (sinks the fold-node currents).
+    b.add_mos("M5", MosPolarity::Nmos, p_nmir, 3, g_nmir, fp, nbn, vss, vss).expect("valid");
+    b.add_mos("M6", MosPolarity::Nmos, p_nmir, 3, g_nmir, fn_, nbn, vss, vss).expect("valid");
+    // NMOS cascodes from the fold nodes up.
+    b.add_mos("M3", MosPolarity::Nmos, p_ncas, 2, g_ncas, casc, nbn, fp, vss).expect("valid");
+    b.add_mos("M4", MosPolarity::Nmos, p_ncas, 2, g_ncas, out, nbn, fn_, vss).expect("valid");
+    // PMOS top mirror, cascode-diode connected: the mirror gate ties to the
+    // casc node *below* the cascodes, so the stack self-biases.
+    let ptop_p = b.net("nptop_p", NetKind::Signal);
+    let ptop_n = b.net("nptop_n", NetKind::Signal);
+    b.add_mos("M9", MosPolarity::Pmos, p_pmir, 3, g_pmir, ptop_p, casc, vdd, vdd).expect("valid");
+    b.add_mos("M10", MosPolarity::Pmos, p_pmir, 3, g_pmir, ptop_n, casc, vdd, vdd).expect("valid");
+    // PMOS cascodes stacked under the mirror, biased by nbp.
+    b.add_mos("M7", MosPolarity::Pmos, p_pcas, 2, g_pcas, casc, nbp, ptop_p, vdd).expect("valid");
+    b.add_mos("M8", MosPolarity::Pmos, p_pcas, 2, g_pcas, out, nbp, ptop_n, vdd).expect("valid");
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_vsource("VBT", VDD - 0.6, nbt, vss).expect("valid");
+    b.add_vsource("VBN", 0.6, nbn, vss).expect("valid");
+    b.add_vsource("VBP", VDD - 0.6, nbp, vss).expect("valid");
+    // Load capacitor at the output (placeable passive not included: the
+    // paper's OTA metric list attributes area to transistor placement).
+    b.add_isource("ICM", 0.0, out, vss).expect("valid");
+
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::Out, out);
+    b.bind_port(PortRole::Bias, nbt);
+    b.build().expect("static construction is valid")
+}
+
+/// A small 5-transistor OTA used by unit tests and the quickstart example:
+/// 3 groups, 10 placeable units.
+pub fn five_transistor_ota() -> Circuit {
+    let mut b = CircuitBuilder::new("ota_5t", CircuitClass::Ota);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let x = b.net("x", NetKind::Signal);
+    let out = b.net("out", NetKind::Signal);
+    let nbt = b.net("nb_tail", NetKind::Bias);
+
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_ld = b.add_group("g_load", GroupKind::CurrentMirror).expect("fresh name");
+    let g_tail = b.add_group("g_tail", GroupKind::TailSource).expect("fresh name");
+
+    let p_in = MosParams::nmos_default(3.0, 0.2);
+    let p_ld = MosParams::pmos_default(3.0, 0.3);
+    let p_t = MosParams::nmos_default(3.0, 0.4);
+
+    b.add_mos("M1", MosPolarity::Nmos, p_in, 2, g_in, x, inp, tail, vss).expect("valid");
+    b.add_mos("M2", MosPolarity::Nmos, p_in, 2, g_in, out, inn, tail, vss).expect("valid");
+    b.add_mos("M3", MosPolarity::Pmos, p_ld, 2, g_ld, x, x, vdd, vdd).expect("valid");
+    b.add_mos("M4", MosPolarity::Pmos, p_ld, 2, g_ld, out, x, vdd, vdd).expect("valid");
+    b.add_mos("M5", MosPolarity::Nmos, p_t, 2, g_tail, tail, nbt, vss, vss).expect("valid");
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_vsource("VBT", 0.6, nbt, vss).expect("valid");
+
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::Out, out);
+    b.bind_port(PortRole::Bias, nbt);
+    b.build().expect("static construction is valid")
+}
+
+/// A two-stage Miller-compensated OTA: NMOS input stage with PMOS mirror
+/// load, common-source second stage, and a matched compensation-capacitor
+/// pair: 5 groups, 18 placeable units.
+///
+/// Not part of the paper's benchmark set — included to exercise the flow
+/// on a topology with both a high-impedance internal node and matched
+/// passives.
+pub fn two_stage_miller() -> Circuit {
+    let mut b = CircuitBuilder::new("ota_two_stage_miller", CircuitClass::Ota);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let x = b.net("x", NetKind::Signal); // diode side of the first stage
+    let y = b.net("y", NetKind::Signal); // first-stage output
+    let out = b.net("out", NetKind::Signal);
+    let nbias = b.net("nbias", NetKind::Bias);
+
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_ld = b.add_group("g_load", GroupKind::CurrentMirror).expect("fresh name");
+    let g_tail = b.add_group("g_tail", GroupKind::TailSource).expect("fresh name");
+    let g_out = b.add_group("g_out", GroupKind::Custom).expect("fresh name");
+    let g_comp = b.add_group("g_comp", GroupKind::Passive).expect("fresh name");
+
+    let p_in = MosParams::nmos_default(3.0, 0.2);
+    let p_ld = MosParams::pmos_default(4.0, 0.3);
+    let p_t = MosParams::nmos_default(3.0, 0.4);
+    // Sized for the systematic-offset condition: vsg(M6) = vsg(M3) when
+    // the second-stage current is twice the per-branch first-stage one.
+    let p_o = MosParams::pmos_default(7.76, 0.3);
+
+    b.add_mos("M1", MosPolarity::Nmos, p_in, 3, g_in, x, inp, tail, vss).expect("valid");
+    b.add_mos("M2", MosPolarity::Nmos, p_in, 3, g_in, y, inn, tail, vss).expect("valid");
+    b.add_mos("M3", MosPolarity::Pmos, p_ld, 2, g_ld, x, x, vdd, vdd).expect("valid");
+    b.add_mos("M4", MosPolarity::Pmos, p_ld, 2, g_ld, y, x, vdd, vdd).expect("valid");
+    b.add_mos("M5", MosPolarity::Nmos, p_t, 2, g_tail, tail, nbias, vss, vss).expect("valid");
+    b.add_mos("M6", MosPolarity::Pmos, p_o, 3, g_out, out, y, vdd, vdd).expect("valid");
+    b.add_mos("M7", MosPolarity::Nmos, p_t, 2, g_tail, out, nbias, vss, vss).expect("valid");
+    // Matched Miller caps (split in two for common-centroid-able layout).
+    b.add_capacitor("CC1", 150e-15, 1, g_comp, y, out).expect("valid");
+    b.add_capacitor("CC2", 150e-15, 1, g_comp, y, out).expect("valid");
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_vsource("VB", 0.6, nbias, vss).expect("valid");
+
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::Out, out);
+    b.bind_port(PortRole::Bias, nbias);
+    b.build().expect("static construction is valid")
+}
+
+/// A string of `2·half` matched resistors between vdd and vss with a
+/// center tap — a DAC-ladder-style pure-passive matching problem
+/// (Generic class, one Passive group).
+///
+/// # Panics
+///
+/// Panics if `half == 0`.
+pub fn resistor_string(half: u32) -> Circuit {
+    assert!(half > 0, "resistor string needs at least one resistor per side");
+    let mut b = CircuitBuilder::new("resistor_string", CircuitClass::Generic);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let tap = b.net("tap", NetKind::Signal);
+    let g = b.add_group("g_string", GroupKind::Passive).expect("fresh name");
+
+    let mut prev = vdd;
+    for i in 0..half {
+        let next = if i == half - 1 { tap } else { b.net(&format!("nu{i}"), NetKind::Signal) };
+        b.add_resistor(&format!("RU{i}"), 5e3, 2, g, prev, next).expect("valid");
+        prev = next;
+    }
+    let mut prev = tap;
+    for i in 0..half {
+        let next = if i == half - 1 { vss } else { b.net(&format!("nl{i}"), NetKind::Signal) };
+        b.add_resistor(&format!("RL{i}"), 5e3, 2, g, prev, next).expect("valid");
+        prev = next;
+    }
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::Out, tap);
+    b.build().expect("static construction is valid")
+}
+
+/// A resistively loaded differential pair: the smallest matched circuit,
+/// 2 groups, 6 placeable units. Useful for hand-checkable tests.
+pub fn diff_pair() -> Circuit {
+    let mut b = CircuitBuilder::new("diff_pair", CircuitClass::Generic);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let outp = b.net("outp", NetKind::Signal);
+    let outn = b.net("outn", NetKind::Signal);
+
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_r = b.add_group("g_load", GroupKind::Passive).expect("fresh name");
+
+    let p_in = MosParams::nmos_default(2.0, 0.2);
+    b.add_mos("M1", MosPolarity::Nmos, p_in, 2, g_in, outp, inp, tail, vss).expect("valid");
+    b.add_mos("M2", MosPolarity::Nmos, p_in, 2, g_in, outn, inn, tail, vss).expect("valid");
+    b.add_resistor("R1", 10e3, 1, g_r, vdd, outp).expect("valid");
+    b.add_resistor("R2", 10e3, 1, g_r, vdd, outn).expect("valid");
+    b.add_isource("ITAIL", 100e-6, tail, vss).expect("valid");
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::OutP, outp);
+    b.bind_port(PortRole::OutN, outn);
+    b.build().expect("static construction is valid")
+}
+
+/// The example environment of the paper's Fig. 2(a): three groups with two
+/// devices each, every device split into two units (12 units total).
+pub fn fig2_example() -> Circuit {
+    let mut b = CircuitBuilder::new("fig2_example", CircuitClass::Generic);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let p = MosParams::nmos_default(1.0, 0.1);
+    for gi in 0..3u32 {
+        let g = b
+            .add_group(&format!("g{}", gi + 1), GroupKind::Custom)
+            .expect("fresh name");
+        for di in 0..2u32 {
+            let n = b.net(&format!("n{gi}_{di}"), NetKind::Signal);
+            b.add_mos(
+                &format!("M{gi}{di}"),
+                MosPolarity::Nmos,
+                p,
+                2,
+                g,
+                n,
+                n,
+                vss,
+                vss,
+            )
+            .expect("valid");
+        }
+    }
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.build().expect("static construction is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupKind;
+
+    #[test]
+    fn cm_medium_shape() {
+        let c = current_mirror_medium();
+        assert_eq!(c.class(), CircuitClass::CurrentMirror);
+        assert_eq!(c.groups().len(), 3);
+        assert_eq!(c.num_units(), 24);
+        assert!(c.port(PortRole::Iref).is_some());
+        for k in 0..3 {
+            assert!(c.port(PortRole::Iout(k)).is_some(), "missing iout{k}");
+        }
+        // 4 mirror devices share a gate net.
+        let g = c.find_group("g_mirror").unwrap();
+        assert_eq!(c.group(g).devices.len(), 4);
+        assert_eq!(c.group(g).kind, GroupKind::CurrentMirror);
+    }
+
+    #[test]
+    fn comparator_shape() {
+        let c = comparator();
+        assert_eq!(c.class(), CircuitClass::Comparator);
+        assert_eq!(c.groups().len(), 5);
+        assert_eq!(c.num_units(), 24);
+        assert!(c.port(PortRole::InP).is_some());
+        assert!(c.port(PortRole::OutN).is_some());
+        assert!(c.port(PortRole::Clock).is_some());
+        // Input pair devices are matched in size.
+        let g = c.find_group("g_in").unwrap();
+        let ds = &c.group(g).devices;
+        assert_eq!(ds.len(), 2);
+        let p0 = c.device(ds[0]).mos_params().unwrap();
+        let p1 = c.device(ds[1]).mos_params().unwrap();
+        assert_eq!(p0.w_um, p1.w_um);
+    }
+
+    #[test]
+    fn ota_shape_matches_fig1_grouping() {
+        let c = folded_cascode_ota();
+        assert_eq!(c.class(), CircuitClass::Ota);
+        assert_eq!(c.groups().len(), 6);
+        assert_eq!(c.num_units(), 32);
+        assert!(c.num_units() > comparator().num_units());
+        // Every placeable device is in a group and every group non-empty.
+        for d in c.placeable_devices() {
+            assert!(c.device(d).group.is_some());
+        }
+        for g in c.groups() {
+            assert!(!g.devices.is_empty());
+        }
+    }
+
+    #[test]
+    fn miller_ota_shape() {
+        let c = two_stage_miller();
+        assert_eq!(c.class(), CircuitClass::Ota);
+        assert_eq!(c.groups().len(), 5);
+        assert_eq!(c.num_units(), 19);
+        assert!(c.port(PortRole::Out).is_some());
+        // The compensation caps are matched passives in one group.
+        let g = c.find_group("g_comp").unwrap();
+        assert_eq!(c.group(g).kind, GroupKind::Passive);
+        assert_eq!(c.group(g).devices.len(), 2);
+    }
+
+    #[test]
+    fn resistor_string_shape_scales() {
+        for half in [1u32, 3, 6] {
+            let c = resistor_string(half);
+            assert_eq!(c.groups().len(), 1);
+            assert_eq!(c.num_units() as u32, 2 * half * 2); // 2 units each
+            assert!(c.find_net("tap").is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resistor")]
+    fn empty_resistor_string_panics() {
+        let _ = resistor_string(0);
+    }
+
+    #[test]
+    fn five_t_ota_and_diff_pair_are_small() {
+        assert_eq!(five_transistor_ota().num_units(), 10);
+        let dp = diff_pair();
+        assert_eq!(dp.num_units(), 6);
+        assert_eq!(dp.groups().len(), 2);
+    }
+
+    #[test]
+    fn fig2_example_matches_paper_dimensions() {
+        let c = fig2_example();
+        assert_eq!(c.groups().len(), 3);
+        for g in c.groups() {
+            assert_eq!(g.devices.len(), 2);
+            for &d in &g.devices {
+                assert_eq!(c.device(d).num_units, 2);
+            }
+        }
+        assert_eq!(c.num_units(), 12);
+    }
+
+    #[test]
+    fn benchmark_unit_ordering_is_device_major_and_dense() {
+        for c in [current_mirror_medium(), comparator(), folded_cascode_ota()] {
+            let mut seen = 0u32;
+            for d in c.placeable_devices() {
+                for u in c.units_of_device(d) {
+                    assert_eq!(u.index() as u32, seen, "{}: unit ids must be dense", c.name());
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen as usize, c.num_units());
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Devices: MOS transistors and passives, with unit (finger) structure.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GroupId, NetId};
+
+/// Channel polarity of a MOS transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl MosPolarity {
+    /// +1 for NMOS, −1 for PMOS — the sign convention used by the square-law
+    /// DC solver.
+    #[inline]
+    pub fn sign(self) -> f64 {
+        match self {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+impl fmt::Display for MosPolarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MosPolarity::Nmos => "nmos",
+            MosPolarity::Pmos => "pmos",
+        })
+    }
+}
+
+/// Sizing of a MOS transistor. `w`/`l` are the *per-unit* channel
+/// dimensions in microns; the full device is `num_units` such fingers in
+/// parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosParams {
+    /// Per-unit channel width in µm.
+    pub w_um: f64,
+    /// Channel length in µm.
+    pub l_um: f64,
+    /// Nominal threshold voltage magnitude in volts.
+    pub vth0: f64,
+    /// Process transconductance `µ·Cox` in A/V² (per square).
+    pub kp: f64,
+    /// Channel-length modulation coefficient in 1/V.
+    pub lambda: f64,
+}
+
+impl MosParams {
+    /// Typical 40 nm-class NMOS defaults (behavioural, not a real PDK).
+    pub fn nmos_default(w_um: f64, l_um: f64) -> Self {
+        MosParams { w_um, l_um, vth0: 0.35, kp: 300e-6, lambda: 0.08 }
+    }
+
+    /// Typical 40 nm-class PMOS defaults (behavioural, not a real PDK).
+    pub fn pmos_default(w_um: f64, l_um: f64) -> Self {
+        MosParams { w_um, l_um, vth0: 0.35, kp: 120e-6, lambda: 0.10 }
+    }
+
+    /// Per-unit aspect ratio `W/L`.
+    #[inline]
+    pub fn aspect(&self) -> f64 {
+        self.w_um / self.l_um
+    }
+}
+
+/// What a device is, electrically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A MOS transistor with terminals (drain, gate, source, bulk).
+    Mos {
+        /// Channel polarity.
+        polarity: MosPolarity,
+        /// Sizing and model parameters.
+        params: MosParams,
+    },
+    /// A resistor; `ohms` is the *total* device resistance (units in series).
+    Resistor {
+        /// Total resistance in ohms.
+        ohms: f64,
+    },
+    /// A capacitor; `farads` is the total capacitance (units in parallel).
+    Capacitor {
+        /// Total capacitance in farads.
+        farads: f64,
+    },
+    /// An ideal DC current source pushing `amps` from `p` into `n`
+    /// externally (SPICE convention: current flows p → n inside the source).
+    CurrentSource {
+        /// Source current in amperes.
+        amps: f64,
+    },
+    /// An ideal DC voltage source of `volts` between `p` and `n`.
+    VoltageSource {
+        /// Source voltage in volts.
+        volts: f64,
+    },
+}
+
+impl DeviceKind {
+    /// Short SPICE-style prefix letter for the kind.
+    pub fn prefix(&self) -> char {
+        match self {
+            DeviceKind::Mos { .. } => 'M',
+            DeviceKind::Resistor { .. } => 'R',
+            DeviceKind::Capacitor { .. } => 'C',
+            DeviceKind::CurrentSource { .. } => 'I',
+            DeviceKind::VoltageSource { .. } => 'V',
+        }
+    }
+
+    /// Whether the device is placed on the grid. Ideal sources model the
+    /// testbench, not silicon, and are never placed.
+    pub fn is_placeable(&self) -> bool {
+        !matches!(
+            self,
+            DeviceKind::CurrentSource { .. } | DeviceKind::VoltageSource { .. }
+        )
+    }
+}
+
+/// A device terminal. MOS devices use all four; two-terminal devices use
+/// `P` (positive / first) and `N` (negative / second).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Terminal {
+    /// MOS drain.
+    Drain,
+    /// MOS gate.
+    Gate,
+    /// MOS source.
+    Source,
+    /// MOS bulk.
+    Bulk,
+    /// First terminal of a two-terminal device.
+    P,
+    /// Second terminal of a two-terminal device.
+    N,
+}
+
+impl fmt::Display for Terminal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Terminal::Drain => "d",
+            Terminal::Gate => "g",
+            Terminal::Source => "s",
+            Terminal::Bulk => "b",
+            Terminal::P => "p",
+            Terminal::N => "n",
+        })
+    }
+}
+
+/// A circuit device.
+///
+/// Constructed through [`CircuitBuilder`](crate::CircuitBuilder); fields are
+/// public because a `Device` is passive data owned by its circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    /// Instance name (unique within a circuit), e.g. `"M1"`.
+    pub name: String,
+    /// Electrical kind and parameters.
+    pub kind: DeviceKind,
+    /// Terminal connections in a fixed order:
+    /// `[d, g, s, b]` for MOS, `[p, n]` for two-terminal devices.
+    pub pins: Vec<NetId>,
+    /// Number of placeable units (fingers) of this device; `0` for
+    /// testbench sources.
+    pub num_units: u32,
+    /// The placement group this device belongs to (`None` only for
+    /// unplaceable testbench sources).
+    pub group: Option<GroupId>,
+}
+
+impl Device {
+    /// The net connected to `t`.
+    ///
+    /// Returns `None` when the device has no such terminal (e.g. asking a
+    /// resistor for its gate).
+    pub fn pin(&self, t: Terminal) -> Option<NetId> {
+        let idx = match (&self.kind, t) {
+            (DeviceKind::Mos { .. }, Terminal::Drain) => 0,
+            (DeviceKind::Mos { .. }, Terminal::Gate) => 1,
+            (DeviceKind::Mos { .. }, Terminal::Source) => 2,
+            (DeviceKind::Mos { .. }, Terminal::Bulk) => 3,
+            (DeviceKind::Mos { .. }, _) => return None,
+            (_, Terminal::P) => 0,
+            (_, Terminal::N) => 1,
+            _ => return None,
+        };
+        self.pins.get(idx).copied()
+    }
+
+    /// MOS polarity, if this is a transistor.
+    pub fn mos_polarity(&self) -> Option<MosPolarity> {
+        match self.kind {
+            DeviceKind::Mos { polarity, .. } => Some(polarity),
+            _ => None,
+        }
+    }
+
+    /// MOS parameters, if this is a transistor.
+    pub fn mos_params(&self) -> Option<&MosParams> {
+        match &self.kind {
+            DeviceKind::Mos { params, .. } => Some(params),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {} units)", self.name, self.kind.prefix(), self.num_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mos() -> Device {
+        Device {
+            name: "M1".into(),
+            kind: DeviceKind::Mos {
+                polarity: MosPolarity::Nmos,
+                params: MosParams::nmos_default(2.0, 0.2),
+            },
+            pins: vec![NetId::new(0), NetId::new(1), NetId::new(2), NetId::new(3)],
+            num_units: 4,
+            group: Some(GroupId::new(0)),
+        }
+    }
+
+    #[test]
+    fn mos_pin_lookup() {
+        let d = mos();
+        assert_eq!(d.pin(Terminal::Drain), Some(NetId::new(0)));
+        assert_eq!(d.pin(Terminal::Gate), Some(NetId::new(1)));
+        assert_eq!(d.pin(Terminal::Source), Some(NetId::new(2)));
+        assert_eq!(d.pin(Terminal::Bulk), Some(NetId::new(3)));
+        assert_eq!(d.pin(Terminal::P), None);
+        assert_eq!(d.mos_polarity(), Some(MosPolarity::Nmos));
+        assert!(d.mos_params().is_some());
+    }
+
+    #[test]
+    fn two_terminal_pin_lookup() {
+        let r = Device {
+            name: "R1".into(),
+            kind: DeviceKind::Resistor { ohms: 1e3 },
+            pins: vec![NetId::new(5), NetId::new(6)],
+            num_units: 2,
+            group: Some(GroupId::new(1)),
+        };
+        assert_eq!(r.pin(Terminal::P), Some(NetId::new(5)));
+        assert_eq!(r.pin(Terminal::N), Some(NetId::new(6)));
+        assert_eq!(r.pin(Terminal::Gate), None);
+        assert_eq!(r.mos_polarity(), None);
+    }
+
+    #[test]
+    fn placeability() {
+        assert!(DeviceKind::Resistor { ohms: 1.0 }.is_placeable());
+        assert!(!DeviceKind::VoltageSource { volts: 1.0 }.is_placeable());
+        assert!(!DeviceKind::CurrentSource { amps: 1e-6 }.is_placeable());
+        assert_eq!(DeviceKind::Capacitor { farads: 1e-15 }.prefix(), 'C');
+    }
+
+    #[test]
+    fn polarity_sign_convention() {
+        assert_eq!(MosPolarity::Nmos.sign(), 1.0);
+        assert_eq!(MosPolarity::Pmos.sign(), -1.0);
+    }
+
+    #[test]
+    fn aspect_ratio() {
+        let p = MosParams::nmos_default(4.0, 0.5);
+        assert!((p.aspect() - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// Two devices (or two nets, or two groups) share a name.
+    DuplicateName {
+        /// What kind of object collided ("device", "net", "group").
+        kind: &'static str,
+        /// The colliding name.
+        name: String,
+    },
+    /// A referenced name does not exist.
+    UnknownName {
+        /// What kind of object was looked up.
+        kind: &'static str,
+        /// The missing name.
+        name: String,
+    },
+    /// A placeable device was declared with zero units.
+    ZeroUnits {
+        /// Device name.
+        device: String,
+    },
+    /// A placeable device was not assigned to any group.
+    Ungrouped {
+        /// Device name.
+        device: String,
+    },
+    /// A device parameter is out of its valid domain.
+    InvalidParam {
+        /// Device name.
+        device: String,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// A required port role was not bound to a net.
+    MissingPort {
+        /// Role name, e.g. "vdd".
+        role: String,
+    },
+    /// A SPICE-subset parse failure.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateName { kind, name } => {
+                write!(f, "duplicate {kind} name `{name}`")
+            }
+            NetlistError::UnknownName { kind, name } => {
+                write!(f, "unknown {kind} `{name}`")
+            }
+            NetlistError::ZeroUnits { device } => {
+                write!(f, "placeable device `{device}` has zero units")
+            }
+            NetlistError::Ungrouped { device } => {
+                write!(f, "placeable device `{device}` is not assigned to a group")
+            }
+            NetlistError::InvalidParam { device, reason } => {
+                write!(f, "invalid parameter on `{device}`: {reason}")
+            }
+            NetlistError::MissingPort { role } => {
+                write!(f, "circuit is missing required port `{role}`")
+            }
+            NetlistError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateName { kind: "device", name: "M1".into() };
+        assert_eq!(e.to_string(), "duplicate device name `M1`");
+        let e = NetlistError::Parse { line: 4, reason: "bad token".into() };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetlistError>();
+    }
+}

@@ -1,0 +1,148 @@
+//! Placement groups — the analog primitives of the grouping strategy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::DeviceId;
+
+/// The analog primitive a group realises.
+///
+/// Matching-sensitive primitives (`InputPair`, `LoadPair`, `CurrentMirror`,
+/// `CrossCoupledPair`, `CascodePair`) drive both the symmetric baseline
+/// generators and the mismatch weighting of the objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// Differential input pair.
+    InputPair,
+    /// Matched load pair.
+    LoadPair,
+    /// Current mirror (reference + outputs).
+    CurrentMirror,
+    /// Cascode device pair.
+    CascodePair,
+    /// Cross-coupled (positive-feedback) pair.
+    CrossCoupledPair,
+    /// Tail / bias current device(s).
+    TailSource,
+    /// Reset / precharge switches (comparators).
+    Switch,
+    /// Matched passive pair or array.
+    Passive,
+    /// Anything else.
+    Custom,
+}
+
+impl GroupKind {
+    /// Whether intra-group matching is performance-critical; such groups
+    /// get the largest mismatch weights in the objective and are laid out
+    /// symmetrically by the baseline generators.
+    pub fn is_matching_critical(self) -> bool {
+        matches!(
+            self,
+            GroupKind::InputPair
+                | GroupKind::LoadPair
+                | GroupKind::CurrentMirror
+                | GroupKind::CascodePair
+                | GroupKind::CrossCoupledPair
+                | GroupKind::Passive
+        )
+    }
+
+    /// Parses the identifier used by the `.group` directive of the SPICE
+    /// subset (case-insensitive).
+    pub fn parse(s: &str) -> Option<GroupKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "inputpair" | "input_pair" => GroupKind::InputPair,
+            "loadpair" | "load_pair" => GroupKind::LoadPair,
+            "currentmirror" | "current_mirror" => GroupKind::CurrentMirror,
+            "cascodepair" | "cascode_pair" => GroupKind::CascodePair,
+            "crosscoupledpair" | "cross_coupled_pair" => GroupKind::CrossCoupledPair,
+            "tailsource" | "tail_source" | "tail" => GroupKind::TailSource,
+            "switch" => GroupKind::Switch,
+            "passive" => GroupKind::Passive,
+            "custom" => GroupKind::Custom,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GroupKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GroupKind::InputPair => "input_pair",
+            GroupKind::LoadPair => "load_pair",
+            GroupKind::CurrentMirror => "current_mirror",
+            GroupKind::CascodePair => "cascode_pair",
+            GroupKind::CrossCoupledPair => "cross_coupled_pair",
+            GroupKind::TailSource => "tail_source",
+            GroupKind::Switch => "switch",
+            GroupKind::Passive => "passive",
+            GroupKind::Custom => "custom",
+        })
+    }
+}
+
+/// A placement group: a set of devices moved together by the top-level
+/// agent and kept 4-connected on the grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Group {
+    /// Group name (unique within a circuit), e.g. `"g1"`.
+    pub name: String,
+    /// The primitive this group realises.
+    pub kind: GroupKind,
+    /// Devices belonging to the group, in declaration order.
+    pub devices: Vec<DeviceId>,
+}
+
+impl Group {
+    /// Creates an empty group of a given kind (devices are appended by the
+    /// circuit builder).
+    pub fn new(name: impl Into<String>, kind: GroupKind) -> Self {
+        Group { name: name.into(), kind, devices: Vec::new() }
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] x{}", self.name, self.kind, self.devices.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_round_trips_display() {
+        for k in [
+            GroupKind::InputPair,
+            GroupKind::LoadPair,
+            GroupKind::CurrentMirror,
+            GroupKind::CascodePair,
+            GroupKind::CrossCoupledPair,
+            GroupKind::TailSource,
+            GroupKind::Switch,
+            GroupKind::Passive,
+            GroupKind::Custom,
+        ] {
+            assert_eq!(GroupKind::parse(&k.to_string()), Some(k), "{k}");
+        }
+        assert_eq!(GroupKind::parse("nonsense"), None);
+        assert_eq!(GroupKind::parse("TAIL"), Some(GroupKind::TailSource));
+    }
+
+    #[test]
+    fn matching_critical_classification() {
+        assert!(GroupKind::InputPair.is_matching_critical());
+        assert!(GroupKind::CurrentMirror.is_matching_critical());
+        assert!(!GroupKind::TailSource.is_matching_critical());
+        assert!(!GroupKind::Switch.is_matching_critical());
+    }
+
+    #[test]
+    fn group_display_is_nonempty() {
+        let g = Group::new("g1", GroupKind::InputPair);
+        assert_eq!(g.to_string(), "g1 [input_pair] x0");
+    }
+}

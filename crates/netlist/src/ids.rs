@@ -1,0 +1,83 @@
+//! Typed index handles into a [`Circuit`](crate::Circuit).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The raw index, usable to address parallel `Vec`s.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(i: u32) -> Self {
+                $name(i)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Handle to a [`Device`](crate::Device) within a circuit.
+    DeviceId,
+    "d"
+);
+id_type!(
+    /// Handle to a placeable [`Unit`](crate::Unit) within a circuit.
+    UnitId,
+    "u"
+);
+id_type!(
+    /// Handle to a [`Group`](crate::Group) (analog primitive) within a circuit.
+    GroupId,
+    "g"
+);
+id_type!(
+    /// Handle to a [`Net`](crate::Net) within a circuit.
+    NetId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_display() {
+        let d = DeviceId::new(3);
+        assert_eq!(d.index(), 3);
+        assert_eq!(d.to_string(), "d3");
+        assert_eq!(UnitId::new(0).to_string(), "u0");
+        assert_eq!(GroupId::new(7).to_string(), "g7");
+        assert_eq!(NetId::from(9).to_string(), "n9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(DeviceId::new(1) < DeviceId::new(2));
+        assert_eq!(NetId::new(4), NetId::new(4));
+    }
+}

@@ -1,0 +1,62 @@
+//! Analog circuit netlist model for placement optimisation.
+//!
+//! The placement problem of the paper operates on three nested levels of
+//! structure, all captured here:
+//!
+//! - a [`Circuit`] is a set of [`Device`]s connected by [`Net`]s,
+//! - every device is split into identical [`Unit`]s (fingers) — the atoms
+//!   actually placed on the grid,
+//! - devices are partitioned into [`Group`]s corresponding to analog
+//!   primitives (input pair, load pair, current mirror, …) — the unit of
+//!   top-level agent moves and of the paper's grouping strategy (Fig. 1a).
+//!
+//! The crate also ships the benchmark circuits of the paper's evaluation
+//! ([`circuits`]) and a small SPICE-subset parser ([`spice`]) so users can
+//! bring their own circuits.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_netlist::circuits;
+//!
+//! let cm = circuits::current_mirror_medium();
+//! assert!(cm.num_units() > 10);
+//! assert!(cm.groups().len() >= 2);
+//! // Every unit belongs to exactly one device and one group:
+//! for unit in cm.units() {
+//!     let dev = cm.device(unit.device);
+//!     assert_eq!(Some(cm.group_of_device(unit.device)), dev.group);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+pub mod circuits;
+mod device;
+mod error;
+mod group;
+mod ids;
+pub mod lint;
+mod net;
+pub mod spice;
+
+pub use circuit::{Circuit, CircuitBuilder, CircuitClass, PortRole};
+pub use device::{Device, DeviceKind, MosPolarity, MosParams, Terminal};
+pub use error::NetlistError;
+pub use group::{Group, GroupKind};
+pub use ids::{DeviceId, GroupId, NetId, UnitId};
+pub use net::{Net, NetKind};
+
+/// One placeable atom: a single finger/unit of a device.
+///
+/// Units of the same device are electrically identical; layout-dependent
+/// effects make them *behave* differently depending on where each one lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Unit {
+    /// The device this unit belongs to.
+    pub device: DeviceId,
+    /// Index of this unit within its device (`0..device.num_units`).
+    pub index: u32,
+}

@@ -1,0 +1,371 @@
+//! Structural lints on circuits, catching the mistakes that silently ruin
+//! placement experiments (floating nets, unmatched "matched" pairs,
+//! missing testbench ports).
+
+use std::fmt;
+
+use crate::{Circuit, CircuitClass, DeviceKind, GroupKind, NetId, NetKind, PortRole, Terminal};
+
+/// One finding of [`lint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LintWarning {
+    /// A net touches fewer than two device pins (and is not a bound port).
+    FloatingNet {
+        /// The net's name.
+        net: String,
+    },
+    /// A MOS gate net has no driver: no source/drain/passive pin, no
+    /// testbench source, and no input port bound to it.
+    UndrivenGate {
+        /// The gate net's name.
+        net: String,
+        /// A device whose gate hangs on it.
+        device: String,
+    },
+    /// A matching-critical group contains a single device — nothing to
+    /// match against.
+    LonelyMatchedGroup {
+        /// The group's name.
+        group: String,
+    },
+    /// Two paired devices in a matching-critical group differ in geometry,
+    /// so "matching" them in layout cannot work.
+    MismatchedPair {
+        /// The group's name.
+        group: String,
+        /// First device of the pair.
+        a: String,
+        /// Second device of the pair.
+        b: String,
+    },
+    /// A MOS bulk pin is tied to a signal net instead of a supply.
+    FloatingBulk {
+        /// The device's name.
+        device: String,
+    },
+    /// The circuit class requires a port that is not bound.
+    MissingClassPort {
+        /// The missing role (display form).
+        role: String,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintWarning::FloatingNet { net } => write!(f, "net `{net}` is floating"),
+            LintWarning::UndrivenGate { net, device } => {
+                write!(f, "gate net `{net}` of `{device}` has no driver")
+            }
+            LintWarning::LonelyMatchedGroup { group } => {
+                write!(f, "matching-critical group `{group}` has a single device")
+            }
+            LintWarning::MismatchedPair { group, a, b } => {
+                write!(f, "group `{group}`: paired devices `{a}` and `{b}` differ in geometry")
+            }
+            LintWarning::FloatingBulk { device } => {
+                write!(f, "bulk of `{device}` is not tied to a supply net")
+            }
+            LintWarning::MissingClassPort { role } => {
+                write!(f, "circuit class requires unbound port `{role}`")
+            }
+        }
+    }
+}
+
+/// Runs every structural lint over `circuit`, returning all findings (an
+/// empty vector means a clean bill of health — every library benchmark
+/// passes).
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_netlist::{circuits, lint::lint};
+///
+/// assert!(lint(&circuits::folded_cascode_ota()).is_empty());
+/// ```
+pub fn lint(circuit: &Circuit) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    lint_floating_nets(circuit, &mut warnings);
+    lint_undriven_gates(circuit, &mut warnings);
+    lint_groups(circuit, &mut warnings);
+    lint_bulk_ties(circuit, &mut warnings);
+    lint_class_ports(circuit, &mut warnings);
+    warnings
+}
+
+fn pin_count(circuit: &Circuit, net: NetId) -> usize {
+    circuit
+        .devices()
+        .iter()
+        .flat_map(|d| d.pins.iter())
+        .filter(|&&p| p == net)
+        .count()
+}
+
+fn lint_floating_nets(circuit: &Circuit, out: &mut Vec<LintWarning>) {
+    for (i, net) in circuit.nets().iter().enumerate() {
+        let id = NetId::new(i as u32);
+        let bound = circuit.ports().iter().any(|&(_, n)| n == id);
+        if !bound && pin_count(circuit, id) < 2 {
+            out.push(LintWarning::FloatingNet { net: net.name.clone() });
+        }
+    }
+}
+
+fn lint_undriven_gates(circuit: &Circuit, out: &mut Vec<LintWarning>) {
+    for dev in circuit.devices() {
+        if dev.mos_polarity().is_none() {
+            continue;
+        }
+        let Some(gate) = dev.pin(Terminal::Gate) else { continue };
+        // Drivers: any non-gate pin of any device on this net, or any
+        // source, or an input/bias/clock port binding.
+        let driven_by_pin = circuit.devices().iter().any(|d| {
+            if d.mos_polarity().is_some() {
+                d.pin(Terminal::Drain) == Some(gate) || d.pin(Terminal::Source) == Some(gate)
+            } else {
+                d.pins.contains(&gate)
+            }
+        });
+        let driven_by_port = [
+            PortRole::InP,
+            PortRole::InN,
+            PortRole::Bias,
+            PortRole::Clock,
+            PortRole::Iref,
+            PortRole::Vdd,
+            PortRole::Vss,
+        ]
+        .iter()
+        .any(|&r| circuit.port(r) == Some(gate));
+        if !driven_by_pin && !driven_by_port {
+            out.push(LintWarning::UndrivenGate {
+                net: circuit.net(gate).name.clone(),
+                device: dev.name.clone(),
+            });
+        }
+    }
+}
+
+fn lint_groups(circuit: &Circuit, out: &mut Vec<LintWarning>) {
+    for g in circuit.groups() {
+        if !g.kind.is_matching_critical() {
+            continue;
+        }
+        if g.devices.len() == 1 {
+            // Multi-unit single devices still match internally (e.g. a
+            // split tail); only a single-unit lone device is suspicious.
+            let d = circuit.device(g.devices[0]);
+            if d.num_units < 2 {
+                out.push(LintWarning::LonelyMatchedGroup { group: g.name.clone() });
+            }
+            continue;
+        }
+        // Current mirrors deliberately ratio device sizes; only strict
+        // pair-primitives must be identical.
+        if g.kind == GroupKind::CurrentMirror || g.kind == GroupKind::Passive {
+            continue;
+        }
+        for pair in g.devices.chunks(2) {
+            let [a, b] = pair else { continue };
+            let (da, db) = (circuit.device(*a), circuit.device(*b));
+            let matched = match (&da.kind, &db.kind) {
+                (
+                    DeviceKind::Mos { params: pa, polarity: la },
+                    DeviceKind::Mos { params: pb, polarity: lb },
+                ) => {
+                    la == lb
+                        && pa.w_um == pb.w_um
+                        && pa.l_um == pb.l_um
+                        && da.num_units == db.num_units
+                }
+                (DeviceKind::Resistor { ohms: ra }, DeviceKind::Resistor { ohms: rb }) => {
+                    ra == rb && da.num_units == db.num_units
+                }
+                (DeviceKind::Capacitor { farads: ca }, DeviceKind::Capacitor { farads: cb }) => {
+                    ca == cb && da.num_units == db.num_units
+                }
+                _ => false,
+            };
+            if !matched {
+                out.push(LintWarning::MismatchedPair {
+                    group: g.name.clone(),
+                    a: da.name.clone(),
+                    b: db.name.clone(),
+                });
+            }
+        }
+    }
+}
+
+fn lint_bulk_ties(circuit: &Circuit, out: &mut Vec<LintWarning>) {
+    for dev in circuit.devices() {
+        if dev.mos_polarity().is_none() {
+            continue;
+        }
+        let Some(bulk) = dev.pin(Terminal::Bulk) else { continue };
+        let kind = circuit.net(bulk).kind;
+        if !matches!(kind, NetKind::Power | NetKind::Ground) {
+            out.push(LintWarning::FloatingBulk { device: dev.name.clone() });
+        }
+    }
+}
+
+fn lint_class_ports(circuit: &Circuit, out: &mut Vec<LintWarning>) {
+    let required: &[PortRole] = match circuit.class() {
+        CircuitClass::CurrentMirror => &[PortRole::Vss, PortRole::Iref, PortRole::Iout(0)],
+        CircuitClass::Comparator => &[
+            PortRole::Vss,
+            PortRole::Vdd,
+            PortRole::InP,
+            PortRole::InN,
+            PortRole::OutP,
+            PortRole::OutN,
+            PortRole::Clock,
+        ],
+        CircuitClass::Ota => &[
+            PortRole::Vss,
+            PortRole::Vdd,
+            PortRole::InP,
+            PortRole::InN,
+            PortRole::Out,
+        ],
+        CircuitClass::Generic => &[],
+    };
+    for &role in required {
+        if circuit.port(role).is_none() {
+            out.push(LintWarning::MissingClassPort { role: role.to_string() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{circuits, CircuitBuilder, MosParams, MosPolarity};
+
+    #[test]
+    fn library_benchmarks_are_clean() {
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+            circuits::five_transistor_ota(),
+            circuits::two_stage_miller(),
+            circuits::diff_pair(),
+            circuits::resistor_string(3),
+        ] {
+            let warnings = lint(&c);
+            assert!(warnings.is_empty(), "{}: {warnings:?}", c.name());
+        }
+    }
+
+    fn base() -> (CircuitBuilder, NetId, NetId) {
+        let mut b = CircuitBuilder::new("t", CircuitClass::Generic);
+        let vdd = b.net("vdd", NetKind::Power);
+        let vss = b.net("vss", NetKind::Ground);
+        (b, vdd, vss)
+    }
+
+    #[test]
+    fn floating_net_detected() {
+        let (mut b, vdd, vss) = base();
+        let dangle = b.net("dangle", NetKind::Signal);
+        let g = b.add_group("g", GroupKind::Custom).unwrap();
+        let p = MosParams::nmos_default(1.0, 0.1);
+        b.add_mos("M1", MosPolarity::Nmos, p, 1, g, dangle, vdd, vss, vss).unwrap();
+        b.add_vsource("V1", 1.1, vdd, vss).unwrap();
+        let c = b.build().unwrap();
+        let w = lint(&c);
+        assert!(w.iter().any(|w| matches!(w, LintWarning::FloatingNet { net } if net == "dangle")),
+            "{w:?}");
+    }
+
+    #[test]
+    fn undriven_gate_detected() {
+        let (mut b, vdd, vss) = base();
+        let ghost = b.net("ghost", NetKind::Signal);
+        let out = b.net("out", NetKind::Signal);
+        let g = b.add_group("g", GroupKind::Custom).unwrap();
+        let p = MosParams::nmos_default(1.0, 0.1);
+        // Gate on `ghost`, which nothing drives; a second device keeps
+        // ghost from also being flagged as floating noise in the assert.
+        b.add_mos("M1", MosPolarity::Nmos, p, 1, g, out, ghost, vss, vss).unwrap();
+        b.add_mos("M2", MosPolarity::Nmos, p, 1, g, out, ghost, vss, vss).unwrap();
+        b.add_vsource("V1", 1.1, vdd, vss).unwrap();
+        b.add_resistor("R1", 1e3, 1, g, vdd, out).unwrap();
+        let c = b.build().unwrap();
+        let w = lint(&c);
+        assert!(
+            w.iter().any(|w| matches!(w, LintWarning::UndrivenGate { net, .. } if net == "ghost")),
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn lonely_and_mismatched_groups_detected() {
+        let (mut b, vdd, vss) = base();
+        let a = b.net("a", NetKind::Signal);
+        let g1 = b.add_group("lonely", GroupKind::InputPair).unwrap();
+        let g2 = b.add_group("uneven", GroupKind::LoadPair).unwrap();
+        let p = MosParams::nmos_default(1.0, 0.1);
+        let p_big = MosParams::nmos_default(2.0, 0.1);
+        b.add_mos("M1", MosPolarity::Nmos, p, 1, g1, a, vdd, vss, vss).unwrap();
+        b.add_mos("M2", MosPolarity::Nmos, p, 1, g2, a, vdd, vss, vss).unwrap();
+        b.add_mos("M3", MosPolarity::Nmos, p_big, 1, g2, a, vdd, vss, vss).unwrap();
+        b.add_vsource("V1", 1.1, vdd, vss).unwrap();
+        b.bind_port(PortRole::InP, vdd);
+        let c = b.build().unwrap();
+        let w = lint(&c);
+        assert!(w.iter().any(|w| matches!(w, LintWarning::LonelyMatchedGroup { group } if group == "lonely")), "{w:?}");
+        assert!(w.iter().any(|w| matches!(w, LintWarning::MismatchedPair { group, .. } if group == "uneven")), "{w:?}");
+    }
+
+    #[test]
+    fn floating_bulk_detected() {
+        let (mut b, vdd, vss) = base();
+        let sig = b.net("sig", NetKind::Signal);
+        let g = b.add_group("g", GroupKind::Custom).unwrap();
+        let p = MosParams::nmos_default(1.0, 0.1);
+        b.add_mos("M1", MosPolarity::Nmos, p, 1, g, vdd, vdd, vss, sig).unwrap();
+        b.add_mos("M2", MosPolarity::Nmos, p, 1, g, vdd, vdd, vss, sig).unwrap();
+        b.add_vsource("V1", 1.1, vdd, vss).unwrap();
+        let c = b.build().unwrap();
+        let w = lint(&c);
+        assert!(
+            w.iter().any(|w| matches!(w, LintWarning::FloatingBulk { device } if device == "M1")),
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn missing_class_ports_detected() {
+        let (b, vdd, vss) = base();
+        // Declare an OTA but bind nothing.
+        let mut b2 = CircuitBuilder::new("bad_ota", CircuitClass::Ota);
+        let v2 = b2.net("vdd", NetKind::Power);
+        let s2 = b2.net("vss", NetKind::Ground);
+        let g = b2.add_group("g", GroupKind::Custom).unwrap();
+        let p = MosParams::nmos_default(1.0, 0.1);
+        b2.add_mos("M1", MosPolarity::Nmos, p, 1, g, v2, v2, s2, s2).unwrap();
+        b2.add_vsource("V1", 1.1, v2, s2).unwrap();
+        let c = b2.build().unwrap();
+        let w = lint(&c);
+        let missing: Vec<&LintWarning> = w
+            .iter()
+            .filter(|w| matches!(w, LintWarning::MissingClassPort { .. }))
+            .collect();
+        assert_eq!(missing.len(), 5, "{w:?}");
+        let _ = (vdd, vss, b.build());
+    }
+
+    #[test]
+    fn warnings_display_nonempty() {
+        let w = LintWarning::FloatingNet { net: "x".into() };
+        assert!(w.to_string().contains("floating"));
+        let w = LintWarning::MissingClassPort { role: "out".into() };
+        assert!(w.to_string().contains("out"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Electrical nets.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a net, used by routing weights and by the signal-flow
+/// graph (supply nets are not signal-flow edges).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// A signal-carrying net (participates in the signal-flow graph).
+    Signal,
+    /// Positive supply.
+    Power,
+    /// Negative supply / ground.
+    Ground,
+    /// A DC bias distribution net.
+    Bias,
+}
+
+impl NetKind {
+    /// Whether the net carries signal flow (not a supply or bias rail).
+    #[inline]
+    pub fn is_signal(self) -> bool {
+        matches!(self, NetKind::Signal)
+    }
+}
+
+impl fmt::Display for NetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetKind::Signal => "signal",
+            NetKind::Power => "power",
+            NetKind::Ground => "ground",
+            NetKind::Bias => "bias",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An electrical net of the circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    /// Human-readable net name (unique within a circuit).
+    pub name: String,
+    /// Net classification.
+    pub kind: NetKind,
+}
+
+impl Net {
+    /// Creates a signal net with the given name.
+    pub fn signal(name: impl Into<String>) -> Self {
+        Net { name: name.into(), kind: NetKind::Signal }
+    }
+}
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_constructor_and_kind() {
+        let n = Net::signal("out");
+        assert_eq!(n.name, "out");
+        assert!(n.kind.is_signal());
+        assert!(!NetKind::Power.is_signal());
+        assert_eq!(n.to_string(), "out (signal)");
+    }
+}

@@ -1,0 +1,608 @@
+//! A SPICE-subset reader/writer so users can bring their own circuits.
+//!
+//! The dialect is deliberately small but round-trips everything a
+//! [`Circuit`] can express:
+//!
+//! ```text
+//! * comment                      ; '*' or ';' start a comment
+//! .title my_ota
+//! .class ota                     ; current_mirror | comparator | ota | generic
+//! M1 out inp ntail vss NMOS W=2.0 L=0.2 UNITS=4 VTH=0.45 KP=300u LAMBDA=0.08
+//! R1 vdd out 10k UNITS=2
+//! C1 out vss 100f
+//! I1 vdd nref 20u
+//! V1 vdd vss 1.1
+//! .group g_in input_pair M1 M2  ; kind from GroupKind::parse
+//! .netkind vdd power             ; power | ground | bias | signal
+//! .port inp inp                  ; role, then net name
+//! .end
+//! ```
+//!
+//! Numeric values accept the usual SPICE magnitude suffixes
+//! (`f p n u m k meg g`). Continuation lines start with `+`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{
+    Circuit, CircuitBuilder, CircuitClass, DeviceKind, GroupKind, MosParams, MosPolarity, NetKind,
+    NetlistError, PortRole,
+};
+
+/// Parses a circuit from the SPICE subset described in the
+/// [module docs](self).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a 1-based line number on any
+/// syntactic problem, and the underlying builder error for semantic ones
+/// (duplicate names, ungrouped devices, …).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+///     .title tiny
+///     M1 a a vss vss NMOS W=1 L=0.1 UNITS=2
+///     M2 b a vss vss NMOS W=1 L=0.1 UNITS=2
+///     .group gm current_mirror M1 M2
+///     .netkind vss ground
+///     .end";
+/// let c = breaksym_netlist::spice::parse(src)?;
+/// assert_eq!(c.num_units(), 4);
+/// # Ok::<(), breaksym_netlist::NetlistError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Circuit, NetlistError> {
+    let lines = join_continuations(src);
+
+    // Pass 1: directives that must be known before devices are created.
+    let mut title = String::from("unnamed");
+    let mut class = CircuitClass::Generic;
+    let mut net_kinds: HashMap<String, NetKind> = HashMap::new();
+    let mut group_of_device: HashMap<String, String> = HashMap::new();
+    let mut group_kinds: Vec<(String, GroupKind)> = Vec::new();
+    for (ln, line) in &lines {
+        let mut toks = line.split_whitespace();
+        let Some(head) = toks.next() else { continue };
+        match head.to_ascii_lowercase().as_str() {
+            ".title" => {
+                title = toks
+                    .next()
+                    .ok_or_else(|| perr(*ln, ".title needs a name"))?
+                    .to_string();
+            }
+            ".class" => {
+                let c = toks.next().ok_or_else(|| perr(*ln, ".class needs a value"))?;
+                class = match c.to_ascii_lowercase().as_str() {
+                    "current_mirror" | "currentmirror" | "cm" => CircuitClass::CurrentMirror,
+                    "comparator" | "comp" => CircuitClass::Comparator,
+                    "ota" => CircuitClass::Ota,
+                    "generic" => CircuitClass::Generic,
+                    other => return Err(perr(*ln, format!("unknown class `{other}`"))),
+                };
+            }
+            ".netkind" => {
+                let net = toks.next().ok_or_else(|| perr(*ln, ".netkind needs a net"))?;
+                let kind = toks.next().ok_or_else(|| perr(*ln, ".netkind needs a kind"))?;
+                let kind = match kind.to_ascii_lowercase().as_str() {
+                    "power" => NetKind::Power,
+                    "ground" => NetKind::Ground,
+                    "bias" => NetKind::Bias,
+                    "signal" => NetKind::Signal,
+                    other => return Err(perr(*ln, format!("unknown net kind `{other}`"))),
+                };
+                net_kinds.insert(net.to_string(), kind);
+            }
+            ".group" => {
+                let gname = toks.next().ok_or_else(|| perr(*ln, ".group needs a name"))?;
+                let gkind = toks.next().ok_or_else(|| perr(*ln, ".group needs a kind"))?;
+                let gkind = GroupKind::parse(gkind)
+                    .ok_or_else(|| perr(*ln, format!("unknown group kind `{gkind}`")))?;
+                group_kinds.push((gname.to_string(), gkind));
+                for dev in toks {
+                    if let Some(prev) =
+                        group_of_device.insert(dev.to_string(), gname.to_string())
+                    {
+                        return Err(perr(
+                            *ln,
+                            format!("device `{dev}` already assigned to group `{prev}`"),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut b = CircuitBuilder::new(title, class);
+    let mut groups = HashMap::new();
+    for (name, kind) in &group_kinds {
+        groups.insert(name.clone(), b.add_group(name, *kind)?);
+    }
+    let mut implicit_group = None;
+    let infer_kind = |name: &str, decl: &HashMap<String, NetKind>| -> NetKind {
+        if let Some(&k) = decl.get(name) {
+            return k;
+        }
+        match name.to_ascii_lowercase().as_str() {
+            "vdd" | "vcc" => NetKind::Power,
+            "vss" | "gnd" | "0" => NetKind::Ground,
+            _ => NetKind::Signal,
+        }
+    };
+
+    // Pass 2: devices and ports.
+    for (ln, line) in &lines {
+        let mut toks = line.split_whitespace();
+        let Some(head) = toks.next() else { continue };
+        let upper = head.to_ascii_uppercase();
+        match upper.chars().next().expect("head is non-empty") {
+            '.' => {
+                if upper == ".PORT" {
+                    let role = toks.next().ok_or_else(|| perr(*ln, ".port needs a role"))?;
+                    let net = toks.next().ok_or_else(|| perr(*ln, ".port needs a net"))?;
+                    let role = parse_role(role).ok_or_else(|| {
+                        perr(*ln, format!("unknown port role `{role}`"))
+                    })?;
+                    let id = b.net(net, infer_kind(net, &net_kinds));
+                    b.bind_port(role, id);
+                }
+            }
+            'M' => {
+                let nets: Vec<&str> = (&mut toks).take(4).collect();
+                if nets.len() != 4 {
+                    return Err(perr(*ln, "MOS needs 4 nets: d g s b"));
+                }
+                let model = toks
+                    .next()
+                    .ok_or_else(|| perr(*ln, "MOS needs a model (NMOS|PMOS)"))?;
+                let polarity = match model.to_ascii_uppercase().as_str() {
+                    "NMOS" => MosPolarity::Nmos,
+                    "PMOS" => MosPolarity::Pmos,
+                    other => return Err(perr(*ln, format!("unknown MOS model `{other}`"))),
+                };
+                let kv = parse_kv(*ln, toks)?;
+                let w = kv_num(&kv, "W", *ln)?;
+                let l = kv_num(&kv, "L", *ln)?;
+                let units = kv.get("UNITS").map_or(Ok(1.0), |v| num(v, *ln))? as u32;
+                let mut params = match polarity {
+                    MosPolarity::Nmos => MosParams::nmos_default(w, l),
+                    MosPolarity::Pmos => MosParams::pmos_default(w, l),
+                };
+                if let Some(v) = kv.get("VTH") {
+                    params.vth0 = num(v, *ln)?;
+                }
+                if let Some(v) = kv.get("KP") {
+                    params.kp = num(v, *ln)?;
+                }
+                if let Some(v) = kv.get("LAMBDA") {
+                    params.lambda = num(v, *ln)?;
+                }
+                let pins: Vec<_> = nets
+                    .iter()
+                    .map(|n| b.net(n, infer_kind(n, &net_kinds)))
+                    .collect();
+                let gid = device_group(
+                    head,
+                    &group_of_device,
+                    &groups,
+                    &mut implicit_group,
+                    &mut b,
+                    *ln,
+                )?;
+                b.add_mos(head, polarity, params, units, gid, pins[0], pins[1], pins[2], pins[3])?;
+            }
+            'R' | 'C' => {
+                let p = toks.next().ok_or_else(|| perr(*ln, "two-terminal needs 2 nets"))?;
+                let n = toks.next().ok_or_else(|| perr(*ln, "two-terminal needs 2 nets"))?;
+                let val = toks.next().ok_or_else(|| perr(*ln, "missing value"))?;
+                let val = num(val, *ln)?;
+                let kv = parse_kv(*ln, toks)?;
+                let units = kv.get("UNITS").map_or(Ok(1.0), |v| num(v, *ln))? as u32;
+                let pid = b.net(p, infer_kind(p, &net_kinds));
+                let nid = b.net(n, infer_kind(n, &net_kinds));
+                let gid = device_group(
+                    head,
+                    &group_of_device,
+                    &groups,
+                    &mut implicit_group,
+                    &mut b,
+                    *ln,
+                )?;
+                if upper.starts_with('R') {
+                    b.add_resistor(head, val, units, gid, pid, nid)?;
+                } else {
+                    b.add_capacitor(head, val, units, gid, pid, nid)?;
+                }
+            }
+            'I' | 'V' => {
+                let p = toks.next().ok_or_else(|| perr(*ln, "source needs 2 nets"))?;
+                let n = toks.next().ok_or_else(|| perr(*ln, "source needs 2 nets"))?;
+                let val = toks.next().ok_or_else(|| perr(*ln, "missing value"))?;
+                let val = num(val, *ln)?;
+                let pid = b.net(p, infer_kind(p, &net_kinds));
+                let nid = b.net(n, infer_kind(n, &net_kinds));
+                if upper.starts_with('I') {
+                    b.add_isource(head, val, pid, nid)?;
+                } else {
+                    b.add_vsource(head, val, pid, nid)?;
+                }
+            }
+            other => return Err(perr(*ln, format!("unknown card `{other}`"))),
+        }
+    }
+    b.build()
+}
+
+/// Serialises a circuit back into the SPICE subset accepted by [`parse`].
+///
+/// Round-trip guarantee: `parse(&write(&c))` reproduces the same devices,
+/// units, groups, nets, class, and ports.
+pub fn write(c: &Circuit) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "* generated by breaksym-netlist");
+    let _ = writeln!(s, ".title {}", c.name());
+    let class = match c.class() {
+        CircuitClass::CurrentMirror => "current_mirror",
+        CircuitClass::Comparator => "comparator",
+        CircuitClass::Ota => "ota",
+        CircuitClass::Generic => "generic",
+    };
+    let _ = writeln!(s, ".class {class}");
+    let mut kinds: Vec<(&str, &str)> = c
+        .nets()
+        .iter()
+        .filter_map(|n| {
+            let kind = match n.kind {
+                NetKind::Signal => return None, // the default
+                NetKind::Power => "power",
+                NetKind::Ground => "ground",
+                NetKind::Bias => "bias",
+            };
+            Some((n.name.as_str(), kind))
+        })
+        .collect();
+    kinds.sort_unstable(); // stable output regardless of net creation order
+    for (name, kind) in kinds {
+        let _ = writeln!(s, ".netkind {name} {kind}");
+    }
+    for d in c.devices() {
+        let pins: Vec<&str> = d.pins.iter().map(|&p| c.net(p).name.as_str()).collect();
+        match &d.kind {
+            DeviceKind::Mos { polarity, params } => {
+                let model = match polarity {
+                    MosPolarity::Nmos => "NMOS",
+                    MosPolarity::Pmos => "PMOS",
+                };
+                let _ = writeln!(
+                    s,
+                    "{} {} {} {} {} {model} W={} L={} UNITS={} VTH={} KP={} LAMBDA={}",
+                    d.name,
+                    pins[0],
+                    pins[1],
+                    pins[2],
+                    pins[3],
+                    params.w_um,
+                    params.l_um,
+                    d.num_units,
+                    params.vth0,
+                    params.kp,
+                    params.lambda
+                );
+            }
+            DeviceKind::Resistor { ohms } => {
+                let _ = writeln!(
+                    s,
+                    "{} {} {} {} UNITS={}",
+                    d.name, pins[0], pins[1], ohms, d.num_units
+                );
+            }
+            DeviceKind::Capacitor { farads } => {
+                let _ = writeln!(
+                    s,
+                    "{} {} {} {} UNITS={}",
+                    d.name, pins[0], pins[1], farads, d.num_units
+                );
+            }
+            DeviceKind::CurrentSource { amps } => {
+                let _ = writeln!(s, "{} {} {} {}", d.name, pins[0], pins[1], amps);
+            }
+            DeviceKind::VoltageSource { volts } => {
+                let _ = writeln!(s, "{} {} {} {}", d.name, pins[0], pins[1], volts);
+            }
+        }
+    }
+    for g in c.groups() {
+        let devs: Vec<&str> = g
+            .devices
+            .iter()
+            .map(|&d| c.device(d).name.as_str())
+            .collect();
+        let _ = writeln!(s, ".group {} {} {}", g.name, g.kind, devs.join(" "));
+    }
+    for (role, net) in c.ports() {
+        let _ = writeln!(s, ".port {role} {}", c.net(*net).name);
+    }
+    let _ = writeln!(s, ".end");
+    s
+}
+
+fn perr(line: usize, reason: impl Into<String>) -> NetlistError {
+    NetlistError::Parse { line, reason: reason.into() }
+}
+
+/// Strips comments, joins `+` continuation lines, drops `.end` and blanks.
+fn join_continuations(src: &str) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw
+            .split(';')
+            .next()
+            .expect("split always yields one item")
+            .trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if line.eq_ignore_ascii_case(".end") {
+            break;
+        }
+        if let Some(cont) = line.strip_prefix('+') {
+            if let Some(last) = out.last_mut() {
+                last.1.push(' ');
+                last.1.push_str(cont.trim());
+                continue;
+            }
+        }
+        out.push((i + 1, line.to_string()));
+    }
+    out
+}
+
+fn parse_kv<'a>(
+    ln: usize,
+    toks: impl Iterator<Item = &'a str>,
+) -> Result<HashMap<String, String>, NetlistError> {
+    let mut kv = HashMap::new();
+    for t in toks {
+        let (k, v) = t
+            .split_once('=')
+            .ok_or_else(|| perr(ln, format!("expected key=value, got `{t}`")))?;
+        kv.insert(k.to_ascii_uppercase(), v.to_string());
+    }
+    Ok(kv)
+}
+
+fn kv_num(kv: &HashMap<String, String>, key: &str, ln: usize) -> Result<f64, NetlistError> {
+    let v = kv
+        .get(key)
+        .ok_or_else(|| perr(ln, format!("missing required `{key}=`")))?;
+    num(v, ln)
+}
+
+/// Parses a SPICE number with optional magnitude suffix.
+fn num(s: &str, ln: usize) -> Result<f64, NetlistError> {
+    let lower = s.to_ascii_lowercase();
+    let (body, mult) = if let Some(b) = lower.strip_suffix("meg") {
+        (b, 1e6)
+    } else if let Some(b) = lower.strip_suffix('f') {
+        (b, 1e-15)
+    } else if let Some(b) = lower.strip_suffix('p') {
+        (b, 1e-12)
+    } else if let Some(b) = lower.strip_suffix('n') {
+        (b, 1e-9)
+    } else if let Some(b) = lower.strip_suffix('u') {
+        (b, 1e-6)
+    } else if let Some(b) = lower.strip_suffix('m') {
+        (b, 1e-3)
+    } else if let Some(b) = lower.strip_suffix('k') {
+        (b, 1e3)
+    } else if let Some(b) = lower.strip_suffix('g') {
+        (b, 1e9)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    body.parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| perr(ln, format!("bad number `{s}`")))
+}
+
+fn parse_role(s: &str) -> Option<PortRole> {
+    let lower = s.to_ascii_lowercase();
+    Some(match lower.as_str() {
+        "vdd" => PortRole::Vdd,
+        "vss" => PortRole::Vss,
+        "inp" => PortRole::InP,
+        "inn" => PortRole::InN,
+        "out" => PortRole::Out,
+        "outp" => PortRole::OutP,
+        "outn" => PortRole::OutN,
+        "bias" => PortRole::Bias,
+        "iref" => PortRole::Iref,
+        "clk" => PortRole::Clock,
+        _ => {
+            let k = lower.strip_prefix("iout")?.parse::<u8>().ok()?;
+            PortRole::Iout(k)
+        }
+    })
+}
+
+fn device_group(
+    dev: &str,
+    assignment: &HashMap<String, String>,
+    groups: &HashMap<String, crate::GroupId>,
+    implicit: &mut Option<crate::GroupId>,
+    b: &mut CircuitBuilder,
+    ln: usize,
+) -> Result<crate::GroupId, NetlistError> {
+    if let Some(gname) = assignment.get(dev) {
+        return groups
+            .get(gname)
+            .copied()
+            .ok_or_else(|| perr(ln, format!("group `{gname}` not declared")));
+    }
+    if implicit.is_none() {
+        *implicit = Some(b.add_group("ungrouped", GroupKind::Custom)?);
+    }
+    Ok(implicit.expect("set above"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuits;
+
+    const TINY: &str = "
+* tiny mirror
+.title tiny
+.class cm
+.netkind vss ground
+M1 a a vss vss NMOS W=2 L=0.2 UNITS=3
+M2 b a vss vss NMOS W=2 L=0.2
++ UNITS=3
+.group gm current_mirror M1 M2
+.port iref a
+.port iout0 b
+I1 vdd a 20u
+.end
+this text is ignored after .end
+";
+
+    #[test]
+    fn parses_tiny_mirror() {
+        let c = parse(TINY).unwrap();
+        assert_eq!(c.name(), "tiny");
+        assert_eq!(c.class(), CircuitClass::CurrentMirror);
+        assert_eq!(c.num_units(), 6);
+        assert_eq!(c.groups().len(), 1);
+        assert_eq!(c.port(PortRole::Iref), c.find_net("a"));
+        let vss = c.find_net("vss").unwrap();
+        assert_eq!(c.net(vss).kind, NetKind::Ground);
+        // Continuation line carried UNITS=3 to M2.
+        let m2 = c.find_device("M2").unwrap();
+        assert_eq!(c.device(m2).num_units, 3);
+        // vdd inferred as power without a .netkind line.
+        let vdd = c.find_net("vdd").unwrap();
+        assert_eq!(c.net(vdd).kind, NetKind::Power);
+    }
+
+    #[test]
+    fn ungrouped_devices_get_an_implicit_group() {
+        let c = parse("M1 a a vss vss NMOS W=1 L=0.1\n.end").unwrap();
+        assert_eq!(c.groups().len(), 1);
+        assert_eq!(c.groups()[0].name, "ungrouped");
+    }
+
+    #[test]
+    fn magnitude_suffixes() {
+        let close = |s: &str, v: f64| {
+            let got = num(s, 1).unwrap();
+            assert!((got - v).abs() <= v.abs() * 1e-12, "{s}: {got} != {v}");
+        };
+        close("10k", 10e3);
+        close("20u", 20e-6);
+        close("100f", 100e-15);
+        close("3meg", 3e6);
+        close("2.5m", 2.5e-3);
+        close("7", 7.0);
+        assert!(num("oops", 1).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse("M1 a a vss\n.end").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let err = parse("\n\nX1 a b\n.end").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn double_group_assignment_rejected() {
+        let src = "
+M1 a a vss vss NMOS W=1 L=0.1
+.group ga custom M1
+.group gb custom M1
+.end";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn round_trips_every_benchmark() {
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+            circuits::five_transistor_ota(),
+            circuits::diff_pair(),
+            circuits::fig2_example(),
+        ] {
+            let text = write(&c);
+            let back = parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", c.name()));
+            assert_eq!(back.name(), c.name());
+            assert_eq!(back.class(), c.class());
+            assert_eq!(back.num_units(), c.num_units());
+            assert_eq!(back.groups().len(), c.groups().len());
+            assert_eq!(back.devices().len(), c.devices().len());
+            assert_eq!(back.nets().len(), c.nets().len());
+            assert_eq!(back.ports().len(), c.ports().len());
+            for (g1, g2) in c.groups().iter().zip(back.groups()) {
+                assert_eq!(g1.name, g2.name);
+                assert_eq!(g1.kind, g2.kind);
+                assert_eq!(g1.devices.len(), g2.devices.len());
+            }
+            // Second round trip is a fixpoint.
+            assert_eq!(write(&back), text);
+        }
+    }
+
+    proptest::proptest! {
+        /// Randomly sized circuits survive the write → parse round trip
+        /// with identical structure.
+        #[test]
+        fn prop_random_circuits_round_trip(
+            sizes in proptest::collection::vec((1u32..5, 1u32..4), 1..6),
+            class_pick in 0u8..4,
+        ) {
+            use crate::{CircuitBuilder, GroupKind, MosParams, MosPolarity, NetKind};
+            let class = match class_pick {
+                0 => CircuitClass::CurrentMirror,
+                1 => CircuitClass::Comparator,
+                2 => CircuitClass::Ota,
+                _ => CircuitClass::Generic,
+            };
+            let mut b = CircuitBuilder::new("random", class);
+            let vss = b.net("vss", NetKind::Ground);
+            for (gi, &(devices, units)) in sizes.iter().enumerate() {
+                let g = b.add_group(&format!("g{gi}"), GroupKind::Custom).expect("fresh");
+                for di in 0..devices {
+                    let n = b.net(&format!("n{gi}_{di}"), NetKind::Signal);
+                    let p = MosParams::nmos_default(1.0 + f64::from(di), 0.1 + 0.05 * f64::from(gi as u32));
+                    b.add_mos(&format!("M{gi}_{di}"), MosPolarity::Nmos, p, units, g, n, n, vss, vss)
+                        .expect("valid");
+                }
+            }
+            let c = b.build().expect("valid circuit");
+            let text = write(&c);
+            let back = parse(&text).expect("round trips");
+            proptest::prop_assert_eq!(back.class(), c.class());
+            proptest::prop_assert_eq!(back.num_units(), c.num_units());
+            proptest::prop_assert_eq!(back.devices().len(), c.devices().len());
+            proptest::prop_assert_eq!(back.groups().len(), c.groups().len());
+            proptest::prop_assert_eq!(write(&back), text);
+        }
+    }
+
+    #[test]
+    fn unknown_cards_and_models_rejected() {
+        assert!(parse("Q1 a b c MODEL\n.end").is_err());
+        assert!(parse("M1 a b c d JFET W=1 L=1\n.end").is_err());
+        assert!(parse(".class warp\n.end").is_err());
+        assert!(parse(".port sideways a\n.end").is_err());
+        assert!(parse(".netkind x mystery\n.end").is_err());
+    }
+}

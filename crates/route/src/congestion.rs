@@ -1,0 +1,191 @@
+//! Routing-congestion analysis.
+//!
+//! The paper notes the X+Y-symmetric style "is difficult to route and may
+//! increase capacitance"; this module quantifies that: a [`CongestionMap`]
+//! counts how many routed nets use each cell, exposes hotspot statistics,
+//! and renders an ASCII overlay so layout styles can be compared for
+//! routability, not just matching.
+
+use breaksym_geometry::{GridPoint, GridSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::RoutingResult;
+
+/// Per-cell net-usage counts of one routing result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionMap {
+    cols: i32,
+    rows: i32,
+    /// Row-major usage counts.
+    usage: Vec<u32>,
+}
+
+impl CongestionMap {
+    /// Builds the map from a routing result on a grid.
+    pub fn new(result: &RoutingResult, spec: &GridSpec) -> Self {
+        let (cols, rows) = (spec.cols(), spec.rows());
+        let mut usage = vec![0u32; (cols * rows) as usize];
+        for net in &result.nets {
+            for &cell in &net.cells {
+                if spec.bounds().contains(cell) {
+                    usage[(cell.y * cols + cell.x) as usize] += 1;
+                }
+            }
+        }
+        CongestionMap { cols, rows, usage }
+    }
+
+    /// Nets using `cell` (0 outside the grid).
+    pub fn usage(&self, cell: GridPoint) -> u32 {
+        if cell.x < 0 || cell.y < 0 || cell.x >= self.cols || cell.y >= self.rows {
+            return 0;
+        }
+        self.usage[(cell.y * self.cols + cell.x) as usize]
+    }
+
+    /// The most-used cell and its count, or `None` when nothing is routed.
+    pub fn hotspot(&self) -> Option<(GridPoint, u32)> {
+        let (idx, &max) = self
+            .usage
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &u)| u)?;
+        if max == 0 {
+            return None;
+        }
+        Some((
+            GridPoint::new(idx as i32 % self.cols, idx as i32 / self.cols),
+            max,
+        ))
+    }
+
+    /// Number of cells used by at least one net.
+    pub fn used_cells(&self) -> usize {
+        self.usage.iter().filter(|&&u| u > 0).count()
+    }
+
+    /// Number of cells shared by two or more nets (where real designs need
+    /// extra metal layers).
+    pub fn overflowed_cells(&self, capacity: u32) -> usize {
+        self.usage.iter().filter(|&&u| u > capacity).count()
+    }
+
+    /// Histogram of usage counts (`histogram[k]` = cells used by exactly
+    /// `k` nets, up to the maximum observed).
+    pub fn histogram(&self) -> Vec<usize> {
+        let max = self.usage.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max + 1];
+        for &u in &self.usage {
+            hist[u as usize] += 1;
+        }
+        hist
+    }
+
+    /// ASCII overlay (north up): `.` for unused, digits for usage counts,
+    /// `+` for ≥10.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::with_capacity(((self.cols + 1) * self.rows) as usize);
+        for y in (0..self.rows).rev() {
+            for x in 0..self.cols {
+                let u = self.usage(GridPoint::new(x, y));
+                out.push(match u {
+                    0 => '.',
+                    1..=9 => char::from(b'0' + u as u8),
+                    _ => '+',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compares the congestion of several routed placements by their
+/// overflow-weighted score: `Σ max(0, usage − 1)²` — quadratic so sharing
+/// hurts progressively, matching global-router cost conventions.
+pub fn congestion_score(map: &CongestionMap) -> f64 {
+    map.usage
+        .iter()
+        .map(|&u| {
+            let over = u.saturating_sub(1) as f64;
+            over * over
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MazeRouter, RouteConfig};
+    use breaksym_layout::LayoutEnv;
+    use breaksym_netlist::circuits;
+
+    fn routed(side: i32) -> (CongestionMap, GridSpec) {
+        let spec = GridSpec::square(side);
+        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), spec).unwrap();
+        let result = MazeRouter::new(RouteConfig::default()).route(&env);
+        (CongestionMap::new(&result, &spec), spec)
+    }
+
+    #[test]
+    fn map_counts_match_routing_result() {
+        let spec = GridSpec::square(12);
+        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), spec).unwrap();
+        let result = MazeRouter::new(RouteConfig::default()).route(&env);
+        let map = CongestionMap::new(&result, &spec);
+        let total_cells: usize = result.nets.iter().map(|n| n.cells.len()).sum();
+        let histogram = map.histogram();
+        let counted: usize = histogram
+            .iter()
+            .enumerate()
+            .map(|(k, &cells)| k * cells)
+            .sum();
+        assert_eq!(counted, total_cells);
+        assert!(map.used_cells() > 0);
+        let (cell, peak) = map.hotspot().expect("something is routed");
+        assert_eq!(map.usage(cell), peak);
+        assert!(peak as usize >= 1);
+    }
+
+    #[test]
+    fn out_of_grid_usage_is_zero() {
+        let (map, _) = routed(12);
+        assert_eq!(map.usage(GridPoint::new(-1, 0)), 0);
+        assert_eq!(map.usage(GridPoint::new(0, 99)), 0);
+    }
+
+    #[test]
+    fn render_matches_grid_dimensions() {
+        let (map, spec) = routed(12);
+        let art = map.render_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len() as i32, spec.rows());
+        assert!(lines.iter().all(|l| l.len() as i32 == spec.cols()));
+        assert!(art.contains('1'), "used cells must render as digits");
+    }
+
+    #[test]
+    fn score_is_zero_without_sharing_and_grows_with_it() {
+        let empty = CongestionMap { cols: 4, rows: 4, usage: vec![0; 16] };
+        assert_eq!(congestion_score(&empty), 0.0);
+        let mut shared = empty.clone();
+        shared.usage[5] = 3; // two extra nets → (3−1)² = 4
+        assert_eq!(congestion_score(&shared), 4.0);
+        assert_eq!(shared.overflowed_cells(1), 1);
+        assert_eq!(shared.overflowed_cells(3), 0);
+    }
+
+    #[test]
+    fn denser_placements_are_more_congested() {
+        // The same circuit on a tighter grid funnels more nets through
+        // fewer cells.
+        let (tight, _) = routed(8);
+        let (loose, _) = routed(20);
+        assert!(
+            congestion_score(&tight) >= congestion_score(&loose),
+            "tight {} vs loose {}",
+            congestion_score(&tight),
+            congestion_score(&loose)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Wirelength estimation, maze routing, and lumped parasitic extraction.
+//!
+//! The paper's flow runs automatic routing (Virtuoso) and post-layout
+//! extraction (Calibre) and **includes the routing effects in the
+//! simulation** while not optimising the routes themselves. This crate does
+//! the same at grid resolution:
+//!
+//! - [`NetPins`] collects, per net, the candidate pin cells of every
+//!   connected placeable device;
+//! - fast estimators: HPWL (half-perimeter, [`RoutingEstimate`]) and
+//!   a Prim MST length — used inside the optimisation loop;
+//! - [`MazeRouter`] — a Lee-style BFS router that actually embeds every
+//!   net, treating foreign cells as routable at a premium (over-cell
+//!   routing on higher metal), with congestion tracking;
+//! - [`Parasitics`] — per-net lumped R/C derived from routed (or
+//!   estimated) lengths, ready to be folded into the simulator netlist.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_geometry::GridSpec;
+//! use breaksym_layout::LayoutEnv;
+//! use breaksym_netlist::circuits;
+//! use breaksym_route::{MazeRouter, RouteConfig, RoutingEstimate};
+//!
+//! let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10))?;
+//! let est = RoutingEstimate::of(&env);
+//! assert!(est.total_hpwl_um > 0.0);
+//!
+//! let routed = MazeRouter::new(RouteConfig::default()).route(&env);
+//! assert!(routed.total_length_um >= 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod congestion;
+mod estimate;
+mod maze;
+mod parasitics;
+mod pins;
+
+pub use congestion::{congestion_score, CongestionMap};
+pub use estimate::RoutingEstimate;
+pub use maze::{MazeRouter, RouteConfig, RoutedNet, RoutingResult};
+pub use parasitics::{ExtractionTech, NetParasitic, Parasitics};
+pub use pins::NetPins;

@@ -1,0 +1,149 @@
+//! Lumped parasitic extraction from routed or estimated wirelength.
+
+use breaksym_layout::LayoutEnv;
+use breaksym_netlist::NetId;
+use serde::{Deserialize, Serialize};
+
+use crate::{NetPins, RoutingResult};
+
+/// Technology constants for parasitic extraction (metal-2-class wiring in
+/// a 40 nm-class process; behavioural values).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExtractionTech {
+    /// Wire resistance per µm, in ohms.
+    pub r_ohm_per_um: f64,
+    /// Wire capacitance per µm, in farads.
+    pub c_f_per_um: f64,
+    /// Extra capacitance per over-device crossing, in farads.
+    pub c_crossing_f: f64,
+}
+
+impl Default for ExtractionTech {
+    fn default() -> Self {
+        ExtractionTech { r_ohm_per_um: 0.8, c_f_per_um: 0.2e-15, c_crossing_f: 0.05e-15 }
+    }
+}
+
+/// Lumped parasitics of one net.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetParasitic {
+    /// The net.
+    pub net: NetId,
+    /// Lumped series resistance in ohms.
+    pub r_ohms: f64,
+    /// Lumped capacitance to substrate in farads.
+    pub c_farads: f64,
+    /// Wire length in µm the lump was derived from.
+    pub length_um: f64,
+}
+
+/// Per-net lumped parasitics of a placement, ready for the simulator.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Parasitics {
+    /// One entry per routed net, in net-id order.
+    pub nets: Vec<NetParasitic>,
+    /// Total wirelength in µm.
+    pub total_length_um: f64,
+}
+
+impl Parasitics {
+    /// Extracts from a full maze-routing result (the accurate path used for
+    /// final evaluation).
+    pub fn from_routing(result: &RoutingResult, env: &LayoutEnv, tech: &ExtractionTech) -> Self {
+        let pitch =
+            (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
+        let mut nets = Vec::with_capacity(result.nets.len());
+        let mut total = 0.0;
+        for rn in &result.nets {
+            let len = f64::from(rn.length_cells) * pitch;
+            nets.push(NetParasitic {
+                net: rn.net,
+                r_ohms: tech.r_ohm_per_um * len,
+                c_farads: tech.c_f_per_um * len
+                    + tech.c_crossing_f * f64::from(rn.over_cell_crossings),
+                length_um: len,
+            });
+            total += len;
+        }
+        Parasitics { nets, total_length_um: total }
+    }
+
+    /// Extracts from the fast MST estimate (the cheap path used inside the
+    /// optimisation loop — same model the paper uses when it folds
+    /// unoptimised routing into every simulation).
+    pub fn estimate(env: &LayoutEnv, tech: &ExtractionTech) -> Self {
+        let pitch =
+            (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
+        let mut nets = Vec::new();
+        let mut total = 0.0;
+        for pins in NetPins::collect(env) {
+            let len = pins.mst_cells() * pitch;
+            nets.push(NetParasitic {
+                net: pins.net,
+                r_ohms: tech.r_ohm_per_um * len,
+                c_farads: tech.c_f_per_um * len,
+                length_um: len,
+            });
+            total += len;
+        }
+        Parasitics { nets, total_length_um: total }
+    }
+
+    /// The parasitic entry of `net`, if the net was routed.
+    pub fn net(&self, net: NetId) -> Option<&NetParasitic> {
+        self.nets.iter().find(|n| n.net == net)
+    }
+
+    /// Total capacitance over all nets, in farads.
+    pub fn total_capacitance(&self) -> f64 {
+        self.nets.iter().map(|n| n.c_farads).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MazeRouter, RouteConfig};
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+
+    fn env() -> LayoutEnv {
+        LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12)).unwrap()
+    }
+
+    #[test]
+    fn estimate_and_routed_extraction_are_same_order() {
+        let e = env();
+        let tech = ExtractionTech::default();
+        let est = Parasitics::estimate(&e, &tech);
+        let routed = MazeRouter::new(RouteConfig::default()).route(&e);
+        let ext = Parasitics::from_routing(&routed, &e, &tech);
+        assert!(!est.nets.is_empty());
+        assert!(!ext.nets.is_empty());
+        // Real routes detour around obstacles: never shorter than a tenth,
+        // never longer than 20x the MST estimate (loose sanity band).
+        assert!(ext.total_length_um >= est.total_length_um * 0.1);
+        assert!(ext.total_length_um <= est.total_length_um * 20.0 + 10.0);
+    }
+
+    #[test]
+    fn parasitics_scale_with_length() {
+        let e = env();
+        let tech = ExtractionTech::default();
+        let p = Parasitics::estimate(&e, &tech);
+        for n in &p.nets {
+            assert!((n.r_ohms - tech.r_ohm_per_um * n.length_um).abs() < 1e-12);
+            assert!((n.c_farads - tech.c_f_per_um * n.length_um).abs() < 1e-24);
+        }
+        assert!(p.total_capacitance() > 0.0);
+    }
+
+    #[test]
+    fn net_lookup() {
+        let e = env();
+        let p = Parasitics::estimate(&e, &ExtractionTech::default());
+        let first = p.nets[0].net;
+        assert!(p.net(first).is_some());
+        assert!(p.net(NetId::new(9999)).is_none());
+    }
+}

@@ -1,0 +1,177 @@
+//! Collecting the physical pins of each net from a placement.
+
+use breaksym_geometry::GridPoint;
+use breaksym_layout::LayoutEnv;
+use breaksym_netlist::{NetId, NetKind};
+
+/// The physical pins of one net: for every connected placeable device, the
+/// set of cells its units occupy (any of them can serve as the tap point),
+/// plus that device's centroid for the fast estimators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetPins {
+    /// The net.
+    pub net: NetId,
+    /// The net's kind (signal nets dominate the wirelength objective).
+    pub kind: NetKind,
+    /// Per connected device: all cells of its units.
+    pub device_cells: Vec<Vec<GridPoint>>,
+    /// Per connected device: centroid in continuous cell coordinates.
+    pub device_centroids: Vec<(f64, f64)>,
+}
+
+impl NetPins {
+    /// Collects pins for every net with at least two connected placeable
+    /// devices (single-pin nets need no routing).
+    pub fn collect(env: &LayoutEnv) -> Vec<NetPins> {
+        let circuit = env.circuit();
+        let mut out = Vec::new();
+        for (ni, net) in circuit.nets().iter().enumerate() {
+            let net_id = NetId::new(ni as u32);
+            let mut device_cells = Vec::new();
+            let mut device_centroids = Vec::new();
+            for d in circuit.placeable_devices() {
+                if !circuit.device(d).pins.contains(&net_id) {
+                    continue;
+                }
+                let units: Vec<_> = circuit.units_of_device(d).collect();
+                let cells: Vec<GridPoint> = units
+                    .iter()
+                    .map(|&u| env.placement().position(u))
+                    .collect();
+                let centroid = env
+                    .placement()
+                    .centroid_of(&units)
+                    .expect("placeable devices have units");
+                device_cells.push(cells);
+                device_centroids.push(centroid);
+            }
+            if device_cells.len() >= 2 {
+                out.push(NetPins {
+                    net: net_id,
+                    kind: net.kind,
+                    device_cells,
+                    device_centroids,
+                });
+            }
+        }
+        out
+    }
+
+    /// Half-perimeter wirelength of this net over device centroids, in
+    /// cells.
+    pub fn hpwl_cells(&self) -> f64 {
+        let xs = self.device_centroids.iter().map(|c| c.0);
+        let ys = self.device_centroids.iter().map(|c| c.1);
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for x in xs {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+        }
+        for y in ys {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        (xmax - xmin) + (ymax - ymin)
+    }
+
+    /// Prim MST length over device centroids (Manhattan metric), in cells.
+    /// A tighter routed-length estimate than HPWL for multi-pin nets.
+    pub fn mst_cells(&self) -> f64 {
+        let pts = &self.device_centroids;
+        let n = pts.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let dist = |a: (f64, f64), b: (f64, f64)| (a.0 - b.0).abs() + (a.1 - b.1).abs();
+        let mut in_tree = vec![false; n];
+        let mut best = vec![f64::INFINITY; n];
+        in_tree[0] = true;
+        for j in 1..n {
+            best[j] = dist(pts[0], pts[j]);
+        }
+        let mut total = 0.0;
+        for _ in 1..n {
+            let (mut k, mut kd) = (usize::MAX, f64::INFINITY);
+            for j in 0..n {
+                if !in_tree[j] && best[j] < kd {
+                    k = j;
+                    kd = best[j];
+                }
+            }
+            in_tree[k] = true;
+            total += kd;
+            for j in 0..n {
+                if !in_tree[j] {
+                    best[j] = best[j].min(dist(pts[k], pts[j]));
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+
+    fn env() -> LayoutEnv {
+        LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap()
+    }
+
+    #[test]
+    fn collects_multi_device_nets_only() {
+        let e = env();
+        let pins = NetPins::collect(&e);
+        assert!(!pins.is_empty());
+        for p in &pins {
+            assert!(p.device_cells.len() >= 2);
+            assert_eq!(p.device_cells.len(), p.device_centroids.len());
+            for cells in &p.device_cells {
+                assert!(!cells.is_empty());
+            }
+        }
+        // The tail net connects M1 and M2 (the current source is not
+        // placeable and must not appear as a pin).
+        let tail = e.circuit().find_net("ntail").unwrap();
+        let tp = pins.iter().find(|p| p.net == tail).expect("tail net routed");
+        assert_eq!(tp.device_cells.len(), 2);
+    }
+
+    #[test]
+    fn hpwl_and_mst_agree_for_two_pins() {
+        let e = env();
+        for p in NetPins::collect(&e) {
+            if p.device_centroids.len() == 2 {
+                assert!((p.hpwl_cells() - p.mst_cells()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mst_at_least_hpwl_generally() {
+        let e = LayoutEnv::sequential(
+            circuits::current_mirror_medium(),
+            GridSpec::square(16),
+        )
+        .unwrap();
+        for p in NetPins::collect(&e) {
+            assert!(p.mst_cells() + 1e-9 >= p.hpwl_cells() * 0.999,
+                "MST {} must not beat HPWL {} for net {}", p.mst_cells(), p.hpwl_cells(), p.net);
+        }
+    }
+
+    #[test]
+    fn mst_of_three_collinear_points() {
+        let pins = NetPins {
+            net: NetId::new(0),
+            kind: NetKind::Signal,
+            device_cells: vec![vec![], vec![], vec![]],
+            device_centroids: vec![(0.0, 0.0), (2.0, 0.0), (5.0, 0.0)],
+        };
+        assert!((pins.mst_cells() - 5.0).abs() < 1e-12);
+        assert!((pins.hpwl_cells() - 5.0).abs() < 1e-12);
+    }
+}

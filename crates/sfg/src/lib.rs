@@ -1,0 +1,264 @@
+//! Signal-flow-graph analysis for initial placement.
+//!
+//! The paper: *"For the initial placement, we used signal flow graph to find
+//! relative placement location of the groups. Units within a group were
+//! placed sequentially."* This crate builds that graph and produces the
+//! group ordering the sequential packer consumes.
+//!
+//! The signal-flow graph follows the classic analog convention (Zhu et al.,
+//! MAGICAL): an edge runs from a device *driving* a net (at its drain or a
+//! passive terminal) to every device *sensing* that net (at its gate, or
+//! the other passive terminal). Supply and bias nets carry no signal flow.
+//! Groups are ranked by the breadth-first distance of their devices from
+//! the circuit inputs, so input primitives land first and output loads
+//! last — the left-to-right ordering a designer would sketch.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_netlist::circuits;
+//! use breaksym_sfg::SignalFlowGraph;
+//!
+//! let circuit = circuits::five_transistor_ota();
+//! let sfg = SignalFlowGraph::build(&circuit);
+//! let order = sfg.group_order();
+//! assert_eq!(order.len(), circuit.groups().len());
+//! // The input pair ranks at or before the load mirror.
+//! let g_in = circuit.find_group("g_in").expect("exists");
+//! let g_load = circuit.find_group("g_load").expect("exists");
+//! let pos = |g| order.iter().position(|&x| x == g).expect("in order");
+//! assert!(pos(g_in) <= pos(g_load));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use breaksym_geometry::GridSpec;
+use breaksym_layout::{LayoutEnv, LayoutError};
+use breaksym_netlist::{Circuit, DeviceId, GroupId, NetId, PortRole, Terminal};
+
+/// The signal-flow graph of a circuit and the group ranking derived from
+/// it.
+#[derive(Debug, Clone)]
+pub struct SignalFlowGraph {
+    /// Adjacency: `edges[d]` lists devices driven by device `d`.
+    edges: Vec<Vec<DeviceId>>,
+    /// BFS level of each device from the circuit inputs (`u32::MAX` when
+    /// unreachable).
+    device_level: Vec<u32>,
+    /// Group ids sorted by mean device level (ties: declaration order).
+    order: Vec<GroupId>,
+}
+
+impl SignalFlowGraph {
+    /// Builds the graph and ranking for `circuit`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let nd = circuit.devices().len();
+        let mut edges: Vec<Vec<DeviceId>> = vec![Vec::new(); nd];
+
+        // For every signal net: drivers (drain / passive pins) → sensors
+        // (gate / passive pins of *other* devices).
+        for (ni, net) in circuit.nets().iter().enumerate() {
+            if !net.kind.is_signal() {
+                continue;
+            }
+            let net_id = NetId::new(ni as u32);
+            let mut drivers = Vec::new();
+            let mut sensors = Vec::new();
+            for d in circuit.placeable_devices() {
+                let dev = circuit.device(d);
+                if dev.mos_polarity().is_some() {
+                    if dev.pin(Terminal::Drain) == Some(net_id)
+                        || dev.pin(Terminal::Source) == Some(net_id)
+                    {
+                        drivers.push(d);
+                    }
+                    if dev.pin(Terminal::Gate) == Some(net_id) {
+                        sensors.push(d);
+                    }
+                } else if dev.pins.contains(&net_id) {
+                    // Passives both drive and sense.
+                    drivers.push(d);
+                    sensors.push(d);
+                }
+            }
+            for &a in &drivers {
+                for &b in &sensors {
+                    if a != b && !edges[a.index()].contains(&b) {
+                        edges[a.index()].push(b);
+                    }
+                }
+            }
+        }
+
+        // Seeds: devices sensing the input ports; fall back to every
+        // device touching any signal net bound to a port; final fallback:
+        // all devices at level 0.
+        let mut seeds: Vec<DeviceId> = Vec::new();
+        for role in [PortRole::InP, PortRole::InN, PortRole::Iref, PortRole::Clock] {
+            if let Some(net) = circuit.port(role) {
+                for d in circuit.placeable_devices() {
+                    let dev = circuit.device(d);
+                    let senses = if dev.mos_polarity().is_some() {
+                        dev.pin(Terminal::Gate) == Some(net)
+                            || dev.pin(Terminal::Source) == Some(net)
+                            || dev.pin(Terminal::Drain) == Some(net)
+                    } else {
+                        dev.pins.contains(&net)
+                    };
+                    if senses && !seeds.contains(&d) {
+                        seeds.push(d);
+                    }
+                }
+            }
+        }
+        if seeds.is_empty() {
+            seeds = circuit.placeable_devices().collect();
+        }
+
+        // BFS levels.
+        let mut device_level = vec![u32::MAX; nd];
+        let mut queue = VecDeque::new();
+        for &s in &seeds {
+            device_level[s.index()] = 0;
+            queue.push_back(s);
+        }
+        while let Some(d) = queue.pop_front() {
+            let l = device_level[d.index()];
+            for &nxt in &edges[d.index()] {
+                if device_level[nxt.index()] == u32::MAX {
+                    device_level[nxt.index()] = l + 1;
+                    queue.push_back(nxt);
+                }
+            }
+        }
+
+        // Rank groups by mean level of reachable devices.
+        let mut ranked: Vec<(f64, GroupId)> = circuit
+            .group_ids()
+            .map(|g| {
+                let devs = &circuit.group(g).devices;
+                let levels: Vec<f64> = devs
+                    .iter()
+                    .filter(|d| device_level[d.index()] != u32::MAX)
+                    .map(|d| f64::from(device_level[d.index()]))
+                    .collect();
+                let mean = if levels.is_empty() {
+                    f64::from(u16::MAX) // unreachable groups go last
+                } else {
+                    levels.iter().sum::<f64>() / levels.len() as f64
+                };
+                (mean, g)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("levels are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        let order = ranked.into_iter().map(|(_, g)| g).collect();
+
+        SignalFlowGraph { edges, device_level, order }
+    }
+
+    /// Devices directly driven by `d`.
+    pub fn driven_by(&self, d: DeviceId) -> &[DeviceId] {
+        &self.edges[d.index()]
+    }
+
+    /// BFS level of a device from the inputs, or `None` if unreachable.
+    pub fn device_level(&self, d: DeviceId) -> Option<u32> {
+        let l = self.device_level[d.index()];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// The group ordering for initial placement.
+    pub fn group_order(&self) -> Vec<GroupId> {
+        self.order.clone()
+    }
+}
+
+/// Builds the paper's initial placement: groups in signal-flow order,
+/// units within each group placed sequentially.
+///
+/// # Errors
+///
+/// Propagates [`LayoutError::GridTooSmall`] when the circuit cannot fit.
+pub fn initial_env(circuit: Circuit, spec: GridSpec) -> Result<LayoutEnv, LayoutError> {
+    let sfg = SignalFlowGraph::build(&circuit);
+    let order = sfg.group_order();
+    LayoutEnv::sequential_with_order(circuit, spec, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn ota_input_pair_ranks_first() {
+        let c = circuits::folded_cascode_ota();
+        let sfg = SignalFlowGraph::build(&c);
+        let order = sfg.group_order();
+        assert_eq!(order.len(), c.groups().len());
+        // The input pair senses the inputs directly: level 0.
+        let g_in = c.find_group("g_in").unwrap();
+        assert_eq!(order[0], g_in);
+        // Level of the input devices is 0.
+        let m1 = c.find_device("M1").unwrap();
+        assert_eq!(sfg.device_level(m1), Some(0));
+    }
+
+    #[test]
+    fn edges_follow_drain_to_gate() {
+        let c = circuits::five_transistor_ota();
+        let sfg = SignalFlowGraph::build(&c);
+        // M1 drain is x; M3/M4 gates on x → M1 drives M3 and M4.
+        let m1 = c.find_device("M1").unwrap();
+        let m3 = c.find_device("M3").unwrap();
+        let m4 = c.find_device("M4").unwrap();
+        assert!(sfg.driven_by(m1).contains(&m3));
+        assert!(sfg.driven_by(m1).contains(&m4));
+    }
+
+    #[test]
+    fn order_is_a_permutation_of_groups() {
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+            circuits::diff_pair(),
+            circuits::fig2_example(),
+        ] {
+            let sfg = SignalFlowGraph::build(&c);
+            let mut order = sfg.group_order();
+            order.sort();
+            let all: Vec<_> = c.group_ids().collect();
+            assert_eq!(order, all, "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn initial_env_is_legal_for_all_benchmarks() {
+        for (c, side) in [
+            (circuits::current_mirror_medium(), 16),
+            (circuits::comparator(), 16),
+            (circuits::folded_cascode_ota(), 18),
+        ] {
+            let env = initial_env(c, GridSpec::square(side)).expect("fits");
+            env.validate().expect("legal");
+        }
+    }
+
+    #[test]
+    fn fig2_example_falls_back_to_declaration_order() {
+        // No input ports → all devices seed at level 0 → declaration order.
+        let c = circuits::fig2_example();
+        let sfg = SignalFlowGraph::build(&c);
+        let order = sfg.group_order();
+        let decl: Vec<_> = c.group_ids().collect();
+        assert_eq!(order, decl);
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimal complex arithmetic for the AC solver.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` components.
+///
+/// Deliberately tiny: just what an MNA AC solve needs. Operations follow
+/// ordinary complex arithmetic; [`Complex::div`] uses the numerically
+/// stable Smith algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_sim::Complex;
+///
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// let p = a * b;
+/// assert_eq!(p, Complex::new(5.0, 5.0));
+/// assert!((a / a - Complex::ONE).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·j`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|` (hypot — no overflow for extreme components).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, o: Complex) {
+        *self = *self - o;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    /// Smith's algorithm: scales by the larger component of the divisor to
+    /// avoid overflow/underflow.
+    fn div(self, o: Complex) -> Complex {
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            Complex::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            Complex::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_identities() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert_eq!(Complex::I * Complex::I, Complex::real(-1.0));
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(-z, Complex::new(-3.0, -4.0));
+        assert_eq!(Complex::from(2.0), Complex::real(2.0));
+    }
+
+    #[test]
+    fn division_is_multiplication_inverse() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(-0.25, 4.0);
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn division_stable_for_tiny_and_huge() {
+        let a = Complex::new(1e-300, 1e-300);
+        let b = Complex::new(1e-300, 0.0);
+        let q = a / b;
+        assert!((q.re - 1.0).abs() < 1e-12 && (q.im - 1.0).abs() < 1e-12);
+        let c = Complex::new(1e300, 1e300) / Complex::new(1e300, 0.0);
+        assert!((c.re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        assert!((Complex::new(1.0, 0.0).arg()).abs() < 1e-15);
+        assert!((Complex::new(0.0, 1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert!((Complex::new(-1.0, 0.0).arg() - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+        assert_eq!(Complex::new(0.5, 0.25).to_string(), "0.5+0.25j");
+    }
+
+    fn arb_c() -> impl Strategy<Value = Complex> {
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex::new(re, im))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes_and_distributes(a in arb_c(), b in arb_c(), c in arb_c()) {
+            let ab = a * b;
+            let ba = b * a;
+            prop_assert!((ab - ba).abs() < 1e-9);
+            let lhs = a * (b + c);
+            let rhs = a * b + a * c;
+            prop_assert!((lhs - rhs).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_abs_is_multiplicative(a in arb_c(), b in arb_c()) {
+            prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-6);
+        }
+    }
+}

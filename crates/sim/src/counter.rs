@@ -1,0 +1,97 @@
+//! The shared simulation counter — the "#simulations" column of Fig. 3.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Counts simulator invocations across an optimisation run.
+///
+/// Cloning shares the underlying counter, so an optimizer can hand the same
+/// counter to an evaluator and read the total afterwards. The paper's
+/// comparison between Q-learning and simulated annealing is *per
+/// simulation*, not per wall-clock second, so this is the primary cost
+/// metric of the whole framework.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_sim::SimCounter;
+///
+/// let counter = SimCounter::new();
+/// let shared = counter.clone();
+/// shared.increment();
+/// shared.increment();
+/// assert_eq!(counter.count(), 2);
+/// counter.reset();
+/// assert_eq!(shared.count(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimCounter {
+    inner: Arc<Mutex<u64>>,
+}
+
+impl SimCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        SimCounter::default()
+    }
+
+    /// Adds one simulation to the tally.
+    pub fn increment(&self) {
+        *self.inner.lock() += 1;
+    }
+
+    /// The number of simulations so far.
+    pub fn count(&self) -> u64 {
+        *self.inner.lock()
+    }
+
+    /// Resets the tally to zero (shared across all clones).
+    pub fn reset(&self) {
+        *self.inner.lock() = 0;
+    }
+}
+
+impl fmt::Display for SimCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} simulations", self.count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = SimCounter::new();
+        let b = a.clone();
+        a.increment();
+        b.increment();
+        assert_eq!(a.count(), 2);
+        assert_eq!(b.to_string(), "2 simulations");
+    }
+
+    #[test]
+    fn counter_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<SimCounter>();
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = SimCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.count(), 4000);
+    }
+}

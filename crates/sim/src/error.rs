@@ -1,0 +1,82 @@
+//! Error type for simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use breaksym_netlist::NetlistError;
+
+/// Errors produced by the DC/AC solvers and metric extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The MNA matrix is singular (floating node or source loop).
+    SingularMatrix {
+        /// The pivot column that underflowed.
+        column: usize,
+    },
+    /// The Newton iteration did not converge.
+    NoConvergence {
+        /// Iterations executed before giving up.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// The circuit lacks structure the testbench needs (ports, classes).
+    BadCircuit {
+        /// Explanation.
+        reason: String,
+    },
+    /// A netlist-level problem (e.g. a missing port role).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SingularMatrix { column } => {
+                write!(f, "singular MNA matrix at pivot column {column} (floating node?)")
+            }
+            SimError::NoConvergence { iterations, residual } => {
+                write!(f, "newton failed to converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            SimError::BadCircuit { reason } => write!(f, "circuit not simulatable: {reason}"),
+            SimError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SimError {
+    fn from(e: NetlistError) -> Self {
+        SimError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::SingularMatrix { column: 2 };
+        assert!(e.to_string().contains("column 2"));
+        let n = SimError::from(NetlistError::MissingPort { role: "vdd".into() });
+        assert!(n.to_string().contains("vdd"));
+        assert!(Error::source(&n).is_some());
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

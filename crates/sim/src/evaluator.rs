@@ -1,0 +1,261 @@
+//! The placement → metrics oracle the optimizers call.
+
+use breaksym_layout::LayoutEnv;
+use breaksym_lde::{LdeModel, ParamShift};
+use breaksym_netlist::NetId;
+use breaksym_route::{ExtractionTech, Parasitics};
+
+use crate::{EvalOptions, Metrics, SimCounter, SimError, Testbench};
+
+/// Evaluates placements: applies the LDE model, extracts parasitics, runs
+/// the class testbench, and tallies the simulation count.
+///
+/// This is the "simulator" of the paper's objective-driven loop: every call
+/// to [`Evaluator::evaluate`] is one entry in the "#simulations" column of
+/// Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_geometry::GridSpec;
+/// use breaksym_layout::LayoutEnv;
+/// use breaksym_lde::LdeModel;
+/// use breaksym_netlist::circuits;
+/// use breaksym_sim::Evaluator;
+///
+/// let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))?;
+/// let eval = Evaluator::new(LdeModel::nonlinear(1.0, 3));
+/// let m = eval.evaluate(&env)?;
+/// assert!(m.offset_v.expect("OTA reports offset").is_finite());
+/// assert!(m.gain_db.expect("OTA reports gain") > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    lde: LdeModel,
+    tech: ExtractionTech,
+    bench: Testbench,
+    counter: SimCounter,
+}
+
+impl Evaluator {
+    /// Creates an evaluator with default extraction and testbench options.
+    pub fn new(lde: LdeModel) -> Self {
+        Evaluator {
+            lde,
+            tech: ExtractionTech::default(),
+            bench: Testbench::default(),
+            counter: SimCounter::new(),
+        }
+    }
+
+    /// Overrides the extraction technology constants.
+    pub fn with_tech(mut self, tech: ExtractionTech) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Overrides the testbench options.
+    pub fn with_options(mut self, options: EvalOptions) -> Self {
+        self.bench.options = options;
+        self
+    }
+
+    /// Shares an external simulation counter (e.g. one owned by an
+    /// optimisation run).
+    pub fn with_counter(mut self, counter: SimCounter) -> Self {
+        self.counter = counter;
+        self
+    }
+
+    /// The simulation counter.
+    pub fn counter(&self) -> &SimCounter {
+        &self.counter
+    }
+
+    /// The LDE model in use.
+    pub fn lde(&self) -> &LdeModel {
+        &self.lde
+    }
+
+    /// Evaluates the current placement of `env`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures (non-convergence, singular matrices) and
+    /// testbench structural errors.
+    pub fn evaluate(&self, env: &LayoutEnv) -> Result<Metrics, SimError> {
+        self.evaluate_with_extra_shifts(env, &[])
+    }
+
+    /// Like [`Evaluator::evaluate`] with additional per-device shifts added
+    /// on top of the systematic LDE shifts — the Monte-Carlo hook for
+    /// random (Pelgrom) mismatch.
+    ///
+    /// `extra` must be empty or one entry per device.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Evaluator::evaluate`].
+    pub fn evaluate_with_extra_shifts(
+        &self,
+        env: &LayoutEnv,
+        extra: &[ParamShift],
+    ) -> Result<Metrics, SimError> {
+        self.counter.increment();
+        let circuit = env.circuit();
+
+        let mut shifts = self.lde.all_device_shifts(env);
+        if !extra.is_empty() {
+            debug_assert_eq!(extra.len(), shifts.len(), "extra shifts must be per-device");
+            for (s, e) in shifts.iter_mut().zip(extra) {
+                *s += *e;
+            }
+        }
+
+        // Routing effects folded into the simulation, as in the paper.
+        let parasitics = Parasitics::estimate(env, &self.tech);
+        let node_caps: Vec<(NetId, f64)> =
+            parasitics.nets.iter().map(|n| (n.net, n.c_farads)).collect();
+
+        let mut metrics = self.bench.run(circuit, &shifts, &node_caps)?;
+        metrics.area_um2 = env.area_um2();
+        metrics.wirelength_um = parasitics.total_length_um;
+        Ok(metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_netlist::circuits;
+
+    fn env_of(c: breaksym_netlist::Circuit, side: i32) -> LayoutEnv {
+        LayoutEnv::sequential(c, GridSpec::square(side)).unwrap()
+    }
+
+    #[test]
+    fn evaluates_all_three_benchmark_classes() {
+        let eval = Evaluator::new(LdeModel::nonlinear(1.0, 5));
+
+        let cm = eval.evaluate(&env_of(circuits::current_mirror_medium(), 16)).unwrap();
+        assert!(cm.mismatch_pct.unwrap() >= 0.0);
+        assert!(cm.power_w.unwrap() > 0.0);
+        assert!(cm.area_um2 > 0.0);
+
+        let ota = eval.evaluate(&env_of(circuits::folded_cascode_ota(), 18)).unwrap();
+        assert!(ota.offset_v.unwrap().is_finite());
+        assert!(ota.gain_db.unwrap() > 20.0, "folded cascode must have gain, got {:?}", ota.gain_db);
+        assert!(ota.ugb_hz.unwrap() > 1e5);
+        assert!(ota.phase_margin_deg.unwrap() > 0.0);
+
+        let comp = eval.evaluate(&env_of(circuits::comparator(), 16)).unwrap();
+        assert!(comp.offset_v.unwrap().is_finite());
+        assert!(comp.delay_s.unwrap() > 0.0);
+        assert!(comp.power_w.unwrap() > 0.0);
+
+        assert_eq!(eval.counter().count(), 3);
+    }
+
+    #[test]
+    fn zero_lde_means_near_zero_offset() {
+        let eval = Evaluator::new(LdeModel::none());
+        let m = eval.evaluate(&env_of(circuits::five_transistor_ota(), 12)).unwrap();
+        assert!(
+            m.offset_v.unwrap().abs() < 1e-4,
+            "no LDE ⇒ (near) zero systematic offset, got {:?}",
+            m.offset_v
+        );
+        let cm = eval.evaluate(&env_of(circuits::current_mirror_medium(), 16)).unwrap();
+        assert!(cm.mismatch_pct.unwrap() < 0.5, "got {:?}", cm.mismatch_pct);
+    }
+
+    #[test]
+    fn nonlinear_lde_creates_measurable_offset() {
+        let eval = Evaluator::new(LdeModel::nonlinear(1.0, 11));
+        let m = eval.evaluate(&env_of(circuits::five_transistor_ota(), 12)).unwrap();
+        assert!(
+            m.offset_v.unwrap().abs() > 1e-5,
+            "strong LDE must produce visible offset, got {:?}",
+            m.offset_v
+        );
+    }
+
+    #[test]
+    fn placement_changes_change_the_metrics() {
+        let eval = Evaluator::new(LdeModel::nonlinear(1.0, 2));
+        let mut env = env_of(circuits::current_mirror_medium(), 16);
+        let before = eval.evaluate(&env).unwrap().mismatch_pct.unwrap();
+        // Push the mirror group around a few times.
+        let g = env.circuit().find_group("g_mirror").unwrap();
+        for _ in 0..4 {
+            let dirs = env.legal_group_moves(g);
+            if dirs.is_empty() {
+                break;
+            }
+            env.apply(breaksym_layout::GroupMove { group: g, dir: dirs[0] }.into()).unwrap();
+        }
+        let after = eval.evaluate(&env).unwrap().mismatch_pct.unwrap();
+        assert_ne!(before, after, "moving a group must change mismatch");
+        assert_eq!(eval.counter().count(), 2);
+    }
+
+    #[test]
+    fn extra_shifts_add_on_top() {
+        let eval = Evaluator::new(LdeModel::none());
+        let env = env_of(circuits::five_transistor_ota(), 12);
+        let n = env.circuit().devices().len();
+        let mut extra = vec![ParamShift::ZERO; n];
+        let m1 = env.circuit().find_device("M1").unwrap();
+        extra[m1.index()] = ParamShift::new(5e-3, 0.0, 0.0);
+        let shifted = eval.evaluate_with_extra_shifts(&env, &extra).unwrap();
+        assert!(
+            shifted.offset_v.unwrap().abs() > 1e-3,
+            "a 5 mV input-device shift must appear as ≈5 mV offset, got {:?}",
+            shifted.offset_v
+        );
+        // Input-pair Vth shift refers ≈1:1 to the input.
+        assert!(shifted.offset_v.unwrap().abs() < 20e-3);
+    }
+}
+
+#[cfg(test)]
+mod cmrr_tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_lde::ParamShift;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn cmrr_is_reported_and_degrades_with_mismatch() {
+        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))
+            .unwrap();
+        let eval = Evaluator::new(LdeModel::none());
+        let matched = eval.evaluate(&env).unwrap();
+        let cmrr_matched = matched.cmrr_db.expect("OTA reports CMRR");
+        assert!(cmrr_matched > 20.0, "matched CMRR should be decent, got {cmrr_matched}");
+
+        // A deliberate input-pair imbalance must reduce CMRR.
+        let n = env.circuit().devices().len();
+        let mut extra = vec![ParamShift::ZERO; n];
+        let m1 = env.circuit().find_device("M1").unwrap();
+        extra[m1.index()] = ParamShift::new(15e-3, 0.05, 0.0);
+        let skewed = eval.evaluate_with_extra_shifts(&env, &extra).unwrap();
+        let cmrr_skewed = skewed.cmrr_db.expect("still reported");
+        assert!(
+            cmrr_skewed < cmrr_matched,
+            "mismatch must degrade CMRR ({cmrr_skewed} vs {cmrr_matched})"
+        );
+    }
+
+    #[test]
+    fn comparator_and_mirror_do_not_report_cmrr() {
+        let eval = Evaluator::new(LdeModel::none());
+        let comp = LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16)).unwrap();
+        assert!(eval.evaluate(&comp).unwrap().cmrr_db.is_none());
+        let cm =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
+        assert!(eval.evaluate(&cm).unwrap().cmrr_db.is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! The metric vector extracted per simulation, and AC post-processing.
+
+use breaksym_netlist::CircuitClass;
+use serde::{Deserialize, Serialize};
+
+use crate::Complex;
+
+/// Everything one evaluation of a placement produces.
+///
+/// Which optional fields are populated depends on the circuit class,
+/// matching the paper's per-circuit metric lists: CM {mismatch, area},
+/// COMP {offset, delay, power, area}, OTA {gain, BW, PM, offset, power,
+/// area}.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// The circuit class evaluated.
+    pub class: CircuitClass,
+    /// Worst output-current mismatch in percent (current mirrors).
+    pub mismatch_pct: Option<f64>,
+    /// Input-referred offset in volts (OTA, comparator).
+    pub offset_v: Option<f64>,
+    /// DC gain in dB (OTA).
+    pub gain_db: Option<f64>,
+    /// Unity-gain bandwidth in Hz (OTA).
+    pub ugb_hz: Option<f64>,
+    /// Phase margin in degrees (OTA).
+    pub phase_margin_deg: Option<f64>,
+    /// Common-mode rejection ratio in dB (OTA) — degrades with mismatch,
+    /// so it is placement-sensitive.
+    pub cmrr_db: Option<f64>,
+    /// Input-referred thermal noise density in nV/√Hz (OTA), from the
+    /// standard gm-ratio formula at the operating point.
+    pub noise_nv_rthz: Option<f64>,
+    /// Power-supply rejection ratio in dB (OTA): differential gain over
+    /// the supply-ripple gain at the low end of the sweep.
+    pub psrr_db: Option<f64>,
+    /// Regeneration delay in seconds (comparator).
+    pub delay_s: Option<f64>,
+    /// Power in watts.
+    pub power_w: Option<f64>,
+    /// Layout area in µm² (always present).
+    pub area_um2: f64,
+    /// Estimated wirelength in µm (always present).
+    pub wirelength_um: f64,
+}
+
+impl Metrics {
+    /// An empty metric vector for a class (area/wirelength zero).
+    pub fn empty(class: CircuitClass) -> Self {
+        Metrics {
+            class,
+            mismatch_pct: None,
+            offset_v: None,
+            gain_db: None,
+            ugb_hz: None,
+            phase_margin_deg: None,
+            cmrr_db: None,
+            noise_nv_rthz: None,
+            psrr_db: None,
+            delay_s: None,
+            power_w: None,
+            area_um2: 0.0,
+            wirelength_um: 0.0,
+        }
+    }
+
+    /// The primary matching metric of the class — what Fig. 3 calls
+    /// "static mismatch/offset": |mismatch| in % for mirrors, |offset| in
+    /// volts otherwise. Falls back to 0 when unset.
+    pub fn primary(&self) -> f64 {
+        match self.class {
+            CircuitClass::CurrentMirror => self.mismatch_pct.unwrap_or(0.0).abs(),
+            _ => self.offset_v.unwrap_or(0.0).abs(),
+        }
+    }
+}
+
+/// Post-processes a gain sweep `(freq, H(jω))` into
+/// `(dc_gain_db, ugb_hz, phase_margin_deg)`.
+///
+/// The unity crossing is interpolated in log-magnitude/log-frequency;
+/// phase is unwrapped from the low-frequency end so the margin is computed
+/// against a continuous phase curve. Returns `None` components when the
+/// curve never crosses unity inside the sweep.
+pub fn analyze_gain_sweep(points: &[(f64, Complex)]) -> (Option<f64>, Option<f64>, Option<f64>) {
+    if points.is_empty() {
+        return (None, None, None);
+    }
+    let dc_gain = points[0].1.abs();
+    let dc_gain_db = 20.0 * dc_gain.max(1e-30).log10();
+
+    // Unwrap phase.
+    let mut phases = Vec::with_capacity(points.len());
+    let mut prev = points[0].1.arg();
+    phases.push(prev);
+    for &(_, h) in &points[1..] {
+        let mut ph = h.arg();
+        while ph - prev > std::f64::consts::PI {
+            ph -= 2.0 * std::f64::consts::PI;
+        }
+        while ph - prev < -std::f64::consts::PI {
+            ph += 2.0 * std::f64::consts::PI;
+        }
+        phases.push(ph);
+        prev = ph;
+    }
+
+    // Find the unity crossing.
+    let mut ugb = None;
+    let mut pm = None;
+    for i in 1..points.len() {
+        let (f0, h0) = points[i - 1];
+        let (f1, h1) = points[i];
+        let (m0, m1) = (h0.abs(), h1.abs());
+        if m0 >= 1.0 && m1 < 1.0 {
+            // Interpolate in log-log.
+            let l0 = m0.log10();
+            let l1 = m1.log10();
+            let t = l0 / (l0 - l1);
+            let f = f0 * (f1 / f0).powf(t);
+            let phase = phases[i - 1] + (phases[i] - phases[i - 1]) * t;
+            ugb = Some(f);
+            // Phase margin relative to the DC phase reference: the loop
+            // inverts (or not) at DC; margin = 180° − |phase shift from DC|.
+            let shift = (phase - phases[0]).abs().to_degrees();
+            pm = Some(180.0 - shift);
+            break;
+        }
+    }
+    (Some(dc_gain_db), ugb, pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Single-pole response: H = A/(1 + jf/fp). UGB ≈ A·fp, PM ≈ 90°.
+    #[test]
+    fn single_pole_analysis() {
+        let a0 = 1000.0;
+        let fp = 1e4;
+        let points: Vec<(f64, Complex)> = (0..120)
+            .map(|i| {
+                let f = 1e2 * 10f64.powf(i as f64 / 10.0);
+                let h = Complex::real(a0) / Complex::new(1.0, f / fp);
+                (f, h)
+            })
+            .collect();
+        let (gain, ugb, pm) = analyze_gain_sweep(&points);
+        assert!((gain.unwrap() - 60.0).abs() < 0.1);
+        let ugb = ugb.unwrap();
+        assert!((ugb / (a0 * fp) - 1.0).abs() < 0.05, "ugb={ugb:.3e}");
+        let pm = pm.unwrap();
+        assert!((pm - 90.0).abs() < 3.0, "pm={pm}");
+    }
+
+    /// Two-pole response: PM < 90° and drops as the second pole nears UGB.
+    #[test]
+    fn two_pole_phase_margin() {
+        let a0 = 1000.0;
+        let fp1 = 1e4;
+        let make = |fp2: f64| {
+            let points: Vec<(f64, Complex)> = (0..140)
+                .map(|i| {
+                    let f = 1e2 * 10f64.powf(i as f64 / 10.0);
+                    let h = Complex::real(a0)
+                        / (Complex::new(1.0, f / fp1) * Complex::new(1.0, f / fp2));
+                    (f, h)
+                })
+                .collect();
+            analyze_gain_sweep(&points).2.unwrap()
+        };
+        let pm_far = make(1e9);
+        let pm_near = make(2e7);
+        assert!(pm_far > 85.0);
+        assert!(pm_near < pm_far);
+        assert!(pm_near > 30.0 && pm_near < 80.0, "pm_near={pm_near}");
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let points: Vec<(f64, Complex)> =
+            (0..10).map(|i| (1e3 * (i + 1) as f64, Complex::real(0.5))).collect();
+        let (gain, ugb, pm) = analyze_gain_sweep(&points);
+        assert!(gain.unwrap() < 0.0); // sub-unity gain in dB
+        assert!(ugb.is_none());
+        assert!(pm.is_none());
+        assert_eq!(analyze_gain_sweep(&[]), (None, None, None));
+    }
+
+    #[test]
+    fn primary_metric_dispatches_by_class() {
+        let mut m = Metrics::empty(CircuitClass::CurrentMirror);
+        m.mismatch_pct = Some(-2.5);
+        m.offset_v = Some(0.001);
+        assert_eq!(m.primary(), 2.5);
+        let mut o = Metrics::empty(CircuitClass::Ota);
+        o.mismatch_pct = Some(9.0);
+        o.offset_v = Some(-0.002);
+        assert_eq!(o.primary(), 0.002);
+        assert_eq!(Metrics::empty(CircuitClass::Comparator).primary(), 0.0);
+    }
+}

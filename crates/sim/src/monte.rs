@@ -1,0 +1,172 @@
+//! Monte-Carlo analysis separating random from systematic variation.
+//!
+//! The paper's introduction distinguishes **random** variation (reduced by
+//! sizing, Pelgrom's law) from **systematic** variation (LDEs, the target
+//! of placement). This module draws random per-device Vth/µ mismatch on
+//! top of the systematic LDE shifts so both contributions can be compared
+//! for a given placement.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use breaksym_layout::LayoutEnv;
+use breaksym_lde::ParamShift;
+
+use crate::{Evaluator, SimError};
+
+/// Pelgrom area coefficient for Vth mismatch, in V·µm (40 nm-class).
+pub const AVT_V_UM: f64 = 3.5e-3;
+/// Pelgrom area coefficient for current-factor mismatch, in µm (relative).
+pub const ABETA_UM: f64 = 0.01;
+
+/// Summary statistics of a Monte-Carlo run over the primary metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MismatchStats {
+    /// Sample mean of the primary metric.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std: f64,
+    /// Largest absolute sample.
+    pub worst: f64,
+    /// The raw samples.
+    pub samples: Vec<f64>,
+}
+
+impl MismatchStats {
+    fn from_samples(samples: Vec<f64>) -> Self {
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let worst = samples.iter().fold(0.0f64, |m, s| m.max(s.abs()));
+        MismatchStats { mean, std: var.sqrt(), worst, samples }
+    }
+}
+
+/// Monte-Carlo driver around an [`Evaluator`].
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    /// Number of samples to draw.
+    pub samples: usize,
+    /// RNG seed (each sample derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo { samples: 32, seed: 0 }
+    }
+}
+
+impl MonteCarlo {
+    /// Creates a driver with `samples` draws from `seed`.
+    pub fn new(samples: usize, seed: u64) -> Self {
+        MonteCarlo { samples, seed }
+    }
+
+    /// Draws one random per-device mismatch vector: Vth σ scales with
+    /// `1/√(W·L·units)` per Pelgrom.
+    pub fn draw_shifts(&self, env: &LayoutEnv, rng: &mut ChaCha8Rng) -> Vec<ParamShift> {
+        env.circuit()
+            .devices()
+            .iter()
+            .map(|d| match d.mos_params() {
+                Some(p) => {
+                    let area = (p.w_um * p.l_um * f64::from(d.num_units)).max(1e-6);
+                    let sigma_vth = AVT_V_UM / area.sqrt();
+                    let sigma_beta = ABETA_UM / area.sqrt();
+                    ParamShift::new(
+                        gauss(rng) * sigma_vth,
+                        gauss(rng) * sigma_beta,
+                        0.0,
+                    )
+                }
+                None => ParamShift::ZERO,
+            })
+            .collect()
+    }
+
+    /// Runs the Monte-Carlo loop, returning statistics of the primary
+    /// metric (mismatch % or offset V, per circuit class).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulation failure.
+    pub fn run(&self, eval: &Evaluator, env: &LayoutEnv) -> Result<MismatchStats, SimError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let extra = self.draw_shifts(env, &mut rng);
+            let m = eval.evaluate_with_extra_shifts(env, &extra)?;
+            samples.push(m.primary());
+        }
+        Ok(MismatchStats::from_samples(samples))
+    }
+}
+
+/// Standard normal via Box–Muller (two uniforms per call; simple and
+/// dependency-free).
+fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_lde::LdeModel;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn stats_from_known_samples() {
+        let s = MismatchStats::from_samples(vec![1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!(s.worst, 3.0);
+    }
+
+    #[test]
+    fn gauss_has_roughly_unit_variance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 4000;
+        let xs: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.06, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn draw_is_seeded_and_scales_with_area() {
+        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))
+            .unwrap();
+        let mc = MonteCarlo::new(4, 42);
+        let mut r1 = ChaCha8Rng::seed_from_u64(42);
+        let mut r2 = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(mc.draw_shifts(&env, &mut r1), mc.draw_shifts(&env, &mut r2));
+        // Sources draw zero shift.
+        let mut r3 = ChaCha8Rng::seed_from_u64(7);
+        let shifts = mc.draw_shifts(&env, &mut r3);
+        let vdd = env.circuit().find_device("VDD").unwrap();
+        assert_eq!(shifts[vdd.index()], ParamShift::ZERO);
+    }
+
+    #[test]
+    fn random_mismatch_produces_offset_spread() {
+        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))
+            .unwrap();
+        // Systematic variation off: everything we see is random.
+        let eval = Evaluator::new(LdeModel::none());
+        let stats = MonteCarlo::new(12, 3).run(&eval, &env).unwrap();
+        assert!(stats.std > 0.0, "random mismatch must spread the offset");
+        assert!(stats.worst > stats.mean * 0.5);
+        assert_eq!(stats.samples.len(), 12);
+        assert_eq!(eval.counter().count(), 12);
+    }
+}

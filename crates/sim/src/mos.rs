@@ -1,0 +1,283 @@
+//! Square-law MOS large-signal model with analytic derivatives.
+//!
+//! A level-1 model is deliberate: the placement objective needs the *right
+//! sensitivities* (drain current and offset responding linearly to small
+//! ΔVth and Δµ around the operating point), not nanometre-accurate I-V
+//! curves. Body effect is ignored (bulks are tied to rails in every
+//! benchmark circuit).
+
+use breaksym_lde::ParamShift;
+use breaksym_netlist::{MosParams, MosPolarity};
+
+/// Operating-point evaluation of one MOS device.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosOp {
+    /// Current flowing drain → source through the channel, in amperes
+    /// (negative for a conducting PMOS).
+    pub id: f64,
+    /// ∂I_D/∂V_d.
+    pub d_vd: f64,
+    /// ∂I_D/∂V_g.
+    pub d_vg: f64,
+    /// ∂I_D/∂V_s.
+    pub d_vs: f64,
+    /// Transconductance magnitude `|∂I_D/∂V_gs|` (for small-signal use).
+    pub gm: f64,
+    /// Output conductance magnitude.
+    pub gds: f64,
+    /// Whether the device is in saturation.
+    pub saturated: bool,
+}
+
+/// Minimum conductance added drain–source for Newton robustness.
+pub const GMIN: f64 = 1e-9;
+
+/// Effective (LDE-shifted) threshold voltage in volts.
+///
+/// The shift raises the *magnitude* of Vth for both polarities — LDE Vth
+/// shifts are reported as magnitude deltas.
+pub fn effective_vth(params: &MosParams, shift: &ParamShift) -> f64 {
+    params.vth0 + shift.dvth_v
+}
+
+/// Effective transconductance factor `β = kp·(1+dµ)·units·W/L` in A/V².
+pub fn effective_beta(params: &MosParams, units: u32, shift: &ParamShift) -> f64 {
+    params.kp * (1.0 + shift.dmu_rel) * f64::from(units) * params.aspect()
+}
+
+/// Evaluates the device at terminal voltages `(vd, vg, vs)` with the given
+/// LDE shift applied. `units` is the number of parallel fingers.
+///
+/// Includes the [`GMIN`] leak so the returned derivatives never vanish.
+pub fn eval(
+    polarity: MosPolarity,
+    params: &MosParams,
+    units: u32,
+    shift: &ParamShift,
+    vd: f64,
+    vg: f64,
+    vs: f64,
+) -> MosOp {
+    let beta = effective_beta(params, units, shift);
+    let vth = effective_vth(params, shift);
+    let lambda = params.lambda;
+
+    // Normalize to NMOS-like overdrive coordinates.
+    let (vgs, vds) = match polarity {
+        MosPolarity::Nmos => (vg - vs, vd - vs),
+        MosPolarity::Pmos => (vs - vg, vs - vd),
+    };
+
+    // Forward-mode square law, valid for vds >= 0. Returns
+    // (id, ∂id/∂vgs, ∂id/∂vds, saturated).
+    let square_law = |vgs: f64, vds: f64| -> (f64, f64, f64, bool) {
+        let vov = vgs - vth;
+        if vov <= 0.0 {
+            // Cutoff (sub-threshold conduction ignored; GMIN covers leakage).
+            (0.0, 0.0, 0.0, false)
+        } else if vds >= vov {
+            // Saturation.
+            let clm = 1.0 + lambda * vds;
+            let id = 0.5 * beta * vov * vov * clm;
+            (id, beta * vov * clm, 0.5 * beta * vov * vov * lambda, true)
+        } else {
+            // Triode.
+            let clm = 1.0 + lambda * vds;
+            let core = vov * vds - 0.5 * vds * vds;
+            let id = beta * core * clm;
+            let gm = beta * vds * clm;
+            let gds = beta * ((vov - vds) * clm + core * lambda);
+            (id, gm, gds, false)
+        }
+    };
+
+    // Reverse mode (vds < 0): drain and source exchange roles.
+    // id(vgs, vds) = −id(vgs − vds, −vds); chain rule gives the signed
+    // derivatives below.
+    let (id_n, d_vgs, d_vds, saturated) = if vds >= 0.0 {
+        square_law(vgs, vds)
+    } else {
+        let (i2, g1, g2, sat) = square_law(vgs - vds, -vds);
+        (-i2, -g1, g1 + g2, sat)
+    };
+
+    // Map normalized derivatives back to terminal derivatives of
+    // I_D = current drain→source. For PMOS, I_D = −id_n(vsg, vsd); the two
+    // sign flips cancel, leaving the same terminal mapping as NMOS.
+    let id = match polarity {
+        MosPolarity::Nmos => id_n,
+        MosPolarity::Pmos => -id_n,
+    };
+    let (d_vd, d_vg, d_vs) = (d_vds, d_vgs, -(d_vgs + d_vds));
+
+    MosOp {
+        id: id + GMIN * (vd - vs),
+        d_vd: d_vd + GMIN,
+        d_vg,
+        d_vs: d_vs - GMIN,
+        gm: d_vgs.abs(),
+        gds: d_vds.abs() + GMIN,
+        saturated,
+    }
+}
+
+/// Gate-source and gate-drain small-signal capacitances of the device in
+/// farads, from a simple geometric model (`C_ox ≈ 9 fF/µm²` for a 40 nm-
+/// class gate stack, ~0.3 fF/µm overlap).
+pub fn capacitances(params: &MosParams, units: u32, saturated: bool) -> (f64, f64) {
+    const COX_F_PER_UM2: f64 = 9e-15;
+    const COV_F_PER_UM: f64 = 0.3e-15;
+    let area = params.w_um * params.l_um * f64::from(units);
+    let width = params.w_um * f64::from(units);
+    let c_ox = COX_F_PER_UM2 * area;
+    let c_ov = COV_F_PER_UM * width;
+    if saturated {
+        ((2.0 / 3.0) * c_ox + c_ov, c_ov)
+    } else {
+        (0.5 * c_ox + c_ov, 0.5 * c_ox + c_ov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nparams() -> MosParams {
+        MosParams::nmos_default(2.0, 0.2)
+    }
+
+    #[test]
+    fn cutoff_leaves_only_gmin() {
+        let op = eval(MosPolarity::Nmos, &nparams(), 1, &ParamShift::ZERO, 1.0, 0.0, 0.0);
+        assert!((op.id - GMIN).abs() < 1e-18);
+        assert_eq!(op.gm, 0.0);
+        assert!(!op.saturated);
+    }
+
+    #[test]
+    fn saturation_current_matches_square_law() {
+        let p = nparams();
+        let op = eval(MosPolarity::Nmos, &p, 2, &ParamShift::ZERO, 1.0, 0.9, 0.0);
+        let beta = p.kp * 2.0 * p.aspect();
+        let vov: f64 = 0.9 - p.vth0;
+        let expect = 0.5 * beta * vov * vov * (1.0 + p.lambda * 1.0);
+        assert!(op.saturated);
+        assert!((op.id - expect).abs() < GMIN * 2.0 + 1e-12);
+        assert!(op.gm > 0.0 && op.gds > 0.0);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let p = MosParams::pmos_default(2.0, 0.2);
+        // PMOS with source at 1.1 V, gate at 0.2 V, drain at 0.5 V: strongly on.
+        let op = eval(MosPolarity::Pmos, &p, 1, &ParamShift::ZERO, 0.5, 0.2, 1.1);
+        assert!(op.id < 0.0, "conducting PMOS has negative drain→source current");
+        assert!(op.saturated);
+        // Raising the gate must reduce conduction: d_vg > 0 (id less negative).
+        assert!(op.d_vg > 0.0);
+    }
+
+    #[test]
+    fn vth_shift_reduces_current() {
+        let p = nparams();
+        let nom = eval(MosPolarity::Nmos, &p, 1, &ParamShift::ZERO, 1.0, 0.9, 0.0);
+        let shifted = eval(
+            MosPolarity::Nmos,
+            &p,
+            1,
+            &ParamShift::new(20e-3, 0.0, 0.0),
+            1.0,
+            0.9,
+            0.0,
+        );
+        assert!(shifted.id < nom.id, "higher Vth must reduce current");
+        // First-order sensitivity: ΔI ≈ −gm·ΔVth.
+        let expect = nom.id - nom.gm * 20e-3;
+        assert!((shifted.id - expect).abs() / nom.id < 0.05);
+    }
+
+    #[test]
+    fn mobility_shift_scales_current() {
+        let p = nparams();
+        let nom = eval(MosPolarity::Nmos, &p, 1, &ParamShift::ZERO, 1.0, 0.9, 0.0);
+        let fast = eval(
+            MosPolarity::Nmos,
+            &p,
+            1,
+            &ParamShift::new(0.0, 0.05, 0.0),
+            1.0,
+            0.9,
+            0.0,
+        );
+        assert!(((fast.id - GMIN) / (nom.id - GMIN) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn units_act_in_parallel() {
+        let p = nparams();
+        let one = eval(MosPolarity::Nmos, &p, 1, &ParamShift::ZERO, 0.8, 0.9, 0.0);
+        let four = eval(MosPolarity::Nmos, &p, 4, &ParamShift::ZERO, 0.8, 0.9, 0.0);
+        assert!(((four.id - GMIN * 0.8) / (one.id - GMIN * 0.8) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitances_positive_and_larger_when_wider() {
+        let p = nparams();
+        let (cgs1, cgd1) = capacitances(&p, 1, true);
+        let (cgs4, cgd4) = capacitances(&p, 4, true);
+        assert!(cgs1 > 0.0 && cgd1 > 0.0);
+        assert!(cgs4 > cgs1 && cgd4 > cgd1);
+        let (cgs_t, cgd_t) = capacitances(&p, 1, false);
+        assert!(cgd_t > cgd1, "triode gate-drain cap exceeds overlap-only");
+        let _ = cgs_t;
+    }
+
+    proptest! {
+        /// The analytic derivatives match central finite differences
+        /// everywhere except exactly on region boundaries.
+        #[test]
+        fn prop_derivatives_match_finite_difference(
+            vd in 0.0f64..1.2, vg in 0.0f64..1.2, vs in 0.0f64..0.4,
+        ) {
+            let p = nparams();
+            let h = 1e-7;
+            let f = |vd: f64, vg: f64, vs: f64| {
+                eval(MosPolarity::Nmos, &p, 2, &ParamShift::ZERO, vd, vg, vs).id
+            };
+            let op = eval(MosPolarity::Nmos, &p, 2, &ParamShift::ZERO, vd, vg, vs);
+            // Skip points within h of a region boundary (kinks).
+            let vov = vg - vs - p.vth0;
+            let vds = vd - vs;
+            let vov_rev = vov - vds; // reverse-mode overdrive (vds < 0)
+            prop_assume!(
+                vov.abs() > 1e-3
+                    && (vds - vov).abs() > 1e-3
+                    && vds.abs() > 1e-3
+                    && vov_rev.abs() > 1e-3
+            );
+            let fd_d = (f(vd + h, vg, vs) - f(vd - h, vg, vs)) / (2.0 * h);
+            let fd_g = (f(vd, vg + h, vs) - f(vd, vg - h, vs)) / (2.0 * h);
+            let fd_s = (f(vd, vg, vs + h) - f(vd, vg, vs - h)) / (2.0 * h);
+            let tol = 1e-4 * (1.0 + op.id.abs());
+            prop_assert!((op.d_vd - fd_d).abs() < tol, "d_vd {} vs fd {}", op.d_vd, fd_d);
+            prop_assert!((op.d_vg - fd_g).abs() < tol, "d_vg {} vs fd {}", op.d_vg, fd_g);
+            prop_assert!((op.d_vs - fd_s).abs() < tol, "d_vs {} vs fd {}", op.d_vs, fd_s);
+        }
+
+        /// Current conservation under polarity mirror: a PMOS biased as the
+        /// mirror image of an NMOS carries the mirrored current.
+        #[test]
+        fn prop_pmos_is_mirrored_nmos(vd in 0.0f64..1.1, vg in 0.0f64..1.1, vs in 0.0f64..1.1) {
+            let np = MosParams::nmos_default(2.0, 0.2);
+            let pp = MosParams { kp: np.kp, lambda: np.lambda, ..MosParams::pmos_default(2.0, 0.2) };
+            const VDD: f64 = 1.1;
+            let n = eval(MosPolarity::Nmos, &np, 1, &ParamShift::ZERO, vd, vg, vs);
+            let m = eval(
+                MosPolarity::Pmos, &pp, 1, &ParamShift::ZERO,
+                VDD - vd, VDD - vg, VDD - vs,
+            );
+            prop_assert!((n.id + m.id).abs() < 1e-12, "n={} p={}", n.id, m.id);
+        }
+    }
+}

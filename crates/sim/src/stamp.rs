@@ -1,0 +1,239 @@
+//! MNA bookkeeping shared by the DC and AC solvers: node numbering,
+//! branch unknowns, and testbench-side extra elements.
+
+use breaksym_netlist::{Circuit, DeviceKind, NetId, NetKind, PortRole};
+
+/// An extra circuit element added by a testbench (loads, drives, clamps)
+/// without modifying the netlist.
+///
+/// Each element carries both its DC value and an AC drive amplitude; the
+/// DC solver reads the former, the AC solver the latter (netlist-embedded
+/// sources always have zero AC amplitude).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExtraElement {
+    /// An ideal voltage source / clamp between `p` and `n`.
+    Vsource {
+        /// Positive terminal.
+        p: NetId,
+        /// Negative terminal.
+        n: NetId,
+        /// DC value in volts.
+        volts: f64,
+        /// AC drive amplitude in volts.
+        ac: f64,
+    },
+    /// An ideal current source pushing DC `amps` from `p` through itself
+    /// to `n`.
+    Isource {
+        /// Positive terminal.
+        p: NetId,
+        /// Negative terminal.
+        n: NetId,
+        /// DC value in amperes.
+        amps: f64,
+        /// AC drive amplitude in amperes.
+        ac: f64,
+    },
+    /// A resistor.
+    Resistor {
+        /// First terminal.
+        p: NetId,
+        /// Second terminal.
+        n: NetId,
+        /// Resistance in ohms.
+        ohms: f64,
+    },
+    /// A capacitor (open in DC, admittance `jωC` in AC).
+    Capacitor {
+        /// First terminal.
+        p: NetId,
+        /// Second terminal.
+        n: NetId,
+        /// Capacitance in farads.
+        farads: f64,
+    },
+}
+
+impl ExtraElement {
+    /// A 0 V clamp between two nets whose branch current can be read from
+    /// the solution — the workhorse of offset measurement.
+    pub fn clamp(p: NetId, n: NetId) -> Self {
+        ExtraElement::Vsource { p, n, volts: 0.0, ac: 0.0 }
+    }
+}
+
+/// Node and branch numbering for one (circuit + extras) system.
+///
+/// Unknown vector layout: `[v(node 0..num_nodes), i(branch 0..num_branches)]`
+/// where branches are the circuit's voltage sources in device order
+/// followed by the extras' voltage sources in slice order.
+#[derive(Debug, Clone)]
+pub struct MnaContext {
+    ground: NetId,
+    /// `node_of_net[net] = Some(index)` or `None` for the ground net.
+    node_of_net: Vec<Option<usize>>,
+    num_nodes: usize,
+    /// Branch index of each circuit device (voltage sources only).
+    device_branch: Vec<Option<usize>>,
+    /// Branch index of each extra element (voltage sources only).
+    extra_branch: Vec<Option<usize>>,
+    num_branches: usize,
+}
+
+impl MnaContext {
+    /// Numbers the nets and branches of `circuit` extended by `extras`.
+    ///
+    /// The ground net is chosen as: the net bound to [`PortRole::Vss`],
+    /// else the first net of kind [`NetKind::Ground`], else net 0.
+    pub fn new(circuit: &Circuit, extras: &[ExtraElement]) -> Self {
+        let ground = circuit
+            .port(PortRole::Vss)
+            .or_else(|| {
+                circuit
+                    .nets()
+                    .iter()
+                    .position(|n| n.kind == NetKind::Ground)
+                    .map(|i| NetId::new(i as u32))
+            })
+            .unwrap_or(NetId::new(0));
+
+        let mut node_of_net = vec![None; circuit.nets().len()];
+        let mut next = 0usize;
+        for (i, slot) in node_of_net.iter_mut().enumerate() {
+            if NetId::new(i as u32) != ground {
+                *slot = Some(next);
+                next += 1;
+            }
+        }
+
+        let mut num_branches = 0usize;
+        let device_branch = circuit
+            .devices()
+            .iter()
+            .map(|d| {
+                if matches!(d.kind, DeviceKind::VoltageSource { .. }) {
+                    let b = num_branches;
+                    num_branches += 1;
+                    Some(b)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let extra_branch = extras
+            .iter()
+            .map(|e| {
+                if matches!(e, ExtraElement::Vsource { .. }) {
+                    let b = num_branches;
+                    num_branches += 1;
+                    Some(b)
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        MnaContext {
+            ground,
+            node_of_net,
+            num_nodes: next,
+            device_branch,
+            extra_branch,
+            num_branches,
+        }
+    }
+
+    /// The chosen ground net.
+    pub fn ground(&self) -> NetId {
+        self.ground
+    }
+
+    /// The unknown index of a net's voltage, or `None` for ground.
+    #[inline]
+    pub fn node(&self, net: NetId) -> Option<usize> {
+        self.node_of_net[net.index()]
+    }
+
+    /// Number of voltage unknowns.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of branch-current unknowns.
+    pub fn num_branches(&self) -> usize {
+        self.num_branches
+    }
+
+    /// Total system size.
+    pub fn size(&self) -> usize {
+        self.num_nodes + self.num_branches
+    }
+
+    /// Unknown index of the branch current of circuit device `d` (voltage
+    /// sources only).
+    pub fn device_branch_index(&self, d: usize) -> Option<usize> {
+        self.device_branch[d].map(|b| self.num_nodes + b)
+    }
+
+    /// Unknown index of the branch current of extra element `e` (voltage
+    /// sources only).
+    pub fn extra_branch_index(&self, e: usize) -> Option<usize> {
+        self.extra_branch[e].map(|b| self.num_nodes + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn ground_is_vss_and_excluded_from_nodes() {
+        let c = circuits::diff_pair();
+        let ctx = MnaContext::new(&c, &[]);
+        let vss = c.port(PortRole::Vss).unwrap();
+        assert_eq!(ctx.ground(), vss);
+        assert_eq!(ctx.node(vss), None);
+        assert_eq!(ctx.num_nodes(), c.nets().len() - 1);
+        // All non-ground nets get distinct dense indices.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..c.nets().len() as u32 {
+            let id = NetId::new(i);
+            if id != vss {
+                let n = ctx.node(id).unwrap();
+                assert!(n < ctx.num_nodes());
+                assert!(seen.insert(n));
+            }
+        }
+    }
+
+    #[test]
+    fn branches_count_voltage_sources_only() {
+        let c = circuits::diff_pair(); // has VDD vsource + ITAIL isource
+        let extras = vec![
+            ExtraElement::clamp(NetId::new(0), NetId::new(1)),
+            ExtraElement::Isource { p: NetId::new(0), n: NetId::new(1), amps: 1e-6, ac: 0.0 },
+            ExtraElement::Resistor { p: NetId::new(0), n: NetId::new(1), ohms: 1e3 },
+        ];
+        let ctx = MnaContext::new(&c, &extras);
+        assert_eq!(ctx.num_branches(), 2); // VDD + clamp
+        let vdd_dev = c.find_device("VDD").unwrap();
+        let b = ctx.device_branch_index(vdd_dev.index()).unwrap();
+        assert_eq!(b, ctx.num_nodes()); // first branch follows the nodes
+        assert_eq!(ctx.extra_branch_index(0), Some(ctx.num_nodes() + 1));
+        assert_eq!(ctx.extra_branch_index(1), None);
+        assert_eq!(ctx.extra_branch_index(2), None);
+        assert_eq!(ctx.size(), ctx.num_nodes() + 2);
+    }
+
+    #[test]
+    fn clamp_constructor_is_zero_volt_source() {
+        match ExtraElement::clamp(NetId::new(3), NetId::new(4)) {
+            ExtraElement::Vsource { volts, ac, .. } => {
+                assert_eq!(volts, 0.0);
+                assert_eq!(ac, 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! Symmetric and common-centroid baseline placement generators, symmetry
+//! quantification, and dummy-fill helpers.
+//!
+//! These are the "conventional" layouts the paper measures against:
+//!
+//! - [`mirror_y`] — Fig. 1(b): every matched pair straddles a vertical
+//!   axis (MAGICAL-style symmetry, the paper's refs 5-6);
+//! - [`common_centroid`] — Fig. 1(c): X- **and** Y-balanced interdigitated
+//!   pattern per group (the paper's ref 4);
+//! - [`axis_symmetry_score`] / [`pair_centroid_error`] — McAndrew-style
+//!   quantification of how symmetric a placement actually is;
+//! - [`dummy_ring`] — the dummy-fill ring designers add around matched
+//!   groups, exercised by the dummy ablation (at the area cost the paper
+//!   calls out).
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym_geometry::GridSpec;
+//! use breaksym_netlist::circuits;
+//! use breaksym_symmetry::{axis_symmetry_score, mirror_y};
+//!
+//! let env = mirror_y(circuits::diff_pair(), GridSpec::square(10))?;
+//! assert!(axis_symmetry_score(&env) > 0.99, "mirror_y is exactly symmetric");
+//! # Ok::<(), breaksym_layout::LayoutError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use breaksym_geometry::{GridPoint, GridSpec, Transform};
+use breaksym_layout::{LayoutEnv, LayoutError, Placement};
+use breaksym_netlist::{Circuit, DeviceId, GroupId};
+use breaksym_sfg::SignalFlowGraph;
+
+/// Builds the Y-axis-symmetric layout of Fig. 1(b): groups stacked in
+/// signal-flow order, each matched pair mirrored about the grid's vertical
+/// center line.
+///
+/// Single devices (tails, lone mirrors) are split half-left/half-right so
+/// they self-mirror.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::GridTooSmall`] when a pair row or the stacked
+/// rows exceed the grid.
+pub fn mirror_y(circuit: Circuit, spec: GridSpec) -> Result<LayoutEnv, LayoutError> {
+    let order = SignalFlowGraph::build(&circuit).group_order();
+    let mid = spec.cols() / 2; // axis between columns mid-1 and mid
+    let mut positions = vec![GridPoint::ORIGIN; circuit.num_units()];
+
+    // Measure the stack height first so it can be centered vertically
+    // (parking matched rows on the die edge would gratuitously expose the
+    // baseline to worst-case well proximity).
+    let mut total_rows = 0i32;
+    for &g in &order {
+        let devices = &circuit.group(g).devices;
+        total_rows += (devices.len() as i32 + 1) / 2 + 1;
+    }
+    total_rows -= 1; // no gap after the last group
+    let mut y = ((spec.rows() - total_rows) / 2).max(0);
+
+    for &g in &order {
+        let devices = &circuit.group(g).devices;
+        let mut rows_used = 0i32;
+        let mut i = 0usize;
+        while i < devices.len() {
+            if i + 1 < devices.len() {
+                // A matched pair: A grows left from the axis, B grows right.
+                let (a, b) = (devices[i], devices[i + 1]);
+                let ua: Vec<_> = circuit.units_of_device(a).collect();
+                let ub: Vec<_> = circuit.units_of_device(b).collect();
+                let row = y + rows_used;
+                place_row_left(&mut positions, &ua, mid, row, spec)?;
+                place_row_right(&mut positions, &ub, mid, row, spec)?;
+                rows_used += 1;
+                i += 2;
+            } else {
+                // A lone device: split its units across the axis.
+                let u: Vec<_> = circuit.units_of_device(devices[i]).collect();
+                let row = y + rows_used;
+                let half = u.len() / 2;
+                place_row_left(&mut positions, &u[..u.len() - half], mid, row, spec)?;
+                place_row_right(&mut positions, &u[u.len() - half..], mid, row, spec)?;
+                rows_used += 1;
+                i += 1;
+            }
+        }
+        y += rows_used + 1; // one vacant row between groups
+    }
+    if y - 1 > spec.rows() {
+        return Err(grid_too_small(&circuit, &spec));
+    }
+    debug_assert!(y > 0, "stack must have placed at least one row");
+    let placement = Placement::from_positions(positions)?;
+    LayoutEnv::new(circuit, spec, placement)
+}
+
+/// Builds the X+Y-symmetric grouped layout of Fig. 1(c): each group is a
+/// 2-row interdigitated common-centroid block (`A B A B…` over
+/// `B A B A…`), blocks centered on the vertical axis and the stack
+/// centered vertically (the paper's ref 4).
+///
+/// # Errors
+///
+/// Returns [`LayoutError::GridTooSmall`] when blocks exceed the grid.
+pub fn common_centroid(circuit: Circuit, spec: GridSpec) -> Result<LayoutEnv, LayoutError> {
+    let order = SignalFlowGraph::build(&circuit).group_order();
+    let mid = spec.cols() / 2;
+    let mut positions = vec![GridPoint::ORIGIN; circuit.num_units()];
+
+    // First pass: measure total height to center the stack vertically.
+    let mut total_h = 0i32;
+    let mut block_heights = Vec::new();
+    for &g in &order {
+        let h = centroid_block_height(&circuit, g);
+        block_heights.push(h);
+        total_h += h + 1;
+    }
+    total_h -= 1; // no gap after the last block
+    if total_h > spec.rows() {
+        return Err(grid_too_small(&circuit, &spec));
+    }
+    let mut y = (spec.rows() - total_h) / 2;
+
+    for (&g, &h) in order.iter().zip(&block_heights) {
+        let devices = &circuit.group(g).devices;
+        let mut row = y;
+        let mut i = 0usize;
+        while i < devices.len() {
+            if i + 1 < devices.len() {
+                let (a, b) = (devices[i], devices[i + 1]);
+                let ua: Vec<_> = circuit.units_of_device(a).collect();
+                let ub: Vec<_> = circuit.units_of_device(b).collect();
+                // Interleave: row 0 = A B A B…, row 1 = B A B A… so both
+                // devices share the same centroid in x and y.
+                let n = ua.len() + ub.len();
+                let w = (n as i32 + 1) / 2;
+                let x0 = mid - (w + 1) / 2;
+                let (mut ai, mut bi) = (0usize, 0usize);
+                for k in 0..n {
+                    let r = (k as i32) / w;
+                    let cidx = (k as i32) % w;
+                    let cell = GridPoint::new(x0 + cidx, row + r);
+                    check_bounds(cell, &spec, &circuit)?;
+                    // Checkerboard assignment, flipped on the second row.
+                    let take_a = ((cidx + r) % 2 == 0 && ai < ua.len()) || bi >= ub.len();
+                    if take_a {
+                        positions[ua[ai].index()] = cell;
+                        ai += 1;
+                    } else {
+                        positions[ub[bi].index()] = cell;
+                        bi += 1;
+                    }
+                }
+                row += 2;
+                i += 2;
+            } else {
+                let u: Vec<_> = circuit.units_of_device(devices[i]).collect();
+                let w = (u.len() as i32 + 1) / 2;
+                let x0 = mid - (w + 1) / 2;
+                for (k, &unit) in u.iter().enumerate() {
+                    let cell = GridPoint::new(x0 + (k as i32) % w, row + (k as i32) / w);
+                    check_bounds(cell, &spec, &circuit)?;
+                    positions[unit.index()] = cell;
+                }
+                row += ((u.len() as i32) + w - 1) / w;
+                i += 1;
+            }
+        }
+        y += h + 1;
+    }
+
+    let placement = Placement::from_positions(positions)?;
+    LayoutEnv::new(circuit, spec, placement)
+}
+
+/// Builds the classic 1-D interdigitated layout: each matched pair forms
+/// a single `A B B A …` row, rows centered on the vertical axis and the
+/// stack centered vertically. Between mirror-Y (Fig. 1b) and the 2-D
+/// common centroid (Fig. 1c) in both matching quality and routability.
+///
+/// X-centroids of a pair align **exactly** when each device has an even
+/// unit count (the palindrome closes); odd counts leave the unavoidable
+/// up-to-one-cell residue of 1-D interdigitation.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::GridTooSmall`] when a row or the stack exceeds
+/// the grid.
+pub fn interdigitated(circuit: Circuit, spec: GridSpec) -> Result<LayoutEnv, LayoutError> {
+    let order = SignalFlowGraph::build(&circuit).group_order();
+    let mid = spec.cols() / 2;
+    let mut positions = vec![GridPoint::ORIGIN; circuit.num_units()];
+
+    // Height: one row per device pair (or lone device).
+    let mut total_rows = 0i32;
+    for &g in &order {
+        total_rows += (circuit.group(g).devices.len() as i32 + 1) / 2 + 1;
+    }
+    total_rows -= 1;
+    if total_rows > spec.rows() {
+        return Err(grid_too_small(&circuit, &spec));
+    }
+    let mut y = ((spec.rows() - total_rows) / 2).max(0);
+
+    for &g in &order {
+        let devices = &circuit.group(g).devices;
+        let mut i = 0usize;
+        while i < devices.len() {
+            let row_units: Vec<breaksym_netlist::UnitId> = if i + 1 < devices.len() {
+                let ua: Vec<_> = circuit.units_of_device(devices[i]).collect();
+                let ub: Vec<_> = circuit.units_of_device(devices[i + 1]).collect();
+                // Palindromic ABBA…ABBA fill: position k takes device A when
+                // `k % 4` is 0 or 3, B otherwise, falling back when one
+                // device runs out of units.
+                let n = ua.len() + ub.len();
+                let (mut ai, mut bi) = (0usize, 0usize);
+                let mut row = Vec::with_capacity(n);
+                for k in 0..n {
+                    let want_a = matches!(k % 4, 0 | 3);
+                    if (want_a && ai < ua.len()) || bi >= ub.len() {
+                        row.push(ua[ai]);
+                        ai += 1;
+                    } else {
+                        row.push(ub[bi]);
+                        bi += 1;
+                    }
+                }
+                i += 2;
+                row
+            } else {
+                let u: Vec<_> = circuit.units_of_device(devices[i]).collect();
+                i += 1;
+                u
+            };
+            let n = row_units.len() as i32;
+            let x0 = mid - (n + 1) / 2;
+            for (k, &unit) in row_units.iter().enumerate() {
+                let cell = GridPoint::new(x0 + k as i32, y);
+                check_bounds(cell, &spec, &circuit)?;
+                positions[unit.index()] = cell;
+            }
+            y += 1;
+        }
+        y += 1; // gap between groups
+    }
+
+    let placement = Placement::from_positions(positions)?;
+    LayoutEnv::new(circuit, spec, placement)
+}
+
+fn centroid_block_height(circuit: &Circuit, g: GroupId) -> i32 {
+    let devices = &circuit.group(g).devices;
+    let mut h = 0i32;
+    let mut i = 0usize;
+    while i < devices.len() {
+        if i + 1 < devices.len() {
+            h += 2;
+            i += 2;
+        } else {
+            let n = circuit.device(devices[i]).num_units as i32;
+            let w = (n + 1) / 2;
+            h += (n + w - 1) / w;
+            i += 1;
+        }
+    }
+    h
+}
+
+fn place_row_left(
+    positions: &mut [GridPoint],
+    units: &[breaksym_netlist::UnitId],
+    mid: i32,
+    row: i32,
+    spec: GridSpec,
+) -> Result<(), LayoutError> {
+    for (k, &u) in units.iter().enumerate() {
+        let cell = GridPoint::new(mid - 1 - k as i32, row);
+        if !spec.bounds().contains(cell) {
+            return Err(LayoutError::OutOfBounds { cell });
+        }
+        positions[u.index()] = cell;
+    }
+    Ok(())
+}
+
+fn place_row_right(
+    positions: &mut [GridPoint],
+    units: &[breaksym_netlist::UnitId],
+    mid: i32,
+    row: i32,
+    spec: GridSpec,
+) -> Result<(), LayoutError> {
+    for (k, &u) in units.iter().enumerate() {
+        let cell = GridPoint::new(mid + k as i32, row);
+        if !spec.bounds().contains(cell) {
+            return Err(LayoutError::OutOfBounds { cell });
+        }
+        positions[u.index()] = cell;
+    }
+    Ok(())
+}
+
+fn check_bounds(cell: GridPoint, spec: &GridSpec, _c: &Circuit) -> Result<(), LayoutError> {
+    if spec.bounds().contains(cell) {
+        Ok(())
+    } else {
+        Err(LayoutError::OutOfBounds { cell })
+    }
+}
+
+fn grid_too_small(circuit: &Circuit, spec: &GridSpec) -> LayoutError {
+    LayoutError::GridTooSmall {
+        capacity: spec.bounds().area(),
+        needed: circuit.num_units() as u64,
+    }
+}
+
+/// Fraction of occupied cells whose mirror image about the grid's vertical
+/// center line is also occupied — 1.0 for a perfectly Y-symmetric
+/// footprint.
+pub fn axis_symmetry_score(env: &LayoutEnv) -> f64 {
+    let bounds = env.spec().bounds();
+    let mirror = Transform::mirror_y_of(&bounds);
+    let positions = env.placement().positions();
+    if positions.is_empty() {
+        return 1.0;
+    }
+    let occupied: std::collections::HashSet<GridPoint> = positions.iter().copied().collect();
+    let hits = positions
+        .iter()
+        .filter(|&&p| occupied.contains(&mirror.apply(p)))
+        .count();
+    hits as f64 / positions.len() as f64
+}
+
+/// Mean distance (in cells) between each matched pair's mirrored
+/// centroids: 0 for exact pairwise symmetry about the grid's vertical
+/// center line. Pairs are consecutive devices of each matching-critical
+/// group, matching the generators' pairing.
+pub fn pair_centroid_error(env: &LayoutEnv) -> f64 {
+    let circuit = env.circuit();
+    let axis = f64::from(env.spec().cols() - 1) / 2.0;
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for g in circuit.groups() {
+        if !g.kind.is_matching_critical() {
+            continue;
+        }
+        for pair in g.devices.chunks(2) {
+            let [a, b] = pair else { continue };
+            let ca = device_centroid(env, *a);
+            let cb = device_centroid(env, *b);
+            // Mirror A about the axis and compare with B.
+            let mirrored_ax = 2.0 * axis - ca.0;
+            total += ((mirrored_ax - cb.0).powi(2) + (ca.1 - cb.1).powi(2)).sqrt();
+            pairs += 1;
+        }
+    }
+    if pairs == 0 {
+        0.0
+    } else {
+        total / pairs as f64
+    }
+}
+
+fn device_centroid(env: &LayoutEnv, d: DeviceId) -> (f64, f64) {
+    let units: Vec<_> = env.circuit().units_of_device(d).collect();
+    env.placement()
+        .centroid_of(&units)
+        .expect("placeable devices have units")
+}
+
+/// Computes the dummy-fill ring around every matching-critical group:
+/// each vacant in-bounds cell adjacent (8-neighbourhood) to a unit of such
+/// a group. Apply with [`Placement::set_dummies`].
+pub fn dummy_ring(env: &LayoutEnv) -> Vec<GridPoint> {
+    let circuit = env.circuit();
+    let bounds = env.spec().bounds();
+    let mut ring = std::collections::BTreeSet::new();
+    for g in circuit.group_ids() {
+        if !circuit.group(g).kind.is_matching_critical() {
+            continue;
+        }
+        for &u in env.units_of_group(g) {
+            for q in env.placement().position(u).neighbors8() {
+                if bounds.contains(q) && env.placement().is_vacant(q) {
+                    ring.insert(q);
+                }
+            }
+        }
+    }
+    ring.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    #[test]
+    fn mirror_y_is_exactly_symmetric_for_all_benchmarks() {
+        for (c, side) in [
+            (circuits::diff_pair(), 10),
+            (circuits::five_transistor_ota(), 12),
+            (circuits::current_mirror_medium(), 16),
+            (circuits::comparator(), 16),
+            (circuits::folded_cascode_ota(), 18),
+        ] {
+            let name = c.name().to_string();
+            let env = mirror_y(c, GridSpec::square(side)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            env.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let score = axis_symmetry_score(&env);
+            assert!(
+                score > 0.999,
+                "{name}: mirror_y must be footprint-symmetric, got {score}"
+            );
+            let err = pair_centroid_error(&env);
+            assert!(err < 1e-9, "{name}: pair centroids must mirror, err={err}");
+        }
+    }
+
+    #[test]
+    fn common_centroid_balances_pair_centroids() {
+        for (c, side) in [
+            (circuits::diff_pair(), 10),
+            (circuits::five_transistor_ota(), 12),
+            (circuits::folded_cascode_ota(), 18),
+        ] {
+            let name = c.name().to_string();
+            let env =
+                common_centroid(c, GridSpec::square(side)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            env.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Common-centroid: paired devices share centroids to within a
+            // cell (interleave rounding).
+            for g in env.circuit().groups() {
+                if !g.kind.is_matching_critical() {
+                    continue;
+                }
+                for pair in g.devices.chunks(2) {
+                    let [a, b] = pair else { continue };
+                    let ca = device_centroid(&env, *a);
+                    let cb = device_centroid(&env, *b);
+                    assert!(
+                        (ca.0 - cb.0).abs() <= 1.0 && (ca.1 - cb.1).abs() <= 1.0,
+                        "{name}/{}: centroids {:?} vs {:?}",
+                        g.name,
+                        ca,
+                        cb
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_centroid_cancels_linear_gradient_better_than_sequential() {
+        use breaksym_lde::LdeModel;
+        let c = circuits::diff_pair;
+        let spec = GridSpec::square(10);
+        let lde = LdeModel::linear(1.0);
+
+        let seq = breaksym_layout::LayoutEnv::sequential(c(), spec).unwrap();
+        let cc = common_centroid(c(), spec).unwrap();
+
+        let spread = |env: &LayoutEnv| {
+            let g = env.circuit().find_group("g_in").unwrap();
+            let devs = &env.circuit().group(g).devices;
+            let a = lde.device_shift(env, devs[0]).dvth_v;
+            let b = lde.device_shift(env, devs[1]).dvth_v;
+            (a - b).abs()
+        };
+        assert!(
+            spread(&cc) < spread(&seq) + 1e-12,
+            "common centroid must cancel a linear gradient at least as well ({} vs {})",
+            spread(&cc),
+            spread(&seq)
+        );
+        // And the cancellation is essentially exact.
+        assert!(spread(&cc) < 1e-9, "got {}", spread(&cc));
+    }
+
+    #[test]
+    fn grid_too_small_is_reported() {
+        let c = circuits::folded_cascode_ota();
+        assert!(mirror_y(c.clone(), GridSpec::square(4)).is_err());
+        assert!(common_centroid(c.clone(), GridSpec::square(4)).is_err());
+        assert!(interdigitated(c, GridSpec::square(4)).is_err());
+    }
+
+    #[test]
+    fn interdigitated_rows_are_palindromic_in_x() {
+        for (c, side) in [
+            (circuits::diff_pair(), 10),
+            (circuits::five_transistor_ota(), 12),
+            (circuits::folded_cascode_ota(), 20),
+        ] {
+            let name = c.name().to_string();
+            let env =
+                interdigitated(c, GridSpec::square(side)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            env.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Pairs share their x-centroid exactly for even unit counts and
+            // to within the half-cell 1-D residue otherwise.
+            for g in env.circuit().groups() {
+                if !g.kind.is_matching_critical() {
+                    continue;
+                }
+                for pair in g.devices.chunks(2) {
+                    let [a, b] = pair else { continue };
+                    let ca = device_centroid(&env, *a);
+                    let cb = device_centroid(&env, *b);
+                    let even = env.circuit().device(*a).num_units.is_multiple_of(2)
+                        && env.circuit().device(*b).num_units.is_multiple_of(2);
+                    let tol = if even { 1e-9 } else { 1.01 }; // odd counts: <= 1-cell residue
+                    assert!(
+                        (ca.0 - cb.0).abs() <= tol,
+                        "{name}/{}: x-centroids {} vs {} (tol {tol})",
+                        g.name,
+                        ca.0,
+                        cb.0
+                    );
+                    assert!((ca.1 - cb.1).abs() < 1e-9, "same row");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interdigitated_cancels_linear_x_gradient() {
+        use breaksym_lde::{LdeModel, PolyGradient};
+        let env = interdigitated(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let lde = LdeModel::none().with_poly(PolyGradient::linear(10e-3, 0.0, 0.0, 0.0));
+        let g = env.circuit().find_group("g_in").unwrap();
+        let devs = &env.circuit().group(g).devices;
+        let a = lde.device_shift(&env, devs[0]).dvth_v;
+        let b = lde.device_shift(&env, devs[1]).dvth_v;
+        assert!((a - b).abs() < 1e-12, "x-gradient must cancel exactly");
+    }
+
+    #[test]
+    fn dummy_ring_surrounds_matched_groups_and_is_applicable() {
+        let mut env = mirror_y(circuits::diff_pair(), GridSpec::square(12)).unwrap();
+        let ring = dummy_ring(&env);
+        assert!(!ring.is_empty());
+        // Every ring cell is vacant and adjacent to some unit.
+        for &d in &ring {
+            assert!(env.placement().is_vacant(d));
+        }
+        let mut p = env.placement().clone();
+        p.set_dummies(ring).unwrap();
+        let area_before = env.area_cells();
+        env.set_placement(p).unwrap();
+        assert!(env.area_cells() >= area_before, "dummies can only grow area");
+        // The paper: dummies can (nearly) double the area.
+        assert!(env.placement().dummies().len() >= env.circuit().num_units());
+    }
+
+    #[test]
+    fn asymmetric_layout_scores_below_one() {
+        // Sequential packing is generally not mirror-symmetric.
+        let env = breaksym_layout::LayoutEnv::sequential(
+            circuits::five_transistor_ota(),
+            GridSpec::square(12),
+        )
+        .unwrap();
+        let score = axis_symmetry_score(&env);
+        assert!(score < 0.999, "sequential layout should not be symmetric, got {score}");
+    }
+}

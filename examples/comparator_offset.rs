@@ -1,0 +1,71 @@
+//! Comparator offset optimisation: Q-learning vs simulated annealing on
+//! the same budget, plus a Monte-Carlo split of random vs systematic
+//! offset for the final layout.
+//!
+//! Run with: `cargo run --release --example comparator_offset`
+
+use breaksym::anneal::SaConfig;
+use breaksym::core::{runner, MlmaConfig, PlacementTask};
+use breaksym::layout::LayoutEnv;
+use breaksym::lde::LdeModel;
+use breaksym::netlist::circuits;
+use breaksym::sim::{Evaluator, MonteCarlo};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = PlacementTask::new(circuits::comparator(), 16, LdeModel::nonlinear(1.0, 11));
+    let budget = 1_200u64;
+
+    let symmetric = runner::best_symmetric_baseline(&task)?;
+    println!(
+        "symmetric target ({}): offset = {:.3} mV",
+        symmetric.method,
+        symmetric.best_primary() * 1e3
+    );
+
+    // Simulated annealing on the shared budget.
+    let sa = runner::run_sa(
+        &task,
+        &SaConfig { max_evals: budget, seed: 11, ..SaConfig::default() },
+        Some(symmetric.best_primary()),
+    )?;
+    println!(
+        "sa:      offset = {:.3} mV after {} sims",
+        sa.best_primary() * 1e3,
+        sa.evaluations
+    );
+
+    // Q-learning on the same budget and target.
+    let rl = runner::run_mlma(
+        &task,
+        &MlmaConfig {
+            episodes: 12,
+            steps_per_episode: 20,
+            max_evals: budget,
+            target_primary: Some(symmetric.best_primary()),
+            seed: 11,
+            ..MlmaConfig::default()
+        },
+    )?;
+    println!(
+        "mlma-q:  offset = {:.3} mV after {} sims{}",
+        rl.best_primary() * 1e3,
+        rl.evaluations,
+        if rl.reached_target { " (target reached)" } else { "" }
+    );
+
+    // Random vs systematic: Monte-Carlo around the RL layout.
+    let env = LayoutEnv::new(task.circuit.clone(), task.spec, rl.best_placement.clone())?;
+    let eval = Evaluator::new(task.lde.clone());
+    let systematic = eval.evaluate(&env)?.primary();
+    let stats = MonteCarlo::new(24, 3).run(&eval, &env)?;
+    println!("\nrandom-vs-systematic on the RL layout:");
+    println!("  systematic (LDE) offset : {:.3} mV", systematic * 1e3);
+    println!(
+        "  + random mismatch       : mean {:.3} mV, sigma {:.3} mV, worst {:.3} mV over {} samples",
+        stats.mean * 1e3,
+        stats.std * 1e3,
+        stats.worst * 1e3,
+        stats.samples.len()
+    );
+    Ok(())
+}

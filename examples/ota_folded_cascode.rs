@@ -1,0 +1,70 @@
+//! The Fig. 1 scenario: lay the folded-cascode OTA out in the two
+//! conventional symmetric styles, then let the RL agent break symmetry,
+//! and compare offset/FOM under linear vs non-linear LDEs.
+//!
+//! Run with: `cargo run --release --example ota_folded_cascode`
+
+use breaksym::core::{runner, MlmaConfig, PlacementTask};
+use breaksym::lde::LdeModel;
+use breaksym::netlist::circuits;
+use breaksym::symmetry::{axis_symmetry_score, mirror_y};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, lde) in [
+        ("LINEAR gradient (where symmetry works)", LdeModel::linear(1.0)),
+        ("NON-LINEAR LDEs (the paper's regime)", LdeModel::nonlinear(1.0, 7)),
+    ] {
+        println!("=== {label} ===");
+        let task = PlacementTask::new(circuits::folded_cascode_ota(), 18, lde);
+
+        // Fig. 1(b): Y-axis symmetric.
+        let fig1b = runner::run_baseline(&task, runner::Baseline::MirrorY)?;
+        // Fig. 1(c): X+Y symmetric with grouping (common centroid).
+        let fig1c = runner::run_baseline(&task, runner::Baseline::CommonCentroid)?;
+
+        for r in [&fig1b, &fig1c] {
+            println!(
+                "  {:16} offset = {:8.3} mV | gain = {:5.1} dB | area = {:6.1} um^2",
+                r.method,
+                r.best_primary() * 1e3,
+                r.best_metrics.gain_db.unwrap_or(f64::NAN),
+                r.best_metrics.area_um2,
+            );
+        }
+
+        // The unconventional layout.
+        let target = fig1b.best_primary().min(fig1c.best_primary());
+        let cfg = MlmaConfig {
+            episodes: 10,
+            steps_per_episode: 25,
+            max_evals: 1_500,
+            target_primary: Some(target),
+            seed: 7,
+            ..MlmaConfig::default()
+        };
+        let rl = runner::run_mlma(&task, &cfg)?;
+        let sym_best = if fig1b.best_cost <= fig1c.best_cost { &fig1b } else { &fig1c };
+        println!(
+            "  {:16} offset = {:8.3} mV | gain = {:5.1} dB | area = {:6.1} um^2 | {} sims | FOM {:.2}x",
+            rl.method,
+            rl.best_primary() * 1e3,
+            rl.best_metrics.gain_db.unwrap_or(f64::NAN),
+            rl.best_metrics.area_um2,
+            rl.evaluations,
+            rl.fom_against(&sym_best.best_metrics).value,
+        );
+
+        // How symmetric is the RL layout? (Usually: not very.)
+        let env = breaksym::layout::LayoutEnv::new(
+            task.circuit.clone(),
+            task.spec,
+            rl.best_placement.clone(),
+        )?;
+        println!(
+            "  symmetry score: mirror-y = {:.2}, rl = {:.2}\n",
+            axis_symmetry_score(&mirror_y(task.circuit.clone(), task.spec)?),
+            axis_symmetry_score(&env),
+        );
+    }
+    Ok(())
+}

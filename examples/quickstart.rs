@@ -1,0 +1,54 @@
+//! Quickstart: place the medium current mirror with multi-level
+//! multi-agent Q-learning and compare against the symmetric baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use breaksym::core::{runner, MlmaConfig, PlacementTask};
+use breaksym::layout::LayoutEnv;
+use breaksym::lde::LdeModel;
+use breaksym::netlist::circuits;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The problem: the CM benchmark on a 16x16 grid under the standard
+    //    non-linear LDE model (gradients + WPE + hotspot + stress).
+    let task = PlacementTask::new(
+        circuits::current_mirror_medium(),
+        16,
+        LdeModel::nonlinear(1.0, 42),
+    );
+
+    // 2. The conventional answers: the best symmetric layout sets the
+    //    target, exactly as the paper does.
+    let symmetric = runner::best_symmetric_baseline(&task)?;
+    println!("symmetric baseline ({}):", symmetric.method);
+    println!("  mismatch = {:.3} %", symmetric.best_primary());
+    println!("  area     = {:.1} um^2", symmetric.best_metrics.area_um2);
+
+    // 3. The paper's method: objective-driven MLMA Q-learning with the
+    //    symmetric cost as its target.
+    let cfg = MlmaConfig {
+        episodes: 12,
+        steps_per_episode: 30,
+        max_evals: 2_000,
+        target_primary: Some(symmetric.best_primary()),
+        seed: 42,
+        ..MlmaConfig::default()
+    };
+    let rl = runner::run_mlma(&task, &cfg)?;
+    println!("\nmlma q-learning:");
+    println!("  mismatch = {:.3} %", rl.best_primary());
+    println!("  area     = {:.1} um^2", rl.best_metrics.area_um2);
+    println!("  #sims    = {}", rl.evaluations);
+    println!("  q-states = {}", rl.qtable_states);
+    println!(
+        "  FOM vs symmetric = {:.2}x",
+        rl.fom_against(&symmetric.best_metrics).value
+    );
+
+    // 4. Show the unconventional layout the agent found.
+    let env = LayoutEnv::new(task.circuit.clone(), task.spec, rl.best_placement.clone())?;
+    env.validate()?;
+    println!("\nbest placement (A=mirror, B=cascodes, C=bias):");
+    print!("{}", env.render_ascii());
+    Ok(())
+}

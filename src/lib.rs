@@ -1,0 +1,41 @@
+//! `breaksym` — objective-driven analog placement with multi-level,
+//! multi-agent Q-learning.
+//!
+//! This facade crate re-exports the whole workspace under one roof. The
+//! typical flow:
+//!
+//! 1. pick or parse a circuit ([`netlist::circuits`], [`netlist::spice`]),
+//! 2. define a [`core::PlacementTask`] (grid + LDE model),
+//! 3. run [`core::runner::run_mlma`] (the paper's method),
+//!    [`core::runner::run_sa`] (the non-ML baseline), or
+//!    [`core::runner::run_baseline`] (symmetric layouts),
+//! 4. compare the [`core::RunReport`]s: mismatch/offset, FOM, and
+//!    #simulations — the three columns of the paper's Fig. 3.
+//!
+//! # Examples
+//!
+//! ```
+//! use breaksym::core::{runner, MlmaConfig, PlacementTask};
+//! use breaksym::lde::LdeModel;
+//! use breaksym::netlist::circuits;
+//!
+//! let task = PlacementTask::new(circuits::diff_pair(), 10, LdeModel::nonlinear(1.0, 1));
+//! let cfg = MlmaConfig { episodes: 2, steps_per_episode: 8, max_evals: 100, ..MlmaConfig::default() };
+//! let report = runner::run_mlma(&task, &cfg)?;
+//! println!("{report}");
+//! # Ok::<(), breaksym::core::PlaceError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use breaksym_anneal as anneal;
+pub use breaksym_core as core;
+pub use breaksym_geometry as geometry;
+pub use breaksym_layout as layout;
+pub use breaksym_lde as lde;
+pub use breaksym_netlist as netlist;
+pub use breaksym_route as route;
+pub use breaksym_sfg as sfg;
+pub use breaksym_sim as sim;
+pub use breaksym_symmetry as symmetry;

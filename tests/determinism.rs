@@ -1,0 +1,104 @@
+//! Reproducibility: every stochastic component is seeded, so whole runs
+//! replay bit-identically — a requirement for the paper's comparisons to
+//! mean anything.
+
+use breaksym::anneal::SaConfig;
+use breaksym::core::{runner, MlmaConfig, PlacementTask, RunReport};
+use breaksym::lde::LdeModel;
+use breaksym::netlist::circuits;
+use breaksym::sim::{Evaluator, MonteCarlo};
+
+fn task() -> PlacementTask {
+    PlacementTask::new(circuits::diff_pair(), 10, LdeModel::nonlinear(1.0, 13))
+}
+
+fn assert_identical(a: &RunReport, b: &RunReport) {
+    assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits(), "{}", a.method);
+    assert_eq!(a.evaluations, b.evaluations, "{}", a.method);
+    assert_eq!(a.trajectory, b.trajectory, "{}", a.method);
+    assert_eq!(a.best_placement, b.best_placement, "{}", a.method);
+}
+
+#[test]
+fn mlma_runs_replay_bit_identically() {
+    let cfg = MlmaConfig {
+        episodes: 5,
+        steps_per_episode: 10,
+        max_evals: 300,
+        seed: 21,
+        ..MlmaConfig::default()
+    };
+    let a = runner::run_mlma(&task(), &cfg).expect("runs");
+    let b = runner::run_mlma(&task(), &cfg).expect("runs");
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn sa_runs_replay_bit_identically() {
+    let cfg = SaConfig { max_evals: 250, seed: 22, ..SaConfig::default() };
+    let a = runner::run_sa(&task(), &cfg, None).expect("runs");
+    let b = runner::run_sa(&task(), &cfg, None).expect("runs");
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn flat_runs_replay_bit_identically() {
+    let cfg = MlmaConfig {
+        episodes: 4,
+        steps_per_episode: 8,
+        max_evals: 200,
+        seed: 23,
+        ..MlmaConfig::default()
+    };
+    let a = runner::run_flat(&task(), &cfg).expect("runs");
+    let b = runner::run_flat(&task(), &cfg).expect("runs");
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let mk = |seed| {
+        runner::run_mlma(
+            &task(),
+            &MlmaConfig {
+                episodes: 5,
+                steps_per_episode: 10,
+                max_evals: 300,
+                seed,
+                ..MlmaConfig::default()
+            },
+        )
+        .expect("runs")
+    };
+    let a = mk(1);
+    let b = mk(2);
+    assert_ne!(
+        a.trajectory, b.trajectory,
+        "distinct seeds must take distinct trajectories"
+    );
+}
+
+#[test]
+fn monte_carlo_is_seeded() {
+    let t = task();
+    let env = t.initial_env().expect("fits");
+    let eval = Evaluator::new(t.lde.clone());
+    let a = MonteCarlo::new(8, 5).run(&eval, &env).expect("runs");
+    let b = MonteCarlo::new(8, 5).run(&eval, &env).expect("runs");
+    assert_eq!(a.samples, b.samples);
+    let c = MonteCarlo::new(8, 6).run(&eval, &env).expect("runs");
+    assert_ne!(a.samples, c.samples);
+}
+
+#[test]
+fn lde_model_is_pure_and_seeded() {
+    let a = LdeModel::nonlinear(1.0, 3);
+    let b = LdeModel::nonlinear(1.0, 3);
+    let c = LdeModel::nonlinear(1.0, 4);
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    // Field evaluation is a pure function.
+    let s1 = a.shift_at_norm(0.3, 0.7);
+    let s2 = b.shift_at_norm(0.3, 0.7);
+    assert_eq!(s1, s2);
+}

@@ -1,0 +1,132 @@
+//! End-to-end integration: SPICE in → placement optimisation → layout out,
+//! with the simulation-count accounting the paper's comparison rests on.
+
+use breaksym::core::{runner, MlmaConfig, PlacementTask};
+use breaksym::layout::LayoutEnv;
+use breaksym::lde::LdeModel;
+use breaksym::netlist::{circuits, spice};
+use breaksym::sim::{Evaluator, SimCounter};
+
+const SPICE_SRC: &str = "
+.title it_diff
+M1 outp inp ntail vss NMOS W=2 L=0.2 UNITS=2
+M2 outn inn ntail vss NMOS W=2 L=0.2 UNITS=2
+R1 vdd outp 10k
+R2 vdd outn 10k
+I1 ntail vss 100u
+V1 vdd vss 1.1
+.group g_in input_pair M1 M2
+.group g_load passive R1 R2
+.port vss vss
+.port vdd vdd
+.port inp inp
+.port inn inn
+.port outp outp
+.port outn outn
+.end
+";
+
+#[test]
+fn spice_to_optimised_layout() {
+    let circuit = spice::parse(SPICE_SRC).expect("parses");
+    assert_eq!(circuit.num_units(), 6);
+
+    let task = PlacementTask::new(circuit, 10, LdeModel::nonlinear(1.0, 5));
+    let sym = runner::best_symmetric_baseline(&task).expect("baselines build");
+    let rl = runner::run_mlma(
+        &task,
+        &MlmaConfig {
+            episodes: 6,
+            steps_per_episode: 10,
+            max_evals: 300,
+            target_primary: Some(sym.best_primary()),
+            seed: 5,
+            ..MlmaConfig::default()
+        },
+    )
+    .expect("rl runs");
+
+    // The optimised placement is legal and reproduces its reported metrics.
+    let env = LayoutEnv::new(task.circuit.clone(), task.spec, rl.best_placement.clone())
+        .expect("placement is legal");
+    env.validate().expect("invariants hold");
+    let eval = Evaluator::new(task.lde.clone());
+    let m = eval.evaluate(&env).expect("simulates");
+    let reported = rl.best_metrics.offset_v.expect("offset reported");
+    let measured = m.offset_v.expect("offset measured");
+    assert!(
+        (reported - measured).abs() <= 1e-12 + reported.abs() * 1e-9,
+        "report ({reported}) must match re-simulation ({measured})"
+    );
+}
+
+#[test]
+fn simulation_counter_accounts_every_call() {
+    let task = PlacementTask::new(circuits::diff_pair(), 10, LdeModel::linear(1.0));
+    let counter = SimCounter::new();
+    let eval = task.evaluator(counter.clone());
+    let env = task.initial_env().expect("fits");
+    for _ in 0..5 {
+        eval.evaluate(&env).expect("simulates");
+    }
+    assert_eq!(counter.count(), 5);
+
+    // Optimisation runs respect their budgets.
+    let r = runner::run_mlma(
+        &task,
+        &MlmaConfig { episodes: 3, steps_per_episode: 10, max_evals: 77, ..MlmaConfig::default() },
+    )
+    .expect("runs");
+    assert!(r.evaluations <= 77, "budget exceeded: {}", r.evaluations);
+}
+
+#[test]
+fn every_benchmark_survives_the_full_flow() {
+    for (circuit, side) in [
+        (circuits::current_mirror_medium(), 16),
+        (circuits::comparator(), 16),
+        (circuits::folded_cascode_ota(), 18),
+    ] {
+        let name = circuit.name().to_string();
+        let task = PlacementTask::new(circuit, side, LdeModel::nonlinear(1.0, 2));
+        let r = runner::run_mlma(
+            &task,
+            &MlmaConfig {
+                episodes: 2,
+                steps_per_episode: 6,
+                max_evals: 60,
+                seed: 2,
+                ..MlmaConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(r.best_cost <= r.initial_cost, "{name}");
+        assert!(r.best_metrics.area_um2 > 0.0, "{name}");
+        // The best placement re-validates.
+        LayoutEnv::new(task.circuit.clone(), task.spec, r.best_placement)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn netlist_round_trip_preserves_simulation_results() {
+    let original = circuits::five_transistor_ota();
+    let text = spice::write(&original);
+    let reparsed = spice::parse(&text).expect("round-trips");
+
+    let lde = LdeModel::nonlinear(1.0, 9);
+    let env_a = LayoutEnv::sequential(original, breaksym::geometry::GridSpec::square(12))
+        .expect("fits");
+    let env_b = LayoutEnv::sequential(reparsed, breaksym::geometry::GridSpec::square(12))
+        .expect("fits");
+    let eval = Evaluator::new(lde);
+    let ma = eval.evaluate(&env_a).expect("simulates");
+    let mb = eval.evaluate(&env_b).expect("simulates");
+    let (a, b) = (ma.offset_v.unwrap(), mb.offset_v.unwrap());
+    assert!(
+        (a - b).abs() <= a.abs() * 1e-9 + 1e-15,
+        "round-tripped netlist must simulate identically ({a} vs {b})"
+    );
+}
