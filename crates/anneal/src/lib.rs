@@ -132,7 +132,9 @@ impl RandomSearch {
         let mut accepted = 0u64;
 
         while evals < self.config.max_evals {
-            let Some(mv) = annealer.propose(env, &mut rng) else { break };
+            let Some(mv) = annealer.propose(env, &mut rng) else {
+                break;
+            };
             env.apply(mv).expect("proposed moves are legal");
             evals += 1;
             accepted += 1;
@@ -270,14 +272,20 @@ impl Annealer {
     }
 
     /// Proposes a random legal move, or `None` when nothing can move.
+    ///
+    /// Legal directions are enumerated into a stack buffer
+    /// ([`LayoutEnv::legal_unit_moves_into`]) — the proposal loop runs once
+    /// per evaluation, so it must not allocate. The enumeration order
+    /// matches the allocating variants, keeping per-seed runs bit-identical.
     pub(crate) fn propose(&self, env: &LayoutEnv, rng: &mut ChaCha8Rng) -> Option<PlacementMove> {
         let circuit = env.circuit();
+        let mut dirs = [Direction::North; 8];
         for _ in 0..64 {
             let draw: f64 = rng.gen_range(0.0..1.0);
             if draw < self.config.group_move_prob {
                 let g = GroupId::new(rng.gen_range(0..circuit.groups().len() as u32));
-                let dirs = env.legal_group_moves(g);
-                if let Some(&dir) = pick(rng, &dirs) {
+                let n = env.legal_group_moves_into(g, &mut dirs);
+                if let Some(&dir) = pick(rng, &dirs[..n]) {
                     return Some(GroupMove { group: g, dir }.into());
                 }
             } else if draw < self.config.group_move_prob + self.config.swap_prob {
@@ -292,8 +300,8 @@ impl Annealer {
                 }
             } else {
                 let u = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
-                let dirs = env.legal_unit_moves(u);
-                if let Some(&dir) = pick(rng, &dirs) {
+                let n = env.legal_unit_moves_into(u, &mut dirs);
+                if let Some(&dir) = pick(rng, &dirs[..n]) {
                     return Some(UnitMove { unit: u, dir }.into());
                 }
             }
@@ -301,8 +309,8 @@ impl Annealer {
         // Exhaustive fallback so a nearly-locked placement still anneals.
         for u in 0..circuit.num_units() as u32 {
             let unit = UnitId::new(u);
-            let dirs = env.legal_unit_moves(unit);
-            if let Some(&dir) = pick(rng, &dirs) {
+            let n = env.legal_unit_moves_into(unit, &mut dirs);
+            if let Some(&dir) = pick(rng, &dirs[..n]) {
                 return Some(UnitMove { unit, dir }.into());
             }
         }
@@ -331,11 +339,8 @@ mod tests {
 
     #[test]
     fn annealing_reduces_wirelength() {
-        let mut env = LayoutEnv::sequential(
-            circuits::five_transistor_ota(),
-            GridSpec::square(14),
-        )
-        .unwrap();
+        let mut env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
         let cfg = SaConfig { max_evals: 1500, seed: 1, ..SaConfig::default() };
         let result = Annealer::new(cfg).run(&mut env, wirelength_cost);
         assert!(result.best_cost <= result.initial_cost);
@@ -349,8 +354,7 @@ mod tests {
 
     #[test]
     fn trajectory_is_monotone_decreasing() {
-        let mut env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let result = Annealer::new(SaConfig { max_evals: 500, seed: 3, ..SaConfig::default() })
             .run(&mut env, wirelength_cost);
         for w in result.trajectory.windows(2) {
@@ -376,14 +380,15 @@ mod tests {
 
     #[test]
     fn respects_eval_budget() {
-        let mut env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let mut calls = 0u64;
-        let result = Annealer::new(SaConfig { max_evals: 50, seed: 0, ..SaConfig::default() })
-            .run(&mut env, |e| {
+        let result = Annealer::new(SaConfig { max_evals: 50, seed: 0, ..SaConfig::default() }).run(
+            &mut env,
+            |e| {
                 calls += 1;
                 wirelength_cost(e)
-            });
+            },
+        );
         assert_eq!(calls, result.evaluations);
         assert!(calls <= 50);
     }
@@ -391,20 +396,16 @@ mod tests {
     #[test]
     fn random_search_finds_improvements_but_anneal_matches_or_beats_it() {
         let run_rs = |seed| {
-            let mut env = LayoutEnv::sequential(
-                circuits::five_transistor_ota(),
-                GridSpec::square(14),
-            )
-            .unwrap();
+            let mut env =
+                LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14))
+                    .unwrap();
             RandomSearch::new(SaConfig { max_evals: 800, seed, ..SaConfig::default() })
                 .run(&mut env, wirelength_cost)
         };
         let run_sa = |seed| {
-            let mut env = LayoutEnv::sequential(
-                circuits::five_transistor_ota(),
-                GridSpec::square(14),
-            )
-            .unwrap();
+            let mut env =
+                LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14))
+                    .unwrap();
             Annealer::new(SaConfig { max_evals: 800, seed, ..SaConfig::default() })
                 .run(&mut env, wirelength_cost)
         };
@@ -425,11 +426,8 @@ mod tests {
     #[test]
     fn swap_proposals_are_exercised_and_legal() {
         // With unit/group moves disabled, every accepted proposal is a swap.
-        let mut env = LayoutEnv::sequential(
-            circuits::five_transistor_ota(),
-            GridSpec::square(14),
-        )
-        .unwrap();
+        let mut env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap();
         let cfg = SaConfig {
             group_move_prob: 0.0,
             swap_prob: 1.0,
@@ -445,14 +443,9 @@ mod tests {
 
     #[test]
     fn fixed_temperature_config_skips_probing() {
-        let mut env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
-        let cfg = SaConfig {
-            initial_temp: Some(10.0),
-            max_evals: 100,
-            seed: 2,
-            ..SaConfig::default()
-        };
+        let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let cfg =
+            SaConfig { initial_temp: Some(10.0), max_evals: 100, seed: 2, ..SaConfig::default() };
         let result = Annealer::new(cfg).run(&mut env, wirelength_cost);
         // One initial eval + moves; no 12 probe evals needed before moving.
         assert!(result.evaluations > 1);

@@ -1,0 +1,60 @@
+//! Criterion benches of the incremental, memoized evaluation layer.
+//!
+//! Three regimes of the same oracle call:
+//!
+//! - `cold_solve` — uncached evaluator, full pipeline every iteration
+//!   (field sampling, extraction, MNA solves);
+//! - `warm_hit` — cached evaluator revisiting a known placement: one hash
+//!   probe of the [`EvalCache`], no solve;
+//! - `incremental_move` — uncached evaluator after a single unit move:
+//!   a miss, but the per-evaluator scratch re-samples only the dirty unit
+//!   and re-extracts only its incident nets.
+//!
+//! The `evalbench` binary measures the same regimes on a recorded MLMA
+//! move trace and emits `BENCH_eval.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use breaksym_geometry::GridSpec;
+use breaksym_layout::{LayoutEnv, UnitMove};
+use breaksym_lde::LdeModel;
+use breaksym_netlist::{circuits, UnitId};
+use breaksym_sim::{EvalCache, Evaluator};
+
+fn bench_eval_regimes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eval_cache");
+
+    let env =
+        LayoutEnv::sequential(circuits::folded_cascode_ota(), GridSpec::square(18)).expect("fits");
+
+    let cold = Evaluator::new(LdeModel::nonlinear(1.0, 7));
+    g.bench_function("cold_solve", |b| {
+        b.iter(|| cold.evaluate(black_box(&env)).expect("simulates"))
+    });
+
+    let warm = Evaluator::new(LdeModel::nonlinear(1.0, 7)).with_cache(EvalCache::new(1 << 12));
+    warm.evaluate(&env).expect("primes the cache");
+    g.bench_function("warm_hit", |b| b.iter(|| warm.evaluate(black_box(&env)).expect("simulates")));
+
+    let inc = Evaluator::new(LdeModel::nonlinear(1.0, 7));
+    let mut env2 = env.clone();
+    let (unit, dir) = (0..env2.circuit().num_units() as u32)
+        .map(UnitId::new)
+        .find_map(|u| env2.legal_unit_moves(u).first().map(|&d| (u, d)))
+        .expect("some unit can move");
+    inc.evaluate(&env2).expect("primes the scratch");
+    g.bench_function("incremental_move", |b| {
+        b.iter(|| {
+            let undo = env2.apply(UnitMove { unit, dir }.into()).expect("legal move");
+            let m = inc.evaluate(black_box(&env2)).expect("simulates");
+            env2.undo(undo);
+            m
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(eval, bench_eval_regimes);
+criterion_main!(eval);

@@ -12,8 +12,8 @@ use breaksym_bench as bench;
 use breaksym_geometry::GridSpec;
 use breaksym_layout::LayoutEnv;
 use breaksym_lde::LdeModel;
-use breaksym_netlist::circuits;
 use breaksym_lde::{Atlas, Component};
+use breaksym_netlist::circuits;
 use breaksym_netlist::lint::lint;
 use breaksym_route::{CongestionMap, MazeRouter, RouteConfig};
 use breaksym_sim::{EvalOptions, Evaluator};
@@ -25,9 +25,7 @@ fn bench_fig1(c: &mut Criterion) {
 }
 
 fn bench_fig2(c: &mut Criterion) {
-    c.bench_function("fig2_env_moves", |b| {
-        b.iter(|| bench::fig2().expect("fig2 regenerates"))
-    });
+    c.bench_function("fig2_env_moves", |b| b.iter(|| bench::fig2().expect("fig2 regenerates")));
 }
 
 fn bench_fig3(c: &mut Criterion) {
@@ -63,8 +61,8 @@ fn bench_ablations(c: &mut Criterion) {
 fn bench_components(c: &mut Criterion) {
     let mut g = c.benchmark_group("components");
 
-    let env = LayoutEnv::sequential(circuits::folded_cascode_ota(), GridSpec::square(18))
-        .expect("fits");
+    let env =
+        LayoutEnv::sequential(circuits::folded_cascode_ota(), GridSpec::square(18)).expect("fits");
     let eval = Evaluator::new(LdeModel::nonlinear(1.0, 7));
     g.bench_function("simulate_ota_once", |b| {
         b.iter(|| eval.evaluate(black_box(&env)).expect("simulates"))
@@ -90,8 +88,8 @@ fn bench_components(c: &mut Criterion) {
     });
 
     g.bench_function("transient_comparator_decision", |b| {
-        let comp_env = LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16))
-            .expect("fits");
+        let comp_env =
+            LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16)).expect("fits");
         let tran_eval = Evaluator::new(LdeModel::none())
             .with_options(EvalOptions { comp_transient: true, ..EvalOptions::default() });
         b.iter(|| tran_eval.evaluate(black_box(&comp_env)).expect("simulates"))
@@ -104,9 +102,7 @@ fn bench_components(c: &mut Criterion) {
             circuits::folded_cascode_ota(),
             circuits::two_stage_miller(),
         ];
-        b.iter(|| {
-            all.iter().map(|c| lint(black_box(c)).len()).sum::<usize>()
-        })
+        b.iter(|| all.iter().map(|c| lint(black_box(c)).len()).sum::<usize>())
     });
 
     g.bench_function("lde_atlas_64", |b| {
@@ -135,12 +131,5 @@ fn bench_components(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig1,
-    bench_fig2,
-    bench_fig3,
-    bench_ablations,
-    bench_components
-);
+criterion_group!(figures, bench_fig1, bench_fig2, bench_fig3, bench_ablations, bench_components);
 criterion_main!(figures);

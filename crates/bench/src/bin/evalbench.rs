@@ -1,0 +1,150 @@
+//! `evalbench` — measures the evaluation cache on a recorded MLMA trace.
+//!
+//! ```text
+//! cargo run --release -p breaksym-bench --bin evalbench -- --budget 400 --seed 7
+//! ```
+//!
+//! Records the sequence of placements an MLMA run actually visits, then
+//! replays it twice: once against an uncached evaluator (cold — every
+//! replayed state is a full solve) and once against a cache primed with
+//! the same trace (warm — every replayed state is a hash probe). The two
+//! replays must produce bit-identical primary metrics; the warm/cold
+//! ratio is the headline speedup. Results land in `BENCH_eval.json`.
+
+use std::env;
+use std::time::Instant;
+
+use breaksym_core::{
+    EvalCache, Evaluator, MlmaConfig, MultiLevelPlacer, Objective, PlacementTask, Sample,
+};
+use breaksym_layout::Placement;
+use breaksym_lde::LdeModel;
+use breaksym_netlist::circuits;
+use serde::Serialize;
+
+struct Args {
+    budget: u64,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = env::args().skip(1).collect();
+    let mut args = Args { budget: 400, seed: 7, out: "BENCH_eval.json".into() };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--budget" => {
+                args.budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--budget needs an integer"))
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--out" => args.out = it.next().cloned().unwrap_or_else(|| die("--out needs a path")),
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("evalbench: {msg}");
+    std::process::exit(2)
+}
+
+#[derive(Debug, Serialize)]
+struct EvalBenchReport {
+    circuit: String,
+    trace_len: usize,
+    cold_ns_per_eval: f64,
+    warm_ns_per_eval: f64,
+    speedup: f64,
+    /// Fraction of the trace's oracle queries a cache would have answered
+    /// during the run itself (revisit rate of the MLMA trajectory).
+    trace_hit_rate: f64,
+    metrics_identical: bool,
+}
+
+/// Replays `trace` against `eval`, returning (ns per evaluation, the
+/// primary metric of every step as raw bits — the identity check).
+fn replay(
+    eval: &Evaluator,
+    env: &mut breaksym_core::LayoutEnv,
+    trace: &[Placement],
+) -> (f64, Vec<u64>) {
+    let mut primaries = Vec::with_capacity(trace.len());
+    let start = Instant::now();
+    for p in trace {
+        env.set_placement(p.clone()).expect("recorded placements are valid");
+        let m = eval.evaluate(env).expect("recorded placements simulate");
+        primaries.push(m.primary().to_bits());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / trace.len() as f64;
+    (ns, primaries)
+}
+
+fn main() {
+    let args = parse_args();
+    let task = PlacementTask::new(
+        circuits::current_mirror_medium(),
+        16,
+        LdeModel::nonlinear(1.0, args.seed),
+    );
+    let mut env = task.initial_env().expect("benchmark circuit fits its grid");
+
+    // Record the placements an MLMA run actually visits.
+    let recorder = Evaluator::new(task.lde.clone());
+    let initial = recorder.evaluate(&env).expect("initial placement simulates");
+    let objective = Objective::normalized_to(&initial);
+    let mut trace: Vec<Placement> = Vec::new();
+    let cfg = MlmaConfig {
+        episodes: 12,
+        steps_per_episode: 24,
+        max_evals: args.budget,
+        seed: args.seed,
+        ..MlmaConfig::default()
+    };
+    let mut placer = MultiLevelPlacer::new(&env, cfg);
+    placer.run(&mut env, |e| {
+        trace.push(e.placement().clone());
+        match recorder.evaluate(e) {
+            Ok(m) => Sample { cost: objective.cost(&m), primary: m.primary() },
+            Err(_) => Sample { cost: 1e6, primary: 1e6 },
+        }
+    });
+    assert!(!trace.is_empty(), "the MLMA run visited no placements");
+
+    // Cold: every replayed state pays the full pipeline.
+    let cold = Evaluator::new(task.lde.clone());
+    let (cold_ns, cold_primaries) = replay(&cold, &mut env, &trace);
+
+    // Prime a cache with the trace; its stats give the revisit rate an
+    // in-run cache would have exploited.
+    let cache = EvalCache::new(1 << 16);
+    let warm = Evaluator::new(task.lde.clone()).with_cache(cache.clone());
+    let (_prime_ns, _prime_primaries) = replay(&warm, &mut env, &trace);
+    let trace_hit_rate = cache.stats().hit_rate();
+
+    // Warm: the primed cache answers every replayed state.
+    let (warm_ns, warm_primaries) = replay(&warm, &mut env, &trace);
+
+    let report = EvalBenchReport {
+        circuit: task.circuit.name().to_string(),
+        trace_len: trace.len(),
+        cold_ns_per_eval: cold_ns,
+        warm_ns_per_eval: warm_ns,
+        speedup: cold_ns / warm_ns,
+        trace_hit_rate,
+        metrics_identical: cold_primaries == warm_primaries,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&args.out, format!("{json}\n")).expect("writes the report");
+    println!("{json}");
+    assert!(report.metrics_identical, "cached metrics must match cold solves bit-for-bit");
+}

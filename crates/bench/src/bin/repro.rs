@@ -183,7 +183,15 @@ fn fig1(seed: u64) {
     let rows = bench::fig1(seed).unwrap_or_else(|e| die(&e.to_string()));
     println!(
         "{:10} {:16} {:>12} {:>10} {:>10} {:>9} {:>8} {:>9} {:>7}",
-        "regime", "style", "offset[mV]", "area[um2]", "routed[um]", "symmetry", "ctr-err", "congest", "skew"
+        "regime",
+        "style",
+        "offset[mV]",
+        "area[um2]",
+        "routed[um]",
+        "symmetry",
+        "ctr-err",
+        "congest",
+        "skew"
     );
     for r in rows {
         println!(
@@ -250,10 +258,7 @@ fn ablation_traj(budget: u64, seed: u64) {
 }
 
 fn concise(tr: &[(u64, f64)]) -> Vec<(u64, f64)> {
-    let mut v: Vec<(u64, f64)> = tr
-        .iter()
-        .map(|&(e, c)| (e, (c * 1e4).round() / 1e4))
-        .collect();
+    let mut v: Vec<(u64, f64)> = tr.iter().map(|&(e, c)| (e, (c * 1e4).round() / 1e4)).collect();
     if v.len() > 12 {
         let tail = v.split_off(v.len() - 4);
         v.truncate(8);
@@ -280,10 +285,7 @@ fn ablation_multilevel(budget: u64, seed: u64) {
 
 fn ablation_linearity(budget: u64, seed: u64) {
     println!("== A3 — symmetric-vs-RL gap over LDE non-linearity (budget {budget}) ==");
-    println!(
-        "{:>6} {:>18} {:>14} {:>14}",
-        "alpha", "symmetric[mV]", "rl[mV]", "rl advantage"
-    );
+    println!("{:>6} {:>18} {:>14} {:>14}", "alpha", "symmetric[mV]", "rl[mV]", "rl advantage");
     let rows = bench::ablation_linearity(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
     for r in rows {
         println!(
@@ -300,10 +302,7 @@ fn ablation_linearity(budget: u64, seed: u64) {
 fn ablation_policy(budget: u64, seed: u64) {
     println!("== A5 — exploration policy & double-Q (5T OTA, budget {budget}) ==");
     let rows = bench::ablation_policies(budget, seed).unwrap_or_else(|e| die(&e.to_string()));
-    println!(
-        "{:24} {:>14} {:>10} {:>10}",
-        "policy", "offset[mV]", "sims@tgt", "q-states"
-    );
+    println!("{:24} {:>14} {:>10} {:>10}", "policy", "offset[mV]", "sims@tgt", "q-states");
     for r in rows {
         println!(
             "{:24} {:>14.4} {:>10} {:>10}",

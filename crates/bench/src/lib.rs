@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 use breaksym_anneal::SaConfig;
-use breaksym_core::{runner, EpsilonSchedule, Exploration, MlmaConfig, PlaceError, PlacementTask, SoftmaxSchedule};
+use breaksym_core::{
+    runner, EpsilonSchedule, Exploration, MlmaConfig, PlaceError, PlacementTask, SoftmaxSchedule,
+};
 use breaksym_layout::LayoutEnv;
 use breaksym_lde::LdeModel;
 use breaksym_netlist::{circuits, Circuit, UnitId};
@@ -155,14 +157,11 @@ pub struct Fig2Stats {
 ///
 /// Propagates layout construction failures.
 pub fn fig2() -> Result<Fig2Stats, PlaceError> {
-    let env = LayoutEnv::sequential(
-        circuits::fig2_example(),
-        breaksym_geometry::GridSpec::square(8),
-    )?;
+    let env =
+        LayoutEnv::sequential(circuits::fig2_example(), breaksym_geometry::GridSpec::square(8))?;
     let units = env.circuit().num_units();
-    let legal_per_unit = (0..units as u32)
-        .map(|u| env.legal_unit_moves(UnitId::new(u)).len())
-        .collect();
+    let legal_per_unit =
+        (0..units as u32).map(|u| env.legal_unit_moves(UnitId::new(u)).len()).collect();
     Ok(Fig2Stats {
         units,
         groups: env.circuit().groups().len(),
@@ -259,7 +258,11 @@ pub fn fig3_q_config(budget: u64, target_primary: f64, seed: u64) -> MlmaConfig 
     MlmaConfig {
         episodes: 80,
         steps_per_episode: 10,
-        exploration: Exploration::EpsilonGreedy(EpsilonSchedule { start: 0.3, end: 0.01, decay_episodes: 16.0 }),
+        exploration: Exploration::EpsilonGreedy(EpsilonSchedule {
+            start: 0.3,
+            end: 0.01,
+            decay_episodes: 16.0,
+        }),
         max_evals: budget,
         target_primary: Some(target_primary),
         stop_at_target: false, // run the budget; record sims-to-target
@@ -304,16 +307,10 @@ pub struct TrajectoryPair {
 ///
 /// Propagates layout/simulation failures.
 pub fn ablation_trajectories(budget: u64, seed: u64) -> Result<TrajectoryPair, PlaceError> {
-    let task = PlacementTask::new(
-        circuits::folded_cascode_ota(),
-        18,
-        LdeModel::nonlinear(1.0, seed),
-    );
-    let sa = runner::run_sa(
-        &task,
-        &SaConfig { max_evals: budget, seed, ..SaConfig::default() },
-        None,
-    )?;
+    let task =
+        PlacementTask::new(circuits::folded_cascode_ota(), 18, LdeModel::nonlinear(1.0, seed));
+    let sa =
+        runner::run_sa(&task, &SaConfig { max_evals: budget, seed, ..SaConfig::default() }, None)?;
     let rl = runner::run_mlma(
         &task,
         &MlmaConfig {
@@ -452,11 +449,8 @@ pub struct DummyRow {
 ///
 /// Propagates layout/simulation failures.
 pub fn ablation_dummies(seed: u64) -> Result<Vec<DummyRow>, PlaceError> {
-    let task = PlacementTask::new(
-        circuits::current_mirror_medium(),
-        16,
-        LdeModel::nonlinear(1.0, seed),
-    );
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, seed));
     let mut rows = Vec::new();
     for which in runner::Baseline::ALL {
         let r = runner::run_baseline(&task, which)?;
@@ -490,17 +484,11 @@ pub struct PolicyRow {
 ///
 /// Propagates layout/simulation failures.
 pub fn ablation_policies(budget: u64, seed: u64) -> Result<Vec<PolicyRow>, PlaceError> {
-    let task = PlacementTask::new(
-        circuits::five_transistor_ota(),
-        14,
-        LdeModel::nonlinear(1.0, seed),
-    );
+    let task =
+        PlacementTask::new(circuits::five_transistor_ota(), 14, LdeModel::nonlinear(1.0, seed));
     let sym = runner::best_symmetric_baseline(&task)?;
-    let eps = Exploration::EpsilonGreedy(EpsilonSchedule {
-        start: 0.3,
-        end: 0.01,
-        decay_episodes: 16.0,
-    });
+    let eps =
+        Exploration::EpsilonGreedy(EpsilonSchedule { start: 0.3, end: 0.01, decay_episodes: 16.0 });
     let soft = Exploration::Softmax(SoftmaxSchedule {
         temp_start: 30.0,
         temp_end: 0.5,
@@ -633,11 +621,8 @@ pub struct WeightRow {
 ///
 /// Propagates layout/simulation failures.
 pub fn ablation_weights(budget: u64, seed: u64) -> Result<Vec<WeightRow>, PlaceError> {
-    let task = PlacementTask::new(
-        circuits::current_mirror_medium(),
-        16,
-        LdeModel::nonlinear(1.0, seed),
-    );
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, seed));
     let cfg = MlmaConfig {
         episodes: 40,
         steps_per_episode: 15,
@@ -689,11 +674,8 @@ pub struct BudgetRow {
 pub fn ablation_budget(seed: u64) -> Result<Vec<BudgetRow>, PlaceError> {
     let mut rows = Vec::new();
     for budget in [150u64, 400, 1000, 2500] {
-        let task = PlacementTask::new(
-            circuits::five_transistor_ota(),
-            14,
-            LdeModel::nonlinear(1.0, seed),
-        );
+        let task =
+            PlacementTask::new(circuits::five_transistor_ota(), 14, LdeModel::nonlinear(1.0, seed));
         let sa = runner::run_sa(
             &task,
             &SaConfig { max_evals: budget, seed, ..SaConfig::default() },

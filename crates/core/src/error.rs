@@ -59,10 +59,8 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: PlaceError = LayoutError::DuplicateCell {
-            cell: breaksym_geometry::GridPoint::ORIGIN,
-        }
-        .into();
+        let e: PlaceError =
+            LayoutError::DuplicateCell { cell: breaksym_geometry::GridPoint::ORIGIN }.into();
         assert!(e.to_string().contains("layout error"));
         assert!(Error::source(&e).is_some());
         let s: PlaceError = SimError::SingularMatrix { column: 0 }.into();

@@ -50,7 +50,7 @@ impl FlatQPlacer {
     /// To keep the comparison fair, one "round" of the multi-level placer
     /// (1 + #groups agent actions) corresponds to `1 + #groups` flat steps
     /// per `steps_per_episode` unit.
-    pub(crate) fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
+    pub fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
     where
         F: FnMut(&LayoutEnv) -> Sample,
     {
@@ -59,19 +59,18 @@ impl FlatQPlacer {
         let initial = cost(env);
         let mut tracker = RunTracker::new(initial, initial_placement.clone(), &self.cfg);
         let scale = self.cfg.reward_scale / initial.cost.abs().max(1e-12);
-        let moves_per_episode =
-            self.cfg.steps_per_episode * (1 + env.circuit().groups().len());
+        let moves_per_episode = self.cfg.steps_per_episode * (1 + env.circuit().groups().len());
 
         'run: for episode in 0..self.cfg.episodes {
             if tracker.done() {
                 break;
             }
-            let (start, mut current) =
-                if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
-                    (tracker.best_placement.clone(), tracker.best_cost)
-                } else {
-                    (initial_placement.clone(), initial.cost)
-                };
+            let (start, mut current) = if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0
+            {
+                (tracker.best_placement.clone(), tracker.best_cost)
+            } else {
+                (initial_placement.clone(), initial.cost)
+            };
             env.set_placement(start).expect("recorded placements are valid");
 
             for _ in 0..moves_per_episode {
@@ -80,14 +79,9 @@ impl FlatQPlacer {
                 }
                 let s = env.state_key();
                 let legal = self.legal_actions(env);
-                let Some(a) = select_action(
-                    &self.table,
-                    s,
-                    &legal,
-                    &self.cfg.exploration,
-                    episode,
-                    &mut rng,
-                ) else {
+                let Some(a) =
+                    select_action(&self.table, s, &legal, &self.cfg.exploration, episode, &mut rng)
+                else {
                     break 'run; // fully locked
                 };
                 let mv = self.decode(a);
@@ -96,8 +90,7 @@ impl FlatQPlacer {
                 let r = (current - smp.cost) * scale;
                 let s_next = env.state_key();
                 let flip = rng.gen_range(0.0..1.0) < 0.5;
-                self.table
-                    .update(s, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
+                self.table.update(s, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
                 current = smp.cost;
                 if tracker.record(smp, env) {
                     break 'run;
@@ -140,8 +133,7 @@ mod tests {
 
     #[test]
     fn flat_placer_improves_and_learns() {
-        let mut env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let cfg = MlmaConfig {
             episodes: 5,
             steps_per_episode: 20,
@@ -169,14 +161,12 @@ mod tests {
             ..MlmaConfig::default()
         };
         let mut env_flat =
-            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16))
-                .unwrap();
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
         let mut flat = FlatQPlacer::new(&env_flat, cfg);
         let tf = flat.run(&mut env_flat, wl);
 
         let mut env_ml =
-            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16))
-                .unwrap();
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
         let mut ml = crate::MultiLevelPlacer::new(&env_ml, cfg);
         let tm = ml.run(&mut env_ml, wl);
 

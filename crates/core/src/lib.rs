@@ -52,7 +52,7 @@ mod task;
 pub use config::{EpsilonSchedule, Exploration, MlmaConfig, QParams, SoftmaxSchedule};
 pub use error::PlaceError;
 pub use flat::FlatQPlacer;
-pub use mlma::MultiLevelPlacer;
+pub use mlma::{MultiLevelPlacer, RunTracker, Sample};
 pub use objective::{Fom, FomSpec, Objective};
 pub use qtable::{AgentTable, QTable};
 pub use report::RunReport;
@@ -61,4 +61,4 @@ pub use task::PlacementTask;
 // The vocabulary callers need alongside this crate.
 pub use breaksym_layout::LayoutEnv;
 pub use breaksym_lde::LdeModel;
-pub use breaksym_sim::{Evaluator, Metrics, SimCounter};
+pub use breaksym_sim::{CacheStats, EvalCache, Evaluator, Metrics, SimCounter};

@@ -62,21 +62,36 @@ pub struct Sample {
 }
 
 /// Shared run bookkeeping: budget, best-so-far, trajectory, target.
+///
+/// Returned by [`MultiLevelPlacer::run`] (and the flat ablation) so callers
+/// driving the placer directly — e.g. benchmarks recording a move trace —
+/// see the same accounting the [`runner`](crate::runner) entry points use.
 #[derive(Debug, Clone)]
-pub(crate) struct RunTracker {
+pub struct RunTracker {
+    /// Oracle queries spent so far (including the initial evaluation).
     pub evals: u64,
+    /// The query budget the run stops at.
     pub max_evals: u64,
+    /// The primary-metric target, when one was set.
     pub target_primary: Option<f64>,
+    /// Whether reaching the target ends the run early.
     pub stop_at_target: bool,
+    /// Best objective cost reached.
     pub best_cost: f64,
+    /// Primary metric of the best-cost placement.
     pub best_primary: f64,
+    /// The best-cost placement itself.
     pub best_placement: Placement,
+    /// `(evaluation index, best-so-far cost)` improvement points.
     pub trajectory: Vec<(u64, f64)>,
+    /// Whether any candidate met the target.
     pub reached_target: bool,
+    /// The first evaluation at which the target was met, if ever.
     pub sims_to_target: Option<u64>,
 }
 
 impl RunTracker {
+    /// Bookkeeping seeded with the initial placement's sample.
     pub fn new(initial: Sample, placement: Placement, cfg: &MlmaConfig) -> Self {
         let reached = cfg.target_primary.is_some_and(|t| initial.primary <= t);
         RunTracker {
@@ -111,6 +126,7 @@ impl RunTracker {
         self.done()
     }
 
+    /// Whether the run's stopping condition is met.
     pub fn done(&self) -> bool {
         (self.reached_target && self.stop_at_target) || self.evals >= self.max_evals
     }
@@ -237,10 +253,9 @@ impl MultiLevelPlacer {
     }
 
     /// Runs the optimisation. `cost` is called once per proposed move (the
-    /// simulator); the environment ends at the **initial** placement's
-    /// episode reset state of the best placement — read the best from the
-    /// returned tracker.
-    pub(crate) fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
+    /// simulator); the environment ends at the best placement found — read
+    /// the accounting from the returned tracker.
+    pub fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
     where
         F: FnMut(&LayoutEnv) -> Sample,
     {
@@ -257,12 +272,12 @@ impl MultiLevelPlacer {
             }
             // Warm-start policy: exploit from the best placement two
             // episodes out of three, explore from the initial otherwise.
-            let (start, mut current) =
-                if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
-                    (tracker.best_placement.clone(), tracker.best_cost)
-                } else {
-                    (initial_placement.clone(), initial.cost)
-                };
+            let (start, mut current) = if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0
+            {
+                (tracker.best_placement.clone(), tracker.best_cost)
+            } else {
+                (initial_placement.clone(), initial.cost)
+            };
             env.set_placement(start).expect("recorded placements are valid");
 
             for _ in 0..self.cfg.steps_per_episode {
@@ -286,8 +301,7 @@ impl MultiLevelPlacer {
                     let r = (current - s.cost) * scale;
                     let s_next = env.group_state_key();
                     let flip = rng.gen_range(0.0..1.0) < 0.5;
-                    self.top
-                        .update(s_top, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
+                    self.top.update(s_top, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
                     current = s.cost;
                     if tracker.record(s, env) {
                         break 'run;
@@ -303,14 +317,9 @@ impl MultiLevelPlacer {
                     let s = env.local_state_key(g);
                     let units = env.units_of_group(g).to_vec();
                     let legal = bottom_legal_actions(env, &units);
-                    let Some(a) = select_action(
-                        table,
-                        s,
-                        &legal,
-                        &self.cfg.exploration,
-                        episode,
-                        &mut rng,
-                    ) else {
+                    let Some(a) =
+                        select_action(table, s, &legal, &self.cfg.exploration, episode, &mut rng)
+                    else {
                         continue;
                     };
                     let mv = decode_bottom(a, &units);
@@ -402,8 +411,7 @@ mod tests {
         // Learning happened.
         assert!(placer.total_states() > 0);
         assert!(
-            !placer.top_table().is_empty()
-                || placer.bottom_agents().iter().any(|t| !t.is_empty())
+            !placer.top_table().is_empty() || placer.bottom_agents().iter().any(|t| !t.is_empty())
         );
     }
 
@@ -421,8 +429,7 @@ mod tests {
 
     #[test]
     fn target_stops_early() {
-        let mut env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let initial = wl(&env);
         let cfg = MlmaConfig {
             target_primary: Some(initial.primary * 2.0), // trivially satisfied
@@ -436,8 +443,7 @@ mod tests {
 
     #[test]
     fn action_codecs_round_trip() {
-        let env =
-            LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
+        let env = LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
         let groups: Vec<GroupId> = env.circuit().group_ids().collect();
         for a in top_legal_actions(&env, &groups) {
             match decode_top(a, &groups) {
@@ -487,8 +493,7 @@ mod tests {
 
     #[test]
     fn double_q_placer_runs_and_counts_both_tables() {
-        let env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let cfg = MlmaConfig { double_q: true, ..small_cfg(5) };
         let mut placer = MultiLevelPlacer::new(&env, cfg);
         let mut env2 = env.clone();
@@ -500,8 +505,7 @@ mod tests {
     #[test]
     fn softmax_exploration_runs() {
         use crate::{Exploration, SoftmaxSchedule};
-        let env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let cfg = MlmaConfig {
             exploration: Exploration::Softmax(SoftmaxSchedule::default()),
             ..small_cfg(6)
@@ -535,8 +539,7 @@ mod tests {
 
     #[test]
     fn untrained_placer_rolls_out_nothing() {
-        let mut env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let mut env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let placer = MultiLevelPlacer::new(&env, small_cfg(0));
         let moves = placer.greedy_rollout(&mut env, 5);
         assert!(moves.is_empty(), "zero-valued tables must not act");
@@ -551,9 +554,6 @@ mod tests {
         for (g, t) in env.circuit().group_ids().zip(placer.bottom_agents()) {
             assert_eq!(t.num_actions(), env.units_of_group(g).len() * 8);
         }
-        assert_eq!(
-            placer.top_table().num_actions(),
-            env.circuit().groups().len() * 8
-        );
+        assert_eq!(placer.top_table().num_actions(), env.circuit().groups().len() * 8);
     }
 }

@@ -125,7 +125,9 @@ impl FomSpec {
         let mut log_sum = 0.0;
         let mut terms = 0usize;
         for (get, better) in self.metric_list() {
-            let (Some(x), Some(r)) = (get(m), get(reference)) else { continue };
+            let (Some(x), Some(r)) = (get(m), get(reference)) else {
+                continue;
+            };
             if !(x.is_finite() && r.is_finite()) {
                 continue;
             }

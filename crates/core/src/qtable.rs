@@ -99,10 +99,7 @@ impl QTable {
     /// Panics if `action` is outside the action set.
     pub fn set(&mut self, state: u64, action: usize, value: f64) {
         assert!(action < self.actions, "action {action} out of range");
-        let row = self
-            .rows
-            .entry(state)
-            .or_insert_with(|| vec![0.0; self.actions]);
+        let row = self.rows.entry(state).or_insert_with(|| vec![0.0; self.actions]);
         row[action] = value;
     }
 
@@ -123,10 +120,7 @@ impl QTable {
     ) {
         assert!(action < self.actions, "action {action} out of range");
         let v_next = self.value(next_state);
-        let row = self
-            .rows
-            .entry(state)
-            .or_insert_with(|| vec![0.0; self.actions]);
+        let row = self.rows.entry(state).or_insert_with(|| vec![0.0; self.actions]);
         row[action] = (1.0 - alpha) * row[action] + alpha * (reward + gamma * v_next);
     }
 }
@@ -145,10 +139,7 @@ pub struct AgentTable {
 impl AgentTable {
     /// A single-table agent (plain Q-learning) or a double-table one.
     pub fn new(actions: usize, double: bool) -> Self {
-        AgentTable {
-            a: QTable::new(actions),
-            b: double.then(|| QTable::new(actions)),
-        }
+        AgentTable { a: QTable::new(actions), b: double.then(|| QTable::new(actions)) }
     }
 
     /// The size of the action set.
@@ -298,7 +289,7 @@ mod tests {
         let mut agent = AgentTable::new(2, true);
         agent.update(0, 0, 1.0, 1, 0.5, 0.9, true); // table A learns
         agent.update(0, 1, 1.0, 1, 0.5, 0.9, false); // table B learns
-        // Combined value sees both updates.
+                                                     // Combined value sees both updates.
         assert!(agent.q(0, 0) > 0.0);
         assert!(agent.q(0, 1) > 0.0);
         // The primary table only saw the `flip = true` update.

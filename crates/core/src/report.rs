@@ -3,7 +3,7 @@
 use std::fmt;
 
 use breaksym_layout::Placement;
-use breaksym_sim::Metrics;
+use breaksym_sim::{CacheStats, Metrics};
 use serde::{Deserialize, Serialize};
 
 use crate::{Fom, FomSpec};
@@ -24,7 +24,19 @@ pub struct RunReport {
     /// The best placement itself.
     pub best_placement: Placement,
     /// Simulator evaluations spent (the "#simulations" column).
+    ///
+    /// This counts *oracle queries* made by the optimiser; with the
+    /// evaluation cache enabled some of those queries are answered without
+    /// a solve — see [`RunReport::simulations`].
     pub evaluations: u64,
+    /// Actual simulator solves performed (cache hits excluded). Always
+    /// `<= evaluations` when the evaluation cache is enabled; equal when
+    /// it is not.
+    #[serde(default)]
+    pub simulations: u64,
+    /// Evaluation-cache effectiveness for this run, when a cache was used.
+    #[serde(default)]
+    pub cache: Option<CacheStats>,
     /// `(evaluation index, best-so-far cost)` improvements.
     pub trajectory: Vec<(u64, f64)>,
     /// Total Q-table states across all agents (0 for non-learning methods).
@@ -60,8 +72,16 @@ impl fmt::Display for RunReport {
             self.best_primary(),
             self.evaluations,
             self.qtable_states,
-            if self.reached_target { " | target reached" } else { "" }
-        )
+            if self.reached_target {
+                " | target reached"
+            } else {
+                ""
+            }
+        )?;
+        if let Some(cache) = &self.cache {
+            write!(f, " | cache: {cache}")?;
+        }
+        Ok(())
     }
 }
 
@@ -85,6 +105,8 @@ mod tests {
             best_metrics: m,
             best_placement: Placement::from_positions(vec![GridPoint::ORIGIN]).unwrap(),
             evaluations: 420,
+            simulations: 400,
+            cache: Some(CacheStats { hits: 20, misses: 400, ..CacheStats::default() }),
             trajectory: vec![(1, 1.25), (100, 0.5)],
             qtable_states: 37,
             reached_target: true,
@@ -98,6 +120,20 @@ mod tests {
         assert!(s.contains("mlma-q"));
         assert!(s.contains("420 sims"));
         assert!(s.contains("target reached"));
+        assert!(s.contains("cache:"), "{s}");
+    }
+
+    #[test]
+    fn reports_without_cache_fields_still_deserialize() {
+        // Pre-cache serialized reports omit `simulations` and `cache`;
+        // `#[serde(default)]` keeps them readable.
+        let mut v = serde_json::to_value(report()).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("simulations");
+        obj.remove("cache");
+        let r: RunReport = serde_json::from_value(v).unwrap();
+        assert_eq!(r.simulations, 0);
+        assert!(r.cache.is_none());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use breaksym_anneal::{Annealer, RandomSearch, SaConfig};
 use breaksym_layout::LayoutEnv;
-use breaksym_sim::{Evaluator, Metrics, SimCounter};
+use breaksym_sim::{EvalCache, Evaluator, Metrics, SimCounter, DEFAULT_CACHE_CAPACITY};
 
 use crate::mlma::Sample;
 use crate::{
@@ -66,6 +66,7 @@ struct Setup {
     env: LayoutEnv,
     evaluator: Evaluator,
     counter: SimCounter,
+    cache: EvalCache,
     initial_metrics: Metrics,
     objective: Objective,
 }
@@ -73,10 +74,15 @@ struct Setup {
 fn setup(task: &PlacementTask) -> Result<Setup, PlaceError> {
     let env = task.initial_env()?;
     let counter = SimCounter::new();
-    let evaluator = task.evaluator(counter.clone());
+    // Every runner memoizes metrics by placement fingerprint: revisited
+    // states (episode resets, undo-heavy proposals) cost a hash probe, not
+    // a solve. Hits do not touch `counter` — the "#simulations" tally
+    // counts real oracle solves only.
+    let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
+    let evaluator = task.evaluator(counter.clone()).with_cache(cache.clone());
     let initial_metrics = evaluator.evaluate(&env)?;
     let objective = Objective::normalized_to(&initial_metrics);
-    Ok(Setup { env, evaluator, counter, initial_metrics, objective })
+    Ok(Setup { env, evaluator, counter, cache, initial_metrics, objective })
 }
 
 fn sample_closure<'a>(
@@ -97,9 +103,13 @@ fn sample_closure<'a>(
 /// cannot be simulated (failures on exploration candidates are penalised,
 /// not fatal).
 pub fn run_mlma(task: &PlacementTask, cfg: &MlmaConfig) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter: _counter, initial_metrics, objective } = setup(task)?;
+    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
     let mut placer = MultiLevelPlacer::new(&env, *cfg);
     let tracker = placer.run(&mut env, sample_closure(&evaluator, &objective));
+    // The best placement was already simulated when the tracker recorded
+    // it, so this lookup is a cache hit — it refreshes the full Metrics
+    // without spending an extra simulation, keeping `evaluations` equal to
+    // the actual number of oracle queries.
     let best_metrics = evaluator.evaluate(&env)?;
     Ok(RunReport {
         method: "mlma-q".into(),
@@ -109,6 +119,8 @@ pub fn run_mlma(task: &PlacementTask, cfg: &MlmaConfig) -> Result<RunReport, Pla
         best_metrics,
         best_placement: env.placement().clone(),
         evaluations: tracker.evals,
+        simulations: counter.count(),
+        cache: Some(cache.stats()),
         trajectory: tracker.trajectory,
         qtable_states: placer.total_states(),
         reached_target: tracker.reached_target,
@@ -128,7 +140,7 @@ pub fn run_mlma_weighted(
     cfg: &MlmaConfig,
     weights: (f64, f64, f64),
 ) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter: _counter, initial_metrics, objective } = setup(task)?;
+    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
     let objective = objective.with_weights(weights.0, weights.1, weights.2);
     let mut placer = MultiLevelPlacer::new(&env, *cfg);
     let tracker = placer.run(&mut env, sample_closure(&evaluator, &objective));
@@ -141,6 +153,8 @@ pub fn run_mlma_weighted(
         best_metrics,
         best_placement: env.placement().clone(),
         evaluations: tracker.evals,
+        simulations: counter.count(),
+        cache: Some(cache.stats()),
         trajectory: tracker.trajectory,
         qtable_states: placer.total_states(),
         reached_target: tracker.reached_target,
@@ -154,7 +168,7 @@ pub fn run_mlma_weighted(
 ///
 /// As [`run_mlma`].
 pub fn run_flat(task: &PlacementTask, cfg: &MlmaConfig) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter: _counter, initial_metrics, objective } = setup(task)?;
+    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
     let mut placer = FlatQPlacer::new(&env, *cfg);
     let tracker = placer.run(&mut env, sample_closure(&evaluator, &objective));
     let best_metrics = evaluator.evaluate(&env)?;
@@ -166,6 +180,8 @@ pub fn run_flat(task: &PlacementTask, cfg: &MlmaConfig) -> Result<RunReport, Pla
         best_metrics,
         best_placement: env.placement().clone(),
         evaluations: tracker.evals,
+        simulations: counter.count(),
+        cache: Some(cache.stats()),
         trajectory: tracker.trajectory,
         qtable_states: placer.total_states(),
         reached_target: tracker.reached_target,
@@ -188,7 +204,7 @@ pub fn run_sa(
     sa_cfg: &SaConfig,
     target_primary: Option<f64>,
 ) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter: _counter, initial_metrics, objective } = setup(task)?;
+    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
     let mut sample = sample_closure(&evaluator, &objective);
     let mut sims = 0u64;
     let mut first_hit: Option<u64> = None;
@@ -210,6 +226,8 @@ pub fn run_sa(
         best_metrics,
         best_placement: result.best_placement,
         evaluations: result.evaluations,
+        simulations: counter.count(),
+        cache: Some(cache.stats()),
         trajectory: result.trajectory,
         qtable_states: 0,
         reached_target: first_hit.is_some(),
@@ -229,7 +247,7 @@ pub fn run_random(
     sa_cfg: &SaConfig,
     target_primary: Option<f64>,
 ) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter: _counter, initial_metrics, objective } = setup(task)?;
+    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
     let mut sample = sample_closure(&evaluator, &objective);
     let mut sims = 0u64;
     let mut first_hit: Option<u64> = None;
@@ -251,6 +269,8 @@ pub fn run_random(
         best_metrics,
         best_placement: result.best_placement,
         evaluations: result.evaluations,
+        simulations: counter.count(),
+        cache: Some(cache.stats()),
         trajectory: result.trajectory,
         qtable_states: 0,
         reached_target: first_hit.is_some(),
@@ -295,7 +315,8 @@ pub fn run_mlma_seeds(
 /// Fails when the layout generator cannot fit the grid or the simulation
 /// fails.
 pub fn run_baseline(task: &PlacementTask, which: Baseline) -> Result<RunReport, PlaceError> {
-    let Setup { env: init_env, evaluator, counter, initial_metrics, objective } = setup(task)?;
+    let Setup { env: init_env, evaluator, counter, cache, initial_metrics, objective } =
+        setup(task)?;
     let mut env = match which {
         Baseline::Sequential => init_env,
         Baseline::MirrorY | Baseline::MirrorYDummies => {
@@ -308,10 +329,7 @@ pub fn run_baseline(task: &PlacementTask, which: Baseline) -> Result<RunReport, 
             breaksym_symmetry::interdigitated(task.circuit.clone(), task.spec)?
         }
     };
-    if matches!(
-        which,
-        Baseline::MirrorYDummies | Baseline::CommonCentroidDummies
-    ) {
+    if matches!(which, Baseline::MirrorYDummies | Baseline::CommonCentroidDummies) {
         let ring = breaksym_symmetry::dummy_ring(&env);
         let mut p = env.placement().clone();
         p.set_dummies(ring)?;
@@ -327,7 +345,12 @@ pub fn run_baseline(task: &PlacementTask, which: Baseline) -> Result<RunReport, 
         initial_metrics,
         best_metrics,
         best_placement: env.placement().clone(),
+        // The setup's initial evaluation is excluded: a baseline costs the
+        // solves its *own* layout needed (0 for `Sequential`, whose layout
+        // is the already-cached initial placement).
         evaluations: counter.count() - 1,
+        simulations: counter.count(),
+        cache: Some(cache.stats()),
         trajectory: vec![(1, best_cost)],
         qtable_states: 0,
         reached_target: false,
@@ -395,6 +418,31 @@ mod tests {
         assert!(r.qtable_states > 0);
         // The reported best metrics belong to the reported best placement.
         assert!(r.best_metrics.offset_v.is_some());
+    }
+
+    #[test]
+    fn cache_accounting_is_exact() {
+        let r = run_mlma(&task(), &quick_cfg(1)).unwrap();
+        let c = r.cache.expect("runner attaches a cache");
+        // Each oracle query performs exactly one cache lookup: the
+        // tracker's queries plus the final best-metrics refresh.
+        assert_eq!(c.hits + c.misses, r.evaluations + 1);
+        // Every miss is a real solve; every hit is not.
+        assert_eq!(r.simulations, c.misses);
+        // The final best-metrics refresh at minimum is served from cache
+        // (the best placement was simulated when the tracker recorded it).
+        assert!(c.hits > 0, "{c}");
+        assert!(r.simulations <= r.evaluations);
+    }
+
+    #[test]
+    fn sequential_baseline_is_fully_cached() {
+        let r = run_baseline(&task(), Baseline::Sequential).unwrap();
+        // The sequential baseline *is* the initial placement, so its
+        // evaluation is a cache hit: zero extra simulations.
+        assert_eq!(r.evaluations, 0);
+        assert_eq!(r.simulations, 1, "only the setup's initial solve");
+        assert_eq!(r.cache.unwrap().hits, 1);
     }
 
     #[test]
@@ -466,9 +514,7 @@ mod tests {
             )
             .unwrap()
             .best_cost;
-            rnd_total += run_random(&t, &SaConfig { seed, ..sa }, None)
-                .unwrap()
-                .best_cost;
+            rnd_total += run_random(&t, &SaConfig { seed, ..sa }, None).unwrap().best_cost;
         }
         assert!(
             rl_total <= rnd_total * 1.5,

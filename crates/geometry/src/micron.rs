@@ -190,19 +190,13 @@ impl GridSpec {
 
     /// Physical die extent.
     pub fn die_size_um(&self) -> (Micron, Micron) {
-        (
-            self.pitch_x * f64::from(self.cols),
-            self.pitch_y * f64::from(self.rows),
-        )
+        (self.pitch_x * f64::from(self.cols), self.pitch_y * f64::from(self.rows))
     }
 
     /// Physical location of the center of cell `p` (the cell at the origin
     /// has its center at half a pitch).
     pub fn cell_center_um(&self, p: GridPoint) -> (Micron, Micron) {
-        (
-            self.pitch_x * (f64::from(p.x) + 0.5),
-            self.pitch_y * (f64::from(p.y) + 0.5),
-        )
+        (self.pitch_x * (f64::from(p.x) + 0.5), self.pitch_y * (f64::from(p.y) + 0.5))
     }
 
     /// Cell center in normalized die coordinates `[0, 1]²` (cells inside the
@@ -236,11 +230,7 @@ impl Default for GridSpec {
 
 impl fmt::Display for GridSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}x{} grid @ {} x {}",
-            self.cols, self.rows, self.pitch_x, self.pitch_y
-        )
+        write!(f, "{}x{} grid @ {} x {}", self.cols, self.rows, self.pitch_x, self.pitch_y)
     }
 }
 

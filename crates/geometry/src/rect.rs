@@ -190,7 +190,11 @@ impl GridRect {
     pub fn cells(&self) -> Cells {
         Cells {
             rect: *self,
-            next: if self.is_empty() { None } else { Some(self.min) },
+            next: if self.is_empty() {
+                None
+            } else {
+                Some(self.min)
+            },
         }
     }
 }
@@ -217,7 +221,11 @@ impl Iterator for Cells {
         if nxt.x >= self.rect.max.x {
             nxt = GridPoint::new(self.rect.min.x, cur.y + 1);
         }
-        self.next = if nxt.y >= self.rect.max.y { None } else { Some(nxt) };
+        self.next = if nxt.y >= self.rect.max.y {
+            None
+        } else {
+            Some(nxt)
+        };
         Some(cur)
     }
 

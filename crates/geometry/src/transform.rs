@@ -119,12 +119,14 @@ impl Transform {
             (MirrorX { axis2: a }, MirrorX { axis2: b }) if a == b => Identity,
             (MirrorY { axis2: a }, MirrorX { axis2: b })
             | (MirrorX { axis2: b }, MirrorY { axis2: a }) => Rotate180 { cx2: a, cy2: b },
-            (Rotate180 { cx2, cy2 }, MirrorY { axis2 }) | (MirrorY { axis2 }, Rotate180 { cx2, cy2 })
+            (Rotate180 { cx2, cy2 }, MirrorY { axis2 })
+            | (MirrorY { axis2 }, Rotate180 { cx2, cy2 })
                 if cx2 == axis2 =>
             {
                 MirrorX { axis2: cy2 }
             }
-            (Rotate180 { cx2, cy2 }, MirrorX { axis2 }) | (MirrorX { axis2 }, Rotate180 { cx2, cy2 })
+            (Rotate180 { cx2, cy2 }, MirrorX { axis2 })
+            | (MirrorX { axis2 }, Rotate180 { cx2, cy2 })
                 if cy2 == axis2 =>
             {
                 MirrorY { axis2: cx2 }

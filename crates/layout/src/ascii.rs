@@ -63,12 +63,9 @@ mod tests {
 
     #[test]
     fn dummies_render_as_hash() {
-        let mut env =
-            LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
+        let mut env = LayoutEnv::sequential(circuits::fig2_example(), GridSpec::square(8)).unwrap();
         let mut placement = env.placement().clone();
-        placement
-            .set_dummies(vec![breaksym_geometry::GridPoint::new(7, 7)])
-            .unwrap();
+        placement.set_dummies(vec![breaksym_geometry::GridPoint::new(7, 7)]).unwrap();
         env.set_placement(placement).unwrap();
         assert!(env.render_ascii().contains('#'));
     }

@@ -46,6 +46,13 @@ pub struct LayoutEnv {
     placement: Placement,
     /// Cached `group → units` index (groups and units are immutable).
     group_units: Vec<Vec<UnitId>>,
+    /// Monotonic mutation counter; bumped by every successful
+    /// [`apply`](LayoutEnv::apply), [`undo`](LayoutEnv::undo), and
+    /// [`set_placement`](LayoutEnv::set_placement).
+    version: u64,
+    /// Per-unit copy of `version` at the unit's last move — the dirty-unit
+    /// index incremental evaluators diff against.
+    unit_versions: Vec<u64>,
 }
 
 impl LayoutEnv {
@@ -60,11 +67,10 @@ impl LayoutEnv {
         spec: GridSpec,
         placement: Placement,
     ) -> Result<Self, LayoutError> {
-        let group_units: Vec<Vec<UnitId>> = circuit
-            .group_ids()
-            .map(|g| circuit.units_of_group(g))
-            .collect();
-        let env = LayoutEnv { circuit, spec, placement, group_units };
+        let group_units: Vec<Vec<UnitId>> =
+            circuit.group_ids().map(|g| circuit.units_of_group(g)).collect();
+        let unit_versions = vec![0; circuit.num_units()];
+        let env = LayoutEnv { circuit, spec, placement, group_units, version: 0, unit_versions };
         env.validate()?;
         Ok(env)
     }
@@ -98,10 +104,7 @@ impl LayoutEnv {
     ) -> Result<Self, LayoutError> {
         let needed = circuit.num_units() as u64;
         if needed > spec.bounds().area() {
-            return Err(LayoutError::GridTooSmall {
-                capacity: spec.bounds().area(),
-                needed,
-            });
+            return Err(LayoutError::GridTooSmall { capacity: spec.bounds().area(), needed });
         }
         let mut positions = vec![GridPoint::ORIGIN; circuit.num_units()];
         // Shelf packer: groups go left→right, a new shelf starts when the
@@ -120,17 +123,13 @@ impl LayoutEnv {
                 shelf_h = 0;
             }
             if cursor_x + w > spec.cols() || shelf_y + h > spec.rows() {
-                return Err(LayoutError::GridTooSmall {
-                    capacity: spec.bounds().area(),
-                    needed,
-                });
+                return Err(LayoutError::GridTooSmall { capacity: spec.bounds().area(), needed });
             }
             // Row-major fill keeps the block 4-connected even when the last
             // row is partial.
             for (k, &u) in units.iter().enumerate() {
                 let k = k as i32;
-                positions[u.index()] =
-                    GridPoint::new(cursor_x + k % w, shelf_y + k / w);
+                positions[u.index()] = GridPoint::new(cursor_x + k % w, shelf_y + k / w);
             }
             cursor_x += w + 1; // one vacant column between groups
             shelf_h = shelf_h.max(h);
@@ -165,7 +164,53 @@ impl LayoutEnv {
             self.placement = old;
             return Err(e);
         }
+        // Wholesale replacement dirties every unit.
+        self.version += 1;
+        let v = self.version;
+        self.unit_versions.fill(v);
         Ok(())
+    }
+
+    /// The placement's incrementally maintained Zobrist fingerprint — see
+    /// [`Placement::fingerprint`]. Suitable as a memoization key for
+    /// anything that depends only on the placement (LDE shifts, parasitics,
+    /// simulated metrics) of a fixed circuit on a fixed grid.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.placement.fingerprint()
+    }
+
+    /// Monotonic mutation counter for *this environment instance*. Bumped
+    /// once per successful [`apply`](LayoutEnv::apply),
+    /// [`undo`](LayoutEnv::undo), or
+    /// [`set_placement`](LayoutEnv::set_placement).
+    ///
+    /// Versions are only comparable within one instance: a [`Clone`]
+    /// inherits the current counters but evolves independently afterwards.
+    /// Consumers that may observe *different* env instances (or clones)
+    /// should key on [`fingerprint`](LayoutEnv::fingerprint) / unit
+    /// positions instead.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The value of [`version`](LayoutEnv::version) when `unit` last moved
+    /// (0 if it has not moved since construction).
+    #[inline]
+    pub fn unit_version(&self, unit: UnitId) -> u64 {
+        self.unit_versions[unit.index()]
+    }
+
+    /// Units that have moved strictly after `since` (a value previously
+    /// obtained from [`version`](LayoutEnv::version)) — the dirty set an
+    /// incremental evaluator needs to refresh.
+    pub fn units_dirty_since(&self, since: u64) -> impl Iterator<Item = UnitId> + '_ {
+        self.unit_versions
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &v)| v > since)
+            .map(|(i, _)| UnitId::new(i as u32))
     }
 
     /// Units of a group, in device-major order (cached).
@@ -198,12 +243,9 @@ impl LayoutEnv {
             }
         }
         for (gi, units) in self.group_units.iter().enumerate() {
-            let cells: Vec<GridPoint> =
-                units.iter().map(|&u| self.placement.position(u)).collect();
+            let cells: Vec<GridPoint> = units.iter().map(|&u| self.placement.position(u)).collect();
             if !is_connected4(&cells) {
-                return Err(LayoutError::DisconnectsGroup {
-                    group: GroupId::new(gi as u32),
-                });
+                return Err(LayoutError::DisconnectsGroup { group: GroupId::new(gi as u32) });
             }
         }
         Ok(())
@@ -231,7 +273,13 @@ impl LayoutEnv {
                 let cells: Vec<GridPoint> = self
                     .units_of_group(g)
                     .iter()
-                    .map(|&u| if u == unit { target } else { self.placement.position(u) })
+                    .map(|&u| {
+                        if u == unit {
+                            target
+                        } else {
+                            self.placement.position(u)
+                        }
+                    })
                     .collect();
                 if !is_connected4(&cells) {
                     return Err(LayoutError::DisconnectsGroup { group: g });
@@ -299,29 +347,52 @@ impl LayoutEnv {
             .map(UnitId::new)
             .filter(|&other| {
                 other != unit
-                    && self
-                        .check(PlacementMove::Swap(SwapMove { a: unit, b: other }))
-                        .is_ok()
+                    && self.check(PlacementMove::Swap(SwapMove { a: unit, b: other })).is_ok()
             })
             .collect()
     }
 
     /// The legal subset of the eight unit moves (Fig. 2b).
     pub fn legal_unit_moves(&self, unit: UnitId) -> Vec<Direction> {
-        Direction::ALL
-            .into_iter()
-            .filter(|&dir| self.check(PlacementMove::Unit(UnitMove { unit, dir })).is_ok())
-            .collect()
+        let mut buf = [Direction::North; 8];
+        let n = self.legal_unit_moves_into(unit, &mut buf);
+        buf[..n].to_vec()
+    }
+
+    /// Allocation-free variant of [`legal_unit_moves`](Self::legal_unit_moves):
+    /// writes the legal directions into `out` (in [`Direction::ALL`] order,
+    /// identical to the `Vec` variant) and returns how many there are.
+    /// Hot-loop callers keep `out` on the stack and skip the per-query
+    /// `Vec` allocation.
+    pub fn legal_unit_moves_into(&self, unit: UnitId, out: &mut [Direction; 8]) -> usize {
+        let mut n = 0;
+        for dir in Direction::ALL {
+            if self.check(PlacementMove::Unit(UnitMove { unit, dir })).is_ok() {
+                out[n] = dir;
+                n += 1;
+            }
+        }
+        n
     }
 
     /// The legal subset of the eight group translations.
     pub fn legal_group_moves(&self, group: GroupId) -> Vec<Direction> {
-        Direction::ALL
-            .into_iter()
-            .filter(|&dir| {
-                self.check(PlacementMove::Group(GroupMove { group, dir })).is_ok()
-            })
-            .collect()
+        let mut buf = [Direction::North; 8];
+        let n = self.legal_group_moves_into(group, &mut buf);
+        buf[..n].to_vec()
+    }
+
+    /// Allocation-free variant of [`legal_group_moves`](Self::legal_group_moves);
+    /// same contract as [`legal_unit_moves_into`](Self::legal_unit_moves_into).
+    pub fn legal_group_moves_into(&self, group: GroupId, out: &mut [Direction; 8]) -> usize {
+        let mut n = 0;
+        for dir in Direction::ALL {
+            if self.check(PlacementMove::Group(GroupMove { group, dir })).is_ok() {
+                out[n] = dir;
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Applies a move after checking legality.
@@ -335,9 +406,7 @@ impl LayoutEnv {
         match mv {
             PlacementMove::Unit(UnitMove { unit, dir }) => {
                 let target = self.placement.position(unit) + dir.vector();
-                self.placement
-                    .move_unit(unit, target)
-                    .expect("checked vacant above");
+                self.placement.move_unit(unit, target).expect("checked vacant above");
             }
             PlacementMove::Group(GroupMove { group, dir }) => {
                 let units = self.group_units[group.index()].clone();
@@ -349,7 +418,28 @@ impl LayoutEnv {
                 self.placement.swap_units(a, b);
             }
         }
+        self.mark_moved(mv);
         Ok(AppliedMove { mv })
+    }
+
+    /// Records which units a just-executed move touched (dirty tracking).
+    fn mark_moved(&mut self, mv: PlacementMove) {
+        self.version += 1;
+        let v = self.version;
+        match mv {
+            PlacementMove::Unit(UnitMove { unit, .. }) => {
+                self.unit_versions[unit.index()] = v;
+            }
+            PlacementMove::Group(GroupMove { group, .. }) => {
+                for &u in &self.group_units[group.index()] {
+                    self.unit_versions[u.index()] = v;
+                }
+            }
+            PlacementMove::Swap(SwapMove { a, b }) => {
+                self.unit_versions[a.index()] = v;
+                self.unit_versions[b.index()] = v;
+            }
+        }
     }
 
     /// Reverts a move previously applied to this environment.
@@ -380,6 +470,9 @@ impl LayoutEnv {
                 self.placement.swap_units(a, b);
             }
         }
+        // Undo moves units too — it dirties exactly the cells the original
+        // move touched.
+        self.mark_moved(token.mv);
     }
 
     /// A hash of the complete placement — the state of a *flat* (single-
@@ -396,10 +489,7 @@ impl LayoutEnv {
     pub fn group_state_key(&self) -> u64 {
         let mut h = DefaultHasher::new();
         for units in &self.group_units {
-            let bb = self
-                .placement
-                .bounding_box_of(units)
-                .expect("groups are never empty");
+            let bb = self.placement.bounding_box_of(units).expect("groups are never empty");
             bb.min().hash(&mut h);
         }
         h.finish()
@@ -411,10 +501,7 @@ impl LayoutEnv {
     /// top-level group moves do not disturb the bottom-level tables.
     pub fn local_state_key(&self, group: GroupId) -> u64 {
         let units = &self.group_units[group.index()];
-        let bb = self
-            .placement
-            .bounding_box_of(units)
-            .expect("groups are never empty");
+        let bb = self.placement.bounding_box_of(units).expect("groups are never empty");
         let mut h = DefaultHasher::new();
         for &u in units {
             (self.placement.position(u) - bb.min()).hash(&mut h);
@@ -580,7 +667,9 @@ mod tests {
         // Three units of one device in a row; moving the middle one north
         // disconnects the remaining pair from it only if it ends diagonal…
         // Build a 1x3 row and try to tear the end unit away diagonally.
-        use breaksym_netlist::{CircuitBuilder, CircuitClass, GroupKind, MosParams, MosPolarity, NetKind};
+        use breaksym_netlist::{
+            CircuitBuilder, CircuitClass, GroupKind, MosParams, MosPolarity, NetKind,
+        };
         let mut b = CircuitBuilder::new("row", CircuitClass::Generic);
         let vss = b.net("vss", NetKind::Ground);
         let g = b.add_group("g", GroupKind::Custom).unwrap();
@@ -592,10 +681,8 @@ mod tests {
         // u0=(0,0) u1=(1,0) u2=(0,1). Moving u2 north leaves it diagonal? No:
         // u2 at (0,1) → (0,2): still adjacent to nothing? u0 at (0,0) is two
         // below → disconnected.
-        let err = env.check(PlacementMove::Unit(UnitMove {
-            unit: UnitId::new(2),
-            dir: Direction::North,
-        }));
+        let err = env
+            .check(PlacementMove::Unit(UnitMove { unit: UnitId::new(2), dir: Direction::North }));
         assert!(matches!(err, Err(LayoutError::DisconnectsGroup { .. })));
     }
 
@@ -607,11 +694,17 @@ mod tests {
         let legal = env.legal_unit_moves(corner);
         assert!(legal.len() < 8, "corner unit cannot have all 8 moves");
         for d in &legal {
-            assert!(!matches!(
-                d,
-                Direction::West | Direction::South | Direction::SouthWest
-                | Direction::NorthWest | Direction::SouthEast
-            ), "{d} would leave the grid from the corner");
+            assert!(
+                !matches!(
+                    d,
+                    Direction::West
+                        | Direction::South
+                        | Direction::SouthWest
+                        | Direction::NorthWest
+                        | Direction::SouthEast
+                ),
+                "{d} would leave the grid from the corner"
+            );
         }
     }
 
@@ -622,6 +715,77 @@ mod tests {
         let bad = Placement::from_positions(vec![GridPoint::new(100, 100); 1]).unwrap();
         assert!(env.set_placement(bad).is_err());
         assert_eq!(env.placement(), &good, "failed set must roll back");
+    }
+
+    #[test]
+    fn fingerprint_follows_apply_and_undo() {
+        let mut env = fig2_env();
+        let fp0 = env.fingerprint();
+        let (unit, dirs) = (0..env.circuit().num_units() as u32)
+            .map(|i| (UnitId::new(i), env.legal_unit_moves(UnitId::new(i))))
+            .find(|(_, d)| !d.is_empty())
+            .expect("some unit must be movable");
+        let tok = env.apply(UnitMove { unit, dir: dirs[0] }.into()).unwrap();
+        assert_ne!(env.fingerprint(), fp0);
+        env.undo(tok);
+        assert_eq!(env.fingerprint(), fp0);
+        // The fingerprint agrees with a from-scratch recomputation.
+        let mut fresh = env.placement().clone();
+        fresh.rebuild_index();
+        assert_eq!(env.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn dirty_tracking_reports_exactly_the_moved_units() {
+        let mut env = fig2_env();
+        let v0 = env.version();
+        assert_eq!(env.units_dirty_since(v0).count(), 0);
+
+        let (unit, dirs) = (0..env.circuit().num_units() as u32)
+            .map(|i| (UnitId::new(i), env.legal_unit_moves(UnitId::new(i))))
+            .find(|(_, d)| !d.is_empty())
+            .expect("some unit must be movable");
+        let tok = env.apply(UnitMove { unit, dir: dirs[0] }.into()).unwrap();
+        assert!(env.version() > v0);
+        assert_eq!(env.units_dirty_since(v0).collect::<Vec<_>>(), vec![unit]);
+        assert_eq!(env.unit_version(unit), env.version());
+
+        // Undo dirties the same unit again relative to the post-apply mark.
+        let v1 = env.version();
+        env.undo(tok);
+        assert_eq!(env.units_dirty_since(v1).collect::<Vec<_>>(), vec![unit]);
+
+        // A group move dirties the whole group.
+        let g = GroupId::new(0);
+        let v2 = env.version();
+        let gdirs = env.legal_group_moves(g);
+        assert!(!gdirs.is_empty());
+        env.apply(GroupMove { group: g, dir: gdirs[0] }.into()).unwrap();
+        let dirty: Vec<UnitId> = env.units_dirty_since(v2).collect();
+        let mut expected = env.units_of_group(g).to_vec();
+        expected.sort_by_key(|u| u.index());
+        assert_eq!(dirty, expected, "dirty set is reported in unit-index order");
+
+        // set_placement dirties everything.
+        let v3 = env.version();
+        let p = env.placement().clone();
+        env.set_placement(p).unwrap();
+        assert_eq!(env.units_dirty_since(v3).count(), env.circuit().num_units());
+    }
+
+    #[test]
+    fn legal_moves_into_matches_vec_variant() {
+        let env = fig2_env();
+        let mut buf = [Direction::North; 8];
+        for u in 0..env.circuit().num_units() as u32 {
+            let unit = UnitId::new(u);
+            let n = env.legal_unit_moves_into(unit, &mut buf);
+            assert_eq!(&buf[..n], env.legal_unit_moves(unit).as_slice());
+        }
+        for g in env.circuit().group_ids() {
+            let n = env.legal_group_moves_into(g, &mut buf);
+            assert_eq!(&buf[..n], env.legal_group_moves(g).as_slice());
+        }
     }
 
     #[test]
@@ -650,7 +814,9 @@ mod tests {
     ///  ```                                row1 = .BB
     /// Swapping A's corner (1,1) with B's (2,0) keeps both connected.
     fn interlocked_env() -> LayoutEnv {
-        use breaksym_netlist::{CircuitBuilder, CircuitClass, GroupKind, MosParams, MosPolarity, NetKind};
+        use breaksym_netlist::{
+            CircuitBuilder, CircuitClass, GroupKind, MosParams, MosPolarity, NetKind,
+        };
         let mut b = CircuitBuilder::new("interlock", CircuitClass::Generic);
         let vss = b.net("vss", NetKind::Ground);
         let p = MosParams::nmos_default(1.0, 0.1);
@@ -711,14 +877,10 @@ mod tests {
         let a_units = env.units_of_group(breaksym_netlist::GroupId::new(0)).to_vec();
         let c_units = env.units_of_group(breaksym_netlist::GroupId::new(2)).to_vec();
         let mv = PlacementMove::Swap(SwapMove { a: a_units[0], b: c_units[3] });
-        assert!(matches!(
-            env.check(mv),
-            Err(LayoutError::DisconnectsGroup { .. })
-        ));
+        assert!(matches!(env.check(mv), Err(LayoutError::DisconnectsGroup { .. })));
         // legal_swaps only reports checked-legal partners.
         for partner in env.legal_swaps(a_units[0]) {
-            env.check(PlacementMove::Swap(SwapMove { a: a_units[0], b: partner }))
-                .unwrap();
+            env.check(PlacementMove::Swap(SwapMove { a: a_units[0], b: partner })).unwrap();
         }
     }
 

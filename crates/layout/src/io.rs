@@ -117,8 +117,7 @@ mod tests {
 
     #[test]
     fn comments_and_noise_are_ignored() {
-        let env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let mut text = String::from("# header\n; lone comment\nnonsense line\n");
         text.push_str(&write_placement(&env));
         text.push_str("# trailing\n");
@@ -128,8 +127,7 @@ mod tests {
 
     #[test]
     fn missing_units_are_rejected() {
-        let env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let text = write_placement(&env);
         // Drop one `unit` line.
         let partial: String = text
@@ -145,8 +143,7 @@ mod tests {
 
     #[test]
     fn overlapping_units_are_rejected_by_validation() {
-        let env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let text = write_placement(&env).replace("unit 1 1 0", "unit 1 0 0");
         assert!(parse_placement(env.circuit().clone(), &text).is_err());
     }

@@ -9,19 +9,44 @@ use breaksym_netlist::UnitId;
 
 use crate::LayoutError;
 
+/// SplitMix64 finaliser — a cheap, high-quality 64-bit mixer.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pseudo unit id used when hashing dummy fill cells into the fingerprint.
+const DUMMY_TOKEN: u64 = u32::MAX as u64;
+
+/// Zobrist hash of one `(occupant, cell)` pair. XOR-ing these over all
+/// occupied cells yields a placement fingerprint that is independent of
+/// iteration order and can be updated incrementally: moving a unit XORs
+/// out its old pair and XORs in the new one.
+#[inline]
+fn cell_hash(token: u64, p: GridPoint) -> u64 {
+    let packed = ((p.x as u32 as u64) << 32) | (p.y as u32 as u64);
+    splitmix64(packed ^ splitmix64(token ^ 0xA076_1D64_78BD_642F))
+}
+
 /// An assignment of every unit to a distinct grid cell, plus optional
 /// *dummy fill* cells that occupy space without belonging to any unit.
 ///
 /// `Placement` is pure data: it knows nothing about groups, bounds, or
 /// legality — that context lives in [`LayoutEnv`](crate::LayoutEnv). It
-/// maintains the forward map (`unit → cell`) and the reverse occupancy map
-/// (`cell → unit`) in lock-step.
+/// maintains the forward map (`unit → cell`), the reverse occupancy map
+/// (`cell → unit`), and a Zobrist [`fingerprint`](Placement::fingerprint)
+/// in lock-step.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Placement {
     positions: Vec<GridPoint>,
     #[serde(skip)]
     occupancy: HashMap<GridPoint, UnitId>,
     dummies: Vec<GridPoint>,
+    #[serde(skip)]
+    fingerprint: u64,
 }
 
 impl Placement {
@@ -32,12 +57,30 @@ impl Placement {
     /// Returns [`LayoutError::DuplicateCell`] when two units share a cell.
     pub fn from_positions(positions: Vec<GridPoint>) -> Result<Self, LayoutError> {
         let mut occupancy = HashMap::with_capacity(positions.len());
+        let mut fingerprint = 0u64;
         for (i, &p) in positions.iter().enumerate() {
             if occupancy.insert(p, UnitId::new(i as u32)).is_some() {
                 return Err(LayoutError::DuplicateCell { cell: p });
             }
+            fingerprint ^= cell_hash(u64::from(i as u32), p);
         }
-        Ok(Placement { positions, occupancy, dummies: Vec::new() })
+        Ok(Placement { positions, occupancy, dummies: Vec::new(), fingerprint })
+    }
+
+    /// A stable 64-bit Zobrist hash of the full placement state (unit
+    /// positions *and* dummy cells), maintained incrementally by every
+    /// mutator in `O(cells touched)`.
+    ///
+    /// Two placements of the same circuit on the same grid have equal
+    /// fingerprints iff every unit sits on the same cell and the dummy
+    /// *sets* coincide (dummy order is irrelevant — it has no physical
+    /// meaning). The hash is order-independent by construction, so the
+    /// path taken to reach a placement never matters. Collisions between
+    /// distinct placements are possible but need ≈ 2³² states to become
+    /// likely (birthday bound on 64 bits).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of placed units.
@@ -97,6 +140,8 @@ impl Placement {
         self.occupancy.remove(&from);
         self.occupancy.insert(to, unit);
         self.positions[unit.index()] = to;
+        let token = u64::from(unit.index() as u32);
+        self.fingerprint ^= cell_hash(token, from) ^ cell_hash(token, to);
         Ok(())
     }
 
@@ -128,9 +173,12 @@ impl Placement {
             self.occupancy.remove(&self.positions[u.index()]);
         }
         for &u in units {
-            let target = self.positions[u.index()] + dv;
+            let from = self.positions[u.index()];
+            let target = from + dv;
             self.positions[u.index()] = target;
             self.occupancy.insert(target, u);
+            let token = u64::from(u.index() as u32);
+            self.fingerprint ^= cell_hash(token, from) ^ cell_hash(token, target);
         }
         Ok(())
     }
@@ -146,6 +194,9 @@ impl Placement {
         self.positions[b.index()] = pa;
         self.occupancy.insert(pb, a);
         self.occupancy.insert(pa, b);
+        let (ta, tb) = (u64::from(a.index() as u32), u64::from(b.index() as u32));
+        self.fingerprint ^=
+            cell_hash(ta, pa) ^ cell_hash(ta, pb) ^ cell_hash(tb, pb) ^ cell_hash(tb, pa);
     }
 
     /// Replaces the dummy fill cells.
@@ -163,6 +214,12 @@ impl Placement {
             if !seen.insert(d) {
                 return Err(LayoutError::DuplicateCell { cell: d });
             }
+        }
+        for &d in &self.dummies {
+            self.fingerprint ^= cell_hash(DUMMY_TOKEN, d);
+        }
+        for &d in &dummies {
+            self.fingerprint ^= cell_hash(DUMMY_TOKEN, d);
         }
         self.dummies = dummies;
         Ok(())
@@ -202,8 +259,8 @@ impl Placement {
         Some((sx / n, sy / n))
     }
 
-    /// Rebuilds the reverse occupancy index. Needed after deserialisation
-    /// (the index is skipped by serde).
+    /// Rebuilds the reverse occupancy index and the fingerprint. Needed
+    /// after deserialisation (both are skipped by serde).
     pub fn rebuild_index(&mut self) {
         self.occupancy = self
             .positions
@@ -211,6 +268,14 @@ impl Placement {
             .enumerate()
             .map(|(i, &p)| (p, UnitId::new(i as u32)))
             .collect();
+        let mut fingerprint = 0u64;
+        for (i, &p) in self.positions.iter().enumerate() {
+            fingerprint ^= cell_hash(u64::from(i as u32), p);
+        }
+        for &d in &self.dummies {
+            fingerprint ^= cell_hash(DUMMY_TOKEN, d);
+        }
+        self.fingerprint = fingerprint;
     }
 }
 
@@ -299,12 +364,10 @@ mod tests {
         assert!(matches!(err, Err(LayoutError::Occupied { by: None, .. })));
         let bb = p.bounding_box().unwrap();
         assert_eq!(bb.height(), 3); // dummy at y=2 stretches the box
-        // Dummy on a unit is rejected.
+                                    // Dummy on a unit is rejected.
         assert!(p.set_dummies(vec![GridPoint::new(1, 0)]).is_err());
         // Duplicate dummies rejected.
-        assert!(p
-            .set_dummies(vec![GridPoint::new(5, 5), GridPoint::new(5, 5)])
-            .is_err());
+        assert!(p.set_dummies(vec![GridPoint::new(5, 5), GridPoint::new(5, 5)]).is_err());
     }
 
     #[test]
@@ -321,8 +384,76 @@ mod tests {
     fn rebuild_index_restores_reverse_map() {
         let mut p = three_in_a_row();
         p.occupancy.clear();
+        p.fingerprint = 0;
         p.rebuild_index();
         assert_eq!(p.unit_at(GridPoint::new(2, 0)), Some(UnitId::new(2)));
+        assert_eq!(p.fingerprint(), three_in_a_row().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_path_independent_and_reversible() {
+        let base = three_in_a_row();
+        let fp0 = base.fingerprint();
+        assert_ne!(fp0, 0, "three occupied cells should not hash to zero");
+
+        // Move away and back restores the fingerprint exactly.
+        let mut p = base.clone();
+        p.move_unit(UnitId::new(0), GridPoint::new(0, 3)).unwrap();
+        assert_ne!(p.fingerprint(), fp0);
+        p.move_unit(UnitId::new(0), GridPoint::new(0, 0)).unwrap();
+        assert_eq!(p.fingerprint(), fp0);
+
+        // Two different move sequences reaching the same placement agree.
+        let mut a = base.clone();
+        a.move_unit(UnitId::new(0), GridPoint::new(0, 1)).unwrap();
+        a.move_unit(UnitId::new(2), GridPoint::new(2, 1)).unwrap();
+        let mut b = base.clone();
+        b.move_unit(UnitId::new(2), GridPoint::new(5, 5)).unwrap();
+        b.move_unit(UnitId::new(0), GridPoint::new(0, 1)).unwrap();
+        b.move_unit(UnitId::new(2), GridPoint::new(2, 1)).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Identity matters: unit 0 on (1,0) + unit 1 on (0,0) is a
+        // different placement from the base even though the same set of
+        // cells is occupied.
+        let mut s = base.clone();
+        s.swap_units(UnitId::new(0), UnitId::new(1));
+        assert_ne!(s.fingerprint(), fp0);
+        s.swap_units(UnitId::new(0), UnitId::new(1));
+        assert_eq!(s.fingerprint(), fp0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_translations_and_dummies() {
+        let base = three_in_a_row();
+        let all = [UnitId::new(0), UnitId::new(1), UnitId::new(2)];
+
+        let mut p = base.clone();
+        p.translate_units(&all, GridVector::new(0, 2)).unwrap();
+        let mut q = base.clone();
+        for i in 0..3u32 {
+            q.move_unit(UnitId::new(i), GridPoint::new(i as i32, 2)).unwrap();
+        }
+        assert_eq!(p.fingerprint(), q.fingerprint());
+
+        // A failed (blocked) translation leaves the fingerprint untouched.
+        let mut r = base.clone();
+        let pair = [UnitId::new(0), UnitId::new(1)];
+        assert!(r.translate_units(&pair, GridVector::new(1, 0)).is_err());
+        assert_eq!(r.fingerprint(), base.fingerprint());
+
+        // Dummies participate: adding changes the hash, clearing restores,
+        // and dummy order is irrelevant.
+        let d1 = GridPoint::new(4, 0);
+        let d2 = GridPoint::new(4, 1);
+        let mut w = base.clone();
+        w.set_dummies(vec![d1, d2]).unwrap();
+        assert_ne!(w.fingerprint(), base.fingerprint());
+        let mut v = base.clone();
+        v.set_dummies(vec![d2, d1]).unwrap();
+        assert_eq!(w.fingerprint(), v.fingerprint());
+        w.set_dummies(Vec::new()).unwrap();
+        assert_eq!(w.fingerprint(), base.fingerprint());
     }
 
     proptest! {

@@ -108,11 +108,8 @@ impl PolyGradient {
     /// Splits into (affine, higher-order) parts. Used by the linearity
     /// ablation to dial non-linearity from 0 to full strength.
     pub fn split_linear(&self) -> (PolyGradient, PolyGradient) {
-        let (lin, nonlin): (Vec<PolyTerm>, Vec<PolyTerm>) = self
-            .terms
-            .iter()
-            .copied()
-            .partition(|t| u32::from(t.px) + u32::from(t.py) <= 1);
+        let (lin, nonlin): (Vec<PolyTerm>, Vec<PolyTerm>) =
+            self.terms.iter().copied().partition(|t| u32::from(t.px) + u32::from(t.py) <= 1);
         (PolyGradient { terms: lin }, PolyGradient { terms: nonlin })
     }
 
@@ -142,8 +139,7 @@ impl LdeField for PolyGradient {
 
     fn is_linear(&self) -> bool {
         self.terms.iter().all(|t| {
-            u32::from(t.px) + u32::from(t.py) <= 1
-                || (t.vth == 0.0 && t.mu == 0.0 && t.r == 0.0)
+            u32::from(t.px) + u32::from(t.py) <= 1 || (t.vth == 0.0 && t.mu == 0.0 && t.r == 0.0)
         })
     }
 }
@@ -260,8 +256,8 @@ impl Ripple {
 impl LdeField for Ripple {
     fn shift_at(&self, x: f64, y: f64) -> ParamShift {
         let tau = std::f64::consts::TAU;
-        let s = (tau * (self.kx * x + self.phase_x)).sin()
-            * (tau * (self.ky * y + self.phase_y)).sin();
+        let s =
+            (tau * (self.kx * x + self.phase_x)).sin() * (tau * (self.ky * y + self.phase_y)).sin();
         ParamShift::new(self.dvth * s, self.dmu * s, 0.0)
     }
 

@@ -1,0 +1,224 @@
+//! Incremental re-evaluation of an [`LdeModel`] against a mutating
+//! placement.
+//!
+//! The expensive part of an LDE evaluation is sampling the composite
+//! *field* (polynomial gradient, WPE, thermal, ripple) at each unit's die
+//! position. That sample is **pure in the unit's position** for a fixed
+//! grid, so when an optimizer moves one unit (or group) between
+//! evaluations, every other unit's field sample is still valid.
+//! [`LdeScratch`] caches those samples keyed by the position they were
+//! taken at and re-samples only units that actually moved.
+//!
+//! The occupancy-dependent neighbourhood (stress) term **cannot** be
+//! cached this way — a unit's exposure changes when its *neighbours* move,
+//! not just when it does — so it is recomputed fresh on every call. It is
+//! a cheap 8-cell lookup, not a field sample.
+//!
+//! The arithmetic is ordered exactly like the from-scratch path
+//! ([`LdeModel::all_device_shifts`]), so results are bit-for-bit
+//! identical — the equivalence property tests rely on this.
+
+use breaksym_layout::{GridPoint, GridSpec, LayoutEnv};
+use breaksym_netlist::{DeviceId, UnitId};
+
+use crate::{LdeModel, ParamShift};
+
+/// Reusable per-evaluator state for [`LdeModel::device_shifts_into`].
+///
+/// A scratch is bound to whatever `(grid spec, unit count)` it last saw and
+/// self-invalidates when either changes, so one scratch may be reused
+/// across environments — reuse only pays off when consecutive calls see
+/// nearly identical placements.
+#[derive(Debug, Clone, Default)]
+pub struct LdeScratch {
+    /// Grid the cached samples were taken on (`None` = never used).
+    spec: Option<GridSpec>,
+    /// Position each unit's cached field sample was taken at.
+    unit_pos: Vec<GridPoint>,
+    /// Cached field-only shift per unit (no neighbourhood term).
+    unit_field: Vec<ParamShift>,
+    /// Whether the corresponding `unit_field` entry is populated.
+    unit_valid: Vec<bool>,
+    /// Full per-unit shift (field + neighbourhood) for the current call.
+    unit_shift: Vec<ParamShift>,
+    /// Output buffer: per-device shifts, indexed by device id.
+    device_shifts: Vec<ParamShift>,
+    /// Number of field re-samples performed over the scratch's lifetime
+    /// (diagnostic; lets tests assert the incremental path actually skips
+    /// work).
+    resamples: u64,
+}
+
+impl LdeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of per-unit field samples computed so far. A fully
+    /// incremental workload grows this by the number of *moved* units per
+    /// call rather than by the unit count.
+    pub fn resamples(&self) -> u64 {
+        self.resamples
+    }
+
+    /// Drops all cached samples (next call recomputes everything).
+    pub fn invalidate(&mut self) {
+        self.spec = None;
+    }
+}
+
+impl LdeModel {
+    /// Incremental equivalent of [`LdeModel::all_device_shifts`]: computes
+    /// the shift of every device (indexed by device id, `ZERO` for
+    /// unplaceable sources) into `scratch`, re-sampling the position field
+    /// only for units whose position differs from the scratch's cached
+    /// sample.
+    ///
+    /// Returns the device-shift slice borrowed from the scratch. Results
+    /// are bit-for-bit identical to the from-scratch path for any scratch
+    /// state.
+    pub fn device_shifts_into<'a>(
+        &self,
+        env: &LayoutEnv,
+        scratch: &'a mut LdeScratch,
+    ) -> &'a [ParamShift] {
+        let n_units = env.circuit().num_units();
+        let spec = *env.spec();
+        if scratch.spec != Some(spec) || scratch.unit_pos.len() != n_units {
+            // New grid or new circuit shape: every cached sample is stale.
+            scratch.spec = Some(spec);
+            scratch.unit_pos.clear();
+            scratch.unit_pos.resize(n_units, GridPoint::ORIGIN);
+            scratch.unit_field.clear();
+            scratch.unit_field.resize(n_units, ParamShift::ZERO);
+            scratch.unit_valid.clear();
+            scratch.unit_valid.resize(n_units, false);
+        }
+        scratch.unit_shift.clear();
+        scratch.unit_shift.resize(n_units, ParamShift::ZERO);
+
+        let placement = env.placement();
+        for i in 0..n_units {
+            let unit = UnitId::new(i as u32);
+            let pos = placement.position(unit);
+            if !(scratch.unit_valid[i] && scratch.unit_pos[i] == pos) {
+                let (x, y) = spec.normalized(pos);
+                scratch.unit_field[i] = self.shift_at_norm(x, y);
+                scratch.unit_pos[i] = pos;
+                scratch.unit_valid[i] = true;
+                scratch.resamples += 1;
+            }
+            // Same accumulation order as `unit_shift`: field first, then
+            // the exposure term — keeps results bit-identical.
+            let mut s = scratch.unit_field[i];
+            if let Some(n) = self.neighborhood() {
+                let exposed =
+                    pos.neighbors8().into_iter().filter(|&q| placement.is_vacant(q)).count() as u32;
+                s += n.shift_for_exposure(exposed);
+            }
+            scratch.unit_shift[i] = s;
+        }
+
+        scratch.device_shifts.clear();
+        for di in 0..env.circuit().devices().len() as u32 {
+            let d = DeviceId::new(di);
+            if !env.circuit().device(d).kind.is_placeable() {
+                scratch.device_shifts.push(ParamShift::ZERO);
+                continue;
+            }
+            // Mirrors `device_shift`: fold from ZERO in unit order, then
+            // scale by the reciprocal count.
+            let mut sum = ParamShift::ZERO;
+            let mut count = 0usize;
+            for u in env.circuit().units_of_device(d) {
+                sum += scratch.unit_shift[u.index()];
+                count += 1;
+            }
+            let shift = if count == 0 {
+                ParamShift::ZERO
+            } else {
+                sum * (1.0 / count as f64)
+            };
+            scratch.device_shifts.push(shift);
+        }
+        &scratch.device_shifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_layout::UnitMove;
+    use breaksym_netlist::circuits;
+
+    fn env(side: i32) -> LayoutEnv {
+        LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(side)).unwrap()
+    }
+
+    fn bits(s: ParamShift) -> [u64; 3] {
+        [s.dvth_v.to_bits(), s.dmu_rel.to_bits(), s.dr_rel.to_bits()]
+    }
+
+    #[test]
+    fn incremental_matches_fresh_bit_for_bit() {
+        let mut e = env(16);
+        let m = LdeModel::nonlinear(1.0, 7);
+        let mut scratch = LdeScratch::new();
+        // Cold call, then a sequence of legal moves with warm calls.
+        for step in 0..20 {
+            let fresh = m.all_device_shifts(&e);
+            let inc = m.device_shifts_into(&e, &mut scratch).to_vec();
+            assert_eq!(fresh.len(), inc.len());
+            for (a, b) in fresh.iter().zip(&inc) {
+                assert_eq!(bits(*a), bits(*b), "mismatch at step {step}");
+            }
+            // Walk: move the first movable unit.
+            let mv = (0..e.circuit().num_units() as u32)
+                .map(|i| (UnitId::new(i), e.legal_unit_moves(UnitId::new(i))))
+                .find(|(_, d)| !d.is_empty())
+                .map(|(unit, d)| UnitMove { unit, dir: d[step % d.len()] });
+            if let Some(mv) = mv {
+                e.apply(mv.into()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn single_unit_move_resamples_one_unit() {
+        let mut e = env(16);
+        let m = LdeModel::nonlinear(1.0, 3);
+        let mut scratch = LdeScratch::new();
+        m.device_shifts_into(&e, &mut scratch);
+        let cold = scratch.resamples();
+        assert_eq!(cold, e.circuit().num_units() as u64);
+
+        let (unit, dirs) = (0..e.circuit().num_units() as u32)
+            .map(|i| (UnitId::new(i), e.legal_unit_moves(UnitId::new(i))))
+            .find(|(_, d)| !d.is_empty())
+            .unwrap();
+        e.apply(UnitMove { unit, dir: dirs[0] }.into()).unwrap();
+        m.device_shifts_into(&e, &mut scratch);
+        assert_eq!(scratch.resamples(), cold + 1, "only the moved unit re-samples");
+
+        // An unchanged placement re-samples nothing at all.
+        m.device_shifts_into(&e, &mut scratch);
+        assert_eq!(scratch.resamples(), cold + 1);
+    }
+
+    #[test]
+    fn scratch_self_invalidates_on_grid_change() {
+        let m = LdeModel::nonlinear(1.0, 5);
+        let mut scratch = LdeScratch::new();
+        let e16 = env(16);
+        let e18 = env(18);
+        m.device_shifts_into(&e16, &mut scratch);
+        // Same positions, different grid → normalized coordinates differ;
+        // the scratch must not serve 16-grid samples for the 18 grid.
+        let inc = m.device_shifts_into(&e18, &mut scratch).to_vec();
+        let fresh = m.all_device_shifts(&e18);
+        for (a, b) in fresh.iter().zip(&inc) {
+            assert_eq!(bits(*a), bits(*b));
+        }
+    }
+}

@@ -40,6 +40,7 @@
 
 mod atlas;
 mod fields;
+mod incremental;
 mod model;
 mod shift;
 
@@ -47,5 +48,6 @@ pub use atlas::{Atlas, Component};
 pub use fields::{
     LdeField, NeighborhoodLde, PolyGradient, PolyTerm, Ripple, ThermalHotspot, WellProximity,
 };
+pub use incremental::LdeScratch;
 pub use model::LdeModel;
 pub use shift::ParamShift;

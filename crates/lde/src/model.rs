@@ -97,9 +97,7 @@ impl LdeModel {
     pub fn nonlinear(strength: f64, seed: u64) -> Self {
         LdeModel {
             fields: vec![
-                FieldKind::Poly(
-                    PolyGradient::random(3, 12e-3, 0.05, seed).scaled(strength),
-                ),
+                FieldKind::Poly(PolyGradient::random(3, 12e-3, 0.05, seed).scaled(strength)),
                 FieldKind::Well(WellProximity {
                     dvth_edge: 8e-3 * strength,
                     ..WellProximity::typical()
@@ -184,6 +182,11 @@ impl LdeModel {
         self
     }
 
+    /// The neighbourhood (stress) term, if enabled.
+    pub fn neighborhood(&self) -> Option<&NeighborhoodLde> {
+        self.neighborhood.as_ref()
+    }
+
     /// Whether every component of the model is affine in die position.
     /// (The neighbourhood term is occupancy-dependent, hence non-linear.)
     pub fn is_linear(&self) -> bool {
@@ -203,11 +206,9 @@ impl LdeModel {
         let (x, y) = env.spec().normalized(pos);
         let mut s = self.shift_at_norm(x, y);
         if let Some(n) = &self.neighborhood {
-            let exposed = pos
-                .neighbors8()
-                .into_iter()
-                .filter(|&q| env.placement().is_vacant(q))
-                .count() as u32;
+            let exposed =
+                pos.neighbors8().into_iter().filter(|&q| env.placement().is_vacant(q)).count()
+                    as u32;
             s += n.shift_for_exposure(exposed);
         }
         s
@@ -293,10 +294,7 @@ mod tests {
         let m = LdeModel::nonlinear(1.0, 3);
         let d = e.circuit().find_device("M00").unwrap();
         let units: Vec<UnitId> = e.circuit().units_of_device(d).collect();
-        let mean: ParamShift = units
-            .iter()
-            .map(|&u| m.unit_shift(&e, u))
-            .sum::<ParamShift>()
+        let mean: ParamShift = units.iter().map(|&u| m.unit_shift(&e, u)).sum::<ParamShift>()
             * (1.0 / units.len() as f64);
         let ds = m.device_shift(&e, d);
         assert!((ds.dvth_v - mean.dvth_v).abs() < 1e-15);
@@ -308,11 +306,8 @@ mod tests {
         // Use the CM benchmark: its 12-unit mirror group packs as a 4x3
         // block with fully-surrounded interior units, while corner units
         // keep 5 exposed sides.
-        let e = LayoutEnv::sequential(
-            circuits::current_mirror_medium(),
-            GridSpec::square(16),
-        )
-        .unwrap();
+        let e =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
         let m = LdeModel::none().with_neighborhood(Some(NeighborhoodLde::typical()));
         let shifts: Vec<f64> = (0..e.circuit().num_units() as u32)
             .map(|i| m.unit_shift(&e, UnitId::new(i)).dmu_rel)

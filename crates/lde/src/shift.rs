@@ -34,8 +34,7 @@ impl ParamShift {
     /// diagnostics (volts and relative units are mixed deliberately —
     /// this is not a physical quantity).
     pub fn magnitude(&self) -> f64 {
-        (self.dvth_v * self.dvth_v + self.dmu_rel * self.dmu_rel + self.dr_rel * self.dr_rel)
-            .sqrt()
+        (self.dvth_v * self.dvth_v + self.dmu_rel * self.dmu_rel + self.dr_rel * self.dr_rel).sqrt()
     }
 }
 
@@ -62,11 +61,7 @@ impl Mul<f64> for ParamShift {
     type Output = ParamShift;
     #[inline]
     fn mul(self, k: f64) -> ParamShift {
-        ParamShift {
-            dvth_v: self.dvth_v * k,
-            dmu_rel: self.dmu_rel * k,
-            dr_rel: self.dr_rel * k,
-        }
+        ParamShift { dvth_v: self.dvth_v * k, dmu_rel: self.dmu_rel * k, dr_rel: self.dr_rel * k }
     }
 }
 

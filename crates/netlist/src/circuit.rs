@@ -245,10 +245,7 @@ impl Circuit {
 
     /// Finds a net id by name.
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.nets
-            .iter()
-            .position(|n| n.name == name)
-            .map(|i| NetId::new(i as u32))
+        self.nets.iter().position(|n| n.name == name).map(|i| NetId::new(i as u32))
     }
 
     /// Finds a device id by instance name.
@@ -261,10 +258,7 @@ impl Circuit {
 
     /// Finds a group id by name.
     pub fn find_group(&self, name: &str) -> Option<GroupId> {
-        self.groups
-            .iter()
-            .position(|g| g.name == name)
-            .map(|i| GroupId::new(i as u32))
+        self.groups.iter().position(|g| g.name == name).map(|i| GroupId::new(i as u32))
     }
 
     /// Ids of all groups.
@@ -398,10 +392,7 @@ impl CircuitBuilder {
                 return Err(NetlistError::Ungrouped { device: dev.name });
             };
             if g.index() >= self.groups.len() {
-                return Err(NetlistError::UnknownName {
-                    kind: "group",
-                    name: format!("{g}"),
-                });
+                return Err(NetlistError::UnknownName { kind: "group", name: format!("{g}") });
             }
         }
         for &pin in &dev.pins {
@@ -572,7 +563,10 @@ impl CircuitBuilder {
     pub fn build(self) -> Result<Circuit, NetlistError> {
         for g in &self.groups {
             if g.devices.is_empty() {
-                return Err(NetlistError::UnknownName { kind: "group devices", name: g.name.clone() });
+                return Err(NetlistError::UnknownName {
+                    kind: "group devices",
+                    name: g.name.clone(),
+                });
             }
         }
         let mut units = Vec::new();

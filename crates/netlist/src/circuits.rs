@@ -49,30 +49,10 @@ pub fn current_mirror_medium() -> Circuit {
     for k in 0..3u8 {
         let nmid = b.net(&format!("nmid{k}"), NetKind::Signal);
         let nout = b.net(&format!("iout{k}"), NetKind::Signal);
-        b.add_mos(
-            &format!("MOUT{k}"),
-            MosPolarity::Nmos,
-            pm,
-            3,
-            g_mirror,
-            nmid,
-            nref,
-            vss,
-            vss,
-        )
-        .expect("valid");
-        b.add_mos(
-            &format!("MCOUT{k}"),
-            MosPolarity::Nmos,
-            pc,
-            2,
-            g_cas,
-            nout,
-            ncasb,
-            nmid,
-            vss,
-        )
-        .expect("valid");
+        b.add_mos(&format!("MOUT{k}"), MosPolarity::Nmos, pm, 3, g_mirror, nmid, nref, vss, vss)
+            .expect("valid");
+        b.add_mos(&format!("MCOUT{k}"), MosPolarity::Nmos, pc, 2, g_cas, nout, ncasb, nmid, vss)
+            .expect("valid");
         b.bind_port(PortRole::Iout(k), nout);
     }
 
@@ -121,20 +101,31 @@ pub fn comparator() -> Circuit {
     let pcp = MosParams::pmos_default(2.5, 0.15);
     let psw = MosParams::pmos_default(1.0, 0.1);
 
-    b.add_mos("MTAIL", MosPolarity::Nmos, pt, 4, g_tail, tail, clk, vss, vss).expect("valid");
-    b.add_mos("MINP", MosPolarity::Nmos, pin, 4, g_in, xp, inp, tail, vss).expect("valid");
-    b.add_mos("MINN", MosPolarity::Nmos, pin, 4, g_in, xn, inn, tail, vss).expect("valid");
+    b.add_mos("MTAIL", MosPolarity::Nmos, pt, 4, g_tail, tail, clk, vss, vss)
+        .expect("valid");
+    b.add_mos("MINP", MosPolarity::Nmos, pin, 4, g_in, xp, inp, tail, vss)
+        .expect("valid");
+    b.add_mos("MINN", MosPolarity::Nmos, pin, 4, g_in, xn, inn, tail, vss)
+        .expect("valid");
     // NMOS latch pair: gates cross-coupled to the opposite outputs.
-    b.add_mos("MLN1", MosPolarity::Nmos, pcn, 2, g_ccn, outp, outn, xp, vss).expect("valid");
-    b.add_mos("MLN2", MosPolarity::Nmos, pcn, 2, g_ccn, outn, outp, xn, vss).expect("valid");
+    b.add_mos("MLN1", MosPolarity::Nmos, pcn, 2, g_ccn, outp, outn, xp, vss)
+        .expect("valid");
+    b.add_mos("MLN2", MosPolarity::Nmos, pcn, 2, g_ccn, outn, outp, xn, vss)
+        .expect("valid");
     // PMOS latch pair.
-    b.add_mos("MLP1", MosPolarity::Pmos, pcp, 2, g_ccp, outp, outn, vdd, vdd).expect("valid");
-    b.add_mos("MLP2", MosPolarity::Pmos, pcp, 2, g_ccp, outn, outp, vdd, vdd).expect("valid");
+    b.add_mos("MLP1", MosPolarity::Pmos, pcp, 2, g_ccp, outp, outn, vdd, vdd)
+        .expect("valid");
+    b.add_mos("MLP2", MosPolarity::Pmos, pcp, 2, g_ccp, outn, outp, vdd, vdd)
+        .expect("valid");
     // Precharge switches on the four internal nodes.
-    b.add_mos("MS1", MosPolarity::Pmos, psw, 1, g_sw, outp, clk, vdd, vdd).expect("valid");
-    b.add_mos("MS2", MosPolarity::Pmos, psw, 1, g_sw, outn, clk, vdd, vdd).expect("valid");
-    b.add_mos("MS3", MosPolarity::Pmos, psw, 1, g_sw, xp, clk, vdd, vdd).expect("valid");
-    b.add_mos("MS4", MosPolarity::Pmos, psw, 1, g_sw, xn, clk, vdd, vdd).expect("valid");
+    b.add_mos("MS1", MosPolarity::Pmos, psw, 1, g_sw, outp, clk, vdd, vdd)
+        .expect("valid");
+    b.add_mos("MS2", MosPolarity::Pmos, psw, 1, g_sw, outn, clk, vdd, vdd)
+        .expect("valid");
+    b.add_mos("MS3", MosPolarity::Pmos, psw, 1, g_sw, xp, clk, vdd, vdd)
+        .expect("valid");
+    b.add_mos("MS4", MosPolarity::Pmos, psw, 1, g_sw, xn, clk, vdd, vdd)
+        .expect("valid");
 
     b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
     b.add_vsource("VCM", 0.55, inp, vss).expect("valid");
@@ -186,25 +177,36 @@ pub fn folded_cascode_ota() -> Circuit {
     let p_pmir = MosParams::pmos_default(3.0, 0.4);
 
     // PMOS input pair (sources at the tail node).
-    b.add_mos("M1", MosPolarity::Pmos, p_in, 4, g_in, fp, inp, tail, vdd).expect("valid");
-    b.add_mos("M2", MosPolarity::Pmos, p_in, 4, g_in, fn_, inn, tail, vdd).expect("valid");
+    b.add_mos("M1", MosPolarity::Pmos, p_in, 4, g_in, fp, inp, tail, vdd)
+        .expect("valid");
+    b.add_mos("M2", MosPolarity::Pmos, p_in, 4, g_in, fn_, inn, tail, vdd)
+        .expect("valid");
     // Tail current source.
-    b.add_mos("M0", MosPolarity::Pmos, p_tail, 4, g_tail, tail, nbt, vdd, vdd).expect("valid");
+    b.add_mos("M0", MosPolarity::Pmos, p_tail, 4, g_tail, tail, nbt, vdd, vdd)
+        .expect("valid");
     // NMOS bottom mirror (sinks the fold-node currents).
-    b.add_mos("M5", MosPolarity::Nmos, p_nmir, 3, g_nmir, fp, nbn, vss, vss).expect("valid");
-    b.add_mos("M6", MosPolarity::Nmos, p_nmir, 3, g_nmir, fn_, nbn, vss, vss).expect("valid");
+    b.add_mos("M5", MosPolarity::Nmos, p_nmir, 3, g_nmir, fp, nbn, vss, vss)
+        .expect("valid");
+    b.add_mos("M6", MosPolarity::Nmos, p_nmir, 3, g_nmir, fn_, nbn, vss, vss)
+        .expect("valid");
     // NMOS cascodes from the fold nodes up.
-    b.add_mos("M3", MosPolarity::Nmos, p_ncas, 2, g_ncas, casc, nbn, fp, vss).expect("valid");
-    b.add_mos("M4", MosPolarity::Nmos, p_ncas, 2, g_ncas, out, nbn, fn_, vss).expect("valid");
+    b.add_mos("M3", MosPolarity::Nmos, p_ncas, 2, g_ncas, casc, nbn, fp, vss)
+        .expect("valid");
+    b.add_mos("M4", MosPolarity::Nmos, p_ncas, 2, g_ncas, out, nbn, fn_, vss)
+        .expect("valid");
     // PMOS top mirror, cascode-diode connected: the mirror gate ties to the
     // casc node *below* the cascodes, so the stack self-biases.
     let ptop_p = b.net("nptop_p", NetKind::Signal);
     let ptop_n = b.net("nptop_n", NetKind::Signal);
-    b.add_mos("M9", MosPolarity::Pmos, p_pmir, 3, g_pmir, ptop_p, casc, vdd, vdd).expect("valid");
-    b.add_mos("M10", MosPolarity::Pmos, p_pmir, 3, g_pmir, ptop_n, casc, vdd, vdd).expect("valid");
+    b.add_mos("M9", MosPolarity::Pmos, p_pmir, 3, g_pmir, ptop_p, casc, vdd, vdd)
+        .expect("valid");
+    b.add_mos("M10", MosPolarity::Pmos, p_pmir, 3, g_pmir, ptop_n, casc, vdd, vdd)
+        .expect("valid");
     // PMOS cascodes stacked under the mirror, biased by nbp.
-    b.add_mos("M7", MosPolarity::Pmos, p_pcas, 2, g_pcas, casc, nbp, ptop_p, vdd).expect("valid");
-    b.add_mos("M8", MosPolarity::Pmos, p_pcas, 2, g_pcas, out, nbp, ptop_n, vdd).expect("valid");
+    b.add_mos("M7", MosPolarity::Pmos, p_pcas, 2, g_pcas, casc, nbp, ptop_p, vdd)
+        .expect("valid");
+    b.add_mos("M8", MosPolarity::Pmos, p_pcas, 2, g_pcas, out, nbp, ptop_n, vdd)
+        .expect("valid");
 
     b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
     b.add_vsource("VBT", VDD - 0.6, nbt, vss).expect("valid");
@@ -244,11 +246,16 @@ pub fn five_transistor_ota() -> Circuit {
     let p_ld = MosParams::pmos_default(3.0, 0.3);
     let p_t = MosParams::nmos_default(3.0, 0.4);
 
-    b.add_mos("M1", MosPolarity::Nmos, p_in, 2, g_in, x, inp, tail, vss).expect("valid");
-    b.add_mos("M2", MosPolarity::Nmos, p_in, 2, g_in, out, inn, tail, vss).expect("valid");
-    b.add_mos("M3", MosPolarity::Pmos, p_ld, 2, g_ld, x, x, vdd, vdd).expect("valid");
-    b.add_mos("M4", MosPolarity::Pmos, p_ld, 2, g_ld, out, x, vdd, vdd).expect("valid");
-    b.add_mos("M5", MosPolarity::Nmos, p_t, 2, g_tail, tail, nbt, vss, vss).expect("valid");
+    b.add_mos("M1", MosPolarity::Nmos, p_in, 2, g_in, x, inp, tail, vss)
+        .expect("valid");
+    b.add_mos("M2", MosPolarity::Nmos, p_in, 2, g_in, out, inn, tail, vss)
+        .expect("valid");
+    b.add_mos("M3", MosPolarity::Pmos, p_ld, 2, g_ld, x, x, vdd, vdd)
+        .expect("valid");
+    b.add_mos("M4", MosPolarity::Pmos, p_ld, 2, g_ld, out, x, vdd, vdd)
+        .expect("valid");
+    b.add_mos("M5", MosPolarity::Nmos, p_t, 2, g_tail, tail, nbt, vss, vss)
+        .expect("valid");
 
     b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
     b.add_vsource("VBT", 0.6, nbt, vss).expect("valid");
@@ -294,13 +301,20 @@ pub fn two_stage_miller() -> Circuit {
     // the second-stage current is twice the per-branch first-stage one.
     let p_o = MosParams::pmos_default(7.76, 0.3);
 
-    b.add_mos("M1", MosPolarity::Nmos, p_in, 3, g_in, x, inp, tail, vss).expect("valid");
-    b.add_mos("M2", MosPolarity::Nmos, p_in, 3, g_in, y, inn, tail, vss).expect("valid");
-    b.add_mos("M3", MosPolarity::Pmos, p_ld, 2, g_ld, x, x, vdd, vdd).expect("valid");
-    b.add_mos("M4", MosPolarity::Pmos, p_ld, 2, g_ld, y, x, vdd, vdd).expect("valid");
-    b.add_mos("M5", MosPolarity::Nmos, p_t, 2, g_tail, tail, nbias, vss, vss).expect("valid");
-    b.add_mos("M6", MosPolarity::Pmos, p_o, 3, g_out, out, y, vdd, vdd).expect("valid");
-    b.add_mos("M7", MosPolarity::Nmos, p_t, 2, g_tail, out, nbias, vss, vss).expect("valid");
+    b.add_mos("M1", MosPolarity::Nmos, p_in, 3, g_in, x, inp, tail, vss)
+        .expect("valid");
+    b.add_mos("M2", MosPolarity::Nmos, p_in, 3, g_in, y, inn, tail, vss)
+        .expect("valid");
+    b.add_mos("M3", MosPolarity::Pmos, p_ld, 2, g_ld, x, x, vdd, vdd)
+        .expect("valid");
+    b.add_mos("M4", MosPolarity::Pmos, p_ld, 2, g_ld, y, x, vdd, vdd)
+        .expect("valid");
+    b.add_mos("M5", MosPolarity::Nmos, p_t, 2, g_tail, tail, nbias, vss, vss)
+        .expect("valid");
+    b.add_mos("M6", MosPolarity::Pmos, p_o, 3, g_out, out, y, vdd, vdd)
+        .expect("valid");
+    b.add_mos("M7", MosPolarity::Nmos, p_t, 2, g_tail, out, nbias, vss, vss)
+        .expect("valid");
     // Matched Miller caps (split in two for common-centroid-able layout).
     b.add_capacitor("CC1", 150e-15, 1, g_comp, y, out).expect("valid");
     b.add_capacitor("CC2", 150e-15, 1, g_comp, y, out).expect("valid");
@@ -334,13 +348,21 @@ pub fn resistor_string(half: u32) -> Circuit {
 
     let mut prev = vdd;
     for i in 0..half {
-        let next = if i == half - 1 { tap } else { b.net(&format!("nu{i}"), NetKind::Signal) };
+        let next = if i == half - 1 {
+            tap
+        } else {
+            b.net(&format!("nu{i}"), NetKind::Signal)
+        };
         b.add_resistor(&format!("RU{i}"), 5e3, 2, g, prev, next).expect("valid");
         prev = next;
     }
     let mut prev = tap;
     for i in 0..half {
-        let next = if i == half - 1 { vss } else { b.net(&format!("nl{i}"), NetKind::Signal) };
+        let next = if i == half - 1 {
+            vss
+        } else {
+            b.net(&format!("nl{i}"), NetKind::Signal)
+        };
         b.add_resistor(&format!("RL{i}"), 5e3, 2, g, prev, next).expect("valid");
         prev = next;
     }
@@ -367,8 +389,10 @@ pub fn diff_pair() -> Circuit {
     let g_r = b.add_group("g_load", GroupKind::Passive).expect("fresh name");
 
     let p_in = MosParams::nmos_default(2.0, 0.2);
-    b.add_mos("M1", MosPolarity::Nmos, p_in, 2, g_in, outp, inp, tail, vss).expect("valid");
-    b.add_mos("M2", MosPolarity::Nmos, p_in, 2, g_in, outn, inn, tail, vss).expect("valid");
+    b.add_mos("M1", MosPolarity::Nmos, p_in, 2, g_in, outp, inp, tail, vss)
+        .expect("valid");
+    b.add_mos("M2", MosPolarity::Nmos, p_in, 2, g_in, outn, inn, tail, vss)
+        .expect("valid");
     b.add_resistor("R1", 10e3, 1, g_r, vdd, outp).expect("valid");
     b.add_resistor("R2", 10e3, 1, g_r, vdd, outn).expect("valid");
     b.add_isource("ITAIL", 100e-6, tail, vss).expect("valid");
@@ -391,23 +415,11 @@ pub fn fig2_example() -> Circuit {
     let vss = b.net("vss", NetKind::Ground);
     let p = MosParams::nmos_default(1.0, 0.1);
     for gi in 0..3u32 {
-        let g = b
-            .add_group(&format!("g{}", gi + 1), GroupKind::Custom)
-            .expect("fresh name");
+        let g = b.add_group(&format!("g{}", gi + 1), GroupKind::Custom).expect("fresh name");
         for di in 0..2u32 {
             let n = b.net(&format!("n{gi}_{di}"), NetKind::Signal);
-            b.add_mos(
-                &format!("M{gi}{di}"),
-                MosPolarity::Nmos,
-                p,
-                2,
-                g,
-                n,
-                n,
-                vss,
-                vss,
-            )
-            .expect("valid");
+            b.add_mos(&format!("M{gi}{di}"), MosPolarity::Nmos, p, 2, g, n, n, vss, vss)
+                .expect("valid");
         }
     }
     b.add_vsource("VDD", VDD, vdd, vss).expect("valid");

@@ -119,10 +119,7 @@ impl DeviceKind {
     /// Whether the device is placed on the grid. Ideal sources model the
     /// testbench, not silicon, and are never placed.
     pub fn is_placeable(&self) -> bool {
-        !matches!(
-            self,
-            DeviceKind::CurrentSource { .. } | DeviceKind::VoltageSource { .. }
-        )
+        !matches!(self, DeviceKind::CurrentSource { .. } | DeviceKind::VoltageSource { .. })
     }
 }
 

@@ -43,7 +43,7 @@ mod net;
 pub mod spice;
 
 pub use circuit::{Circuit, CircuitBuilder, CircuitClass, PortRole};
-pub use device::{Device, DeviceKind, MosPolarity, MosParams, Terminal};
+pub use device::{Device, DeviceKind, MosParams, MosPolarity, Terminal};
 pub use error::NetlistError;
 pub use group::{Group, GroupKind};
 pub use ids::{DeviceId, GroupId, NetId, UnitId};

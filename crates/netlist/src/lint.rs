@@ -119,7 +119,9 @@ fn lint_undriven_gates(circuit: &Circuit, out: &mut Vec<LintWarning>) {
         if dev.mos_polarity().is_none() {
             continue;
         }
-        let Some(gate) = dev.pin(Terminal::Gate) else { continue };
+        let Some(gate) = dev.pin(Terminal::Gate) else {
+            continue;
+        };
         // Drivers: any non-gate pin of any device on this net, or any
         // source, or an input/bias/clock port binding.
         let driven_by_pin = circuit.devices().iter().any(|d| {
@@ -205,7 +207,9 @@ fn lint_bulk_ties(circuit: &Circuit, out: &mut Vec<LintWarning>) {
         if dev.mos_polarity().is_none() {
             continue;
         }
-        let Some(bulk) = dev.pin(Terminal::Bulk) else { continue };
+        let Some(bulk) = dev.pin(Terminal::Bulk) else {
+            continue;
+        };
         let kind = circuit.net(bulk).kind;
         if !matches!(kind, NetKind::Power | NetKind::Ground) {
             out.push(LintWarning::FloatingBulk { device: dev.name.clone() });
@@ -279,8 +283,11 @@ mod tests {
         b.add_vsource("V1", 1.1, vdd, vss).unwrap();
         let c = b.build().unwrap();
         let w = lint(&c);
-        assert!(w.iter().any(|w| matches!(w, LintWarning::FloatingNet { net } if net == "dangle")),
-            "{w:?}");
+        assert!(
+            w.iter()
+                .any(|w| matches!(w, LintWarning::FloatingNet { net } if net == "dangle")),
+            "{w:?}"
+        );
     }
 
     #[test]
@@ -299,7 +306,8 @@ mod tests {
         let c = b.build().unwrap();
         let w = lint(&c);
         assert!(
-            w.iter().any(|w| matches!(w, LintWarning::UndrivenGate { net, .. } if net == "ghost")),
+            w.iter()
+                .any(|w| matches!(w, LintWarning::UndrivenGate { net, .. } if net == "ghost")),
             "{w:?}"
         );
     }
@@ -319,8 +327,18 @@ mod tests {
         b.bind_port(PortRole::InP, vdd);
         let c = b.build().unwrap();
         let w = lint(&c);
-        assert!(w.iter().any(|w| matches!(w, LintWarning::LonelyMatchedGroup { group } if group == "lonely")), "{w:?}");
-        assert!(w.iter().any(|w| matches!(w, LintWarning::MismatchedPair { group, .. } if group == "uneven")), "{w:?}");
+        assert!(
+            w.iter().any(
+                |w| matches!(w, LintWarning::LonelyMatchedGroup { group } if group == "lonely")
+            ),
+            "{w:?}"
+        );
+        assert!(
+            w.iter().any(
+                |w| matches!(w, LintWarning::MismatchedPair { group, .. } if group == "uneven")
+            ),
+            "{w:?}"
+        );
     }
 
     #[test]
@@ -335,7 +353,8 @@ mod tests {
         let c = b.build().unwrap();
         let w = lint(&c);
         assert!(
-            w.iter().any(|w| matches!(w, LintWarning::FloatingBulk { device } if device == "M1")),
+            w.iter()
+                .any(|w| matches!(w, LintWarning::FloatingBulk { device } if device == "M1")),
             "{w:?}"
         );
     }
@@ -353,10 +372,8 @@ mod tests {
         b2.add_vsource("V1", 1.1, v2, s2).unwrap();
         let c = b2.build().unwrap();
         let w = lint(&c);
-        let missing: Vec<&LintWarning> = w
-            .iter()
-            .filter(|w| matches!(w, LintWarning::MissingClassPort { .. }))
-            .collect();
+        let missing: Vec<&LintWarning> =
+            w.iter().filter(|w| matches!(w, LintWarning::MissingClassPort { .. })).collect();
         assert_eq!(missing.len(), 5, "{w:?}");
         let _ = (vdd, vss, b.build());
     }

@@ -66,10 +66,7 @@ pub fn parse(src: &str) -> Result<Circuit, NetlistError> {
         let Some(head) = toks.next() else { continue };
         match head.to_ascii_lowercase().as_str() {
             ".title" => {
-                title = toks
-                    .next()
-                    .ok_or_else(|| perr(*ln, ".title needs a name"))?
-                    .to_string();
+                title = toks.next().ok_or_else(|| perr(*ln, ".title needs a name"))?.to_string();
             }
             ".class" => {
                 let c = toks.next().ok_or_else(|| perr(*ln, ".class needs a value"))?;
@@ -100,9 +97,7 @@ pub fn parse(src: &str) -> Result<Circuit, NetlistError> {
                     .ok_or_else(|| perr(*ln, format!("unknown group kind `{gkind}`")))?;
                 group_kinds.push((gname.to_string(), gkind));
                 for dev in toks {
-                    if let Some(prev) =
-                        group_of_device.insert(dev.to_string(), gname.to_string())
-                    {
+                    if let Some(prev) = group_of_device.insert(dev.to_string(), gname.to_string()) {
                         return Err(perr(
                             *ln,
                             format!("device `{dev}` already assigned to group `{prev}`"),
@@ -141,9 +136,8 @@ pub fn parse(src: &str) -> Result<Circuit, NetlistError> {
                 if upper == ".PORT" {
                     let role = toks.next().ok_or_else(|| perr(*ln, ".port needs a role"))?;
                     let net = toks.next().ok_or_else(|| perr(*ln, ".port needs a net"))?;
-                    let role = parse_role(role).ok_or_else(|| {
-                        perr(*ln, format!("unknown port role `{role}`"))
-                    })?;
+                    let role = parse_role(role)
+                        .ok_or_else(|| perr(*ln, format!("unknown port role `{role}`")))?;
                     let id = b.net(net, infer_kind(net, &net_kinds));
                     b.bind_port(role, id);
                 }
@@ -153,9 +147,8 @@ pub fn parse(src: &str) -> Result<Circuit, NetlistError> {
                 if nets.len() != 4 {
                     return Err(perr(*ln, "MOS needs 4 nets: d g s b"));
                 }
-                let model = toks
-                    .next()
-                    .ok_or_else(|| perr(*ln, "MOS needs a model (NMOS|PMOS)"))?;
+                let model =
+                    toks.next().ok_or_else(|| perr(*ln, "MOS needs a model (NMOS|PMOS)"))?;
                 let polarity = match model.to_ascii_uppercase().as_str() {
                     "NMOS" => MosPolarity::Nmos,
                     "PMOS" => MosPolarity::Pmos,
@@ -178,10 +171,8 @@ pub fn parse(src: &str) -> Result<Circuit, NetlistError> {
                 if let Some(v) = kv.get("LAMBDA") {
                     params.lambda = num(v, *ln)?;
                 }
-                let pins: Vec<_> = nets
-                    .iter()
-                    .map(|n| b.net(n, infer_kind(n, &net_kinds)))
-                    .collect();
+                let pins: Vec<_> =
+                    nets.iter().map(|n| b.net(n, infer_kind(n, &net_kinds))).collect();
                 let gid = device_group(
                     head,
                     &group_of_device,
@@ -313,11 +304,7 @@ pub fn write(c: &Circuit) -> String {
         }
     }
     for g in c.groups() {
-        let devs: Vec<&str> = g
-            .devices
-            .iter()
-            .map(|&d| c.device(d).name.as_str())
-            .collect();
+        let devs: Vec<&str> = g.devices.iter().map(|&d| c.device(d).name.as_str()).collect();
         let _ = writeln!(s, ".group {} {} {}", g.name, g.kind, devs.join(" "));
     }
     for (role, net) in c.ports() {
@@ -335,11 +322,7 @@ fn perr(line: usize, reason: impl Into<String>) -> NetlistError {
 fn join_continuations(src: &str) -> Vec<(usize, String)> {
     let mut out: Vec<(usize, String)> = Vec::new();
     for (i, raw) in src.lines().enumerate() {
-        let line = raw
-            .split(';')
-            .next()
-            .expect("split always yields one item")
-            .trim();
+        let line = raw.split(';').next().expect("split always yields one item").trim();
         if line.is_empty() || line.starts_with('*') {
             continue;
         }
@@ -373,9 +356,7 @@ fn parse_kv<'a>(
 }
 
 fn kv_num(kv: &HashMap<String, String>, key: &str, ln: usize) -> Result<f64, NetlistError> {
-    let v = kv
-        .get(key)
-        .ok_or_else(|| perr(ln, format!("missing required `{key}=`")))?;
+    let v = kv.get(key).ok_or_else(|| perr(ln, format!("missing required `{key}=`")))?;
     num(v, ln)
 }
 

@@ -45,18 +45,11 @@ impl CongestionMap {
 
     /// The most-used cell and its count, or `None` when nothing is routed.
     pub fn hotspot(&self) -> Option<(GridPoint, u32)> {
-        let (idx, &max) = self
-            .usage
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &u)| u)?;
+        let (idx, &max) = self.usage.iter().enumerate().max_by_key(|&(_, &u)| u)?;
         if max == 0 {
             return None;
         }
-        Some((
-            GridPoint::new(idx as i32 % self.cols, idx as i32 / self.cols),
-            max,
-        ))
+        Some((GridPoint::new(idx as i32 % self.cols, idx as i32 / self.cols), max))
     }
 
     /// Number of cells used by at least one net.
@@ -135,11 +128,7 @@ mod tests {
         let map = CongestionMap::new(&result, &spec);
         let total_cells: usize = result.nets.iter().map(|n| n.cells.len()).sum();
         let histogram = map.histogram();
-        let counted: usize = histogram
-            .iter()
-            .enumerate()
-            .map(|(k, &cells)| k * cells)
-            .sum();
+        let counted: usize = histogram.iter().enumerate().map(|(k, &cells)| k * cells).sum();
         assert_eq!(counted, total_cells);
         assert!(map.used_cells() > 0);
         let (cell, peak) = map.hotspot().expect("something is routed");

@@ -30,8 +30,7 @@ impl RoutingEstimate {
     /// Computes the estimate for the current placement of `env`.
     pub fn of(env: &LayoutEnv) -> Self {
         // Use the mean pitch to convert cell distances to microns.
-        let pitch =
-            (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
+        let pitch = (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
         let mut est = RoutingEstimate::default();
         for pins in NetPins::collect(env) {
             let hpwl = pins.hpwl_cells() * pitch;
@@ -69,8 +68,7 @@ mod tests {
     #[test]
     fn spreading_devices_increases_wirelength() {
         let circuit = circuits::diff_pair();
-        let compact =
-            LayoutEnv::sequential(circuit.clone(), GridSpec::square(12)).unwrap();
+        let compact = LayoutEnv::sequential(circuit.clone(), GridSpec::square(12)).unwrap();
         let est_compact = RoutingEstimate::of(&compact);
 
         // Stretch the placement: move every unit to 3x its coordinates.

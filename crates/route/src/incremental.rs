@@ -1,0 +1,280 @@
+//! Incremental parasitic extraction.
+//!
+//! [`Parasitics::estimate`] walks every net of the circuit, rebuilds its
+//! pin list, and re-runs the MST length estimate — even though a placement
+//! optimizer moves one unit or group per step, leaving most nets' pin
+//! cells untouched. [`ParasiticsScratch`] keeps the net → device → unit
+//! structure (which never changes for a fixed circuit) plus each net's
+//! last-seen pin cells and extracted lump, and recomputes only nets whose
+//! cells actually moved.
+//!
+//! Lengths come from the same [`mst_manhattan`](crate::pins) routine and
+//! the same centroid arithmetic as the from-scratch path, so the result is
+//! bit-for-bit identical — only the work is skipped.
+
+use breaksym_geometry::GridPoint;
+use breaksym_layout::LayoutEnv;
+use breaksym_netlist::{Circuit, NetId, UnitId};
+
+use crate::pins::mst_manhattan;
+use crate::{ExtractionTech, NetParasitic, Parasitics};
+
+/// Cached extraction state of one routed net.
+#[derive(Debug, Clone)]
+struct NetCache {
+    /// Units of each connected placeable device, in collection order.
+    device_units: Vec<Vec<UnitId>>,
+    /// Flattened last-seen cells of all those units (device-major).
+    cells: Vec<GridPoint>,
+    /// Per-device centroid buffer (reused across recomputes).
+    centroids: Vec<(f64, f64)>,
+    /// The lump extracted from `cells`.
+    para: NetParasitic,
+    /// Whether `cells`/`para` hold real data yet.
+    valid: bool,
+}
+
+/// Reusable state for incremental [`Parasitics`] extraction.
+///
+/// Bound to the `(circuit, grid, tech)` triple it last saw and fully
+/// self-invalidating when any of them changes, so a single scratch can be
+/// shared by an evaluator that serves several tasks.
+#[derive(Debug, Clone, Default)]
+pub struct ParasiticsScratch {
+    /// Identity of the circuit the net structure was built for.
+    circuit_token: u64,
+    /// Pitch-relevant grid identity (cols, rows, pitches as bits).
+    spec_token: u64,
+    /// Tech constants the lumps were derived with.
+    tech: Option<ExtractionTech>,
+    /// Per routed net, in net-id order (mirrors `NetPins::collect`).
+    nets: Vec<NetCache>,
+    /// Assembled output, reused between calls.
+    out: Parasitics,
+    /// Number of per-net recomputations performed (diagnostic).
+    net_recomputes: u64,
+}
+
+/// A cheap structural identity for a circuit: collisions would need two
+/// different circuits with the same name *and* the same unit/device/net
+/// counts inside one process — not a configuration the workspace produces.
+fn circuit_token(c: &Circuit) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    c.name().hash(&mut h);
+    c.num_units().hash(&mut h);
+    c.devices().len().hash(&mut h);
+    c.nets().len().hash(&mut h);
+    h.finish()
+}
+
+fn spec_token(env: &LayoutEnv) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    env.spec().cols().hash(&mut h);
+    env.spec().rows().hash(&mut h);
+    env.spec().pitch_x().value().to_bits().hash(&mut h);
+    env.spec().pitch_y().value().to_bits().hash(&mut h);
+    h.finish()
+}
+
+impl ParasiticsScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of per-net length recomputations so far. On an incremental
+    /// workload this grows by the number of nets *incident to moved
+    /// devices*, not by the net count.
+    pub fn net_recomputes(&self) -> u64 {
+        self.net_recomputes
+    }
+
+    /// Drops all cached state (next call rebuilds everything).
+    pub fn invalidate(&mut self) {
+        self.tech = None;
+    }
+
+    /// Incremental equivalent of [`Parasitics::estimate`]: returns the
+    /// same per-net lumps (bit-for-bit), recomputing only nets whose pin
+    /// cells changed since the previous call.
+    pub fn estimate(&mut self, env: &LayoutEnv, tech: &ExtractionTech) -> &Parasitics {
+        let ct = circuit_token(env.circuit());
+        let st = spec_token(env);
+        if self.circuit_token != ct || self.spec_token != st || self.tech != Some(*tech) {
+            self.rebuild_structure(env);
+            self.circuit_token = ct;
+            self.spec_token = st;
+            self.tech = Some(*tech);
+        }
+        let pitch = (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
+        let placement = env.placement();
+        self.out.nets.clear();
+        let mut total = 0.0;
+        for nc in &mut self.nets {
+            // Pass 1: compare every pin cell against the cached snapshot.
+            let mut dirty = !nc.valid;
+            if !dirty {
+                let mut idx = 0;
+                'cmp: for units in &nc.device_units {
+                    for &u in units {
+                        if nc.cells[idx] != placement.position(u) {
+                            dirty = true;
+                            break 'cmp;
+                        }
+                        idx += 1;
+                    }
+                }
+            }
+            // Pass 2: re-extract the lump only when something moved.
+            if dirty {
+                let mut idx = 0;
+                nc.centroids.clear();
+                for units in &nc.device_units {
+                    // Same accumulation as `Placement::centroid_of`.
+                    let (mut sx, mut sy) = (0.0, 0.0);
+                    for &u in units {
+                        let p = placement.position(u);
+                        nc.cells[idx] = p;
+                        idx += 1;
+                        sx += f64::from(p.x);
+                        sy += f64::from(p.y);
+                    }
+                    let n = units.len() as f64;
+                    nc.centroids.push((sx / n, sy / n));
+                }
+                let len = mst_manhattan(&nc.centroids) * pitch;
+                nc.para = NetParasitic {
+                    net: nc.para.net,
+                    r_ohms: tech.r_ohm_per_um * len,
+                    c_farads: tech.c_f_per_um * len,
+                    length_um: len,
+                };
+                nc.valid = true;
+                self.net_recomputes += 1;
+            }
+            self.out.nets.push(nc.para);
+            total += nc.para.length_um;
+        }
+        self.out.total_length_um = total;
+        &self.out
+    }
+
+    /// Rebuilds the net → device → unit structure, mirroring the iteration
+    /// order of `NetPins::collect` exactly.
+    fn rebuild_structure(&mut self, env: &LayoutEnv) {
+        let circuit = env.circuit();
+        self.nets.clear();
+        for (ni, _net) in circuit.nets().iter().enumerate() {
+            let net_id = NetId::new(ni as u32);
+            let mut device_units = Vec::new();
+            let mut n_cells = 0;
+            for d in circuit.placeable_devices() {
+                if !circuit.device(d).pins.contains(&net_id) {
+                    continue;
+                }
+                let units: Vec<UnitId> = circuit.units_of_device(d).collect();
+                n_cells += units.len();
+                device_units.push(units);
+            }
+            if device_units.len() >= 2 {
+                self.nets.push(NetCache {
+                    device_units,
+                    cells: vec![GridPoint::ORIGIN; n_cells],
+                    centroids: Vec::new(),
+                    para: NetParasitic { net: net_id, r_ohms: 0.0, c_farads: 0.0, length_um: 0.0 },
+                    valid: false,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_geometry::GridSpec;
+    use breaksym_layout::UnitMove;
+    use breaksym_netlist::circuits;
+
+    fn env() -> LayoutEnv {
+        LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12)).unwrap()
+    }
+
+    fn assert_bit_equal(a: &Parasitics, b: &Parasitics) {
+        assert_eq!(a.nets.len(), b.nets.len());
+        for (x, y) in a.nets.iter().zip(&b.nets) {
+            assert_eq!(x.net, y.net);
+            assert_eq!(x.r_ohms.to_bits(), y.r_ohms.to_bits());
+            assert_eq!(x.c_farads.to_bits(), y.c_farads.to_bits());
+            assert_eq!(x.length_um.to_bits(), y.length_um.to_bits());
+        }
+        assert_eq!(a.total_length_um.to_bits(), b.total_length_um.to_bits());
+    }
+
+    #[test]
+    fn incremental_matches_fresh_over_a_walk() {
+        let mut e = env();
+        let tech = ExtractionTech::default();
+        let mut scratch = ParasiticsScratch::new();
+        for step in 0..20 {
+            let fresh = Parasitics::estimate(&e, &tech);
+            let inc = scratch.estimate(&e, &tech);
+            assert_bit_equal(&fresh, inc);
+            let mv = (0..e.circuit().num_units() as u32)
+                .map(|i| (UnitId::new(i), e.legal_unit_moves(UnitId::new(i))))
+                .find(|(_, d)| !d.is_empty())
+                .map(|(unit, d)| UnitMove { unit, dir: d[step % d.len()] });
+            if let Some(mv) = mv {
+                e.apply(mv.into()).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_placement_recomputes_nothing() {
+        let e = env();
+        let tech = ExtractionTech::default();
+        let mut scratch = ParasiticsScratch::new();
+        scratch.estimate(&e, &tech);
+        let cold = scratch.net_recomputes();
+        assert!(cold > 0);
+        scratch.estimate(&e, &tech);
+        assert_eq!(scratch.net_recomputes(), cold, "no net moved, no work");
+    }
+
+    #[test]
+    fn single_move_recomputes_only_incident_nets() {
+        let mut e = env();
+        let tech = ExtractionTech::default();
+        let mut scratch = ParasiticsScratch::new();
+        scratch.estimate(&e, &tech);
+        let cold = scratch.net_recomputes();
+        let total_nets = cold;
+
+        let (unit, dirs) = (0..e.circuit().num_units() as u32)
+            .map(|i| (UnitId::new(i), e.legal_unit_moves(UnitId::new(i))))
+            .find(|(_, d)| !d.is_empty())
+            .unwrap();
+        e.apply(UnitMove { unit, dir: dirs[0] }.into()).unwrap();
+        scratch.estimate(&e, &tech);
+        let warm = scratch.net_recomputes() - cold;
+        assert!(warm < total_nets, "one unit move must not touch every net");
+        // And the result still matches a fresh extraction.
+        assert_bit_equal(&Parasitics::estimate(&e, &tech), scratch.estimate(&e, &tech));
+    }
+
+    #[test]
+    fn tech_change_invalidates() {
+        let e = env();
+        let mut scratch = ParasiticsScratch::new();
+        let a = scratch.estimate(&e, &ExtractionTech::default()).clone();
+        let double = ExtractionTech { r_ohm_per_um: 1.6, ..ExtractionTech::default() };
+        let b = scratch.estimate(&e, &double).clone();
+        assert!(b.nets[0].r_ohms > a.nets[0].r_ohms * 1.5);
+        assert_bit_equal(&Parasitics::estimate(&e, &double), &b);
+    }
+}

@@ -37,12 +37,14 @@
 
 mod congestion;
 mod estimate;
+mod incremental;
 mod maze;
 mod parasitics;
 mod pins;
 
 pub use congestion::{congestion_score, CongestionMap};
 pub use estimate::RoutingEstimate;
+pub use incremental::ParasiticsScratch;
 pub use maze::{MazeRouter, RouteConfig, RoutedNet, RoutingResult};
 pub use parasitics::{ExtractionTech, NetParasitic, Parasitics};
 pub use pins::NetPins;

@@ -96,9 +96,7 @@ impl MazeRouter {
         let mut pins = NetPins::collect(env);
         // Short nets first: they have the fewest detour options.
         pins.sort_by(|a, b| {
-            a.hpwl_cells()
-                .partial_cmp(&b.hpwl_cells())
-                .expect("wirelengths are finite")
+            a.hpwl_cells().partial_cmp(&b.hpwl_cells()).expect("wirelengths are finite")
         });
 
         let mut usage: HashMap<GridPoint, u32> = HashMap::new();
@@ -118,10 +116,7 @@ impl MazeRouter {
         }
         let _ = bounds; // bounds captured via env in route_net
 
-        let total_length_um = nets
-            .iter()
-            .map(|n| f64::from(n.length_cells) * pitch)
-            .sum();
+        let total_length_um = nets.iter().map(|n| f64::from(n.length_cells) * pitch).sum();
         let max_congestion = usage.values().copied().max().unwrap_or(0);
         nets.sort_by_key(|n| n.net);
         RoutingResult { nets, failed, total_length_um, max_congestion }
@@ -154,10 +149,8 @@ impl MazeRouter {
                 dist.insert(c, 0);
                 heap.push(Reverse((0, c.x, c.y)));
             }
-            let targets: Vec<HashSet<GridPoint>> = remaining
-                .iter()
-                .map(|cells| cells.iter().copied().collect())
-                .collect();
+            let targets: Vec<HashSet<GridPoint>> =
+                remaining.iter().map(|cells| cells.iter().copied().collect()).collect();
 
             let mut hit: Option<(usize, GridPoint)> = None;
             'search: while let Some(Reverse((d, x, y))) = heap.pop() {
@@ -235,7 +228,11 @@ impl MazeRouter {
         }
         let occupied =
             env.placement().unit_at(q).is_some() || env.placement().dummies().contains(&q);
-        let base = if occupied { self.config.over_cell_cost } else { self.config.free_cost };
+        let base = if occupied {
+            self.config.over_cell_cost
+        } else {
+            self.config.free_cost
+        };
         base + usage.get(&q).copied().unwrap_or(0) * self.config.congestion_cost
     }
 }
@@ -282,8 +279,7 @@ mod tests {
 
     #[test]
     fn routed_length_at_least_mst_lower_bound_minus_taps() {
-        let env =
-            LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+        let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
         let r = MazeRouter::new(RouteConfig::default()).route(&env);
         for n in &r.nets {
             // Wire length is bounded below by (#pin groups - 1) ... at least

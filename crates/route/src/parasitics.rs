@@ -50,8 +50,7 @@ impl Parasitics {
     /// Extracts from a full maze-routing result (the accurate path used for
     /// final evaluation).
     pub fn from_routing(result: &RoutingResult, env: &LayoutEnv, tech: &ExtractionTech) -> Self {
-        let pitch =
-            (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
+        let pitch = (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
         let mut nets = Vec::with_capacity(result.nets.len());
         let mut total = 0.0;
         for rn in &result.nets {
@@ -72,8 +71,7 @@ impl Parasitics {
     /// optimisation loop — same model the paper uses when it folds
     /// unoptimised routing into every simulation).
     pub fn estimate(env: &LayoutEnv, tech: &ExtractionTech) -> Self {
-        let pitch =
-            (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
+        let pitch = (env.spec().pitch_x().value() + env.spec().pitch_y().value()) / 2.0;
         let mut nets = Vec::new();
         let mut total = 0.0;
         for pins in NetPins::collect(env) {

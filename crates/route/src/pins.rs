@@ -34,24 +34,15 @@ impl NetPins {
                     continue;
                 }
                 let units: Vec<_> = circuit.units_of_device(d).collect();
-                let cells: Vec<GridPoint> = units
-                    .iter()
-                    .map(|&u| env.placement().position(u))
-                    .collect();
-                let centroid = env
-                    .placement()
-                    .centroid_of(&units)
-                    .expect("placeable devices have units");
+                let cells: Vec<GridPoint> =
+                    units.iter().map(|&u| env.placement().position(u)).collect();
+                let centroid =
+                    env.placement().centroid_of(&units).expect("placeable devices have units");
                 device_cells.push(cells);
                 device_centroids.push(centroid);
             }
             if device_cells.len() >= 2 {
-                out.push(NetPins {
-                    net: net_id,
-                    kind: net.kind,
-                    device_cells,
-                    device_centroids,
-                });
+                out.push(NetPins { net: net_id, kind: net.kind, device_cells, device_centroids });
             }
         }
         out
@@ -78,37 +69,43 @@ impl NetPins {
     /// Prim MST length over device centroids (Manhattan metric), in cells.
     /// A tighter routed-length estimate than HPWL for multi-pin nets.
     pub fn mst_cells(&self) -> f64 {
-        let pts = &self.device_centroids;
-        let n = pts.len();
-        if n < 2 {
-            return 0.0;
-        }
-        let dist = |a: (f64, f64), b: (f64, f64)| (a.0 - b.0).abs() + (a.1 - b.1).abs();
-        let mut in_tree = vec![false; n];
-        let mut best = vec![f64::INFINITY; n];
-        in_tree[0] = true;
-        for j in 1..n {
-            best[j] = dist(pts[0], pts[j]);
-        }
-        let mut total = 0.0;
-        for _ in 1..n {
-            let (mut k, mut kd) = (usize::MAX, f64::INFINITY);
-            for j in 0..n {
-                if !in_tree[j] && best[j] < kd {
-                    k = j;
-                    kd = best[j];
-                }
-            }
-            in_tree[k] = true;
-            total += kd;
-            for j in 0..n {
-                if !in_tree[j] {
-                    best[j] = best[j].min(dist(pts[k], pts[j]));
-                }
-            }
-        }
-        total
+        mst_manhattan(&self.device_centroids)
     }
+}
+
+/// Prim MST length over a point set (Manhattan metric). Shared by
+/// [`NetPins::mst_cells`] and the incremental extractor so both produce
+/// bit-identical lengths.
+pub(crate) fn mst_manhattan(pts: &[(f64, f64)]) -> f64 {
+    let n = pts.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let dist = |a: (f64, f64), b: (f64, f64)| (a.0 - b.0).abs() + (a.1 - b.1).abs();
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = dist(pts[0], pts[j]);
+    }
+    let mut total = 0.0;
+    for _ in 1..n {
+        let (mut k, mut kd) = (usize::MAX, f64::INFINITY);
+        for j in 0..n {
+            if !in_tree[j] && best[j] < kd {
+                k = j;
+                kd = best[j];
+            }
+        }
+        in_tree[k] = true;
+        total += kd;
+        for j in 0..n {
+            if !in_tree[j] {
+                best[j] = best[j].min(dist(pts[k], pts[j]));
+            }
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -152,14 +149,16 @@ mod tests {
 
     #[test]
     fn mst_at_least_hpwl_generally() {
-        let e = LayoutEnv::sequential(
-            circuits::current_mirror_medium(),
-            GridSpec::square(16),
-        )
-        .unwrap();
+        let e =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
         for p in NetPins::collect(&e) {
-            assert!(p.mst_cells() + 1e-9 >= p.hpwl_cells() * 0.999,
-                "MST {} must not beat HPWL {} for net {}", p.mst_cells(), p.hpwl_cells(), p.net);
+            assert!(
+                p.mst_cells() + 1e-9 >= p.hpwl_cells() * 0.999,
+                "MST {} must not beat HPWL {} for net {}",
+                p.mst_cells(),
+                p.hpwl_cells(),
+                p.net
+            );
         }
     }
 

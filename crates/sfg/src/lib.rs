@@ -97,7 +97,12 @@ impl SignalFlowGraph {
         // device touching any signal net bound to a port; final fallback:
         // all devices at level 0.
         let mut seeds: Vec<DeviceId> = Vec::new();
-        for role in [PortRole::InP, PortRole::InN, PortRole::Iref, PortRole::Clock] {
+        for role in [
+            PortRole::InP,
+            PortRole::InN,
+            PortRole::Iref,
+            PortRole::Clock,
+        ] {
             if let Some(net) = circuit.port(role) {
                 for d in circuit.placeable_devices() {
                     let dev = circuit.device(d);
@@ -153,11 +158,8 @@ impl SignalFlowGraph {
                 (mean, g)
             })
             .collect();
-        ranked.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("levels are finite")
-                .then(a.1.cmp(&b.1))
-        });
+        ranked
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("levels are finite").then(a.1.cmp(&b.1)));
         let order = ranked.into_iter().map(|(_, g)| g).collect();
 
         SignalFlowGraph { edges, device_level, order }

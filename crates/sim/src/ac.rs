@@ -23,8 +23,7 @@ impl AcSolution {
 
     /// Phasor current through the branch of extra voltage source `e`.
     pub fn extra_branch_current(&self, ctx: &MnaContext, e: usize) -> Option<Complex> {
-        ctx.extra_branch_index(e)
-            .map(|i| self.branch_currents[i - ctx.num_nodes()])
+        ctx.extra_branch_index(e).map(|i| self.branch_currents[i - ctx.num_nodes()])
     }
 }
 

@@ -1,0 +1,296 @@
+//! Memoization of simulated metrics by placement fingerprint.
+//!
+//! Tabular Q-learning revisits the same placements constantly — every
+//! episode restarts from the same initial state, and undo-heavy proposal
+//! loops bounce between a handful of neighbours. [`EvalCache`] memoizes
+//! the full [`Metrics`] of a placement keyed by its Zobrist fingerprint
+//! (plus circuit/grid identity), so a revisited state costs a hash lookup
+//! instead of an MNA solve.
+//!
+//! A cache **hit is not a simulation**: the paper's "#simulations" tally
+//! ([`SimCounter`](crate::SimCounter)) counts real oracle solves, and the
+//! whole point of the cache is to answer without one. Hit/miss/eviction
+//! statistics are reported separately via [`CacheStats`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::Metrics;
+
+/// Default capacity (entries) of an [`EvalCache`]. At ~100 bytes per
+/// entry this bounds memory near 6 MB — generous for the benchmark runs,
+/// which visit far fewer distinct placements.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    metrics: Metrics,
+    /// Logical timestamp of the last touch (insert or hit) — the LRU key.
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Inner {
+    /// Amortized batch eviction: when the map exceeds capacity, drop the
+    /// least-recently-touched entries down to 3/4 capacity in one O(n log n)
+    /// sweep. Cheaper than a doubly-linked LRU list on every access, and
+    /// the hot path (a hit) stays a single hash probe.
+    fn evict_if_full(&mut self) {
+        if self.map.len() <= self.capacity {
+            return;
+        }
+        let keep = (self.capacity * 3) / 4;
+        let excess = self.map.len() - keep.min(self.map.len());
+        if excess == 0 {
+            return;
+        }
+        // Ticks are unique (one global counter), so the cutoff removes
+        // exactly `excess` entries.
+        let mut ticks: Vec<u64> = self.map.values().map(|e| e.tick).collect();
+        ticks.sort_unstable();
+        let cutoff = ticks[excess - 1];
+        self.map.retain(|_, e| e.tick > cutoff);
+        self.evictions += excess as u64;
+    }
+}
+
+/// Counters describing an [`EvalCache`]'s effectiveness, reported next to
+/// the "#simulations" tally in run reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (no simulation happened).
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity bound.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {} evicted",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.evictions
+        )
+    }
+}
+
+/// A bounded, shared memo of placement → [`Metrics`].
+///
+/// Cloning shares the underlying store (like
+/// [`SimCounter`](crate::SimCounter)), so one cache can serve every
+/// evaluator clone of an optimisation run. Thread-safe; the lock is held
+/// only for the O(1) probe (amortized — see [`Inner` eviction]).
+///
+/// Keys are produced by the caller — in practice
+/// [`Evaluator`](crate::Evaluator) mixes the placement's Zobrist
+/// fingerprint with circuit and grid identity, so one cache can safely
+/// serve evaluations of different tasks.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_sim::EvalCache;
+///
+/// let cache = EvalCache::new(128);
+/// assert_eq!(cache.get(42), None);
+/// # let metrics = breaksym_sim::Metrics::empty(breaksym_netlist::CircuitClass::Generic);
+/// cache.insert(42, metrics);
+/// assert!(cache.get(42).is_some());
+/// let stats = cache.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            map: HashMap::new(),
+            capacity: DEFAULT_CACHE_CAPACITY,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl EvalCache {
+    /// A cache bounded to `capacity` entries (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let cache = EvalCache::default();
+        cache.inner.lock().capacity = capacity.max(1);
+        cache
+    }
+
+    /// Looks up the metrics memoized under `key`, refreshing its LRU
+    /// position. Records a hit or a miss.
+    pub fn get(&self, key: u64) -> Option<Metrics> {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let found = g.map.get_mut(&key).map(|e| {
+            e.tick = tick;
+            e.metrics
+        });
+        if found.is_some() {
+            g.hits += 1;
+        } else {
+            g.misses += 1;
+        }
+        found
+    }
+
+    /// Memoizes `metrics` under `key`, evicting least-recently-used
+    /// entries if the capacity bound is exceeded.
+    pub fn insert(&self, key: u64, metrics: Metrics) {
+        let mut g = self.inner.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        g.map.insert(key, Entry { metrics, tick });
+        g.evict_if_full();
+    }
+
+    /// A snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.inner.lock();
+        CacheStats {
+            hits: g.hits,
+            misses: g.misses,
+            evictions: g.evictions,
+            entries: g.map.len(),
+            capacity: g.capacity,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry *and* zeroes the statistics.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.map.clear();
+        g.hits = 0;
+        g.misses = 0;
+        g.evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(tag: f64) -> Metrics {
+        let mut m = Metrics::empty(breaksym_netlist::CircuitClass::Generic);
+        m.area_um2 = tag;
+        m
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let c = EvalCache::new(8);
+        assert!(c.get(1).is_none());
+        c.insert(1, metrics(1.0));
+        let m = c.get(1).expect("hit");
+        assert_eq!(m.area_um2, 1.0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let a = EvalCache::new(8);
+        let b = a.clone();
+        a.insert(7, metrics(7.0));
+        assert!(b.get(7).is_some());
+        b.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let c = EvalCache::new(4);
+        for k in 0..4 {
+            c.insert(k, metrics(k as f64));
+        }
+        // Touch key 0 so it becomes the most recent.
+        assert!(c.get(0).is_some());
+        // Overflow: eviction drops to 3/4 capacity = 3 entries.
+        c.insert(99, metrics(99.0));
+        let s = c.stats();
+        assert_eq!(s.entries, 3);
+        assert_eq!(s.evictions, 2);
+        assert!(c.get(0).is_some(), "recently touched key survives");
+        assert!(c.get(99).is_some(), "new key survives");
+        assert!(c.get(1).is_none(), "oldest key evicted");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let c = EvalCache::new(0);
+        c.insert(1, metrics(1.0));
+        assert_eq!(c.stats().capacity, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<EvalCache>();
+    }
+
+    #[test]
+    fn stats_display_is_human_readable() {
+        let c = EvalCache::new(8);
+        c.insert(1, metrics(1.0));
+        c.get(1);
+        c.get(2);
+        let text = c.stats().to_string();
+        assert!(text.contains("1 hits"), "{text}");
+        assert!(text.contains("50.0% hit rate"), "{text}");
+    }
+}

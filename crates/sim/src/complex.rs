@@ -103,10 +103,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, o: Complex) -> Complex {
-        Complex::new(
-            self.re * o.re - self.im * o.im,
-            self.re * o.im + self.im * o.re,
-        )
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
     }
 }
 

@@ -53,8 +53,7 @@ impl DcSolution {
 
     /// Current through the branch of extra voltage source `e`, in amperes.
     pub fn extra_branch_current(&self, ctx: &MnaContext, e: usize) -> Option<f64> {
-        ctx.extra_branch_index(e)
-            .map(|i| self.branch_currents[i - ctx.num_nodes()])
+        ctx.extra_branch_index(e).map(|i| self.branch_currents[i - ctx.num_nodes()])
     }
 }
 
@@ -71,11 +70,7 @@ pub struct DcSolver<'a> {
 
 impl<'a> DcSolver<'a> {
     /// Creates a solver. `shifts` must be empty or one entry per device.
-    pub fn new(
-        circuit: &'a Circuit,
-        shifts: &'a [ParamShift],
-        extras: &'a [ExtraElement],
-    ) -> Self {
+    pub fn new(circuit: &'a Circuit, shifts: &'a [ParamShift], extras: &'a [ExtraElement]) -> Self {
         debug_assert!(
             shifts.is_empty() || shifts.len() == circuit.devices().len(),
             "shifts must be per-device"
@@ -143,10 +138,8 @@ impl<'a> DcSolver<'a> {
                 Err(e) => last_err = Some(e),
             }
         }
-        Err(last_err.unwrap_or(SimError::NoConvergence {
-            iterations: total_iters,
-            residual: f64::NAN,
-        }))
+        Err(last_err
+            .unwrap_or(SimError::NoConvergence { iterations: total_iters, residual: f64::NAN }))
     }
 
     /// One damped-Newton run with an extra `gmin_step` conductance from
@@ -160,8 +153,15 @@ impl<'a> DcSolver<'a> {
     ) -> Result<usize, SimError> {
         let n = ctx.size();
         let mut residual_norm = f64::INFINITY;
+        // Buffers reused across iterations and line-search trials — the
+        // dense Jacobian is the largest allocation of the whole solve.
+        let mut jac = Vec::new();
+        let mut rhs = Vec::new();
+        let mut tj = Vec::new();
+        let mut tf = Vec::new();
+        let mut trial = Vec::new();
         for iter in 0..max_iters {
-            let (mut jac, mut rhs) = self.assemble(ctx, x);
+            self.assemble_into(ctx, x, &mut jac, &mut rhs);
             for node in 0..ctx.num_nodes() {
                 jac[node * n + node] += gmin_step;
                 rhs[node] += gmin_step * x[node];
@@ -177,18 +177,21 @@ impl<'a> DcSolver<'a> {
             // instead of taking a fresh full one.
             residual_norm = new_norm;
             let delta = lu_solve_real(&jac, &rhs)?;
-            let max_dv = delta[..ctx.num_nodes()]
-                .iter()
-                .fold(0.0f64, |m, v| m.max(v.abs()));
-            let mut scale = if max_dv > STEP_LIMIT { STEP_LIMIT / max_dv } else { 1.0 };
+            let max_dv = delta[..ctx.num_nodes()].iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let mut scale = if max_dv > STEP_LIMIT {
+                STEP_LIMIT / max_dv
+            } else {
+                1.0
+            };
             // Line search on the true residual.
             let mut accepted = false;
             for _ in 0..12 {
-                let mut trial: Vec<f64> = x.to_vec();
+                trial.clear();
+                trial.extend_from_slice(x);
                 for i in 0..n {
                     trial[i] += delta[i] * scale;
                 }
-                let (mut tj, mut tf) = self.assemble(ctx, &trial);
+                self.assemble_into(ctx, &trial, &mut tj, &mut tf);
                 for node in 0..ctx.num_nodes() {
                     tj[node * n + node] += gmin_step;
                     tf[node] += gmin_step * trial[node];
@@ -242,11 +245,15 @@ impl<'a> DcSolver<'a> {
         x
     }
 
-    /// Builds the Jacobian (row-major `n×n`) and residual `F(x)`.
-    fn assemble(&self, ctx: &MnaContext, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    /// Builds the Jacobian (row-major `n×n`) and residual `F(x)` into the
+    /// caller's buffers (cleared and resized here), so the Newton loop
+    /// allocates nothing per iteration.
+    fn assemble_into(&self, ctx: &MnaContext, x: &[f64], jac: &mut Vec<f64>, res: &mut Vec<f64>) {
         let n = ctx.size();
-        let mut jac = vec![0.0; n * n];
-        let mut res = vec![0.0; n];
+        jac.clear();
+        jac.resize(n * n, 0.0);
+        res.clear();
+        res.resize(n, 0.0);
 
         let volt = |net: NetId| ctx.node(net).map_or(0.0, |i| x[i]);
         // Closures cannot borrow jac/res mutably twice; use macros instead.
@@ -312,9 +319,7 @@ impl<'a> DcSolver<'a> {
                     add_f!(nq, -*amps);
                 }
                 DeviceKind::VoltageSource { volts } => {
-                    let b = ctx
-                        .device_branch_index(di)
-                        .expect("vsource has a branch");
+                    let b = ctx.device_branch_index(di).expect("vsource has a branch");
                     let (p, q) = (dev.pins[0], dev.pins[1]);
                     let (np, nq) = (ctx.node(p), ctx.node(q));
                     // KCL: branch current leaves p, enters q.
@@ -361,15 +366,11 @@ impl<'a> DcSolver<'a> {
                 ExtraElement::Capacitor { .. } => {} // open in DC
             }
         }
-
-        (jac, res)
     }
 
     fn finish(&self, ctx: &MnaContext, x: Vec<f64>, iterations: usize) -> DcSolution {
         let volt = |net: NetId| ctx.node(net).map_or(0.0, |i| x[i]);
-        let voltages = (0..self.circuit.nets().len() as u32)
-            .map(|i| volt(NetId::new(i)))
-            .collect();
+        let voltages = (0..self.circuit.nets().len() as u32).map(|i| volt(NetId::new(i))).collect();
         let device_ops = self
             .circuit
             .devices()
@@ -442,10 +443,7 @@ mod tests {
         // Ignore lambda for the hand estimate; allow a few percent.
         let expect = p.vth0 + (2.0 * 50e-6 / beta).sqrt();
         let got = sol.voltage(d);
-        assert!(
-            (got - expect).abs() < 0.02,
-            "vgs: got {got:.4}, expected ≈{expect:.4}"
-        );
+        assert!((got - expect).abs() < 0.02, "vgs: got {got:.4}, expected ≈{expect:.4}");
         let op = sol.mos_op(c.find_device("M1").unwrap()).unwrap();
         assert!(op.saturated);
         assert!((op.id - 50e-6).abs() < 1e-6);

@@ -1,18 +1,50 @@
 //! The placement → metrics oracle the optimizers call.
 
-use breaksym_layout::LayoutEnv;
-use breaksym_lde::{LdeModel, ParamShift};
-use breaksym_netlist::NetId;
-use breaksym_route::{ExtractionTech, Parasitics};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
-use crate::{EvalOptions, Metrics, SimCounter, SimError, Testbench};
+use parking_lot::Mutex;
+
+use breaksym_layout::LayoutEnv;
+use breaksym_lde::{LdeModel, LdeScratch, ParamShift};
+use breaksym_netlist::NetId;
+use breaksym_route::ParasiticsScratch;
+
+use crate::{
+    CacheStats, EvalCache, EvalOptions, ExtractionTech, Metrics, SimCounter, SimError, Testbench,
+};
+
+/// Reusable per-evaluator buffers: incremental LDE and parasitics state
+/// plus the `shifts` / `node_caps` vectors handed to the testbench. Kept
+/// behind a mutex so `evaluate(&self)` stays shareable; never cloned —
+/// each evaluator clone starts with fresh (empty) scratch.
+#[derive(Debug, Default)]
+struct EvalScratch {
+    lde: LdeScratch,
+    route: ParasiticsScratch,
+    shifts: Vec<ParamShift>,
+    node_caps: Vec<(NetId, f64)>,
+}
 
 /// Evaluates placements: applies the LDE model, extracts parasitics, runs
 /// the class testbench, and tallies the simulation count.
 ///
 /// This is the "simulator" of the paper's objective-driven loop: every call
-/// to [`Evaluator::evaluate`] is one entry in the "#simulations" column of
-/// Fig. 3.
+/// to [`Evaluator::evaluate`] that actually solves is one entry in the
+/// "#simulations" column of Fig. 3.
+///
+/// # Caching
+///
+/// By default every call solves (and counts). Attaching an [`EvalCache`]
+/// with [`Evaluator::with_cache`] memoizes metrics by placement
+/// fingerprint: revisited placements are answered from the cache
+/// **without** incrementing the counter — a lookup is not a simulation.
+/// Monte-Carlo calls (non-empty `extra` shifts) always bypass the cache.
+///
+/// On a cache miss (or without a cache) the evaluation is *incremental*:
+/// per-unit field samples and per-net parasitics are reused from scratch
+/// buffers and recomputed only for units/nets that moved since the last
+/// call. Results are bit-for-bit identical to a from-scratch evaluation.
 ///
 /// # Examples
 ///
@@ -30,34 +62,65 @@ use crate::{EvalOptions, Metrics, SimCounter, SimError, Testbench};
 /// assert!(m.gain_db.expect("OTA reports gain") > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Evaluator {
     lde: LdeModel,
     tech: ExtractionTech,
     bench: Testbench,
     counter: SimCounter,
+    cache: Option<EvalCache>,
+    /// Salt mixed into cache keys, derived from everything besides the
+    /// placement that determines the metrics (LDE model, tech, options).
+    /// Lets differently-configured evaluators share one cache safely.
+    cache_salt: u64,
+    scratch: Mutex<EvalScratch>,
+}
+
+impl Clone for Evaluator {
+    /// Clones share the counter and the cache (both are shared handles)
+    /// but start with fresh scratch buffers — sharing incremental state
+    /// across clones that may diverge (e.g. different tech) would poison
+    /// it.
+    fn clone(&self) -> Self {
+        Evaluator {
+            lde: self.lde.clone(),
+            tech: self.tech,
+            bench: self.bench.clone(),
+            counter: self.counter.clone(),
+            cache: self.cache.clone(),
+            cache_salt: self.cache_salt,
+            scratch: Mutex::new(EvalScratch::default()),
+        }
+    }
 }
 
 impl Evaluator {
     /// Creates an evaluator with default extraction and testbench options.
     pub fn new(lde: LdeModel) -> Self {
-        Evaluator {
+        let mut eval = Evaluator {
             lde,
             tech: ExtractionTech::default(),
             bench: Testbench::default(),
             counter: SimCounter::new(),
-        }
+            cache: None,
+            cache_salt: 0,
+            scratch: Mutex::new(EvalScratch::default()),
+        };
+        eval.refresh_cache_salt();
+        eval
     }
 
     /// Overrides the extraction technology constants.
     pub fn with_tech(mut self, tech: ExtractionTech) -> Self {
         self.tech = tech;
+        self.refresh_cache_salt();
         self
     }
 
     /// Overrides the testbench options.
     pub fn with_options(mut self, options: EvalOptions) -> Self {
         self.bench.options = options;
+        self.refresh_cache_salt();
         self
     }
 
@@ -68,14 +131,58 @@ impl Evaluator {
         self
     }
 
+    /// Attaches a shared [`EvalCache`]. Subsequent evaluations of an
+    /// already-seen placement return the memoized metrics without running
+    /// the simulator (and without incrementing the counter).
+    pub fn with_cache(mut self, cache: EvalCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// The simulation counter.
     pub fn counter(&self) -> &SimCounter {
         &self.counter
     }
 
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&EvalCache> {
+        self.cache.as_ref()
+    }
+
+    /// Statistics of the attached cache ([`None`] when uncached).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(EvalCache::stats)
+    }
+
     /// The LDE model in use.
     pub fn lde(&self) -> &LdeModel {
         &self.lde
+    }
+
+    /// Recomputes the key salt covering every metric-determining input
+    /// except the placement itself. `Debug` output covers every numeric
+    /// field of these configs, which is exactly the identity we need.
+    fn refresh_cache_salt(&mut self) {
+        let mut h = DefaultHasher::new();
+        format!("{:?}", self.lde).hash(&mut h);
+        format!("{:?}", self.tech).hash(&mut h);
+        format!("{:?}", self.bench.options).hash(&mut h);
+        self.cache_salt = h.finish();
+    }
+
+    /// The memoization key of `env`'s current placement: its Zobrist
+    /// fingerprint mixed with circuit and grid identity plus the
+    /// evaluator's config salt, so one cache can serve multiple tasks.
+    fn cache_key(&self, env: &LayoutEnv) -> u64 {
+        let mut h = DefaultHasher::new();
+        env.circuit().name().hash(&mut h);
+        env.circuit().num_units().hash(&mut h);
+        env.circuit().devices().len().hash(&mut h);
+        env.spec().cols().hash(&mut h);
+        env.spec().rows().hash(&mut h);
+        env.spec().pitch_x().value().to_bits().hash(&mut h);
+        env.spec().pitch_y().value().to_bits().hash(&mut h);
+        h.finish() ^ env.fingerprint() ^ self.cache_salt
     }
 
     /// Evaluates the current placement of `env`.
@@ -92,7 +199,9 @@ impl Evaluator {
     /// on top of the systematic LDE shifts — the Monte-Carlo hook for
     /// random (Pelgrom) mismatch.
     ///
-    /// `extra` must be empty or one entry per device.
+    /// `extra` must be empty or one entry per device. Calls with non-empty
+    /// `extra` are never cached (the extra shifts are not part of the
+    /// placement fingerprint).
     ///
     /// # Errors
     ///
@@ -102,10 +211,35 @@ impl Evaluator {
         env: &LayoutEnv,
         extra: &[ParamShift],
     ) -> Result<Metrics, SimError> {
+        if extra.is_empty() {
+            if let Some(cache) = &self.cache {
+                let key = self.cache_key(env);
+                if let Some(metrics) = cache.get(key) {
+                    // A memoized answer is not a simulation: the counter
+                    // (the paper's "#simulations") stays untouched.
+                    return Ok(metrics);
+                }
+                let metrics = self.solve(env, extra)?;
+                cache.insert(key, metrics);
+                return Ok(metrics);
+            }
+        }
+        self.solve(env, extra)
+    }
+
+    /// One real oracle call: LDE shifts → parasitics → testbench. Always
+    /// increments the simulation counter. Incremental: reuses the scratch
+    /// buffers, recomputing only what the placement delta requires.
+    fn solve(&self, env: &LayoutEnv, extra: &[ParamShift]) -> Result<Metrics, SimError> {
         self.counter.increment();
         let circuit = env.circuit();
 
-        let mut shifts = self.lde.all_device_shifts(env);
+        let mut guard = self.scratch.lock();
+        let EvalScratch { lde, route, shifts, node_caps } = &mut *guard;
+
+        let device_shifts = self.lde.device_shifts_into(env, lde);
+        shifts.clear();
+        shifts.extend_from_slice(device_shifts);
         if !extra.is_empty() {
             debug_assert_eq!(extra.len(), shifts.len(), "extra shifts must be per-device");
             for (s, e) in shifts.iter_mut().zip(extra) {
@@ -114,13 +248,14 @@ impl Evaluator {
         }
 
         // Routing effects folded into the simulation, as in the paper.
-        let parasitics = Parasitics::estimate(env, &self.tech);
-        let node_caps: Vec<(NetId, f64)> =
-            parasitics.nets.iter().map(|n| (n.net, n.c_farads)).collect();
+        let parasitics = route.estimate(env, &self.tech);
+        node_caps.clear();
+        node_caps.extend(parasitics.nets.iter().map(|n| (n.net, n.c_farads)));
+        let total_length_um = parasitics.total_length_um;
 
-        let mut metrics = self.bench.run(circuit, &shifts, &node_caps)?;
+        let mut metrics = self.bench.run(circuit, shifts, node_caps)?;
         metrics.area_um2 = env.area_um2();
-        metrics.wirelength_um = parasitics.total_length_um;
+        metrics.wirelength_um = total_length_um;
         Ok(metrics)
     }
 }
@@ -146,7 +281,11 @@ mod tests {
 
         let ota = eval.evaluate(&env_of(circuits::folded_cascode_ota(), 18)).unwrap();
         assert!(ota.offset_v.unwrap().is_finite());
-        assert!(ota.gain_db.unwrap() > 20.0, "folded cascode must have gain, got {:?}", ota.gain_db);
+        assert!(
+            ota.gain_db.unwrap() > 20.0,
+            "folded cascode must have gain, got {:?}",
+            ota.gain_db
+        );
         assert!(ota.ugb_hz.unwrap() > 1e5);
         assert!(ota.phase_margin_deg.unwrap() > 0.0);
 
@@ -201,6 +340,103 @@ mod tests {
         assert_eq!(eval.counter().count(), 2);
     }
 
+    fn metric_bits(m: &Metrics) -> Vec<u64> {
+        [
+            m.mismatch_pct,
+            m.offset_v,
+            m.gain_db,
+            m.ugb_hz,
+            m.phase_margin_deg,
+            m.cmrr_db,
+            m.noise_nv_rthz,
+            m.psrr_db,
+            m.delay_s,
+            m.power_w,
+            Some(m.area_um2),
+            Some(m.wirelength_um),
+        ]
+        .iter()
+        .map(|v| v.unwrap_or(f64::NAN).to_bits())
+        .collect()
+    }
+
+    #[test]
+    fn cache_hits_skip_the_counter_and_return_identical_metrics() {
+        let cache = crate::EvalCache::new(64);
+        let eval = Evaluator::new(LdeModel::nonlinear(1.0, 5)).with_cache(cache.clone());
+        let env = env_of(circuits::current_mirror_medium(), 16);
+
+        let first = eval.evaluate(&env).unwrap();
+        assert_eq!(eval.counter().count(), 1);
+        let second = eval.evaluate(&env).unwrap();
+        assert_eq!(eval.counter().count(), 1, "a cache hit is not a simulation");
+        assert_eq!(metric_bits(&first), metric_bits(&second));
+        let stats = eval.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn cached_and_uncached_agree_across_moves() {
+        let cached =
+            Evaluator::new(LdeModel::nonlinear(1.0, 4)).with_cache(crate::EvalCache::new(64));
+        let mut env = env_of(circuits::current_mirror_medium(), 16);
+        for _ in 0..6 {
+            // A fresh evaluator per step: no scratch reuse, no cache.
+            let fresh = Evaluator::new(LdeModel::nonlinear(1.0, 4));
+            let a = cached.evaluate(&env).unwrap();
+            let b = fresh.evaluate(&env).unwrap();
+            assert_eq!(metric_bits(&a), metric_bits(&b));
+            let g = env.circuit().find_group("g_mirror").unwrap();
+            let dirs = env.legal_group_moves(g);
+            if dirs.is_empty() {
+                break;
+            }
+            env.apply(breaksym_layout::GroupMove { group: g, dir: dirs[0] }.into()).unwrap();
+        }
+    }
+
+    #[test]
+    fn monte_carlo_extra_shifts_bypass_the_cache() {
+        let cache = crate::EvalCache::new(64);
+        let eval = Evaluator::new(LdeModel::none()).with_cache(cache.clone());
+        let env = env_of(circuits::five_transistor_ota(), 12);
+        let n = env.circuit().devices().len();
+        let extra = vec![ParamShift::new(1e-3, 0.0, 0.0); n];
+        eval.evaluate_with_extra_shifts(&env, &extra).unwrap();
+        eval.evaluate_with_extra_shifts(&env, &extra).unwrap();
+        assert_eq!(eval.counter().count(), 2, "MC draws must always solve");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 0, "MC never touches the cache");
+    }
+
+    #[test]
+    fn differently_configured_evaluators_can_share_one_cache() {
+        let cache = crate::EvalCache::new(64);
+        let env = env_of(circuits::current_mirror_medium(), 16);
+        let a = Evaluator::new(LdeModel::nonlinear(1.0, 1)).with_cache(cache.clone());
+        let b = Evaluator::new(LdeModel::nonlinear(1.0, 2)).with_cache(cache.clone());
+        let ma = a.evaluate(&env).unwrap();
+        let mb = b.evaluate(&env).unwrap();
+        // Different LDE seeds → different metrics → must not collide.
+        assert_ne!(metric_bits(&ma), metric_bits(&mb));
+        assert_eq!(cache.stats().misses, 2, "distinct salts, distinct keys");
+        // And each evaluator still hits its own entry.
+        assert_eq!(metric_bits(&a.evaluate(&env).unwrap()), metric_bits(&ma));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn clone_shares_cache_but_not_scratch() {
+        let cache = crate::EvalCache::new(64);
+        let a = Evaluator::new(LdeModel::nonlinear(1.0, 8)).with_cache(cache.clone());
+        let env = env_of(circuits::current_mirror_medium(), 16);
+        a.evaluate(&env).unwrap();
+        let b = a.clone();
+        b.evaluate(&env).unwrap();
+        assert_eq!(a.counter().count(), 1, "clone's lookup hits the shared cache");
+        assert_eq!(cache.stats().hits, 1);
+    }
+
     #[test]
     fn extra_shifts_add_on_top() {
         let eval = Evaluator::new(LdeModel::none());
@@ -229,8 +465,8 @@ mod cmrr_tests {
 
     #[test]
     fn cmrr_is_reported_and_degrades_with_mismatch() {
-        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))
-            .unwrap();
+        let env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12)).unwrap();
         let eval = Evaluator::new(LdeModel::none());
         let matched = eval.evaluate(&env).unwrap();
         let cmrr_matched = matched.cmrr_db.expect("OTA reports CMRR");

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod cache;
 mod complex;
 mod counter;
 mod dc;
@@ -54,6 +55,7 @@ mod testbench;
 mod tran;
 
 pub use ac::{AcSolver, AcSweep};
+pub use cache::{CacheStats, EvalCache, DEFAULT_CACHE_CAPACITY};
 pub use complex::Complex;
 pub use counter::SimCounter;
 pub use dc::{DcSolution, DcSolver};

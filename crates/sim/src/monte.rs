@@ -79,11 +79,7 @@ impl MonteCarlo {
                     let area = (p.w_um * p.l_um * f64::from(d.num_units)).max(1e-6);
                     let sigma_vth = AVT_V_UM / area.sqrt();
                     let sigma_beta = ABETA_UM / area.sqrt();
-                    ParamShift::new(
-                        gauss(rng) * sigma_vth,
-                        gauss(rng) * sigma_beta,
-                        0.0,
-                    )
+                    ParamShift::new(gauss(rng) * sigma_vth, gauss(rng) * sigma_beta, 0.0)
                 }
                 None => ParamShift::ZERO,
             })
@@ -144,8 +140,8 @@ mod tests {
 
     #[test]
     fn draw_is_seeded_and_scales_with_area() {
-        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))
-            .unwrap();
+        let env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12)).unwrap();
         let mc = MonteCarlo::new(4, 42);
         let mut r1 = ChaCha8Rng::seed_from_u64(42);
         let mut r2 = ChaCha8Rng::seed_from_u64(42);
@@ -159,8 +155,8 @@ mod tests {
 
     #[test]
     fn random_mismatch_produces_offset_spread() {
-        let env = LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12))
-            .unwrap();
+        let env =
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(12)).unwrap();
         // Systematic variation off: everything we see is random.
         let eval = Evaluator::new(LdeModel::none());
         let stats = MonteCarlo::new(12, 3).run(&eval, &env).unwrap();

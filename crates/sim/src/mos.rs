@@ -182,15 +182,8 @@ mod tests {
     fn vth_shift_reduces_current() {
         let p = nparams();
         let nom = eval(MosPolarity::Nmos, &p, 1, &ParamShift::ZERO, 1.0, 0.9, 0.0);
-        let shifted = eval(
-            MosPolarity::Nmos,
-            &p,
-            1,
-            &ParamShift::new(20e-3, 0.0, 0.0),
-            1.0,
-            0.9,
-            0.0,
-        );
+        let shifted =
+            eval(MosPolarity::Nmos, &p, 1, &ParamShift::new(20e-3, 0.0, 0.0), 1.0, 0.9, 0.0);
         assert!(shifted.id < nom.id, "higher Vth must reduce current");
         // First-order sensitivity: ΔI ≈ −gm·ΔVth.
         let expect = nom.id - nom.gm * 20e-3;
@@ -201,15 +194,7 @@ mod tests {
     fn mobility_shift_scales_current() {
         let p = nparams();
         let nom = eval(MosPolarity::Nmos, &p, 1, &ParamShift::ZERO, 1.0, 0.9, 0.0);
-        let fast = eval(
-            MosPolarity::Nmos,
-            &p,
-            1,
-            &ParamShift::new(0.0, 0.05, 0.0),
-            1.0,
-            0.9,
-            0.0,
-        );
+        let fast = eval(MosPolarity::Nmos, &p, 1, &ParamShift::new(0.0, 0.05, 0.0), 1.0, 0.9, 0.0);
         assert!(((fast.id - GMIN) / (nom.id - GMIN) - 1.05).abs() < 1e-9);
     }
 

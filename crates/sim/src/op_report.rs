@@ -85,7 +85,9 @@ impl OpReport {
     pub fn new(circuit: &Circuit, dc: &DcSolution) -> Self {
         let mut devices = Vec::new();
         for (i, dev) in circuit.devices().iter().enumerate() {
-            let Some(op) = dc.mos_op(DeviceId::new(i as u32)) else { continue };
+            let Some(op) = dc.mos_op(DeviceId::new(i as u32)) else {
+                continue;
+            };
             let vd = dc.voltage(dev.pin(Terminal::Drain).expect("mos has drain"));
             let vg = dc.voltage(dev.pin(Terminal::Gate).expect("mos has gate"));
             let vs = dc.voltage(dev.pin(Terminal::Source).expect("mos has source"));
@@ -126,10 +128,7 @@ impl OpReport {
     /// Devices *not* in saturation — the usual first question when an
     /// amplifier underperforms.
     pub fn out_of_saturation(&self) -> Vec<&DeviceOp> {
-        self.devices
-            .iter()
-            .filter(|d| d.region != Region::Saturation)
-            .collect()
+        self.devices.iter().filter(|d| d.region != Region::Saturation).collect()
     }
 }
 

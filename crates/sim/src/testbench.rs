@@ -93,9 +93,7 @@ impl Testbench {
             }
         }
         if outs.is_empty() {
-            return Err(SimError::BadCircuit {
-                reason: "current mirror has no iout ports".into(),
-            });
+            return Err(SimError::BadCircuit { reason: "current mirror has no iout ports".into() });
         }
         let extras: Vec<ExtraElement> = outs
             .iter()
@@ -114,7 +112,9 @@ impl Testbench {
             .devices()
             .iter()
             .position(|d| matches!(d.kind, breaksym_netlist::DeviceKind::CurrentSource { .. }))
-            .ok_or_else(|| SimError::BadCircuit { reason: "mirror lacks a reference source".into() })?;
+            .ok_or_else(|| SimError::BadCircuit {
+                reason: "mirror lacks a reference source".into(),
+            })?;
         let iref = match circuit.devices()[iref_dev].kind {
             breaksym_netlist::DeviceKind::CurrentSource { amps } => amps.abs(),
             _ => unreachable!("position() matched a current source"),
@@ -122,9 +122,7 @@ impl Testbench {
 
         let mut worst = 0.0f64;
         for (ei, _) in outs.iter().enumerate() {
-            let ib = dc
-                .extra_branch_current(&ctx, ei)
-                .expect("clamps are voltage sources");
+            let ib = dc.extra_branch_current(&ctx, ei).expect("clamps are voltage sources");
             let iout = ib.abs();
             let err = (iout - iref).abs() / iref;
             worst = worst.max(err);
@@ -201,10 +199,7 @@ impl Testbench {
             .solve(&ctx_cm, f_low)?
             .voltage(out)
             .abs();
-        let adm = sweep_points
-            .first()
-            .map(|(_, h)| h.abs())
-            .unwrap_or(0.0);
+        let adm = sweep_points.first().map(|(_, h)| h.abs()).unwrap_or(0.0);
         let cmrr_db = if acm > 0.0 && adm > 0.0 {
             Some(20.0 * (adm / acm).log10())
         } else {
@@ -219,8 +214,7 @@ impl Testbench {
             .iter()
             .position(|d| {
                 matches!(d.kind, breaksym_netlist::DeviceKind::VoltageSource { .. })
-                    && d.pin(breaksym_netlist::Terminal::P)
-                        == circuit.port(PortRole::Vdd)
+                    && d.pin(breaksym_netlist::Terminal::P) == circuit.port(PortRole::Vdd)
             })
             .and_then(|vdd_idx| {
                 let quiet: Vec<ExtraElement> = base
@@ -233,10 +227,7 @@ impl Testbench {
                     })
                     .collect();
                 let avdd = AcSolver::new(circuit, shifts, &quiet, &dc_c, node_caps)
-                    .with_device_drive(
-                        breaksym_netlist::DeviceId::new(vdd_idx as u32),
-                        1.0,
-                    )
+                    .with_device_drive(breaksym_netlist::DeviceId::new(vdd_idx as u32), 1.0)
                     .solve(&ctx, f_low)
                     .ok()?
                     .voltage(out)
@@ -246,9 +237,7 @@ impl Testbench {
 
         // Offset: the clamp's branch current is the output imbalance;
         // refer it to the input through the measured transconductance.
-        let di = dc_c
-            .extra_branch_current(&ctx_c, clamp_idx)
-            .expect("clamp is a voltage source");
+        let di = dc_c.extra_branch_current(&ctx_c, clamp_idx).expect("clamp is a voltage source");
         // Transconductance to the clamped output: AC drive is the ±0.5
         // differential pair already in `base`; measure the clamp current.
         let ac_c = AcSolver::new(circuit, shifts, &clamped, &dc_c, node_caps);
@@ -301,9 +290,7 @@ impl Testbench {
         let clamp_idx = 2;
         let ctx = MnaContext::new(circuit, &extras);
         let dc = DcSolver::new(circuit, shifts, &extras).solve(&ctx)?;
-        let di = dc
-            .extra_branch_current(&ctx, clamp_idx)
-            .expect("clamp is a voltage source");
+        let di = dc.extra_branch_current(&ctx, clamp_idx).expect("clamp is a voltage source");
 
         let ac = AcSolver::new(circuit, shifts, &extras, &dc, node_caps);
         let gm_sol = ac.solve(&ctx, 0.0)?;
@@ -311,7 +298,11 @@ impl Testbench {
             .extra_branch_current(&ctx, clamp_idx)
             .expect("clamp is a voltage source")
             .abs();
-        let offset = if gm > 1e-12 { di.abs() / gm } else { f64::INFINITY };
+        let offset = if gm > 1e-12 {
+            di.abs() / gm
+        } else {
+            f64::INFINITY
+        };
 
         // Regeneration: τ = C_out / gm_latch with gm_latch the sum of the
         // cross-coupled transconductances on one output.
@@ -396,12 +387,7 @@ impl Testbench {
         // embedded inp common mode so the differential input is +dv.
         let extras = vec![
             ExtraElement::Vsource { p: clk, n: vss, volts: 0.0, ac: 0.0 },
-            ExtraElement::Vsource {
-                p: inn,
-                n: vss,
-                volts: self.input_vcm(circuit) - dv,
-                ac: 0.0,
-            },
+            ExtraElement::Vsource { p: inn, n: vss, volts: self.input_vcm(circuit) - dv, ac: 0.0 },
         ];
         let tran = crate::TransientSolver::new(circuit, shifts, &extras, node_caps);
         // 2 ns window at 5 ps resolution covers GHz-class comparators.
@@ -447,7 +433,11 @@ impl Testbench {
             .and_then(|&d| circuit.device(d).mos_polarity())
             .map(|p| p == breaksym_netlist::MosPolarity::Pmos)
             .unwrap_or(false);
-        if pmos_input { self.options.vcm_p } else { self.options.vcm_n }
+        if pmos_input {
+            self.options.vcm_p
+        } else {
+            self.options.vcm_n
+        }
     }
 
     /// DC power drawn from the supply voltage source.
@@ -460,7 +450,9 @@ impl Testbench {
         let mut power = 0.0;
         for (di, dev) in circuit.devices().iter().enumerate() {
             if let breaksym_netlist::DeviceKind::VoltageSource { volts } = dev.kind {
-                if let Some(i) = dc.device_branch_current(ctx, breaksym_netlist::DeviceId::new(di as u32)) {
+                if let Some(i) =
+                    dc.device_branch_current(ctx, breaksym_netlist::DeviceId::new(di as u32))
+                {
                     power += (volts * i).abs();
                 }
             }
@@ -479,10 +471,7 @@ fn input_referred_noise(circuit: &Circuit, dc: &crate::DcSolution) -> Option<f64
     let group_gm = |kind: GroupKind| -> Option<f64> {
         let g = circuit.groups().iter().position(|g| g.kind == kind)?;
         let devs = &circuit.groups()[g].devices;
-        let gms: Vec<f64> = devs
-            .iter()
-            .filter_map(|&d| dc.mos_op(d).map(|op| op.gm))
-            .collect();
+        let gms: Vec<f64> = devs.iter().filter_map(|&d| dc.mos_op(d).map(|op| op.gm)).collect();
         if gms.is_empty() {
             None
         } else {
@@ -509,7 +498,10 @@ mod noise_tests {
 
     #[test]
     fn ota_noise_is_in_the_physical_range() {
-        for c in [circuits::five_transistor_ota(), circuits::folded_cascode_ota()] {
+        for c in [
+            circuits::five_transistor_ota(),
+            circuits::folded_cascode_ota(),
+        ] {
             let name = c.name().to_string();
             let side = if c.num_units() > 20 { 18 } else { 12 };
             let env = LayoutEnv::sequential(c, GridSpec::square(side)).unwrap();
@@ -522,11 +514,8 @@ mod noise_tests {
 
     #[test]
     fn mirror_reports_no_noise_metric() {
-        let env = LayoutEnv::sequential(
-            circuits::current_mirror_medium(),
-            GridSpec::square(16),
-        )
-        .unwrap();
+        let env =
+            LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap();
         let m = crate::Evaluator::new(LdeModel::none()).evaluate(&env).unwrap();
         assert!(m.noise_nv_rthz.is_none());
     }
@@ -599,12 +588,9 @@ mod comparator_transient_tests {
         use breaksym_layout::LayoutEnv;
         use breaksym_lde::LdeModel;
 
-        let env =
-            LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16)).unwrap();
-        let eval = crate::Evaluator::new(LdeModel::none()).with_options(EvalOptions {
-            comp_transient: true,
-            ..EvalOptions::default()
-        });
+        let env = LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16)).unwrap();
+        let eval = crate::Evaluator::new(LdeModel::none())
+            .with_options(EvalOptions { comp_transient: true, ..EvalOptions::default() });
         let m = eval.evaluate(&env).expect("simulates");
         let delay = m.delay_s.expect("delay reported");
         assert!(delay > 1e-12 && delay < 2e-9, "physical delay range, got {delay:.3e}");
@@ -620,7 +606,10 @@ mod psrr_tests {
 
     #[test]
     fn ota_reports_positive_psrr() {
-        for c in [circuits::five_transistor_ota(), circuits::two_stage_miller()] {
+        for c in [
+            circuits::five_transistor_ota(),
+            circuits::two_stage_miller(),
+        ] {
             let name = c.name().to_string();
             let side = if c.num_units() > 16 { 16 } else { 12 };
             let env = LayoutEnv::sequential(c, GridSpec::square(side)).unwrap();
@@ -635,8 +624,7 @@ mod psrr_tests {
 
     #[test]
     fn comparator_reports_no_psrr() {
-        let env =
-            LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16)).unwrap();
+        let env = LayoutEnv::sequential(circuits::comparator(), GridSpec::square(16)).unwrap();
         let m = crate::Evaluator::new(LdeModel::none()).evaluate(&env).unwrap();
         assert!(m.psrr_db.is_none());
     }

@@ -53,11 +53,7 @@ impl TransientResult {
     where
         F: FnMut(&[f64]) -> bool,
     {
-        self.times
-            .iter()
-            .zip(&self.voltages)
-            .find(|(_, v)| f(v))
-            .map(|(&t, _)| t)
+        self.times.iter().zip(&self.voltages).find(|(_, v)| f(v)).map(|(&t, _)| t)
     }
 }
 
@@ -163,12 +159,7 @@ impl<'a> TransientSolver<'a> {
     ///
     /// Panics if `h` or `t_stop` is not positive, or a drive index does not
     /// point at a voltage-source extra.
-    pub fn run<F>(
-        &self,
-        t_stop: f64,
-        h: f64,
-        mut drive: F,
-    ) -> Result<TransientResult, SimError>
+    pub fn run<F>(&self, t_stop: f64, h: f64, mut drive: F) -> Result<TransientResult, SimError>
     where
         F: FnMut(f64) -> Vec<(usize, f64)>,
     {
@@ -208,11 +199,10 @@ impl<'a> TransientSolver<'a> {
                 });
             }
             let ctx = MnaContext::new(self.circuit, &extras_step);
-            let sol = DcSolver::new(self.circuit, self.shifts, &extras_step)
-                .solve_from(&ctx, &prev)?;
-            let snapshot: Vec<f64> = (0..num_nets as u32)
-                .map(|i| sol.voltage(NetId::new(i)))
-                .collect();
+            let sol =
+                DcSolver::new(self.circuit, self.shifts, &extras_step).solve_from(&ctx, &prev)?;
+            let snapshot: Vec<f64> =
+                (0..num_nets as u32).map(|i| sol.voltage(NetId::new(i))).collect();
             times.push(t);
             voltages.push(snapshot);
             prev = sol;
@@ -249,10 +239,7 @@ mod tests {
         let result = tran.run(3e-6, h, |_| vec![(0, 1.0)]).unwrap();
         for &(t, v) in result.waveform(vout).iter().step_by(25) {
             let expect = 1.0 - (-t / 1e-6_f64).exp();
-            assert!(
-                (v - expect).abs() < 0.01,
-                "t={t:.2e}: got {v:.4}, expected {expect:.4}"
-            );
+            assert!((v - expect).abs() < 0.01, "t={t:.2e}: got {v:.4}, expected {expect:.4}");
         }
     }
 
@@ -261,14 +248,11 @@ mod tests {
         let half_rise = |c_farads: f64| {
             let (circuit, vin, vout) = rc_circuit(1e3, c_farads);
             let vss = circuit.port(PortRole::Vss).unwrap();
-            let extras =
-                vec![ExtraElement::Vsource { p: vin, n: vss, volts: 0.0, ac: 0.0 }];
+            let extras = vec![ExtraElement::Vsource { p: vin, n: vss, volts: 0.0, ac: 0.0 }];
             let tran = TransientSolver::new(&circuit, &[], &extras, &[]);
             let result = tran.run(10e-6, 2e-8, |_| vec![(0, 1.0)]).unwrap();
             let vo = vout;
-            result
-                .first_time(move |v| v[vo.index()] > 0.5)
-                .expect("must cross half")
+            result.first_time(move |v| v[vo.index()] > 0.5).expect("must cross half")
         };
         let t1 = half_rise(1e-9);
         let t2 = half_rise(2e-9);

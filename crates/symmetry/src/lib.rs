@@ -311,10 +311,7 @@ fn check_bounds(cell: GridPoint, spec: &GridSpec, _c: &Circuit) -> Result<(), La
 }
 
 fn grid_too_small(circuit: &Circuit, spec: &GridSpec) -> LayoutError {
-    LayoutError::GridTooSmall {
-        capacity: spec.bounds().area(),
-        needed: circuit.num_units() as u64,
-    }
+    LayoutError::GridTooSmall { capacity: spec.bounds().area(), needed: circuit.num_units() as u64 }
 }
 
 /// Fraction of occupied cells whose mirror image about the grid's vertical
@@ -328,10 +325,7 @@ pub fn axis_symmetry_score(env: &LayoutEnv) -> f64 {
         return 1.0;
     }
     let occupied: std::collections::HashSet<GridPoint> = positions.iter().copied().collect();
-    let hits = positions
-        .iter()
-        .filter(|&&p| occupied.contains(&mirror.apply(p)))
-        .count();
+    let hits = positions.iter().filter(|&&p| occupied.contains(&mirror.apply(p))).count();
     hits as f64 / positions.len() as f64
 }
 
@@ -367,9 +361,7 @@ pub fn pair_centroid_error(env: &LayoutEnv) -> f64 {
 
 fn device_centroid(env: &LayoutEnv, d: DeviceId) -> (f64, f64) {
     let units: Vec<_> = env.circuit().units_of_device(d).collect();
-    env.placement()
-        .centroid_of(&units)
-        .expect("placeable devices have units")
+    env.placement().centroid_of(&units).expect("placeable devices have units")
 }
 
 /// Computes the dummy-fill ring around every matching-critical group:
@@ -412,10 +404,7 @@ mod tests {
             let env = mirror_y(c, GridSpec::square(side)).unwrap_or_else(|e| panic!("{name}: {e}"));
             env.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
             let score = axis_symmetry_score(&env);
-            assert!(
-                score > 0.999,
-                "{name}: mirror_y must be footprint-symmetric, got {score}"
-            );
+            assert!(score > 0.999, "{name}: mirror_y must be footprint-symmetric, got {score}");
             let err = pair_centroid_error(&env);
             assert!(err < 1e-9, "{name}: pair centroids must mirror, err={err}");
         }
@@ -429,8 +418,8 @@ mod tests {
             (circuits::folded_cascode_ota(), 18),
         ] {
             let name = c.name().to_string();
-            let env =
-                common_centroid(c, GridSpec::square(side)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let env = common_centroid(c, GridSpec::square(side))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             env.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
             // Common-centroid: paired devices share centroids to within a
             // cell (interleave rounding).

@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "mlma-q:  offset = {:.3} mV after {} sims{}",
         rl.best_primary() * 1e3,
         rl.evaluations,
-        if rl.reached_target { " (target reached)" } else { "" }
+        if rl.reached_target {
+            " (target reached)"
+        } else {
+            ""
+        }
     );
 
     // Random vs systematic: Monte-Carlo around the RL layout.

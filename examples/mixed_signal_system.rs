@@ -32,13 +32,21 @@ fn sar_slice() -> Result<breaksym::netlist::Circuit, breaksym::netlist::NetlistE
     let g_ladder = b.add_group("g_ladder", GroupKind::Passive)?;
     let mut prev = vdd;
     for i in 0..4 {
-        let next = if i == 3 { tap } else { b.net(&format!("nu{i}"), NetKind::Signal) };
+        let next = if i == 3 {
+            tap
+        } else {
+            b.net(&format!("nu{i}"), NetKind::Signal)
+        };
         b.add_resistor(&format!("RU{i}"), 4e3, 2, g_ladder, prev, next)?;
         prev = next;
     }
     let mut prev = tap;
     for i in 0..4 {
-        let next = if i == 3 { vss } else { b.net(&format!("nl{i}"), NetKind::Signal) };
+        let next = if i == 3 {
+            vss
+        } else {
+            b.net(&format!("nl{i}"), NetKind::Signal)
+        };
         b.add_resistor(&format!("RL{i}"), 4e3, 2, g_ladder, prev, next)?;
         prev = next;
     }
@@ -74,10 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Inspect the field the placer has to fight.
     let lde = LdeModel::nonlinear(1.0, 31);
     println!("\nLDE Vth field over the die (dark = high):");
-    print!(
-        "{}",
-        Atlas::sample(&lde, Component::Vth, 16).render_ascii()
-    );
+    print!("{}", Atlas::sample(&lde, Component::Vth, 16).render_ascii());
 
     let task = PlacementTask::new(circuit, 16, lde);
     let symmetric = runner::best_symmetric_baseline(&task)?;

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..MlmaConfig::default()
         };
         let rl = runner::run_mlma(&task, &cfg)?;
-        let sym_best = if fig1b.best_cost <= fig1c.best_cost { &fig1b } else { &fig1c };
+        let sym_best = if fig1b.best_cost <= fig1c.best_cost {
+            &fig1b
+        } else {
+            &fig1c
+        };
         println!(
             "  {:16} offset = {:8.3} mV | gain = {:5.1} dB | area = {:6.1} um^2 | {} sims | FOM {:.2}x",
             rl.method,

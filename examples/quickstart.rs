@@ -11,11 +11,8 @@ use breaksym::netlist::circuits;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The problem: the CM benchmark on a 16x16 grid under the standard
     //    non-linear LDE model (gradients + WPE + hotspot + stress).
-    let task = PlacementTask::new(
-        circuits::current_mirror_medium(),
-        16,
-        LdeModel::nonlinear(1.0, 42),
-    );
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 42));
 
     // 2. The conventional answers: the best symmetric layout sets the
     //    target, exactly as the paper does.
@@ -40,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  area     = {:.1} um^2", rl.best_metrics.area_um2);
     println!("  #sims    = {}", rl.evaluations);
     println!("  q-states = {}", rl.qtable_states);
-    println!(
-        "  FOM vs symmetric = {:.2}x",
-        rl.fom_against(&symmetric.best_metrics).value
-    );
+    println!("  FOM vs symmetric = {:.2}x", rl.fom_against(&symmetric.best_metrics).value);
 
     // 4. Show the unconventional layout the agent found.
     let env = LayoutEnv::new(task.circuit.clone(), task.spec, rl.best_placement.clone())?;

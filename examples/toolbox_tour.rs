@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dc = DcSolver::new(&circuit, &[], &extras).solve(&ctx)?;
     let report = OpReport::new(&circuit, &dc);
     println!("\noperating point:\n{report}");
-    println!(
-        "devices out of saturation: {}",
-        report.out_of_saturation().len()
-    );
+    println!("devices out of saturation: {}", report.out_of_saturation().len());
 
     // 4. Optimise, then inspect what the agents learned.
     let task = PlacementTask::new(circuit, 14, lde);

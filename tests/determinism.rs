@@ -72,10 +72,7 @@ fn different_seeds_explore_differently() {
     };
     let a = mk(1);
     let b = mk(2);
-    assert_ne!(
-        a.trajectory, b.trajectory,
-        "distinct seeds must take distinct trajectories"
-    );
+    assert_ne!(a.trajectory, b.trajectory, "distinct seeds must take distinct trajectories");
 }
 
 #[test]

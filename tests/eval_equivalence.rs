@@ -1,0 +1,152 @@
+//! The evaluation cache and the incremental scratch paths are pure
+//! optimisations: for any reachable placement, a cached evaluator that has
+//! seen an arbitrary move/undo history must report metrics bit-for-bit
+//! identical to a freshly constructed evaluator seeing the placement for
+//! the first time. These properties drive random walks over the paper's
+//! three benchmark circuits and check exactly that.
+
+use breaksym::geometry::{Direction, GridSpec};
+use breaksym::layout::{GroupMove, LayoutEnv, PlacementMove, UnitMove};
+use breaksym::lde::LdeModel;
+use breaksym::netlist::{circuits, Circuit, GroupId, UnitId};
+use breaksym::sim::{EvalCache, Evaluator, Metrics, SimCounter};
+use proptest::prelude::*;
+
+/// Every metric field as raw bits (`NaN` for absent optionals), so
+/// equality means bit-for-bit identical simulation results.
+fn metric_bits(m: &Metrics) -> Vec<u64> {
+    let o = |v: Option<f64>| v.unwrap_or(f64::NAN).to_bits();
+    vec![
+        o(m.mismatch_pct),
+        o(m.offset_v),
+        o(m.gain_db),
+        o(m.ugb_hz),
+        o(m.phase_margin_deg),
+        o(m.cmrr_db),
+        o(m.noise_nv_rthz),
+        o(m.psrr_db),
+        o(m.delay_s),
+        o(m.power_w),
+        m.area_um2.to_bits(),
+        m.wirelength_um.to_bits(),
+    ]
+}
+
+/// Drives one move/undo walk, comparing the cached + incremental evaluator
+/// against a brand-new evaluator (empty scratch, no cache) at every state.
+fn walk_matches_fresh(circuit: Circuit, side: i32, steps: &[(u8, u32, usize, bool)]) {
+    let mut env = LayoutEnv::sequential(circuit, GridSpec::square(side)).expect("fits");
+    let lde = LdeModel::nonlinear(1.0, 7);
+    let cache = EvalCache::new(1 << 12);
+    let cached = Evaluator::new(lde.clone()).with_cache(cache.clone());
+    let num_units = env.circuit().num_units() as u32;
+    let num_groups = env.circuit().groups().len() as u32;
+    let mut undos = Vec::new();
+
+    let compare = |env: &LayoutEnv| {
+        let fresh = Evaluator::new(lde.clone());
+        match (cached.evaluate(env), fresh.evaluate(env)) {
+            (Ok(a), Ok(b)) => assert_eq!(metric_bits(&a), metric_bits(&b)),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("cached and fresh evaluators diverge: {a:?} vs {b:?}"),
+        }
+    };
+    compare(&env);
+
+    for &(kind, id, d, undo) in steps {
+        if undo {
+            if let Some(tok) = undos.pop() {
+                env.undo(tok);
+                compare(&env);
+            }
+            continue;
+        }
+        let dir = Direction::from_index(d).expect("index < 8 by construction");
+        let mv: PlacementMove = if kind % 2 == 0 {
+            UnitMove { unit: UnitId::new(id % num_units), dir }.into()
+        } else {
+            GroupMove { group: GroupId::new(id % num_groups), dir }.into()
+        };
+        if let Ok(tok) = env.apply(mv) {
+            undos.push(tok);
+            compare(&env);
+        }
+    }
+
+    // Rewind to the start: the initial placement must come back out of the
+    // cache, still identical to a fresh solve.
+    while let Some(tok) = undos.pop() {
+        env.undo(tok);
+    }
+    let hits_before = cache.stats().hits;
+    compare(&env);
+    assert!(
+        cache.stats().hits > hits_before,
+        "the rewound initial state must be a cache hit"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn cm_cached_walk_matches_fresh(
+        steps in proptest::collection::vec((0u8..2, 0u32..64, 0usize..8, any::<bool>()), 1..8)
+    ) {
+        walk_matches_fresh(circuits::current_mirror_medium(), 16, &steps);
+    }
+
+    #[test]
+    fn comp_cached_walk_matches_fresh(
+        steps in proptest::collection::vec((0u8..2, 0u32..64, 0usize..8, any::<bool>()), 1..8)
+    ) {
+        walk_matches_fresh(circuits::comparator(), 16, &steps);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn ota_cached_walk_matches_fresh(
+        steps in proptest::collection::vec((0u8..2, 0u32..64, 0usize..8, any::<bool>()), 1..6)
+    ) {
+        walk_matches_fresh(circuits::folded_cascode_ota(), 18, &steps);
+    }
+}
+
+#[test]
+fn cache_hits_are_excluded_from_the_simulation_tally() {
+    let env = LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16))
+        .expect("fits");
+    let counter = SimCounter::new();
+    let cache = EvalCache::new(64);
+    let eval = Evaluator::new(LdeModel::nonlinear(1.0, 7))
+        .with_counter(counter.clone())
+        .with_cache(cache.clone());
+    for _ in 0..5 {
+        eval.evaluate(&env).expect("simulates");
+    }
+    // One real solve; four lookups answered without touching the counter.
+    assert_eq!(counter.count(), 1);
+    let s = cache.stats();
+    assert_eq!((s.hits, s.misses), (4, 1));
+}
+
+#[test]
+fn runner_reports_cache_backed_accounting() {
+    use breaksym::core::{runner, MlmaConfig, PlacementTask};
+    let task = PlacementTask::new(circuits::diff_pair(), 10, LdeModel::nonlinear(1.0, 13));
+    let cfg = MlmaConfig {
+        episodes: 4,
+        steps_per_episode: 10,
+        max_evals: 200,
+        seed: 11,
+        ..MlmaConfig::default()
+    };
+    let r = runner::run_mlma(&task, &cfg).expect("runs");
+    let stats = r.cache.expect("runner attaches a cache");
+    assert_eq!(stats.hits + stats.misses, r.evaluations + 1);
+    assert_eq!(r.simulations, stats.misses);
+    assert!(r.simulations <= r.evaluations);
+}

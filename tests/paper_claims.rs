@@ -9,7 +9,11 @@ fn quick_q(budget: u64, target: Option<f64>, seed: u64) -> MlmaConfig {
     MlmaConfig {
         episodes: 30,
         steps_per_episode: 8,
-        exploration: Exploration::EpsilonGreedy(EpsilonSchedule { start: 0.3, end: 0.01, decay_episodes: 8.0 }),
+        exploration: Exploration::EpsilonGreedy(EpsilonSchedule {
+            start: 0.3,
+            end: 0.01,
+            decay_episodes: 8.0,
+        }),
         max_evals: budget,
         target_primary: target,
         stop_at_target: false,
@@ -22,11 +26,7 @@ fn quick_q(budget: u64, target: Option<f64>, seed: u64) -> MlmaConfig {
 /// performance than symmetric layout across all examples."
 #[test]
 fn rl_beats_symmetric_under_nonlinear_lde() {
-    let task = PlacementTask::new(
-        circuits::five_transistor_ota(),
-        14,
-        LdeModel::nonlinear(1.0, 7),
-    );
+    let task = PlacementTask::new(circuits::five_transistor_ota(), 14, LdeModel::nonlinear(1.0, 7));
     let sym = runner::best_symmetric_baseline(&task).expect("baselines");
     let rl = runner::run_mlma(&task, &quick_q(700, Some(sym.best_primary()), 7)).expect("runs");
     assert!(
@@ -43,11 +43,8 @@ fn rl_beats_symmetric_under_nonlinear_lde() {
 /// cancellation floor and RL has nothing meaningful left to win.
 #[test]
 fn symmetric_is_near_optimal_under_linear_lde() {
-    let task = PlacementTask::new(
-        circuits::five_transistor_ota(),
-        14,
-        LdeModel::blend(1.0, 0.0, 7),
-    );
+    let task =
+        PlacementTask::new(circuits::five_transistor_ota(), 14, LdeModel::blend(1.0, 0.0, 7));
     assert!(task.lde.is_linear());
     let sym = runner::best_symmetric_baseline(&task).expect("baselines");
     let rl = runner::run_mlma(&task, &quick_q(700, None, 7)).expect("runs");
@@ -79,9 +76,7 @@ fn symmetric_degrades_with_nonlinearity() {
                 14,
                 LdeModel::blend(1.0, alpha, 7),
             );
-            runner::best_symmetric_baseline(&task)
-                .expect("baselines")
-                .best_primary()
+            runner::best_symmetric_baseline(&task).expect("baselines").best_primary()
         })
         .collect();
     assert!(
@@ -95,11 +90,8 @@ fn symmetric_degrades_with_nonlinearity() {
 /// to a flat agent on the same budget.
 #[test]
 fn multilevel_contains_qtable_growth() {
-    let task = PlacementTask::new(
-        circuits::current_mirror_medium(),
-        16,
-        LdeModel::nonlinear(1.0, 3),
-    );
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 3));
     let cfg = quick_q(400, None, 3);
     let flat = runner::run_flat(&task, &cfg).expect("flat runs");
     let ml = runner::run_mlma(&task, &cfg).expect("mlma runs");
@@ -115,11 +107,8 @@ fn multilevel_contains_qtable_growth() {
 /// objective-driven placement instead.
 #[test]
 fn dummies_cost_area_without_fixing_nonlinear_mismatch() {
-    let task = PlacementTask::new(
-        circuits::current_mirror_medium(),
-        16,
-        LdeModel::nonlinear(1.0, 7),
-    );
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 7));
     let plain = runner::run_baseline(&task, runner::Baseline::CommonCentroid).expect("runs");
     let dummies =
         runner::run_baseline(&task, runner::Baseline::CommonCentroidDummies).expect("runs");

@@ -117,10 +117,10 @@ fn netlist_round_trip_preserves_simulation_results() {
     let reparsed = spice::parse(&text).expect("round-trips");
 
     let lde = LdeModel::nonlinear(1.0, 9);
-    let env_a = LayoutEnv::sequential(original, breaksym::geometry::GridSpec::square(12))
-        .expect("fits");
-    let env_b = LayoutEnv::sequential(reparsed, breaksym::geometry::GridSpec::square(12))
-        .expect("fits");
+    let env_a =
+        LayoutEnv::sequential(original, breaksym::geometry::GridSpec::square(12)).expect("fits");
+    let env_b =
+        LayoutEnv::sequential(reparsed, breaksym::geometry::GridSpec::square(12)).expect("fits");
     let eval = Evaluator::new(lde);
     let ma = eval.evaluate(&env_a).expect("simulates");
     let mb = eval.evaluate(&env_b).expect("simulates");

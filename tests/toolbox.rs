@@ -26,9 +26,7 @@ fn every_library_circuit_lints_clean_and_reports_an_op_point() {
         // Build testbench-ish extras only for circuits with In ports.
         let vss = circuit.require_port(PortRole::Vss).expect("bound");
         let mut extras = Vec::new();
-        if let (Some(inp), Some(inn)) =
-            (circuit.port(PortRole::InP), circuit.port(PortRole::InN))
-        {
+        if let (Some(inp), Some(inn)) = (circuit.port(PortRole::InP), circuit.port(PortRole::InN)) {
             let vcm = 0.5;
             extras.push(ExtraElement::Vsource { p: inp, n: vss, volts: vcm, ac: 0.0 });
             if circuit.find_device("VCM").is_none() {
@@ -46,11 +44,7 @@ fn every_library_circuit_lints_clean_and_reports_an_op_point() {
             .solve(&ctx)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let report = OpReport::new(&circuit, &dc);
-        let mos_count = circuit
-            .devices()
-            .iter()
-            .filter(|d| d.mos_polarity().is_some())
-            .count();
+        let mos_count = circuit.devices().iter().filter(|d| d.mos_polarity().is_some()).count();
         assert_eq!(report.devices.len(), mos_count, "{name}");
         assert!(!report.to_string().is_empty());
     }
@@ -74,7 +68,13 @@ fn optimised_layouts_route_with_bounded_congestion() {
     let task = PlacementTask::new(circuits::five_transistor_ota(), 14, LdeModel::nonlinear(1.0, 4));
     let rl = runner::run_mlma(
         &task,
-        &MlmaConfig { episodes: 4, steps_per_episode: 10, max_evals: 200, seed: 4, ..MlmaConfig::default() },
+        &MlmaConfig {
+            episodes: 4,
+            steps_per_episode: 10,
+            max_evals: 200,
+            seed: 4,
+            ..MlmaConfig::default()
+        },
     )
     .expect("runs");
     let env = LayoutEnv::new(task.circuit.clone(), task.spec, rl.best_placement).expect("legal");
@@ -89,8 +89,9 @@ fn optimised_layouts_route_with_bounded_congestion() {
 
 #[test]
 fn transient_and_formula_delays_are_same_order() {
-    let env = LayoutEnv::sequential(circuits::comparator(), breaksym::geometry::GridSpec::square(16))
-        .expect("fits");
+    let env =
+        LayoutEnv::sequential(circuits::comparator(), breaksym::geometry::GridSpec::square(16))
+            .expect("fits");
     let formula = Evaluator::new(LdeModel::none())
         .evaluate(&env)
         .expect("simulates")
