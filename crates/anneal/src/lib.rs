@@ -12,6 +12,16 @@
 //! - full bookkeeping: evaluations, acceptances, and a best-cost
 //!   trajectory for the SA-vs-Q convergence ablation.
 //!
+//! Both [`Annealer`] and [`RandomSearch`] are thin drivers over one shared
+//! step machine, [`SearchRun`], which inverts control: instead of calling a
+//! cost closure itself, it *proposes* one move at a time
+//! ([`SearchRun::step`]) and is *fed* the verdict
+//! ([`SearchRun::feed`]). That shape lets an external harness own the
+//! budget, the oracle, and checkpointing — `breaksym-core`'s `Optimizer`
+//! trait drives both methods through exactly this interface — while the
+//! classic closure-driven [`Annealer::run`] / [`RandomSearch::run`] keep
+//! working unchanged (and bit-identically) on top of it.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,8 +48,16 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use breaksym_geometry::Direction;
-use breaksym_layout::{GroupMove, LayoutEnv, Placement, PlacementMove, SwapMove, UnitMove};
+use breaksym_layout::{
+    AppliedMove, GroupMove, LayoutEnv, Placement, PlacementMove, SwapMove, UnitMove,
+};
 use breaksym_netlist::{GroupId, UnitId};
+
+pub mod rng_serde;
+
+/// Probe moves spent calibrating the initial temperature when
+/// [`SaConfig::initial_temp`] is `None`.
+const PROBE_MOVES: u32 = 12;
 
 /// Configuration of one annealing run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,6 +82,15 @@ pub struct SaConfig {
     pub swap_prob: f64,
     /// RNG seed.
     pub seed: u64,
+}
+
+impl SaConfig {
+    /// This configuration with a different seed — handy when fanning one
+    /// method out across a seed sweep (the portfolio runner does this).
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        SaConfig { seed, ..self }
+    }
 }
 
 impl Default for SaConfig {
@@ -101,19 +128,355 @@ pub struct SaResult {
     pub trajectory: Vec<(u64, f64)>,
 }
 
+/// How a [`SearchRun`] resolves each evaluated candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AcceptRule {
+    /// Metropolis acceptance at the current temperature, with geometric
+    /// cooling and optional auto-temperature probing — simulated annealing.
+    Metropolis,
+    /// Accept every proposal — pure random search.
+    Always,
+}
+
+/// What the caller must do after [`SearchRun::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// A move was applied to the environment: evaluate its cost and pass
+    /// the verdict to [`SearchRun::feed`].
+    Evaluate {
+        /// `false` for auto-temperature probe moves, which are always
+        /// undone and never update the best placement; `true` for real
+        /// candidates.
+        candidate: bool,
+    },
+    /// The schedule is exhausted or the placement is fully locked; no move
+    /// was applied and `feed` must not be called.
+    Finished,
+}
+
+/// Where the run is in its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Phase {
+    /// Auto-temperature calibration; `left` probe iterations remain.
+    Probe {
+        left: u32,
+    },
+    /// The main loop at temperature `temp`, `step` proposals into the
+    /// current cooling batch. (Random search never reads the temperature.)
+    Main {
+        temp: f64,
+        step: usize,
+    },
+    Finished,
+}
+
+/// What kind of evaluation the fed cost resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    Probe,
+    Move,
+}
+
+/// An applied-but-unjudged move awaiting its cost verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Pending {
+    undo: AppliedMove,
+    kind: PendingKind,
+}
+
+/// The shared proposal/acceptance step machine behind both [`Annealer`]
+/// (Metropolis rule) and [`RandomSearch`] (always-accept rule).
+///
+/// Control is inverted: the caller owns the loop and the cost oracle.
+///
+/// ```text
+/// let mut run = SearchRun::start(cfg, AcceptRule::Metropolis, &env, c0);
+/// while budget_left {
+///     match run.step(&mut env) {
+///         StepOutcome::Finished => break,
+///         StepOutcome::Evaluate { .. } => run.feed(cost(&env), &mut env),
+///     }
+/// }
+/// ```
+///
+/// The per-seed proposal and acceptance draw sequence is identical to the
+/// historic closure-driven loops (the cost oracle never consumes the
+/// search RNG), so trajectories are bit-for-bit reproducible. The whole
+/// state — RNG position, temperature schedule, best placement — is
+/// serde-serialisable for checkpointing; snapshots are only valid at
+/// *quiescent* points (after `feed`, see [`SearchRun::is_quiescent`]), and
+/// a deserialised run must be [`SearchRun::rehydrate`]d before use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchRun {
+    config: SaConfig,
+    rule: AcceptRule,
+    #[serde(with = "rng_serde")]
+    rng: ChaCha8Rng,
+    phase: Phase,
+    initial_cost: f64,
+    current: f64,
+    best: f64,
+    best_placement: Placement,
+    accepted: u64,
+    rejected: u64,
+    probe_deltas: Vec<f64>,
+    #[serde(skip)]
+    pending: Option<Pending>,
+}
+
+impl SearchRun {
+    /// Starts a run from `env`'s current placement, whose cost is
+    /// `initial_cost`.
+    pub fn start(config: SaConfig, rule: AcceptRule, env: &LayoutEnv, initial_cost: f64) -> Self {
+        let phase = match (rule, config.initial_temp) {
+            // Random search has no temperature; annealing with an explicit
+            // temperature skips the probe phase.
+            (AcceptRule::Always, _) => Phase::Main { temp: 0.0, step: 0 },
+            (AcceptRule::Metropolis, Some(t)) => Phase::Main { temp: t, step: 0 },
+            (AcceptRule::Metropolis, None) => Phase::Probe { left: PROBE_MOVES },
+        };
+        SearchRun {
+            config,
+            rule,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            phase,
+            initial_cost,
+            current: initial_cost,
+            best: initial_cost,
+            best_placement: env.placement().clone(),
+            accepted: 0,
+            rejected: 0,
+            probe_deltas: Vec::new(),
+            pending: None,
+        }
+    }
+
+    /// Applies the next proposed move to `env` (or finishes). On
+    /// `Evaluate`, the caller must compute the cost of `env`'s new
+    /// placement and [`feed`](SearchRun::feed) it before stepping again.
+    pub fn step(&mut self, env: &mut LayoutEnv) -> StepOutcome {
+        assert!(self.pending.is_none(), "feed() the previous evaluation before stepping again");
+        if self.rule == AcceptRule::Always {
+            return self.step_always(env);
+        }
+        loop {
+            match self.phase {
+                Phase::Finished => return StepOutcome::Finished,
+                Phase::Probe { left } => {
+                    if left == 0 {
+                        self.phase = Phase::Main { temp: self.calibrated_temp(), step: 0 };
+                        continue;
+                    }
+                    self.phase = Phase::Probe { left: left - 1 };
+                    // A probe iteration with nothing to propose is simply
+                    // consumed, like the historic `if let` probe loop.
+                    if let Some(mv) = propose_move(&self.config, env, &mut self.rng) {
+                        let undo = env.apply(mv).expect("proposed moves are legal");
+                        self.pending = Some(Pending { undo, kind: PendingKind::Probe });
+                        return StepOutcome::Evaluate { candidate: false };
+                    }
+                }
+                Phase::Main { temp, step } => {
+                    if step >= self.config.steps_per_temp {
+                        self.phase = Phase::Main { temp: temp * self.config.cooling, step: 0 };
+                        continue;
+                    }
+                    if step == 0 && temp <= self.config.min_temp {
+                        self.phase = Phase::Finished;
+                        return StepOutcome::Finished;
+                    }
+                    let Some(mv) = propose_move(&self.config, env, &mut self.rng) else {
+                        // Fully locked placement.
+                        self.phase = Phase::Finished;
+                        return StepOutcome::Finished;
+                    };
+                    let undo = env.apply(mv).expect("proposed moves are legal");
+                    self.pending = Some(Pending { undo, kind: PendingKind::Move });
+                    self.phase = Phase::Main { temp, step: step + 1 };
+                    return StepOutcome::Evaluate { candidate: true };
+                }
+            }
+        }
+    }
+
+    fn step_always(&mut self, env: &mut LayoutEnv) -> StepOutcome {
+        let Some(mv) = propose_move(&self.config, env, &mut self.rng) else {
+            self.phase = Phase::Finished;
+            return StepOutcome::Finished;
+        };
+        let undo = env.apply(mv).expect("proposed moves are legal");
+        self.pending = Some(Pending { undo, kind: PendingKind::Move });
+        StepOutcome::Evaluate { candidate: true }
+    }
+
+    /// Resolves the pending evaluation: records a probe delta (and undoes
+    /// the probe), or accepts/rejects the candidate under the run's rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no evaluation is pending.
+    pub fn feed(&mut self, cost: f64, env: &mut LayoutEnv) {
+        let pending = self.pending.take().expect("feed() follows a Evaluate step");
+        match pending.kind {
+            PendingKind::Probe => {
+                self.probe_deltas.push((cost - self.current).abs());
+                env.undo(pending.undo);
+            }
+            PendingKind::Move => match self.rule {
+                AcceptRule::Always => {
+                    self.accepted += 1;
+                    self.current = cost;
+                    self.note_best(cost, env);
+                }
+                AcceptRule::Metropolis => {
+                    let temp = match self.phase {
+                        Phase::Main { temp, .. } => temp,
+                        _ => unreachable!("moves are only pending in the main phase"),
+                    };
+                    let delta = cost - self.current;
+                    let accept = delta <= 0.0 || {
+                        let p = (-delta / temp).exp();
+                        self.rng.gen_range(0.0..1.0) < p
+                    };
+                    if accept {
+                        self.current = cost;
+                        self.accepted += 1;
+                        self.note_best(cost, env);
+                    } else {
+                        env.undo(pending.undo);
+                        self.rejected += 1;
+                    }
+                }
+            },
+        }
+    }
+
+    fn note_best(&mut self, cost: f64, env: &LayoutEnv) {
+        if cost < self.best {
+            self.best = cost;
+            self.best_placement = env.placement().clone();
+        }
+    }
+
+    /// Mean |Δcost| of the probes, scaled — the auto-calibrated initial
+    /// temperature.
+    fn calibrated_temp(&self) -> f64 {
+        let mean = if self.probe_deltas.is_empty() {
+            0.0
+        } else {
+            self.probe_deltas.iter().sum::<f64>() / self.probe_deltas.len() as f64
+        };
+        (mean * 3.0).max(1e-6)
+    }
+
+    /// Cost of the starting placement.
+    pub fn initial_cost(&self) -> f64 {
+        self.initial_cost
+    }
+
+    /// Cost of the placement the walk currently sits on.
+    pub fn current_cost(&self) -> f64 {
+        self.current
+    }
+
+    /// Best cost reached so far.
+    pub fn best_cost(&self) -> f64 {
+        self.best
+    }
+
+    /// The best placement reached so far.
+    pub fn best_placement(&self) -> &Placement {
+        &self.best_placement
+    }
+
+    /// Accepted moves so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Rejected moves so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Whether the schedule has ended (a later [`SearchRun::step`] would
+    /// return [`StepOutcome::Finished`] without proposing).
+    pub fn finished(&self) -> bool {
+        self.phase == Phase::Finished
+    }
+
+    /// `true` when no evaluation is pending — the only points at which
+    /// serialising this run is meaningful (the pending undo token cannot
+    /// be serialised and is dropped by serde).
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Rebuilds the non-serialised internals of the best placement after
+    /// deserialisation. Must be called once on every deserialised run.
+    pub fn rehydrate(&mut self) {
+        self.best_placement.rebuild_index();
+    }
+}
+
+/// Drives a [`SearchRun`] to completion under a closure cost oracle,
+/// preserving the historic accounting: `evals` counts the initial
+/// evaluation, probes, and every proposed move; the trajectory records
+/// `(evaluation index, best-so-far)` at each improvement.
+fn drive<F>(run: &mut SearchRun, env: &mut LayoutEnv, mut cost: F) -> SaResult
+where
+    F: FnMut(&LayoutEnv) -> f64,
+{
+    let initial_cost = run.initial_cost();
+    let mut evals: u64 = 1; // the initial evaluation, spent by the caller
+    let mut trajectory = vec![(evals, initial_cost)];
+    while evals < run.config.max_evals {
+        match run.step(env) {
+            StepOutcome::Finished => break,
+            StepOutcome::Evaluate { .. } => {
+                evals += 1;
+                let c = cost(env);
+                let before = run.best_cost();
+                run.feed(c, env);
+                if run.best_cost() < before {
+                    trajectory.push((evals, run.best_cost()));
+                }
+            }
+        }
+    }
+    env.set_placement(run.best_placement().clone())
+        .expect("best placement was valid when recorded");
+    SaResult {
+        initial_cost,
+        best_cost: run.best_cost(),
+        best_placement: run.best_placement().clone(),
+        evaluations: evals,
+        accepted: run.accepted(),
+        rejected: run.rejected(),
+        trajectory,
+    }
+}
+
 /// Pure random search: propose random legal moves from the same move set,
 /// always accept, track the best — the no-intelligence floor both SA and
 /// Q-learning must clear to justify themselves.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RandomSearch {
     config: SaConfig,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    state: Option<SearchRun>,
 }
 
 impl RandomSearch {
     /// Creates a random searcher; only `max_evals`, the move-mix
     /// probabilities, and `seed` of the config are used.
     pub fn new(config: SaConfig) -> Self {
-        RandomSearch { config }
+        RandomSearch { config, state: None }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SaConfig {
+        &self.config
     }
 
     /// Runs a random walk over legal moves, minimising `cost`; the
@@ -122,53 +485,60 @@ impl RandomSearch {
     where
         F: FnMut(&LayoutEnv) -> f64,
     {
-        let annealer = Annealer::new(self.config);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut evals: u64 = 1;
         let initial_cost = cost(env);
-        let mut best = initial_cost;
-        let mut best_placement = env.placement().clone();
-        let mut trajectory = vec![(evals, best)];
-        let mut accepted = 0u64;
+        let mut run = SearchRun::start(self.config, AcceptRule::Always, env, initial_cost);
+        drive(&mut run, env, cost)
+    }
 
-        while evals < self.config.max_evals {
-            let Some(mv) = annealer.propose(env, &mut rng) else {
-                break;
-            };
-            env.apply(mv).expect("proposed moves are legal");
-            evals += 1;
-            accepted += 1;
-            let c = cost(env);
-            if c < best {
-                best = c;
-                best_placement = env.placement().clone();
-                trajectory.push((evals, best));
-            }
-        }
-        env.set_placement(best_placement.clone())
-            .expect("best placement was valid when recorded");
-        SaResult {
-            initial_cost,
-            best_cost: best,
-            best_placement,
-            evaluations: evals,
-            accepted,
-            rejected: 0,
-            trajectory,
+    /// Starts a step-driven run (the `Optimizer`-trait entry used by
+    /// `breaksym-core`'s generic driver); see [`SearchRun`].
+    pub fn begin(&mut self, env: &LayoutEnv, initial_cost: f64) {
+        self.state = Some(SearchRun::start(self.config, AcceptRule::Always, env, initial_cost));
+    }
+
+    /// Steps the in-progress run; see [`SearchRun::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RandomSearch::begin`] was called.
+    pub fn step(&mut self, env: &mut LayoutEnv) -> StepOutcome {
+        self.state.as_mut().expect("begin() before step()").step(env)
+    }
+
+    /// Feeds the pending cost verdict; see [`SearchRun::feed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a step returned [`StepOutcome::Evaluate`].
+    pub fn feed(&mut self, cost: f64, env: &mut LayoutEnv) {
+        self.state.as_mut().expect("begin() before feed()").feed(cost, env);
+    }
+
+    /// The in-progress step-driven run, when one was started.
+    pub fn search(&self) -> Option<&SearchRun> {
+        self.state.as_ref()
+    }
+
+    /// Fixes up non-serialised internals after deserialisation.
+    pub fn rehydrate(&mut self) {
+        if let Some(s) = &mut self.state {
+            s.rehydrate();
         }
     }
 }
 
 /// The simulated-annealing engine.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Annealer {
     config: SaConfig,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    state: Option<SearchRun>,
 }
 
 impl Annealer {
     /// Creates an annealer with the given configuration.
     pub fn new(config: SaConfig) -> Self {
-        Annealer { config }
+        Annealer { config, state: None }
     }
 
     /// The configuration.
@@ -187,135 +557,92 @@ impl Annealer {
     where
         F: FnMut(&LayoutEnv) -> f64,
     {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut evals: u64 = 0;
-        let mut eval = |env: &LayoutEnv, evals: &mut u64| {
-            *evals += 1;
-            cost(env)
-        };
-
-        let initial_cost = eval(env, &mut evals);
-        let mut current = initial_cost;
-        let mut best = initial_cost;
-        let mut best_placement = env.placement().clone();
-        let mut trajectory = vec![(evals, best)];
-        let mut accepted = 0u64;
-        let mut rejected = 0u64;
-
-        // Auto temperature: std-dev of |Δcost| over a few probe moves.
-        let mut temp = match self.config.initial_temp {
-            Some(t) => t,
-            None => {
-                let mut deltas = Vec::new();
-                for _ in 0..12 {
-                    if evals >= self.config.max_evals {
-                        break;
-                    }
-                    if let Some(mv) = self.propose(env, &mut rng) {
-                        let undo = env.apply(mv).expect("proposed moves are legal");
-                        let c = eval(env, &mut evals);
-                        deltas.push((c - current).abs());
-                        env.undo(undo);
-                    }
-                }
-                let mean = if deltas.is_empty() {
-                    0.0
-                } else {
-                    deltas.iter().sum::<f64>() / deltas.len() as f64
-                };
-                (mean * 3.0).max(1e-6)
-            }
-        };
-
-        'outer: while temp > self.config.min_temp {
-            for _ in 0..self.config.steps_per_temp {
-                if evals >= self.config.max_evals {
-                    break 'outer;
-                }
-                let Some(mv) = self.propose(env, &mut rng) else {
-                    break 'outer; // fully locked placement
-                };
-                let undo = env.apply(mv).expect("proposed moves are legal");
-                let c = eval(env, &mut evals);
-                let delta = c - current;
-                let accept = delta <= 0.0 || {
-                    let p = (-delta / temp).exp();
-                    rng.gen_range(0.0..1.0) < p
-                };
-                if accept {
-                    current = c;
-                    accepted += 1;
-                    if c < best {
-                        best = c;
-                        best_placement = env.placement().clone();
-                        trajectory.push((evals, best));
-                    }
-                } else {
-                    env.undo(undo);
-                    rejected += 1;
-                }
-            }
-            temp *= self.config.cooling;
-        }
-
-        env.set_placement(best_placement.clone())
-            .expect("best placement was valid when recorded");
-        SaResult {
-            initial_cost,
-            best_cost: best,
-            best_placement,
-            evaluations: evals,
-            accepted,
-            rejected,
-            trajectory,
-        }
+        let initial_cost = cost(env);
+        let mut run = SearchRun::start(self.config, AcceptRule::Metropolis, env, initial_cost);
+        drive(&mut run, env, cost)
     }
 
-    /// Proposes a random legal move, or `None` when nothing can move.
+    /// Starts a step-driven run (the `Optimizer`-trait entry used by
+    /// `breaksym-core`'s generic driver); see [`SearchRun`].
+    pub fn begin(&mut self, env: &LayoutEnv, initial_cost: f64) {
+        self.state = Some(SearchRun::start(self.config, AcceptRule::Metropolis, env, initial_cost));
+    }
+
+    /// Steps the in-progress run; see [`SearchRun::step`].
     ///
-    /// Legal directions are enumerated into a stack buffer
-    /// ([`LayoutEnv::legal_unit_moves_into`]) — the proposal loop runs once
-    /// per evaluation, so it must not allocate. The enumeration order
-    /// matches the allocating variants, keeping per-seed runs bit-identical.
-    pub(crate) fn propose(&self, env: &LayoutEnv, rng: &mut ChaCha8Rng) -> Option<PlacementMove> {
-        let circuit = env.circuit();
-        let mut dirs = [Direction::North; 8];
-        for _ in 0..64 {
-            let draw: f64 = rng.gen_range(0.0..1.0);
-            if draw < self.config.group_move_prob {
-                let g = GroupId::new(rng.gen_range(0..circuit.groups().len() as u32));
-                let n = env.legal_group_moves_into(g, &mut dirs);
-                if let Some(&dir) = pick(rng, &dirs[..n]) {
-                    return Some(GroupMove { group: g, dir }.into());
-                }
-            } else if draw < self.config.group_move_prob + self.config.swap_prob {
-                let a = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
-                let b = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
-                // Same-device swaps are no-ops for the objective; skip them.
-                if a != b && circuit.unit(a).device != circuit.unit(b).device {
-                    let mv: PlacementMove = SwapMove { a, b }.into();
-                    if env.check(mv).is_ok() {
-                        return Some(mv);
-                    }
-                }
-            } else {
-                let u = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
-                let n = env.legal_unit_moves_into(u, &mut dirs);
-                if let Some(&dir) = pick(rng, &dirs[..n]) {
-                    return Some(UnitMove { unit: u, dir }.into());
-                }
-            }
-        }
-        // Exhaustive fallback so a nearly-locked placement still anneals.
-        for u in 0..circuit.num_units() as u32 {
-            let unit = UnitId::new(u);
-            let n = env.legal_unit_moves_into(unit, &mut dirs);
-            if let Some(&dir) = pick(rng, &dirs[..n]) {
-                return Some(UnitMove { unit, dir }.into());
-            }
-        }
-        None
+    /// # Panics
+    ///
+    /// Panics unless [`Annealer::begin`] was called.
+    pub fn step(&mut self, env: &mut LayoutEnv) -> StepOutcome {
+        self.state.as_mut().expect("begin() before step()").step(env)
     }
+
+    /// Feeds the pending cost verdict; see [`SearchRun::feed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a step returned [`StepOutcome::Evaluate`].
+    pub fn feed(&mut self, cost: f64, env: &mut LayoutEnv) {
+        self.state.as_mut().expect("begin() before feed()").feed(cost, env);
+    }
+
+    /// The in-progress step-driven run, when one was started.
+    pub fn search(&self) -> Option<&SearchRun> {
+        self.state.as_ref()
+    }
+
+    /// Fixes up non-serialised internals after deserialisation.
+    pub fn rehydrate(&mut self) {
+        if let Some(s) = &mut self.state {
+            s.rehydrate();
+        }
+    }
+}
+
+/// Proposes a random legal move, or `None` when nothing can move.
+///
+/// Legal directions are enumerated into a stack buffer
+/// ([`LayoutEnv::legal_unit_moves_into`]) — the proposal loop runs once
+/// per evaluation, so it must not allocate. The enumeration order
+/// matches the allocating variants, keeping per-seed runs bit-identical.
+fn propose_move(config: &SaConfig, env: &LayoutEnv, rng: &mut ChaCha8Rng) -> Option<PlacementMove> {
+    let circuit = env.circuit();
+    let mut dirs = [Direction::North; 8];
+    for _ in 0..64 {
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        if draw < config.group_move_prob {
+            let g = GroupId::new(rng.gen_range(0..circuit.groups().len() as u32));
+            let n = env.legal_group_moves_into(g, &mut dirs);
+            if let Some(&dir) = pick(rng, &dirs[..n]) {
+                return Some(GroupMove { group: g, dir }.into());
+            }
+        } else if draw < config.group_move_prob + config.swap_prob {
+            let a = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
+            let b = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
+            // Same-device swaps are no-ops for the objective; skip them.
+            if a != b && circuit.unit(a).device != circuit.unit(b).device {
+                let mv: PlacementMove = SwapMove { a, b }.into();
+                if env.check(mv).is_ok() {
+                    return Some(mv);
+                }
+            }
+        } else {
+            let u = UnitId::new(rng.gen_range(0..circuit.num_units() as u32));
+            let n = env.legal_unit_moves_into(u, &mut dirs);
+            if let Some(&dir) = pick(rng, &dirs[..n]) {
+                return Some(UnitMove { unit: u, dir }.into());
+            }
+        }
+    }
+    // Exhaustive fallback so a nearly-locked placement still anneals.
+    for u in 0..circuit.num_units() as u32 {
+        let unit = UnitId::new(u);
+        let n = env.legal_unit_moves_into(unit, &mut dirs);
+        if let Some(&dir) = pick(rng, &dirs[..n]) {
+            return Some(UnitMove { unit, dir }.into());
+        }
+    }
+    None
 }
 
 fn pick<'a>(rng: &mut ChaCha8Rng, dirs: &'a [Direction]) -> Option<&'a Direction> {
@@ -449,5 +776,213 @@ mod tests {
         let result = Annealer::new(cfg).run(&mut env, wirelength_cost);
         // One initial eval + moves; no 12 probe evals needed before moving.
         assert!(result.evaluations > 1);
+    }
+
+    /// Verbatim copy of the pre-refactor monolithic `Annealer::run` loop —
+    /// the golden reference the [`SearchRun`] step machine must reproduce
+    /// bit-for-bit (same proposal draws, same acceptance draws, same
+    /// bookkeeping).
+    fn golden_anneal<F>(config: SaConfig, env: &mut LayoutEnv, mut cost: F) -> SaResult
+    where
+        F: FnMut(&LayoutEnv) -> f64,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut evals: u64 = 0;
+        let mut eval = |env: &LayoutEnv, evals: &mut u64| {
+            *evals += 1;
+            cost(env)
+        };
+
+        let initial_cost = eval(env, &mut evals);
+        let mut current = initial_cost;
+        let mut best = initial_cost;
+        let mut best_placement = env.placement().clone();
+        let mut trajectory = vec![(evals, best)];
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+
+        let mut temp = match config.initial_temp {
+            Some(t) => t,
+            None => {
+                let mut deltas = Vec::new();
+                for _ in 0..12 {
+                    if evals >= config.max_evals {
+                        break;
+                    }
+                    if let Some(mv) = propose_move(&config, env, &mut rng) {
+                        let undo = env.apply(mv).expect("proposed moves are legal");
+                        let c = eval(env, &mut evals);
+                        deltas.push((c - current).abs());
+                        env.undo(undo);
+                    }
+                }
+                let mean = if deltas.is_empty() {
+                    0.0
+                } else {
+                    deltas.iter().sum::<f64>() / deltas.len() as f64
+                };
+                (mean * 3.0).max(1e-6)
+            }
+        };
+
+        'outer: while temp > config.min_temp {
+            for _ in 0..config.steps_per_temp {
+                if evals >= config.max_evals {
+                    break 'outer;
+                }
+                let Some(mv) = propose_move(&config, env, &mut rng) else {
+                    break 'outer;
+                };
+                let undo = env.apply(mv).expect("proposed moves are legal");
+                let c = eval(env, &mut evals);
+                let delta = c - current;
+                let accept = delta <= 0.0 || {
+                    let p = (-delta / temp).exp();
+                    rng.gen_range(0.0..1.0) < p
+                };
+                if accept {
+                    current = c;
+                    accepted += 1;
+                    if c < best {
+                        best = c;
+                        best_placement = env.placement().clone();
+                        trajectory.push((evals, best));
+                    }
+                } else {
+                    env.undo(undo);
+                    rejected += 1;
+                }
+            }
+            temp *= config.cooling;
+        }
+
+        env.set_placement(best_placement.clone()).expect("best placement was valid");
+        SaResult {
+            initial_cost,
+            best_cost: best,
+            best_placement,
+            evaluations: evals,
+            accepted,
+            rejected,
+            trajectory,
+        }
+    }
+
+    /// Verbatim copy of the pre-refactor `RandomSearch::run` loop.
+    fn golden_random<F>(config: SaConfig, env: &mut LayoutEnv, mut cost: F) -> SaResult
+    where
+        F: FnMut(&LayoutEnv) -> f64,
+    {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut evals: u64 = 1;
+        let initial_cost = cost(env);
+        let mut best = initial_cost;
+        let mut best_placement = env.placement().clone();
+        let mut trajectory = vec![(evals, best)];
+        let mut accepted = 0u64;
+
+        while evals < config.max_evals {
+            let Some(mv) = propose_move(&config, env, &mut rng) else {
+                break;
+            };
+            env.apply(mv).expect("proposed moves are legal");
+            evals += 1;
+            accepted += 1;
+            let c = cost(env);
+            if c < best {
+                best = c;
+                best_placement = env.placement().clone();
+                trajectory.push((evals, best));
+            }
+        }
+        env.set_placement(best_placement.clone()).expect("best placement was valid");
+        SaResult {
+            initial_cost,
+            best_cost: best,
+            best_placement,
+            evaluations: evals,
+            accepted,
+            rejected: 0,
+            trajectory,
+        }
+    }
+
+    #[test]
+    fn step_driven_runs_match_the_golden_loops_bit_for_bit() {
+        // The SearchRun step machine must reproduce the historic
+        // closure-driven loops exactly: same moves, same acceptance draws,
+        // same accounting — including a fixed-temperature config (no probe
+        // phase) and an auto-temperature one.
+        let cases = [
+            SaConfig { max_evals: 400, seed: 11, ..SaConfig::default() },
+            SaConfig { max_evals: 400, seed: 12, ..SaConfig::default() },
+            SaConfig { max_evals: 250, seed: 13, initial_temp: Some(5.0), ..SaConfig::default() },
+            SaConfig { max_evals: 300, seed: 14, swap_prob: 0.2, ..SaConfig::default() },
+        ];
+        for cfg in cases {
+            let fresh = || {
+                LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14))
+                    .unwrap()
+            };
+            let mut env_a = fresh();
+            let golden = golden_anneal(cfg, &mut env_a, wirelength_cost);
+            let mut env_b = fresh();
+            let new = Annealer::new(cfg).run(&mut env_b, wirelength_cost);
+            assert_eq!(golden, new, "sa diverged for seed {}", cfg.seed);
+            assert_eq!(golden.best_cost.to_bits(), new.best_cost.to_bits());
+
+            let mut env_c = fresh();
+            let golden_r = golden_random(cfg, &mut env_c, wirelength_cost);
+            let mut env_d = fresh();
+            let new_r = RandomSearch::new(cfg).run(&mut env_d, wirelength_cost);
+            assert_eq!(golden_r, new_r, "random diverged for seed {}", cfg.seed);
+        }
+    }
+
+    #[test]
+    fn search_run_snapshot_resumes_identically() {
+        // Run A straight through; run B is serialised + restored halfway.
+        let cfg = SaConfig { max_evals: 300, seed: 21, ..SaConfig::default() };
+        let fresh = || {
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap()
+        };
+        let drive_n = |run: &mut SearchRun, env: &mut LayoutEnv, n: u64| {
+            let mut spent = 0;
+            while spent < n {
+                match run.step(env) {
+                    StepOutcome::Finished => break,
+                    StepOutcome::Evaluate { .. } => {
+                        spent += 1;
+                        let c = wirelength_cost(env);
+                        run.feed(c, env);
+                    }
+                }
+            }
+        };
+
+        let mut env_a = fresh();
+        let c0 = wirelength_cost(&env_a);
+        let mut a = SearchRun::start(cfg, AcceptRule::Metropolis, &env_a, c0);
+        drive_n(&mut a, &mut env_a, 250);
+
+        let mut env_b = fresh();
+        let mut b = SearchRun::start(cfg, AcceptRule::Metropolis, &env_b, c0);
+        drive_n(&mut b, &mut env_b, 100);
+        assert!(b.is_quiescent());
+        let json = serde_json::to_string(&b).unwrap();
+        let placement_json = serde_json::to_string(env_b.placement()).unwrap();
+
+        let mut restored: SearchRun = serde_json::from_str(&json).unwrap();
+        restored.rehydrate();
+        let mut mid: Placement = serde_json::from_str(&placement_json).unwrap();
+        mid.rebuild_index();
+        let mut env_c = fresh();
+        env_c.set_placement(mid).unwrap();
+        drive_n(&mut restored, &mut env_c, 150);
+
+        assert_eq!(a.best_cost().to_bits(), restored.best_cost().to_bits());
+        assert_eq!(a.accepted(), restored.accepted());
+        assert_eq!(a.rejected(), restored.rejected());
+        assert_eq!(a.best_placement(), restored.best_placement());
     }
 }

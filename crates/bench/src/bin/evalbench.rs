@@ -62,6 +62,8 @@ fn die(msg: &str) -> ! {
 struct EvalBenchReport {
     circuit: String,
     trace_len: usize,
+    /// Wall-clock of the recording MLMA run itself (ms).
+    record_ms: u64,
     cold_ns_per_eval: f64,
     warm_ns_per_eval: f64,
     speedup: f64,
@@ -110,6 +112,7 @@ fn main() {
         seed: args.seed,
         ..MlmaConfig::default()
     };
+    let record_started = Instant::now();
     let mut placer = MultiLevelPlacer::new(&env, cfg);
     placer.run(&mut env, |e| {
         trace.push(e.placement().clone());
@@ -118,6 +121,7 @@ fn main() {
             Err(_) => Sample { cost: 1e6, primary: 1e6 },
         }
     });
+    let record_ms = record_started.elapsed().as_millis() as u64;
     assert!(!trace.is_empty(), "the MLMA run visited no placements");
 
     // Cold: every replayed state pays the full pipeline.
@@ -137,6 +141,7 @@ fn main() {
     let report = EvalBenchReport {
         circuit: task.circuit.name().to_string(),
         trace_len: trace.len(),
+        record_ms,
         cold_ns_per_eval: cold_ns,
         warm_ns_per_eval: warm_ns,
         speedup: cold_ns / warm_ns,

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Subcommands: `fig1`, `fig2`, `fig3`, `ablation-traj`,
-//! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`, `all`.
+//! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`,
+//! `portfolio`, `all`.
 
 use std::env;
 
@@ -16,12 +17,23 @@ struct Args {
     cmd: String,
     budget: u64,
     seed: u64,
+    threads: usize,
     json: bool,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8)
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = env::args().skip(1).collect();
-    let mut args = Args { cmd: "all".into(), budget: 3_000, seed: 7, json: false };
+    let mut args = Args {
+        cmd: "all".into(),
+        budget: 3_000,
+        seed: 7,
+        threads: default_threads(),
+        json: false,
+    };
     let mut it = argv.iter();
     if let Some(first) = it.next() {
         args.cmd = first.clone();
@@ -39,6 +51,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"))
             }
             "--json" => args.json = true,
             other => die(&format!("unknown flag `{other}`")),
@@ -170,9 +188,20 @@ fn main() {
             ablation_seeds(args.budget.min(1_500));
         }
     }
+    if run("portfolio") {
+        ran = true;
+        if args.json {
+            emit_json!(
+                "portfolio",
+                bench::portfolio_sweep(args.budget.min(1_500), args.seed, args.threads)
+            );
+        } else {
+            portfolio(args.budget.min(1_500), args.seed, args.threads);
+        }
+    }
     if !ran {
         die(&format!(
-            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget all)",
+            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio all)",
             args.cmd
         ));
     }
@@ -369,6 +398,25 @@ fn ablation_seeds(budget: u64) {
         );
     }
     println!("q beats or matches sa on {q_wins}/{} seeds\n", rows.len());
+}
+
+fn portfolio(budget: u64, seed: u64, threads: usize) {
+    println!("== P1 — deterministic portfolio sweep (OTA, budget {budget}, {threads} threads) ==");
+    let s = bench::portfolio_sweep(budget, seed, threads).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "{:10} {:>6} {:>12} {:>14} {:>8} {:>10}",
+        "method", "seed", "best cost", "primary", "#sims", "job[ms]"
+    );
+    for r in &s.rows {
+        println!(
+            "{:10} {:>6} {:>12.4} {:>14.4e} {:>8} {:>10}",
+            r.method, r.seed, r.best_cost, r.best_primary, r.evaluations, r.elapsed_ms
+        );
+    }
+    println!(
+        "{} jobs bit-identical across schedules; sequential {} ms vs parallel {} ms -> {:.2}x speedup\n",
+        s.jobs, s.sequential_ms, s.parallel_ms, s.speedup
+    );
 }
 
 fn ablation_dummies(seed: u64) {

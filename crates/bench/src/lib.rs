@@ -19,13 +19,15 @@
 //! | A6 | seed robustness of the Fig. 3 comparison  | [`ablation_seeds`] |
 //! | A7 | objective-weight sensitivity (FOM terms)  | [`ablation_weights`] |
 //! | A8 | budget scaling of Q vs SA                  | [`ablation_budget`] |
+//! | P1 | deterministic parallel portfolio sweep     | [`portfolio_sweep`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use breaksym_anneal::SaConfig;
 use breaksym_core::{
-    runner, EpsilonSchedule, Exploration, MlmaConfig, PlaceError, PlacementTask, SoftmaxSchedule,
+    run_portfolio, runner, EpsilonSchedule, Exploration, MethodSpec, MlmaConfig, PlaceError,
+    PlacementTask, SoftmaxSchedule,
 };
 use breaksym_layout::LayoutEnv;
 use breaksym_lde::LdeModel;
@@ -685,6 +687,118 @@ pub fn ablation_budget(seed: u64) -> Result<Vec<BudgetRow>, PlaceError> {
         rows.push(BudgetRow { budget, sa_cost: sa.best_cost, mlma_cost: rl.best_cost });
     }
     Ok(rows)
+}
+
+// ------------------------------------------------------------- Portfolio
+
+/// One job of the portfolio sweep (P1).
+#[derive(Debug, Clone, Serialize)]
+pub struct PortfolioRow {
+    /// Method label.
+    pub method: String,
+    /// RNG seed of the job.
+    pub seed: u64,
+    /// Best objective cost reached.
+    pub best_cost: f64,
+    /// Best primary mismatch/offset metric reached.
+    pub best_primary: f64,
+    /// Oracle queries spent.
+    pub evaluations: u64,
+    /// Wall-clock milliseconds of the job inside the parallel run.
+    pub elapsed_ms: u64,
+}
+
+/// The portfolio sweep result: per-job rows plus the sequential-vs-parallel
+/// wall-clock comparison that backs the determinism claim.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortfolioSummary {
+    /// Benchmark circuit.
+    pub circuit: String,
+    /// Worker threads of the parallel run.
+    pub threads: usize,
+    /// Total jobs (seeds × methods).
+    pub jobs: usize,
+    /// Wall-clock of the single-threaded run (ms).
+    pub sequential_ms: u64,
+    /// Wall-clock of the parallel run (ms).
+    pub parallel_ms: u64,
+    /// `sequential_ms / parallel_ms`.
+    pub speedup: f64,
+    /// Per-job results, in job order (from the parallel run; bit-identical
+    /// to the sequential one).
+    pub rows: Vec<PortfolioRow>,
+}
+
+/// P1 — the deterministic portfolio sweep on the OTA benchmark: Q-learning
+/// and SA across four seeds, run once sequentially and once on `threads`
+/// workers. The two runs are checked **bit-identical** (costs,
+/// trajectories, evaluation counts) before the timings are reported — a
+/// failed check is an error, not a warning.
+///
+/// # Errors
+///
+/// Propagates layout/simulation failures, and reports a
+/// [`PlaceError::BadConfig`] if parallel execution ever diverged from
+/// sequential (which would falsify the determinism design).
+pub fn portfolio_sweep(
+    budget: u64,
+    seed: u64,
+    threads: usize,
+) -> Result<PortfolioSummary, PlaceError> {
+    let task =
+        PlacementTask::new(circuits::folded_cascode_ota(), 18, LdeModel::nonlinear(1.0, seed));
+    let q = MlmaConfig {
+        episodes: 80,
+        steps_per_episode: 10,
+        max_evals: budget,
+        ..MlmaConfig::default()
+    };
+    let sa = SaConfig { max_evals: budget, ..SaConfig::default() };
+    let methods = [MethodSpec::Mlma(q), MethodSpec::Sa(sa)];
+    let seeds: Vec<u64> = (0..4).map(|i| seed + 2 * i).collect();
+
+    let t0 = std::time::Instant::now();
+    let sequential = run_portfolio(&task, &methods, &seeds, 1)?;
+    let sequential_ms = t0.elapsed().as_millis() as u64;
+    let t1 = std::time::Instant::now();
+    let parallel = run_portfolio(&task, &methods, &seeds, threads)?;
+    let parallel_ms = t1.elapsed().as_millis() as u64;
+
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        if s.best_cost.to_bits() != p.best_cost.to_bits()
+            || s.trajectory != p.trajectory
+            || s.evaluations != p.evaluations
+        {
+            return Err(PlaceError::BadConfig {
+                reason: format!(
+                    "portfolio job {i} ({}) diverged between 1 and {threads} threads",
+                    s.method
+                ),
+            });
+        }
+    }
+
+    let rows = parallel
+        .iter()
+        .zip(seeds.iter().flat_map(|&s| std::iter::repeat_n(s, methods.len())))
+        .map(|(r, seed)| PortfolioRow {
+            method: r.method.clone(),
+            seed,
+            best_cost: r.best_cost,
+            best_primary: r.best_primary(),
+            evaluations: r.evaluations,
+            elapsed_ms: r.elapsed_ms,
+        })
+        .collect();
+    Ok(PortfolioSummary {
+        circuit: short_name(task.circuit.name()),
+        threads,
+        jobs: sequential.len(),
+        sequential_ms,
+        parallel_ms,
+        speedup: sequential_ms as f64 / parallel_ms.max(1) as f64,
+        rows,
+    })
 }
 
 #[cfg(test)]

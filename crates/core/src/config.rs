@@ -124,6 +124,15 @@ pub struct MlmaConfig {
     pub seed: u64,
 }
 
+impl MlmaConfig {
+    /// The same configuration with a different RNG seed — the hook the
+    /// portfolio runner uses to derive per-seed jobs from one template.
+    #[must_use]
+    pub fn with_seed(self, seed: u64) -> Self {
+        MlmaConfig { seed, ..self }
+    }
+}
+
 impl Default for MlmaConfig {
     fn default() -> Self {
         MlmaConfig {

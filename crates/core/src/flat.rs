@@ -10,28 +10,75 @@
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use breaksym_geometry::Direction;
-use breaksym_layout::{LayoutEnv, PlacementMove, UnitMove};
+use breaksym_layout::{LayoutEnv, Placement, PlacementMove, UnitMove};
 use breaksym_netlist::UnitId;
 
 use crate::mlma::{select_action, RunTracker, Sample};
+use crate::optimizer::Proposal;
 use crate::qtable::AgentTable;
 use crate::{MlmaConfig, QTable};
 
 /// The flat (single-level, single-agent) tabular Q-learning placer.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlatQPlacer {
     cfg: MlmaConfig,
     table: AgentTable,
     num_units: usize,
+    /// In-progress step-driven run, when one is active.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    state: Option<FlatRunState>,
+}
+
+/// A pending Bellman update awaiting its cost verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct FlatPending {
+    state: u64,
+    action: usize,
+    next_state: u64,
+    flip: bool,
+}
+
+/// Where a step-driven flat-Q run is in its episode schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum FlatPhase {
+    /// About to start (warm-start reset) episode `episode`.
+    Episode { episode: usize },
+    /// Move `mv` of `episode`.
+    Step { episode: usize, mv: usize },
+    /// Episodes exhausted or the placement fully locked.
+    Done,
+}
+
+/// The transient state of one step-driven flat-Q run (see the multi-level
+/// `QRunState` — this is its single-agent sibling).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct FlatRunState {
+    #[serde(with = "breaksym_anneal::rng_serde")]
+    rng: ChaCha8Rng,
+    phase: FlatPhase,
+    initial_cost: f64,
+    initial_placement: Placement,
+    current: f64,
+    scale: f64,
+    best_cost: f64,
+    best_placement: Placement,
+    moves_per_episode: usize,
+    pending: Option<FlatPending>,
 }
 
 impl FlatQPlacer {
     /// Builds the single agent for `env`'s circuit.
     pub fn new(env: &LayoutEnv, cfg: MlmaConfig) -> Self {
         let num_units = env.circuit().num_units();
-        FlatQPlacer { cfg, table: AgentTable::new(num_units * 8, cfg.double_q), num_units }
+        FlatQPlacer {
+            cfg,
+            table: AgentTable::new(num_units * 8, cfg.double_q),
+            num_units,
+            state: None,
+        }
     }
 
     /// The agent's (primary) Q-table.
@@ -54,69 +101,155 @@ impl FlatQPlacer {
     where
         F: FnMut(&LayoutEnv) -> Sample,
     {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
         let initial_placement = env.placement().clone();
         let initial = cost(env);
-        let mut tracker = RunTracker::new(initial, initial_placement.clone(), &self.cfg);
-        let scale = self.cfg.reward_scale / initial.cost.abs().max(1e-12);
-        let moves_per_episode = self.cfg.steps_per_episode * (1 + env.circuit().groups().len());
-
-        'run: for episode in 0..self.cfg.episodes {
-            if tracker.done() {
-                break;
-            }
-            let (start, mut current) = if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0
-            {
-                (tracker.best_placement.clone(), tracker.best_cost)
-            } else {
-                (initial_placement.clone(), initial.cost)
-            };
-            env.set_placement(start).expect("recorded placements are valid");
-
-            for _ in 0..moves_per_episode {
-                if tracker.done() {
-                    break 'run;
-                }
-                let s = env.state_key();
-                let legal = self.legal_actions(env);
-                let Some(a) =
-                    select_action(&self.table, s, &legal, &self.cfg.exploration, episode, &mut rng)
-                else {
-                    break 'run; // fully locked
-                };
-                let mv = self.decode(a);
-                env.apply(mv).expect("legal actions apply");
-                let smp = cost(env);
-                let r = (current - smp.cost) * scale;
-                let s_next = env.state_key();
-                let flip = rng.gen_range(0.0..1.0) < 0.5;
-                self.table.update(s, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
-                current = smp.cost;
-                if tracker.record(smp, env) {
-                    break 'run;
+        let mut tracker = RunTracker::new(initial, initial_placement, &self.cfg);
+        self.begin_run(env, initial);
+        while !tracker.done() {
+            match self.propose_step(env) {
+                Proposal::Finished => break,
+                Proposal::Evaluate { .. } => {
+                    let s = cost(env);
+                    self.observe_step(s, env);
+                    if tracker.record(s, env) {
+                        break;
+                    }
                 }
             }
         }
-
+        self.state = None;
         env.set_placement(tracker.best_placement.clone())
             .expect("best placement was valid when recorded");
         tracker
     }
 
-    fn legal_actions(&self, env: &LayoutEnv) -> Vec<usize> {
-        let mut out = Vec::new();
-        for u in 0..self.num_units as u32 {
-            for dir in env.legal_unit_moves(UnitId::new(u)) {
-                out.push(u as usize * 8 + dir.index());
-            }
-        }
-        out
+    /// Starts a step-driven run — the `Optimizer::init` entry.
+    pub fn begin_run(&mut self, env: &LayoutEnv, initial: Sample) {
+        let moves_per_episode = self.cfg.steps_per_episode * (1 + env.circuit().groups().len());
+        self.state = Some(FlatRunState {
+            rng: ChaCha8Rng::seed_from_u64(self.cfg.seed),
+            phase: FlatPhase::Episode { episode: 0 },
+            initial_cost: initial.cost,
+            initial_placement: env.placement().clone(),
+            current: initial.cost,
+            scale: self.cfg.reward_scale / initial.cost.abs().max(1e-12),
+            best_cost: initial.cost,
+            best_placement: env.placement().clone(),
+            moves_per_episode,
+            pending: None,
+        });
     }
 
-    fn decode(&self, action: usize) -> PlacementMove {
-        let dir = Direction::from_index(action % 8).expect("index < 8 by construction");
-        UnitMove { unit: UnitId::new((action / 8) as u32), dir }.into()
+    /// Applies the next agent action to `env`; `Finished` when episodes
+    /// are exhausted *or* the placement is fully locked (the flat agent
+    /// cannot recover from a lock, unlike the hierarchy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`begin_run`](FlatQPlacer::begin_run) was called.
+    pub fn propose_step(&mut self, env: &mut LayoutEnv) -> Proposal {
+        let state = self.state.as_mut().expect("begin_run() before propose_step()");
+        assert!(state.pending.is_none(), "observe_step() the previous proposal first");
+        loop {
+            match state.phase {
+                FlatPhase::Done => return Proposal::Finished,
+                FlatPhase::Episode { episode } => {
+                    if episode >= self.cfg.episodes {
+                        state.phase = FlatPhase::Done;
+                        continue;
+                    }
+                    let (start, current) =
+                        if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
+                            (state.best_placement.clone(), state.best_cost)
+                        } else {
+                            (state.initial_placement.clone(), state.initial_cost)
+                        };
+                    env.set_placement(start).expect("recorded placements are valid");
+                    state.current = current;
+                    state.phase = FlatPhase::Step { episode, mv: 0 };
+                }
+                FlatPhase::Step { episode, mv } => {
+                    if mv >= state.moves_per_episode {
+                        state.phase = FlatPhase::Episode { episode: episode + 1 };
+                        continue;
+                    }
+                    let s = env.state_key();
+                    let legal = legal_actions(self.num_units, env);
+                    let Some(a) = select_action(
+                        &self.table,
+                        s,
+                        &legal,
+                        &self.cfg.exploration,
+                        episode,
+                        &mut state.rng,
+                    ) else {
+                        // Fully locked — the historic loop ended the run.
+                        state.phase = FlatPhase::Done;
+                        return Proposal::Finished;
+                    };
+                    let action = decode(a);
+                    env.apply(action).expect("legal actions apply");
+                    let next_state = env.state_key();
+                    let flip = state.rng.gen_range(0.0..1.0) < 0.5;
+                    state.pending = Some(FlatPending { state: s, action: a, next_state, flip });
+                    state.phase = FlatPhase::Step { episode, mv: mv + 1 };
+                    return Proposal::Evaluate { candidate: true };
+                }
+            }
+        }
     }
+
+    /// Feeds the oracle's verdict: performs the deferred Bellman update
+    /// and tracks the best placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the preceding
+    /// [`propose_step`](FlatQPlacer::propose_step) returned
+    /// [`Proposal::Evaluate`].
+    pub fn observe_step(&mut self, sample: Sample, env: &LayoutEnv) {
+        let state = self.state.as_mut().expect("begin_run() before observe_step()");
+        let p = state.pending.take().expect("observe_step() follows a proposal");
+        let r = (state.current - sample.cost) * state.scale;
+        self.table.update(
+            p.state,
+            p.action,
+            r,
+            p.next_state,
+            self.cfg.q.alpha,
+            self.cfg.q.gamma,
+            p.flip,
+        );
+        state.current = sample.cost;
+        if sample.cost < state.best_cost {
+            state.best_cost = sample.cost;
+            state.best_placement = env.placement().clone();
+        }
+    }
+
+    /// Fixes up non-serialised internals after deserialisation (snapshot
+    /// restore).
+    pub fn rehydrate(&mut self) {
+        if let Some(state) = &mut self.state {
+            state.initial_placement.rebuild_index();
+            state.best_placement.rebuild_index();
+        }
+    }
+}
+
+fn legal_actions(num_units: usize, env: &LayoutEnv) -> Vec<usize> {
+    let mut out = Vec::new();
+    for u in 0..num_units as u32 {
+        for dir in env.legal_unit_moves(UnitId::new(u)) {
+            out.push(u as usize * 8 + dir.index());
+        }
+    }
+    out
+}
+
+fn decode(action: usize) -> PlacementMove {
+    let dir = Direction::from_index(action % 8).expect("index < 8 by construction");
+    UnitMove { unit: UnitId::new((action / 8) as u32), dir }.into()
 }
 
 #[cfg(test)]
@@ -129,6 +262,88 @@ mod tests {
     fn wl(env: &LayoutEnv) -> Sample {
         let c = RoutingEstimate::of(env).weighted_um;
         Sample { cost: c, primary: c }
+    }
+
+    /// Verbatim copy of the pre-refactor closure-driven loop — the golden
+    /// reference the step machine must reproduce bit-for-bit.
+    fn golden_run<F>(placer: &mut FlatQPlacer, env: &mut LayoutEnv, mut cost: F) -> RunTracker
+    where
+        F: FnMut(&LayoutEnv) -> Sample,
+    {
+        let cfg = placer.cfg;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let initial_placement = env.placement().clone();
+        let initial = cost(env);
+        let mut tracker = RunTracker::new(initial, initial_placement.clone(), &cfg);
+        let scale = cfg.reward_scale / initial.cost.abs().max(1e-12);
+        let moves_per_episode = cfg.steps_per_episode * (1 + env.circuit().groups().len());
+
+        'run: for episode in 0..cfg.episodes {
+            if tracker.done() {
+                break;
+            }
+            let (start, mut current) = if cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
+                (tracker.best_placement.clone(), tracker.best_cost)
+            } else {
+                (initial_placement.clone(), initial.cost)
+            };
+            env.set_placement(start).expect("recorded placements are valid");
+
+            for _ in 0..moves_per_episode {
+                if tracker.done() {
+                    break 'run;
+                }
+                let s = env.state_key();
+                let legal = legal_actions(placer.num_units, env);
+                let Some(a) =
+                    select_action(&placer.table, s, &legal, &cfg.exploration, episode, &mut rng)
+                else {
+                    break 'run; // fully locked
+                };
+                let mv = decode(a);
+                env.apply(mv).expect("legal actions apply");
+                let smp = cost(env);
+                let r = (current - smp.cost) * scale;
+                let s_next = env.state_key();
+                let flip = rng.gen_range(0.0..1.0) < 0.5;
+                placer.table.update(s, a, r, s_next, cfg.q.alpha, cfg.q.gamma, flip);
+                current = smp.cost;
+                if tracker.record(smp, env) {
+                    break 'run;
+                }
+            }
+        }
+
+        env.set_placement(tracker.best_placement.clone())
+            .expect("best placement was valid when recorded");
+        tracker
+    }
+
+    #[test]
+    fn step_machine_matches_the_golden_loop_bit_for_bit() {
+        for seed in [4u64, 9] {
+            let cfg = MlmaConfig {
+                episodes: 5,
+                steps_per_episode: 20,
+                max_evals: 600,
+                seed,
+                ..MlmaConfig::default()
+            };
+            let fresh =
+                || LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).unwrap();
+            let mut env_a = fresh();
+            let mut golden_placer = FlatQPlacer::new(&env_a, cfg);
+            let golden = golden_run(&mut golden_placer, &mut env_a, wl);
+
+            let mut env_b = fresh();
+            let mut placer = FlatQPlacer::new(&env_b, cfg);
+            let t = placer.run(&mut env_b, wl);
+
+            assert_eq!(golden.best_cost.to_bits(), t.best_cost.to_bits(), "seed {seed}");
+            assert_eq!(golden.trajectory, t.trajectory, "seed {seed}");
+            assert_eq!(golden.evals, t.evals);
+            assert_eq!(golden_placer, placer, "table diverged for seed {seed}");
+        }
     }
 
     #[test]

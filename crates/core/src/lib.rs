@@ -22,6 +22,12 @@
 //! baselines to the same [`PlacementTask`] so Fig. 3 can be regenerated
 //! end to end.
 //!
+//! Every method is step-driven behind the [`Optimizer`] trait; the generic
+//! [`runner::Driver`] owns budgets ([`runner::Budget`]), checkpointing
+//! ([`runner::RunCheckpoint`]), and report assembly, and [`run_portfolio`]
+//! fans seeds × methods across threads with bit-identical-to-sequential
+//! trajectories.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,6 +50,8 @@ mod error;
 mod flat;
 mod mlma;
 mod objective;
+mod optimizer;
+mod portfolio;
 mod qtable;
 mod report;
 pub mod runner;
@@ -54,8 +62,11 @@ pub use error::PlaceError;
 pub use flat::FlatQPlacer;
 pub use mlma::{MultiLevelPlacer, RunTracker, Sample};
 pub use objective::{Fom, FomSpec, Objective};
+pub use optimizer::{Optimizer, OptimizerStatus, Proposal};
+pub use portfolio::{run_portfolio, MethodSpec};
 pub use qtable::{AgentTable, QTable};
 pub use report::RunReport;
+pub use runner::{Budget, Driver, RunCheckpoint};
 pub use task::PlacementTask;
 
 // The vocabulary callers need alongside this crate.

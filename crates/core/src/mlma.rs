@@ -10,6 +10,7 @@ use breaksym_netlist::GroupId;
 
 use serde::{Deserialize, Serialize};
 
+use crate::optimizer::Proposal;
 use crate::qtable::AgentTable;
 use crate::{Exploration, MlmaConfig, QTable};
 
@@ -53,7 +54,7 @@ pub(crate) fn select_action(
 
 /// One simulator verdict: the scalar objective the agents minimise plus
 /// the raw primary (mismatch/offset) metric the paper sets targets on.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Sample {
     /// Objective cost (normalised primary + regularisers).
     pub cost: f64,
@@ -66,7 +67,7 @@ pub struct Sample {
 /// Returned by [`MultiLevelPlacer::run`] (and the flat ablation) so callers
 /// driving the placer directly — e.g. benchmarks recording a move trace —
 /// see the same accounting the [`runner`](crate::runner) entry points use.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunTracker {
     /// Oracle queries spent so far (including the initial evaluation).
     pub evals: u64,
@@ -93,12 +94,25 @@ pub struct RunTracker {
 impl RunTracker {
     /// Bookkeeping seeded with the initial placement's sample.
     pub fn new(initial: Sample, placement: Placement, cfg: &MlmaConfig) -> Self {
-        let reached = cfg.target_primary.is_some_and(|t| initial.primary <= t);
+        Self::with_budget(initial, placement, cfg.max_evals, cfg.target_primary, cfg.stop_at_target)
+    }
+
+    /// Bookkeeping with an explicit budget — the constructor the generic
+    /// driver uses, since its budget may come from an
+    /// [`MlmaConfig`] or a `SaConfig` alike.
+    pub fn with_budget(
+        initial: Sample,
+        placement: Placement,
+        max_evals: u64,
+        target_primary: Option<f64>,
+        stop_at_target: bool,
+    ) -> Self {
+        let reached = target_primary.is_some_and(|t| initial.primary <= t);
         RunTracker {
             evals: 1, // the initial evaluation
-            max_evals: cfg.max_evals,
-            target_primary: cfg.target_primary,
-            stop_at_target: cfg.stop_at_target,
+            max_evals,
+            target_primary,
+            stop_at_target,
             best_cost: initial.cost,
             best_primary: initial.primary,
             best_placement: placement,
@@ -126,9 +140,28 @@ impl RunTracker {
         self.done()
     }
 
+    /// Records a *probe* evaluation (SA auto-temperature calibration):
+    /// budget and target bookkeeping only — probes are always undone, so
+    /// they never become the best placement or a trajectory point. Returns
+    /// `true` when the run must stop.
+    pub fn record_probe(&mut self, sample: Sample) -> bool {
+        self.evals += 1;
+        if !self.reached_target && self.target_primary.is_some_and(|t| sample.primary <= t) {
+            self.reached_target = true;
+            self.sims_to_target = Some(self.evals);
+        }
+        self.done()
+    }
+
     /// Whether the run's stopping condition is met.
     pub fn done(&self) -> bool {
         (self.reached_target && self.stop_at_target) || self.evals >= self.max_evals
+    }
+
+    /// Fixes up the best placement's non-serialised internals after
+    /// deserialisation (checkpoint resume).
+    pub fn rehydrate(&mut self) {
+        self.best_placement.rebuild_index();
     }
 }
 
@@ -147,6 +180,84 @@ pub struct MultiLevelPlacer {
     cfg: MlmaConfig,
     top: AgentTable,
     bottom: Vec<AgentTable>,
+    /// In-progress step-driven run, when one is active. Skipped when
+    /// absent so learned-table checkpoints keep their historic format.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    state: Option<QRunState>,
+}
+
+/// Which agent's Bellman update is pending the next cost verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PendingUpdate {
+    /// `None` = the top-level (group) agent; `Some(i)` = bottom agent `i`.
+    agent: Option<usize>,
+    state: u64,
+    action: usize,
+    next_state: u64,
+    flip: bool,
+}
+
+/// Where a step-driven Q run is in its episode schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum QPhase {
+    /// About to start (warm-start reset) episode `episode`.
+    Episode { episode: usize },
+    /// The top agent's turn at `step` of `episode`.
+    Top { episode: usize, step: usize },
+    /// Bottom agent `group`'s turn at `step` of `episode`.
+    Bottom {
+        episode: usize,
+        step: usize,
+        group: usize,
+    },
+    /// All episodes exhausted.
+    Done,
+}
+
+/// The full transient state of one step-driven Q-learning run: schedule
+/// position, RNG stream, reward normalisation, warm-start anchors, and the
+/// pending Bellman update. Serialisable so mid-run checkpoints resume with
+/// a bit-identical draw sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QRunState {
+    #[serde(with = "breaksym_anneal::rng_serde")]
+    rng: ChaCha8Rng,
+    phase: QPhase,
+    initial_cost: f64,
+    initial_placement: Placement,
+    current: f64,
+    scale: f64,
+    best_cost: f64,
+    best_placement: Placement,
+    pending: Option<PendingUpdate>,
+}
+
+impl QRunState {
+    fn start(env: &LayoutEnv, initial: Sample, cfg: &MlmaConfig) -> Self {
+        QRunState {
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            phase: QPhase::Episode { episode: 0 },
+            initial_cost: initial.cost,
+            initial_placement: env.placement().clone(),
+            current: initial.cost,
+            scale: cfg.reward_scale / initial.cost.abs().max(1e-12),
+            best_cost: initial.cost,
+            best_placement: env.placement().clone(),
+            pending: None,
+        }
+    }
+
+    fn note_best(&mut self, sample: Sample, env: &LayoutEnv) {
+        if sample.cost < self.best_cost {
+            self.best_cost = sample.cost;
+            self.best_placement = env.placement().clone();
+        }
+    }
+
+    fn rehydrate(&mut self) {
+        self.initial_placement.rebuild_index();
+        self.best_placement.rebuild_index();
+    }
 }
 
 impl MultiLevelPlacer {
@@ -158,7 +269,12 @@ impl MultiLevelPlacer {
             .group_ids()
             .map(|g| AgentTable::new(env.units_of_group(g).len() * 8, cfg.double_q))
             .collect();
-        MultiLevelPlacer { cfg, top: AgentTable::new(groups * 8, cfg.double_q), bottom }
+        MultiLevelPlacer {
+            cfg,
+            top: AgentTable::new(groups * 8, cfg.double_q),
+            bottom,
+            state: None,
+        }
     }
 
     /// The top-level agent's (primary) Q-table.
@@ -255,91 +371,182 @@ impl MultiLevelPlacer {
     /// Runs the optimisation. `cost` is called once per proposed move (the
     /// simulator); the environment ends at the best placement found — read
     /// the accounting from the returned tracker.
+    ///
+    /// This is a thin closure-driven wrapper over the step API
+    /// ([`begin_run`](MultiLevelPlacer::begin_run) /
+    /// [`propose_step`](MultiLevelPlacer::propose_step) /
+    /// [`observe_step`](MultiLevelPlacer::observe_step)); per-seed runs
+    /// are bit-identical to the historic monolithic loop.
     pub fn run<F>(&mut self, env: &mut LayoutEnv, mut cost: F) -> RunTracker
     where
         F: FnMut(&LayoutEnv) -> Sample,
     {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed);
         let initial_placement = env.placement().clone();
         let initial = cost(env);
-        let mut tracker = RunTracker::new(initial, initial_placement.clone(), &self.cfg);
-        let scale = self.cfg.reward_scale / initial.cost.abs().max(1e-12);
-        let group_ids: Vec<GroupId> = env.circuit().group_ids().collect();
-
-        'run: for episode in 0..self.cfg.episodes {
-            if tracker.done() {
-                break;
-            }
-            // Warm-start policy: exploit from the best placement two
-            // episodes out of three, explore from the initial otherwise.
-            let (start, mut current) = if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0
-            {
-                (tracker.best_placement.clone(), tracker.best_cost)
-            } else {
-                (initial_placement.clone(), initial.cost)
-            };
-            env.set_placement(start).expect("recorded placements are valid");
-
-            for _ in 0..self.cfg.steps_per_episode {
-                // --- top level: one group translation ---
-                if tracker.done() {
-                    break 'run;
-                }
-                let s_top = env.group_state_key();
-                let legal = top_legal_actions(env, &group_ids);
-                if let Some(a) = select_action(
-                    &self.top,
-                    s_top,
-                    &legal,
-                    &self.cfg.exploration,
-                    episode,
-                    &mut rng,
-                ) {
-                    let mv = decode_top(a, &group_ids);
-                    env.apply(mv).expect("legal actions apply");
+        let mut tracker = RunTracker::new(initial, initial_placement, &self.cfg);
+        self.begin_run(env, initial);
+        while !tracker.done() {
+            match self.propose_step(env) {
+                Proposal::Finished => break,
+                Proposal::Evaluate { .. } => {
                     let s = cost(env);
-                    let r = (current - s.cost) * scale;
-                    let s_next = env.group_state_key();
-                    let flip = rng.gen_range(0.0..1.0) < 0.5;
-                    self.top.update(s_top, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
-                    current = s.cost;
+                    self.observe_step(s, env);
                     if tracker.record(s, env) {
-                        break 'run;
-                    }
-                }
-
-                // --- bottom level: every group agent, interleaved ---
-                for &g in &group_ids {
-                    if tracker.done() {
-                        break 'run;
-                    }
-                    let table = &mut self.bottom[g.index()];
-                    let s = env.local_state_key(g);
-                    let units = env.units_of_group(g).to_vec();
-                    let legal = bottom_legal_actions(env, &units);
-                    let Some(a) =
-                        select_action(table, s, &legal, &self.cfg.exploration, episode, &mut rng)
-                    else {
-                        continue;
-                    };
-                    let mv = decode_bottom(a, &units);
-                    env.apply(mv).expect("legal actions apply");
-                    let smp = cost(env);
-                    let r = (current - smp.cost) * scale;
-                    let s_next = env.local_state_key(g);
-                    let flip = rng.gen_range(0.0..1.0) < 0.5;
-                    table.update(s, a, r, s_next, self.cfg.q.alpha, self.cfg.q.gamma, flip);
-                    current = smp.cost;
-                    if tracker.record(smp, env) {
-                        break 'run;
+                        break;
                     }
                 }
             }
         }
-
+        // Closure-driven runs are one-shot: drop the transient state so
+        // `to_json` stays a pure learned-tables checkpoint.
+        self.state = None;
         env.set_placement(tracker.best_placement.clone())
             .expect("best placement was valid when recorded");
         tracker
+    }
+
+    /// Starts a step-driven run from `env`'s current placement, whose
+    /// oracle verdict is `initial` — the `Optimizer::init` entry.
+    pub fn begin_run(&mut self, env: &LayoutEnv, initial: Sample) {
+        self.state = Some(QRunState::start(env, initial, &self.cfg));
+    }
+
+    /// Applies the next agent action to `env` following the interleaved
+    /// round-robin schedule (top agent, then every bottom agent, per
+    /// step). Returns [`Proposal::Evaluate`] once a move was applied —
+    /// evaluate `env` and call
+    /// [`observe_step`](MultiLevelPlacer::observe_step) — or
+    /// [`Proposal::Finished`] when all episodes are exhausted.
+    ///
+    /// Warm-start resets (two episodes out of three restart from the best
+    /// placement) happen inside this call at episode boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`begin_run`](MultiLevelPlacer::begin_run) was called.
+    pub fn propose_step(&mut self, env: &mut LayoutEnv) -> Proposal {
+        let group_ids: Vec<GroupId> = env.circuit().group_ids().collect();
+        let state = self.state.as_mut().expect("begin_run() before propose_step()");
+        assert!(state.pending.is_none(), "observe_step() the previous proposal first");
+        loop {
+            match state.phase {
+                QPhase::Done => return Proposal::Finished,
+                QPhase::Episode { episode } => {
+                    if episode >= self.cfg.episodes {
+                        state.phase = QPhase::Done;
+                        continue;
+                    }
+                    // Warm-start policy: exploit from the best placement
+                    // two episodes out of three, explore from the initial
+                    // otherwise.
+                    let (start, current) =
+                        if self.cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
+                            (state.best_placement.clone(), state.best_cost)
+                        } else {
+                            (state.initial_placement.clone(), state.initial_cost)
+                        };
+                    env.set_placement(start).expect("recorded placements are valid");
+                    state.current = current;
+                    state.phase = QPhase::Top { episode, step: 0 };
+                }
+                QPhase::Top { episode, step } => {
+                    if step >= self.cfg.steps_per_episode {
+                        state.phase = QPhase::Episode { episode: episode + 1 };
+                        continue;
+                    }
+                    // --- top level: one group translation ---
+                    let s_top = env.group_state_key();
+                    let legal = top_legal_actions(env, &group_ids);
+                    state.phase = QPhase::Bottom { episode, step, group: 0 };
+                    if let Some(a) = select_action(
+                        &self.top,
+                        s_top,
+                        &legal,
+                        &self.cfg.exploration,
+                        episode,
+                        &mut state.rng,
+                    ) {
+                        let mv = decode_top(a, &group_ids);
+                        env.apply(mv).expect("legal actions apply");
+                        let next_state = env.group_state_key();
+                        let flip = state.rng.gen_range(0.0..1.0) < 0.5;
+                        state.pending = Some(PendingUpdate {
+                            agent: None,
+                            state: s_top,
+                            action: a,
+                            next_state,
+                            flip,
+                        });
+                        return Proposal::Evaluate { candidate: true };
+                    }
+                }
+                QPhase::Bottom { episode, step, group } => {
+                    if group >= group_ids.len() {
+                        state.phase = QPhase::Top { episode, step: step + 1 };
+                        continue;
+                    }
+                    // --- bottom level: every group agent, interleaved ---
+                    let g = group_ids[group];
+                    let s = env.local_state_key(g);
+                    let units = env.units_of_group(g).to_vec();
+                    let legal = bottom_legal_actions(env, &units);
+                    state.phase = QPhase::Bottom { episode, step, group: group + 1 };
+                    if let Some(a) = select_action(
+                        &self.bottom[g.index()],
+                        s,
+                        &legal,
+                        &self.cfg.exploration,
+                        episode,
+                        &mut state.rng,
+                    ) {
+                        let mv = decode_bottom(a, &units);
+                        env.apply(mv).expect("legal actions apply");
+                        let next_state = env.local_state_key(g);
+                        let flip = state.rng.gen_range(0.0..1.0) < 0.5;
+                        state.pending = Some(PendingUpdate {
+                            agent: Some(g.index()),
+                            state: s,
+                            action: a,
+                            next_state,
+                            flip,
+                        });
+                        return Proposal::Evaluate { candidate: true };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds the oracle's verdict for the pending proposal: performs the
+    /// deferred Bellman update (reward = scaled cost improvement, shared
+    /// by all agents) and tracks the best placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the preceding
+    /// [`propose_step`](MultiLevelPlacer::propose_step) returned
+    /// [`Proposal::Evaluate`].
+    pub fn observe_step(&mut self, sample: Sample, env: &LayoutEnv) {
+        let state = self.state.as_mut().expect("begin_run() before observe_step()");
+        let p = state.pending.take().expect("observe_step() follows a proposal");
+        let r = (state.current - sample.cost) * state.scale;
+        let (alpha, gamma) = (self.cfg.q.alpha, self.cfg.q.gamma);
+        match p.agent {
+            None => self.top.update(p.state, p.action, r, p.next_state, alpha, gamma, p.flip),
+            Some(i) => {
+                self.bottom[i].update(p.state, p.action, r, p.next_state, alpha, gamma, p.flip);
+            }
+        }
+        state.current = sample.cost;
+        state.note_best(sample, env);
+    }
+
+    /// Fixes up non-serialised internals after deserialisation (snapshot
+    /// restore).
+    pub fn rehydrate(&mut self) {
+        if let Some(state) = &mut self.state {
+            state.rehydrate();
+        }
     }
 }
 
@@ -425,6 +632,113 @@ mod tests {
             (t.best_cost, t.evals, t.trajectory)
         };
         assert_eq!(run(3), run(3));
+    }
+
+    /// Verbatim copy of the pre-refactor monolithic `run` loop — the
+    /// golden reference the step machine must reproduce bit-for-bit
+    /// (identical RNG draw sequence, table updates, and bookkeeping).
+    fn golden_run<F>(placer: &mut MultiLevelPlacer, env: &mut LayoutEnv, mut cost: F) -> RunTracker
+    where
+        F: FnMut(&LayoutEnv) -> Sample,
+    {
+        let cfg = placer.cfg;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let initial_placement = env.placement().clone();
+        let initial = cost(env);
+        let mut tracker = RunTracker::new(initial, initial_placement.clone(), &cfg);
+        let scale = cfg.reward_scale / initial.cost.abs().max(1e-12);
+        let group_ids: Vec<GroupId> = env.circuit().group_ids().collect();
+
+        'run: for episode in 0..cfg.episodes {
+            if tracker.done() {
+                break;
+            }
+            let (start, mut current) = if cfg.reset_to_best && episode % 3 != 0 && episode > 0 {
+                (tracker.best_placement.clone(), tracker.best_cost)
+            } else {
+                (initial_placement.clone(), initial.cost)
+            };
+            env.set_placement(start).expect("recorded placements are valid");
+
+            for _ in 0..cfg.steps_per_episode {
+                if tracker.done() {
+                    break 'run;
+                }
+                let s_top = env.group_state_key();
+                let legal = top_legal_actions(env, &group_ids);
+                if let Some(a) =
+                    select_action(&placer.top, s_top, &legal, &cfg.exploration, episode, &mut rng)
+                {
+                    let mv = decode_top(a, &group_ids);
+                    env.apply(mv).expect("legal actions apply");
+                    let s = cost(env);
+                    let r = (current - s.cost) * scale;
+                    let s_next = env.group_state_key();
+                    let flip = rng.gen_range(0.0..1.0) < 0.5;
+                    placer.top.update(s_top, a, r, s_next, cfg.q.alpha, cfg.q.gamma, flip);
+                    current = s.cost;
+                    if tracker.record(s, env) {
+                        break 'run;
+                    }
+                }
+
+                for &g in &group_ids {
+                    if tracker.done() {
+                        break 'run;
+                    }
+                    let table = &mut placer.bottom[g.index()];
+                    let s = env.local_state_key(g);
+                    let units = env.units_of_group(g).to_vec();
+                    let legal = bottom_legal_actions(env, &units);
+                    let Some(a) =
+                        select_action(table, s, &legal, &cfg.exploration, episode, &mut rng)
+                    else {
+                        continue;
+                    };
+                    let mv = decode_bottom(a, &units);
+                    env.apply(mv).expect("legal actions apply");
+                    let smp = cost(env);
+                    let r = (current - smp.cost) * scale;
+                    let s_next = env.local_state_key(g);
+                    let flip = rng.gen_range(0.0..1.0) < 0.5;
+                    table.update(s, a, r, s_next, cfg.q.alpha, cfg.q.gamma, flip);
+                    current = smp.cost;
+                    if tracker.record(smp, env) {
+                        break 'run;
+                    }
+                }
+            }
+        }
+
+        env.set_placement(tracker.best_placement.clone())
+            .expect("best placement was valid when recorded");
+        tracker
+    }
+
+    #[test]
+    fn step_machine_matches_the_golden_loop_bit_for_bit() {
+        for seed in [1u64, 2, 7] {
+            let fresh = || {
+                LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14))
+                    .unwrap()
+            };
+            let mut env_a = fresh();
+            let mut golden_placer = MultiLevelPlacer::new(&env_a, small_cfg(seed));
+            let golden = golden_run(&mut golden_placer, &mut env_a, wl);
+
+            let mut env_b = fresh();
+            let mut placer = MultiLevelPlacer::new(&env_b, small_cfg(seed));
+            let t = placer.run(&mut env_b, wl);
+
+            assert_eq!(golden.best_cost.to_bits(), t.best_cost.to_bits(), "seed {seed}");
+            assert_eq!(golden.trajectory, t.trajectory, "seed {seed}");
+            assert_eq!(golden.evals, t.evals);
+            assert_eq!(golden.best_placement, t.best_placement);
+            assert_eq!(golden.sims_to_target, t.sims_to_target);
+            // Identical learning: every Q-table ends in the same state.
+            assert_eq!(golden_placer, placer, "tables diverged for seed {seed}");
+            assert_eq!(env_a.state_key(), env_b.state_key());
+        }
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The step-driven [`Optimizer`] trait: one interface for every search
+//! method.
+//!
+//! Historically each method (multi-level Q, flat Q, SA, random) owned its
+//! run loop and called a cost closure. That shape duplicates budget
+//! enforcement, target bookkeeping, and report assembly per method, and
+//! makes checkpointing or portfolio scheduling impossible from outside.
+//! This trait inverts control: an optimizer *proposes* one candidate at a
+//! time (mutating the environment), the caller evaluates it against the
+//! oracle it owns, and the optimizer *observes* the verdict. The generic
+//! [`Driver`](crate::runner::Driver) supplies the loop; the closure-driven
+//! `run` methods remain as thin wrappers with bit-identical behaviour.
+//!
+//! All four built-in methods implement the trait:
+//! [`MultiLevelPlacer`], [`FlatQPlacer`], [`Annealer`], [`RandomSearch`].
+//!
+//! # Snapshots
+//!
+//! [`Optimizer::snapshot`] serialises the *entire* method state — Q-tables,
+//! temperature schedule, episode/step position, RNG stream position, best
+//! placement — as a JSON value; [`Optimizer::restore`] rebuilds it so a
+//! resumed run continues with a bit-identical draw sequence. Snapshots are
+//! only taken between an `observe` and the next `propose` (the quiescent
+//! points), which the driver guarantees.
+
+use breaksym_anneal::{Annealer, RandomSearch, StepOutcome};
+use breaksym_layout::LayoutEnv;
+
+use crate::mlma::Sample;
+use crate::{FlatQPlacer, MultiLevelPlacer};
+
+/// What an [`Optimizer`] wants the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proposal {
+    /// A move was applied to the environment: evaluate its cost and pass
+    /// the verdict to [`Optimizer::observe`].
+    Evaluate {
+        /// `true` for real candidates (counted against the best-so-far and
+        /// trajectory); `false` for calibration probes (SA auto-temperature)
+        /// that are undone after observation and only consume budget.
+        candidate: bool,
+    },
+    /// The method's schedule is exhausted (episodes done, temperature
+    /// floor reached, or the placement is fully locked).
+    Finished,
+}
+
+/// A cheap, method-agnostic progress summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizerStatus {
+    /// Total Q-table states across all agents (0 for non-learning methods).
+    pub qtable_states: usize,
+    /// Accepted moves (SA/random; 0 for the Q placers, which never reject).
+    pub accepted: u64,
+    /// Rejected moves (Metropolis rejections; 0 elsewhere).
+    pub rejected: u64,
+}
+
+/// A step-driven search method over [`LayoutEnv`] placements.
+///
+/// Lifecycle: [`init`](Optimizer::init) once with the initial placement's
+/// sample, then a `propose` → evaluate → `observe` cycle until either the
+/// optimizer returns [`Proposal::Finished`] or the caller's budget ends.
+/// The caller owns the cost oracle and all stopping decisions; the
+/// optimizer owns its schedule and learning state.
+pub trait Optimizer {
+    /// Stable method label used in reports (e.g. `"mlma-q"`, `"sa"`).
+    fn label(&self) -> &'static str;
+
+    /// Starts a run from `env`'s current placement, whose oracle verdict
+    /// is `initial`.
+    fn init(&mut self, env: &LayoutEnv, initial: Sample);
+
+    /// Applies the next proposed move to `env`, or reports the schedule
+    /// finished. After `Evaluate` the caller must evaluate `env` and call
+    /// [`observe`](Optimizer::observe) exactly once before proposing again.
+    fn propose(&mut self, env: &mut LayoutEnv) -> Proposal;
+
+    /// Feeds the oracle's verdict for the pending proposal. May mutate
+    /// `env` (a Metropolis rejection undoes the move; a probe is undone
+    /// unconditionally).
+    fn observe(&mut self, sample: Sample, env: &mut LayoutEnv);
+
+    /// Progress counters for reports and monitoring.
+    fn status(&self) -> OptimizerStatus;
+
+    /// Serialises the full method state (learning tables, schedule
+    /// position, RNG) for checkpointing. Only meaningful at quiescent
+    /// points — between an `observe` and the next `propose`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (practically impossible for the
+    /// built-in methods).
+    fn snapshot(&self) -> Result<serde_json::Value, serde_json::Error>;
+
+    /// Restores state captured by [`snapshot`](Optimizer::snapshot); the
+    /// next `propose` continues the interrupted run bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed or mismatched snapshots.
+    fn restore(&mut self, snapshot: &serde_json::Value) -> Result<(), serde_json::Error>;
+}
+
+impl Optimizer for MultiLevelPlacer {
+    fn label(&self) -> &'static str {
+        "mlma-q"
+    }
+
+    fn init(&mut self, env: &LayoutEnv, initial: Sample) {
+        self.begin_run(env, initial);
+    }
+
+    fn propose(&mut self, env: &mut LayoutEnv) -> Proposal {
+        self.propose_step(env)
+    }
+
+    fn observe(&mut self, sample: Sample, env: &mut LayoutEnv) {
+        self.observe_step(sample, env);
+    }
+
+    fn status(&self) -> OptimizerStatus {
+        OptimizerStatus { qtable_states: self.total_states(), ..OptimizerStatus::default() }
+    }
+
+    fn snapshot(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::to_value(self)
+    }
+
+    fn restore(&mut self, snapshot: &serde_json::Value) -> Result<(), serde_json::Error> {
+        *self = serde_json::from_value(snapshot.clone())?;
+        self.rehydrate();
+        Ok(())
+    }
+}
+
+impl Optimizer for FlatQPlacer {
+    fn label(&self) -> &'static str {
+        "flat-q"
+    }
+
+    fn init(&mut self, env: &LayoutEnv, initial: Sample) {
+        self.begin_run(env, initial);
+    }
+
+    fn propose(&mut self, env: &mut LayoutEnv) -> Proposal {
+        self.propose_step(env)
+    }
+
+    fn observe(&mut self, sample: Sample, env: &mut LayoutEnv) {
+        self.observe_step(sample, env);
+    }
+
+    fn status(&self) -> OptimizerStatus {
+        OptimizerStatus { qtable_states: self.total_states(), ..OptimizerStatus::default() }
+    }
+
+    fn snapshot(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::to_value(self)
+    }
+
+    fn restore(&mut self, snapshot: &serde_json::Value) -> Result<(), serde_json::Error> {
+        *self = serde_json::from_value(snapshot.clone())?;
+        self.rehydrate();
+        Ok(())
+    }
+}
+
+impl Optimizer for Annealer {
+    fn label(&self) -> &'static str {
+        "sa"
+    }
+
+    fn init(&mut self, env: &LayoutEnv, initial: Sample) {
+        self.begin(env, initial.cost);
+    }
+
+    fn propose(&mut self, env: &mut LayoutEnv) -> Proposal {
+        match self.step(env) {
+            StepOutcome::Evaluate { candidate } => Proposal::Evaluate { candidate },
+            StepOutcome::Finished => Proposal::Finished,
+        }
+    }
+
+    fn observe(&mut self, sample: Sample, env: &mut LayoutEnv) {
+        self.feed(sample.cost, env);
+    }
+
+    fn status(&self) -> OptimizerStatus {
+        let (accepted, rejected) = self.search().map_or((0, 0), |s| (s.accepted(), s.rejected()));
+        OptimizerStatus { qtable_states: 0, accepted, rejected }
+    }
+
+    fn snapshot(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::to_value(self)
+    }
+
+    fn restore(&mut self, snapshot: &serde_json::Value) -> Result<(), serde_json::Error> {
+        *self = serde_json::from_value(snapshot.clone())?;
+        self.rehydrate();
+        Ok(())
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn label(&self) -> &'static str {
+        "random"
+    }
+
+    fn init(&mut self, env: &LayoutEnv, initial: Sample) {
+        self.begin(env, initial.cost);
+    }
+
+    fn propose(&mut self, env: &mut LayoutEnv) -> Proposal {
+        match self.step(env) {
+            StepOutcome::Evaluate { candidate } => Proposal::Evaluate { candidate },
+            StepOutcome::Finished => Proposal::Finished,
+        }
+    }
+
+    fn observe(&mut self, sample: Sample, env: &mut LayoutEnv) {
+        self.feed(sample.cost, env);
+    }
+
+    fn status(&self) -> OptimizerStatus {
+        let accepted = self.search().map_or(0, |s| s.accepted());
+        OptimizerStatus { qtable_states: 0, accepted, rejected: 0 }
+    }
+
+    fn snapshot(&self) -> Result<serde_json::Value, serde_json::Error> {
+        serde_json::to_value(self)
+    }
+
+    fn restore(&mut self, snapshot: &serde_json::Value) -> Result<(), serde_json::Error> {
+        *self = serde_json::from_value(snapshot.clone())?;
+        self.rehydrate();
+        Ok(())
+    }
+}

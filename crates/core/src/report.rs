@@ -46,6 +46,10 @@ pub struct RunReport {
     pub reached_target: bool,
     /// The first simulation at which the target was reached, if ever.
     pub sims_to_target: Option<u64>,
+    /// Wall-clock milliseconds the run took (0 in reports serialized
+    /// before this field existed).
+    #[serde(default)]
+    pub elapsed_ms: u64,
 }
 
 impl RunReport {
@@ -111,6 +115,7 @@ mod tests {
             qtable_states: 37,
             reached_target: true,
             sims_to_target: Some(100),
+            elapsed_ms: 12,
         }
     }
 
@@ -131,9 +136,11 @@ mod tests {
         let obj = v.as_object_mut().unwrap();
         obj.remove("simulations");
         obj.remove("cache");
+        obj.remove("elapsed_ms");
         let r: RunReport = serde_json::from_value(v).unwrap();
         assert_eq!(r.simulations, 0);
         assert!(r.cache.is_none());
+        assert_eq!(r.elapsed_ms, 0);
     }
 
     #[test]

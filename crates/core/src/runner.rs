@@ -5,14 +5,29 @@
 //! signal-flow sequential initial placement, so costs are directly
 //! comparable across methods, and the "#simulations" tallies count the
 //! same oracle.
+//!
+//! # The generic driver
+//!
+//! All search methods run through one generic [`Driver`] over the
+//! step-driven [`Optimizer`] trait. The driver owns the cost oracle
+//! (evaluator + cache + counter), the budget ([`Budget`]), target-hit
+//! bookkeeping, optional periodic [checkpoints](RunCheckpoint), and the
+//! final [`RunReport`] assembly; the method only proposes moves and
+//! observes verdicts. The historic `run_*` entry points are thin wrappers
+//! over the driver with bit-identical behaviour.
+
+use std::time::Instant;
 
 use breaksym_anneal::{Annealer, RandomSearch, SaConfig};
-use breaksym_layout::LayoutEnv;
+use breaksym_layout::{LayoutEnv, Placement};
 use breaksym_sim::{EvalCache, Evaluator, Metrics, SimCounter, DEFAULT_CACHE_CAPACITY};
+use serde::{Deserialize, Serialize};
 
 use crate::mlma::Sample;
+use crate::optimizer::{Optimizer, Proposal};
 use crate::{
     FlatQPlacer, MlmaConfig, MultiLevelPlacer, Objective, PlaceError, PlacementTask, RunReport,
+    RunTracker,
 };
 
 /// Cost assigned to placements whose simulation fails (non-convergence on
@@ -61,6 +76,147 @@ impl Baseline {
     ];
 }
 
+// ------------------------------------------------------------- the budget
+
+/// The caller-side stopping rules the [`Driver`] enforces, independent of
+/// any method's own schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Hard cap on oracle queries (including the initial evaluation).
+    pub max_evals: u64,
+    /// Primary-metric target, when one was set.
+    pub target_primary: Option<f64>,
+    /// Whether reaching the target ends the run early.
+    pub stop_at_target: bool,
+    /// Hard wall-clock cap in milliseconds, checked between evaluations.
+    #[serde(default)]
+    pub max_wall_ms: Option<u64>,
+    /// Early stop after this many evaluations without a best-cost
+    /// improvement.
+    #[serde(default)]
+    pub patience: Option<u64>,
+}
+
+impl Budget {
+    /// A plain evaluation budget: no target, no wall clock, no patience.
+    pub fn evals(max_evals: u64) -> Self {
+        Budget {
+            max_evals,
+            target_primary: None,
+            stop_at_target: false,
+            max_wall_ms: None,
+            patience: None,
+        }
+    }
+
+    /// The budget a [`MlmaConfig`] describes (its eval cap and target
+    /// policy), matching the historic `run_mlma`/`run_flat` behaviour.
+    pub fn from_mlma(cfg: &MlmaConfig) -> Self {
+        Budget {
+            max_evals: cfg.max_evals,
+            target_primary: cfg.target_primary,
+            stop_at_target: cfg.stop_at_target,
+            max_wall_ms: None,
+            patience: None,
+        }
+    }
+
+    /// The budget historic `run_sa`/`run_random` enforced: the SA eval cap
+    /// plus an optional *recorded* (never early-stopping) target.
+    pub fn from_sa(cfg: &SaConfig, target_primary: Option<f64>) -> Self {
+        Budget {
+            max_evals: cfg.max_evals,
+            target_primary,
+            stop_at_target: false,
+            max_wall_ms: None,
+            patience: None,
+        }
+    }
+
+    /// Sets the wall-clock cap.
+    #[must_use]
+    pub fn with_max_wall_ms(mut self, ms: u64) -> Self {
+        self.max_wall_ms = Some(ms);
+        self
+    }
+
+    /// Sets the no-improvement patience.
+    #[must_use]
+    pub fn with_patience(mut self, evals: u64) -> Self {
+        self.patience = Some(evals);
+        self
+    }
+}
+
+// --------------------------------------------------------- the checkpoint
+
+/// A resumable snapshot of an in-flight driver run, taken at a quiescent
+/// point (between an observation and the next proposal).
+///
+/// Serialise with [`RunCheckpoint::to_json`]; hand the parsed value to
+/// [`Driver::resume`], which restores the optimizer, the tracker, and the
+/// working placement (rebuilding their serde-skipped indices) so the
+/// continued run is bit-identical to one that never stopped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunCheckpoint {
+    /// Method label of the interrupted run.
+    pub method: String,
+    /// Oracle queries spent so far.
+    pub evals: u64,
+    /// Wall-clock milliseconds spent so far (accumulated across resumes).
+    pub elapsed_ms: u64,
+    /// Budget/best/trajectory bookkeeping.
+    pub tracker: RunTracker,
+    /// The environment's working placement at the quiescent point.
+    pub placement: Placement,
+    /// The optimizer's full state ([`Optimizer::snapshot`]).
+    pub optimizer: serde_json::Value,
+}
+
+impl RunCheckpoint {
+    fn capture<O: Optimizer + ?Sized>(
+        method: &str,
+        tracker: &RunTracker,
+        env: &LayoutEnv,
+        opt: &O,
+        elapsed_ms: u64,
+    ) -> Result<Self, PlaceError> {
+        let optimizer = opt.snapshot().map_err(|e| PlaceError::BadConfig {
+            reason: format!("optimizer state not serialisable: {e}"),
+        })?;
+        Ok(RunCheckpoint {
+            method: method.to_string(),
+            evals: tracker.evals,
+            elapsed_ms,
+            tracker: tracker.clone(),
+            placement: env.placement().clone(),
+            optimizer,
+        })
+    }
+
+    /// Serialises the checkpoint to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures (practically impossible).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a [`RunCheckpoint::to_json`] checkpoint. The contained
+    /// placements still carry serde-skipped indices; [`Driver::resume`]
+    /// rebuilds them — do not use the placements directly before that.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+// ------------------------------------------------------------- the driver
+
 /// Shared setup: initial env, its metrics, and the normalised objective.
 struct Setup {
     env: LayoutEnv,
@@ -72,13 +228,16 @@ struct Setup {
 }
 
 fn setup(task: &PlacementTask) -> Result<Setup, PlaceError> {
+    setup_with(task, EvalCache::new(DEFAULT_CACHE_CAPACITY))
+}
+
+fn setup_with(task: &PlacementTask, cache: EvalCache) -> Result<Setup, PlaceError> {
     let env = task.initial_env()?;
     let counter = SimCounter::new();
     // Every runner memoizes metrics by placement fingerprint: revisited
     // states (episode resets, undo-heavy proposals) cost a hash probe, not
     // a solve. Hits do not touch `counter` — the "#simulations" tally
     // counts real oracle solves only.
-    let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
     let evaluator = task.evaluator(counter.clone()).with_cache(cache.clone());
     let initial_metrics = evaluator.evaluate(&env)?;
     let objective = Objective::normalized_to(&initial_metrics);
@@ -95,6 +254,324 @@ fn sample_closure<'a>(
     }
 }
 
+/// The generic run loop over any [`Optimizer`]: owns the cost oracle,
+/// enforces the [`Budget`], tracks the best placement and target hits,
+/// optionally emits periodic [`RunCheckpoint`]s, and assembles the
+/// [`RunReport`].
+///
+/// ```
+/// use breaksym_core::runner::{Budget, Driver};
+/// use breaksym_core::{MlmaConfig, MultiLevelPlacer, PlacementTask};
+/// use breaksym_lde::LdeModel;
+/// use breaksym_netlist::circuits;
+///
+/// let task = PlacementTask::new(circuits::diff_pair(), 10, LdeModel::nonlinear(1.0, 1));
+/// let cfg = MlmaConfig { episodes: 2, steps_per_episode: 5, max_evals: 60, ..MlmaConfig::default() };
+/// let mut placer = MultiLevelPlacer::new(&task.initial_env()?, cfg);
+/// let report = Driver::new(Budget::from_mlma(&cfg)).run(&task, &mut placer)?;
+/// assert!(report.best_cost <= report.initial_cost);
+/// # Ok::<(), breaksym_core::PlaceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Driver {
+    budget: Budget,
+    method: Option<String>,
+    weights: Option<(f64, f64, f64)>,
+    shared_cache: Option<EvalCache>,
+    checkpoint_every: Option<u64>,
+}
+
+impl Driver {
+    /// A driver enforcing `budget` with the default objective weights and
+    /// a private evaluation cache.
+    pub fn new(budget: Budget) -> Self {
+        Driver { budget, method: None, weights: None, shared_cache: None, checkpoint_every: None }
+    }
+
+    /// Overrides the report's method label (defaults to
+    /// [`Optimizer::label`]).
+    #[must_use]
+    pub fn with_method_label(mut self, label: impl Into<String>) -> Self {
+        self.method = Some(label.into());
+        self
+    }
+
+    /// Overrides the objective weights `(w_primary, w_area, w_wirelength)`.
+    #[must_use]
+    pub fn with_weights(mut self, weights: (f64, f64, f64)) -> Self {
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Shares an external [`EvalCache`] (e.g. across a portfolio) instead
+    /// of creating a private one. Only hit/miss accounting depends on who
+    /// else uses the cache — memoized metrics are bit-identical to fresh
+    /// solves, so cost trajectories do not.
+    #[must_use]
+    pub fn with_shared_cache(mut self, cache: EvalCache) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Emits a [`RunCheckpoint`] to the `run_observed` callback every
+    /// `every` evaluations (at quiescent points only).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every.max(1));
+        self
+    }
+
+    /// The enforced budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Runs `opt` on `task` from the task's initial placement.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the circuit does not fit the grid or the *initial*
+    /// placement cannot be simulated (failures on exploration candidates
+    /// are penalised, not fatal).
+    pub fn run<O: Optimizer + ?Sized>(
+        &self,
+        task: &PlacementTask,
+        opt: &mut O,
+    ) -> Result<RunReport, PlaceError> {
+        self.run_observed(task, opt, |_| {})
+    }
+
+    /// Like [`Driver::run`], invoking `on_checkpoint` for every periodic
+    /// checkpoint (see [`Driver::with_checkpoint_every`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::run`].
+    pub fn run_observed<O: Optimizer + ?Sized>(
+        &self,
+        task: &PlacementTask,
+        opt: &mut O,
+        mut on_checkpoint: impl FnMut(&RunCheckpoint),
+    ) -> Result<RunReport, PlaceError> {
+        let started = Instant::now();
+        let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
+            self.prepare(task)?;
+        let mut sample = sample_closure(&evaluator, &objective);
+        let initial = sample(&env);
+        let mut tracker = RunTracker::with_budget(
+            initial,
+            env.placement().clone(),
+            self.budget.max_evals,
+            self.budget.target_primary,
+            self.budget.stop_at_target,
+        );
+        opt.init(&env, initial);
+        let method = self.method.clone().unwrap_or_else(|| opt.label().to_string());
+        self.drive(
+            opt,
+            &mut env,
+            &mut sample,
+            &mut tracker,
+            &method,
+            started,
+            0,
+            &mut on_checkpoint,
+        )?;
+        self.assemble(
+            method,
+            env,
+            &evaluator,
+            &counter,
+            &cache,
+            initial_metrics,
+            tracker,
+            opt,
+            started,
+            0,
+        )
+    }
+
+    /// Resumes an interrupted run from `ckpt`: restores the optimizer's
+    /// full state, the tracker, and the working placement, then continues
+    /// the loop bit-identically to a run that never stopped. The driver
+    /// must be configured like the original (same weights); the budget and
+    /// method label are taken from the checkpoint's tracker.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::run`], plus [`PlaceError::BadConfig`] on a snapshot
+    /// that does not match the optimizer.
+    pub fn resume<O: Optimizer + ?Sized>(
+        &self,
+        task: &PlacementTask,
+        opt: &mut O,
+        ckpt: &RunCheckpoint,
+    ) -> Result<RunReport, PlaceError> {
+        self.resume_observed(task, opt, ckpt, |_| {})
+    }
+
+    /// Like [`Driver::resume`] with a periodic-checkpoint callback.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::resume`].
+    pub fn resume_observed<O: Optimizer + ?Sized>(
+        &self,
+        task: &PlacementTask,
+        opt: &mut O,
+        ckpt: &RunCheckpoint,
+        mut on_checkpoint: impl FnMut(&RunCheckpoint),
+    ) -> Result<RunReport, PlaceError> {
+        let started = Instant::now();
+        let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
+            self.prepare(task)?;
+        opt.restore(&ckpt.optimizer).map_err(|e| PlaceError::BadConfig {
+            reason: format!("optimizer snapshot does not restore: {e}"),
+        })?;
+        let mut tracker = ckpt.tracker.clone();
+        tracker.rehydrate();
+        let mut placement = ckpt.placement.clone();
+        placement.rebuild_index();
+        env.set_placement(placement)?;
+        let mut sample = sample_closure(&evaluator, &objective);
+        let method = ckpt.method.clone();
+        let base = ckpt.elapsed_ms;
+        self.drive(
+            opt,
+            &mut env,
+            &mut sample,
+            &mut tracker,
+            &method,
+            started,
+            base,
+            &mut on_checkpoint,
+        )?;
+        self.assemble(
+            method,
+            env,
+            &evaluator,
+            &counter,
+            &cache,
+            initial_metrics,
+            tracker,
+            opt,
+            started,
+            base,
+        )
+    }
+
+    fn prepare(&self, task: &PlacementTask) -> Result<Setup, PlaceError> {
+        let cache = self
+            .shared_cache
+            .clone()
+            .unwrap_or_else(|| EvalCache::new(DEFAULT_CACHE_CAPACITY));
+        let mut s = setup_with(task, cache)?;
+        if let Some((p, a, w)) = self.weights {
+            s.objective = s.objective.with_weights(p, a, w);
+        }
+        Ok(s)
+    }
+
+    /// The inner propose → evaluate → observe loop. Exits on the tracker's
+    /// own budget/target verdict, the wall clock, the patience rule, or
+    /// the optimizer finishing its schedule.
+    #[allow(clippy::too_many_arguments)]
+    fn drive<O: Optimizer + ?Sized>(
+        &self,
+        opt: &mut O,
+        env: &mut LayoutEnv,
+        sample: &mut impl FnMut(&LayoutEnv) -> Sample,
+        tracker: &mut RunTracker,
+        method: &str,
+        started: Instant,
+        base_elapsed_ms: u64,
+        on_checkpoint: &mut impl FnMut(&RunCheckpoint),
+    ) -> Result<(), PlaceError> {
+        loop {
+            if tracker.done() {
+                break;
+            }
+            if let Some(limit) = self.budget.max_wall_ms {
+                if base_elapsed_ms + started.elapsed().as_millis() as u64 >= limit {
+                    break;
+                }
+            }
+            if let Some(patience) = self.budget.patience {
+                let last_improvement = tracker.trajectory.last().map_or(1, |&(e, _)| e);
+                if tracker.evals.saturating_sub(last_improvement) >= patience {
+                    break;
+                }
+            }
+            match opt.propose(env) {
+                Proposal::Finished => break,
+                Proposal::Evaluate { candidate } => {
+                    let s = sample(env);
+                    opt.observe(s, env);
+                    // Candidates feed the best/trajectory/target records; a
+                    // calibration probe only consumes budget. A Metropolis
+                    // rejection undid the move in `observe`, but a rejected
+                    // cost is never a new best, so recording afterwards
+                    // cannot capture the wrong placement.
+                    let stop = if candidate {
+                        tracker.record(s, env)
+                    } else {
+                        tracker.record_probe(s)
+                    };
+                    if self.checkpoint_every.is_some_and(|every| tracker.evals % every == 0) {
+                        let elapsed = base_elapsed_ms + started.elapsed().as_millis() as u64;
+                        let ckpt = RunCheckpoint::capture(method, tracker, env, opt, elapsed)?;
+                        on_checkpoint(&ckpt);
+                    }
+                    if stop {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble<O: Optimizer + ?Sized>(
+        &self,
+        method: String,
+        mut env: LayoutEnv,
+        evaluator: &Evaluator,
+        counter: &SimCounter,
+        cache: &EvalCache,
+        initial_metrics: Metrics,
+        tracker: RunTracker,
+        opt: &O,
+        started: Instant,
+        base_elapsed_ms: u64,
+    ) -> Result<RunReport, PlaceError> {
+        env.set_placement(tracker.best_placement.clone())?;
+        // The best placement was already simulated when the tracker
+        // recorded it, so this lookup is a cache hit — it refreshes the
+        // full Metrics without spending an extra simulation, keeping
+        // `evaluations` equal to the actual number of oracle queries.
+        let best_metrics = evaluator.evaluate(&env)?;
+        Ok(RunReport {
+            method,
+            initial_cost: tracker.trajectory[0].1,
+            best_cost: tracker.best_cost,
+            initial_metrics,
+            best_metrics,
+            best_placement: env.placement().clone(),
+            evaluations: tracker.evals,
+            simulations: counter.count(),
+            cache: Some(cache.stats()),
+            trajectory: tracker.trajectory,
+            qtable_states: opt.status().qtable_states,
+            reached_target: tracker.reached_target,
+            sims_to_target: tracker.sims_to_target,
+            elapsed_ms: base_elapsed_ms + started.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+// ----------------------------------------------------- the thin wrappers
+
 /// Runs the paper's multi-level multi-agent Q-learning placer.
 ///
 /// # Errors
@@ -103,29 +580,8 @@ fn sample_closure<'a>(
 /// cannot be simulated (failures on exploration candidates are penalised,
 /// not fatal).
 pub fn run_mlma(task: &PlacementTask, cfg: &MlmaConfig) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
-    let mut placer = MultiLevelPlacer::new(&env, *cfg);
-    let tracker = placer.run(&mut env, sample_closure(&evaluator, &objective));
-    // The best placement was already simulated when the tracker recorded
-    // it, so this lookup is a cache hit — it refreshes the full Metrics
-    // without spending an extra simulation, keeping `evaluations` equal to
-    // the actual number of oracle queries.
-    let best_metrics = evaluator.evaluate(&env)?;
-    Ok(RunReport {
-        method: "mlma-q".into(),
-        initial_cost: tracker.trajectory[0].1,
-        best_cost: tracker.best_cost,
-        initial_metrics,
-        best_metrics,
-        best_placement: env.placement().clone(),
-        evaluations: tracker.evals,
-        simulations: counter.count(),
-        cache: Some(cache.stats()),
-        trajectory: tracker.trajectory,
-        qtable_states: placer.total_states(),
-        reached_target: tracker.reached_target,
-        sims_to_target: tracker.sims_to_target,
-    })
+    let mut placer = MultiLevelPlacer::new(&task.initial_env()?, *cfg);
+    Driver::new(Budget::from_mlma(cfg)).run(task, &mut placer)
 }
 
 /// Like [`run_mlma`] with explicit objective weights
@@ -140,26 +596,11 @@ pub fn run_mlma_weighted(
     cfg: &MlmaConfig,
     weights: (f64, f64, f64),
 ) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
-    let objective = objective.with_weights(weights.0, weights.1, weights.2);
-    let mut placer = MultiLevelPlacer::new(&env, *cfg);
-    let tracker = placer.run(&mut env, sample_closure(&evaluator, &objective));
-    let best_metrics = evaluator.evaluate(&env)?;
-    Ok(RunReport {
-        method: format!("mlma-q[w={:.2}/{:.2}/{:.2}]", weights.0, weights.1, weights.2),
-        initial_cost: tracker.trajectory[0].1,
-        best_cost: tracker.best_cost,
-        initial_metrics,
-        best_metrics,
-        best_placement: env.placement().clone(),
-        evaluations: tracker.evals,
-        simulations: counter.count(),
-        cache: Some(cache.stats()),
-        trajectory: tracker.trajectory,
-        qtable_states: placer.total_states(),
-        reached_target: tracker.reached_target,
-        sims_to_target: tracker.sims_to_target,
-    })
+    let mut placer = MultiLevelPlacer::new(&task.initial_env()?, *cfg);
+    Driver::new(Budget::from_mlma(cfg))
+        .with_weights(weights)
+        .with_method_label(format!("mlma-q[w={:.2}/{:.2}/{:.2}]", weights.0, weights.1, weights.2))
+        .run(task, &mut placer)
 }
 
 /// Runs the flat single-agent Q-learning ablation on the same task.
@@ -168,25 +609,8 @@ pub fn run_mlma_weighted(
 ///
 /// As [`run_mlma`].
 pub fn run_flat(task: &PlacementTask, cfg: &MlmaConfig) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
-    let mut placer = FlatQPlacer::new(&env, *cfg);
-    let tracker = placer.run(&mut env, sample_closure(&evaluator, &objective));
-    let best_metrics = evaluator.evaluate(&env)?;
-    Ok(RunReport {
-        method: "flat-q".into(),
-        initial_cost: tracker.trajectory[0].1,
-        best_cost: tracker.best_cost,
-        initial_metrics,
-        best_metrics,
-        best_placement: env.placement().clone(),
-        evaluations: tracker.evals,
-        simulations: counter.count(),
-        cache: Some(cache.stats()),
-        trajectory: tracker.trajectory,
-        qtable_states: placer.total_states(),
-        reached_target: tracker.reached_target,
-        sims_to_target: tracker.sims_to_target,
-    })
+    let mut placer = FlatQPlacer::new(&task.initial_env()?, *cfg);
+    Driver::new(Budget::from_mlma(cfg)).run(task, &mut placer)
 }
 
 /// Runs the simulated-annealing baseline (non-ML comparator, the paper's ref 2).
@@ -204,35 +628,8 @@ pub fn run_sa(
     sa_cfg: &SaConfig,
     target_primary: Option<f64>,
 ) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
-    let mut sample = sample_closure(&evaluator, &objective);
-    let mut sims = 0u64;
-    let mut first_hit: Option<u64> = None;
-    let mut cost = |env: &LayoutEnv| {
-        let s = sample(env);
-        sims += 1;
-        if first_hit.is_none() && target_primary.is_some_and(|t| s.primary <= t) {
-            first_hit = Some(sims);
-        }
-        s.cost
-    };
-    let result = Annealer::new(*sa_cfg).run(&mut env, &mut cost);
-    let best_metrics = evaluator.evaluate(&env)?;
-    Ok(RunReport {
-        method: "sa".into(),
-        initial_cost: result.initial_cost,
-        best_cost: result.best_cost,
-        initial_metrics,
-        best_metrics,
-        best_placement: result.best_placement,
-        evaluations: result.evaluations,
-        simulations: counter.count(),
-        cache: Some(cache.stats()),
-        trajectory: result.trajectory,
-        qtable_states: 0,
-        reached_target: first_hit.is_some(),
-        sims_to_target: first_hit,
-    })
+    let mut annealer = Annealer::new(*sa_cfg);
+    Driver::new(Budget::from_sa(sa_cfg, target_primary)).run(task, &mut annealer)
 }
 
 /// Runs the pure random-search floor: same move set, no intelligence.
@@ -247,41 +644,16 @@ pub fn run_random(
     sa_cfg: &SaConfig,
     target_primary: Option<f64>,
 ) -> Result<RunReport, PlaceError> {
-    let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } = setup(task)?;
-    let mut sample = sample_closure(&evaluator, &objective);
-    let mut sims = 0u64;
-    let mut first_hit: Option<u64> = None;
-    let mut cost = |env: &LayoutEnv| {
-        let s = sample(env);
-        sims += 1;
-        if first_hit.is_none() && target_primary.is_some_and(|t| s.primary <= t) {
-            first_hit = Some(sims);
-        }
-        s.cost
-    };
-    let result = RandomSearch::new(*sa_cfg).run(&mut env, &mut cost);
-    let best_metrics = evaluator.evaluate(&env)?;
-    Ok(RunReport {
-        method: "random".into(),
-        initial_cost: result.initial_cost,
-        best_cost: result.best_cost,
-        initial_metrics,
-        best_metrics,
-        best_placement: result.best_placement,
-        evaluations: result.evaluations,
-        simulations: counter.count(),
-        cache: Some(cache.stats()),
-        trajectory: result.trajectory,
-        qtable_states: 0,
-        reached_target: first_hit.is_some(),
-        sims_to_target: first_hit,
-    })
+    let mut search = RandomSearch::new(*sa_cfg);
+    Driver::new(Budget::from_sa(sa_cfg, target_primary)).run(task, &mut search)
 }
 
 /// Runs [`run_mlma`] across several seeds in parallel (one OS thread per
 /// seed — runs are CPU-bound and independent), preserving input order.
 /// Each seed replaces both `cfg.seed` and nothing else; vary the task's
-/// LDE seed separately if the *field* should change too.
+/// LDE seed separately if the *field* should change too. See
+/// [`run_portfolio`](crate::run_portfolio) for the seeds × methods
+/// generalisation with a bounded worker pool.
 ///
 /// # Errors
 ///
@@ -315,6 +687,7 @@ pub fn run_mlma_seeds(
 /// Fails when the layout generator cannot fit the grid or the simulation
 /// fails.
 pub fn run_baseline(task: &PlacementTask, which: Baseline) -> Result<RunReport, PlaceError> {
+    let started = Instant::now();
     let Setup { env: init_env, evaluator, counter, cache, initial_metrics, objective } =
         setup(task)?;
     let mut env = match which {
@@ -355,6 +728,7 @@ pub fn run_baseline(task: &PlacementTask, which: Baseline) -> Result<RunReport, 
         qtable_states: 0,
         reached_target: false,
         sims_to_target: None,
+        elapsed_ms: started.elapsed().as_millis() as u64,
     })
 }
 
@@ -576,5 +950,115 @@ mod tests {
             rl.best_primary(),
             sym.best_primary()
         );
+    }
+
+    // ------------------------------------------------- driver-level tests
+
+    #[test]
+    fn driver_checkpoints_fire_at_quiescent_points() {
+        let t = task();
+        let cfg = quick_cfg(6);
+        let mut placer = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let mut checkpoints = Vec::new();
+        let report = Driver::new(Budget::from_mlma(&cfg))
+            .with_checkpoint_every(25)
+            .run_observed(&t, &mut placer, |c| checkpoints.push(c.clone()))
+            .unwrap();
+        assert!(!checkpoints.is_empty(), "a 250-eval run must checkpoint at every 25");
+        for c in &checkpoints {
+            assert_eq!(c.method, "mlma-q");
+            assert_eq!(c.evals % 25, 0);
+            assert_eq!(c.evals, c.tracker.evals);
+            assert!(c.evals <= report.evaluations);
+            // The snapshot is valid JSON state, not a placeholder.
+            assert!(c.optimizer.is_object());
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_uninterrupted_run() {
+        let t = task();
+        let cfg = quick_cfg(8);
+
+        let full = run_mlma(&t, &cfg).unwrap();
+
+        // Interrupt by grabbing the checkpoint nearest 100 evals, then
+        // resume from its JSON round-trip with a *fresh* placer.
+        let mut placer = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let mut taken: Option<RunCheckpoint> = None;
+        let driver = Driver::new(Budget::from_mlma(&cfg)).with_checkpoint_every(100);
+        driver
+            .run_observed(&t, &mut placer, |c| {
+                if taken.is_none() {
+                    taken = Some(c.clone());
+                }
+            })
+            .unwrap();
+        let ckpt = taken.expect("run emits a checkpoint");
+        let json = ckpt.to_json().unwrap();
+        let parsed = RunCheckpoint::from_json(&json).unwrap();
+
+        let mut fresh = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let resumed = Driver::new(Budget::from_mlma(&cfg)).resume(&t, &mut fresh, &parsed).unwrap();
+
+        assert_eq!(resumed.best_cost.to_bits(), full.best_cost.to_bits());
+        assert_eq!(resumed.trajectory, full.trajectory);
+        assert_eq!(resumed.evaluations, full.evaluations);
+        assert_eq!(resumed.best_placement, full.best_placement);
+        assert_eq!(resumed.reached_target, full.reached_target);
+        assert_eq!(resumed.sims_to_target, full.sims_to_target);
+        // `simulations`/cache stats intentionally differ: the resumed run
+        // re-solves states the interrupted run had cached.
+    }
+
+    #[test]
+    fn wall_clock_and_patience_budgets_stop_early() {
+        let t = task();
+        let cfg = quick_cfg(9);
+
+        // A zero wall-clock budget stops before the first proposal.
+        let mut placer = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let r = Driver::new(Budget::from_mlma(&cfg).with_max_wall_ms(0))
+            .run(&t, &mut placer)
+            .unwrap();
+        assert_eq!(r.evaluations, 1, "only the initial evaluation");
+        assert_eq!(r.trajectory, vec![(1, r.initial_cost)]);
+
+        // Patience cuts a stagnating run short of the eval budget.
+        let mut placer = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let patient = Driver::new(Budget::from_mlma(&cfg).with_patience(30))
+            .run(&t, &mut placer)
+            .unwrap();
+        let last_improvement = patient.trajectory.last().unwrap().0;
+        assert!(
+            patient.evaluations <= last_improvement + 30,
+            "stopped {} evals after the last improvement at {last_improvement}",
+            patient.evaluations - last_improvement
+        );
+    }
+
+    #[test]
+    fn driver_runs_every_method_through_the_same_interface() {
+        let t = task();
+        let budget = Budget::evals(120);
+        let env = t.initial_env().unwrap();
+
+        let mut mlma = MultiLevelPlacer::new(&env, quick_cfg(3));
+        let mut flat = FlatQPlacer::new(&env, quick_cfg(3));
+        let mut sa = Annealer::new(SaConfig { seed: 3, ..SaConfig::default() });
+        let mut random = RandomSearch::new(SaConfig { seed: 3, ..SaConfig::default() });
+
+        let opts: [(&mut dyn crate::Optimizer, &str); 4] = [
+            (&mut mlma, "mlma-q"),
+            (&mut flat, "flat-q"),
+            (&mut sa, "sa"),
+            (&mut random, "random"),
+        ];
+        for (opt, label) in opts {
+            let r = Driver::new(budget).run(&t, opt).unwrap();
+            assert_eq!(r.method, label);
+            assert!(r.evaluations <= 120);
+            assert!(r.best_cost <= r.initial_cost);
+        }
     }
 }

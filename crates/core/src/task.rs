@@ -11,9 +11,12 @@ use crate::PlaceError;
 /// One placement problem: a circuit, a grid, and the LDE model the
 /// simulator applies.
 ///
-/// All optimisation entry points ([`runner`](crate::runner)) consume the
-/// same task so every method sees an identical problem — identical initial
-/// placement (signal-flow driven), identical simulator, identical LDEs.
+/// All optimisation entry points — the generic
+/// [`Driver`](crate::runner::Driver), the thin `run_*` wrappers in
+/// [`runner`](crate::runner), and the parallel
+/// [`run_portfolio`](crate::run_portfolio) — consume the same task so
+/// every method sees an identical problem: identical initial placement
+/// (signal-flow driven), identical simulator, identical LDEs.
 #[derive(Debug, Clone)]
 pub struct PlacementTask {
     /// The circuit to place.

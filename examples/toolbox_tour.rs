@@ -4,7 +4,11 @@
 //!
 //! Run with: `cargo run --release --example toolbox_tour`
 
-use breaksym::core::{MlmaConfig, MultiLevelPlacer, Objective, PlacementTask};
+use breaksym::anneal::SaConfig;
+use breaksym::core::{
+    run_portfolio, Budget, Driver, MethodSpec, MlmaConfig, MultiLevelPlacer, Objective,
+    PlacementTask,
+};
 use breaksym::layout::LayoutEnv;
 use breaksym::lde::{Atlas, Component, LdeModel};
 use breaksym::netlist::{circuits, lint::lint, PortRole};
@@ -83,7 +87,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ngreedy rollout of an untrained hierarchy: {} moves", rollout.len());
     let _ = eval2;
 
-    // 5. Route the optimised placement and audit congestion.
+    // 5. The same method, step-driven: the generic Driver owns the budget
+    // and checkpointing, the placer only proposes and observes. Grab the
+    // first mid-run checkpoint, round-trip it through JSON, and resume it
+    // with a fresh placer — bit-identical to the uninterrupted run.
+    let mut stepped = MultiLevelPlacer::new(&task.initial_env()?, cfg);
+    let mut first_ckpt = None;
+    let driver = Driver::new(Budget::from_mlma(&cfg)).with_checkpoint_every(200);
+    let direct = driver.run_observed(&task, &mut stepped, |c| {
+        if first_ckpt.is_none() {
+            first_ckpt = Some(c.clone());
+        }
+    })?;
+    if let Some(ckpt) = first_ckpt {
+        let json = ckpt.to_json()?;
+        let parsed = breaksym::core::RunCheckpoint::from_json(&json)?;
+        let mut fresh = MultiLevelPlacer::new(&task.initial_env()?, cfg);
+        let resumed = Driver::new(Budget::from_mlma(&cfg)).resume(&task, &mut fresh, &parsed)?;
+        println!(
+            "\ndriver: checkpoint at eval {} ({} bytes of JSON); resumed best {:.4} vs direct {:.4} ({})",
+            ckpt.evals,
+            json.len(),
+            resumed.best_cost,
+            direct.best_cost,
+            if resumed.best_cost.to_bits() == direct.best_cost.to_bits() {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+    }
+
+    // 6. A deterministic portfolio: seeds × methods across threads. The
+    // trajectories are bit-identical whatever the thread count.
+    let small = MlmaConfig { max_evals: 200, ..cfg };
+    let methods = [
+        MethodSpec::Mlma(small),
+        MethodSpec::Sa(SaConfig { max_evals: 200, ..SaConfig::default() }),
+    ];
+    let reports = run_portfolio(&task, &methods, &[5, 6], 4)?;
+    println!("\nportfolio (2 seeds x 2 methods, 4 threads):");
+    for r in &reports {
+        println!(
+            "  {:8} best {:.4} in {} evals ({} ms)",
+            r.method, r.best_cost, r.evaluations, r.elapsed_ms
+        );
+    }
+
+    // 7. Route the optimised placement and audit congestion.
     let routed_env = LayoutEnv::new(task.circuit.clone(), task.spec, report.best_placement)?;
     let routed = MazeRouter::new(RouteConfig::default()).route(&routed_env);
     let map = CongestionMap::new(&routed, routed_env.spec());

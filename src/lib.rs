@@ -8,7 +8,10 @@
 //! 2. define a [`core::PlacementTask`] (grid + LDE model),
 //! 3. run [`core::runner::run_mlma`] (the paper's method),
 //!    [`core::runner::run_sa`] (the non-ML baseline), or
-//!    [`core::runner::run_baseline`] (symmetric layouts),
+//!    [`core::runner::run_baseline`] (symmetric layouts) — or drive any
+//!    method step-by-step through the generic [`core::Driver`] (budgets,
+//!    checkpoint/resume) and fan seeds × methods across threads with
+//!    [`core::run_portfolio`],
 //! 4. compare the [`core::RunReport`]s: mismatch/offset, FOM, and
 //!    #simulations — the three columns of the paper's Fig. 3.
 //!

@@ -1,0 +1,237 @@
+//! Golden-seed equivalence of the step-driven driver stack.
+//!
+//! The crate-level golden tests (in `breaksym-core` and `breaksym-anneal`)
+//! pin each step machine against a verbatim copy of its pre-refactor
+//! closure loop. These facade tests close the chain end-to-end: the
+//! generic `Driver` behind `runner::run_*` must reproduce, bit-for-bit,
+//! what the closure-driven `run` methods produce on the paper's benchmark
+//! circuits — same best costs, same trajectories, same evaluation counts —
+//! and the checkpoint/resume and portfolio paths must not perturb any of
+//! it.
+
+use breaksym::anneal::{Annealer, RandomSearch, SaConfig};
+use breaksym::core::{
+    run_portfolio, runner, Budget, Driver, FlatQPlacer, MethodSpec, MlmaConfig, MultiLevelPlacer,
+    Objective, PlacementTask, RunCheckpoint, RunTracker, Sample,
+};
+use breaksym::lde::LdeModel;
+use breaksym::netlist::circuits;
+use breaksym::sim::{EvalCache, Evaluator, SimCounter, DEFAULT_CACHE_CAPACITY};
+
+fn benchmark_tasks() -> Vec<(&'static str, PlacementTask)> {
+    vec![
+        (
+            "CM",
+            PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 7)),
+        ),
+        (
+            "COMP",
+            PlacementTask::new(circuits::comparator(), 16, LdeModel::nonlinear(1.0, 7)),
+        ),
+        (
+            "OTA",
+            PlacementTask::new(circuits::folded_cascode_ota(), 18, LdeModel::nonlinear(1.0, 7)),
+        ),
+    ]
+}
+
+/// The historic runner pipeline, reconstructed from public pieces: fresh
+/// cache + counter, objective normalised to the initial metrics, then the
+/// method's own closure-driven `run`. The closure loops themselves are
+/// golden-tested against the pre-refactor code at the crate level.
+struct Oracle {
+    evaluator: Evaluator,
+    objective: Objective,
+}
+
+impl Oracle {
+    fn new(task: &PlacementTask) -> (Self, breaksym::layout::LayoutEnv) {
+        let env = task.initial_env().unwrap();
+        let counter = SimCounter::new();
+        let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
+        let evaluator = task.evaluator(counter).with_cache(cache);
+        let initial = evaluator.evaluate(&env).unwrap();
+        let objective = Objective::normalized_to(&initial);
+        (Oracle { evaluator, objective }, env)
+    }
+
+    fn sample(&self, env: &breaksym::layout::LayoutEnv) -> Sample {
+        match self.evaluator.evaluate(env) {
+            Ok(m) => Sample { cost: self.objective.cost(&m), primary: m.primary() },
+            Err(_) => Sample { cost: 1e6, primary: 1e6 },
+        }
+    }
+}
+
+fn quick_q(seed: u64) -> MlmaConfig {
+    MlmaConfig { episodes: 3, steps_per_episode: 8, max_evals: 120, seed, ..MlmaConfig::default() }
+}
+
+fn quick_sa(seed: u64) -> SaConfig {
+    SaConfig { max_evals: 120, seed, ..SaConfig::default() }
+}
+
+fn assert_tracker_matches(
+    label: &str,
+    report: &breaksym::core::RunReport,
+    best_cost: f64,
+    trajectory: &[(u64, f64)],
+    evaluations: u64,
+) {
+    assert_eq!(
+        report.best_cost.to_bits(),
+        best_cost.to_bits(),
+        "{label}: driver best_cost {} vs golden {}",
+        report.best_cost,
+        best_cost
+    );
+    assert_eq!(report.trajectory, trajectory, "{label}: trajectories diverge");
+    assert_eq!(report.evaluations, evaluations, "{label}: evaluation counts diverge");
+}
+
+#[test]
+fn driver_reproduces_the_closure_loops_on_every_benchmark() {
+    for (name, task) in benchmark_tasks() {
+        // mlma-q through the trait driver vs the closure-driven run.
+        let (oracle, mut env) = Oracle::new(&task);
+        let mut placer = MultiLevelPlacer::new(&env, quick_q(11));
+        let golden: RunTracker = placer.run(&mut env, |e| oracle.sample(e));
+        let report = runner::run_mlma(&task, &quick_q(11)).unwrap();
+        assert_tracker_matches(
+            &format!("{name}/mlma"),
+            &report,
+            golden.best_cost,
+            &golden.trajectory,
+            golden.evals,
+        );
+        assert_eq!(report.best_placement, golden.best_placement, "{name}/mlma placement");
+
+        // sa through the trait driver vs the closure-driven run.
+        let (oracle, mut env) = Oracle::new(&task);
+        let golden = Annealer::new(quick_sa(11)).run(&mut env, |e| oracle.sample(e).cost);
+        let report = runner::run_sa(&task, &quick_sa(11), None).unwrap();
+        assert_tracker_matches(
+            &format!("{name}/sa"),
+            &report,
+            golden.best_cost,
+            &golden.trajectory,
+            golden.evaluations,
+        );
+
+        // random through the trait driver vs the closure-driven run.
+        let (oracle, mut env) = Oracle::new(&task);
+        let golden = RandomSearch::new(quick_sa(13)).run(&mut env, |e| oracle.sample(e).cost);
+        let report = runner::run_random(&task, &quick_sa(13), None).unwrap();
+        assert_tracker_matches(
+            &format!("{name}/random"),
+            &report,
+            golden.best_cost,
+            &golden.trajectory,
+            golden.evaluations,
+        );
+    }
+}
+
+#[test]
+fn driver_reproduces_the_flat_closure_loop() {
+    // The flat ablation is heavier per state; one circuit suffices on top
+    // of the crate-level golden test.
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 7));
+    let (oracle, mut env) = Oracle::new(&task);
+    let mut placer = FlatQPlacer::new(&env, quick_q(17));
+    let golden = placer.run(&mut env, |e| oracle.sample(e));
+    let report = runner::run_flat(&task, &quick_q(17)).unwrap();
+    assert_tracker_matches("CM/flat", &report, golden.best_cost, &golden.trajectory, golden.evals);
+}
+
+#[test]
+fn checkpoint_roundtrip_resumes_bit_identically() {
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 7));
+    let cfg = quick_q(19);
+    let full = runner::run_mlma(&task, &cfg).unwrap();
+
+    let mut placer = MultiLevelPlacer::new(&task.initial_env().unwrap(), cfg);
+    let mut taken: Option<RunCheckpoint> = None;
+    Driver::new(Budget::from_mlma(&cfg))
+        .with_checkpoint_every(50)
+        .run_observed(&task, &mut placer, |c| {
+            if taken.is_none() {
+                taken = Some(c.clone());
+            }
+        })
+        .unwrap();
+    let ckpt = taken.expect("a 120-eval run checkpoints at 50");
+    assert_eq!(ckpt.evals % 50, 0);
+
+    // Serialise, parse, resume with a *fresh* placer.
+    let json = ckpt.to_json().unwrap();
+    let parsed = RunCheckpoint::from_json(&json).unwrap();
+    // Serde-skipped placement indices are rebuilt by `resume`, so the
+    // parsed checkpoint only matches field-wise on the serialised state.
+    assert_eq!(parsed.method, ckpt.method);
+    assert_eq!(parsed.evals, ckpt.evals);
+    assert_eq!(parsed.tracker.trajectory, ckpt.tracker.trajectory);
+    assert_eq!(parsed.optimizer, ckpt.optimizer);
+    let mut fresh = MultiLevelPlacer::new(&task.initial_env().unwrap(), cfg);
+    let resumed = Driver::new(Budget::from_mlma(&cfg)).resume(&task, &mut fresh, &parsed).unwrap();
+
+    assert_eq!(resumed.best_cost.to_bits(), full.best_cost.to_bits());
+    assert_eq!(resumed.trajectory, full.trajectory);
+    assert_eq!(resumed.evaluations, full.evaluations);
+    assert_eq!(resumed.best_placement, full.best_placement);
+}
+
+#[test]
+fn portfolio_is_bit_identical_across_thread_counts() {
+    let task =
+        PlacementTask::new(circuits::current_mirror_medium(), 16, LdeModel::nonlinear(1.0, 7));
+    let methods = [MethodSpec::Mlma(quick_q(0)), MethodSpec::Sa(quick_sa(0))];
+    let seeds = [21u64, 22];
+    let sequential = run_portfolio(&task, &methods, &seeds, 1).unwrap();
+    let parallel = run_portfolio(&task, &methods, &seeds, 4).unwrap();
+    assert_eq!(sequential.len(), 4);
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.method, p.method);
+        assert_eq!(s.best_cost.to_bits(), p.best_cost.to_bits(), "{}", s.method);
+        assert_eq!(s.trajectory, p.trajectory, "{}", s.method);
+        assert_eq!(s.evaluations, p.evaluations, "{}", s.method);
+        assert_eq!(s.best_placement, p.best_placement, "{}", s.method);
+    }
+    // The portfolio jobs also match the stand-alone wrappers: the shared
+    // cache changes accounting, never trajectories.
+    let solo = runner::run_mlma(&task, &quick_q(0).with_seed(21)).unwrap();
+    assert_eq!(sequential[0].best_cost.to_bits(), solo.best_cost.to_bits());
+    assert_eq!(sequential[0].trajectory, solo.trajectory);
+}
+
+/// The wall-clock acceptance check of the ISSUE: ≥ 2× speedup fanning an
+/// OTA multi-seed sweep over 4 threads. Timing-sensitive, so ignored by
+/// default; run with `cargo test -- --ignored` on a quiet ≥ 4-core box.
+#[test]
+#[ignore = "wall-clock assertion; needs a quiet multi-core machine"]
+fn portfolio_speedup_on_ota_multi_seed_sweep() {
+    let task = PlacementTask::new(circuits::folded_cascode_ota(), 18, LdeModel::nonlinear(1.0, 7));
+    let cfg =
+        MlmaConfig { episodes: 20, steps_per_episode: 10, max_evals: 600, ..MlmaConfig::default() };
+    let methods = [MethodSpec::Mlma(cfg)];
+    let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+
+    let t0 = std::time::Instant::now();
+    let sequential = run_portfolio(&task, &methods, &seeds, 1).unwrap();
+    let sequential_ms = t0.elapsed().as_millis() as f64;
+    let t1 = std::time::Instant::now();
+    let parallel = run_portfolio(&task, &methods, &seeds, 4).unwrap();
+    let parallel_ms = t1.elapsed().as_millis() as f64;
+
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(s.best_cost.to_bits(), p.best_cost.to_bits());
+        assert_eq!(s.trajectory, p.trajectory);
+    }
+    let speedup = sequential_ms / parallel_ms.max(1.0);
+    assert!(
+        speedup >= 2.0,
+        "4 threads over 8 OTA seeds: {sequential_ms:.0} ms -> {parallel_ms:.0} ms ({speedup:.2}x < 2x)"
+    );
+}
