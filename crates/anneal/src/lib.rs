@@ -53,6 +53,12 @@ use breaksym_layout::{
 };
 use breaksym_netlist::{GroupId, UnitId};
 
+// The RNG serde adapters physically live in `breaksym-core` (the
+// checkpoint layer's home) and are compiled into this crate by path, so
+// historic `breaksym_anneal::rng_serde` users keep working without a
+// circular dependency — core depends on this crate, so a plain re-export
+// is impossible in that direction.
+#[path = "../../core/src/rng_serde.rs"]
 pub mod rng_serde;
 
 /// Probe moves spent calibrating the initial temperature when
@@ -60,7 +66,12 @@ pub mod rng_serde;
 const PROBE_MOVES: u32 = 12;
 
 /// Configuration of one annealing run.
+///
+/// Deserialisation fills omitted fields from [`SaConfig::default`], so
+/// wire-format configs (e.g. a serve-job submission) only need to name the
+/// knobs they change.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct SaConfig {
     /// Initial temperature; `None` calibrates it automatically from the
     /// cost spread of random probe moves.

@@ -3,15 +3,69 @@
 //! ```text
 //! cargo run --release -p breaksym-bench --bin repro -- all
 //! cargo run --release -p breaksym-bench --bin repro -- fig3 --budget 3000 --seed 7
+//! cargo run --release -p breaksym-bench --bin repro -- serve --addr 127.0.0.1:8077
 //! ```
 //!
 //! Subcommands: `fig1`, `fig2`, `fig3`, `ablation-traj`,
 //! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`,
-//! `portfolio`, `all`.
+//! `portfolio`, `serve`, `all`.
+//!
+//! Ctrl-C is latched, never fatal mid-write: figure runs stop cleanly at
+//! the next experiment boundary (exit 130), and `serve` drains its worker
+//! pool — every in-flight job persists a resumable checkpoint — before
+//! exiting.
 
 use std::env;
+use std::time::Duration;
 
 use breaksym_bench as bench;
+use breaksym_serve::{HttpServer, ServeConfig, ServeEngine};
+
+/// A latched SIGINT flag, installed with raw `signal(2)` so no external
+/// signal-handling crate is needed. The handler only stores to an atomic
+/// (async-signal-safe); all real work happens on the main thread, which
+/// polls [`sigint::requested`].
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    #[cfg(unix)]
+    mod imp {
+        use std::sync::atomic::Ordering;
+
+        const SIGINT: i32 = 2;
+
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+
+        extern "C" fn on_sigint(_signum: i32) {
+            super::REQUESTED.store(true, Ordering::SeqCst);
+        }
+
+        pub fn install() {
+            // SAFETY: registering a handler that only stores to a static
+            // atomic, which is async-signal-safe.
+            unsafe {
+                signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            }
+        }
+    }
+
+    #[cfg(not(unix))]
+    mod imp {
+        pub fn install() {}
+    }
+
+    pub fn install() {
+        imp::install();
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
 
 struct Args {
     cmd: String,
@@ -71,8 +125,22 @@ fn die(msg: &str) -> ! {
 }
 
 fn main() {
+    sigint::install();
+    let argv: Vec<String> = env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve(&argv[1..]);
+        return;
+    }
     let args = parse_args();
-    let run = |name: &str| args.cmd == name || args.cmd == "all";
+    // Checked at every experiment boundary: a latched Ctrl-C stops the
+    // sweep cleanly between figures instead of dying mid-write.
+    let run = |name: &str| {
+        if sigint::requested() {
+            eprintln!("repro: interrupted; stopping before `{name}` (completed output is intact)");
+            std::process::exit(130);
+        }
+        args.cmd == name || args.cmd == "all"
+    };
     let mut ran = false;
 
     // --json prints one machine-readable JSON document per experiment
@@ -201,10 +269,86 @@ fn main() {
     }
     if !ran {
         die(&format!(
-            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio all)",
+            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve all)",
             args.cmd
         ));
     }
+}
+
+/// `repro serve` — start the placement service and block until Ctrl-C
+/// (or a `POST /shutdown`), then drain gracefully: workers stop at their
+/// next slice boundary and every in-flight job is requeued with a
+/// resumable checkpoint.
+fn serve(flags: &[String]) {
+    let mut addr = "127.0.0.1:8077".to_string();
+    let mut workers = default_threads().min(4);
+    let mut queue_cap = 64usize;
+    let mut slice_evals = 64u64;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| die("--addr needs host:port")),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs an integer"))
+            }
+            "--queue-cap" => {
+                queue_cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queue-cap needs an integer"))
+            }
+            "--slice" => {
+                slice_evals = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--slice needs an integer"))
+            }
+            other => die(&format!(
+                "unknown serve flag `{other}` (try: --addr --workers --queue-cap --slice)"
+            )),
+        }
+    }
+
+    let engine = ServeEngine::start(ServeConfig {
+        workers,
+        queue_cap,
+        slice_evals,
+        default_timeout_ms: None,
+    });
+    let handle = engine.handle();
+    let mut server = HttpServer::bind(handle.clone(), addr.as_str())
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+
+    println!("breaksym-serve listening on http://{}", server.addr());
+    println!("  POST /jobs                  submit a JobSpec (JSON)");
+    println!("  GET  /jobs/{{id}}             poll state + live progress");
+    println!("  GET  /jobs/{{id}}/report      final RunReport");
+    println!("  GET  /jobs/{{id}}/checkpoint  latest resumable checkpoint");
+    println!("  POST /jobs/{{id}}/cancel      cancel (keeps the checkpoint)");
+    println!("  GET  /stats                 queue/worker/cache snapshot");
+    println!("  POST /shutdown              graceful drain");
+    println!(
+        "{workers} workers, queue capacity {queue_cap}, {slice_evals} evals/slice; Ctrl-C drains"
+    );
+
+    while !sigint::requested() && !handle.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let interrupted = sigint::requested();
+    eprintln!("repro serve: draining (workers finish their current slice)...");
+    handle.request_drain();
+    server.stop();
+    let handle = engine.shutdown();
+    let stats = handle.stats();
+    eprintln!(
+        "repro serve: drained — {} done, {} failed, {} cancelled, {} left queued with \
+         checkpoints; {}",
+        stats.jobs_done, stats.jobs_failed, stats.jobs_cancelled, stats.queue_depth, stats.cache
+    );
+    std::process::exit(if interrupted { 130 } else { 0 });
 }
 
 fn fig1(seed: u64) {

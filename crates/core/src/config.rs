@@ -88,7 +88,12 @@ impl Default for Exploration {
 }
 
 /// Configuration of a multi-level multi-agent (or flat) Q-learning run.
+///
+/// Deserialisation fills omitted fields from [`MlmaConfig::default`], so
+/// wire-format configs (e.g. a serve-job submission) only need to name the
+/// knobs they change.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
 pub struct MlmaConfig {
     /// Bellman parameters shared by every agent.
     pub q: QParams,

@@ -56,7 +56,7 @@ enum FlatPhase {
 /// `QRunState` — this is its single-agent sibling).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct FlatRunState {
-    #[serde(with = "breaksym_anneal::rng_serde")]
+    #[serde(with = "crate::rng_serde")]
     rng: ChaCha8Rng,
     phase: FlatPhase,
     initial_cost: f64,

@@ -54,6 +54,7 @@ mod optimizer;
 mod portfolio;
 mod qtable;
 mod report;
+pub mod rng_serde;
 pub mod runner;
 mod task;
 
@@ -66,10 +67,10 @@ pub use optimizer::{Optimizer, OptimizerStatus, Proposal};
 pub use portfolio::{run_portfolio, MethodSpec};
 pub use qtable::{AgentTable, QTable};
 pub use report::RunReport;
-pub use runner::{Budget, Driver, RunCheckpoint};
+pub use runner::{Budget, Driver, RunCheckpoint, SliceOutcome};
 pub use task::PlacementTask;
 
 // The vocabulary callers need alongside this crate.
 pub use breaksym_layout::LayoutEnv;
 pub use breaksym_lde::LdeModel;
-pub use breaksym_sim::{CacheStats, EvalCache, Evaluator, Metrics, SimCounter};
+pub use breaksym_sim::{CacheStats, EvalCache, Evaluator, Metrics, SimCounter, StatsSnapshot};

@@ -220,7 +220,7 @@ enum QPhase {
 /// a bit-identical draw sequence.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct QRunState {
-    #[serde(with = "breaksym_anneal::rng_serde")]
+    #[serde(with = "crate::rng_serde")]
     rng: ChaCha8Rng,
     phase: QPhase,
     initial_cost: f64,

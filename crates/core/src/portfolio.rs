@@ -19,6 +19,7 @@ use breaksym_anneal::SaConfig;
 use breaksym_sim::{EvalCache, DEFAULT_CACHE_CAPACITY};
 use serde::{Deserialize, Serialize};
 
+use crate::optimizer::Optimizer;
 use crate::runner::{Budget, Driver};
 use crate::{FlatQPlacer, MlmaConfig, MultiLevelPlacer, PlaceError, PlacementTask, RunReport};
 
@@ -59,6 +60,32 @@ impl MethodSpec {
         }
     }
 
+    /// Builds the configured optimizer, ready to be driven — how both the
+    /// portfolio runner and the serving layer turn a wire-format method
+    /// spec into a running job (the serving layer pairs it with
+    /// [`Driver::run_slice`](crate::runner::Driver::run_slice)).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the circuit does not fit the task's grid.
+    pub fn build(&self, task: &PlacementTask) -> Result<Box<dyn Optimizer + Send>, PlaceError> {
+        Ok(match self {
+            MethodSpec::Mlma(cfg) => Box::new(MultiLevelPlacer::new(&task.initial_env()?, *cfg)),
+            MethodSpec::Flat(cfg) => Box::new(FlatQPlacer::new(&task.initial_env()?, *cfg)),
+            MethodSpec::Sa(cfg) => Box::new(breaksym_anneal::Annealer::new(*cfg)),
+            MethodSpec::Random(cfg) => Box::new(breaksym_anneal::RandomSearch::new(*cfg)),
+        })
+    }
+
+    /// The [`Budget`] this method's own configuration implies — what the
+    /// historic `run_*` wrappers enforce for it.
+    pub fn budget(&self) -> Budget {
+        match self {
+            MethodSpec::Mlma(cfg) | MethodSpec::Flat(cfg) => Budget::from_mlma(cfg),
+            MethodSpec::Sa(cfg) | MethodSpec::Random(cfg) => Budget::from_sa(cfg, None),
+        }
+    }
+
     /// Runs this job through the generic [`Driver`], sharing `cache` with
     /// the rest of the portfolio.
     ///
@@ -66,32 +93,8 @@ impl MethodSpec {
     ///
     /// As [`Driver::run`].
     pub fn run(&self, task: &PlacementTask, cache: EvalCache) -> Result<RunReport, PlaceError> {
-        match self {
-            MethodSpec::Mlma(cfg) => {
-                let mut placer = MultiLevelPlacer::new(&task.initial_env()?, *cfg);
-                Driver::new(Budget::from_mlma(cfg))
-                    .with_shared_cache(cache)
-                    .run(task, &mut placer)
-            }
-            MethodSpec::Flat(cfg) => {
-                let mut placer = FlatQPlacer::new(&task.initial_env()?, *cfg);
-                Driver::new(Budget::from_mlma(cfg))
-                    .with_shared_cache(cache)
-                    .run(task, &mut placer)
-            }
-            MethodSpec::Sa(cfg) => {
-                let mut annealer = breaksym_anneal::Annealer::new(*cfg);
-                Driver::new(Budget::from_sa(cfg, None))
-                    .with_shared_cache(cache)
-                    .run(task, &mut annealer)
-            }
-            MethodSpec::Random(cfg) => {
-                let mut search = breaksym_anneal::RandomSearch::new(*cfg);
-                Driver::new(Budget::from_sa(cfg, None))
-                    .with_shared_cache(cache)
-                    .run(task, &mut search)
-            }
-        }
+        let mut opt = self.build(task)?;
+        Driver::new(self.budget()).with_shared_cache(cache).run(task, opt.as_mut())
     }
 }
 
@@ -208,6 +211,20 @@ mod tests {
             // `simulations` and cache stats are intentionally not compared:
             // who warms the shared cache first is scheduling-dependent.
         }
+    }
+
+    #[test]
+    fn build_and_budget_match_the_historic_wrappers() {
+        let t = task();
+        let cfg = quick_cfg().with_seed(9);
+        let spec = MethodSpec::Mlma(cfg);
+        assert_eq!(spec.budget().max_evals, cfg.max_evals);
+        let mut opt = spec.build(&t).unwrap();
+        assert_eq!(opt.label(), spec.label());
+        let driven = Driver::new(spec.budget()).run(&t, opt.as_mut()).unwrap();
+        let direct = crate::runner::run_mlma(&t, &cfg).unwrap();
+        assert_eq!(driven.best_cost.to_bits(), direct.best_cost.to_bits());
+        assert_eq!(driven.trajectory, direct.trajectory);
     }
 
     #[test]

@@ -5,9 +5,16 @@
 //! a bit-identical draw sequence. The 128-bit word position is split into
 //! two `u64` halves so the format survives JSON (whose numbers cannot hold
 //! a `u128`). Usable directly or as a `#[serde(with = "rng_serde")]` field
-//! attribute — both the annealer's [`SearchRun`](crate::SearchRun) and the
-//! Q-learning placers in `breaksym-core` snapshot their RNGs through this
-//! module.
+//! attribute — the Q-learning placers in `breaksym-core`, the annealer's
+//! `SearchRun` in `breaksym-anneal`, and every serve-side checkpoint type
+//! snapshot their RNGs through this module.
+//!
+//! This file is the single source of truth: it lives in `breaksym-core`
+//! (the checkpoint layer's home) and is also compiled into
+//! `breaksym-anneal` as `breaksym_anneal::rng_serde` via a `#[path]`
+//! include, so historic anneal-side users keep working without a circular
+//! dependency (core depends on anneal). The serialised format is identical
+//! from both paths.
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

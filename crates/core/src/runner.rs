@@ -228,12 +228,15 @@ struct Setup {
 }
 
 fn setup(task: &PlacementTask) -> Result<Setup, PlaceError> {
-    setup_with(task, EvalCache::new(DEFAULT_CACHE_CAPACITY))
+    setup_with(task, EvalCache::new(DEFAULT_CACHE_CAPACITY), SimCounter::new())
 }
 
-fn setup_with(task: &PlacementTask, cache: EvalCache) -> Result<Setup, PlaceError> {
+fn setup_with(
+    task: &PlacementTask,
+    cache: EvalCache,
+    counter: SimCounter,
+) -> Result<Setup, PlaceError> {
     let env = task.initial_env()?;
-    let counter = SimCounter::new();
     // Every runner memoizes metrics by placement fingerprint: revisited
     // states (episode resets, undo-heavy proposals) cost a hash probe, not
     // a solve. Hits do not touch `counter` — the "#simulations" tally
@@ -278,14 +281,44 @@ pub struct Driver {
     method: Option<String>,
     weights: Option<(f64, f64, f64)>,
     shared_cache: Option<EvalCache>,
+    counter: Option<SimCounter>,
     checkpoint_every: Option<u64>,
+}
+
+/// How a bounded slice of a driven run ended — the return of
+/// [`Driver::run_slice`] / [`Driver::resume_slice`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SliceOutcome {
+    /// The run completed (schedule exhausted or budget reached) within the
+    /// slice; here is its final report.
+    Finished(Box<RunReport>),
+    /// The slice's evaluation allowance ran out first; resume from this
+    /// checkpoint to continue bit-identically.
+    Paused(Box<RunCheckpoint>),
+}
+
+/// Why the inner drive loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriveEnd {
+    /// A terminal stop: budget, target, wall clock, patience, or the
+    /// optimizer finishing its schedule.
+    Completed,
+    /// The slice allowance ran out at a quiescent point.
+    Paused,
 }
 
 impl Driver {
     /// A driver enforcing `budget` with the default objective weights and
     /// a private evaluation cache.
     pub fn new(budget: Budget) -> Self {
-        Driver { budget, method: None, weights: None, shared_cache: None, checkpoint_every: None }
+        Driver {
+            budget,
+            method: None,
+            weights: None,
+            shared_cache: None,
+            counter: None,
+            checkpoint_every: None,
+        }
     }
 
     /// Overrides the report's method label (defaults to
@@ -310,6 +343,16 @@ impl Driver {
     #[must_use]
     pub fn with_shared_cache(mut self, cache: EvalCache) -> Self {
         self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Shares an external [`SimCounter`] instead of creating a private one,
+    /// so the simulation tally survives across [`Driver::run_slice`] /
+    /// [`Driver::resume_slice`] calls (each of which would otherwise start
+    /// a fresh counter at zero).
+    #[must_use]
+    pub fn with_counter(mut self, counter: SimCounter) -> Self {
+        self.counter = Some(counter);
         self
     }
 
@@ -376,6 +419,7 @@ impl Driver {
             started,
             0,
             &mut on_checkpoint,
+            None,
         )?;
         self.assemble(
             method,
@@ -445,6 +489,7 @@ impl Driver {
             started,
             base,
             &mut on_checkpoint,
+            None,
         )?;
         self.assemble(
             method,
@@ -460,12 +505,175 @@ impl Driver {
         )
     }
 
+    /// Runs `opt` on `task` for **at most `slice_evals` further
+    /// evaluations**, then either finishes (if the run completed inside
+    /// the slice) or pauses with a resumable [`RunCheckpoint`] — the
+    /// serving layer's unit of work. A paused run continued through
+    /// [`Driver::resume_slice`] (possibly many times, even in a freshly
+    /// constructed optimizer) is bit-identical to one uninterrupted
+    /// [`Driver::run`]: slicing follows the same quiescent-point
+    /// checkpoint/resume path, which only changes the simulation/cache
+    /// *accounting*, never costs or trajectories.
+    ///
+    /// Each slice re-evaluates the task's initial placement during setup;
+    /// share a cache ([`Driver::with_shared_cache`]) across slices to make
+    /// those lookups hits, and share a counter ([`Driver::with_counter`])
+    /// to keep one simulation tally across the whole sliced run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::run`].
+    pub fn run_slice<O: Optimizer + ?Sized>(
+        &self,
+        task: &PlacementTask,
+        opt: &mut O,
+        slice_evals: u64,
+    ) -> Result<SliceOutcome, PlaceError> {
+        let started = Instant::now();
+        let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
+            self.prepare(task)?;
+        let mut sample = sample_closure(&evaluator, &objective);
+        let initial = sample(&env);
+        let mut tracker = RunTracker::with_budget(
+            initial,
+            env.placement().clone(),
+            self.budget.max_evals,
+            self.budget.target_primary,
+            self.budget.stop_at_target,
+        );
+        opt.init(&env, initial);
+        let method = self.method.clone().unwrap_or_else(|| opt.label().to_string());
+        let pause_at = tracker.evals.saturating_add(slice_evals.max(1));
+        let end = self.drive(
+            opt,
+            &mut env,
+            &mut sample,
+            &mut tracker,
+            &method,
+            started,
+            0,
+            &mut |_| {},
+            Some(pause_at),
+        )?;
+        self.finish_slice(
+            end,
+            method,
+            env,
+            &evaluator,
+            &counter,
+            &cache,
+            initial_metrics,
+            tracker,
+            opt,
+            started,
+            0,
+        )
+    }
+
+    /// Continues a paused sliced run from `ckpt` for at most `slice_evals`
+    /// further evaluations. See [`Driver::run_slice`]; the optimizer may be
+    /// freshly constructed — its full state is restored from the
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// As [`Driver::resume`].
+    pub fn resume_slice<O: Optimizer + ?Sized>(
+        &self,
+        task: &PlacementTask,
+        opt: &mut O,
+        ckpt: &RunCheckpoint,
+        slice_evals: u64,
+    ) -> Result<SliceOutcome, PlaceError> {
+        let started = Instant::now();
+        let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
+            self.prepare(task)?;
+        opt.restore(&ckpt.optimizer).map_err(|e| PlaceError::BadConfig {
+            reason: format!("optimizer snapshot does not restore: {e}"),
+        })?;
+        let mut tracker = ckpt.tracker.clone();
+        tracker.rehydrate();
+        let mut placement = ckpt.placement.clone();
+        placement.rebuild_index();
+        env.set_placement(placement)?;
+        let mut sample = sample_closure(&evaluator, &objective);
+        let method = ckpt.method.clone();
+        let base = ckpt.elapsed_ms;
+        let pause_at = tracker.evals.saturating_add(slice_evals.max(1));
+        let end = self.drive(
+            opt,
+            &mut env,
+            &mut sample,
+            &mut tracker,
+            &method,
+            started,
+            base,
+            &mut |_| {},
+            Some(pause_at),
+        )?;
+        self.finish_slice(
+            end,
+            method,
+            env,
+            &evaluator,
+            &counter,
+            &cache,
+            initial_metrics,
+            tracker,
+            opt,
+            started,
+            base,
+        )
+    }
+
+    /// Turns a drive verdict into the slice outcome: a full report when
+    /// the run completed, a quiescent-point checkpoint when it paused.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_slice<O: Optimizer + ?Sized>(
+        &self,
+        end: DriveEnd,
+        method: String,
+        env: LayoutEnv,
+        evaluator: &Evaluator,
+        counter: &SimCounter,
+        cache: &EvalCache,
+        initial_metrics: Metrics,
+        tracker: RunTracker,
+        opt: &O,
+        started: Instant,
+        base_elapsed_ms: u64,
+    ) -> Result<SliceOutcome, PlaceError> {
+        match end {
+            DriveEnd::Completed => {
+                let report = self.assemble(
+                    method,
+                    env,
+                    evaluator,
+                    counter,
+                    cache,
+                    initial_metrics,
+                    tracker,
+                    opt,
+                    started,
+                    base_elapsed_ms,
+                )?;
+                Ok(SliceOutcome::Finished(Box::new(report)))
+            }
+            DriveEnd::Paused => {
+                let elapsed = base_elapsed_ms + started.elapsed().as_millis() as u64;
+                let ckpt = RunCheckpoint::capture(&method, &tracker, &env, opt, elapsed)?;
+                Ok(SliceOutcome::Paused(Box::new(ckpt)))
+            }
+        }
+    }
+
     fn prepare(&self, task: &PlacementTask) -> Result<Setup, PlaceError> {
         let cache = self
             .shared_cache
             .clone()
             .unwrap_or_else(|| EvalCache::new(DEFAULT_CACHE_CAPACITY));
-        let mut s = setup_with(task, cache)?;
+        let counter = self.counter.clone().unwrap_or_default();
+        let mut s = setup_with(task, cache, counter)?;
         if let Some((p, a, w)) = self.weights {
             s.objective = s.objective.with_weights(p, a, w);
         }
@@ -473,8 +681,9 @@ impl Driver {
     }
 
     /// The inner propose → evaluate → observe loop. Exits on the tracker's
-    /// own budget/target verdict, the wall clock, the patience rule, or
-    /// the optimizer finishing its schedule.
+    /// own budget/target verdict, the wall clock, the patience rule, the
+    /// optimizer finishing its schedule, or (when `pause_at` is set) the
+    /// evaluation count reaching the slice boundary.
     #[allow(clippy::too_many_arguments)]
     fn drive<O: Optimizer + ?Sized>(
         &self,
@@ -486,7 +695,8 @@ impl Driver {
         started: Instant,
         base_elapsed_ms: u64,
         on_checkpoint: &mut impl FnMut(&RunCheckpoint),
-    ) -> Result<(), PlaceError> {
+        pause_at: Option<u64>,
+    ) -> Result<DriveEnd, PlaceError> {
         loop {
             if tracker.done() {
                 break;
@@ -501,6 +711,13 @@ impl Driver {
                 if tracker.evals.saturating_sub(last_improvement) >= patience {
                     break;
                 }
+            }
+            // Checked after the terminal conditions so a run that is
+            // already done reports Completed, not an empty pause; the loop
+            // body below only ever stops at quiescent points, so pausing
+            // here is always checkpoint-safe.
+            if pause_at.is_some_and(|at| tracker.evals >= at) {
+                return Ok(DriveEnd::Paused);
             }
             match opt.propose(env) {
                 Proposal::Finished => break,
@@ -528,7 +745,7 @@ impl Driver {
                 }
             }
         }
-        Ok(())
+        Ok(DriveEnd::Completed)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -551,6 +768,7 @@ impl Driver {
         // full Metrics without spending an extra simulation, keeping
         // `evaluations` equal to the actual number of oracle queries.
         let best_metrics = evaluator.evaluate(&env)?;
+        let snapshot = cache.snapshot(counter);
         Ok(RunReport {
             method,
             initial_cost: tracker.trajectory[0].1,
@@ -559,7 +777,7 @@ impl Driver {
             best_metrics,
             best_placement: env.placement().clone(),
             evaluations: tracker.evals,
-            simulations: counter.count(),
+            simulations: snapshot.sims,
             cache: Some(cache.stats()),
             trajectory: tracker.trajectory,
             qtable_states: opt.status().qtable_states,
@@ -1060,5 +1278,73 @@ mod tests {
             assert!(r.evaluations <= 120);
             assert!(r.best_cost <= r.initial_cost);
         }
+    }
+
+    #[test]
+    fn sliced_run_is_bit_identical_to_uninterrupted() {
+        let t = task();
+        let cfg = quick_cfg(11);
+        let full = run_mlma(&t, &cfg).unwrap();
+
+        let driver = Driver::new(Budget::from_mlma(&cfg));
+        let mut placer = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let mut outcome = driver.run_slice(&t, &mut placer, 40).unwrap();
+        let mut slices = 1;
+        let report = loop {
+            match outcome {
+                SliceOutcome::Finished(r) => break *r,
+                SliceOutcome::Paused(ckpt) => {
+                    // Each resume restores into a *fresh* placer through the
+                    // checkpoint's JSON round-trip, exactly as a serving
+                    // worker would after a requeue.
+                    let parsed = RunCheckpoint::from_json(&ckpt.to_json().unwrap()).unwrap();
+                    let mut fresh = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+                    outcome = driver.resume_slice(&t, &mut fresh, &parsed, 40).unwrap();
+                    slices += 1;
+                }
+            }
+        };
+        assert!(slices > 2, "a 250-eval budget must span several 40-eval slices");
+        assert_eq!(report.best_cost.to_bits(), full.best_cost.to_bits());
+        assert_eq!(report.trajectory, full.trajectory);
+        assert_eq!(report.evaluations, full.evaluations);
+        assert_eq!(report.best_placement, full.best_placement);
+        assert_eq!(report.reached_target, full.reached_target);
+        assert_eq!(report.sims_to_target, full.sims_to_target);
+        // `simulations`/cache stats intentionally differ: each slice
+        // re-solves states unless the caller shares a cache across slices.
+    }
+
+    #[test]
+    fn shared_cache_and_counter_account_across_slices() {
+        let t = task();
+        let cfg = quick_cfg(13);
+        let cache = EvalCache::new(DEFAULT_CACHE_CAPACITY);
+        let counter = SimCounter::new();
+        let driver = Driver::new(Budget::from_mlma(&cfg))
+            .with_shared_cache(cache.clone())
+            .with_counter(counter.clone());
+        let mut placer = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+        let mut outcome = driver.run_slice(&t, &mut placer, 60).unwrap();
+        let report = loop {
+            match outcome {
+                SliceOutcome::Finished(r) => break *r,
+                SliceOutcome::Paused(ckpt) => {
+                    let mut fresh = MultiLevelPlacer::new(&t.initial_env().unwrap(), cfg);
+                    outcome = driver.resume_slice(&t, &mut fresh, &ckpt, 60).unwrap();
+                }
+            }
+        };
+        // With one shared cache and counter the sliced run keeps exact
+        // whole-run accounting: every miss is a real solve and vice versa.
+        let snap = cache.snapshot(&counter);
+        assert_eq!(report.simulations, counter.count());
+        assert_eq!(snap.sims, snap.misses);
+        assert!(snap.hits > 0, "slice setups re-read the initial placement from cache");
+        // And the shared accounting never changes the trajectory.
+        let solo = run_mlma(&t, &cfg).unwrap();
+        assert_eq!(report.best_cost.to_bits(), solo.best_cost.to_bits());
+        assert_eq!(report.trajectory, solo.trajectory);
+        assert_eq!(report.evaluations, solo.evaluations);
     }
 }

@@ -1,0 +1,514 @@
+//! The serving engine: a bounded job queue with backpressure, a fixed
+//! pool of worker threads driving jobs through the core
+//! [`Driver`](breaksym_core::Driver) in resumable slices, and the
+//! in-process [`ServeHandle`] client the HTTP front-end is a thin skin
+//! over.
+//!
+//! # Why slices
+//!
+//! A worker never runs a job to completion in one call. It runs
+//! [`Driver::run_slice`] / [`Driver::resume_slice`] in a loop, and at
+//! every slice boundary — a quiescent checkpoint point — it observes
+//! cancellation, server drain, and the job's wall-clock timeout, and
+//! refreshes the job's live [`RunStatus`]. Slicing rides the driver's
+//! proven checkpoint/resume path, so a served run's report is
+//! **bit-identical** to a direct `run_*` call with the same task, method,
+//! and seed (only the simulation/cache accounting differs, exactly as for
+//! any resumed run).
+//!
+//! # Lock discipline
+//!
+//! Two mutexes exist: the queue and the job registry. Where both are
+//! held, the queue lock is taken first; no code path acquires the queue
+//! lock while holding the registry lock. All statistics are atomics
+//! outside both locks.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use breaksym_core::{Driver, RunCheckpoint, RunReport, SliceOutcome};
+use breaksym_sim::{EvalCache, SimCounter, StatsSnapshot};
+
+use crate::protocol::{
+    JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse,
+};
+
+/// What a poisoned lock means here: a worker panicked mid-update, and the
+/// registry can no longer be trusted.
+const POISONED: &str = "serve: a worker panicked while holding an engine lock";
+
+/// Sizing and defaults of a serving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads in the pool (clamped to at least 1).
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`] — the service's backpressure signal.
+    pub queue_cap: usize,
+    /// Default evaluations per resumable slice; jobs may override via
+    /// [`JobSpec::slice_evals`]. Smaller slices mean faster reaction to
+    /// cancel/drain at slightly more checkpoint overhead.
+    pub slice_evals: u64,
+    /// Default per-job cap on running wall-clock milliseconds; `None`
+    /// means unlimited. Jobs may override via [`JobSpec::timeout_ms`].
+    pub default_timeout_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2, queue_cap: 16, slice_evals: 64, default_timeout_ms: None }
+    }
+}
+
+/// Everything the registry tracks about one job. Each job owns a private
+/// cache + counter pair so its simulation/cache accounting is exact and
+/// job-local; the server-wide `/stats` view is the sum of the per-job
+/// snapshots.
+#[derive(Debug)]
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    status: Option<RunStatus>,
+    report: Option<Box<RunReport>>,
+    checkpoint: Option<Box<RunCheckpoint>>,
+    cancel: Arc<AtomicBool>,
+    cache: EvalCache,
+    counter: SimCounter,
+}
+
+impl JobRecord {
+    fn new(spec: JobSpec) -> Self {
+        JobRecord {
+            spec,
+            state: JobState::Queued,
+            status: None,
+            report: None,
+            checkpoint: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            cache: EvalCache::default(),
+            counter: SimCounter::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServeConfig,
+    /// Job registry; see the module docs for the lock order.
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// FIFO of queued job ids (drained jobs are requeued at the front).
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    draining: AtomicBool,
+    next_id: AtomicU64,
+    started: Instant,
+    busy_workers: AtomicUsize,
+    worker_jobs: Vec<AtomicU64>,
+    worker_busy_ms: Vec<AtomicU64>,
+    jobs_submitted: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+}
+
+/// A running placement service: worker pool + bounded queue + job
+/// registry. Construct with [`ServeEngine::start`], talk to it through
+/// [`ServeEngine::handle`], stop it with [`ServeEngine::shutdown`].
+#[derive(Debug)]
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts the worker pool (idle until jobs are submitted).
+    pub fn start(cfg: ServeConfig) -> Self {
+        let worker_count = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg: ServeConfig { workers: worker_count, ..cfg },
+            jobs: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            started: Instant::now(),
+            busy_workers: AtomicUsize::new(0),
+            worker_jobs: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
+            worker_busy_ms: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("breaksym-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("worker threads spawn")
+            })
+            .collect();
+        ServeEngine { shared, workers }
+    }
+
+    /// A clonable in-process client of this engine.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Graceful drain: stop accepting submissions, let every worker finish
+    /// its *current slice*, persist a checkpoint for and requeue each
+    /// interrupted job, then join the pool. Queued and requeued jobs stay
+    /// in the registry as [`JobState::Queued`] with their latest
+    /// checkpoint, ready for a future server to pick up. Returns the
+    /// handle for post-mortem queries.
+    pub fn shutdown(self) -> ServeHandle {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        ServeHandle { shared: self.shared }
+    }
+}
+
+/// Clonable in-process client of a [`ServeEngine`] — the exact operations
+/// the HTTP front-end exposes, minus the transport.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submits a job. Backpressure applies: a full queue rejects with
+    /// [`ServeError::QueueFull`] (HTTP 429) rather than queueing unbounded
+    /// work; a draining server rejects with [`ServeError::ShuttingDown`].
+    ///
+    /// # Errors
+    ///
+    /// Also [`ServeError::BadRequest`] when the task spec does not
+    /// resolve — validated here so bad requests fail at submission, not
+    /// inside a worker.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        spec.task.resolve()?;
+        let mut queue = self.shared.queue.lock().expect(POISONED);
+        if queue.len() >= self.shared.cfg.queue_cap {
+            return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_cap });
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared.jobs.lock().expect(POISONED).insert(id, JobRecord::new(spec));
+        queue.push_back(id);
+        self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue_cv.notify_one();
+        Ok(JobId(id))
+    }
+
+    /// The job's lifecycle state plus its latest slice-boundary progress.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this server never assigned.
+    pub fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        let jobs = self.shared.jobs.lock().expect(POISONED);
+        let job = jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
+    }
+
+    /// The final report of a completed job.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotReady`] until the job is [`JobState::Done`]
+    /// (including failed/cancelled jobs, whose reason is echoed);
+    /// [`ServeError::UnknownJob`] for an unknown id.
+    pub fn report(&self, id: JobId) -> Result<RunReport, ServeError> {
+        let jobs = self.shared.jobs.lock().expect(POISONED);
+        let job = jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        match (&job.state, &job.report) {
+            (JobState::Done, Some(report)) => Ok((**report).clone()),
+            (JobState::Failed { error }, _) => {
+                Err(ServeError::NotReady { reason: format!("job failed: {error}") })
+            }
+            (state, _) => Err(ServeError::NotReady {
+                reason: format!("job is {}; no final report", state.label()),
+            }),
+        }
+    }
+
+    /// The job's latest resumable [`RunCheckpoint`], if any slice boundary
+    /// has produced one. Available while running, after cancellation
+    /// (`resumable: true`), and for jobs requeued by a drain.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an unknown id.
+    pub fn checkpoint(&self, id: JobId) -> Result<Option<RunCheckpoint>, ServeError> {
+        let jobs = self.shared.jobs.lock().expect(POISONED);
+        let job = jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        Ok(job.checkpoint.as_deref().cloned())
+    }
+
+    /// Cancels a job. A queued job is dequeued immediately; a running job
+    /// stops at its next slice boundary, retaining its latest checkpoint
+    /// (`resumable: true`). Terminal jobs are left untouched — cancelling
+    /// twice, or racing a natural completion, is not an error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an unknown id.
+    pub fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        let mut queue = self.shared.queue.lock().expect(POISONED);
+        let mut jobs = self.shared.jobs.lock().expect(POISONED);
+        let job = jobs.get_mut(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        match job.state {
+            JobState::Queued => {
+                queue.retain(|&queued| queued != id.0);
+                job.state = JobState::Cancelled { resumable: job.checkpoint.is_some() };
+                self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+            JobState::Running => job.cancel.store(true, Ordering::SeqCst),
+            _ => {}
+        }
+        Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
+    }
+
+    /// A point-in-time snapshot of the whole server: queue depth,
+    /// per-worker utilization, and the summed per-job cache/simulation
+    /// accounting.
+    pub fn stats(&self) -> ServerStats {
+        let queue_depth = self.shared.queue.lock().expect(POISONED).len();
+        let cache = {
+            let jobs = self.shared.jobs.lock().expect(POISONED);
+            jobs.values().fold(StatsSnapshot::default(), |acc, job| {
+                acc.merged(job.cache.snapshot(&job.counter))
+            })
+        };
+        let shared = &self.shared;
+        ServerStats {
+            queue_depth,
+            queue_cap: shared.cfg.queue_cap,
+            workers: shared.cfg.workers,
+            busy_workers: shared.busy_workers.load(Ordering::Relaxed),
+            worker_jobs: shared.worker_jobs.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            worker_busy_ms: shared
+                .worker_busy_ms
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
+            uptime_ms: shared.started.elapsed().as_millis() as u64,
+            jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
+            jobs_done: shared.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
+            cache,
+        }
+    }
+
+    /// Flags the engine to drain — the same signal Ctrl-C raises in
+    /// `repro serve`. Workers stop at their next slice boundary; the
+    /// engine's owner must still call [`ServeEngine::shutdown`] to join
+    /// them.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Polls `status` until the job reaches a terminal state or `timeout`
+    /// elapses — the in-process counterpart of an HTTP poll loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotReady`] on timeout; [`ServeError::UnknownJob`]
+    /// for an unknown id.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Result<StatusResponse, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if status.state.is_terminal() {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(ServeError::NotReady {
+                    reason: format!("job still {} after {timeout:?}", status.state.label()),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+// --------------------------------------------------------- the worker side
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock().expect(POISONED);
+            loop {
+                // Checked before popping so a drain leaves queued jobs
+                // queued (with their checkpoints) instead of starting them.
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                queue = shared.queue_cv.wait(queue).expect(POISONED);
+            }
+        };
+        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
+        let claimed_at = Instant::now();
+        run_job(shared, id);
+        shared.worker_busy_ms[worker]
+            .fetch_add(claimed_at.elapsed().as_millis() as u64, Ordering::Relaxed);
+        shared.worker_jobs[worker].fetch_add(1, Ordering::Relaxed);
+        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Claims the job, then advances it slice by slice until it finishes,
+/// fails, times out, is cancelled, or the server drains.
+fn run_job(shared: &Shared, id: u64) {
+    let (spec, cancel, cache, counter, mut checkpoint) = {
+        let mut jobs = shared.jobs.lock().expect(POISONED);
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if !matches!(job.state, JobState::Queued) {
+            // Cancelled between pop and claim.
+            return;
+        }
+        job.state = JobState::Running;
+        (
+            job.spec.clone(),
+            Arc::clone(&job.cancel),
+            job.cache.clone(),
+            job.counter.clone(),
+            job.checkpoint.clone(),
+        )
+    };
+
+    let task = match spec.task.resolve() {
+        Ok(task) => task,
+        Err(e) => return fail(shared, id, format!("task does not resolve: {e}")),
+    };
+    let method = match spec.seed {
+        Some(seed) => spec.method.clone().with_seed(seed),
+        None => spec.method.clone(),
+    };
+    let mut opt = match method.build(&task) {
+        Ok(opt) => opt,
+        Err(e) => return fail(shared, id, format!("method does not build: {e}")),
+    };
+    let mut budget = method.budget();
+    if let Some(max_evals) = spec.max_evals {
+        budget.max_evals = max_evals;
+    }
+    let driver = Driver::new(budget)
+        .with_shared_cache(cache.clone())
+        .with_counter(counter.clone());
+    let slice = spec.slice_evals.unwrap_or(shared.cfg.slice_evals).max(1);
+    let timeout_ms = spec.timeout_ms.or(shared.cfg.default_timeout_ms);
+
+    loop {
+        // All preemption is observed here, at a quiescent point between
+        // slices; the driver itself is never interrupted mid-evaluation.
+        if cancel.load(Ordering::SeqCst) {
+            let resumable = checkpoint.is_some();
+            set_terminal(shared, id, JobState::Cancelled { resumable }, None);
+            shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            requeue(shared, id);
+            return;
+        }
+        if let Some(limit) = timeout_ms {
+            let spent = checkpoint.as_ref().map_or(0, |c| c.elapsed_ms);
+            if spent >= limit {
+                fail(shared, id, format!("wall-clock timeout: {spent} ms run (limit {limit} ms)"));
+                return;
+            }
+        }
+        let outcome = match &checkpoint {
+            None => driver.run_slice(&task, opt.as_mut(), slice),
+            Some(ckpt) => driver.resume_slice(&task, opt.as_mut(), ckpt, slice),
+        };
+        match outcome {
+            Err(e) => return fail(shared, id, e.to_string()),
+            Ok(SliceOutcome::Finished(report)) => {
+                let status = RunStatus {
+                    evals: report.evaluations,
+                    best_cost: report.best_cost,
+                    elapsed_ms: report.elapsed_ms,
+                    cache: cache.snapshot(&counter),
+                };
+                set_terminal(shared, id, JobState::Done, Some((report, status)));
+                shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Ok(SliceOutcome::Paused(ckpt)) => {
+                let status = RunStatus {
+                    evals: ckpt.evals,
+                    best_cost: ckpt.tracker.best_cost,
+                    elapsed_ms: ckpt.elapsed_ms,
+                    cache: cache.snapshot(&counter),
+                };
+                {
+                    let mut jobs = shared.jobs.lock().expect(POISONED);
+                    if let Some(job) = jobs.get_mut(&id) {
+                        job.status = Some(status);
+                        job.checkpoint = Some(ckpt.clone());
+                    }
+                }
+                checkpoint = Some(ckpt);
+            }
+        }
+    }
+}
+
+fn fail(shared: &Shared, id: u64, error: String) {
+    set_terminal(shared, id, JobState::Failed { error }, None);
+    shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs a terminal state (and, for completions, the report plus a
+/// final status refresh). The latest checkpoint is deliberately retained
+/// for cancelled jobs — that is what makes them resumable.
+fn set_terminal(
+    shared: &Shared,
+    id: u64,
+    state: JobState,
+    completion: Option<(Box<RunReport>, RunStatus)>,
+) {
+    let mut jobs = shared.jobs.lock().expect(POISONED);
+    if let Some(job) = jobs.get_mut(&id) {
+        job.state = state;
+        if let Some((report, status)) = completion {
+            job.report = Some(report);
+            job.status = Some(status);
+        }
+    }
+}
+
+/// Drain path: the job goes back to the queue *front* (it already made
+/// progress) in [`JobState::Queued`], its checkpoint already persisted at
+/// the last slice boundary.
+fn requeue(shared: &Shared, id: u64) {
+    {
+        let mut jobs = shared.jobs.lock().expect(POISONED);
+        if let Some(job) = jobs.get_mut(&id) {
+            job.state = JobState::Queued;
+        }
+    }
+    shared.queue.lock().expect(POISONED).push_front(id);
+}

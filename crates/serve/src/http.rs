@@ -1,0 +1,279 @@
+//! Minimal HTTP/1.1 front-end over a [`ServeHandle`], built on
+//! `std::net` only — no async runtime, no HTTP crate.
+//!
+//! One accept thread serves connections sequentially; every response is
+//! JSON and closes the connection. That is deliberately modest — the
+//! expensive work happens on the engine's worker pool, and every endpoint
+//! is a sub-millisecond registry lookup — but it keeps the whole wire
+//! stack inside the standard library, which the offline build environment
+//! requires.
+//!
+//! # Endpoints
+//!
+//! | Method & path              | Body              | Success payload      |
+//! |----------------------------|-------------------|----------------------|
+//! | `POST /jobs`               | [`JobSpec`] JSON  | [`SubmitResponse`]   |
+//! | `GET /jobs/{id}`           | —                 | [`StatusResponse`]   |
+//! | `GET /jobs/{id}/report`    | —                 | `RunReport`          |
+//! | `GET /jobs/{id}/checkpoint`| —                 | `RunCheckpoint`      |
+//! | `POST /jobs/{id}/cancel`   | —                 | [`StatusResponse`]   |
+//! | `GET /stats`               | —                 | [`ServerStats`]      |
+//! | `POST /shutdown`           | —                 | `{"draining": true}` |
+//!
+//! Failures use the [`ServeError`] wire shape with its
+//! [`http_status`](ServeError::http_status) code.
+//!
+//! [`ServerStats`]: crate::protocol::ServerStats
+//! [`StatusResponse`]: crate::protocol::StatusResponse
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde::Serialize;
+
+use crate::engine::ServeHandle;
+use crate::protocol::{JobId, JobSpec, ServeError, SubmitResponse};
+
+/// Largest accepted request body — far above any real [`JobSpec`], small
+/// enough that a hostile Content-Length cannot balloon memory.
+const MAX_BODY_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Per-connection socket timeout, so a stalled client cannot wedge the
+/// accept thread.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running HTTP listener bound to a [`ServeHandle`]. Dropping it (or
+/// calling [`HttpServer::stop`]) stops the accept thread; the engine
+/// behind the handle keeps running and is shut down separately.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds the listener and starts the accept thread. Bind to port 0 to
+    /// let the OS pick a free port, then read it back from
+    /// [`HttpServer::addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind(handle: ServeHandle, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Non-blocking accept + short sleeps, so the thread can observe
+        // the stop flag without a self-connect dance.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("breaksym-serve-http".into())
+                .spawn(move || accept_loop(&listener, &handle, &stop))
+                .expect("http accept thread spawns")
+        };
+        Ok(HttpServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A broken connection is the client's problem, not the
+                // server's: log-free best effort, keep accepting.
+                let _ = handle_connection(handle, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    // Strip any query string: routing is path-only.
+    let path = parts.next().unwrap_or("").split('?').next().unwrap_or("").to_string();
+
+    let mut content_length: u64 = 0;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    let (status, body) = if content_length > MAX_BODY_BYTES {
+        let err = ServeError::BadRequest { reason: format!("body exceeds {MAX_BODY_BYTES} bytes") };
+        json(err.http_status(), &err)
+    } else {
+        // Read the body through the same BufReader — its buffer may
+        // already hold body bytes pulled in while reading the headers.
+        let mut request_body = vec![0u8; content_length as usize];
+        reader.read_exact(&mut request_body)?;
+        route(handle, &method, &path, &request_body)
+    };
+    write_response(&mut stream, status, &body)
+}
+
+/// Maps one request to a `(status, JSON body)` pair.
+fn route(handle: &ServeHandle, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    match (method, path) {
+        ("POST", "/jobs") => match serde_json::from_slice::<JobSpec>(body) {
+            Ok(spec) => reply(handle.submit(spec).map(|id| SubmitResponse { id })),
+            Err(e) => {
+                let err =
+                    ServeError::BadRequest { reason: format!("job spec does not parse: {e}") };
+                json(err.http_status(), &err)
+            }
+        },
+        ("GET", "/stats") => json(200, &handle.stats()),
+        ("POST", "/shutdown") => {
+            handle.request_drain();
+            (200, "{\"draining\": true}".to_string())
+        }
+        _ => route_job(handle, method, path),
+    }
+}
+
+/// The `/jobs/{id}[/…]` sub-tree.
+fn route_job(handle: &ServeHandle, method: &str, path: &str) -> (u16, String) {
+    let Some(rest) = path.strip_prefix("/jobs/") else {
+        return not_found();
+    };
+    let (id_text, action) = match rest.split_once('/') {
+        Some((id_text, action)) => (id_text, Some(action)),
+        None => (rest, None),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        let err = ServeError::BadRequest { reason: format!("job id `{id_text}` is not a number") };
+        return json(err.http_status(), &err);
+    };
+    let id = JobId(id);
+    match (method, action) {
+        ("GET", None) => reply(handle.status(id)),
+        ("GET", Some("report")) => reply(handle.report(id)),
+        ("GET", Some("checkpoint")) => reply(handle.checkpoint(id).and_then(|ckpt| {
+            ckpt.ok_or_else(|| ServeError::NotReady {
+                reason: "no checkpoint captured yet; poll again after a slice completes".into(),
+            })
+        })),
+        ("POST", Some("cancel")) => reply(handle.cancel(id)),
+        _ => not_found(),
+    }
+}
+
+fn not_found() -> (u16, String) {
+    (404, "{\"error\": \"not_found\"}".to_string())
+}
+
+/// Serialises a success payload. Serialisation of our own wire types
+/// cannot fail; the fallback keeps the connection well-formed regardless.
+fn json<T: Serialize>(status: u16, value: &T) -> (u16, String) {
+    match serde_json::to_string(value) {
+        Ok(body) => (status, body),
+        Err(_) => (500, "{\"error\": \"serialisation_failed\"}".to_string()),
+    }
+}
+
+/// Collapses a handle call into the wire: `Ok` → 200 + payload, `Err` →
+/// the error's HTTP status + its tagged JSON shape.
+fn reply<T: Serialize>(result: Result<T, ServeError>) -> (u16, String) {
+    match result {
+        Ok(value) => json(200, &value),
+        Err(e) => json(e.http_status(), &e),
+    }
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: \
+         {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_rejects_unknown_paths_and_bad_ids() {
+        use crate::engine::{ServeConfig, ServeEngine};
+        let engine = ServeEngine::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+        let handle = engine.handle();
+        assert_eq!(route(&handle, "GET", "/nope", b"").0, 404);
+        assert_eq!(route(&handle, "DELETE", "/jobs", b"").0, 404);
+        assert_eq!(route(&handle, "GET", "/jobs/abc", b"").0, 400);
+        assert_eq!(route(&handle, "GET", "/jobs/7", b"").0, 404);
+        assert_eq!(route(&handle, "POST", "/jobs", b"{").0, 400);
+        assert_eq!(route(&handle, "GET", "/stats", b"").0, 200);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn status_reasons_cover_every_serve_error() {
+        for status in [200u16, 400, 404, 409, 429, 500, 503] {
+            assert_ne!(status_reason(status), "Unknown", "{status}");
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The wire protocol of the placement service: serde-JSON request and
+//! response types shared by the in-process [`ServeHandle`] client, the
+//! HTTP front-end, and external callers.
+//!
+//! Every type round-trips through JSON. The task side reuses the
+//! workspace's own serde formats — [`MethodSpec`] (externally tagged, e.g.
+//! `{"Mlma": {...}}`, with all config fields defaulting), [`LdeModel`],
+//! and the reports/checkpoints of `breaksym-core` — so a service response
+//! can be fed straight back into library calls.
+//!
+//! [`ServeHandle`]: crate::engine::ServeHandle
+
+use std::fmt;
+
+use breaksym_core::{MethodSpec, PlacementTask, StatsSnapshot};
+use breaksym_lde::LdeModel;
+use breaksym_netlist::circuits;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one submitted job, unique within a server's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The placement problem of a job: a named built-in benchmark or an
+/// inline SPICE netlist, plus the LDE regime it is evaluated under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TaskSpec {
+    /// One of the built-in benchmark circuits (see
+    /// [`TaskSpec::BENCHMARKS`]).
+    Benchmark {
+        /// Benchmark name, canonical or aliased — e.g. `"cm"` /
+        /// `"current_mirror"`, `"comp"` / `"comparator"`, `"ota"`.
+        name: String,
+        /// Seed of the default non-linear LDE field (ignored when `lde`
+        /// is set).
+        #[serde(default)]
+        lde_seed: u64,
+        /// Explicit LDE model overriding the seeded default.
+        #[serde(default)]
+        lde: Option<LdeModel>,
+    },
+    /// An inline netlist in the SPICE subset `breaksym_netlist::spice`
+    /// parses.
+    Spice {
+        /// The netlist source text.
+        netlist: String,
+        /// Square grid side length in cells.
+        grid: i32,
+        /// Seed of the default non-linear LDE field (ignored when `lde`
+        /// is set).
+        #[serde(default)]
+        lde_seed: u64,
+        /// Explicit LDE model overriding the seeded default.
+        #[serde(default)]
+        lde: Option<LdeModel>,
+    },
+}
+
+impl TaskSpec {
+    /// Canonical names of every built-in benchmark.
+    pub const BENCHMARKS: [&'static str; 6] =
+        ["cm", "comp", "ota", "ota5", "two_stage", "diff_pair"];
+
+    /// A benchmark spec with the default seeded LDE field.
+    pub fn benchmark(name: impl Into<String>, lde_seed: u64) -> Self {
+        TaskSpec::Benchmark { name: name.into(), lde_seed, lde: None }
+    }
+
+    /// Resolves the spec into a runnable [`PlacementTask`]. Benchmarks
+    /// get the same grid sides the `repro` figures use.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on an unknown benchmark name or an
+    /// unparsable netlist.
+    pub fn resolve(&self) -> Result<PlacementTask, ServeError> {
+        match self {
+            TaskSpec::Benchmark { name, lde_seed, lde } => {
+                let (circuit, side) = match name.as_str() {
+                    "cm" | "current_mirror" => (circuits::current_mirror_medium(), 16),
+                    "comp" | "comparator" => (circuits::comparator(), 16),
+                    "ota" | "ota_folded_cascode" => (circuits::folded_cascode_ota(), 18),
+                    "ota5" | "five_transistor_ota" => (circuits::five_transistor_ota(), 14),
+                    "two_stage" | "two_stage_miller" => (circuits::two_stage_miller(), 18),
+                    "diff_pair" => (circuits::diff_pair(), 10),
+                    other => {
+                        return Err(ServeError::BadRequest {
+                            reason: format!(
+                                "unknown benchmark `{other}` (known: {:?})",
+                                Self::BENCHMARKS
+                            ),
+                        })
+                    }
+                };
+                Ok(PlacementTask::new(circuit, side, lde_for(lde, *lde_seed)))
+            }
+            TaskSpec::Spice { netlist, grid, lde_seed, lde } => {
+                let circuit = breaksym_netlist::spice::parse(netlist).map_err(|e| {
+                    ServeError::BadRequest { reason: format!("netlist does not parse: {e}") }
+                })?;
+                Ok(PlacementTask::new(circuit, *grid, lde_for(lde, *lde_seed)))
+            }
+        }
+    }
+}
+
+fn lde_for(explicit: &Option<LdeModel>, seed: u64) -> LdeModel {
+    explicit.clone().unwrap_or_else(|| LdeModel::nonlinear(1.0, seed))
+}
+
+/// A job submission: what to place, how to search, and the serving knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// The placement problem.
+    pub task: TaskSpec,
+    /// The search method and its full configuration.
+    pub method: MethodSpec,
+    /// Replaces the method configuration's RNG seed when set.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Overrides the method configuration's evaluation budget when set.
+    #[serde(default)]
+    pub max_evals: Option<u64>,
+    /// Per-job cap on *running* wall-clock milliseconds (queue wait
+    /// excluded), enforced at slice boundaries. `None` uses the server's
+    /// default.
+    #[serde(default)]
+    pub timeout_ms: Option<u64>,
+    /// Evaluations per resumable slice — the granularity at which status,
+    /// cancellation, and drain are observed. `None` uses the server's
+    /// default.
+    #[serde(default)]
+    pub slice_evals: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with every serving knob left at the server's defaults.
+    pub fn new(task: TaskSpec, method: MethodSpec) -> Self {
+        JobSpec { task, method, seed: None, max_evals: None, timeout_ms: None, slice_evals: None }
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "state", rename_all = "snake_case")]
+pub enum JobState {
+    /// Waiting in the queue — fresh, or requeued with a checkpoint by a
+    /// draining server.
+    Queued,
+    /// Claimed by a worker and advancing slice by slice.
+    Running,
+    /// Finished; the final `RunReport` is fetchable.
+    Done,
+    /// The job errored or hit its wall-clock timeout.
+    Failed {
+        /// What went wrong.
+        error: String,
+    },
+    /// Cancelled by request.
+    Cancelled {
+        /// Whether a mid-run checkpoint was captured to resume from.
+        resumable: bool,
+    },
+}
+
+impl JobState {
+    /// Whether the job will make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed { .. } | JobState::Cancelled { .. })
+    }
+
+    /// The state's wire tag, for human-readable messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Cancelled { .. } => "cancelled",
+        }
+    }
+}
+
+/// Live progress of a job, refreshed at every slice boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStatus {
+    /// Oracle evaluations spent so far.
+    pub evals: u64,
+    /// Best objective cost reached so far.
+    pub best_cost: f64,
+    /// Running wall-clock milliseconds, accumulated across slices and
+    /// requeues (queue wait excluded).
+    pub elapsed_ms: u64,
+    /// The job's private eval-cache and simulation accounting.
+    pub cache: StatsSnapshot,
+}
+
+/// Answer to a status poll.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// The job being described.
+    pub id: JobId,
+    /// Lifecycle state (flattened: `{"state": "running", ...}`).
+    #[serde(flatten)]
+    pub state: JobState,
+    /// Live progress, present once at least one slice has completed.
+    #[serde(default)]
+    pub status: Option<RunStatus>,
+}
+
+/// Answer to a successful submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// The assigned job id; poll `/jobs/{id}` with it.
+    pub id: JobId,
+}
+
+/// A `/stats` snapshot of the whole server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_cap: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Workers currently running a job.
+    pub busy_workers: usize,
+    /// Jobs completed per worker — utilization by job count.
+    pub worker_jobs: Vec<u64>,
+    /// Milliseconds each worker has spent running jobs since start.
+    pub worker_busy_ms: Vec<u64>,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Jobs accepted into the queue, lifetime total.
+    pub jobs_submitted: u64,
+    /// Jobs finished with a report.
+    pub jobs_done: u64,
+    /// Jobs failed (including timeouts).
+    pub jobs_failed: u64,
+    /// Jobs cancelled.
+    pub jobs_cancelled: u64,
+    /// Aggregate cache effectiveness and simulations served, the
+    /// field-wise sum of every job's snapshot.
+    pub cache: StatsSnapshot,
+}
+
+impl ServerStats {
+    /// Mean fraction of server uptime the workers spent running jobs.
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.uptime_ms == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ms.iter().sum();
+        busy as f64 / (self.workers as f64 * self.uptime_ms as f64)
+    }
+}
+
+/// Service-level request failures, serialised on the wire as a tagged
+/// `{"error": "...", ...}` object with a matching HTTP status.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "error", rename_all = "snake_case")]
+pub enum ServeError {
+    /// The bounded queue is full — backpressure; retry later (HTTP 429).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// No job with the given id exists (HTTP 404).
+    UnknownJob {
+        /// The id that failed to resolve.
+        id: JobId,
+    },
+    /// The request is malformed (HTTP 400).
+    BadRequest {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The resource exists but is not available in the job's current
+    /// state — e.g. a report requested before completion (HTTP 409).
+    NotReady {
+        /// What to wait for.
+        reason: String,
+    },
+    /// The server is draining and accepts no new work (HTTP 503).
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServeError::QueueFull { .. } => 429,
+            ServeError::UnknownJob { .. } => 404,
+            ServeError::BadRequest { .. } => 400,
+            ServeError::NotReady { .. } => 409,
+            ServeError::ShuttingDown => 503,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs waiting); retry later")
+            }
+            ServeError::UnknownJob { id } => write!(f, "no job with id {id}"),
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::NotReady { reason } => write!(f, "not ready: {reason}"),
+            ServeError::ShuttingDown => write!(f, "server is draining; no new work accepted"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_core::MlmaConfig;
+
+    #[test]
+    fn every_benchmark_name_resolves() {
+        for name in TaskSpec::BENCHMARKS {
+            let task = TaskSpec::benchmark(name, 7).resolve().unwrap();
+            assert!(!task.circuit.units().is_empty(), "{name}");
+        }
+        assert!(TaskSpec::benchmark("nope", 7).resolve().is_err());
+    }
+
+    #[test]
+    fn job_spec_round_trips_and_defaults_apply() {
+        let spec = JobSpec::new(
+            TaskSpec::benchmark("cm", 7),
+            MethodSpec::Mlma(MlmaConfig { max_evals: 50, ..MlmaConfig::default() }),
+        );
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+
+        // A minimal hand-written body parses: omitted config fields take
+        // their defaults, omitted knobs stay None.
+        let terse: JobSpec = serde_json::from_str(
+            r#"{"task": {"kind": "benchmark", "name": "cm"},
+                "method": {"Mlma": {"max_evals": 50, "seed": 3}}}"#,
+        )
+        .unwrap();
+        assert_eq!(terse.task, TaskSpec::benchmark("cm", 0));
+        match terse.method {
+            MethodSpec::Mlma(cfg) => {
+                assert_eq!(cfg.max_evals, 50);
+                assert_eq!(cfg.seed, 3);
+                assert_eq!(cfg.episodes, MlmaConfig::default().episodes);
+            }
+            other => panic!("wrong method: {other:?}"),
+        }
+        assert!(terse.seed.is_none() && terse.timeout_ms.is_none());
+    }
+
+    #[test]
+    fn status_response_flattens_the_state_tag() {
+        let s = StatusResponse {
+            id: JobId(3),
+            state: JobState::Cancelled { resumable: true },
+            status: None,
+        };
+        let v = serde_json::to_value(&s).unwrap();
+        assert_eq!(v["id"], 3);
+        assert_eq!(v["state"], "cancelled");
+        assert_eq!(v["resumable"], true);
+        let back: StatusResponse = serde_json::from_value(v).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn errors_carry_http_statuses() {
+        assert_eq!(ServeError::QueueFull { capacity: 4 }.http_status(), 429);
+        assert_eq!(ServeError::UnknownJob { id: JobId(9) }.http_status(), 404);
+        assert_eq!(ServeError::BadRequest { reason: "x".into() }.http_status(), 400);
+        assert_eq!(ServeError::NotReady { reason: "x".into() }.http_status(), 409);
+        assert_eq!(ServeError::ShuttingDown.http_status(), 503);
+        let v = serde_json::to_value(ServeError::QueueFull { capacity: 4 }).unwrap();
+        assert_eq!(v["error"], "queue_full");
+    }
+}

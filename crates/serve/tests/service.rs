@@ -1,0 +1,284 @@
+//! End-to-end tests of the placement service: bit-identity of served runs
+//! against direct driver runs, queue backpressure, mid-run cancellation
+//! with resumable checkpoints, graceful drain, and the HTTP front-end.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use breaksym_core::{runner, Budget, Driver, MethodSpec, MlmaConfig, SliceOutcome};
+use breaksym_serve::{
+    HttpServer, JobId, JobSpec, JobState, ServeConfig, ServeEngine, ServeError, ServeHandle,
+    StatusResponse, TaskSpec,
+};
+
+/// Small enough to finish in seconds, large enough to cross several
+/// 25-eval slices.
+fn quick_cfg() -> MlmaConfig {
+    MlmaConfig { episodes: 4, steps_per_episode: 10, max_evals: 120, ..MlmaConfig::default() }
+}
+
+/// Effectively endless on the test's timescale: only cancel, drain, or
+/// timeout ends it.
+fn long_cfg() -> MlmaConfig {
+    MlmaConfig {
+        episodes: 5_000,
+        steps_per_episode: 20,
+        max_evals: 2_000_000,
+        ..MlmaConfig::default()
+    }
+}
+
+fn long_spec(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(TaskSpec::benchmark("diff_pair", 7), MethodSpec::Mlma(long_cfg()));
+    spec.seed = Some(seed);
+    spec
+}
+
+fn wait_until(
+    handle: &ServeHandle,
+    id: JobId,
+    pred: impl Fn(&StatusResponse) -> bool,
+) -> StatusResponse {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let status = handle.status(id).unwrap();
+        if pred(&status) {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "timed out on job {id}: {:?}", status.state);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn served_reports_are_bit_identical_to_direct_runs() {
+    let engine =
+        ServeEngine::start(ServeConfig { workers: 2, slice_evals: 25, ..ServeConfig::default() });
+    let handle = engine.handle();
+
+    // CM and COMP concurrently, on two workers, each crossing several
+    // slice boundaries.
+    let jobs = [("cm", 9u64), ("comp", 11u64)];
+    let ids: Vec<JobId> = jobs
+        .iter()
+        .map(|&(name, seed)| {
+            let mut spec =
+                JobSpec::new(TaskSpec::benchmark(name, 7), MethodSpec::Mlma(quick_cfg()));
+            spec.seed = Some(seed);
+            handle.submit(spec).unwrap()
+        })
+        .collect();
+
+    for (&(name, seed), &id) in jobs.iter().zip(&ids) {
+        let done = handle.wait(id, Duration::from_secs(120)).unwrap();
+        assert!(matches!(done.state, JobState::Done), "{name}: {:?}", done.state);
+
+        let served = handle.report(id).unwrap();
+        let task = TaskSpec::benchmark(name, 7).resolve().unwrap();
+        let direct = runner::run_mlma(&task, &quick_cfg().with_seed(seed)).unwrap();
+
+        // Everything deterministic must match bit for bit; only the
+        // simulation/cache *accounting* may differ (each slice re-probes
+        // the initial placement through the job's shared cache).
+        assert_eq!(served.method, direct.method, "{name}");
+        assert_eq!(served.best_cost.to_bits(), direct.best_cost.to_bits(), "{name}");
+        assert_eq!(served.initial_cost.to_bits(), direct.initial_cost.to_bits(), "{name}");
+        assert_eq!(served.trajectory, direct.trajectory, "{name}");
+        assert_eq!(served.evaluations, direct.evaluations, "{name}");
+        assert_eq!(served.best_placement, direct.best_placement, "{name}");
+        assert_eq!(served.reached_target, direct.reached_target, "{name}");
+        assert_eq!(served.sims_to_target, direct.sims_to_target, "{name}");
+
+        // The final status poll reflects the finished run.
+        let status = handle.status(id).unwrap().status.unwrap();
+        assert_eq!(status.evals, direct.evaluations, "{name}");
+        assert!(status.cache.sims > 0, "{name}");
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.jobs_done, 2);
+    assert_eq!(stats.jobs_failed, 0);
+    assert!(stats.cache.sims > 0);
+    engine.shutdown();
+}
+
+#[test]
+fn full_queue_rejects_submissions() {
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        slice_evals: 16,
+        ..ServeConfig::default()
+    });
+    let handle = engine.handle();
+
+    // Occupy the only worker, then the only queue slot.
+    let running = handle.submit(long_spec(1)).unwrap();
+    wait_until(&handle, running, |s| matches!(s.state, JobState::Running));
+    let queued = handle.submit(long_spec(2)).unwrap();
+
+    match handle.submit(long_spec(3)) {
+        Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+    assert_eq!(handle.stats().queue_depth, 1);
+
+    // A queued job cancels instantly and never ran, so nothing to resume.
+    let cancelled = handle.cancel(queued).unwrap();
+    assert!(
+        matches!(cancelled.state, JobState::Cancelled { resumable: false }),
+        "{:?}",
+        cancelled.state
+    );
+
+    handle.cancel(running).unwrap();
+    let ended = handle.wait(running, Duration::from_secs(120)).unwrap();
+    assert!(matches!(ended.state, JobState::Cancelled { .. }), "{:?}", ended.state);
+    assert_eq!(handle.stats().jobs_cancelled, 2);
+    engine.shutdown();
+}
+
+#[test]
+fn cancel_mid_run_leaves_a_resumable_checkpoint() {
+    let engine =
+        ServeEngine::start(ServeConfig { workers: 1, slice_evals: 20, ..ServeConfig::default() });
+    let handle = engine.handle();
+
+    let id = handle.submit(long_spec(3)).unwrap();
+    // Let at least one slice complete so a checkpoint exists.
+    wait_until(&handle, id, |s| s.status.is_some_and(|rs| rs.evals >= 20));
+    handle.cancel(id).unwrap();
+    let done = handle.wait(id, Duration::from_secs(120)).unwrap();
+    assert!(
+        matches!(done.state, JobState::Cancelled { resumable: true }),
+        "{:?}",
+        done.state
+    );
+
+    let ckpt = handle.checkpoint(id).unwrap().expect("cancelled mid-run keeps its checkpoint");
+    assert!(ckpt.evals >= 20);
+    engine.shutdown();
+
+    // The checkpoint is genuinely resumable: cap the run 40 evaluations
+    // past the cancellation point and drive it to a clean finish in a
+    // freshly built optimizer.
+    let task = TaskSpec::benchmark("diff_pair", 7).resolve().unwrap();
+    let mut opt = MethodSpec::Mlma(long_cfg().with_seed(3)).build(&task).unwrap();
+    let mut capped = ckpt.clone();
+    capped.tracker.max_evals = ckpt.evals + 40;
+    let outcome = Driver::new(Budget::evals(capped.tracker.max_evals))
+        .resume_slice(&task, opt.as_mut(), &capped, u64::MAX)
+        .unwrap();
+    match outcome {
+        SliceOutcome::Finished(report) => {
+            assert_eq!(report.evaluations, ckpt.evals + 40);
+            assert!(report.best_cost <= ckpt.tracker.best_cost);
+        }
+        SliceOutcome::Paused(_) => panic!("a capped resume must finish, not pause"),
+    }
+}
+
+#[test]
+fn graceful_drain_requeues_running_jobs_with_checkpoints() {
+    let engine =
+        ServeEngine::start(ServeConfig { workers: 1, slice_evals: 15, ..ServeConfig::default() });
+    let handle = engine.handle();
+
+    let id = handle.submit(long_spec(5)).unwrap();
+    wait_until(&handle, id, |s| s.status.is_some_and(|rs| rs.evals >= 15));
+
+    // Drain: the in-flight job goes back to the queue with its progress
+    // persisted, ready for a future server to resume.
+    let handle = engine.shutdown();
+    let status = handle.status(id).unwrap();
+    assert!(matches!(status.state, JobState::Queued), "{:?}", status.state);
+    let ckpt = handle.checkpoint(id).unwrap().expect("drained job keeps its checkpoint");
+    assert!(ckpt.evals >= 15);
+    assert_eq!(handle.stats().queue_depth, 1);
+
+    match handle.submit(long_spec(6)) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+/// A one-shot HTTP/1.1 request over a plain TCP socket, returning
+/// `(status, parsed JSON body)`.
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, serde_json::Value) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    let payload = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    let value = serde_json::from_str(payload).expect("JSON body");
+    (status, value)
+}
+
+#[test]
+fn http_front_end_serves_submit_poll_report_stats() {
+    let engine = ServeEngine::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut server = HttpServer::bind(engine.handle(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // A terse hand-written body: omitted config fields take defaults.
+    let job = r#"{"task": {"kind": "benchmark", "name": "diff_pair", "lde_seed": 5},
+                  "method": {"Mlma": {"episodes": 3, "steps_per_episode": 8,
+                                      "max_evals": 80, "seed": 5}}}"#;
+    let (status, v) = http_request(addr, "POST", "/jobs", job);
+    assert_eq!(status, 200, "{v}");
+    let id = v["id"].as_u64().expect("job id");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, v) = http_request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "{v}");
+        match v["state"].as_str().expect("state tag") {
+            "done" => break,
+            "failed" | "cancelled" => panic!("job ended badly: {v}"),
+            _ => {}
+        }
+        assert!(Instant::now() < deadline, "job did not finish over HTTP");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (status, report) = http_request(addr, "GET", &format!("/jobs/{id}/report"), "");
+    assert_eq!(status, 200, "{report}");
+    assert_eq!(report["method"], "mlma-q");
+    assert!(report["evaluations"].as_u64().unwrap() > 0);
+    assert!(report["best_cost"].as_f64().unwrap() <= report["initial_cost"].as_f64().unwrap());
+
+    let (status, stats) = http_request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200, "{stats}");
+    assert!(stats["jobs_done"].as_u64().unwrap() >= 1);
+    assert_eq!(stats["workers"].as_u64().unwrap(), 1);
+
+    let (status, _) = http_request(addr, "GET", "/jobs/999", "");
+    assert_eq!(status, 404);
+    let (status, _) = http_request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+
+    let (status, v) = http_request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    assert_eq!(v["draining"], true);
+    assert!(engine.handle().is_draining());
+
+    server.stop();
+    engine.shutdown();
+}

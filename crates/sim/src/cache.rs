@@ -10,15 +10,19 @@
 //! A cache **hit is not a simulation**: the paper's "#simulations" tally
 //! ([`SimCounter`](crate::SimCounter)) counts real oracle solves, and the
 //! whole point of the cache is to answer without one. Hit/miss/eviction
-//! statistics are reported separately via [`CacheStats`].
+//! statistics are reported separately via [`CacheStats`], and the
+//! monitoring-friendly [`StatsSnapshot`] pairs them with the simulation
+//! tally **without taking the map lock** — serving-layer `/stats` polls
+//! never contend with evaluations in flight.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::Metrics;
+use crate::{Metrics, SimCounter};
 
 /// Default capacity (entries) of an [`EvalCache`]. At ~100 bytes per
 /// entry this bounds memory near 6 MB — generous for the benchmark runs,
@@ -32,29 +36,28 @@ struct Entry {
     tick: u64,
 }
 
-#[derive(Debug)]
+/// The locked part of the cache: only the map and its LRU clock. All
+/// statistics live outside the lock in [`Counters`].
+#[derive(Debug, Default)]
 struct Inner {
     map: HashMap<u64, Entry>,
-    capacity: usize,
     tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
 }
 
 impl Inner {
     /// Amortized batch eviction: when the map exceeds capacity, drop the
     /// least-recently-touched entries down to 3/4 capacity in one O(n log n)
     /// sweep. Cheaper than a doubly-linked LRU list on every access, and
-    /// the hot path (a hit) stays a single hash probe.
-    fn evict_if_full(&mut self) {
-        if self.map.len() <= self.capacity {
-            return;
+    /// the hot path (a hit) stays a single hash probe. Returns how many
+    /// entries were dropped.
+    fn evict_if_full(&mut self, capacity: usize) -> u64 {
+        if self.map.len() <= capacity {
+            return 0;
         }
-        let keep = (self.capacity * 3) / 4;
+        let keep = (capacity * 3) / 4;
         let excess = self.map.len() - keep.min(self.map.len());
         if excess == 0 {
-            return;
+            return 0;
         }
         // Ticks are unique (one global counter), so the cutoff removes
         // exactly `excess` entries.
@@ -62,8 +65,20 @@ impl Inner {
         ticks.sort_unstable();
         let cutoff = ticks[excess - 1];
         self.map.retain(|_, e| e.tick > cutoff);
-        self.evictions += excess as u64;
+        excess as u64
     }
+}
+
+/// Lock-free statistics of an [`EvalCache`]: the map lock guards only the
+/// entries themselves, so readers (run reports, `/stats` endpoints) never
+/// block an evaluation in flight.
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicUsize,
+    capacity: AtomicUsize,
 }
 
 /// Counters describing an [`EvalCache`]'s effectiveness, reported next to
@@ -107,12 +122,68 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// A point-in-time pairing of cache effectiveness with the simulation
+/// tally — the unit of accounting the serving layer reports per job and
+/// aggregates (field-wise, via [`StatsSnapshot::merged`]) across jobs.
+///
+/// Reading one never touches the cache's map lock; see
+/// [`EvalCache::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Lookups answered from the cache (no simulation happened).
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Real oracle solves performed ([`SimCounter::count`]).
+    pub sims: u64,
+}
+
+impl StatsSnapshot {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Field-wise sum — how a server aggregates per-job snapshots into one
+    /// service-wide view.
+    #[must_use]
+    pub fn merged(self, other: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+            sims: self.sims + other.sims,
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate), {} sims",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0,
+            self.sims
+        )
+    }
+}
+
 /// A bounded, shared memo of placement → [`Metrics`].
 ///
 /// Cloning shares the underlying store (like
 /// [`SimCounter`](crate::SimCounter)), so one cache can serve every
 /// evaluator clone of an optimisation run. Thread-safe; the lock is held
-/// only for the O(1) probe (amortized — see [`Inner` eviction]).
+/// only for the O(1) probe (amortized — see [`Inner` eviction]), and all
+/// statistics are plain atomics readable without it.
 ///
 /// Keys are produced by the caller — in practice
 /// [`Evaluator`](crate::Evaluator) mixes the placement's Zobrist
@@ -132,46 +203,45 @@ impl std::fmt::Display for CacheStats {
 /// let stats = cache.stats();
 /// assert_eq!((stats.hits, stats.misses), (1, 1));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EvalCache {
     inner: Arc<Mutex<Inner>>,
+    counters: Arc<Counters>,
 }
 
-impl Default for Inner {
+impl Default for EvalCache {
     fn default() -> Self {
-        Inner {
-            map: HashMap::new(),
-            capacity: DEFAULT_CACHE_CAPACITY,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        }
+        EvalCache::new(DEFAULT_CACHE_CAPACITY)
     }
 }
 
 impl EvalCache {
     /// A cache bounded to `capacity` entries (clamped to at least 1).
     pub fn new(capacity: usize) -> Self {
-        let cache = EvalCache::default();
-        cache.inner.lock().capacity = capacity.max(1);
+        let cache = EvalCache {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            counters: Arc::new(Counters::default()),
+        };
+        cache.counters.capacity.store(capacity.max(1), Ordering::Relaxed);
         cache
     }
 
     /// Looks up the metrics memoized under `key`, refreshing its LRU
     /// position. Records a hit or a miss.
     pub fn get(&self, key: u64) -> Option<Metrics> {
-        let mut g = self.inner.lock();
-        g.tick += 1;
-        let tick = g.tick;
-        let found = g.map.get_mut(&key).map(|e| {
-            e.tick = tick;
-            e.metrics
-        });
+        let found = {
+            let mut g = self.inner.lock();
+            g.tick += 1;
+            let tick = g.tick;
+            g.map.get_mut(&key).map(|e| {
+                e.tick = tick;
+                e.metrics
+            })
+        };
         if found.is_some() {
-            g.hits += 1;
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            g.misses += 1;
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
@@ -179,28 +249,50 @@ impl EvalCache {
     /// Memoizes `metrics` under `key`, evicting least-recently-used
     /// entries if the capacity bound is exceeded.
     pub fn insert(&self, key: u64, metrics: Metrics) {
-        let mut g = self.inner.lock();
-        g.tick += 1;
-        let tick = g.tick;
-        g.map.insert(key, Entry { metrics, tick });
-        g.evict_if_full();
+        let capacity = self.counters.capacity.load(Ordering::Relaxed);
+        let (evicted, entries) = {
+            let mut g = self.inner.lock();
+            g.tick += 1;
+            let tick = g.tick;
+            g.map.insert(key, Entry { metrics, tick });
+            let evicted = g.evict_if_full(capacity);
+            (evicted, g.map.len())
+        };
+        if evicted > 0 {
+            self.counters.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        self.counters.entries.store(entries, Ordering::Relaxed);
     }
 
-    /// A snapshot of the hit/miss/eviction counters.
+    /// A snapshot of the hit/miss/eviction counters. Never takes the map
+    /// lock — safe to poll from a monitoring thread at any rate.
     pub fn stats(&self) -> CacheStats {
-        let g = self.inner.lock();
         CacheStats {
-            hits: g.hits,
-            misses: g.misses,
-            evictions: g.evictions,
-            entries: g.map.len(),
-            capacity: g.capacity,
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            entries: self.counters.entries.load(Ordering::Relaxed),
+            capacity: self.counters.capacity.load(Ordering::Relaxed),
         }
     }
 
-    /// Number of resident entries.
+    /// A lock-free [`StatsSnapshot`] pairing this cache's counters with
+    /// `counter`'s simulation tally — the per-job accounting unit of the
+    /// serving layer, also used in [`RunReport`] assembly.
+    ///
+    /// [`RunReport`]: https://docs.rs/breaksym-core
+    pub fn snapshot(&self, counter: &SimCounter) -> StatsSnapshot {
+        StatsSnapshot {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            entries: self.counters.entries.load(Ordering::Relaxed) as u64,
+            sims: counter.count(),
+        }
+    }
+
+    /// Number of resident entries (lock-free; exact between operations).
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.counters.entries.load(Ordering::Relaxed)
     }
 
     /// Whether the cache holds no entries.
@@ -212,9 +304,10 @@ impl EvalCache {
     pub fn clear(&self) {
         let mut g = self.inner.lock();
         g.map.clear();
-        g.hits = 0;
-        g.misses = 0;
-        g.evictions = 0;
+        self.counters.hits.store(0, Ordering::Relaxed);
+        self.counters.misses.store(0, Ordering::Relaxed);
+        self.counters.evictions.store(0, Ordering::Relaxed);
+        self.counters.entries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -292,5 +385,42 @@ mod tests {
         let text = c.stats().to_string();
         assert!(text.contains("1 hits"), "{text}");
         assert!(text.contains("50.0% hit rate"), "{text}");
+    }
+
+    #[test]
+    fn snapshot_pairs_cache_counters_with_sim_tally() {
+        let c = EvalCache::new(8);
+        let sims = SimCounter::new();
+        c.get(1); // miss
+        sims.increment();
+        c.insert(1, metrics(1.0));
+        c.get(1); // hit
+        let snap = c.snapshot(&sims);
+        assert_eq!((snap.hits, snap.misses, snap.entries, snap.sims), (1, 1, 1, 1));
+        assert!((snap.hit_rate() - 0.5).abs() < 1e-12);
+        let text = snap.to_string();
+        assert!(text.contains("1 sims"), "{text}");
+    }
+
+    #[test]
+    fn snapshots_merge_field_wise() {
+        let a = StatsSnapshot { hits: 1, misses: 2, entries: 3, sims: 4 };
+        let b = StatsSnapshot { hits: 10, misses: 20, entries: 30, sims: 40 };
+        let m = a.merged(b);
+        assert_eq!(m, StatsSnapshot { hits: 11, misses: 22, entries: 33, sims: 44 });
+        assert_eq!(StatsSnapshot::default().merged(a), a);
+    }
+
+    #[test]
+    fn stats_never_take_the_map_lock() {
+        // Reading stats while the map lock is held must not deadlock —
+        // the property the serving layer's /stats endpoint relies on.
+        let c = EvalCache::new(8);
+        c.insert(1, metrics(1.0));
+        let _guard = c.inner.lock();
+        let s = c.stats();
+        assert_eq!(s.entries, 1);
+        let snap = c.snapshot(&SimCounter::new());
+        assert_eq!(snap.entries, 1);
     }
 }

@@ -55,7 +55,7 @@ mod testbench;
 mod tran;
 
 pub use ac::{AcSolver, AcSweep};
-pub use cache::{CacheStats, EvalCache, DEFAULT_CACHE_CAPACITY};
+pub use cache::{CacheStats, EvalCache, StatsSnapshot, DEFAULT_CACHE_CAPACITY};
 pub use complex::Complex;
 pub use counter::SimCounter;
 pub use dc::{DcSolution, DcSolver};

@@ -1,0 +1,80 @@
+//! Placement as a service, from Rust: start an in-process engine, submit
+//! jobs, watch live slice-boundary progress, and fetch final reports.
+//!
+//! The same operations are available over HTTP — start a server with
+//! `cargo run --release -p breaksym-bench --bin repro -- serve` and drive
+//! it with `curl` (see the README's serving quickstart). This example
+//! sticks to the in-process [`breaksym::serve::ServeHandle`] so it runs
+//! anywhere, no sockets needed.
+//!
+//! ```text
+//! cargo run --release --example serve_client
+//! ```
+
+use std::time::Duration;
+
+use breaksym::core::{MethodSpec, MlmaConfig};
+use breaksym::serve::{JobSpec, ServeConfig, ServeEngine, TaskSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two workers, jobs advance in 32-evaluation resumable slices.
+    let engine =
+        ServeEngine::start(ServeConfig { workers: 2, slice_evals: 32, ..ServeConfig::default() });
+    let handle = engine.handle();
+
+    // Submit two benchmark jobs; they run concurrently on the pool.
+    let mut jobs = Vec::new();
+    for (name, seed) in [("cm", 7u64), ("diff_pair", 11)] {
+        let cfg = MlmaConfig {
+            episodes: 5,
+            steps_per_episode: 10,
+            max_evals: 200,
+            ..MlmaConfig::default()
+        };
+        let mut spec = JobSpec::new(TaskSpec::benchmark(name, 7), MethodSpec::Mlma(cfg));
+        spec.seed = Some(seed);
+        let id = handle.submit(spec)?;
+        println!("submitted {name} (seed {seed}) as job {id}");
+        jobs.push((name, id));
+    }
+
+    // Poll: every completed slice refreshes evals, best cost, and the
+    // job's cache accounting.
+    loop {
+        let mut all_done = true;
+        for &(name, id) in &jobs {
+            let s = handle.status(id)?;
+            match s.status {
+                Some(rs) => println!(
+                    "  {name}: {} — {} evals, best cost {:.4}, {}",
+                    s.state.label(),
+                    rs.evals,
+                    rs.best_cost,
+                    rs.cache
+                ),
+                None => println!("  {name}: {}", s.state.label()),
+            }
+            all_done &= s.state.is_terminal();
+        }
+        if all_done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+
+    // Final reports are bit-identical to direct `run_mlma` calls with the
+    // same task, config, and seed.
+    for &(name, id) in &jobs {
+        println!("{name}: {}", handle.report(id)?);
+    }
+
+    let stats = handle.stats();
+    println!(
+        "server: {} jobs done, worker utilization {:.0}%, cache {}",
+        stats.jobs_done,
+        stats.utilization() * 100.0,
+        stats.cache
+    );
+    engine.shutdown();
+    Ok(())
+}

@@ -15,6 +15,10 @@
 //! 4. compare the [`core::RunReport`]s: mismatch/offset, FOM, and
 //!    #simulations — the three columns of the paper's Fig. 3.
 //!
+//! To run placements as a service instead — a bounded job queue, a worker
+//! pool, and an HTTP wire protocol over the same driver — see [`serve`]
+//! (`repro serve` starts it from the command line).
+//!
 //! # Examples
 //!
 //! ```
@@ -39,6 +43,7 @@ pub use breaksym_layout as layout;
 pub use breaksym_lde as lde;
 pub use breaksym_netlist as netlist;
 pub use breaksym_route as route;
+pub use breaksym_serve as serve;
 pub use breaksym_sfg as sfg;
 pub use breaksym_sim as sim;
 pub use breaksym_symmetry as symmetry;
