@@ -284,6 +284,11 @@ fn serve(flags: &[String]) {
     let mut workers = default_threads().min(4);
     let mut queue_cap = 64usize;
     let mut slice_evals = 64u64;
+    let mut conn_workers = breaksym_serve::DEFAULT_CONN_WORKERS;
+    // Long-lived-server defaults: terminal jobs linger an hour for their
+    // reports, the registry never holds more than 1024 of them.
+    let mut retain_secs = 3600u64;
+    let mut retain_max = 1024usize;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -306,8 +311,27 @@ fn serve(flags: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--slice needs an integer"))
             }
+            "--conn-workers" => {
+                conn_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--conn-workers needs an integer"))
+            }
+            "--retain-secs" => {
+                retain_secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--retain-secs needs an integer (0 disables the TTL)"))
+            }
+            "--retain-max" => {
+                retain_max = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--retain-max needs an integer"))
+            }
             other => die(&format!(
-                "unknown serve flag `{other}` (try: --addr --workers --queue-cap --slice)"
+                "unknown serve flag `{other}` (try: --addr --workers --queue-cap --slice \
+                 --conn-workers --retain-secs --retain-max)"
             )),
         }
     }
@@ -317,9 +341,11 @@ fn serve(flags: &[String]) {
         queue_cap,
         slice_evals,
         default_timeout_ms: None,
+        retain_ttl: (retain_secs > 0).then(|| Duration::from_secs(retain_secs)),
+        retain_max,
     });
     let handle = engine.handle();
-    let mut server = HttpServer::bind(handle.clone(), addr.as_str())
+    let mut server = HttpServer::bind_with(handle.clone(), addr.as_str(), conn_workers)
         .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
 
     println!("breaksym-serve listening on http://{}", server.addr());
@@ -331,7 +357,9 @@ fn serve(flags: &[String]) {
     println!("  GET  /stats                 queue/worker/cache snapshot");
     println!("  POST /shutdown              graceful drain");
     println!(
-        "{workers} workers, queue capacity {queue_cap}, {slice_evals} evals/slice; Ctrl-C drains"
+        "{workers} workers, queue capacity {queue_cap}, {slice_evals} evals/slice, \
+         {conn_workers} connection handlers; terminal jobs kept {retain_secs} s (max \
+         {retain_max}); Ctrl-C drains"
     );
 
     while !sigint::requested() && !handle.is_draining() {

@@ -16,12 +16,28 @@
 //! and seed (only the simulation/cache accounting differs, exactly as for
 //! any resumed run).
 //!
+//! # Job retention
+//!
+//! Terminal jobs (done, failed, timed out, cancelled) do not live in the
+//! registry forever: a configurable TTL ([`ServeConfig::retain_ttl`])
+//! and a max-retained cap ([`ServeConfig::retain_max`]) bound it, so a
+//! long-lived server's memory is O(cap), not O(jobs ever served). An
+//! evicted job's [`StatsSnapshot`] is folded into a *retired*
+//! accumulator before the record is dropped, so `/stats` cache totals
+//! stay exact across evictions. Queries for an evicted id answer
+//! [`ServeError::JobEvicted`] (HTTP 410) — distinct from
+//! [`ServeError::UnknownJob`] (404) for an id this server never
+//! assigned.
+//!
 //! # Lock discipline
 //!
-//! Two mutexes exist: the queue and the job registry. Where both are
-//! held, the queue lock is taken first; no code path acquires the queue
-//! lock while holding the registry lock. All statistics are atomics
-//! outside both locks.
+//! Three mutexes exist: the queue, the job registry, and the
+//! retired-stats accumulator, acquired in that fixed order — queue
+//! before registry before retired stats; no code path acquires an
+//! earlier lock while holding a later one. The registry mutex pairs with
+//! a condvar notified on every job state/status transition, which is
+//! what [`ServeHandle::wait`] blocks on. All statistics are atomics
+//! outside the locks.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -55,11 +71,27 @@ pub struct ServeConfig {
     /// Default per-job cap on running wall-clock milliseconds; `None`
     /// means unlimited. Jobs may override via [`JobSpec::timeout_ms`].
     pub default_timeout_ms: Option<u64>,
+    /// How long a terminal job (done, failed, timed out, cancelled) is
+    /// retained in the registry before eviction; `None` disables the
+    /// TTL. Evicted jobs keep their statistics in the retired
+    /// accumulator and answer [`ServeError::JobEvicted`] afterwards.
+    pub retain_ttl: Option<Duration>,
+    /// Upper bound on retained terminal jobs; beyond it the oldest are
+    /// evicted first, whatever the TTL says. This is the hard memory
+    /// bound of a long-lived server.
+    pub retain_max: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, queue_cap: 16, slice_evals: 64, default_timeout_ms: None }
+        ServeConfig {
+            workers: 2,
+            queue_cap: 16,
+            slice_evals: 64,
+            default_timeout_ms: None,
+            retain_ttl: None,
+            retain_max: 1024,
+        }
     }
 }
 
@@ -77,6 +109,8 @@ struct JobRecord {
     cancel: Arc<AtomicBool>,
     cache: EvalCache,
     counter: SimCounter,
+    /// When the job reached a terminal state — the retention clock.
+    terminal_at: Option<Instant>,
 }
 
 impl JobRecord {
@@ -90,8 +124,17 @@ impl JobRecord {
             cancel: Arc::new(AtomicBool::new(false)),
             cache: EvalCache::default(),
             counter: SimCounter::new(),
+            terminal_at: None,
         }
     }
+}
+
+/// Accounting carried forward from evicted jobs, so `/stats` totals stay
+/// exact however many records the retention policy has dropped.
+#[derive(Debug, Default)]
+struct RetiredStats {
+    cache: StatsSnapshot,
+    jobs: u64,
 }
 
 #[derive(Debug)]
@@ -99,6 +142,11 @@ struct Shared {
     cfg: ServeConfig,
     /// Job registry; see the module docs for the lock order.
     jobs: Mutex<HashMap<u64, JobRecord>>,
+    /// Notified on every job state/status transition; pairs with `jobs`.
+    /// [`ServeHandle::wait`] blocks here instead of busy-polling.
+    state_cv: Condvar,
+    /// Statistics of evicted jobs; see the module docs for the lock order.
+    retired: Mutex<RetiredStats>,
     /// FIFO of queued job ids (drained jobs are requeued at the front).
     queue: Mutex<VecDeque<u64>>,
     queue_cv: Condvar,
@@ -111,7 +159,61 @@ struct Shared {
     jobs_submitted: AtomicU64,
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
+    jobs_timed_out: AtomicU64,
     jobs_cancelled: AtomicU64,
+}
+
+impl Shared {
+    /// Evicts terminal jobs the retention policy no longer keeps: every
+    /// one past its TTL, plus the oldest beyond the max-retained cap.
+    /// Each evicted job's statistics are folded into the retired
+    /// accumulator first, so server-wide totals never regress. Called
+    /// with the registry lock held; takes the retired lock inside it
+    /// (queue → jobs → retired, the fixed order).
+    fn evict_terminal(&self, jobs: &mut HashMap<u64, JobRecord>) {
+        let now = Instant::now();
+        let mut terminal: Vec<(u64, Instant)> = jobs
+            .iter()
+            .filter_map(|(&id, job)| job.terminal_at.map(|at| (id, at)))
+            .collect();
+        if terminal.is_empty() {
+            return;
+        }
+        terminal.sort_by_key(|&(_, at)| at);
+        let over_cap = terminal.len().saturating_sub(self.cfg.retain_max);
+        let expired =
+            |at: Instant| self.cfg.retain_ttl.is_some_and(|ttl| now.duration_since(at) >= ttl);
+        let doomed: Vec<u64> = terminal
+            .iter()
+            .enumerate()
+            .filter(|&(rank, &(_, at))| rank < over_cap || expired(at))
+            .map(|(_, &(id, _))| id)
+            .collect();
+        if doomed.is_empty() {
+            return;
+        }
+        let mut retired = self.retired.lock().expect(POISONED);
+        for id in doomed {
+            if let Some(job) = jobs.remove(&id) {
+                retired.cache = retired.cache.merged(job.cache.snapshot(&job.counter));
+                retired.jobs += 1;
+            }
+        }
+        drop(retired);
+        // Waiters on an evicted id must wake to observe JobEvicted.
+        self.state_cv.notify_all();
+    }
+
+    /// The error for an id absent from the registry: ids this server
+    /// assigned (they are dense, starting at 1) were evicted; anything
+    /// else was never known.
+    fn missing(&self, id: JobId) -> ServeError {
+        if (1..=self.next_id.load(Ordering::SeqCst)).contains(&id.0) {
+            ServeError::JobEvicted { id }
+        } else {
+            ServeError::UnknownJob { id }
+        }
+    }
 }
 
 /// A running placement service: worker pool + bounded queue + job
@@ -130,6 +232,8 @@ impl ServeEngine {
         let shared = Arc::new(Shared {
             cfg: ServeConfig { workers: worker_count, ..cfg },
             jobs: Mutex::new(HashMap::new()),
+            state_cv: Condvar::new(),
+            retired: Mutex::new(RetiredStats::default()),
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -141,6 +245,7 @@ impl ServeEngine {
             jobs_submitted: AtomicU64::new(0),
             jobs_done: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
         });
         let workers = (0..worker_count)
@@ -203,7 +308,13 @@ impl ServeHandle {
             return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_cap });
         }
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
-        self.shared.jobs.lock().expect(POISONED).insert(id, JobRecord::new(spec));
+        {
+            let mut jobs = self.shared.jobs.lock().expect(POISONED);
+            jobs.insert(id, JobRecord::new(spec));
+            // Submission is the natural beat of a busy server — enforce
+            // retention here so the registry never outgrows the policy.
+            self.shared.evict_terminal(&mut jobs);
+        }
         queue.push_back(id);
         self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.queue_cv.notify_one();
@@ -214,10 +325,12 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownJob`] for an id this server never assigned.
+    /// [`ServeError::UnknownJob`] for an id this server never assigned;
+    /// [`ServeError::JobEvicted`] for a terminal job the retention policy
+    /// already dropped.
     pub fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
         let jobs = self.shared.jobs.lock().expect(POISONED);
-        let job = jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
         Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
     }
 
@@ -227,15 +340,23 @@ impl ServeHandle {
     ///
     /// [`ServeError::NotReady`] until the job is [`JobState::Done`]
     /// (including failed/cancelled jobs, whose reason is echoed);
-    /// [`ServeError::UnknownJob`] for an unknown id.
+    /// [`ServeError::UnknownJob`] / [`ServeError::JobEvicted`] for an
+    /// unknown or evicted id.
     pub fn report(&self, id: JobId) -> Result<RunReport, ServeError> {
         let jobs = self.shared.jobs.lock().expect(POISONED);
-        let job = jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
         match (&job.state, &job.report) {
             (JobState::Done, Some(report)) => Ok((**report).clone()),
             (JobState::Failed { error }, _) => {
                 Err(ServeError::NotReady { reason: format!("job failed: {error}") })
             }
+            (JobState::TimedOut { resumable }, _) => Err(ServeError::NotReady {
+                reason: if *resumable {
+                    "job timed out; fetch its checkpoint and resume with a larger allowance".into()
+                } else {
+                    "job timed out before any slice completed".into()
+                },
+            }),
             (state, _) => Err(ServeError::NotReady {
                 reason: format!("job is {}; no final report", state.label()),
             }),
@@ -248,10 +369,11 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownJob`] for an unknown id.
+    /// [`ServeError::UnknownJob`] / [`ServeError::JobEvicted`] for an
+    /// unknown or evicted id.
     pub fn checkpoint(&self, id: JobId) -> Result<Option<RunCheckpoint>, ServeError> {
         let jobs = self.shared.jobs.lock().expect(POISONED);
-        let job = jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
         Ok(job.checkpoint.as_deref().cloned())
     }
 
@@ -262,16 +384,19 @@ impl ServeHandle {
     ///
     /// # Errors
     ///
-    /// [`ServeError::UnknownJob`] for an unknown id.
+    /// [`ServeError::UnknownJob`] / [`ServeError::JobEvicted`] for an
+    /// unknown or evicted id.
     pub fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError> {
         let mut queue = self.shared.queue.lock().expect(POISONED);
         let mut jobs = self.shared.jobs.lock().expect(POISONED);
-        let job = jobs.get_mut(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        let job = jobs.get_mut(&id.0).ok_or_else(|| self.shared.missing(id))?;
         match job.state {
             JobState::Queued => {
                 queue.retain(|&queued| queued != id.0);
                 job.state = JobState::Cancelled { resumable: job.checkpoint.is_some() };
+                job.terminal_at = Some(Instant::now());
                 self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+                self.shared.state_cv.notify_all();
             }
             JobState::Running => job.cancel.store(true, Ordering::SeqCst),
             _ => {}
@@ -284,11 +409,17 @@ impl ServeHandle {
     /// accounting.
     pub fn stats(&self) -> ServerStats {
         let queue_depth = self.shared.queue.lock().expect(POISONED).len();
-        let cache = {
-            let jobs = self.shared.jobs.lock().expect(POISONED);
-            jobs.values().fold(StatsSnapshot::default(), |acc, job| {
+        let (cache, jobs_retired) = {
+            // Lock order: jobs before retired (module docs).
+            let mut jobs = self.shared.jobs.lock().expect(POISONED);
+            // A stats poll is also a retention beat, so an idle server's
+            // TTL takes effect without waiting for the next submission.
+            self.shared.evict_terminal(&mut jobs);
+            let live = jobs.values().fold(StatsSnapshot::default(), |acc, job| {
                 acc.merged(job.cache.snapshot(&job.counter))
-            })
+            });
+            let retired = self.shared.retired.lock().expect(POISONED);
+            (retired.cache.merged(live), retired.jobs)
         };
         let shared = &self.shared;
         ServerStats {
@@ -306,7 +437,9 @@ impl ServeHandle {
             jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_done: shared.jobs_done.load(Ordering::Relaxed),
             jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_timed_out: shared.jobs_timed_out.load(Ordering::Relaxed),
             jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_retired,
             cache,
         }
     }
@@ -325,26 +458,32 @@ impl ServeHandle {
         self.shared.draining.load(Ordering::SeqCst)
     }
 
-    /// Polls `status` until the job reaches a terminal state or `timeout`
-    /// elapses — the in-process counterpart of an HTTP poll loop.
+    /// Blocks until the job reaches a terminal state or `timeout` elapses
+    /// — the in-process counterpart of an HTTP poll loop. Sleeps on the
+    /// engine's state condvar (woken at every job state/status
+    /// transition) rather than busy-polling.
     ///
     /// # Errors
     ///
-    /// [`ServeError::NotReady`] on timeout; [`ServeError::UnknownJob`]
-    /// for an unknown id.
+    /// [`ServeError::NotReady`] on timeout; [`ServeError::UnknownJob`] /
+    /// [`ServeError::JobEvicted`] for an unknown or evicted id.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Result<StatusResponse, ServeError> {
         let deadline = Instant::now() + timeout;
+        let mut jobs = self.shared.jobs.lock().expect(POISONED);
         loop {
-            let status = self.status(id)?;
-            if status.state.is_terminal() {
-                return Ok(status);
+            let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
+            if job.state.is_terminal() {
+                return Ok(StatusResponse { id, state: job.state.clone(), status: job.status });
             }
-            if Instant::now() >= deadline {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
                 return Err(ServeError::NotReady {
-                    reason: format!("job still {} after {timeout:?}", status.state.label()),
+                    reason: format!("job still {} after {timeout:?}", job.state.label()),
                 });
-            }
-            std::thread::sleep(Duration::from_millis(5));
+            };
+            // Spurious wakeups and unrelated transitions loop back to the
+            // state check; the deadline re-arms the wait each time.
+            let (guard, _) = self.shared.state_cv.wait_timeout(jobs, remaining).expect(POISONED);
+            jobs = guard;
         }
     }
 }
@@ -388,6 +527,7 @@ fn run_job(shared: &Shared, id: u64) {
             return;
         }
         job.state = JobState::Running;
+        shared.state_cv.notify_all();
         (
             job.spec.clone(),
             Arc::clone(&job.cancel),
@@ -418,6 +558,15 @@ fn run_job(shared: &Shared, id: u64) {
         .with_counter(counter.clone());
     let slice = spec.slice_evals.unwrap_or(shared.cfg.slice_evals).max(1);
     let timeout_ms = spec.timeout_ms.or(shared.cfg.default_timeout_ms);
+    // Wall clock spent on this job: what earlier servers/workers banked in
+    // the checkpoint, plus a real `Instant` spanning this worker's slices.
+    // Reading the *last checkpoint's* elapsed_ms instead (as this loop once
+    // did) is wrong twice over: it stays 0 until the first slice
+    // checkpoints — so a job whose first slice alone blows the budget is
+    // never timed out at that boundary — and per-slice truncation to whole
+    // milliseconds lets many fast slices accumulate no time at all.
+    let base_elapsed_ms = checkpoint.as_ref().map_or(0, |c| c.elapsed_ms);
+    let claimed = Instant::now();
 
     loop {
         // All preemption is observed here, at a quiescent point between
@@ -433,9 +582,13 @@ fn run_job(shared: &Shared, id: u64) {
             return;
         }
         if let Some(limit) = timeout_ms {
-            let spent = checkpoint.as_ref().map_or(0, |c| c.elapsed_ms);
+            let spent = base_elapsed_ms + claimed.elapsed().as_millis() as u64;
             if spent >= limit {
-                fail(shared, id, format!("wall-clock timeout: {spent} ms run (limit {limit} ms)"));
+                // A timeout is not a failure: the latest slice-boundary
+                // checkpoint stays behind, resumable like a cancellation.
+                let resumable = checkpoint.is_some();
+                set_terminal(shared, id, JobState::TimedOut { resumable }, None);
+                shared.jobs_timed_out.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
@@ -469,6 +622,7 @@ fn run_job(shared: &Shared, id: u64) {
                         job.status = Some(status);
                         job.checkpoint = Some(ckpt.clone());
                     }
+                    shared.state_cv.notify_all();
                 }
                 checkpoint = Some(ckpt);
             }
@@ -482,8 +636,10 @@ fn fail(shared: &Shared, id: u64, error: String) {
 }
 
 /// Installs a terminal state (and, for completions, the report plus a
-/// final status refresh). The latest checkpoint is deliberately retained
-/// for cancelled jobs — that is what makes them resumable.
+/// final status refresh), stamps the retention clock, wakes waiters, and
+/// applies the retention policy. The latest checkpoint is deliberately
+/// retained for cancelled and timed-out jobs — that is what makes them
+/// resumable.
 fn set_terminal(
     shared: &Shared,
     id: u64,
@@ -493,11 +649,14 @@ fn set_terminal(
     let mut jobs = shared.jobs.lock().expect(POISONED);
     if let Some(job) = jobs.get_mut(&id) {
         job.state = state;
+        job.terminal_at = Some(Instant::now());
         if let Some((report, status)) = completion {
             job.report = Some(report);
             job.status = Some(status);
         }
     }
+    shared.state_cv.notify_all();
+    shared.evict_terminal(&mut jobs);
 }
 
 /// Drain path: the job goes back to the queue *front* (it already made
@@ -509,6 +668,7 @@ fn requeue(shared: &Shared, id: u64) {
         if let Some(job) = jobs.get_mut(&id) {
             job.state = JobState::Queued;
         }
+        shared.state_cv.notify_all();
     }
     shared.queue.lock().expect(POISONED).push_front(id);
 }

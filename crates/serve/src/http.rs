@@ -1,12 +1,18 @@
 //! Minimal HTTP/1.1 front-end over a [`ServeHandle`], built on
 //! `std::net` only — no async runtime, no HTTP crate.
 //!
-//! One accept thread serves connections sequentially; every response is
-//! JSON and closes the connection. That is deliberately modest — the
-//! expensive work happens on the engine's worker pool, and every endpoint
-//! is a sub-millisecond registry lookup — but it keeps the whole wire
-//! stack inside the standard library, which the offline build environment
-//! requires.
+//! One accept thread hands sockets to a bounded pool of
+//! connection-handler threads over an in-process queue; every response is
+//! JSON and closes the connection. The pool is what keeps one slow or
+//! stalled client from head-of-line-blocking everyone else: a handler
+//! stuck in the 10 s socket timeout occupies one slot while the other
+//! handlers keep serving, and when every slot *and* the hand-off queue
+//! are busy the accept thread answers 503 immediately rather than
+//! queueing unbounded sockets. Request parsing is bounded end to end —
+//! header bytes and line counts are capped (431), bodies are capped
+//! (400), and chunked transfer encoding is refused (501) — so a hostile
+//! client cannot balloon memory. All of it stays inside the standard
+//! library, which the offline build environment requires.
 //!
 //! # Endpoints
 //!
@@ -26,10 +32,11 @@
 //! [`ServerStats`]: crate::protocol::ServerStats
 //! [`StatusResponse`]: crate::protocol::StatusResponse
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -42,43 +49,149 @@ use crate::protocol::{JobId, JobSpec, ServeError, SubmitResponse};
 /// enough that a hostile Content-Length cannot balloon memory.
 const MAX_BODY_BYTES: u64 = 4 * 1024 * 1024;
 
-/// Per-connection socket timeout, so a stalled client cannot wedge the
-/// accept thread.
+/// Total bytes accepted for the request line plus all headers. A single
+/// `read_line` into a `String` is otherwise unbounded — a client that
+/// never sends `\r\n` could grow it until memory runs out.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Maximum header lines per request, so a drip-feed of tiny headers
+/// cannot hold a handler hostage within the byte budget.
+const MAX_HEADER_LINES: usize = 64;
+
+/// Per-connection socket timeout, so a stalled client caps how long it
+/// can occupy one handler slot.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
+/// Default size of the connection-handler pool ([`HttpServer::bind`]).
+pub const DEFAULT_CONN_WORKERS: usize = 4;
+
+/// Accepted sockets waiting for a handler, per handler thread. Beyond
+/// this the accept thread sheds load with an immediate 503 instead of
+/// queueing sockets without bound.
+const PENDING_PER_WORKER: usize = 8;
+
+/// The accept thread's hand-off point to the handler pool: a bounded
+/// queue of accepted sockets plus the shutdown latch.
+#[derive(Debug)]
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    cap: usize,
+    stop: AtomicBool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            pending: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            cap,
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Hands an accepted socket to the pool; a full queue returns the
+    /// socket so the caller can shed the connection.
+    fn push(&self, stream: TcpStream) -> Option<TcpStream> {
+        let mut pending = self.pending.lock().expect("http conn queue poisoned");
+        if pending.len() >= self.cap {
+            return Some(stream);
+        }
+        pending.push_back(stream);
+        self.available.notify_one();
+        None
+    }
+
+    /// Blocks until a socket is available or the server stops; `None`
+    /// means shut down.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut pending = self.pending.lock().expect("http conn queue poisoned");
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(stream) = pending.pop_front() {
+                return Some(stream);
+            }
+            pending = self.available.wait(pending).expect("http conn queue poisoned");
+        }
+    }
+
+    fn shut_down(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+}
+
 /// A running HTTP listener bound to a [`ServeHandle`]. Dropping it (or
-/// calling [`HttpServer::stop`]) stops the accept thread; the engine
-/// behind the handle keeps running and is shut down separately.
+/// calling [`HttpServer::stop`]) stops the accept thread and the handler
+/// pool; the engine behind the handle keeps running and is shut down
+/// separately.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    queue: Arc<ConnQueue>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl HttpServer {
-    /// Binds the listener and starts the accept thread. Bind to port 0 to
-    /// let the OS pick a free port, then read it back from
-    /// [`HttpServer::addr`].
+    /// Binds the listener with [`DEFAULT_CONN_WORKERS`] connection
+    /// handlers. Bind to port 0 to let the OS pick a free port, then read
+    /// it back from [`HttpServer::addr`].
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
     pub fn bind(handle: ServeHandle, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(handle, addr, DEFAULT_CONN_WORKERS)
+    }
+
+    /// Binds the listener and starts one accept thread plus
+    /// `conn_workers` connection-handler threads (clamped to at least 1).
+    /// The accept thread only moves sockets onto the hand-off queue, so a
+    /// client that stalls mid-request ties up one handler slot — never
+    /// the accept path or the other handlers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with(
+        handle: ServeHandle,
+        addr: impl ToSocketAddrs,
+        conn_workers: usize,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept + short sleeps, so the thread can observe
         // the stop flag without a self-connect dance.
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread = {
-            let stop = Arc::clone(&stop);
+        let conn_workers = conn_workers.max(1);
+        let queue = Arc::new(ConnQueue::new(conn_workers * PENDING_PER_WORKER));
+        let mut threads = Vec::with_capacity(conn_workers + 1);
+        threads.push({
+            let queue = Arc::clone(&queue);
             std::thread::Builder::new()
                 .name("breaksym-serve-http".into())
-                .spawn(move || accept_loop(&listener, &handle, &stop))
+                .spawn(move || accept_loop(&listener, &queue))
                 .expect("http accept thread spawns")
-        };
-        Ok(HttpServer { addr, stop, thread: Some(thread) })
+        });
+        for i in 0..conn_workers {
+            let queue = Arc::clone(&queue);
+            let handle = handle.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("breaksym-serve-conn-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            // A broken connection is the client's problem,
+                            // not the server's: log-free best effort.
+                            let _ = handle_connection(&handle, stream);
+                        }
+                    })
+                    .expect("http handler threads spawn"),
+            );
+        }
+        Ok(HttpServer { addr, queue, threads })
     }
 
     /// The bound address (with the OS-assigned port when bound to port 0).
@@ -86,10 +199,11 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops the accept thread and waits for it to exit. Idempotent.
+    /// Stops the accept thread and the handler pool and waits for them to
+    /// exit; queued-but-unserved sockets are dropped. Idempotent.
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(thread) = self.thread.take() {
+        self.queue.shut_down();
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
@@ -101,13 +215,15 @@ impl Drop for HttpServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &AtomicBool) {
-    while !stop.load(Ordering::SeqCst) {
+fn accept_loop(listener: &TcpListener, queue: &ConnQueue) {
+    while !queue.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // A broken connection is the client's problem, not the
-                // server's: log-free best effort, keep accepting.
-                let _ = handle_connection(handle, stream);
+                if let Some(rejected) = queue.push(stream) {
+                    // Every handler busy and the queue full: shed load
+                    // now, best effort, instead of parking the socket.
+                    let _ = reject_busy(rejected);
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -117,45 +233,142 @@ fn accept_loop(listener: &TcpListener, handle: &ServeHandle, stop: &AtomicBool) 
     }
 }
 
+/// 503 for a connection the pool has no room for. Bounded by a short
+/// write timeout so a client that refuses to read cannot stall accepts.
+fn reject_busy(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(Duration::from_millis(250)))?;
+    let body = "{\"error\": \"busy\", \"reason\": \"all connection handlers are busy; retry\"}";
+    write_response(&mut stream, 503, body)
+}
+
+/// One header (or request) line, read with a hard byte budget.
+enum HeaderLine {
+    /// A complete line, terminator trimmed.
+    Line(String),
+    /// The byte budget ran out before the line terminator arrived.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `budget` bytes, decrementing the budget by what was consumed.
+fn read_line_capped(reader: &mut impl BufRead, budget: &mut usize) -> io::Result<HeaderLine> {
+    let mut line = String::new();
+    // `take` bounds how much read_line can pull: one byte beyond the
+    // budget distinguishes "exactly fits" from "still no terminator".
+    let n = reader.by_ref().take(*budget as u64 + 1).read_line(&mut line)?;
+    if n > *budget {
+        return Ok(HeaderLine::TooLong);
+    }
+    *budget -= n;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(HeaderLine::Line(line))
+}
+
 fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
     stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
 
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let mut header_budget = MAX_HEADER_BYTES;
+    let request_line = match read_line_capped(&mut reader, &mut header_budget)? {
+        HeaderLine::Line(line) => line,
+        HeaderLine::TooLong => {
+            return reject(stream, reader, 431, &header_overflow_body());
+        }
+    };
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     // Strip any query string: routing is path-only.
     let path = parts.next().unwrap_or("").split('?').next().unwrap_or("").to_string();
 
     let mut content_length: u64 = 0;
+    let mut chunked = false;
+    let mut lines = 0usize;
     loop {
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let line = line.trim_end();
+        let line = match read_line_capped(&mut reader, &mut header_budget)? {
+            HeaderLine::Line(line) => line,
+            HeaderLine::TooLong => {
+                return reject(stream, reader, 431, &header_overflow_body());
+            }
+        };
         if line.is_empty() {
             break;
         }
+        lines += 1;
+        if lines > MAX_HEADER_LINES {
+            return reject(stream, reader, 431, &header_overflow_body());
+        }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.to_ascii_lowercase().contains("chunked")
+            {
+                chunked = true;
             }
         }
     }
 
-    let (status, body) = if content_length > MAX_BODY_BYTES {
+    if chunked {
+        // Pretending a chunked body is empty would silently mis-serve the
+        // request; saying so costs one status code.
+        let err = ServeError::BadRequest {
+            reason: "chunked transfer encoding is not supported; send Content-Length".into(),
+        };
+        return reject(stream, reader, 501, &json(501, &err).1);
+    }
+    if content_length > MAX_BODY_BYTES {
         let err = ServeError::BadRequest { reason: format!("body exceeds {MAX_BODY_BYTES} bytes") };
-        json(err.http_status(), &err)
-    } else {
-        // Read the body through the same BufReader — its buffer may
-        // already hold body bytes pulled in while reading the headers.
-        let mut request_body = vec![0u8; content_length as usize];
-        reader.read_exact(&mut request_body)?;
-        route(handle, &method, &path, &request_body)
-    };
+        return reject(stream, reader, err.http_status(), &json(err.http_status(), &err).1);
+    }
+    // Read the body through the same BufReader — its buffer may already
+    // hold body bytes pulled in while reading the headers.
+    let mut request_body = vec![0u8; content_length as usize];
+    reader.read_exact(&mut request_body)?;
+    let (status, body) = route(handle, &method, &path, &request_body);
     write_response(&mut stream, status, &body)
+}
+
+/// Most bytes a rejected request's unread remainder is drained for.
+const MAX_DRAIN_BYTES: usize = 256 * 1024;
+
+/// Answers an early-rejected request whose body was never read. The
+/// response goes out first, then the write side shuts down and the
+/// unread input is drained (bounded in bytes and time) — closing with
+/// unread data would send an RST that can beat the response bytes to the
+/// client and destroy them.
+fn reject(
+    mut stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+    status: u16,
+    body: &str,
+) -> io::Result<()> {
+    write_response(&mut stream, status, body)?;
+    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < MAX_DRAIN_BYTES {
+        match reader.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+    Ok(())
+}
+
+fn header_overflow_body() -> String {
+    let err = ServeError::BadRequest {
+        reason: format!(
+            "request headers exceed {MAX_HEADER_BYTES} bytes or {MAX_HEADER_LINES} lines"
+        ),
+    };
+    json(431, &err).1
 }
 
 /// Maps one request to a `(status, JSON body)` pair.
@@ -233,8 +446,11 @@ fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         409 => "Conflict",
+        410 => "Gone",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -272,8 +488,31 @@ mod tests {
 
     #[test]
     fn status_reasons_cover_every_serve_error() {
-        for status in [200u16, 400, 404, 409, 429, 500, 503] {
+        for status in [200u16, 400, 404, 409, 410, 429, 431, 500, 501, 503] {
             assert_ne!(status_reason(status), "Unknown", "{status}");
+        }
+    }
+
+    #[test]
+    fn capped_line_reader_enforces_its_budget() {
+        let mut budget = 16;
+        let mut reader = BufReader::new(&b"GET /stats HTTP/1.1\r\n"[..]);
+        match read_line_capped(&mut reader, &mut budget).unwrap() {
+            HeaderLine::TooLong => {}
+            HeaderLine::Line(line) => panic!("21-byte line fit a 16-byte budget: {line:?}"),
+        }
+
+        let mut budget = 64;
+        let mut reader = BufReader::new(&b"Host: test\r\nX: y\r\n"[..]);
+        match read_line_capped(&mut reader, &mut budget).unwrap() {
+            HeaderLine::Line(line) => assert_eq!(line, "Host: test"),
+            HeaderLine::TooLong => panic!("a short line must fit"),
+        }
+        // The budget shrinks by the consumed bytes (terminator included).
+        assert_eq!(budget, 64 - "Host: test\r\n".len());
+        match read_line_capped(&mut reader, &mut budget).unwrap() {
+            HeaderLine::Line(line) => assert_eq!(line, "X: y"),
+            HeaderLine::TooLong => panic!("the second line must fit too"),
         }
     }
 }

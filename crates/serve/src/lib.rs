@@ -8,10 +8,15 @@
 //! backpressure, executed in resumable slices by a fixed worker pool, and
 //! observable while they run — live best-cost, evaluation count, and
 //! cache statistics at every slice boundary. Jobs can be cancelled
-//! mid-run (keeping a resumable checkpoint) and a draining server
+//! mid-run (keeping a resumable checkpoint), time out at slice
+//! boundaries (also keeping their checkpoint), and a draining server
 //! requeues in-flight work with its checkpoint instead of discarding it.
-//! Because slicing rides the driver's checkpoint/resume path, a served
-//! run's report is bit-identical to the same run executed directly.
+//! Terminal jobs are retained under a configurable TTL and cap
+//! ([`ServeConfig::retain_ttl`] / [`ServeConfig::retain_max`]); evicted
+//! jobs keep their statistics in `/stats` and answer
+//! [`ServeError::JobEvicted`] (HTTP 410). Because slicing rides the
+//! driver's checkpoint/resume path, a served run's report is
+//! bit-identical to the same run executed directly.
 //!
 //! Three layers, one per module:
 //!
@@ -21,7 +26,9 @@
 //!   [`ServeHandle`] client;
 //! - [`http`] — a minimal std-only HTTP/1.1 front-end
 //!   ([`HttpServer`]) exposing the same operations to external callers
-//!   (`repro serve` wires it to a CLI).
+//!   (`repro serve` wires it to a CLI): one accept thread feeding a
+//!   bounded pool of connection handlers, so a stalled client occupies
+//!   one handler slot instead of blocking every request behind it.
 //!
 //! # Example
 //!
@@ -62,7 +69,7 @@ pub mod http;
 pub mod protocol;
 
 pub use engine::{ServeConfig, ServeEngine, ServeHandle};
-pub use http::HttpServer;
+pub use http::{HttpServer, DEFAULT_CONN_WORKERS};
 pub use protocol::{
     JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse, SubmitResponse,
     TaskSpec,

@@ -159,10 +159,17 @@ pub enum JobState {
     Running,
     /// Finished; the final `RunReport` is fetchable.
     Done,
-    /// The job errored or hit its wall-clock timeout.
+    /// The job errored.
     Failed {
         /// What went wrong.
         error: String,
+    },
+    /// The job exceeded its wall-clock timeout. Like cancellation, the
+    /// latest slice-boundary checkpoint is retained, so a timed-out job
+    /// can be resumed with a larger allowance.
+    TimedOut {
+        /// Whether a mid-run checkpoint was captured to resume from.
+        resumable: bool,
     },
     /// Cancelled by request.
     Cancelled {
@@ -174,7 +181,13 @@ pub enum JobState {
 impl JobState {
     /// Whether the job will make no further progress.
     pub fn is_terminal(&self) -> bool {
-        matches!(self, JobState::Done | JobState::Failed { .. } | JobState::Cancelled { .. })
+        matches!(
+            self,
+            JobState::Done
+                | JobState::Failed { .. }
+                | JobState::TimedOut { .. }
+                | JobState::Cancelled { .. }
+        )
     }
 
     /// The state's wire tag, for human-readable messages.
@@ -184,6 +197,7 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed { .. } => "failed",
+            JobState::TimedOut { .. } => "timed_out",
             JobState::Cancelled { .. } => "cancelled",
         }
     }
@@ -245,12 +259,21 @@ pub struct ServerStats {
     pub jobs_submitted: u64,
     /// Jobs finished with a report.
     pub jobs_done: u64,
-    /// Jobs failed (including timeouts).
+    /// Jobs that errored.
     pub jobs_failed: u64,
+    /// Jobs that hit their wall-clock timeout.
+    #[serde(default)]
+    pub jobs_timed_out: u64,
     /// Jobs cancelled.
     pub jobs_cancelled: u64,
-    /// Aggregate cache effectiveness and simulations served, the
-    /// field-wise sum of every job's snapshot.
+    /// Terminal jobs evicted from the registry by the retention policy
+    /// (TTL or max-retained cap); their cache accounting lives on in
+    /// [`ServerStats::cache`].
+    #[serde(default)]
+    pub jobs_retired: u64,
+    /// Aggregate cache effectiveness and simulations served: the
+    /// field-wise sum of every live job's snapshot plus the retired
+    /// accumulator, so totals stay exact across evictions.
     pub cache: StatsSnapshot,
 }
 
@@ -280,6 +303,13 @@ pub enum ServeError {
         /// The id that failed to resolve.
         id: JobId,
     },
+    /// The job existed, reached a terminal state, and was evicted by the
+    /// retention policy — distinct from an id that was never assigned
+    /// (HTTP 410).
+    JobEvicted {
+        /// The evicted job's id.
+        id: JobId,
+    },
     /// The request is malformed (HTTP 400).
     BadRequest {
         /// What was wrong with it.
@@ -301,6 +331,7 @@ impl ServeError {
         match self {
             ServeError::QueueFull { .. } => 429,
             ServeError::UnknownJob { .. } => 404,
+            ServeError::JobEvicted { .. } => 410,
             ServeError::BadRequest { .. } => 400,
             ServeError::NotReady { .. } => 409,
             ServeError::ShuttingDown => 503,
@@ -315,6 +346,9 @@ impl fmt::Display for ServeError {
                 write!(f, "queue full ({capacity} jobs waiting); retry later")
             }
             ServeError::UnknownJob { id } => write!(f, "no job with id {id}"),
+            ServeError::JobEvicted { id } => {
+                write!(f, "job {id} finished and was evicted by the retention policy")
+            }
             ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
             ServeError::NotReady { reason } => write!(f, "not ready: {reason}"),
             ServeError::ShuttingDown => write!(f, "server is draining; no new work accepted"),
@@ -386,10 +420,41 @@ mod tests {
     fn errors_carry_http_statuses() {
         assert_eq!(ServeError::QueueFull { capacity: 4 }.http_status(), 429);
         assert_eq!(ServeError::UnknownJob { id: JobId(9) }.http_status(), 404);
+        assert_eq!(ServeError::JobEvicted { id: JobId(9) }.http_status(), 410);
         assert_eq!(ServeError::BadRequest { reason: "x".into() }.http_status(), 400);
         assert_eq!(ServeError::NotReady { reason: "x".into() }.http_status(), 409);
         assert_eq!(ServeError::ShuttingDown.http_status(), 503);
         let v = serde_json::to_value(ServeError::QueueFull { capacity: 4 }).unwrap();
         assert_eq!(v["error"], "queue_full");
+        let v = serde_json::to_value(ServeError::JobEvicted { id: JobId(9) }).unwrap();
+        assert_eq!(v["error"], "job_evicted");
+    }
+
+    #[test]
+    fn timed_out_is_terminal_and_round_trips() {
+        let state = JobState::TimedOut { resumable: true };
+        assert!(state.is_terminal());
+        assert_eq!(state.label(), "timed_out");
+        let v = serde_json::to_value(&state).unwrap();
+        assert_eq!(v["state"], "timed_out");
+        assert_eq!(v["resumable"], true);
+        let back: JobState = serde_json::from_value(v).unwrap();
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn server_stats_retention_fields_default_for_old_payloads() {
+        // A pre-retention /stats payload (no jobs_timed_out/jobs_retired)
+        // still parses, with the new counters defaulting to zero.
+        let old = serde_json::json!({
+            "queue_depth": 0, "queue_cap": 16, "workers": 2, "busy_workers": 0,
+            "worker_jobs": [0, 0], "worker_busy_ms": [0, 0], "uptime_ms": 1,
+            "jobs_submitted": 0, "jobs_done": 0, "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "cache": {"hits": 0, "misses": 0, "entries": 0, "sims": 0}
+        });
+        let stats: ServerStats = serde_json::from_value(old).unwrap();
+        assert_eq!(stats.jobs_timed_out, 0);
+        assert_eq!(stats.jobs_retired, 0);
     }
 }

@@ -1,6 +1,8 @@
 //! End-to-end tests of the placement service: bit-identity of served runs
 //! against direct driver runs, queue backpressure, mid-run cancellation
-//! with resumable checkpoints, graceful drain, and the HTTP front-end.
+//! with resumable checkpoints, graceful drain, terminal-job retention,
+//! wall-clock timeouts, and the HTTP front-end (including its resistance
+//! to stalled and hostile clients).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -229,6 +231,203 @@ fn http_request(
     let payload = response.split("\r\n\r\n").nth(1).unwrap_or("");
     let value = serde_json::from_str(payload).expect("JSON body");
     (status, value)
+}
+
+#[test]
+fn eviction_preserves_stats_totals_and_answers_410() {
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        slice_evals: 25,
+        retain_max: 1,
+        ..ServeConfig::default()
+    });
+    let handle = engine.handle();
+
+    // The same deterministic job twice, so each run's private cache and
+    // simulation accounting is bit-identical.
+    let spec = || {
+        let mut spec = JobSpec::new(TaskSpec::benchmark("cm", 7), MethodSpec::Mlma(quick_cfg()));
+        spec.seed = Some(9);
+        spec
+    };
+    let first = handle.submit(spec()).unwrap();
+    let done = handle.wait(first, Duration::from_secs(120)).unwrap();
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+    let before = handle.stats();
+    assert_eq!(before.jobs_retired, 0);
+    assert!(before.cache.sims > 0);
+    handle.report(first).unwrap();
+
+    let second = handle.submit(spec()).unwrap();
+    let done = handle.wait(second, Duration::from_secs(120)).unwrap();
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+
+    // The second completion pushed the retained-terminal count past the
+    // cap, evicting the oldest terminal job — distinguishable from an id
+    // that never existed.
+    match handle.status(first) {
+        Err(ServeError::JobEvicted { id }) => assert_eq!(id, first),
+        other => panic!("expected JobEvicted, got {other:?}"),
+    }
+    match handle.report(first) {
+        Err(ServeError::JobEvicted { .. }) => {}
+        other => panic!("expected JobEvicted, got {other:?}"),
+    }
+    match handle.status(JobId(999)) {
+        Err(ServeError::UnknownJob { .. }) => {}
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
+
+    // The retired accumulator keeps `/stats` totals exact: two identical
+    // jobs, so exactly double one job's accounting, eviction or not.
+    let after = handle.stats();
+    assert_eq!(after.jobs_retired, 1);
+    assert_eq!(after.jobs_done, 2);
+    assert_eq!(after.cache.sims, 2 * before.cache.sims);
+    assert_eq!(after.cache.hits, 2 * before.cache.hits);
+    assert_eq!(after.cache.misses, 2 * before.cache.misses);
+    handle.report(second).unwrap();
+
+    // Over HTTP the eviction maps to 410 Gone.
+    let mut server = HttpServer::bind(engine.handle(), "127.0.0.1:0").unwrap();
+    let (status, v) = http_request(server.addr(), "GET", &format!("/jobs/{first}"), "");
+    assert_eq!(status, 410, "{v}");
+    assert_eq!(v["error"], "job_evicted");
+    server.stop();
+    engine.shutdown();
+}
+
+#[test]
+fn terminal_ttl_evicts_on_the_stats_beat() {
+    let engine = ServeEngine::start(ServeConfig {
+        workers: 1,
+        slice_evals: 25,
+        retain_ttl: Some(Duration::from_millis(50)),
+        ..ServeConfig::default()
+    });
+    let handle = engine.handle();
+
+    let mut spec = JobSpec::new(TaskSpec::benchmark("diff_pair", 7), MethodSpec::Mlma(quick_cfg()));
+    spec.seed = Some(13);
+    let id = handle.submit(spec).unwrap();
+    let done = handle.wait(id, Duration::from_secs(120)).unwrap();
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+    let before = handle.stats();
+
+    // Past the TTL, the next stats poll retires the job; the cache
+    // totals survive the record.
+    std::thread::sleep(Duration::from_millis(80));
+    let after = handle.stats();
+    assert_eq!(after.jobs_retired, 1);
+    assert_eq!(after.cache, before.cache);
+    match handle.status(id) {
+        Err(ServeError::JobEvicted { .. }) => {}
+        other => panic!("expected JobEvicted, got {other:?}"),
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn first_slice_longer_than_the_timeout_still_times_out() {
+    let engine = ServeEngine::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let handle = engine.handle();
+
+    // One 400-eval slice of an effectively endless run takes far longer
+    // than the 150 ms wall budget. The old accounting read elapsed time
+    // from the *last checkpoint* — 0 until a slice completed, and
+    // truncated to whole milliseconds per slice — so a job like this
+    // could sail straight past its timeout.
+    let mut spec = long_spec(21);
+    spec.slice_evals = Some(400);
+    spec.timeout_ms = Some(150);
+    let id = handle.submit(spec).unwrap();
+
+    let done = handle.wait(id, Duration::from_secs(120)).unwrap();
+    match done.state {
+        // Timed out at the first slice boundary, keeping the checkpoint.
+        JobState::TimedOut { resumable } => assert!(resumable),
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    let ckpt = handle.checkpoint(id).unwrap().expect("timed-out job keeps its checkpoint");
+    assert!(ckpt.evals > 0);
+    match handle.report(id) {
+        Err(ServeError::NotReady { reason }) => {
+            assert!(reason.contains("timed out"), "{reason}")
+        }
+        other => panic!("expected NotReady, got {other:?}"),
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.jobs_timed_out, 1);
+    assert_eq!(stats.jobs_failed, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn stalled_connections_do_not_block_other_requests() {
+    let engine = ServeEngine::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut server = HttpServer::bind(engine.handle(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // Clients that open a connection, send half a request line, and go
+    // silent. A sequential accept loop would sit in each one's 10 s
+    // socket timeout while every later request waits behind it.
+    let stalled: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"GET /sta").unwrap();
+            stream
+        })
+        .collect();
+    // Give the handler pool time to pick the stalled sockets up, so the
+    // fast request genuinely arrives behind them.
+    std::thread::sleep(Duration::from_millis(200));
+
+    let started = Instant::now();
+    let (status, v) = http_request(addr, "GET", "/stats", "");
+    let waited = started.elapsed();
+    assert_eq!(status, 200, "{v}");
+    assert!(
+        waited < Duration::from_secs(5),
+        "a stalled client must not delay other requests ({waited:?})"
+    );
+
+    drop(stalled);
+    server.stop();
+    engine.shutdown();
+}
+
+#[test]
+fn oversized_headers_and_chunked_bodies_are_rejected() {
+    let engine = ServeEngine::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let mut server = HttpServer::bind(engine.handle(), "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    // A 64 KiB header line must bounce off the 8 KiB budget with 431,
+    // not get buffered into an ever-growing String.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let huge = "a".repeat(64 * 1024);
+    stream
+        .write_all(format!("GET /stats HTTP/1.1\r\nX-Huge: {huge}\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+
+    // Chunked uploads are refused loudly (501), not treated as empty.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /jobs HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 501"), "{response}");
+
+    // A sane request on the same server still works afterwards.
+    let (status, _) = http_request(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+
+    server.stop();
+    engine.shutdown();
 }
 
 #[test]
