@@ -1,0 +1,48 @@
+//! Criterion benches of the failpoint fast path.
+//!
+//! The whole design contract of `breaksym_testkit::fault` is that a
+//! *disarmed* failpoint costs one relaxed atomic load — cheap enough to
+//! leave compiled into production seams like the evaluator's oracle
+//! call. Three measurements pin that down:
+//!
+//! - `disarmed_hit` — the raw `fault::hit` call with nothing installed
+//!   (the cost every production call site pays, expected ~1 ns);
+//! - `armed_other_site` — a plan is installed but targets a different
+//!   site: the slow path runs (per-site counter + trigger scan) without
+//!   matching, the worst case a non-faulted site pays during a test;
+//! - `evaluate_disarmed` — a full oracle evaluation through the
+//!   `sim::evaluate` failpoint, showing the check vanishes inside real
+//!   work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use breaksym_geometry::GridSpec;
+use breaksym_layout::LayoutEnv;
+use breaksym_lde::LdeModel;
+use breaksym_netlist::circuits;
+use breaksym_sim::{Evaluator, FAIL_EVALUATE};
+use breaksym_testkit::{fault, FaultAction, FaultPlan};
+
+fn bench_failpoints(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failpoint");
+
+    g.bench_function("disarmed_hit", |b| b.iter(|| fault::hit(black_box(FAIL_EVALUATE))));
+
+    {
+        let _guard =
+            fault::install(FaultPlan::new().with("bench::elsewhere", 1, FaultAction::Drop));
+        g.bench_function("armed_other_site", |b| b.iter(|| fault::hit(black_box(FAIL_EVALUATE))));
+    }
+
+    let env = LayoutEnv::sequential(circuits::diff_pair(), GridSpec::square(10)).expect("fits");
+    let eval = Evaluator::new(LdeModel::nonlinear(1.0, 7));
+    g.bench_function("evaluate_disarmed", |b| {
+        b.iter(|| eval.evaluate(black_box(&env)).expect("simulates"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_failpoints);
+criterion_main!(benches);

@@ -8,7 +8,11 @@
 //!
 //! Subcommands: `fig1`, `fig2`, `fig3`, `ablation-traj`,
 //! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`,
-//! `portfolio`, `serve`, `all`.
+//! `portfolio`, `serve`, `chaos`, `all`.
+//!
+//! `chaos --seed N` runs the seeded fault-injection harness twice and
+//! fails (exit 1) if any invariant breaks or the two runs differ — the
+//! determinism check in executable form.
 //!
 //! Ctrl-C is latched, never fatal mid-write: figure runs stop cleanly at
 //! the next experiment boundary (exit 130), and `serve` drains its worker
@@ -19,6 +23,7 @@ use std::env;
 use std::time::Duration;
 
 use breaksym_bench as bench;
+use breaksym_serve::chaos::{run_chaos, ChaosConfig};
 use breaksym_serve::{HttpServer, ServeConfig, ServeEngine};
 
 /// A latched SIGINT flag, installed with raw `signal(2)` so no external
@@ -129,6 +134,10 @@ fn main() {
     let argv: Vec<String> = env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         serve(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("chaos") {
+        chaos(&argv[1..]);
         return;
     }
     let args = parse_args();
@@ -269,7 +278,7 @@ fn main() {
     }
     if !ran {
         die(&format!(
-            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve all)",
+            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve chaos all)",
             args.cmd
         ));
     }
@@ -377,6 +386,81 @@ fn serve(flags: &[String]) {
         stats.jobs_done, stats.jobs_failed, stats.jobs_cancelled, stats.queue_depth, stats.cache
     );
     std::process::exit(if interrupted { 130 } else { 0 });
+}
+
+/// `repro chaos` — run the seeded chaos/invariant harness twice with the
+/// same seed, assert every invariant held in both runs, and assert the
+/// two reports (fault plan, job states, verdicts) are identical. Exit 0
+/// only if chaos is both survivable and deterministic.
+fn chaos(flags: &[String]) {
+    let mut cfg = ChaosConfig::default();
+    let mut json = false;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                cfg.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--jobs" => {
+                cfg.jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs an integer"))
+            }
+            "--faults" => {
+                cfg.faults = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--faults needs an integer"))
+            }
+            "--json" => json = true,
+            other => {
+                die(&format!("unknown chaos flag `{other}` (try: --seed --jobs --faults --json)"))
+            }
+        }
+    }
+
+    println!(
+        "== chaos — seed {}, {} jobs, {} sampled faults, {} worker ==",
+        cfg.seed, cfg.jobs, cfg.faults, cfg.workers
+    );
+    let first = run_chaos(&cfg);
+    let second = run_chaos(&cfg);
+
+    if json {
+        let doc = serde_json::json!({ "experiment": "chaos", "report": first });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialises"));
+    } else {
+        println!("fault plan: {} triggers", first.plan.triggers.len());
+        for t in &first.plan.triggers {
+            println!("  {} @ hit {} -> {:?}", t.site, t.at, t.action);
+        }
+        println!("job states: {:?}", first.job_states);
+        for inv in &first.invariants {
+            println!("  [{}] {} — {}", if inv.ok { "ok" } else { "FAIL" }, inv.name, inv.details);
+        }
+    }
+
+    let deterministic = first == second;
+    if !deterministic {
+        eprintln!("repro chaos: NON-DETERMINISTIC — two runs with seed {} differ", cfg.seed);
+        eprintln!("  first : {:?} / {:?}", first.job_states, first.invariants);
+        eprintln!("  second: {:?} / {:?}", second.job_states, second.invariants);
+    }
+    let ok = first.ok() && second.ok() && deterministic;
+    println!(
+        "chaos verdict: invariants {}, determinism {}",
+        if first.ok() && second.ok() {
+            "held"
+        } else {
+            "VIOLATED"
+        },
+        if deterministic { "held" } else { "VIOLATED" },
+    );
+    std::process::exit(if ok { 0 } else { 1 });
 }
 
 fn fig1(seed: u64) {

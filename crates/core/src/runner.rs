@@ -21,6 +21,7 @@ use std::time::Instant;
 use breaksym_anneal::{Annealer, RandomSearch, SaConfig};
 use breaksym_layout::{LayoutEnv, Placement};
 use breaksym_sim::{EvalCache, Evaluator, Metrics, SimCounter, DEFAULT_CACHE_CAPACITY};
+use breaksym_testkit::{real_clock, SharedClock};
 use serde::{Deserialize, Serialize};
 
 use crate::mlma::Sample;
@@ -283,6 +284,7 @@ pub struct Driver {
     shared_cache: Option<EvalCache>,
     counter: Option<SimCounter>,
     checkpoint_every: Option<u64>,
+    clock: SharedClock,
 }
 
 /// How a bounded slice of a driven run ended — the return of
@@ -318,7 +320,23 @@ impl Driver {
             shared_cache: None,
             counter: None,
             checkpoint_every: None,
+            clock: real_clock(),
         }
+    }
+
+    /// Overrides the wall-clock source (default: the real monotonic
+    /// clock). Tests inject a [`TestClock`](breaksym_testkit::TestClock)
+    /// here so wall-clock budgets and `elapsed_ms` accounting become
+    /// deterministic.
+    #[must_use]
+    pub fn with_clock(mut self, clock: SharedClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Milliseconds of (possibly virtual) wall clock since `started`.
+    fn elapsed_ms_since(&self, started: Instant) -> u64 {
+        self.clock.now().duration_since(started).as_millis() as u64
     }
 
     /// Overrides the report's method label (defaults to
@@ -396,7 +414,7 @@ impl Driver {
         opt: &mut O,
         mut on_checkpoint: impl FnMut(&RunCheckpoint),
     ) -> Result<RunReport, PlaceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
             self.prepare(task)?;
         let mut sample = sample_closure(&evaluator, &objective);
@@ -466,7 +484,7 @@ impl Driver {
         ckpt: &RunCheckpoint,
         mut on_checkpoint: impl FnMut(&RunCheckpoint),
     ) -> Result<RunReport, PlaceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
             self.prepare(task)?;
         opt.restore(&ckpt.optimizer).map_err(|e| PlaceError::BadConfig {
@@ -529,7 +547,7 @@ impl Driver {
         opt: &mut O,
         slice_evals: u64,
     ) -> Result<SliceOutcome, PlaceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
             self.prepare(task)?;
         let mut sample = sample_closure(&evaluator, &objective);
@@ -585,7 +603,7 @@ impl Driver {
         ckpt: &RunCheckpoint,
         slice_evals: u64,
     ) -> Result<SliceOutcome, PlaceError> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
             self.prepare(task)?;
         opt.restore(&ckpt.optimizer).map_err(|e| PlaceError::BadConfig {
@@ -660,7 +678,7 @@ impl Driver {
                 Ok(SliceOutcome::Finished(Box::new(report)))
             }
             DriveEnd::Paused => {
-                let elapsed = base_elapsed_ms + started.elapsed().as_millis() as u64;
+                let elapsed = base_elapsed_ms + self.elapsed_ms_since(started);
                 let ckpt = RunCheckpoint::capture(&method, &tracker, &env, opt, elapsed)?;
                 Ok(SliceOutcome::Paused(Box::new(ckpt)))
             }
@@ -702,7 +720,7 @@ impl Driver {
                 break;
             }
             if let Some(limit) = self.budget.max_wall_ms {
-                if base_elapsed_ms + started.elapsed().as_millis() as u64 >= limit {
+                if base_elapsed_ms + self.elapsed_ms_since(started) >= limit {
                     break;
                 }
             }
@@ -735,7 +753,7 @@ impl Driver {
                         tracker.record_probe(s)
                     };
                     if self.checkpoint_every.is_some_and(|every| tracker.evals % every == 0) {
-                        let elapsed = base_elapsed_ms + started.elapsed().as_millis() as u64;
+                        let elapsed = base_elapsed_ms + self.elapsed_ms_since(started);
                         let ckpt = RunCheckpoint::capture(method, tracker, env, opt, elapsed)?;
                         on_checkpoint(&ckpt);
                     }
@@ -783,7 +801,7 @@ impl Driver {
             qtable_states: opt.status().qtable_states,
             reached_target: tracker.reached_target,
             sims_to_target: tracker.sims_to_target,
-            elapsed_ms: base_elapsed_ms + started.elapsed().as_millis() as u64,
+            elapsed_ms: base_elapsed_ms + self.elapsed_ms_since(started),
         })
     }
 }

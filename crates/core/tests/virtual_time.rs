@@ -1,0 +1,88 @@
+//! Deterministic wall-clock budget tests: the driver's `max_wall_ms` rule
+//! driven by a virtual `TestClock` stepped from inside the evaluator via a
+//! fault plan — no sleeps, no real time.
+//!
+//! These tests arm the global failpoint registry, so they live in their own
+//! test binary; every test takes a `FaultGuard` (even an empty one) so the
+//! registry serialises them against each other.
+
+use breaksym_core::runner::{Budget, Driver};
+use breaksym_core::{MlmaConfig, MultiLevelPlacer, PlacementTask, RunReport};
+use breaksym_lde::LdeModel;
+use breaksym_netlist::circuits;
+use breaksym_sim::FAIL_EVALUATE;
+use breaksym_testkit::{fault, FaultAction, FaultPlan, TestClock};
+
+fn task() -> PlacementTask {
+    PlacementTask::new(circuits::diff_pair(), 10, LdeModel::nonlinear(1.0, 7))
+}
+
+fn cfg() -> MlmaConfig {
+    MlmaConfig {
+        episodes: 4,
+        steps_per_episode: 10,
+        max_evals: 250,
+        seed: 1,
+        ..MlmaConfig::default()
+    }
+}
+
+/// One driven run under a fresh clock and a plan that advances virtual
+/// time by 200 ms at the 6th evaluator call.
+fn run_with_midflight_advance() -> RunReport {
+    let clock = TestClock::new();
+    let plan = FaultPlan::new().with(FAIL_EVALUATE, 6, FaultAction::AdvanceClockMs { ms: 200 });
+    let _guard = fault::install_with_clock(plan, clock.clone());
+    let c = cfg();
+    let mut placer = MultiLevelPlacer::new(&task().initial_env().unwrap(), c);
+    Driver::new(Budget::from_mlma(&c).with_max_wall_ms(100))
+        .with_clock(clock.to_shared())
+        .run(&task(), &mut placer)
+        .unwrap()
+}
+
+#[test]
+fn wall_budget_trips_deterministically_on_virtual_time() {
+    let first = run_with_midflight_advance();
+    // The 200 ms step lands mid-run, past the 100 ms cap: the driver must
+    // stop at the next between-evaluations check, far short of the eval
+    // budget, and report exactly the virtual elapsed time.
+    assert_eq!(first.elapsed_ms, 200, "elapsed is virtual, not wall");
+    assert!(
+        first.evaluations < 50,
+        "must stop right after the clock step, got {} evals",
+        first.evaluations
+    );
+    assert!(first.best_cost <= first.initial_cost);
+
+    // Same seed, fresh clock and plan: bit-identical verdict.
+    let second = run_with_midflight_advance();
+    assert_eq!(second.elapsed_ms, first.elapsed_ms);
+    assert_eq!(second.evaluations, first.evaluations);
+    assert_eq!(second.best_cost.to_bits(), first.best_cost.to_bits());
+    assert_eq!(second.trajectory, first.trajectory);
+}
+
+#[test]
+fn frozen_clock_never_trips_the_wall_budget() {
+    // Quiesce the registry (other tests in this binary install real plans).
+    let _guard = fault::install(FaultPlan::new());
+    let clock = TestClock::new();
+    let c = cfg();
+
+    let mut placer = MultiLevelPlacer::new(&task().initial_env().unwrap(), c);
+    let capped = Driver::new(Budget::from_mlma(&c).with_max_wall_ms(1))
+        .with_clock(clock.to_shared())
+        .run(&task(), &mut placer)
+        .unwrap();
+
+    let mut placer = MultiLevelPlacer::new(&task().initial_env().unwrap(), c);
+    let uncapped = Driver::new(Budget::from_mlma(&c)).run(&task(), &mut placer).unwrap();
+
+    // Virtual time never moved, so a 1 ms cap is never reached: the run is
+    // identical to an uncapped one and reports zero elapsed.
+    assert_eq!(capped.elapsed_ms, 0);
+    assert_eq!(capped.evaluations, uncapped.evaluations);
+    assert_eq!(capped.best_cost.to_bits(), uncapped.best_cost.to_bits());
+    assert_eq!(capped.trajectory, uncapped.trajectory);
+}

@@ -578,6 +578,68 @@ M1 a a vss vss NMOS W=1 L=0.1
         }
     }
 
+    proptest::proptest! {
+        /// The text-first direction of the round trip: formatting noise —
+        /// mixed-case directives and models, trailing `;` comments,
+        /// comment and blank lines, split continuation lines, variable
+        /// spacing — must not change what a netlist means. Parsing the
+        /// noisy text and parsing its canonical print yield the same
+        /// circuit, and the printer is a fixpoint.
+        #[test]
+        fn prop_noisy_spice_text_round_trips(
+            sizes in proptest::collection::vec((1u32..4, 1u32..5), 1..4),
+            pad in 1usize..4,
+            lower_model in proptest::bool::ANY,
+            split_units in proptest::bool::ANY,
+            tail_comments in proptest::bool::ANY,
+        ) {
+            let sep = " ".repeat(pad);
+            let model = if lower_model { "nmos" } else { "NMOS" };
+            let mut text = String::from("* noise\n\n.TITLE noisy\n.Class CM\n.NETKIND vss Ground\n");
+            for (gi, &(devices, units)) in sizes.iter().enumerate() {
+                let mut members = Vec::new();
+                for di in 0..devices {
+                    let name = format!("M{gi}_{di}");
+                    let net = format!("n{gi}_{di}");
+                    let w = 1.0 + f64::from(di);
+                    let l = 0.1 + 0.05 * f64::from(gi as u32);
+                    if split_units {
+                        text.push_str(&format!(
+                            "{name}{sep}{net}{sep}{net}{sep}vss{sep}vss{sep}{model}{sep}\
+                             W={w}{sep}L={l}\n+ UNITS={units}\n"
+                        ));
+                    } else {
+                        let tail = if tail_comments { " ; inline comment" } else { "" };
+                        text.push_str(&format!(
+                            "{name} {net} {net} vss vss {model} W={w} L={l} UNITS={units}{tail}\n"
+                        ));
+                    }
+                    members.push(name);
+                }
+                text.push_str(&format!(".group g{gi} custom {}\n", members.join(" ")));
+                if tail_comments {
+                    text.push_str("* interleaved comment\n");
+                }
+            }
+            text.push_str(".End\nthis trailing text is ignored\n");
+
+            let c1 = parse(&text).expect("noisy text parses");
+            let expected_units: u32 = sizes.iter().map(|&(d, u)| d * u).sum();
+            proptest::prop_assert_eq!(c1.num_units(), expected_units as usize);
+            proptest::prop_assert_eq!(c1.class(), CircuitClass::CurrentMirror);
+
+            let canon = write(&c1);
+            let c2 = parse(&canon).expect("canonical text parses");
+            proptest::prop_assert_eq!(c1.class(), c2.class());
+            proptest::prop_assert_eq!(c1.num_units(), c2.num_units());
+            proptest::prop_assert_eq!(c1.devices().len(), c2.devices().len());
+            proptest::prop_assert_eq!(c1.nets().len(), c2.nets().len());
+            proptest::prop_assert_eq!(c1.groups().len(), c2.groups().len());
+            proptest::prop_assert_eq!(c1.ports().len(), c2.ports().len());
+            proptest::prop_assert_eq!(write(&c2), canon);
+        }
+    }
+
     #[test]
     fn unknown_cards_and_models_rejected() {
         assert!(parse("Q1 a b c MODEL\n.end").is_err());

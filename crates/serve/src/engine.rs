@@ -45,15 +45,25 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use breaksym_core::{Driver, RunCheckpoint, RunReport, SliceOutcome};
+use breaksym_core::{Driver, PlaceError, RunCheckpoint, RunReport, SliceOutcome};
 use breaksym_sim::{EvalCache, SimCounter, StatsSnapshot};
+use breaksym_testkit::{real_clock, FaultAction, SharedClock};
 
 use crate::protocol::{
     JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse,
 };
 
+/// Failpoint hit at every slice boundary, just before the worker drives
+/// the next slice (see `breaksym_testkit::fault`). A `Panic` action
+/// emulates a panicking optimizer slice (caught by the worker's
+/// panic-safety boundary), a `Fail` action an optimizer-level error, a
+/// `DelayMs` an artificially slow slice.
+pub const FAIL_SLICE: &str = "serve::slice";
+
 /// What a poisoned lock means here: a worker panicked mid-update, and the
-/// registry can no longer be trusted.
+/// registry can no longer be trusted. Slice execution itself is guarded by
+/// `catch_unwind`, so an optimizer panic cannot poison these locks — only
+/// a panic inside the engine's own bookkeeping can.
 const POISONED: &str = "serve: a worker panicked while holding an engine lock";
 
 /// Sizing and defaults of a serving engine.
@@ -140,6 +150,9 @@ struct RetiredStats {
 #[derive(Debug)]
 struct Shared {
     cfg: ServeConfig,
+    /// Time source for timeouts, TTLs, uptime, and wait deadlines. The
+    /// real clock in production; a `TestClock` in deterministic tests.
+    clock: SharedClock,
     /// Job registry; see the module docs for the lock order.
     jobs: Mutex<HashMap<u64, JobRecord>>,
     /// Notified on every job state/status transition; pairs with `jobs`.
@@ -161,6 +174,7 @@ struct Shared {
     jobs_failed: AtomicU64,
     jobs_timed_out: AtomicU64,
     jobs_cancelled: AtomicU64,
+    jobs_panicked: AtomicU64,
 }
 
 impl Shared {
@@ -171,7 +185,7 @@ impl Shared {
     /// with the registry lock held; takes the retired lock inside it
     /// (queue → jobs → retired, the fixed order).
     fn evict_terminal(&self, jobs: &mut HashMap<u64, JobRecord>) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let mut terminal: Vec<(u64, Instant)> = jobs
             .iter()
             .filter_map(|(&id, job)| job.terminal_at.map(|at| (id, at)))
@@ -226,11 +240,24 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Starts the worker pool (idle until jobs are submitted).
+    /// Starts the worker pool (idle until jobs are submitted) on the real
+    /// system clock.
     pub fn start(cfg: ServeConfig) -> Self {
+        Self::start_with_clock(cfg, real_clock())
+    }
+
+    /// As [`ServeEngine::start`], with an explicit time source. Tests pass
+    /// a [`breaksym_testkit::TestClock`] here so job timeouts, retention
+    /// TTLs, and [`ServeHandle::wait`] deadlines become deterministic:
+    /// advancing the test clock wakes the engine's condvars (via the
+    /// clock's waker hook) so blocked waiters re-evaluate their deadlines
+    /// immediately.
+    pub fn start_with_clock(cfg: ServeConfig, clock: SharedClock) -> Self {
         let worker_count = cfg.workers.max(1);
+        let started = clock.now();
         let shared = Arc::new(Shared {
             cfg: ServeConfig { workers: worker_count, ..cfg },
+            clock,
             jobs: Mutex::new(HashMap::new()),
             state_cv: Condvar::new(),
             retired: Mutex::new(RetiredStats::default()),
@@ -238,7 +265,7 @@ impl ServeEngine {
             queue_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
-            started: Instant::now(),
+            started,
             busy_workers: AtomicUsize::new(0),
             worker_jobs: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
             worker_busy_ms: (0..worker_count).map(|_| AtomicU64::new(0)).collect(),
@@ -247,7 +274,25 @@ impl ServeEngine {
             jobs_failed: AtomicU64::new(0),
             jobs_timed_out: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
         });
+        // Advancing a test clock must wake every deadline-blocked waiter so
+        // it re-reads virtual time. The weak reference keeps a forgotten
+        // clock from leaking a dead engine.
+        let weak = Arc::downgrade(&shared);
+        shared.clock.register_waker(Arc::new(move || {
+            if let Some(shared) = weak.upgrade() {
+                // Lock, notify, drop — one mutex at a time, in the fixed
+                // queue-before-jobs order — so a waiter that checked its
+                // deadline but has not parked yet cannot miss the wakeup.
+                let queue = shared.queue.lock().expect(POISONED);
+                shared.queue_cv.notify_all();
+                drop(queue);
+                let jobs = shared.jobs.lock().expect(POISONED);
+                shared.state_cv.notify_all();
+                drop(jobs);
+            }
+        }));
         let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -394,7 +439,7 @@ impl ServeHandle {
             JobState::Queued => {
                 queue.retain(|&queued| queued != id.0);
                 job.state = JobState::Cancelled { resumable: job.checkpoint.is_some() };
-                job.terminal_at = Some(Instant::now());
+                job.terminal_at = Some(self.shared.clock.now());
                 self.shared.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
                 self.shared.state_cv.notify_all();
             }
@@ -433,10 +478,11 @@ impl ServeHandle {
                 .iter()
                 .map(|w| w.load(Ordering::Relaxed))
                 .collect(),
-            uptime_ms: shared.started.elapsed().as_millis() as u64,
+            uptime_ms: shared.clock.now().duration_since(shared.started).as_millis() as u64,
             jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_done: shared.jobs_done.load(Ordering::Relaxed),
             jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_panicked: shared.jobs_panicked.load(Ordering::Relaxed),
             jobs_timed_out: shared.jobs_timed_out.load(Ordering::Relaxed),
             jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
             jobs_retired,
@@ -468,14 +514,14 @@ impl ServeHandle {
     /// [`ServeError::NotReady`] on timeout; [`ServeError::UnknownJob`] /
     /// [`ServeError::JobEvicted`] for an unknown or evicted id.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Result<StatusResponse, ServeError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = self.shared.clock.now() + timeout;
         let mut jobs = self.shared.jobs.lock().expect(POISONED);
         loop {
             let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
             if job.state.is_terminal() {
                 return Ok(StatusResponse { id, state: job.state.clone(), status: job.status });
             }
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+            let Some(remaining) = deadline.checked_duration_since(self.shared.clock.now()) else {
                 return Err(ServeError::NotReady {
                     reason: format!("job still {} after {timeout:?}", job.state.label()),
                 });
@@ -507,10 +553,10 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
         };
         shared.busy_workers.fetch_add(1, Ordering::Relaxed);
-        let claimed_at = Instant::now();
+        let claimed_at = shared.clock.now();
         run_job(shared, id);
-        shared.worker_busy_ms[worker]
-            .fetch_add(claimed_at.elapsed().as_millis() as u64, Ordering::Relaxed);
+        let busy = shared.clock.now().duration_since(claimed_at);
+        shared.worker_busy_ms[worker].fetch_add(busy.as_millis() as u64, Ordering::Relaxed);
         shared.worker_jobs[worker].fetch_add(1, Ordering::Relaxed);
         shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
     }
@@ -555,7 +601,8 @@ fn run_job(shared: &Shared, id: u64) {
     }
     let driver = Driver::new(budget)
         .with_shared_cache(cache.clone())
-        .with_counter(counter.clone());
+        .with_counter(counter.clone())
+        .with_clock(shared.clock.clone());
     let slice = spec.slice_evals.unwrap_or(shared.cfg.slice_evals).max(1);
     let timeout_ms = spec.timeout_ms.or(shared.cfg.default_timeout_ms);
     // Wall clock spent on this job: what earlier servers/workers banked in
@@ -566,7 +613,7 @@ fn run_job(shared: &Shared, id: u64) {
     // never timed out at that boundary — and per-slice truncation to whole
     // milliseconds lets many fast slices accumulate no time at all.
     let base_elapsed_ms = checkpoint.as_ref().map_or(0, |c| c.elapsed_ms);
-    let claimed = Instant::now();
+    let claimed = shared.clock.now();
 
     loop {
         // All preemption is observed here, at a quiescent point between
@@ -582,7 +629,8 @@ fn run_job(shared: &Shared, id: u64) {
             return;
         }
         if let Some(limit) = timeout_ms {
-            let spent = base_elapsed_ms + claimed.elapsed().as_millis() as u64;
+            let running = shared.clock.now().duration_since(claimed);
+            let spent = base_elapsed_ms + running.as_millis() as u64;
             if spent >= limit {
                 // A timeout is not a failure: the latest slice-boundary
                 // checkpoint stays behind, resumable like a cancellation.
@@ -592,9 +640,35 @@ fn run_job(shared: &Shared, id: u64) {
                 return;
             }
         }
-        let outcome = match &checkpoint {
-            None => driver.run_slice(&task, opt.as_mut(), slice),
-            Some(ckpt) => driver.resume_slice(&task, opt.as_mut(), ckpt, slice),
+        // The slice is the only code here that runs user-configurable
+        // optimizer logic, so it is the panic boundary: a panicking slice
+        // must fail *its* job, not take down the worker thread (a dead
+        // worker strands every queued job behind it). No engine lock is
+        // held across the slice, so nothing can be poisoned by the unwind.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(FaultAction::Fail { what }) = breaksym_testkit::fault::hit(FAIL_SLICE) {
+                return Err(PlaceError::BadConfig {
+                    reason: format!("injected slice failure: {what}"),
+                });
+            }
+            match &checkpoint {
+                None => driver.run_slice(&task, opt.as_mut(), slice),
+                Some(ckpt) => driver.resume_slice(&task, opt.as_mut(), ckpt, slice),
+            }
+        }));
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                // Terminal Failed, checkpoint retained (set_terminal never
+                // clears it): the client sees the failure and can still
+                // fetch the last good checkpoint.
+                shared.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+                return fail(
+                    shared,
+                    id,
+                    format!("optimizer panicked mid-slice: {}", panic_message(&*payload)),
+                );
+            }
         };
         match outcome {
             Err(e) => return fail(shared, id, e.to_string()),
@@ -630,6 +704,18 @@ fn run_job(shared: &Shared, id: u64) {
     }
 }
 
+/// Best-effort human-readable panic payload (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn fail(shared: &Shared, id: u64, error: String) {
     set_terminal(shared, id, JobState::Failed { error }, None);
     shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
@@ -649,7 +735,7 @@ fn set_terminal(
     let mut jobs = shared.jobs.lock().expect(POISONED);
     if let Some(job) = jobs.get_mut(&id) {
         job.state = state;
-        job.terminal_at = Some(Instant::now());
+        job.terminal_at = Some(shared.clock.now());
         if let Some((report, status)) = completion {
             job.report = Some(report);
             job.status = Some(status);

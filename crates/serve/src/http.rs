@@ -35,15 +35,22 @@
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use breaksym_testkit::FaultAction;
 use serde::Serialize;
 
 use crate::engine::ServeHandle;
 use crate::protocol::{JobId, JobSpec, ServeError, SubmitResponse};
+
+/// Failpoint hit after routing, just before the response bytes go out. A
+/// `Drop` action closes the socket without responding (a mid-flight
+/// connection loss from the client's point of view); a `DelayMs` stalls
+/// the handler, occupying its pool slot, exactly like a slow client.
+pub const FAIL_HTTP_RESPOND: &str = "serve::http_respond";
 
 /// Largest accepted request body — far above any real [`JobSpec`], small
 /// enough that a hostile Content-Length cannot balloon memory.
@@ -78,6 +85,9 @@ struct ConnQueue {
     available: Condvar,
     cap: usize,
     stop: AtomicBool,
+    /// Handlers currently inside a connection — observability for tests
+    /// that need "a handler is occupied" without guessing with sleeps.
+    busy: AtomicUsize,
 }
 
 impl ConnQueue {
@@ -87,6 +97,7 @@ impl ConnQueue {
             available: Condvar::new(),
             cap,
             stop: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
         }
     }
 
@@ -183,9 +194,11 @@ impl HttpServer {
                     .name(format!("breaksym-serve-conn-{i}"))
                     .spawn(move || {
                         while let Some(stream) = queue.pop() {
+                            queue.busy.fetch_add(1, Ordering::SeqCst);
                             // A broken connection is the client's problem,
                             // not the server's: log-free best effort.
                             let _ = handle_connection(&handle, stream);
+                            queue.busy.fetch_sub(1, Ordering::SeqCst);
                         }
                     })
                     .expect("http handler threads spawn"),
@@ -197,6 +210,13 @@ impl HttpServer {
     /// The bound address (with the OS-assigned port when bound to port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// How many connection handlers are inside a request right now.
+    /// Observability for tests: "the stalled client occupies exactly one
+    /// slot" becomes a poll on this counter instead of a guessed sleep.
+    pub fn busy_handlers(&self) -> usize {
+        self.queue.busy.load(Ordering::SeqCst)
     }
 
     /// Stops the accept thread and the handler pool and waits for them to
@@ -331,6 +351,13 @@ fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<
     let mut request_body = vec![0u8; content_length as usize];
     reader.read_exact(&mut request_body)?;
     let (status, body) = route(handle, &method, &path, &request_body);
+    if let Some(FaultAction::Drop) = breaksym_testkit::fault::hit(FAIL_HTTP_RESPOND) {
+        // Injected connection loss: the request was served, the response
+        // never leaves — the client sees a mid-flight drop. (A `DelayMs`
+        // action stalls inside `hit` before this branch is reached.)
+        let _ = stream.shutdown(Shutdown::Both);
+        return Ok(());
+    }
     write_response(&mut stream, status, &body)
 }
 

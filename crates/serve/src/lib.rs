@@ -64,12 +64,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod engine;
 pub mod http;
 pub mod protocol;
 
-pub use engine::{ServeConfig, ServeEngine, ServeHandle};
-pub use http::{HttpServer, DEFAULT_CONN_WORKERS};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, InvariantResult};
+pub use engine::{ServeConfig, ServeEngine, ServeHandle, FAIL_SLICE};
+pub use http::{HttpServer, DEFAULT_CONN_WORKERS, FAIL_HTTP_RESPOND};
 pub use protocol::{
     JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse, SubmitResponse,
     TaskSpec,

@@ -261,6 +261,11 @@ pub struct ServerStats {
     pub jobs_done: u64,
     /// Jobs that errored.
     pub jobs_failed: u64,
+    /// Subset of [`ServerStats::jobs_failed`] whose optimizer slice
+    /// *panicked* (caught at the worker's panic boundary) rather than
+    /// returning an error.
+    #[serde(default)]
+    pub jobs_panicked: u64,
     /// Jobs that hit their wall-clock timeout.
     #[serde(default)]
     pub jobs_timed_out: u64,

@@ -14,6 +14,29 @@ use crate::{
     CacheStats, EvalCache, EvalOptions, ExtractionTech, Metrics, SimCounter, SimError, Testbench,
 };
 
+/// Failpoint hit on every evaluator call (see `breaksym_testkit::fault`).
+/// A `Fail { what: "singular" }` action injects [`SimError::SingularMatrix`];
+/// any other `Fail` injects [`SimError::NoConvergence`].
+pub const FAIL_EVALUATE: &str = "sim::evaluate";
+
+/// Failpoint hit before each cache memoization; a `Drop` action skips the
+/// insert (simulating eviction pressure) without affecting the returned
+/// metrics.
+pub const FAIL_CACHE_INSERT: &str = "sim::cache_insert";
+
+/// Maps a `Fail` fault action to the [`SimError`] it injects.
+fn injected_sim_error(action: &breaksym_testkit::FaultAction) -> Option<SimError> {
+    match action {
+        breaksym_testkit::FaultAction::Fail { what } if what == "singular" => {
+            Some(SimError::SingularMatrix { column: 0 })
+        }
+        breaksym_testkit::FaultAction::Fail { .. } => {
+            Some(SimError::NoConvergence { iterations: 0, residual: f64::INFINITY })
+        }
+        _ => None,
+    }
+}
+
 /// Reusable per-evaluator buffers: incremental LDE and parasitics state
 /// plus the `shifts` / `node_caps` vectors handed to the testbench. Kept
 /// behind a mutex so `evaluate(&self)` stays shareable; never cloned —
@@ -211,6 +234,14 @@ impl Evaluator {
         env: &LayoutEnv,
         extra: &[ParamShift],
     ) -> Result<Metrics, SimError> {
+        // Failpoint: tests inject solver failures on the Nth evaluator
+        // call, before the cache can answer — exactly where a flaky
+        // simulator would surface to callers.
+        if let Some(action) = breaksym_testkit::fault::hit(FAIL_EVALUATE) {
+            if let Some(err) = injected_sim_error(&action) {
+                return Err(err);
+            }
+        }
         if extra.is_empty() {
             if let Some(cache) = &self.cache {
                 let key = self.cache_key(env);
@@ -220,7 +251,14 @@ impl Evaluator {
                     return Ok(metrics);
                 }
                 let metrics = self.solve(env, extra)?;
-                cache.insert(key, metrics);
+                // Failpoint: a `Drop` here loses the memoization (eviction
+                // pressure) — the metrics themselves are still returned.
+                if !matches!(
+                    breaksym_testkit::fault::hit(FAIL_CACHE_INSERT),
+                    Some(breaksym_testkit::FaultAction::Drop)
+                ) {
+                    cache.insert(key, metrics);
+                }
                 return Ok(metrics);
             }
         }

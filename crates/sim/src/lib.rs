@@ -60,7 +60,7 @@ pub use complex::Complex;
 pub use counter::SimCounter;
 pub use dc::{DcSolution, DcSolver};
 pub use error::SimError;
-pub use evaluator::Evaluator;
+pub use evaluator::{Evaluator, FAIL_CACHE_INSERT, FAIL_EVALUATE};
 pub use linalg::lu_solve;
 pub use metrics::Metrics;
 pub use monte::{MismatchStats, MonteCarlo};

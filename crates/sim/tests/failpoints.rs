@@ -1,0 +1,82 @@
+//! Fault-injection coverage for the evaluator seams.
+//!
+//! These tests arm the *global* failpoint registry, so they live in their
+//! own test binary (cargo runs each test binary as a separate process):
+//! the armed plan can never leak into the ordinary evaluator tests. Within
+//! this binary the `FaultGuard` serialises the tests themselves.
+
+use breaksym_geometry::GridSpec;
+use breaksym_layout::LayoutEnv;
+use breaksym_netlist::circuits;
+use breaksym_sim::{
+    EvalCache, Evaluator, LdeModel, Metrics, SimError, FAIL_CACHE_INSERT, FAIL_EVALUATE,
+};
+use breaksym_testkit::{fault, FaultAction, FaultPlan};
+
+fn env() -> LayoutEnv {
+    LayoutEnv::sequential(circuits::current_mirror_medium(), GridSpec::square(16)).unwrap()
+}
+
+fn metric_bits(m: &Metrics) -> Vec<u64> {
+    [
+        m.mismatch_pct,
+        m.offset_v,
+        m.power_w,
+        Some(m.area_um2),
+        Some(m.wirelength_um),
+    ]
+    .iter()
+    .map(|v| v.unwrap_or(f64::NAN).to_bits())
+    .collect()
+}
+
+#[test]
+fn failpoints_inject_sim_errors_and_cache_pressure() {
+    let cache = EvalCache::new(64);
+    let eval = Evaluator::new(LdeModel::nonlinear(1.0, 5)).with_cache(cache.clone());
+    let env = env();
+
+    let plan = FaultPlan::new()
+        .with(FAIL_EVALUATE, 1, FaultAction::Fail { what: "singular".into() })
+        .with(FAIL_EVALUATE, 2, FaultAction::Fail { what: "no_convergence".into() })
+        .with(FAIL_CACHE_INSERT, 1, FaultAction::Drop);
+    let guard = fault::install(plan);
+
+    // Injected failures surface before any solve: the counter and the
+    // cache stay untouched.
+    assert!(matches!(eval.evaluate(&env), Err(SimError::SingularMatrix { .. })));
+    assert!(matches!(eval.evaluate(&env), Err(SimError::NoConvergence { .. })));
+    assert_eq!(eval.counter().count(), 0);
+
+    // Third call solves, but the Drop on the first insert loses the
+    // memoization — the metrics are still correct.
+    let third = eval.evaluate(&env).unwrap();
+    assert_eq!(eval.counter().count(), 1);
+    assert_eq!(cache.len(), 0, "Drop must skip the insert");
+
+    // Fourth call misses again (nothing was memoized), solves, and this
+    // time the insert goes through; the fifth is a plain hit.
+    let fourth = eval.evaluate(&env).unwrap();
+    assert_eq!(eval.counter().count(), 2);
+    assert_eq!(cache.len(), 1);
+    let fifth = eval.evaluate(&env).unwrap();
+    assert_eq!(eval.counter().count(), 2);
+    assert_eq!(metric_bits(&third), metric_bits(&fourth));
+    assert_eq!(metric_bits(&fourth), metric_bits(&fifth));
+
+    // Disarmed, the failpoints vanish.
+    drop(guard);
+    assert!(eval.evaluate(&env).is_ok());
+}
+
+#[test]
+fn disarmed_failpoints_change_nothing() {
+    let cache = EvalCache::new(64);
+    let eval = Evaluator::new(LdeModel::nonlinear(1.0, 5)).with_cache(cache.clone());
+    let env = env();
+    let a = eval.evaluate(&env).unwrap();
+    let b = eval.evaluate(&env).unwrap();
+    assert_eq!(metric_bits(&a), metric_bits(&b));
+    assert_eq!(eval.counter().count(), 1, "second call is a cache hit");
+    assert_eq!(cache.stats().hits, 1);
+}

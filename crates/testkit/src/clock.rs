@@ -1,0 +1,192 @@
+//! Virtual time.
+//!
+//! Everything in the workspace that measures elapsed time — wall-clock
+//! budgets in `breaksym-core::runner`, job timeouts and retention TTLs in
+//! `breaksym-serve` — goes through the [`Clock`] trait instead of calling
+//! [`Instant::now`] directly. Production code uses [`RealClock`] (the
+//! default everywhere, zero behavioural change); tests inject a
+//! [`TestClock`] and step time forward explicitly with
+//! [`TestClock::advance`], which makes every timeout/TTL/eviction assertion
+//! deterministic and sleep-free.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A waker callback invoked whenever a [`TestClock`] advances.
+///
+/// Components that block on condition variables with clock-derived deadlines
+/// (e.g. `ServeHandle::wait`) register one of these so that advancing
+/// virtual time re-evaluates those deadlines instead of leaving the waiter
+/// parked until its real-time fallback expires.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// A source of monotonic time.
+///
+/// The single required method mirrors [`Instant::now`]; `Instant`
+/// arithmetic (`duration_since`, `+ Duration`) keeps working unchanged on
+/// the returned values, so threading a clock through existing code is a
+/// mechanical substitution.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current instant according to this clock.
+    fn now(&self) -> Instant;
+
+    /// Register a callback fired whenever virtual time advances.
+    ///
+    /// [`RealClock`] never advances discontinuously, so the default
+    /// implementation drops the waker.
+    fn register_waker(&self, waker: Waker) {
+        let _ = waker;
+    }
+}
+
+/// A clock shared across threads.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The system monotonic clock; [`Clock::now`] is exactly [`Instant::now`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealClock;
+
+impl Clock for RealClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// The default clock, used wherever no test clock is injected.
+pub fn real_clock() -> SharedClock {
+    Arc::new(RealClock)
+}
+
+struct TestClockInner {
+    offset: Duration,
+    wakers: Vec<Waker>,
+}
+
+/// A manually stepped clock for deterministic tests.
+///
+/// `now()` reports a fixed anchor instant plus the virtual offset
+/// accumulated through [`advance`](TestClock::advance). Time never moves on
+/// its own: a test that never advances the clock sees a perfectly frozen
+/// `now()`, which is what makes TTL and timeout assertions exact.
+///
+/// Clones are handles to the same clock: advancing any clone advances all
+/// of them. Use [`TestClock::to_shared`] to hand a clone out as a
+/// [`SharedClock`].
+#[derive(Clone)]
+pub struct TestClock {
+    base: Instant,
+    inner: Arc<Mutex<TestClockInner>>,
+}
+
+impl fmt::Debug for TestClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TestClock")
+            .field("offset", &self.inner.lock().expect("clock lock").offset)
+            .finish()
+    }
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestClock {
+    /// A clock anchored at the current real instant with zero offset.
+    pub fn new() -> Self {
+        TestClock {
+            base: Instant::now(),
+            inner: Arc::new(Mutex::new(TestClockInner {
+                offset: Duration::ZERO,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// This clock as a [`SharedClock`] trait object (a handle: the
+    /// original keeps controlling the same virtual time).
+    pub fn to_shared(&self) -> SharedClock {
+        Arc::new(self.clone())
+    }
+
+    /// Step virtual time forward and fire every registered waker.
+    pub fn advance(&self, by: Duration) {
+        let wakers: Vec<Waker> = {
+            let mut inner = self.inner.lock().expect("clock lock");
+            inner.offset += by;
+            inner.wakers.clone()
+        };
+        for waker in wakers {
+            waker();
+        }
+    }
+
+    /// [`advance`](TestClock::advance) in milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance(Duration::from_millis(ms));
+    }
+
+    /// Total virtual time accumulated so far.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.lock().expect("clock lock").offset
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Instant {
+        self.base + self.inner.lock().expect("clock lock").offset
+    }
+
+    fn register_waker(&self, waker: Waker) {
+        self.inner.lock().expect("clock lock").wakers.push(waker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn real_clock_tracks_instant_now() {
+        let clock = RealClock;
+        let a = Instant::now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn test_clock_is_frozen_until_advanced() {
+        let clock = TestClock::new();
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0);
+        clock.advance_ms(250);
+        assert_eq!(clock.now().duration_since(t0), Duration::from_millis(250));
+        clock.advance(Duration::from_micros(500));
+        assert_eq!(clock.elapsed(), Duration::from_micros(250_500));
+    }
+
+    #[test]
+    fn advance_fires_registered_wakers() {
+        let clock = TestClock::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        clock.register_waker(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        clock.advance_ms(1);
+        clock.advance_ms(1);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn clones_share_the_same_virtual_time() {
+        let clock = TestClock::new();
+        let shared: SharedClock = clock.to_shared();
+        let t0 = shared.now();
+        clock.advance_ms(42);
+        assert_eq!(shared.now().duration_since(t0), Duration::from_millis(42));
+    }
+}

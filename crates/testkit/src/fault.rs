@@ -1,0 +1,346 @@
+//! Seeded fault injection.
+//!
+//! Production code declares named *failpoints* at its real seams (the
+//! evaluator solve path, the cache insert, the serve worker's slice
+//! boundary, the HTTP responder) by calling [`hit`] with a site name.
+//! When no [`FaultPlan`] is installed — the production state — [`hit`] is a
+//! single relaxed atomic load returning `None`, so the sites cost nothing.
+//!
+//! Tests install a plan with [`install`] (or [`install_with_clock`] to let
+//! the plan step a [`TestClock`]); the returned [`FaultGuard`] serialises
+//! fault-injecting tests across threads and disarms every site on drop.
+//! A plan is a list of [`FaultTrigger`]s: *on the `at`-th hit of `site`,
+//! perform `action`*. Plans are plain serde-JSON values and can be derived
+//! deterministically from a seed with [`FaultPlan::sample`], which is what
+//! the chaos harness does.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::clock::TestClock;
+
+/// What happens when a trigger fires.
+///
+/// `DelayMs` and `AdvanceClockMs` are executed by the registry itself (a
+/// real sleep, resp. a virtual-clock step) and are invisible to the calling
+/// site; the remaining variants are returned from [`hit`] for the site to
+/// interpret (`Fail` maps to a site-appropriate error, `Panic` panics at
+/// the site, `Drop` means "lose the work": skip a cache insert, close an
+/// HTTP connection without responding).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultAction {
+    /// Return a site-appropriate error; `what` selects the flavour
+    /// (e.g. `"singular"` vs `"no_convergence"` at the evaluator site).
+    Fail {
+        /// Site-interpreted error selector.
+        what: String,
+    },
+    /// Panic at the site with this message.
+    Panic {
+        /// Panic payload text.
+        msg: String,
+    },
+    /// Registry-side real `thread::sleep` (an artificially slow slice).
+    DelayMs {
+        /// Sleep duration in milliseconds.
+        ms: u64,
+    },
+    /// Registry-side step of the installed [`TestClock`] (deterministic
+    /// "time passes mid-slice"); a no-op if no clock was attached.
+    AdvanceClockMs {
+        /// Virtual advance in milliseconds.
+        ms: u64,
+    },
+    /// Drop the work at the site (skip insert / drop connection).
+    Drop,
+}
+
+/// *On the `at`-th hit of `site`, perform `action`* (and keep performing it
+/// for `count` consecutive hits).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultTrigger {
+    /// Failpoint name, e.g. `"sim::evaluate"`.
+    pub site: String,
+    /// 1-based hit index at which the trigger first fires.
+    pub at: u64,
+    /// Number of consecutive hits affected (default 1).
+    #[serde(default = "default_count")]
+    pub count: u64,
+    /// The action performed on each affected hit.
+    pub action: FaultAction,
+}
+
+fn default_count() -> u64 {
+    1
+}
+
+impl FaultTrigger {
+    fn covers(&self, site: &str, hit: u64) -> bool {
+        self.site == site && hit >= self.at && hit < self.at.saturating_add(self.count.max(1))
+    }
+}
+
+/// A deterministic fault schedule: an ordered list of triggers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The seed the plan was sampled from, if any (informational).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Triggers; the first one covering a hit wins.
+    #[serde(default)]
+    pub triggers: Vec<FaultTrigger>,
+}
+
+impl FaultPlan {
+    /// An empty plan (installing it still arms the hit counters).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a trigger, builder-style.
+    pub fn with(mut self, site: &str, at: u64, action: FaultAction) -> Self {
+        self.triggers
+            .push(FaultTrigger { site: site.to_string(), at, count: 1, action });
+        self
+    }
+
+    /// Sample `n` triggers deterministically from a seed.
+    ///
+    /// `palette` pairs each eligible site with the actions it understands;
+    /// hit indices are drawn uniformly from `1..=max_at`. The same
+    /// `(seed, palette, n, max_at)` always yields the same plan.
+    pub fn sample(seed: u64, palette: &[(&str, &[FaultAction])], n: usize, max_at: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5eed_fa17);
+        let mut triggers = Vec::with_capacity(n);
+        for _ in 0..n {
+            if palette.is_empty() {
+                break;
+            }
+            let (site, actions) = palette[rng.gen_range(0..palette.len())];
+            if actions.is_empty() {
+                continue;
+            }
+            let action = actions[rng.gen_range(0..actions.len())].clone();
+            triggers.push(FaultTrigger {
+                site: site.to_string(),
+                at: rng.gen_range(1..=max_at.max(1)),
+                count: 1,
+                action,
+            });
+        }
+        FaultPlan { seed: Some(seed), triggers }
+    }
+
+    /// Round-trip helper: the plan as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fault plan serializes")
+    }
+}
+
+/// Fast-path arm flag: a single relaxed load decides "no plan installed".
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Serialises fault-injecting tests: `install` blocks until the previous
+/// guard drops.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct Installed {
+    plan: FaultPlan,
+    hits: HashMap<String, u64>,
+    clock: Option<TestClock>,
+}
+
+static REGISTRY: Mutex<Option<Installed>> = Mutex::new(None);
+
+fn registry() -> MutexGuard<'static, Option<Installed>> {
+    // A panic action fired while a site holds no registry lock can still
+    // poison SERIAL/REGISTRY through an unwinding test thread; recover.
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Disarms all failpoints (and releases the install serialisation lock)
+/// when dropped.
+pub struct FaultGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for FaultGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultGuard").finish()
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::SeqCst);
+        *registry() = None;
+    }
+}
+
+/// Install a fault plan; failpoints stay armed until the guard drops.
+pub fn install(plan: FaultPlan) -> FaultGuard {
+    install_inner(plan, None)
+}
+
+/// Install a fault plan with a [`TestClock`] attached, so
+/// [`FaultAction::AdvanceClockMs`] triggers can step virtual time from
+/// inside a site hit.
+pub fn install_with_clock(plan: FaultPlan, clock: TestClock) -> FaultGuard {
+    install_inner(plan, Some(clock))
+}
+
+fn install_inner(plan: FaultPlan, clock: Option<TestClock>) -> FaultGuard {
+    let serial = SERIAL.lock().unwrap_or_else(|p| p.into_inner());
+    *registry() = Some(Installed { plan, hits: HashMap::new(), clock });
+    ACTIVE.store(true, Ordering::SeqCst);
+    FaultGuard { _serial: serial }
+}
+
+/// Record a hit on `site` and return the action the site must interpret,
+/// if any.
+///
+/// With no plan installed this is one relaxed atomic load — the
+/// production-path cost of a failpoint. Registry-side actions (`DelayMs`,
+/// `AdvanceClockMs`) are executed here and reported as `None` to the
+/// caller; `Panic` panics here, which by construction is *at* the site.
+#[inline]
+pub fn hit(site: &str) -> Option<FaultAction> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &str) -> Option<FaultAction> {
+    let action = {
+        let mut guard = registry();
+        let installed = guard.as_mut()?;
+        let counter = installed.hits.entry(site.to_string()).or_insert(0);
+        *counter += 1;
+        let hit_index = *counter;
+        let action = installed
+            .plan
+            .triggers
+            .iter()
+            .find(|t| t.covers(site, hit_index))?
+            .clone()
+            .action;
+        match action {
+            FaultAction::AdvanceClockMs { ms } => {
+                let clock = installed.clock.clone();
+                drop(guard);
+                if let Some(clock) = clock {
+                    clock.advance_ms(ms);
+                }
+                return None;
+            }
+            other => other,
+        }
+    };
+    match action {
+        FaultAction::DelayMs { ms } => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        FaultAction::Panic { msg } => panic!("injected fault at {site}: {msg}"),
+        other => Some(other),
+    }
+}
+
+/// How many times `site` has been hit under the current plan (0 when
+/// disarmed). Diagnostic helper for tests.
+pub fn hits(site: &str) -> u64 {
+    registry().as_ref().and_then(|i| i.hits.get(site).copied()).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+
+    #[test]
+    fn disarmed_hit_is_none() {
+        assert_eq!(hit("nowhere"), None);
+    }
+
+    #[test]
+    fn nth_hit_fires_and_guard_disarms() {
+        let plan = FaultPlan::new().with("site::a", 3, FaultAction::Fail { what: "boom".into() });
+        let guard = install(plan);
+        assert_eq!(hit("site::a"), None);
+        assert_eq!(hit("site::b"), None);
+        assert_eq!(hit("site::a"), None);
+        assert_eq!(hit("site::a"), Some(FaultAction::Fail { what: "boom".into() }));
+        assert_eq!(hit("site::a"), None);
+        assert_eq!(hits("site::a"), 4);
+        drop(guard);
+        assert_eq!(hit("site::a"), None);
+        assert_eq!(hits("site::a"), 0);
+    }
+
+    #[test]
+    fn count_covers_consecutive_hits() {
+        let plan = FaultPlan {
+            seed: None,
+            triggers: vec![FaultTrigger {
+                site: "s".into(),
+                at: 2,
+                count: 2,
+                action: FaultAction::Drop,
+            }],
+        };
+        let _guard = install(plan);
+        assert_eq!(hit("s"), None);
+        assert_eq!(hit("s"), Some(FaultAction::Drop));
+        assert_eq!(hit("s"), Some(FaultAction::Drop));
+        assert_eq!(hit("s"), None);
+    }
+
+    #[test]
+    fn advance_clock_action_steps_attached_clock() {
+        let clock = TestClock::new();
+        let t0 = clock.now();
+        let plan = FaultPlan::new().with("tick", 1, FaultAction::AdvanceClockMs { ms: 75 });
+        let _guard = install_with_clock(plan, clock.clone());
+        assert_eq!(hit("tick"), None);
+        assert_eq!(
+            clock.now().duration_since(t0),
+            Duration::from_millis(75),
+            "AdvanceClockMs must step the attached clock"
+        );
+    }
+
+    #[test]
+    fn panic_action_panics_at_site() {
+        let _guard =
+            install(FaultPlan::new().with("kaboom", 1, FaultAction::Panic { msg: "chaos".into() }));
+        let err = std::panic::catch_unwind(|| hit("kaboom")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected fault at kaboom"), "got: {msg}");
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_round_trips() {
+        let palette: &[(&str, &[FaultAction])] = &[
+            ("sim::evaluate", &[FaultAction::Fail { what: "singular".into() }]),
+            ("serve::slice", &[FaultAction::DelayMs { ms: 1 }]),
+        ];
+        let a = FaultPlan::sample(7, palette, 4, 100);
+        let b = FaultPlan::sample(7, palette, 4, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.triggers.len(), 4);
+        let c = FaultPlan::sample(8, palette, 4, 100);
+        assert_ne!(a, c);
+        let json = a.to_json();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

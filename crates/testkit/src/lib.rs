@@ -1,0 +1,34 @@
+//! Correctness tooling for the breaksym workspace: virtual time and seeded
+//! fault injection.
+//!
+//! This crate sits at the *bottom* of the dependency graph — `breaksym-sim`,
+//! `breaksym-core`, and `breaksym-serve` all depend on it — and provides the
+//! two primitives their tests are built on:
+//!
+//! * [`Clock`] / [`RealClock`] / [`TestClock`]: a pluggable monotonic time
+//!   source. Production code defaults to [`RealClock`] ([`Instant::now`]
+//!   verbatim); tests inject a [`TestClock`] and step it explicitly, which
+//!   turns every wall-clock budget, job timeout, retention TTL, and wait
+//!   deadline into a deterministic, sleep-free assertion.
+//! * [`fault`]: a named-failpoint registry. Sites call [`fault::hit`] at
+//!   real seams (evaluator solve, cache insert, serve slice boundary, HTTP
+//!   respond); with no [`fault::FaultPlan`] installed the call is a single
+//!   relaxed atomic load. Tests install seeded, serde-JSON plans to inject
+//!   `SimError`s, panics, delays, virtual-clock steps, and dropped work at
+//!   exact hit counts.
+//!
+//! The chaos harness that drives randomized job mixes against the in-process
+//! serve engine under a fault schedule lives in `breaksym_serve::chaos`
+//! (it needs `ServeHandle`, which sits *above* this crate); `repro chaos
+//! --seed N` is its CLI entry point.
+//!
+//! [`Instant::now`]: std::time::Instant::now
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+pub mod fault;
+
+pub use clock::{real_clock, Clock, RealClock, SharedClock, TestClock, Waker};
+pub use fault::{FaultAction, FaultGuard, FaultPlan, FaultTrigger};

@@ -1,0 +1,240 @@
+//! Forward/backward compatibility of the serialized wire formats.
+//!
+//! Every field added to a persisted or wire struct after its first
+//! release carries `#[serde(default)]` (or is an `Option`, which serde
+//! already treats as omittable). That makes a concrete promise: JSON
+//! written by an older build — equivalently, today's JSON with those
+//! keys deleted — must deserialize to the same value. The proptests here
+//! delete *random subsets* of the deletable keys rather than one fixed
+//! set, and for run checkpoints go further: the stripped checkpoint must
+//! resume to a bit-identical report.
+
+use std::sync::OnceLock;
+
+use breaksym::core::{
+    Budget, Driver, MethodSpec, MlmaConfig, MultiLevelPlacer, PlacementTask, RunCheckpoint,
+    RunReport,
+};
+use breaksym::lde::LdeModel;
+use breaksym::netlist::circuits;
+use breaksym::serve::{JobSpec, ServerStats, TaskSpec};
+use breaksym::sim::StatsSnapshot;
+use proptest::prelude::*;
+use serde_json::Value;
+
+// ------------------------------------------------------------ helpers
+
+/// Collects the path of every `null`-valued object entry, skipping the
+/// subtrees named in `opaque`: those hold verbatim `serde_json::Value`
+/// payloads (e.g. an optimizer snapshot) where a null is *data*, not an
+/// omittable struct field.
+fn null_paths(v: &Value, opaque: &[&str]) -> Vec<Vec<String>> {
+    fn walk(v: &Value, opaque: &[&str], prefix: &mut Vec<String>, out: &mut Vec<Vec<String>>) {
+        match v {
+            Value::Object(map) => {
+                for (k, val) in map {
+                    if prefix.is_empty() && opaque.contains(&k.as_str()) {
+                        continue;
+                    }
+                    prefix.push(k.clone());
+                    if val.is_null() {
+                        out.push(prefix.clone());
+                    } else {
+                        walk(val, opaque, prefix, out);
+                    }
+                    prefix.pop();
+                }
+            }
+            Value::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    prefix.push(i.to_string());
+                    walk(item, opaque, prefix, out);
+                    prefix.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(v, opaque, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Deletes the object entry at `path` (array indices are numeric path
+/// segments).
+fn remove_path(v: &mut Value, path: &[String]) {
+    let (last, parents) = path.split_last().expect("paths are non-empty");
+    let mut cur = v;
+    for seg in parents {
+        cur = match cur {
+            Value::Object(map) => map.get_mut(seg).expect("path stays valid"),
+            Value::Array(items) => {
+                let i: usize = seg.parse().expect("array segments are indices");
+                items.get_mut(i).expect("path stays valid")
+            }
+            _ => unreachable!("scalar mid-path"),
+        };
+    }
+    if let Value::Object(map) = cur {
+        map.remove(last);
+    }
+}
+
+// ------------------------------------------------- checkpoint fixture
+
+struct Fixture {
+    task: PlacementTask,
+    cfg: MlmaConfig,
+    checkpoint: RunCheckpoint,
+    baseline: RunReport,
+}
+
+/// One real mid-run checkpoint plus the report its resume produces,
+/// computed once and shared by every case.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let task = PlacementTask::new(circuits::diff_pair(), 10, LdeModel::nonlinear(1.0, 7));
+        let cfg = MlmaConfig {
+            episodes: 2,
+            steps_per_episode: 8,
+            max_evals: 120,
+            ..MlmaConfig::default()
+        };
+        let mut placer = MultiLevelPlacer::new(&task.initial_env().unwrap(), cfg);
+        let mut taken: Option<RunCheckpoint> = None;
+        Driver::new(Budget::from_mlma(&cfg))
+            .with_checkpoint_every(50)
+            .run_observed(&task, &mut placer, |c| {
+                if taken.is_none() {
+                    taken = Some(c.clone());
+                }
+            })
+            .unwrap();
+        let checkpoint = taken.expect("a 120-eval run checkpoints at 50");
+        let mut fresh = MultiLevelPlacer::new(&task.initial_env().unwrap(), cfg);
+        let baseline = Driver::new(Budget::from_mlma(&cfg))
+            .resume(&task, &mut fresh, &checkpoint)
+            .unwrap();
+        Fixture { task, cfg, checkpoint, baseline }
+    })
+}
+
+#[test]
+fn checkpoint_stripped_of_every_optional_key_resumes_bit_identically() {
+    let fx = fixture();
+    let mut v = serde_json::to_value(&fx.checkpoint).unwrap();
+    let paths = null_paths(&v, &["optimizer"]);
+    assert!(!paths.is_empty(), "expected some optional keys in a checkpoint: {v}");
+    for path in &paths {
+        remove_path(&mut v, path);
+    }
+    let stripped: RunCheckpoint = serde_json::from_value(v).unwrap();
+    assert_eq!(stripped, fx.checkpoint);
+
+    let mut placer = MultiLevelPlacer::new(&fx.task.initial_env().unwrap(), fx.cfg);
+    let resumed = Driver::new(Budget::from_mlma(&fx.cfg))
+        .resume(&fx.task, &mut placer, &stripped)
+        .unwrap();
+    assert_eq!(resumed.evaluations, fx.baseline.evaluations);
+    assert_eq!(resumed.best_cost.to_bits(), fx.baseline.best_cost.to_bits());
+    assert_eq!(resumed.trajectory, fx.baseline.trajectory);
+    assert_eq!(resumed.best_placement, fx.baseline.best_placement);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any *subset* of a checkpoint's optional keys may be absent — not
+    /// just all-present (today's writer) or all-absent (the oldest
+    /// writer), but every mixture a rolling upgrade can produce.
+    #[test]
+    fn prop_checkpoint_survives_any_subset_of_missing_keys(
+        mask in proptest::collection::vec(proptest::bool::ANY, 32),
+    ) {
+        let fx = fixture();
+        let mut v = serde_json::to_value(&fx.checkpoint).unwrap();
+        let paths = null_paths(&v, &["optimizer"]);
+        for (path, &drop) in paths.iter().zip(mask.iter().chain(std::iter::repeat(&true))) {
+            if drop {
+                remove_path(&mut v, path);
+            }
+        }
+        let stripped: RunCheckpoint = serde_json::from_value(v).expect("still deserializes");
+        prop_assert_eq!(&stripped, &fx.checkpoint);
+    }
+
+    /// Protocol structs tolerate missing optional keys the same way: a
+    /// stats or job-spec document with any subset of its nullable keys
+    /// deleted reads back as the same value.
+    #[test]
+    fn prop_protocol_documents_survive_any_subset_of_missing_keys(
+        mask in proptest::collection::vec(proptest::bool::ANY, 16),
+        seed in proptest::option::of(0u64..1000),
+        timeout_ms in proptest::option::of(1u64..100_000),
+    ) {
+        let cfg = MlmaConfig { episodes: 1, steps_per_episode: 4, max_evals: 20, ..MlmaConfig::default() };
+        let mut spec = JobSpec::new(TaskSpec::benchmark("diff_pair", 7), MethodSpec::Mlma(cfg));
+        spec.seed = seed;
+        spec.timeout_ms = timeout_ms;
+        let mut v = serde_json::to_value(&spec).unwrap();
+        let paths = null_paths(&v, &[]);
+        for (path, &drop) in paths.iter().zip(mask.iter().chain(std::iter::repeat(&true))) {
+            if drop {
+                remove_path(&mut v, path);
+            }
+        }
+        let back: JobSpec = serde_json::from_value(v).expect("still deserializes");
+        prop_assert_eq!(&back, &spec);
+    }
+}
+
+#[test]
+fn stats_written_before_the_newer_counters_still_deserialize() {
+    // `jobs_panicked`, `jobs_timed_out`, and `jobs_retired` all postdate
+    // the first ServerStats wire format; a document without them must
+    // read back with those counters at zero and everything else intact.
+    let stats = ServerStats {
+        queue_depth: 1,
+        queue_cap: 16,
+        workers: 2,
+        busy_workers: 1,
+        worker_jobs: vec![4, 5],
+        worker_busy_ms: vec![100, 200],
+        uptime_ms: 1234,
+        jobs_submitted: 9,
+        jobs_done: 5,
+        jobs_failed: 2,
+        jobs_panicked: 1,
+        jobs_timed_out: 1,
+        jobs_cancelled: 1,
+        jobs_retired: 3,
+        cache: StatsSnapshot { hits: 50, misses: 350, entries: 40, sims: 350 },
+    };
+    let mut v = serde_json::to_value(&stats).unwrap();
+    let obj = v.as_object_mut().unwrap();
+    for newer in ["jobs_panicked", "jobs_timed_out", "jobs_retired"] {
+        assert!(obj.remove(newer).is_some(), "{newer} missing from the wire format");
+    }
+    let back: ServerStats = serde_json::from_value(v).unwrap();
+    assert_eq!(back.jobs_panicked, 0);
+    assert_eq!(back.jobs_timed_out, 0);
+    assert_eq!(back.jobs_retired, 0);
+    assert_eq!(back.jobs_submitted, stats.jobs_submitted);
+    assert_eq!(back.cache, stats.cache);
+}
+
+#[test]
+fn oldest_job_spec_wire_format_still_parses() {
+    // Submissions from before the per-job knobs existed: task + method
+    // only. All four knobs must come back `None`.
+    let cfg =
+        MlmaConfig { episodes: 1, steps_per_episode: 4, max_evals: 20, ..MlmaConfig::default() };
+    let full = JobSpec::new(TaskSpec::benchmark("diff_pair", 7), MethodSpec::Mlma(cfg));
+    let v = serde_json::json!({
+        "task": serde_json::to_value(&full.task).unwrap(),
+        "method": serde_json::to_value(&full.method).unwrap(),
+    });
+    let back: JobSpec = serde_json::from_value(v).unwrap();
+    assert_eq!(back, full);
+}
