@@ -195,6 +195,16 @@ struct Pending {
     kind: PendingKind,
 }
 
+/// One entry of a batched proposal round awaiting its cost verdict.
+#[derive(Debug, Clone, PartialEq)]
+struct BatchPending {
+    kind: PendingKind,
+    /// The placement the candidate was evaluated at. Accepted moves call
+    /// `note_best` against this snapshot (the env has moved on to the last
+    /// batch placement by feed time); probes never read it.
+    placement: Placement,
+}
+
 /// The shared proposal/acceptance step machine behind both [`Annealer`]
 /// (Metropolis rule) and [`RandomSearch`] (always-accept rule).
 ///
@@ -233,6 +243,8 @@ pub struct SearchRun {
     probe_deltas: Vec<f64>,
     #[serde(skip)]
     pending: Option<Pending>,
+    #[serde(skip)]
+    pending_batch: Vec<BatchPending>,
 }
 
 impl SearchRun {
@@ -259,6 +271,7 @@ impl SearchRun {
             rejected: 0,
             probe_deltas: Vec::new(),
             pending: None,
+            pending_batch: Vec::new(),
         }
     }
 
@@ -266,7 +279,7 @@ impl SearchRun {
     /// `Evaluate`, the caller must compute the cost of `env`'s new
     /// placement and [`feed`](SearchRun::feed) it before stepping again.
     pub fn step(&mut self, env: &mut LayoutEnv) -> StepOutcome {
-        assert!(self.pending.is_none(), "feed() the previous evaluation before stepping again");
+        assert!(self.is_quiescent(), "feed() the previous evaluation before stepping again");
         if self.rule == AcceptRule::Always {
             return self.step_always(env);
         }
@@ -308,6 +321,103 @@ impl SearchRun {
                 }
             }
         }
+    }
+
+    /// Proposes up to `max` candidates in one round, returning the
+    /// placement to evaluate for each (paired with the `candidate` flag of
+    /// [`StepOutcome::Evaluate`]). The caller evaluates every returned
+    /// placement — e.g. through a batched oracle — and passes the costs,
+    /// in order, to [`SearchRun::feed_batch`]. An empty return means the
+    /// schedule finished (like [`StepOutcome::Finished`], `feed_batch`
+    /// must not be called).
+    ///
+    /// Batching more than one proposal is only possible where the next
+    /// proposal does not depend on the previous verdict, which is exactly
+    /// two places: the auto-temperature **probe** phase (each probe is
+    /// undone unconditionally, so all probes start from the same base) and
+    /// the **always-accept** rule (every move lands regardless of cost).
+    /// Metropolis main-phase steps return a single proposal. Under those
+    /// rules the interleaving of RNG draws is unchanged, so a batched run
+    /// is bit-identical to the sequential one — same proposals, same
+    /// accounting, same best placement.
+    pub fn step_batch(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<(Placement, bool)> {
+        assert!(self.is_quiescent(), "feed_batch() the previous round before stepping again");
+        if max > 1 {
+            match (self.rule, self.phase) {
+                (AcceptRule::Always, Phase::Main { .. }) => {
+                    return self.step_batch_always(env, max)
+                }
+                (AcceptRule::Metropolis, Phase::Probe { left }) if left > 0 => {
+                    return self.step_batch_probe(env, max)
+                }
+                _ => {}
+            }
+        }
+        self.step_batch_singleton(env)
+    }
+
+    /// One sequential step dressed as a batch: the pending undo token stays
+    /// with the sequential machinery and [`SearchRun::feed_batch`] (with
+    /// one cost) delegates straight to [`SearchRun::feed`].
+    fn step_batch_singleton(&mut self, env: &mut LayoutEnv) -> Vec<(Placement, bool)> {
+        match self.step(env) {
+            StepOutcome::Finished => Vec::new(),
+            StepOutcome::Evaluate { candidate } => vec![(env.placement().clone(), candidate)],
+        }
+    }
+
+    /// Batches probe proposals: each is applied, snapshotted, and undone
+    /// immediately, so every proposal is drawn from the same base placement
+    /// the sequential probe loop would see.
+    fn step_batch_probe(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<(Placement, bool)> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Phase::Probe { left } = self.phase else {
+                break;
+            };
+            if left == 0 {
+                // The probe→main transition (temperature calibration and
+                // the first main proposal) belongs to the sequential step.
+                break;
+            }
+            self.phase = Phase::Probe { left: left - 1 };
+            if let Some(mv) = propose_move(&self.config, env, &mut self.rng) {
+                let undo = env.apply(mv).expect("proposed moves are legal");
+                let placement = env.placement().clone();
+                env.undo(undo);
+                self.pending_batch
+                    .push(BatchPending { kind: PendingKind::Probe, placement: placement.clone() });
+                out.push((placement, false));
+            }
+        }
+        if out.is_empty() {
+            // Every remaining probe iteration proposed nothing, or none
+            // were left: fall through to the sequential step for the phase
+            // transition (never returns a probe here, so no double-count).
+            return self.step_batch_singleton(env);
+        }
+        out
+    }
+
+    /// Batches always-accept moves: they are applied successively (move
+    /// `i + 1` is proposed from the placement move `i` produced, exactly
+    /// as sequentially) and snapshotted for the deferred `note_best`.
+    fn step_batch_always(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<(Placement, bool)> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            let Some(mv) = propose_move(&self.config, env, &mut self.rng) else {
+                // Same observable state the sequential run reaches when its
+                // next step finds the placement locked.
+                self.phase = Phase::Finished;
+                break;
+            };
+            env.apply(mv).expect("proposed moves are legal");
+            let placement = env.placement().clone();
+            self.pending_batch
+                .push(BatchPending { kind: PendingKind::Move, placement: placement.clone() });
+            out.push((placement, true));
+        }
+        out
     }
 
     fn step_always(&mut self, env: &mut LayoutEnv) -> StepOutcome {
@@ -362,10 +472,50 @@ impl SearchRun {
         }
     }
 
+    /// Resolves a batched round: one cost per proposal returned by
+    /// [`SearchRun::step_batch`], in the same order. Probe costs record
+    /// their deltas (the probes were already undone); accepted moves
+    /// update the walk and the best against their snapshotted placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no round is pending or the cost count does not match.
+    pub fn feed_batch(&mut self, costs: &[f64], env: &mut LayoutEnv) {
+        if self.pending.is_some() {
+            assert_eq!(costs.len(), 1, "a singleton round takes exactly one cost");
+            self.feed(costs[0], env);
+            return;
+        }
+        assert!(!self.pending_batch.is_empty(), "feed_batch() follows a step_batch round");
+        assert_eq!(costs.len(), self.pending_batch.len(), "one cost per batched proposal");
+        let items: Vec<BatchPending> = self.pending_batch.drain(..).collect();
+        for (item, &cost) in items.iter().zip(costs) {
+            match item.kind {
+                PendingKind::Probe => self.probe_deltas.push((cost - self.current).abs()),
+                PendingKind::Move => {
+                    debug_assert_eq!(self.rule, AcceptRule::Always, "only always-accept batches");
+                    self.accepted += 1;
+                    self.current = cost;
+                    self.note_best_at(cost, &item.placement);
+                }
+            }
+        }
+    }
+
     fn note_best(&mut self, cost: f64, env: &LayoutEnv) {
         if cost < self.best {
             self.best = cost;
             self.best_placement = env.placement().clone();
+        }
+    }
+
+    /// `note_best` against a snapshot instead of the live env — the batch
+    /// path's equivalent (the clone it stores is the clone `note_best`
+    /// would have taken).
+    fn note_best_at(&mut self, cost: f64, placement: &Placement) {
+        if cost < self.best {
+            self.best = cost;
+            self.best_placement = placement.clone();
         }
     }
 
@@ -416,11 +566,12 @@ impl SearchRun {
         self.phase == Phase::Finished
     }
 
-    /// `true` when no evaluation is pending — the only points at which
-    /// serialising this run is meaningful (the pending undo token cannot
-    /// be serialised and is dropped by serde).
+    /// `true` when no evaluation (sequential or batched) is pending — the
+    /// only points at which serialising this run is meaningful (pending
+    /// undo tokens and batch snapshots cannot be serialised and are
+    /// dropped by serde).
     pub fn is_quiescent(&self) -> bool {
-        self.pending.is_none()
+        self.pending.is_none() && self.pending_batch.is_empty()
     }
 
     /// Rebuilds the non-serialised internals of the best placement after
@@ -525,6 +676,26 @@ impl RandomSearch {
         self.state.as_mut().expect("begin() before feed()").feed(cost, env);
     }
 
+    /// Proposes up to `max` candidates in one round; see
+    /// [`SearchRun::step_batch`]. Random search always accepts, so whole
+    /// move sequences batch without breaking bit-identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`RandomSearch::begin`] was called.
+    pub fn step_batch(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<(Placement, bool)> {
+        self.state.as_mut().expect("begin() before step_batch()").step_batch(env, max)
+    }
+
+    /// Feeds the costs of a batched round; see [`SearchRun::feed_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a [`RandomSearch::step_batch`] round is pending.
+    pub fn feed_batch(&mut self, costs: &[f64], env: &mut LayoutEnv) {
+        self.state.as_mut().expect("begin() before feed_batch()").feed_batch(costs, env);
+    }
+
     /// The in-progress step-driven run, when one was started.
     pub fn search(&self) -> Option<&SearchRun> {
         self.state.as_ref()
@@ -595,6 +766,26 @@ impl Annealer {
     /// Panics unless a step returned [`StepOutcome::Evaluate`].
     pub fn feed(&mut self, cost: f64, env: &mut LayoutEnv) {
         self.state.as_mut().expect("begin() before feed()").feed(cost, env);
+    }
+
+    /// Proposes up to `max` candidates in one round; see
+    /// [`SearchRun::step_batch`]. Only the auto-temperature probe phase
+    /// batches wider than one — Metropolis steps are inherently sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Annealer::begin`] was called.
+    pub fn step_batch(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<(Placement, bool)> {
+        self.state.as_mut().expect("begin() before step_batch()").step_batch(env, max)
+    }
+
+    /// Feeds the costs of a batched round; see [`SearchRun::feed_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless an [`Annealer::step_batch`] round is pending.
+    pub fn feed_batch(&mut self, costs: &[f64], env: &mut LayoutEnv) {
+        self.state.as_mut().expect("begin() before feed_batch()").feed_batch(costs, env);
     }
 
     /// The in-progress step-driven run, when one was started.
@@ -947,6 +1138,95 @@ mod tests {
             let mut env_d = fresh();
             let new_r = RandomSearch::new(cfg).run(&mut env_d, wirelength_cost);
             assert_eq!(golden_r, new_r, "random diverged for seed {}", cfg.seed);
+        }
+    }
+
+    #[test]
+    fn batched_rounds_match_sequential_stepping_bit_for_bit() {
+        // Driving a SearchRun through step_batch/feed_batch — at several
+        // batch widths — must reproduce the sequential step/feed run
+        // exactly: same proposal draws, same accounting, same best
+        // placement. Auto-temperature Metropolis exercises the probe
+        // batching; the always-accept rule exercises move batching.
+        let fresh = || {
+            LayoutEnv::sequential(circuits::five_transistor_ota(), GridSpec::square(14)).unwrap()
+        };
+        let drive_seq = |run: &mut SearchRun, env: &mut LayoutEnv, budget: u64| -> u64 {
+            let mut spent = 0u64;
+            while spent < budget {
+                match run.step(env) {
+                    StepOutcome::Finished => break,
+                    StepOutcome::Evaluate { .. } => {
+                        spent += 1;
+                        let c = wirelength_cost(env);
+                        run.feed(c, env);
+                    }
+                }
+            }
+            spent
+        };
+        // The batched caller evaluates the *returned placements* (through a
+        // scratch env, as a batched oracle would), never the live env.
+        let drive_batch = |run: &mut SearchRun,
+                           env: &mut LayoutEnv,
+                           scratch: &mut LayoutEnv,
+                           budget: u64,
+                           k: usize|
+         -> u64 {
+            let mut spent = 0u64;
+            while spent < budget {
+                let max = k.min((budget - spent) as usize);
+                let batch = run.step_batch(env, max);
+                if batch.is_empty() {
+                    break;
+                }
+                spent += batch.len() as u64;
+                let costs: Vec<f64> = batch
+                    .iter()
+                    .map(|(p, _)| {
+                        scratch.set_placement(p.clone()).unwrap();
+                        wirelength_cost(scratch)
+                    })
+                    .collect();
+                run.feed_batch(&costs, env);
+            }
+            spent
+        };
+
+        for rule in [AcceptRule::Metropolis, AcceptRule::Always] {
+            let cfg = SaConfig { max_evals: 260, seed: 31, ..SaConfig::default() };
+            let mut env_s = fresh();
+            let c0 = wirelength_cost(&env_s);
+            let mut seq = SearchRun::start(cfg, rule, &env_s, c0);
+            let seq_spent = drive_seq(&mut seq, &mut env_s, 240);
+            assert!(seq_spent > 0);
+
+            for k in [1usize, 2, 3, 5, 16] {
+                let mut env_b = fresh();
+                let mut scratch = fresh();
+                let mut bat = SearchRun::start(cfg, rule, &env_b, c0);
+                let bat_spent = drive_batch(&mut bat, &mut env_b, &mut scratch, 240, k);
+                assert!(bat.is_quiescent());
+                assert_eq!(seq_spent, bat_spent, "eval count ({rule:?}, k={k})");
+                assert_eq!(
+                    seq.best_cost().to_bits(),
+                    bat.best_cost().to_bits(),
+                    "best cost ({rule:?}, k={k})"
+                );
+                assert_eq!(
+                    seq.current_cost().to_bits(),
+                    bat.current_cost().to_bits(),
+                    "current cost ({rule:?}, k={k})"
+                );
+                assert_eq!(seq.accepted(), bat.accepted(), "accepted ({rule:?}, k={k})");
+                assert_eq!(seq.rejected(), bat.rejected(), "rejected ({rule:?}, k={k})");
+                assert_eq!(
+                    seq.best_placement(),
+                    bat.best_placement(),
+                    "best placement ({rule:?}, k={k})"
+                );
+                assert_eq!(env_s.placement(), env_b.placement(), "env state ({rule:?}, k={k})");
+            }
         }
     }
 

@@ -1,15 +1,19 @@
-//! `evalbench` — measures the evaluation cache on a recorded MLMA trace.
+//! `evalbench` — measures the evaluation pipeline on a recorded MLMA trace.
 //!
 //! ```text
-//! cargo run --release -p breaksym-bench --bin evalbench -- --budget 400 --seed 7
+//! cargo run --release -p breaksym-bench --bin evalbench -- --circuit ota --budget 400 --seed 7
 //! ```
 //!
 //! Records the sequence of placements an MLMA run actually visits, then
-//! replays it twice: once against an uncached evaluator (cold — every
-//! replayed state is a full solve) and once against a cache primed with
-//! the same trace (warm — every replayed state is a hash probe). The two
-//! replays must produce bit-identical primary metrics; the warm/cold
-//! ratio is the headline speedup. Results land in `BENCH_eval.json`.
+//! replays it three ways: against an uncached evaluator (cold — every
+//! replayed state is a full solve through one warmed
+//! [`SolverWorkspace`](breaksym_sim::SolverWorkspace)), against the
+//! batched entry point (`evaluate_batch` in chunks — the driver's batch
+//! path), and against a cache primed with the same trace (warm — every
+//! replayed state is a hash probe). All replays must produce bit-identical
+//! primary metrics. `cold_evals_per_sec` is the perf-gate headline
+//! (`cargo run -p xtask -- perf-gate`); the warm/cold ratio is the cache
+//! speedup. Results land in `BENCH_eval.json`.
 
 use std::env;
 use std::time::Instant;
@@ -25,12 +29,14 @@ use serde::Serialize;
 struct Args {
     budget: u64,
     seed: u64,
+    circuit: String,
     out: String,
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = env::args().skip(1).collect();
-    let mut args = Args { budget: 400, seed: 7, out: "BENCH_eval.json".into() };
+    let mut args =
+        Args { budget: 400, seed: 7, circuit: "mirror".into(), out: "BENCH_eval.json".into() };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -45,6 +51,10 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--circuit" => {
+                args.circuit =
+                    it.next().cloned().unwrap_or_else(|| die("--circuit needs `ota` or `mirror`"))
             }
             "--out" => args.out = it.next().cloned().unwrap_or_else(|| die("--out needs a path")),
             other => die(&format!("unknown flag `{other}`")),
@@ -65,6 +75,11 @@ struct EvalBenchReport {
     /// Wall-clock of the recording MLMA run itself (ms).
     record_ms: u64,
     cold_ns_per_eval: f64,
+    /// Uncached solves per second — the perf-gate headline.
+    cold_evals_per_sec: f64,
+    /// The batched entry point (`evaluate_batch`, chunks of 16) on the
+    /// same trace, uncached.
+    batch_ns_per_eval: f64,
     warm_ns_per_eval: f64,
     speedup: f64,
     /// Fraction of the trace's oracle queries a cache would have answered
@@ -91,13 +106,33 @@ fn replay(
     (ns, primaries)
 }
 
+/// Replays `trace` in chunks of 16 through [`Evaluator::evaluate_batch`],
+/// returning (ns per evaluation, primary-metric bits).
+fn replay_batched(
+    eval: &Evaluator,
+    env: &mut breaksym_core::LayoutEnv,
+    trace: &[Placement],
+) -> (f64, Vec<u64>) {
+    let mut primaries = Vec::with_capacity(trace.len());
+    let start = Instant::now();
+    for chunk in trace.chunks(16) {
+        for result in eval.evaluate_batch(env, chunk) {
+            let m = result.expect("recorded placements simulate");
+            primaries.push(m.primary().to_bits());
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / trace.len() as f64;
+    (ns, primaries)
+}
+
 fn main() {
     let args = parse_args();
-    let task = PlacementTask::new(
-        circuits::current_mirror_medium(),
-        16,
-        LdeModel::nonlinear(1.0, args.seed),
-    );
+    let (circuit, side) = match args.circuit.as_str() {
+        "mirror" => (circuits::current_mirror_medium(), 16),
+        "ota" => (circuits::five_transistor_ota(), 12),
+        other => die(&format!("unknown circuit `{other}` (expected `ota` or `mirror`)")),
+    };
+    let task = PlacementTask::new(circuit, side, LdeModel::nonlinear(1.0, args.seed));
     let mut env = task.initial_env().expect("benchmark circuit fits its grid");
 
     // Record the placements an MLMA run actually visits.
@@ -128,6 +163,10 @@ fn main() {
     let cold = Evaluator::new(task.lde.clone());
     let (cold_ns, cold_primaries) = replay(&cold, &mut env, &trace);
 
+    // Batched: the same uncached pipeline through `evaluate_batch`.
+    let batched = Evaluator::new(task.lde.clone());
+    let (batch_ns, batch_primaries) = replay_batched(&batched, &mut env, &trace);
+
     // Prime a cache with the trace; its stats give the revisit rate an
     // in-run cache would have exploited.
     let cache = EvalCache::new(1 << 16);
@@ -143,13 +182,18 @@ fn main() {
         trace_len: trace.len(),
         record_ms,
         cold_ns_per_eval: cold_ns,
+        cold_evals_per_sec: 1e9 / cold_ns,
+        batch_ns_per_eval: batch_ns,
         warm_ns_per_eval: warm_ns,
         speedup: cold_ns / warm_ns,
         trace_hit_rate,
-        metrics_identical: cold_primaries == warm_primaries,
+        metrics_identical: cold_primaries == warm_primaries && cold_primaries == batch_primaries,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serialises");
     std::fs::write(&args.out, format!("{json}\n")).expect("writes the report");
     println!("{json}");
-    assert!(report.metrics_identical, "cached metrics must match cold solves bit-for-bit");
+    assert!(
+        report.metrics_identical,
+        "cached and batched metrics must match cold solves bit-for-bit"
+    );
 }

@@ -63,7 +63,7 @@ pub use error::PlaceError;
 pub use flat::FlatQPlacer;
 pub use mlma::{MultiLevelPlacer, RunTracker, Sample};
 pub use objective::{Fom, FomSpec, Objective};
-pub use optimizer::{Optimizer, OptimizerStatus, Proposal};
+pub use optimizer::{BatchProposal, Optimizer, OptimizerStatus, Proposal};
 pub use portfolio::{run_portfolio, MethodSpec};
 pub use qtable::{AgentTable, QTable};
 pub use report::RunReport;
@@ -73,4 +73,6 @@ pub use task::PlacementTask;
 // The vocabulary callers need alongside this crate.
 pub use breaksym_layout::LayoutEnv;
 pub use breaksym_lde::LdeModel;
-pub use breaksym_sim::{CacheStats, EvalCache, Evaluator, Metrics, SimCounter, StatsSnapshot};
+pub use breaksym_sim::{
+    CacheStats, EvalCache, Evaluator, Metrics, ScratchArena, SimCounter, StatsSnapshot,
+};

@@ -124,11 +124,19 @@ impl RunTracker {
 
     /// Records one evaluation; returns `true` when the run must stop.
     pub fn record(&mut self, sample: Sample, env: &LayoutEnv) -> bool {
+        self.record_at(sample, env.placement())
+    }
+
+    /// Records one evaluation whose placement is given explicitly — the
+    /// batched driver records against proposal snapshots because its env
+    /// has moved on to the last batch placement by record time. Identical
+    /// bookkeeping to [`RunTracker::record`].
+    pub fn record_at(&mut self, sample: Sample, placement: &Placement) -> bool {
         self.evals += 1;
         if sample.cost < self.best_cost {
             self.best_cost = sample.cost;
             self.best_primary = sample.primary;
-            self.best_placement = env.placement().clone();
+            self.best_placement = placement.clone();
             self.trajectory.push((self.evals, sample.cost));
         }
         // Candidate-level check: a placement that meets the target counts

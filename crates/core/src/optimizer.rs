@@ -24,7 +24,7 @@
 //! points), which the driver guarantees.
 
 use breaksym_anneal::{Annealer, RandomSearch, StepOutcome};
-use breaksym_layout::LayoutEnv;
+use breaksym_layout::{LayoutEnv, Placement};
 
 use crate::mlma::Sample;
 use crate::{FlatQPlacer, MultiLevelPlacer};
@@ -43,6 +43,18 @@ pub enum Proposal {
     /// The method's schedule is exhausted (episodes done, temperature
     /// floor reached, or the placement is fully locked).
     Finished,
+}
+
+/// One entry of a batched proposal round: the placement to evaluate and
+/// the `candidate` flag of the matching [`Proposal::Evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProposal {
+    /// The placement whose cost the caller must compute. A snapshot: the
+    /// env may have moved past it by the time the batch is observed.
+    pub placement: Placement,
+    /// `true` for real candidates, `false` for calibration probes — the
+    /// same meaning as [`Proposal::Evaluate`]'s field.
+    pub candidate: bool,
 }
 
 /// A cheap, method-agnostic progress summary.
@@ -80,6 +92,41 @@ pub trait Optimizer {
     /// `env` (a Metropolis rejection undoes the move; a probe is undone
     /// unconditionally).
     fn observe(&mut self, sample: Sample, env: &mut LayoutEnv);
+
+    /// Proposes up to `max` candidates for one batched oracle call. An
+    /// empty return means [`Proposal::Finished`]. The caller evaluates
+    /// every returned placement and passes the samples, in order, to
+    /// [`observe_batch`](Optimizer::observe_batch) exactly once.
+    ///
+    /// The default wraps [`propose`](Optimizer::propose) — a batch of at
+    /// most one — which is correct for every method whose next proposal
+    /// depends on the previous verdict (the Q placers, Metropolis SA
+    /// main steps). Methods with verdict-independent proposal streams
+    /// (always-accept search, SA probe calibration) override this to
+    /// return wider batches; any override that can return more than one
+    /// proposal must override `observe_batch` to match. Either way a
+    /// batched run is bit-identical to the sequential one.
+    fn propose_batch(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<BatchProposal> {
+        let _ = max;
+        match self.propose(env) {
+            Proposal::Finished => Vec::new(),
+            Proposal::Evaluate { candidate } => {
+                vec![BatchProposal { placement: env.placement().clone(), candidate }]
+            }
+        }
+    }
+
+    /// Feeds the verdicts of a batched round, one per proposal returned
+    /// by [`propose_batch`](Optimizer::propose_batch), in the same order.
+    ///
+    /// The default feeds each sample through
+    /// [`observe`](Optimizer::observe), which is exactly right for the
+    /// default singleton `propose_batch`.
+    fn observe_batch(&mut self, samples: &[Sample], env: &mut LayoutEnv) {
+        for sample in samples {
+            self.observe(*sample, env);
+        }
+    }
 
     /// Progress counters for reports and monitoring.
     fn status(&self) -> OptimizerStatus;
@@ -187,6 +234,18 @@ impl Optimizer for Annealer {
         self.feed(sample.cost, env);
     }
 
+    fn propose_batch(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<BatchProposal> {
+        self.step_batch(env, max)
+            .into_iter()
+            .map(|(placement, candidate)| BatchProposal { placement, candidate })
+            .collect()
+    }
+
+    fn observe_batch(&mut self, samples: &[Sample], env: &mut LayoutEnv) {
+        let costs: Vec<f64> = samples.iter().map(|s| s.cost).collect();
+        self.feed_batch(&costs, env);
+    }
+
     fn status(&self) -> OptimizerStatus {
         let (accepted, rejected) = self.search().map_or((0, 0), |s| (s.accepted(), s.rejected()));
         OptimizerStatus { qtable_states: 0, accepted, rejected }
@@ -221,6 +280,18 @@ impl Optimizer for RandomSearch {
 
     fn observe(&mut self, sample: Sample, env: &mut LayoutEnv) {
         self.feed(sample.cost, env);
+    }
+
+    fn propose_batch(&mut self, env: &mut LayoutEnv, max: usize) -> Vec<BatchProposal> {
+        self.step_batch(env, max)
+            .into_iter()
+            .map(|(placement, candidate)| BatchProposal { placement, candidate })
+            .collect()
+    }
+
+    fn observe_batch(&mut self, samples: &[Sample], env: &mut LayoutEnv) {
+        let costs: Vec<f64> = samples.iter().map(|s| s.cost).collect();
+        self.feed_batch(&costs, env);
     }
 
     fn status(&self) -> OptimizerStatus {

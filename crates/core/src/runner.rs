@@ -20,7 +20,9 @@ use std::time::Instant;
 
 use breaksym_anneal::{Annealer, RandomSearch, SaConfig};
 use breaksym_layout::{LayoutEnv, Placement};
-use breaksym_sim::{EvalCache, Evaluator, Metrics, SimCounter, DEFAULT_CACHE_CAPACITY};
+use breaksym_sim::{
+    EvalCache, Evaluator, Metrics, ScratchArena, SimCounter, DEFAULT_CACHE_CAPACITY,
+};
 use breaksym_testkit::{real_clock, SharedClock};
 use serde::{Deserialize, Serialize};
 
@@ -229,20 +231,24 @@ struct Setup {
 }
 
 fn setup(task: &PlacementTask) -> Result<Setup, PlaceError> {
-    setup_with(task, EvalCache::new(DEFAULT_CACHE_CAPACITY), SimCounter::new())
+    setup_with(task, EvalCache::new(DEFAULT_CACHE_CAPACITY), SimCounter::new(), None)
 }
 
 fn setup_with(
     task: &PlacementTask,
     cache: EvalCache,
     counter: SimCounter,
+    arena: Option<&ScratchArena>,
 ) -> Result<Setup, PlaceError> {
     let env = task.initial_env()?;
     // Every runner memoizes metrics by placement fingerprint: revisited
     // states (episode resets, undo-heavy proposals) cost a hash probe, not
     // a solve. Hits do not touch `counter` — the "#simulations" tally
     // counts real oracle solves only.
-    let evaluator = task.evaluator(counter.clone()).with_cache(cache.clone());
+    let mut evaluator = task.evaluator(counter.clone()).with_cache(cache.clone());
+    if let Some(arena) = arena {
+        evaluator = evaluator.with_scratch_arena(arena);
+    }
     let initial_metrics = evaluator.evaluate(&env)?;
     let objective = Objective::normalized_to(&initial_metrics);
     Ok(Setup { env, evaluator, counter, cache, initial_metrics, objective })
@@ -255,6 +261,25 @@ fn sample_closure<'a>(
     move |env| match evaluator.evaluate(env) {
         Ok(m) => Sample { cost: objective.cost(&m), primary: m.primary() },
         Err(_) => Sample { cost: FAILURE_COST, primary: FAILURE_COST },
+    }
+}
+
+/// The batched counterpart of [`sample_closure`]: one
+/// [`Evaluator::evaluate_batch`] call, failures penalised per candidate
+/// exactly like the sequential closure.
+fn batch_sample_closure<'a>(
+    evaluator: &'a Evaluator,
+    objective: &'a Objective,
+) -> impl FnMut(&mut LayoutEnv, &[Placement]) -> Vec<Sample> + 'a {
+    move |env, candidates| {
+        evaluator
+            .evaluate_batch(env, candidates)
+            .into_iter()
+            .map(|r| match r {
+                Ok(m) => Sample { cost: objective.cost(&m), primary: m.primary() },
+                Err(_) => Sample { cost: FAILURE_COST, primary: FAILURE_COST },
+            })
+            .collect()
     }
 }
 
@@ -284,6 +309,8 @@ pub struct Driver {
     shared_cache: Option<EvalCache>,
     counter: Option<SimCounter>,
     checkpoint_every: Option<u64>,
+    batch: usize,
+    scratch_arena: Option<ScratchArena>,
     clock: SharedClock,
 }
 
@@ -320,8 +347,26 @@ impl Driver {
             shared_cache: None,
             counter: None,
             checkpoint_every: None,
+            batch: 1,
+            scratch_arena: None,
             clock: real_clock(),
         }
+    }
+
+    /// Asks the optimizer for up to `k` proposals per round
+    /// ([`Optimizer::propose_batch`]) and evaluates them through one
+    /// [`Evaluator::evaluate_batch`] call. The run is **bit-identical** to
+    /// the sequential `k = 1` loop — same samples, trajectory, cache
+    /// accounting, and simulation tally — because batches only widen where
+    /// the proposal stream does not depend on the verdicts (SA probe
+    /// calibration, always-accept search) and the batch width is clamped
+    /// so no stopping rule or checkpoint boundary is crossed mid-batch;
+    /// stopping rules that must see every verdict (target stop, wall
+    /// clock, patience) force the width back to one.
+    #[must_use]
+    pub fn with_batch(mut self, k: usize) -> Self {
+        self.batch = k.max(1);
+        self
     }
 
     /// Overrides the wall-clock source (default: the real monotonic
@@ -361,6 +406,16 @@ impl Driver {
     #[must_use]
     pub fn with_shared_cache(mut self, cache: EvalCache) -> Self {
         self.shared_cache = Some(cache);
+        self
+    }
+
+    /// Shares an external [`ScratchArena`] so this run's evaluator reuses
+    /// already-warmed solver and extraction scratch (e.g. from a previous
+    /// job on the same worker thread) instead of starting cold. Results
+    /// are bit-identical either way; only allocation work changes.
+    #[must_use]
+    pub fn with_scratch_arena(mut self, arena: &ScratchArena) -> Self {
+        self.scratch_arena = Some(arena.clone());
         self
     }
 
@@ -418,6 +473,7 @@ impl Driver {
         let Setup { mut env, evaluator, counter, cache, initial_metrics, objective } =
             self.prepare(task)?;
         let mut sample = sample_closure(&evaluator, &objective);
+        let mut batch_sample = batch_sample_closure(&evaluator, &objective);
         let initial = sample(&env);
         let mut tracker = RunTracker::with_budget(
             initial,
@@ -432,6 +488,7 @@ impl Driver {
             opt,
             &mut env,
             &mut sample,
+            &mut batch_sample,
             &mut tracker,
             &method,
             started,
@@ -496,12 +553,14 @@ impl Driver {
         placement.rebuild_index();
         env.set_placement(placement)?;
         let mut sample = sample_closure(&evaluator, &objective);
+        let mut batch_sample = batch_sample_closure(&evaluator, &objective);
         let method = ckpt.method.clone();
         let base = ckpt.elapsed_ms;
         self.drive(
             opt,
             &mut env,
             &mut sample,
+            &mut batch_sample,
             &mut tracker,
             &method,
             started,
@@ -562,10 +621,12 @@ impl Driver {
         opt.init(&env, initial);
         let method = self.method.clone().unwrap_or_else(|| opt.label().to_string());
         let pause_at = tracker.evals.saturating_add(slice_evals.max(1));
+        let mut batch_sample = batch_sample_closure(&evaluator, &objective);
         let end = self.drive(
             opt,
             &mut env,
             &mut sample,
+            &mut batch_sample,
             &mut tracker,
             &method,
             started,
@@ -615,6 +676,7 @@ impl Driver {
         placement.rebuild_index();
         env.set_placement(placement)?;
         let mut sample = sample_closure(&evaluator, &objective);
+        let mut batch_sample = batch_sample_closure(&evaluator, &objective);
         let method = ckpt.method.clone();
         let base = ckpt.elapsed_ms;
         let pause_at = tracker.evals.saturating_add(slice_evals.max(1));
@@ -622,6 +684,7 @@ impl Driver {
             opt,
             &mut env,
             &mut sample,
+            &mut batch_sample,
             &mut tracker,
             &method,
             started,
@@ -691,23 +754,53 @@ impl Driver {
             .clone()
             .unwrap_or_else(|| EvalCache::new(DEFAULT_CACHE_CAPACITY));
         let counter = self.counter.clone().unwrap_or_default();
-        let mut s = setup_with(task, cache, counter)?;
+        let mut s = setup_with(task, cache, counter, self.scratch_arena.as_ref())?;
         if let Some((p, a, w)) = self.weights {
             s.objective = s.objective.with_weights(p, a, w);
         }
         Ok(s)
     }
 
+    /// How many evaluations the next batched round may spend: the
+    /// configured width, clamped so the batch never crosses the eval
+    /// budget, the slice boundary, or a checkpoint boundary (sequential
+    /// runs act on those between any two evaluations). Stopping rules
+    /// that inspect every verdict before the next proposal — target stop,
+    /// wall clock, patience — force the width to one.
+    fn batch_headroom(&self, tracker: &RunTracker, pause_at: Option<u64>) -> u64 {
+        if self.batch <= 1
+            || (self.budget.stop_at_target && self.budget.target_primary.is_some())
+            || self.budget.max_wall_ms.is_some()
+            || self.budget.patience.is_some()
+        {
+            return 1;
+        }
+        let mut room = (self.batch as u64).min(tracker.max_evals.saturating_sub(tracker.evals));
+        if let Some(at) = pause_at {
+            room = room.min(at.saturating_sub(tracker.evals));
+        }
+        if let Some(every) = self.checkpoint_every {
+            room = room.min(every - tracker.evals % every);
+        }
+        room.max(1)
+    }
+
     /// The inner propose → evaluate → observe loop. Exits on the tracker's
     /// own budget/target verdict, the wall clock, the patience rule, the
     /// optimizer finishing its schedule, or (when `pause_at` is set) the
     /// evaluation count reaching the slice boundary.
+    ///
+    /// With [`Driver::with_batch`] the loop asks for proposal *rounds* and
+    /// resolves each round with one batched oracle call; everything
+    /// observable (samples, records, checkpoints, stops) happens in the
+    /// same order as sequentially.
     #[allow(clippy::too_many_arguments)]
     fn drive<O: Optimizer + ?Sized>(
         &self,
         opt: &mut O,
         env: &mut LayoutEnv,
         sample: &mut impl FnMut(&LayoutEnv) -> Sample,
+        batch_sample: &mut impl FnMut(&mut LayoutEnv, &[Placement]) -> Vec<Sample>,
         tracker: &mut RunTracker,
         method: &str,
         started: Instant,
@@ -736,6 +829,37 @@ impl Driver {
             // here is always checkpoint-safe.
             if pause_at.is_some_and(|at| tracker.evals >= at) {
                 return Ok(DriveEnd::Paused);
+            }
+            let headroom = self.batch_headroom(tracker, pause_at);
+            if headroom > 1 {
+                let proposals = opt.propose_batch(env, headroom as usize);
+                if proposals.is_empty() {
+                    break;
+                }
+                let placements: Vec<Placement> =
+                    proposals.iter().map(|p| p.placement.clone()).collect();
+                let samples = batch_sample(env, &placements);
+                opt.observe_batch(&samples, env);
+                // Record in proposal order against the snapshots (the env
+                // has moved on to the batch's last placement). Headroom
+                // clamping means a stop can only fire on the last record.
+                let mut stop = false;
+                for (p, s) in proposals.iter().zip(&samples) {
+                    stop = if p.candidate {
+                        tracker.record_at(*s, &p.placement)
+                    } else {
+                        tracker.record_probe(*s)
+                    };
+                }
+                if self.checkpoint_every.is_some_and(|every| tracker.evals % every == 0) {
+                    let elapsed = base_elapsed_ms + self.elapsed_ms_since(started);
+                    let ckpt = RunCheckpoint::capture(method, tracker, env, opt, elapsed)?;
+                    on_checkpoint(&ckpt);
+                }
+                if stop {
+                    break;
+                }
+                continue;
             }
             match opt.propose(env) {
                 Proposal::Finished => break,
@@ -1364,5 +1488,130 @@ mod tests {
         assert_eq!(report.best_cost.to_bits(), solo.best_cost.to_bits());
         assert_eq!(report.trajectory, solo.trajectory);
         assert_eq!(report.evaluations, solo.evaluations);
+    }
+
+    // ------------------------------------------------ batched-driver tests
+
+    use breaksym_testkit::TestClock;
+    use proptest::prelude::*;
+
+    /// A driver on a frozen clock so `elapsed_ms` is deterministic and the
+    /// whole [`RunReport`] can be compared with `==`.
+    fn frozen_driver(budget: Budget) -> Driver {
+        Driver::new(budget).with_clock(TestClock::new().to_shared())
+    }
+
+    #[test]
+    fn batched_driver_is_bit_identical_for_every_method() {
+        let t = task();
+        let budget = Budget::evals(160);
+        let env = t.initial_env().unwrap();
+        for k in [2usize, 3, 8] {
+            // SA (auto temperature: the probe phase batches) and random
+            // search (whole move sequences batch).
+            let mut sa_seq = Annealer::new(SaConfig { seed: 7, ..SaConfig::default() });
+            let mut sa_bat = Annealer::new(SaConfig { seed: 7, ..SaConfig::default() });
+            let seq = frozen_driver(budget).run(&t, &mut sa_seq).unwrap();
+            let bat = frozen_driver(budget).with_batch(k).run(&t, &mut sa_bat).unwrap();
+            assert_eq!(seq, bat, "sa, k={k}");
+
+            let mut r_seq = RandomSearch::new(SaConfig { seed: 7, ..SaConfig::default() });
+            let mut r_bat = RandomSearch::new(SaConfig { seed: 7, ..SaConfig::default() });
+            let seq = frozen_driver(budget).run(&t, &mut r_seq).unwrap();
+            let bat = frozen_driver(budget).with_batch(k).run(&t, &mut r_bat).unwrap();
+            assert_eq!(seq, bat, "random, k={k}");
+
+            // The Q placers keep the default singleton batching and must
+            // come through the batched path unchanged too.
+            let mut q_seq = MultiLevelPlacer::new(&env, quick_cfg(7));
+            let mut q_bat = MultiLevelPlacer::new(&env, quick_cfg(7));
+            let seq = frozen_driver(budget).run(&t, &mut q_seq).unwrap();
+            let bat = frozen_driver(budget).with_batch(k).run(&t, &mut q_bat).unwrap();
+            assert_eq!(seq, bat, "mlma-q, k={k}");
+        }
+    }
+
+    #[test]
+    fn batched_driver_checkpoints_match_sequential() {
+        // Batch headroom is clamped at checkpoint boundaries, so a batched
+        // run emits the same checkpoints (same eval counts, same optimizer
+        // snapshots) a sequential run does.
+        let t = task();
+        let budget = Budget::evals(150);
+        let mut seq_ckpts = Vec::new();
+        let mut bat_ckpts = Vec::new();
+        let mut sa_seq = Annealer::new(SaConfig { seed: 4, ..SaConfig::default() });
+        let mut sa_bat = Annealer::new(SaConfig { seed: 4, ..SaConfig::default() });
+        let seq = frozen_driver(budget)
+            .with_checkpoint_every(40)
+            .run_observed(&t, &mut sa_seq, |c| seq_ckpts.push(c.clone()))
+            .unwrap();
+        let bat = frozen_driver(budget)
+            .with_batch(6)
+            .with_checkpoint_every(40)
+            .run_observed(&t, &mut sa_bat, |c| bat_ckpts.push(c.clone()))
+            .unwrap();
+        assert_eq!(seq, bat);
+        assert_eq!(seq_ckpts, bat_ckpts);
+        assert!(!seq_ckpts.is_empty());
+    }
+
+    #[test]
+    fn batched_sliced_run_matches_the_sequential_sliced_run() {
+        // Slice boundaries clamp the batch, so a batched sliced run pauses
+        // at the same points with the same checkpoints — the serve engine
+        // can turn batching on without any slice-semantics change.
+        let t = task();
+        let sa = SaConfig { max_evals: 200, seed: 6, ..SaConfig::default() };
+        let run_sliced = |batch: usize| {
+            let driver = frozen_driver(Budget::from_sa(&sa, None)).with_batch(batch);
+            let mut opt = Annealer::new(sa);
+            let mut outcome = driver.run_slice(&t, &mut opt, 45).unwrap();
+            loop {
+                match outcome {
+                    SliceOutcome::Finished(r) => break *r,
+                    SliceOutcome::Paused(ckpt) => {
+                        let mut fresh = Annealer::new(sa);
+                        outcome = driver.resume_slice(&t, &mut fresh, &ckpt, 45).unwrap();
+                    }
+                }
+            }
+        };
+        let seq = run_sliced(1);
+        let bat = run_sliced(5);
+        assert_eq!(seq, bat);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        /// Whatever the batch width and seed, a batched driver run is the
+        /// same run: the whole report (costs, trajectory, simulations,
+        /// cache accounting) matches the sequential one exactly.
+        #[test]
+        fn batched_runs_match_sequential_runs(
+            k in 2usize..10,
+            seed in 0u64..1000,
+            random in proptest::bool::ANY,
+        ) {
+            let t = task();
+            let budget = Budget::evals(90);
+            let cfg = SaConfig { seed, ..SaConfig::default() };
+            let (seq, bat) = if random {
+                let mut a = RandomSearch::new(cfg);
+                let mut b = RandomSearch::new(cfg);
+                (
+                    frozen_driver(budget).run(&t, &mut a).unwrap(),
+                    frozen_driver(budget).with_batch(k).run(&t, &mut b).unwrap(),
+                )
+            } else {
+                let mut a = Annealer::new(cfg);
+                let mut b = Annealer::new(cfg);
+                (
+                    frozen_driver(budget).run(&t, &mut a).unwrap(),
+                    frozen_driver(budget).with_batch(k).run(&t, &mut b).unwrap(),
+                )
+            };
+            prop_assert_eq!(seq, bat);
+        }
     }
 }

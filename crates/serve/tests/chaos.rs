@@ -10,13 +10,13 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use breaksym_core::{MethodSpec, MlmaConfig};
+use breaksym_core::{Driver, MethodSpec, MlmaConfig};
 use breaksym_serve::chaos::{run_chaos, ChaosConfig};
 use breaksym_serve::{
     HttpServer, JobSpec, JobState, ServeConfig, ServeEngine, ServeError, TaskSpec,
     FAIL_HTTP_RESPOND, FAIL_SLICE,
 };
-use breaksym_sim::FAIL_EVALUATE;
+use breaksym_sim::{FAIL_EVALUATE, FAIL_EVALUATE_BATCH};
 use breaksym_testkit::{fault, FaultAction, FaultPlan, TestClock};
 
 fn quick_cfg() -> MlmaConfig {
@@ -215,6 +215,43 @@ fn wait_deadlines_are_virtual_under_a_test_clock() {
     let ended = handle.wait(id, Duration::from_secs(120)).unwrap();
     assert!(ended.state.is_terminal(), "{:?}", ended.state);
     engine.shutdown();
+}
+
+#[test]
+fn batched_evaluation_failpoint_penalises_the_batch_and_the_run_survives() {
+    // A driver running with a batch width hits the `sim::evaluate_batch`
+    // failpoint once per batched oracle call. The injected failure fails
+    // every candidate of that round; each is penalised (none can become
+    // best), the run still spends its full budget, and the whole faulted
+    // run replays bit-identically under the same plan.
+    let run_once = || {
+        let _guard = fault::install(FaultPlan::new().with(
+            FAIL_EVALUATE_BATCH,
+            2,
+            FaultAction::Fail { what: "singular".into() },
+        ));
+        let task = TaskSpec::benchmark("diff_pair", 7).resolve().unwrap();
+        // Wire-format method spec, as a client would submit it: random
+        // search batches whole move sequences, so wide batches really run.
+        let method: MethodSpec =
+            serde_json::from_str(r#"{"Random": {"max_evals": 120, "seed": 9}}"#).unwrap();
+        let mut opt = method.build(&task).unwrap();
+        let report = Driver::new(method.budget())
+            .with_batch(8)
+            .with_clock(TestClock::new().to_shared())
+            .run(&task, opt.as_mut())
+            .unwrap();
+        assert!(
+            fault::hits(FAIL_EVALUATE_BATCH) >= 2,
+            "the batched oracle must be exercised enough to trip the trigger"
+        );
+        report
+    };
+    let first = run_once();
+    assert_eq!(first.evaluations, 120, "an injected batch failure must not end the run");
+    assert!(first.best_cost < 1e6, "a non-faulted candidate must win over penalised ones");
+    let second = run_once();
+    assert_eq!(first, second, "the faulted batched run must replay identically");
 }
 
 #[test]

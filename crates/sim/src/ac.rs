@@ -4,8 +4,9 @@ use breaksym_lde::ParamShift;
 use breaksym_netlist::{Circuit, DeviceKind, NetId};
 
 use crate::dc::DcSolution;
-use crate::linalg::lu_solve;
+use crate::linalg::lu_solve_in_place;
 use crate::mos;
+use crate::workspace::{LinearScratch, SolverWorkspace};
 use crate::{Complex, ExtraElement, MnaContext, SimError};
 
 /// The phasor solution of one AC solve.
@@ -75,10 +76,29 @@ impl<'a> AcSolver<'a> {
     ///
     /// [`SimError::SingularMatrix`] on floating nodes.
     pub fn solve(&self, ctx: &MnaContext, freq_hz: f64) -> Result<AcSolution, SimError> {
+        self.solve_ws(ctx, freq_hz, &mut SolverWorkspace::new())
+    }
+
+    /// Workspace variant of [`AcSolver::solve`]: identical arithmetic, the
+    /// complex matrix/RHS/solution drawn from `ws` so a frequency sweep
+    /// allocates nothing after the first point.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SingularMatrix`] on floating nodes.
+    pub fn solve_ws(
+        &self,
+        ctx: &MnaContext,
+        freq_hz: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<AcSolution, SimError> {
         let n = ctx.size();
         let omega = 2.0 * std::f64::consts::PI * freq_hz;
-        let mut a = vec![Complex::ZERO; n * n];
-        let mut b = vec![Complex::ZERO; n];
+        let LinearScratch { a, b, x, pivots } = &mut ws.lin;
+        a.clear();
+        a.resize(n * n, Complex::ZERO);
+        b.clear();
+        b.resize(n, Complex::ZERO);
 
         macro_rules! add_a {
             ($r:expr, $c:expr, $v:expr) => {
@@ -203,7 +223,7 @@ impl<'a> AcSolver<'a> {
             add_a!(ctx.node(net), ctx.node(net), y);
         }
 
-        let x = lu_solve(a, b)?;
+        lu_solve_in_place(a, b, x, pivots)?;
         let voltages = (0..self.circuit.nets().len() as u32)
             .map(|i| ctx.node(NetId::new(i)).map_or(Complex::ZERO, |k| x[k]))
             .collect();
@@ -315,6 +335,32 @@ mod tests {
             .voltage(vout)
             .abs();
         assert!(loaded < bare, "added cap must attenuate ({loaded} vs {bare})");
+    }
+
+    /// Sweeping through a reused workspace is bit-identical to fresh
+    /// per-point solves.
+    #[test]
+    fn workspace_sweep_is_bit_identical_to_fresh_solves() {
+        let mut b = CircuitBuilder::new("rc3", CircuitClass::Generic);
+        let vin = b.net("vin", NetKind::Signal);
+        let vout = b.net("vout", NetKind::Signal);
+        let vss = b.net("vss", NetKind::Ground);
+        let g = b.add_group("g", GroupKind::Passive).unwrap();
+        b.add_resistor("R1", 1e3, 1, g, vin, vout).unwrap();
+        b.add_capacitor("C1", 1e-9, 1, g, vout, vss).unwrap();
+        b.bind_port(PortRole::Vss, vss);
+        let circuit = b.build().unwrap();
+        let extras = vec![ExtraElement::Vsource { p: vin, n: vss, volts: 0.0, ac: 1.0 }];
+        let ctx = MnaContext::new(&circuit, &extras);
+        let dc = DcSolver::new(&circuit, &[], &extras).solve(&ctx).unwrap();
+        let ac = AcSolver::new(&circuit, &[], &extras, &dc, &[]);
+        let mut ws = crate::SolverWorkspace::new();
+        for f in AcSweep::default().frequencies() {
+            let fresh = ac.solve(&ctx, f).unwrap().voltage(vout);
+            let reused = ac.solve_ws(&ctx, f, &mut ws).unwrap().voltage(vout);
+            assert_eq!(fresh.re.to_bits(), reused.re.to_bits(), "f={f:.3e}");
+            assert_eq!(fresh.im.to_bits(), reused.im.to_bits(), "f={f:.3e}");
+        }
     }
 
     #[test]

@@ -14,6 +14,20 @@
 //! monitoring-friendly [`StatsSnapshot`] pairs them with the simulation
 //! tally **without taking the map lock** — serving-layer `/stats` polls
 //! never contend with evaluations in flight.
+//!
+//! # Why there is no batched `get_many`
+//!
+//! Batched evaluation
+//! ([`Evaluator::evaluate_batch`](crate::Evaluator::evaluate_batch)) is
+//! contractually bit-identical to sequential calls *including the cache
+//! accounting*, and that identity hangs on probe order: a candidate that
+//! appears twice in one batch must **miss** on its first occurrence (one
+//! solve, one insert) and **hit** on its second, exactly as sequential
+//! calls would. A pre-pass probing all keys up front would either count a
+//! duplicate as two misses (stats diverge) or answer its second occurrence
+//! before the first was solved (impossible). So the batch path deliberately
+//! probes one key at a time, interleaved with the solves — the per-probe
+//! lock is a single hash lookup and is not the bottleneck.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -331,6 +345,28 @@ mod tests {
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// The probe-order contract the batch evaluator relies on (see the
+    /// module docs): interleaved probe→insert over a key list containing a
+    /// duplicate yields miss-then-hit for the duplicate, never two misses.
+    #[test]
+    fn duplicate_keys_probed_in_order_miss_then_hit() {
+        let c = EvalCache::new(8);
+        let keys = [10u64, 11, 10, 12, 11];
+        let mut outcomes = Vec::new();
+        for &k in &keys {
+            match c.get(k) {
+                Some(_) => outcomes.push("hit"),
+                None => {
+                    c.insert(k, metrics(k as f64));
+                    outcomes.push("miss");
+                }
+            }
+        }
+        assert_eq!(outcomes, ["miss", "miss", "hit", "miss", "hit"]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (2, 3));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use breaksym_lde::ParamShift;
 use breaksym_netlist::{Circuit, DeviceId, DeviceKind, NetId, NetKind};
 
-use crate::linalg::lu_solve_real;
+use crate::linalg::lu_solve_real_into;
 use crate::mos::{self, MosOp};
+use crate::workspace::{LinearScratch, NewtonScratch, SolverWorkspace};
 use crate::{ExtraElement, MnaContext, SimError};
 
 /// Maximum Newton iterations before reporting non-convergence.
@@ -93,15 +94,34 @@ impl<'a> DcSolver<'a> {
         ctx: &MnaContext,
         previous: &DcSolution,
     ) -> Result<DcSolution, SimError> {
-        let mut x = self.initial_guess(ctx);
-        for (i, _net) in self.circuit.nets().iter().enumerate() {
-            if let Some(node) = ctx.node(breaksym_netlist::NetId::new(i as u32)) {
-                x[node] = previous.voltage(breaksym_netlist::NetId::new(i as u32));
+        self.solve_from_ws(ctx, previous, &mut SolverWorkspace::new())
+    }
+
+    /// Workspace variant of [`DcSolver::solve_from`]: identical arithmetic,
+    /// scratch drawn from (and returned to) `ws`.
+    ///
+    /// # Errors
+    ///
+    /// As [`DcSolver::solve`].
+    pub fn solve_from_ws(
+        &self,
+        ctx: &MnaContext,
+        previous: &DcSolution,
+        ws: &mut SolverWorkspace,
+    ) -> Result<DcSolution, SimError> {
+        let warm = {
+            let (x, newton, lin) = ws.dc_parts();
+            self.initial_guess_into(ctx, x);
+            for (i, _net) in self.circuit.nets().iter().enumerate() {
+                if let Some(node) = ctx.node(breaksym_netlist::NetId::new(i as u32)) {
+                    x[node] = previous.voltage(breaksym_netlist::NetId::new(i as u32));
+                }
             }
-        }
-        match self.newton(ctx, &mut x, 0.0, MAX_ITERS) {
-            Ok(iters) => Ok(self.finish(ctx, x, iters)),
-            Err(SimError::NoConvergence { .. }) => self.solve(ctx),
+            self.newton_ws(ctx, x, 0.0, MAX_ITERS, newton, lin)
+        };
+        match warm {
+            Ok(iters) => Ok(self.finish(ctx, &ws.x, iters)),
+            Err(SimError::NoConvergence { .. }) => self.solve_ws(ctx, ws),
             Err(e) => Err(e),
         }
     }
@@ -115,28 +135,55 @@ impl<'a> DcSolver<'a> {
     /// [`SimError::SingularMatrix`] on structural problems,
     /// [`SimError::NoConvergence`] when even the homotopy stalls.
     pub fn solve(&self, ctx: &MnaContext) -> Result<DcSolution, SimError> {
-        let mut x = self.initial_guess(ctx);
+        self.solve_ws(ctx, &mut SolverWorkspace::new())
+    }
+
+    /// Workspace variant of [`DcSolver::solve`]: identical arithmetic, all
+    /// scratch (solution vector, Jacobian, LU buffers) drawn from `ws` so
+    /// repeated solves of the same circuit allocate nothing after warmup.
+    ///
+    /// # Errors
+    ///
+    /// As [`DcSolver::solve`].
+    pub fn solve_ws(
+        &self,
+        ctx: &MnaContext,
+        ws: &mut SolverWorkspace,
+    ) -> Result<DcSolution, SimError> {
         let mut total_iters = 0usize;
-        match self.newton(ctx, &mut x, 0.0, MAX_ITERS) {
-            Ok(iters) => return Ok(self.finish(ctx, x, iters)),
+        let plain = {
+            let (x, newton, lin) = ws.dc_parts();
+            self.initial_guess_into(ctx, x);
+            self.newton_ws(ctx, x, 0.0, MAX_ITERS, newton, lin)
+        };
+        match plain {
+            Ok(iters) => return Ok(self.finish(ctx, &ws.x, iters)),
             Err(SimError::NoConvergence { .. }) => {}
             Err(e) => return Err(e),
         }
         // Gmin stepping: start heavily damped toward ground, relax in
         // decades, warm-starting each stage from the previous solution.
-        x = self.initial_guess(ctx);
         let mut last_err = None;
-        for k in 0..=10 {
-            let gstep = if k == 10 { 0.0 } else { 1e-3 * 10f64.powi(-k) };
-            match self.newton(ctx, &mut x, gstep, MAX_ITERS) {
-                Ok(iters) => {
-                    total_iters += iters;
-                    if gstep == 0.0 {
-                        return Ok(self.finish(ctx, x, total_iters));
+        let mut converged = false;
+        {
+            let (x, newton, lin) = ws.dc_parts();
+            self.initial_guess_into(ctx, x);
+            for k in 0..=10 {
+                let gstep = if k == 10 { 0.0 } else { 1e-3 * 10f64.powi(-k) };
+                match self.newton_ws(ctx, x, gstep, MAX_ITERS, newton, lin) {
+                    Ok(iters) => {
+                        total_iters += iters;
+                        if gstep == 0.0 {
+                            converged = true;
+                            break;
+                        }
                     }
+                    Err(e) => last_err = Some(e),
                 }
-                Err(e) => last_err = Some(e),
             }
+        }
+        if converged {
+            return Ok(self.finish(ctx, &ws.x, total_iters));
         }
         Err(last_err
             .unwrap_or(SimError::NoConvergence { iterations: total_iters, residual: f64::NAN }))
@@ -144,29 +191,30 @@ impl<'a> DcSolver<'a> {
 
     /// One damped-Newton run with an extra `gmin_step` conductance from
     /// every node to ground. Returns the iteration count on convergence.
-    fn newton(
+    /// All scratch comes from the caller's workspace — the loop allocates
+    /// nothing once the arena is warm.
+    fn newton_ws(
         &self,
         ctx: &MnaContext,
         x: &mut [f64],
         gmin_step: f64,
         max_iters: usize,
+        scratch: &mut NewtonScratch,
+        lin: &mut LinearScratch,
     ) -> Result<usize, SimError> {
         let n = ctx.size();
         let mut residual_norm = f64::INFINITY;
-        // Buffers reused across iterations and line-search trials — the
-        // dense Jacobian is the largest allocation of the whole solve.
-        let mut jac = Vec::new();
-        let mut rhs = Vec::new();
-        let mut tj = Vec::new();
-        let mut tf = Vec::new();
-        let mut trial = Vec::new();
+        // Buffers reused across iterations, line-search trials, and (via
+        // the workspace) whole evaluations — the dense Jacobian is the
+        // largest allocation of the whole solve.
+        let NewtonScratch { jac, rhs, tj, tf, trial, delta } = scratch;
         for iter in 0..max_iters {
-            self.assemble_into(ctx, x, &mut jac, &mut rhs);
+            self.assemble_into(ctx, x, jac, rhs);
             for node in 0..ctx.num_nodes() {
                 jac[node * n + node] += gmin_step;
                 rhs[node] += gmin_step * x[node];
             }
-            for v in &mut rhs {
+            for v in rhs.iter_mut() {
                 *v = -*v; // solve J·Δ = −F
             }
             let new_norm = rhs.iter().fold(0.0f64, |m, v| m.max(v.abs()));
@@ -176,7 +224,7 @@ impl<'a> DcSolver<'a> {
             // Backtrack: if the residual grew, halve the previous step
             // instead of taking a fresh full one.
             residual_norm = new_norm;
-            let delta = lu_solve_real(&jac, &rhs)?;
+            lu_solve_real_into(jac, rhs, lin, delta)?;
             let max_dv = delta[..ctx.num_nodes()].iter().fold(0.0f64, |m, v| m.max(v.abs()));
             let mut scale = if max_dv > STEP_LIMIT {
                 STEP_LIMIT / max_dv
@@ -191,14 +239,14 @@ impl<'a> DcSolver<'a> {
                 for i in 0..n {
                     trial[i] += delta[i] * scale;
                 }
-                self.assemble_into(ctx, &trial, &mut tj, &mut tf);
+                self.assemble_into(ctx, trial, tj, tf);
                 for node in 0..ctx.num_nodes() {
                     tj[node * n + node] += gmin_step;
                     tf[node] += gmin_step * trial[node];
                 }
                 let t_norm = tf.iter().fold(0.0f64, |m, v| m.max(v.abs()));
                 if t_norm <= residual_norm * (1.0 - 1e-4) || t_norm < RESIDUAL_TOL {
-                    x.copy_from_slice(&trial);
+                    x.copy_from_slice(trial);
                     accepted = true;
                     break;
                 }
@@ -221,16 +269,17 @@ impl<'a> DcSolver<'a> {
         Err(SimError::NoConvergence { iterations: max_iters, residual: residual_norm })
     }
 
-    /// Initial guess: supplies at their source value, everything else at
-    /// half the largest supply.
-    fn initial_guess(&self, ctx: &MnaContext) -> Vec<f64> {
+    /// Initial guess, written into the caller's buffer: supplies at their
+    /// source value, everything else at half the largest supply.
+    fn initial_guess_into(&self, ctx: &MnaContext, x: &mut Vec<f64>) {
         let mut vdd_guess = 0.0f64;
         for d in self.circuit.devices() {
             if let DeviceKind::VoltageSource { volts } = d.kind {
                 vdd_guess = vdd_guess.max(volts.abs());
             }
         }
-        let mut x = vec![vdd_guess * 0.5; ctx.size()];
+        x.clear();
+        x.resize(ctx.size(), vdd_guess * 0.5);
         for branch in x.iter_mut().skip(ctx.num_nodes()) {
             *branch = 0.0; // branch currents start at zero
         }
@@ -242,7 +291,6 @@ impl<'a> DcSolver<'a> {
                 }
             }
         }
-        x
     }
 
     /// Builds the Jacobian (row-major `n×n`) and residual `F(x)` into the
@@ -368,7 +416,7 @@ impl<'a> DcSolver<'a> {
         }
     }
 
-    fn finish(&self, ctx: &MnaContext, x: Vec<f64>, iterations: usize) -> DcSolution {
+    fn finish(&self, ctx: &MnaContext, x: &[f64], iterations: usize) -> DcSolution {
         let volt = |net: NetId| ctx.node(net).map_or(0.0, |i| x[i]);
         let voltages = (0..self.circuit.nets().len() as u32).map(|i| volt(NetId::new(i))).collect();
         let device_ops = self
@@ -495,6 +543,34 @@ mod tests {
             ExtraElement::Vsource { p: inp, n: vss, volts: 0.7, ac: 0.5 },
             ExtraElement::Vsource { p: inn, n: vss, volts: 0.7, ac: -0.5 },
         ]
+    }
+
+    /// A reused workspace must not change a single bit of any solution:
+    /// the arena is a buffer-lifetime optimisation, not an algorithm.
+    #[test]
+    fn reused_workspace_is_bit_identical_to_fresh_solves() {
+        let mut ws = SolverWorkspace::new();
+        for (c, extras) in [
+            (circuits::current_mirror_medium(), vec![]),
+            (circuits::five_transistor_ota(), ota_5t_extras()),
+            (circuits::diff_pair(), diff_extras()),
+        ] {
+            let ctx = MnaContext::new(&c, &extras);
+            let solver = DcSolver::new(&c, &[], &extras);
+            let fresh = solver.solve(&ctx).unwrap();
+            let reused = solver.solve_ws(&ctx, &mut ws).unwrap();
+            assert_eq!(fresh.iterations, reused.iterations);
+            for i in 0..c.nets().len() as u32 {
+                let net = NetId::new(i);
+                assert_eq!(
+                    fresh.voltage(net).to_bits(),
+                    reused.voltage(net).to_bits(),
+                    "{}: net {i} diverged",
+                    c.name()
+                );
+            }
+        }
+        assert!(!ws.last_pivots().is_empty(), "workspace recorded the pivot order");
     }
 
     /// A Vth shift on one side of a diff pair unbalances the outputs.

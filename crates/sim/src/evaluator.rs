@@ -2,16 +2,18 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use breaksym_layout::LayoutEnv;
+use breaksym_layout::{LayoutEnv, Placement};
 use breaksym_lde::{LdeModel, LdeScratch, ParamShift};
 use breaksym_netlist::NetId;
 use breaksym_route::ParasiticsScratch;
 
 use crate::{
-    CacheStats, EvalCache, EvalOptions, ExtractionTech, Metrics, SimCounter, SimError, Testbench,
+    CacheStats, EvalCache, EvalOptions, ExtractionTech, Metrics, SimCounter, SimError,
+    SolverWorkspace, Testbench,
 };
 
 /// Failpoint hit on every evaluator call (see `breaksym_testkit::fault`).
@@ -23,6 +25,12 @@ pub const FAIL_EVALUATE: &str = "sim::evaluate";
 /// insert (simulating eviction pressure) without affecting the returned
 /// metrics.
 pub const FAIL_CACHE_INSERT: &str = "sim::cache_insert";
+
+/// Failpoint hit once at the top of every [`Evaluator::evaluate_batch`]
+/// call, before any candidate is touched. A `Fail` action fails the whole
+/// batch — every candidate reports the injected error — modelling a
+/// simulator backend dying between submission and the first result.
+pub const FAIL_EVALUATE_BATCH: &str = "sim::evaluate_batch";
 
 /// Maps a `Fail` fault action to the [`SimError`] it injects.
 fn injected_sim_error(action: &breaksym_testkit::FaultAction) -> Option<SimError> {
@@ -37,16 +45,40 @@ fn injected_sim_error(action: &breaksym_testkit::FaultAction) -> Option<SimError
     }
 }
 
-/// Reusable per-evaluator buffers: incremental LDE and parasitics state
-/// plus the `shifts` / `node_caps` vectors handed to the testbench. Kept
-/// behind a mutex so `evaluate(&self)` stays shareable; never cloned —
-/// each evaluator clone starts with fresh (empty) scratch.
+/// Reusable per-evaluator buffers: incremental LDE and parasitics state,
+/// the `shifts` / `node_caps` vectors handed to the testbench, and the
+/// [`SolverWorkspace`] arena every MNA solve draws from. Kept behind a
+/// mutex so `evaluate(&self)` stays shareable; never cloned — each
+/// evaluator clone starts with fresh (empty) scratch.
 #[derive(Debug, Default)]
 struct EvalScratch {
     lde: LdeScratch,
     route: ParasiticsScratch,
     shifts: Vec<ParamShift>,
     node_caps: Vec<(NetId, f64)>,
+    ws: SolverWorkspace,
+}
+
+/// A shareable handle to an evaluator's scratch arena: the incremental LDE
+/// and parasitics state plus the [`SolverWorkspace`] every solve draws
+/// from.
+///
+/// Every piece of that state is keyed by position / grid / circuit
+/// identity and self-invalidating, so handing one arena to several
+/// evaluators — even across different tasks — is **bit-identical** to each
+/// evaluator owning fresh scratch; sharing only skips the reallocation and
+/// re-warming. A worker thread that runs many jobs back-to-back holds one
+/// arena and threads it into every job's evaluator
+/// ([`Evaluator::with_scratch_arena`]). Evaluators sharing an arena
+/// serialise on its lock, so share within a thread, not across threads.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchArena(Arc<Mutex<EvalScratch>>);
+
+impl ScratchArena {
+    /// An empty (cold) arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Evaluates placements: applies the LDE model, extracts parasitics, runs
@@ -68,6 +100,13 @@ struct EvalScratch {
 /// per-unit field samples and per-net parasitics are reused from scratch
 /// buffers and recomputed only for units/nets that moved since the last
 /// call. Results are bit-for-bit identical to a from-scratch evaluation.
+///
+/// # Batching
+///
+/// [`Evaluator::evaluate_batch`] pushes `K` candidate placements through
+/// one scratch acquisition and one warmed [`SolverWorkspace`]; it is
+/// contractually bit-identical to `K` sequential calls — same metrics,
+/// same cache accounting, same counter — and property-tested to stay so.
 ///
 /// # Examples
 ///
@@ -96,14 +135,14 @@ pub struct Evaluator {
     /// placement that determines the metrics (LDE model, tech, options).
     /// Lets differently-configured evaluators share one cache safely.
     cache_salt: u64,
-    scratch: Mutex<EvalScratch>,
+    scratch: ScratchArena,
 }
 
 impl Clone for Evaluator {
     /// Clones share the counter and the cache (both are shared handles)
-    /// but start with fresh scratch buffers — sharing incremental state
-    /// across clones that may diverge (e.g. different tech) would poison
-    /// it.
+    /// but start with fresh scratch buffers — the scratch itself is safe
+    /// to share (see [`ScratchArena`]), but clones default to private
+    /// arenas so they never serialise on one lock by accident.
     fn clone(&self) -> Self {
         Evaluator {
             lde: self.lde.clone(),
@@ -112,7 +151,7 @@ impl Clone for Evaluator {
             counter: self.counter.clone(),
             cache: self.cache.clone(),
             cache_salt: self.cache_salt,
-            scratch: Mutex::new(EvalScratch::default()),
+            scratch: ScratchArena::new(),
         }
     }
 }
@@ -127,7 +166,7 @@ impl Evaluator {
             counter: SimCounter::new(),
             cache: None,
             cache_salt: 0,
-            scratch: Mutex::new(EvalScratch::default()),
+            scratch: ScratchArena::new(),
         };
         eval.refresh_cache_salt();
         eval
@@ -159,6 +198,16 @@ impl Evaluator {
     /// the simulator (and without incrementing the counter).
     pub fn with_cache(mut self, cache: EvalCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Shares `arena` as this evaluator's scratch, replacing its private
+    /// one. Bit-identical to keeping private scratch (see
+    /// [`ScratchArena`]); the win is that a worker running several jobs
+    /// in sequence keeps its solver workspace and incremental state warm
+    /// across them.
+    pub fn with_scratch_arena(mut self, arena: &ScratchArena) -> Self {
+        self.scratch = arena.clone();
         self
     }
 
@@ -242,6 +291,72 @@ impl Evaluator {
                 return Err(err);
             }
         }
+        let mut guard = self.scratch.0.lock();
+        self.evaluate_locked(env, extra, &mut guard)
+    }
+
+    /// Evaluates `candidates` against `env` as one batch, returning one
+    /// result per candidate in order.
+    ///
+    /// Semantically this is *exactly* `K` sequential [`Evaluator::evaluate`]
+    /// calls with `env` set to each candidate in turn: bit-identical
+    /// metrics, the same cache hit/miss accounting (a duplicated candidate
+    /// misses then hits, in batch order), and the same counter increments —
+    /// a cache hit is still not a simulation. What changes is the cost
+    /// model: the scratch mutex is taken once for the whole batch and every
+    /// solve reuses the same warmed [`SolverWorkspace`] arena. `env` leaves
+    /// with the placement it entered with (though its mutation
+    /// [`version`](LayoutEnv::version) advances).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate is not a legal placement of `env`'s circuit on
+    /// its grid; batch candidates come from an optimizer driving this very
+    /// env, so an illegal one is a caller bug, not data.
+    pub fn evaluate_batch(
+        &self,
+        env: &mut LayoutEnv,
+        candidates: &[Placement],
+    ) -> Vec<Result<Metrics, SimError>> {
+        // Failpoint: a whole-batch failure, before any candidate runs.
+        if let Some(action) = breaksym_testkit::fault::hit(FAIL_EVALUATE_BATCH) {
+            if let Some(err) = injected_sim_error(&action) {
+                return candidates.iter().map(|_| Err(err.clone())).collect();
+            }
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let restore = env.placement().clone();
+        let mut out = Vec::with_capacity(candidates.len());
+        let mut guard = self.scratch.0.lock();
+        for candidate in candidates {
+            env.set_placement(candidate.clone())
+                .expect("batch candidate must be a legal placement of this env");
+            // The same per-call failpoint the sequential path hits, so a
+            // fault plan triggers on the Nth evaluation either way.
+            let injected = breaksym_testkit::fault::hit(FAIL_EVALUATE)
+                .as_ref()
+                .and_then(injected_sim_error);
+            out.push(match injected {
+                Some(err) => Err(err),
+                None => self.evaluate_locked(env, &[], &mut guard),
+            });
+        }
+        drop(guard);
+        env.set_placement(restore).expect("entry placement was legal");
+        out
+    }
+
+    /// The cache-probe → solve → memoize sequence with the scratch lock
+    /// already held; shared verbatim by the sequential and batched entry
+    /// points so their per-call accounting cannot diverge.
+    fn evaluate_locked(
+        &self,
+        env: &LayoutEnv,
+        extra: &[ParamShift],
+        scratch: &mut EvalScratch,
+    ) -> Result<Metrics, SimError> {
         if extra.is_empty() {
             if let Some(cache) = &self.cache {
                 let key = self.cache_key(env);
@@ -250,7 +365,7 @@ impl Evaluator {
                     // (the paper's "#simulations") stays untouched.
                     return Ok(metrics);
                 }
-                let metrics = self.solve(env, extra)?;
+                let metrics = self.solve_locked(env, extra, scratch)?;
                 // Failpoint: a `Drop` here loses the memoization (eviction
                 // pressure) — the metrics themselves are still returned.
                 if !matches!(
@@ -262,18 +377,22 @@ impl Evaluator {
                 return Ok(metrics);
             }
         }
-        self.solve(env, extra)
+        self.solve_locked(env, extra, scratch)
     }
 
     /// One real oracle call: LDE shifts → parasitics → testbench. Always
     /// increments the simulation counter. Incremental: reuses the scratch
     /// buffers, recomputing only what the placement delta requires.
-    fn solve(&self, env: &LayoutEnv, extra: &[ParamShift]) -> Result<Metrics, SimError> {
+    fn solve_locked(
+        &self,
+        env: &LayoutEnv,
+        extra: &[ParamShift],
+        scratch: &mut EvalScratch,
+    ) -> Result<Metrics, SimError> {
         self.counter.increment();
         let circuit = env.circuit();
 
-        let mut guard = self.scratch.lock();
-        let EvalScratch { lde, route, shifts, node_caps } = &mut *guard;
+        let EvalScratch { lde, route, shifts, node_caps, ws } = scratch;
 
         let device_shifts = self.lde.device_shifts_into(env, lde);
         shifts.clear();
@@ -291,7 +410,7 @@ impl Evaluator {
         node_caps.extend(parasitics.nets.iter().map(|n| (n.net, n.c_farads)));
         let total_length_um = parasitics.total_length_um;
 
-        let mut metrics = self.bench.run(circuit, shifts, node_caps)?;
+        let mut metrics = self.bench.run_ws(circuit, shifts, node_caps, ws)?;
         metrics.area_um2 = env.area_um2();
         metrics.wirelength_um = total_length_um;
         Ok(metrics)
@@ -473,6 +592,152 @@ mod tests {
         b.evaluate(&env).unwrap();
         assert_eq!(a.counter().count(), 1, "clone's lookup hits the shared cache");
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_scratch_arena_is_bit_identical_to_private_scratch() {
+        // Two evaluators share one arena and evaluate *different* tasks
+        // back-to-back, repeatedly — the worst case for stale incremental
+        // state. Every result must match a fresh-evaluator solve bit for
+        // bit.
+        let arena = ScratchArena::new();
+        let a = Evaluator::new(LdeModel::nonlinear(1.0, 5)).with_scratch_arena(&arena);
+        let b = Evaluator::new(LdeModel::nonlinear(1.0, 5)).with_scratch_arena(&arena);
+        let mirror = env_of(circuits::current_mirror_medium(), 16);
+        let ota = env_of(circuits::five_transistor_ota(), 12);
+        for _ in 0..2 {
+            for (eval, env) in [(&a, &mirror), (&b, &ota), (&a, &ota), (&b, &mirror)] {
+                let shared = eval.evaluate(env).unwrap();
+                let fresh = Evaluator::new(LdeModel::nonlinear(1.0, 5)).evaluate(env).unwrap();
+                assert_eq!(metric_bits(&shared), metric_bits(&fresh));
+            }
+        }
+    }
+
+    /// Random-walks `base` by legal unit moves, collecting a placement per
+    /// step (with periodic duplicates so the cache's miss-then-hit
+    /// accounting is exercised).
+    fn candidate_walk(base: &LayoutEnv, picks: &[(u32, usize)]) -> Vec<breaksym_layout::Placement> {
+        use breaksym_layout::UnitMove;
+        use breaksym_netlist::UnitId;
+        let mut walker = base.clone();
+        let mut candidates = Vec::new();
+        for (i, &(u, d)) in picks.iter().enumerate() {
+            let unit = UnitId::new(u % walker.circuit().num_units() as u32);
+            let dirs = walker.legal_unit_moves(unit);
+            if !dirs.is_empty() {
+                walker.apply(UnitMove { unit, dir: dirs[d % dirs.len()] }.into()).unwrap();
+            }
+            candidates.push(walker.placement().clone());
+            if i % 3 == 0 {
+                candidates.push(walker.placement().clone());
+            }
+        }
+        candidates
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        /// The batch contract, property-tested: `evaluate_batch` over a
+        /// random candidate list (with duplicates) is indistinguishable
+        /// from sequential `evaluate` calls — metric bits, counter, cache
+        /// hits/misses, and the env's final placement all agree.
+        #[test]
+        fn batch_is_bit_identical_to_sequential(
+            picks in proptest::collection::vec((0u32..64, 0usize..8), 1..8),
+        ) {
+            let base = env_of(circuits::current_mirror_medium(), 16);
+            let candidates = candidate_walk(&base, &picks);
+
+            let lde = LdeModel::nonlinear(1.0, 5);
+            let seq = Evaluator::new(lde.clone()).with_cache(crate::EvalCache::new(256));
+            let bat = Evaluator::new(lde).with_cache(crate::EvalCache::new(256));
+
+            let mut env_seq = base.clone();
+            let mut seq_results = Vec::new();
+            for c in &candidates {
+                env_seq.set_placement(c.clone()).unwrap();
+                seq_results.push(seq.evaluate(&env_seq));
+            }
+
+            let mut env_bat = base.clone();
+            let bat_results = bat.evaluate_batch(&mut env_bat, &candidates);
+
+            prop_assert_eq!(seq_results.len(), bat_results.len());
+            for (s, b) in seq_results.iter().zip(&bat_results) {
+                match (s, b) {
+                    (Ok(sm), Ok(bm)) => prop_assert_eq!(metric_bits(sm), metric_bits(bm)),
+                    (Err(se), Err(be)) => prop_assert_eq!(se, be),
+                    _ => prop_assert!(false, "Ok/Err divergence between batch and sequential"),
+                }
+            }
+            prop_assert_eq!(seq.counter().count(), bat.counter().count());
+            let (ss, bs) = (seq.cache_stats().unwrap(), bat.cache_stats().unwrap());
+            prop_assert_eq!((ss.hits, ss.misses), (bs.hits, bs.misses));
+            prop_assert_eq!(env_bat.placement(), base.placement());
+        }
+    }
+
+    #[test]
+    fn batch_failpoint_fails_every_candidate_and_restores_the_env() {
+        use breaksym_testkit::{fault, FaultAction, FaultPlan};
+        let plan = FaultPlan::new().with(
+            FAIL_EVALUATE_BATCH,
+            1,
+            FaultAction::Fail { what: "singular".into() },
+        );
+        let _guard = fault::install(plan);
+
+        let base = env_of(circuits::current_mirror_medium(), 16);
+        let candidates = candidate_walk(&base, &[(3, 1), (9, 0)]);
+        let eval = Evaluator::new(LdeModel::none()).with_cache(crate::EvalCache::new(16));
+        let mut env = base.clone();
+        let results = eval.evaluate_batch(&mut env, &candidates);
+        assert_eq!(results.len(), candidates.len());
+        assert!(
+            results.iter().all(|r| matches!(r, Err(SimError::SingularMatrix { .. }))),
+            "a batch-level fault fails every candidate"
+        );
+        assert_eq!(eval.counter().count(), 0, "nothing simulated");
+        assert_eq!(eval.cache_stats().unwrap().misses, 0, "cache never probed");
+        assert_eq!(env.placement(), base.placement(), "env untouched by the failed batch");
+
+        // The guard is still armed for exactly one hit — disarmed now, the
+        // same batch succeeds.
+        let ok = eval.evaluate_batch(&mut env, &candidates);
+        assert!(ok.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn per_candidate_failpoint_hits_the_same_index_in_a_batch() {
+        use breaksym_testkit::{fault, FaultAction, FaultPlan};
+        let base = env_of(circuits::current_mirror_medium(), 16);
+        let candidates = candidate_walk(&base, &[(1, 0), (5, 2), (11, 4)]);
+        assert!(candidates.len() >= 3);
+
+        // Sequential run with the fault on the 2nd evaluator call...
+        let plan =
+            FaultPlan::new().with(FAIL_EVALUATE, 2, FaultAction::Fail { what: "wedged".into() });
+        let guard = fault::install(plan.clone());
+        let seq = Evaluator::new(LdeModel::none());
+        let mut env = base.clone();
+        let mut seq_kinds = Vec::new();
+        for c in &candidates {
+            env.set_placement(c.clone()).unwrap();
+            seq_kinds.push(seq.evaluate(&env).is_ok());
+        }
+        drop(guard);
+
+        // ... must fail the same position as a batched run.
+        let _guard = fault::install(plan);
+        let bat = Evaluator::new(LdeModel::none());
+        let mut env = base.clone();
+        let bat_kinds: Vec<bool> =
+            bat.evaluate_batch(&mut env, &candidates).iter().map(Result::is_ok).collect();
+        assert_eq!(seq_kinds, bat_kinds);
+        assert!(!bat_kinds[1], "the 2nd candidate takes the injected failure");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! - complex **AC** solver at the DC operating point ([`AcSolver`]);
 //! - class-specific testbenches ([`Testbench`]) producing [`Metrics`] for
 //!   the paper's three circuit classes (CM, COMP, OTA);
+//! - a per-circuit [`SolverWorkspace`] arena so repeated evaluations (and
+//!   [`Evaluator::evaluate_batch`] over many candidates) allocate nothing
+//!   after warmup, bit-identically to fresh solves;
 //! - a shared [`SimCounter`] — the "#simulations" column of Fig. 3;
 //! - a Monte-Carlo engine ([`MonteCarlo`]) separating *random* from
 //!   *systematic* variation, mirroring the paper's introduction.
@@ -53,6 +56,7 @@ mod op_report;
 mod stamp;
 mod testbench;
 mod tran;
+mod workspace;
 
 pub use ac::{AcSolver, AcSweep};
 pub use cache::{CacheStats, EvalCache, StatsSnapshot, DEFAULT_CACHE_CAPACITY};
@@ -60,14 +64,17 @@ pub use complex::Complex;
 pub use counter::SimCounter;
 pub use dc::{DcSolution, DcSolver};
 pub use error::SimError;
-pub use evaluator::{Evaluator, FAIL_CACHE_INSERT, FAIL_EVALUATE};
-pub use linalg::lu_solve;
+pub use evaluator::{
+    Evaluator, ScratchArena, FAIL_CACHE_INSERT, FAIL_EVALUATE, FAIL_EVALUATE_BATCH,
+};
+pub use linalg::{lu_solve, lu_solve_in_place, lu_solve_real};
 pub use metrics::Metrics;
 pub use monte::{MismatchStats, MonteCarlo};
 pub use op_report::{DeviceOp, OpReport, Region};
 pub use stamp::{ExtraElement, MnaContext};
 pub use testbench::{EvalOptions, Testbench};
 pub use tran::{TransientResult, TransientSolver};
+pub use workspace::{SolverWorkspace, StructurePlan};
 
 // Re-export what callers need alongside this crate.
 pub use breaksym_lde::{LdeModel, ParamShift};

@@ -4,12 +4,92 @@
 //! unknowns, so a dense `O(n³)` solve is the right tool; no external
 //! linear-algebra crate is needed.
 
+use crate::workspace::LinearScratch;
 use crate::{Complex, SimError};
+
+/// Solves `A·x = b` fully in place: `a` and `b` are overwritten with the
+/// factorisation, the solution is written to `x` (cleared and resized),
+/// and the pivot row chosen per column is recorded in `pivots`.
+///
+/// This is the allocation-free core behind [`lu_solve`]; callers that hold
+/// a [`SolverWorkspace`](crate::SolverWorkspace) route their arena buffers
+/// through here. It performs exactly the same arithmetic in the same order
+/// as the consuming wrapper, so the two are bit-identical.
+///
+/// # Errors
+///
+/// Returns [`SimError::SingularMatrix`] when a pivot underflows, which in
+/// MNA terms means a floating node or a voltage-source loop.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n*n` with `n = b.len()` (caller bug, not data).
+pub fn lu_solve_in_place(
+    a: &mut [Complex],
+    b: &mut [Complex],
+    x: &mut Vec<Complex>,
+    pivots: &mut Vec<usize>,
+) -> Result<(), SimError> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix shape must match rhs length");
+    const PIVOT_EPS: f64 = 1e-300;
+    pivots.clear();
+
+    for col in 0..n {
+        // Partial pivot: the row with the largest magnitude in this column.
+        let mut pivot_row = col;
+        let mut pivot_mag = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let mag = a[row * n + col].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = row;
+            }
+        }
+        if pivot_mag < PIVOT_EPS {
+            return Err(SimError::SingularMatrix { column: col });
+        }
+        pivots.push(pivot_row);
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            a[row * n + col] = Complex::ZERO;
+            for k in (col + 1)..n {
+                let sub = factor * a[col * n + k];
+                a[row * n + k] -= sub;
+            }
+            let sub = factor * b[col];
+            b[row] -= sub;
+        }
+    }
+
+    // Back substitution.
+    x.clear();
+    x.resize(n, Complex::ZERO);
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(())
+}
 
 /// Solves `A·x = b` in place via LU with partial pivoting.
 ///
 /// `a` is row-major `n × n`; `b` has length `n`. Returns the solution
-/// vector.
+/// vector. Thin wrapper over [`lu_solve_in_place`] for callers without a
+/// workspace.
 ///
 /// # Errors
 ///
@@ -36,68 +116,45 @@ use crate::{Complex, SimError};
 /// # Ok::<(), breaksym_sim::SimError>(())
 /// ```
 pub fn lu_solve(mut a: Vec<Complex>, mut b: Vec<Complex>) -> Result<Vec<Complex>, SimError> {
-    let n = b.len();
-    assert_eq!(a.len(), n * n, "matrix shape must match rhs length");
-    const PIVOT_EPS: f64 = 1e-300;
-
-    for col in 0..n {
-        // Partial pivot: the row with the largest magnitude in this column.
-        let mut pivot_row = col;
-        let mut pivot_mag = a[col * n + col].abs();
-        for row in (col + 1)..n {
-            let mag = a[row * n + col].abs();
-            if mag > pivot_mag {
-                pivot_mag = mag;
-                pivot_row = row;
-            }
-        }
-        if pivot_mag < PIVOT_EPS {
-            return Err(SimError::SingularMatrix { column: col });
-        }
-        if pivot_row != col {
-            for k in 0..n {
-                a.swap(col * n + k, pivot_row * n + k);
-            }
-            b.swap(col, pivot_row);
-        }
-        let pivot = a[col * n + col];
-        for row in (col + 1)..n {
-            let factor = a[row * n + col] / pivot;
-            if factor.abs() == 0.0 {
-                continue;
-            }
-            a[row * n + col] = Complex::ZERO;
-            for k in (col + 1)..n {
-                let sub = factor * a[col * n + k];
-                a[row * n + k] -= sub;
-            }
-            let sub = factor * b[col];
-            b[row] -= sub;
-        }
-    }
-
-    // Back substitution.
-    let mut x = vec![Complex::ZERO; n];
-    for row in (0..n).rev() {
-        let mut acc = b[row];
-        for k in (row + 1)..n {
-            acc -= a[row * n + k] * x[k];
-        }
-        x[row] = acc / a[row * n + row];
-    }
+    let mut x = Vec::new();
+    let mut pivots = Vec::new();
+    lu_solve_in_place(&mut a, &mut b, &mut x, &mut pivots)?;
     Ok(x)
 }
 
+/// Workspace-routed real solve: promotes into the arena's complex buffers
+/// and writes the real solution into `out` (cleared here).
+///
+/// # Errors
+///
+/// Same as [`lu_solve`].
+pub(crate) fn lu_solve_real_into(
+    a: &[f64],
+    b: &[f64],
+    lin: &mut LinearScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), SimError> {
+    lin.a.clear();
+    lin.a.extend(a.iter().map(|&v| Complex::real(v)));
+    lin.b.clear();
+    lin.b.extend(b.iter().map(|&v| Complex::real(v)));
+    lu_solve_in_place(&mut lin.a, &mut lin.b, &mut lin.x, &mut lin.pivots)?;
+    out.clear();
+    out.extend(lin.x.iter().map(|z| z.re));
+    Ok(())
+}
+
 /// Solves a real-valued system by promoting to complex. Convenience for
-/// the DC solver.
+/// workspace-free callers; thin wrapper over [`lu_solve_real_into`].
 ///
 /// # Errors
 ///
 /// Same as [`lu_solve`].
 pub fn lu_solve_real(a: &[f64], b: &[f64]) -> Result<Vec<f64>, SimError> {
-    let ac: Vec<Complex> = a.iter().map(|&v| Complex::real(v)).collect();
-    let bc: Vec<Complex> = b.iter().map(|&v| Complex::real(v)).collect();
-    Ok(lu_solve(ac, bc)?.into_iter().map(|z| z.re).collect())
+    let mut lin = LinearScratch::default();
+    let mut out = Vec::new();
+    lu_solve_real_into(a, b, &mut lin, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -158,6 +215,43 @@ mod tests {
         let x = lu_solve_real(&a, &[6.0, 8.0]).unwrap();
         assert!((x[0] - 3.0).abs() < 1e-15);
         assert!((x[1] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn in_place_core_matches_consuming_wrapper_bit_for_bit() {
+        let a = vec![
+            Complex::new(1.0, 1.0),
+            Complex::real(2.0),
+            Complex::real(3.0),
+            Complex::new(4.0, -1.0),
+        ];
+        let b = vec![Complex::real(5.0), Complex::real(6.0)];
+        let via_wrapper = lu_solve(a.clone(), b.clone()).unwrap();
+        let (mut am, mut bm) = (a, b);
+        let mut x = Vec::new();
+        let mut pivots = Vec::new();
+        lu_solve_in_place(&mut am, &mut bm, &mut x, &mut pivots).unwrap();
+        assert_eq!(pivots.len(), 2);
+        for (w, i) in via_wrapper.iter().zip(&x) {
+            assert_eq!(w.re.to_bits(), i.re.to_bits());
+            assert_eq!(w.im.to_bits(), i.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_solves_bit_for_bit() {
+        let mut lin = LinearScratch::default();
+        let mut out = Vec::new();
+        for scale in [1.0f64, 2.0, 0.5] {
+            let a = [2.0 * scale, 1.0, 1.0, 4.0 * scale];
+            let b = [6.0, 8.0 * scale];
+            let fresh = lu_solve_real(&a, &b).unwrap();
+            lu_solve_real_into(&a, &b, &mut lin, &mut out).unwrap();
+            assert_eq!(fresh.len(), out.len());
+            for (f, o) in fresh.iter().zip(&out) {
+                assert_eq!(f.to_bits(), o.to_bits());
+            }
+        }
     }
 
     proptest! {

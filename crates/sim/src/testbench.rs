@@ -5,7 +5,9 @@ use breaksym_lde::ParamShift;
 use breaksym_netlist::{Circuit, CircuitClass, GroupKind, NetId, PortRole};
 
 use crate::metrics::analyze_gain_sweep;
-use crate::{AcSolver, AcSweep, DcSolver, ExtraElement, Metrics, MnaContext, SimError};
+use crate::{
+    AcSolver, AcSweep, DcSolver, ExtraElement, Metrics, MnaContext, SimError, SolverWorkspace,
+};
 
 /// Options shared by the testbenches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,10 +68,28 @@ impl Testbench {
         shifts: &[ParamShift],
         node_caps: &[(NetId, f64)],
     ) -> Result<Metrics, SimError> {
+        self.run_ws(circuit, shifts, node_caps, &mut SolverWorkspace::new())
+    }
+
+    /// Workspace variant of [`Testbench::run`]: every solve inside the
+    /// class benches draws its scratch from `ws`, so repeated evaluations
+    /// of the same circuit allocate nothing after the first. Bit-identical
+    /// to [`Testbench::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures and missing ports.
+    pub fn run_ws(
+        &self,
+        circuit: &Circuit,
+        shifts: &[ParamShift],
+        node_caps: &[(NetId, f64)],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Metrics, SimError> {
         match circuit.class() {
-            CircuitClass::CurrentMirror => self.run_mirror(circuit, shifts, node_caps),
-            CircuitClass::Ota => self.run_ota(circuit, shifts, node_caps),
-            CircuitClass::Comparator => self.run_comparator(circuit, shifts, node_caps),
+            CircuitClass::CurrentMirror => self.run_mirror(circuit, shifts, node_caps, ws),
+            CircuitClass::Ota => self.run_ota(circuit, shifts, node_caps, ws),
+            CircuitClass::Comparator => self.run_comparator(circuit, shifts, node_caps, ws),
             CircuitClass::Generic => self.run_generic(circuit, shifts),
         }
     }
@@ -82,6 +102,7 @@ impl Testbench {
         circuit: &Circuit,
         shifts: &[ParamShift],
         node_caps: &[(NetId, f64)],
+        ws: &mut SolverWorkspace,
     ) -> Result<Metrics, SimError> {
         let _ = node_caps; // capacitance does not matter at DC
         let vss = circuit.require_port(PortRole::Vss)?;
@@ -105,7 +126,7 @@ impl Testbench {
             })
             .collect();
         let ctx = MnaContext::new(circuit, &extras);
-        let dc = DcSolver::new(circuit, shifts, &extras).solve(&ctx)?;
+        let dc = DcSolver::new(circuit, shifts, &extras).solve_ws(&ctx, ws)?;
 
         // Reference current: what the IREF source pushes in.
         let iref_dev = circuit
@@ -142,6 +163,7 @@ impl Testbench {
         circuit: &Circuit,
         shifts: &[ParamShift],
         node_caps: &[(NetId, f64)],
+        ws: &mut SolverWorkspace,
     ) -> Result<Metrics, SimError> {
         let vss = circuit.require_port(PortRole::Vss)?;
         let inp = circuit.require_port(PortRole::InP)?;
@@ -159,7 +181,7 @@ impl Testbench {
 
         // Pass 1 — nominal (no shifts): operating point and output voltage.
         let ctx = MnaContext::new(circuit, &base);
-        let dc_nom = DcSolver::new(circuit, &[], &base).solve(&ctx)?;
+        let dc_nom = DcSolver::new(circuit, &[], &base).solve_ws(&ctx, ws)?;
         let vout_nom = dc_nom.voltage(out);
 
         // Pass 2 — offset-nulled shifted operating point: clamp the output
@@ -171,7 +193,7 @@ impl Testbench {
         clamped.push(ExtraElement::Vsource { p: out, n: vss, volts: vout_nom, ac: 0.0 });
         let clamp_idx = clamped.len() - 1;
         let ctx_c = MnaContext::new(circuit, &clamped);
-        let dc_c = DcSolver::new(circuit, shifts, &clamped).solve(&ctx_c)?;
+        let dc_c = DcSolver::new(circuit, shifts, &clamped).solve_ws(&ctx_c, ws)?;
 
         // Frequency response: the AC stamp only consumes the per-device
         // operating points, so the nulled DC solution drives an AC solve on
@@ -179,7 +201,7 @@ impl Testbench {
         let ac = AcSolver::new(circuit, shifts, &base, &dc_c, node_caps);
         let mut sweep_points = Vec::new();
         for f in self.options.sweep.frequencies() {
-            let sol = ac.solve(&ctx, f)?;
+            let sol = ac.solve_ws(&ctx, f, ws)?;
             sweep_points.push((f, sol.voltage(out)));
         }
         let (gain_db, ugb, pm) = analyze_gain_sweep(&sweep_points);
@@ -196,7 +218,7 @@ impl Testbench {
         let ctx_cm = MnaContext::new(circuit, &cm_extras);
         let f_low = self.options.sweep.f_start;
         let acm = AcSolver::new(circuit, shifts, &cm_extras, &dc_c, node_caps)
-            .solve(&ctx_cm, f_low)?
+            .solve_ws(&ctx_cm, f_low, ws)?
             .voltage(out)
             .abs();
         let adm = sweep_points.first().map(|(_, h)| h.abs()).unwrap_or(0.0);
@@ -228,7 +250,7 @@ impl Testbench {
                     .collect();
                 let avdd = AcSolver::new(circuit, shifts, &quiet, &dc_c, node_caps)
                     .with_device_drive(breaksym_netlist::DeviceId::new(vdd_idx as u32), 1.0)
-                    .solve(&ctx, f_low)
+                    .solve_ws(&ctx, f_low, ws)
                     .ok()?
                     .voltage(out)
                     .abs();
@@ -241,7 +263,7 @@ impl Testbench {
         // Transconductance to the clamped output: AC drive is the ±0.5
         // differential pair already in `base`; measure the clamp current.
         let ac_c = AcSolver::new(circuit, shifts, &clamped, &dc_c, node_caps);
-        let gm_sol = ac_c.solve(&ctx_c, 0.0)?;
+        let gm_sol = ac_c.solve_ws(&ctx_c, 0.0, ws)?;
         let gm = gm_sol
             .extra_branch_current(&ctx_c, clamp_idx)
             .expect("clamp is a voltage source")
@@ -270,6 +292,7 @@ impl Testbench {
         circuit: &Circuit,
         shifts: &[ParamShift],
         node_caps: &[(NetId, f64)],
+        ws: &mut SolverWorkspace,
     ) -> Result<Metrics, SimError> {
         let vss = circuit.require_port(PortRole::Vss)?;
         let vdd_net = circuit.require_port(PortRole::Vdd)?;
@@ -289,11 +312,11 @@ impl Testbench {
         ];
         let clamp_idx = 2;
         let ctx = MnaContext::new(circuit, &extras);
-        let dc = DcSolver::new(circuit, shifts, &extras).solve(&ctx)?;
+        let dc = DcSolver::new(circuit, shifts, &extras).solve_ws(&ctx, ws)?;
         let di = dc.extra_branch_current(&ctx, clamp_idx).expect("clamp is a voltage source");
 
         let ac = AcSolver::new(circuit, shifts, &extras, &dc, node_caps);
-        let gm_sol = ac.solve(&ctx, 0.0)?;
+        let gm_sol = ac.solve_ws(&ctx, 0.0, ws)?;
         let gm = gm_sol
             .extra_branch_current(&ctx, clamp_idx)
             .expect("clamp is a voltage source")
@@ -334,7 +357,7 @@ impl Testbench {
         }
         c_out = c_out.max(1e-15);
         let delay = if self.options.comp_transient {
-            self.comparator_transient_delay(circuit, shifts, node_caps, self.options.comp_vin)?
+            self.transient_delay_ws(circuit, shifts, node_caps, self.options.comp_vin, ws)?
                 .unwrap_or(f64::INFINITY)
         } else if gm_latch > 1e-9 {
             (c_out / gm_latch) * (vdd / (2.0 * self.options.comp_vin)).ln()
@@ -376,6 +399,18 @@ impl Testbench {
         node_caps: &[(NetId, f64)],
         dv: f64,
     ) -> Result<Option<f64>, SimError> {
+        self.transient_delay_ws(circuit, shifts, node_caps, dv, &mut SolverWorkspace::new())
+    }
+
+    /// Workspace-routed body of [`Testbench::comparator_transient_delay`].
+    fn transient_delay_ws(
+        &self,
+        circuit: &Circuit,
+        shifts: &[ParamShift],
+        node_caps: &[(NetId, f64)],
+        dv: f64,
+        ws: &mut SolverWorkspace,
+    ) -> Result<Option<f64>, SimError> {
         let vss = circuit.require_port(PortRole::Vss)?;
         let inn = circuit.require_port(PortRole::InN)?;
         let outp = circuit.require_port(PortRole::OutP)?;
@@ -391,7 +426,7 @@ impl Testbench {
         ];
         let tran = crate::TransientSolver::new(circuit, shifts, &extras, node_caps);
         // 2 ns window at 5 ps resolution covers GHz-class comparators.
-        let result = tran.run(2e-9, 5e-12, |_t| vec![(0, vdd)])?;
+        let result = tran.run_ws(2e-9, 5e-12, |_t| vec![(0, vdd)], ws)?;
         let (op, on) = (outp.index(), outn.index());
         Ok(result.first_time(|v| (v[op] - v[on]).abs() > vdd / 2.0))
     }
@@ -487,6 +522,31 @@ fn input_referred_noise(circuit: &Circuit, dc: &crate::DcSolution) -> Option<f64
         .unwrap_or(0.0);
     let vn2 = FOUR_KT * GAMMA * (2.0 / gm_in) * (1.0 + gm_load / gm_in);
     Some(vn2.sqrt() * 1e9)
+}
+
+#[cfg(test)]
+mod workspace_tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    /// One workspace shared across circuits of every class reproduces the
+    /// fresh-workspace metrics exactly (`Metrics` is all-`f64`, so
+    /// `PartialEq` here is value equality on every field).
+    #[test]
+    fn shared_workspace_run_matches_fresh_runs() {
+        let bench = Testbench::default();
+        let mut ws = SolverWorkspace::new();
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::five_transistor_ota(),
+            circuits::comparator(),
+        ] {
+            let fresh = bench.run(&c, &[], &[]).expect("fresh run simulates");
+            let reused = bench.run_ws(&c, &[], &[], &mut ws).expect("ws run simulates");
+            assert_eq!(fresh, reused, "{}", c.name());
+        }
+        assert!(!ws.last_pivots().is_empty(), "workspace was actually used");
+    }
 }
 
 #[cfg(test)]

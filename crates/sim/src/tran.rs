@@ -14,6 +14,7 @@
 use breaksym_lde::ParamShift;
 use breaksym_netlist::{Circuit, DeviceKind, NetId};
 
+use crate::workspace::SolverWorkspace;
 use crate::{mos, DcSolver, ExtraElement, MnaContext, SimError};
 
 /// One capacitance between two nets (ground expressed as the ground net).
@@ -159,7 +160,32 @@ impl<'a> TransientSolver<'a> {
     ///
     /// Panics if `h` or `t_stop` is not positive, or a drive index does not
     /// point at a voltage-source extra.
-    pub fn run<F>(&self, t_stop: f64, h: f64, mut drive: F) -> Result<TransientResult, SimError>
+    pub fn run<F>(&self, t_stop: f64, h: f64, drive: F) -> Result<TransientResult, SimError>
+    where
+        F: FnMut(f64) -> Vec<(usize, f64)>,
+    {
+        self.run_ws(t_stop, h, drive, &mut SolverWorkspace::new())
+    }
+
+    /// Workspace variant of [`TransientSolver::run`]: identical arithmetic,
+    /// with the per-step extras buffer, the MNA context, and all Newton/LU
+    /// scratch reused across steps — the companion-model kinds and order
+    /// are the same every step, so the MNA structure is too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Newton failures from any step.
+    ///
+    /// # Panics
+    ///
+    /// As [`TransientSolver::run`].
+    pub fn run_ws<F>(
+        &self,
+        t_stop: f64,
+        h: f64,
+        mut drive: F,
+        ws: &mut SolverWorkspace,
+    ) -> Result<TransientResult, SimError>
     where
         F: FnMut(f64) -> Vec<(usize, f64)>,
     {
@@ -169,16 +195,20 @@ impl<'a> TransientSolver<'a> {
 
         // Initial condition: DC with the baseline extras (t <= 0 stimulus).
         let ctx0 = MnaContext::new(self.circuit, self.extras);
-        let mut prev = DcSolver::new(self.circuit, self.shifts, self.extras).solve(&ctx0)?;
+        let mut prev = DcSolver::new(self.circuit, self.shifts, self.extras).solve_ws(&ctx0, ws)?;
 
         let steps = (t_stop / h).ceil() as usize;
         let mut times = Vec::with_capacity(steps);
         let mut voltages = Vec::with_capacity(steps);
+        let mut extras_step: Vec<ExtraElement> =
+            Vec::with_capacity(self.extras.len() + 2 * caps.len());
+        let mut ctx_step: Option<MnaContext> = None;
 
         for k in 1..=steps {
             let t = k as f64 * h;
             // Assemble this step's extras: stimulus overrides + companions.
-            let mut extras_step: Vec<ExtraElement> = self.extras.to_vec();
+            extras_step.clear();
+            extras_step.extend_from_slice(self.extras);
             for (idx, volts) in drive(t) {
                 match extras_step.get_mut(idx) {
                     Some(ExtraElement::Vsource { volts: v, .. }) => *v = volts,
@@ -198,9 +228,9 @@ impl<'a> TransientSolver<'a> {
                     ac: 0.0,
                 });
             }
-            let ctx = MnaContext::new(self.circuit, &extras_step);
-            let sol =
-                DcSolver::new(self.circuit, self.shifts, &extras_step).solve_from(&ctx, &prev)?;
+            let ctx = ctx_step.get_or_insert_with(|| MnaContext::new(self.circuit, &extras_step));
+            let sol = DcSolver::new(self.circuit, self.shifts, &extras_step)
+                .solve_from_ws(ctx, &prev, ws)?;
             let snapshot: Vec<f64> =
                 (0..num_nets as u32).map(|i| sol.voltage(NetId::new(i))).collect();
             times.push(t);
@@ -274,6 +304,21 @@ mod tests {
         for &(_, v) in &result.waveform(vout) {
             assert!((v - 1.0).abs() < 1e-9);
         }
+    }
+
+    /// Transients through a reused workspace are bit-identical to fresh runs.
+    #[test]
+    fn workspace_runs_are_bit_identical() {
+        let (circuit, vin, _vout) = rc_circuit(1e3, 1e-9);
+        let vss = circuit.port(PortRole::Vss).unwrap();
+        let extras = vec![ExtraElement::Vsource { p: vin, n: vss, volts: 0.0, ac: 0.0 }];
+        let tran = TransientSolver::new(&circuit, &[], &extras, &[]);
+        let fresh = tran.run(1e-6, 1e-8, |_| vec![(0, 1.0)]).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let first = tran.run_ws(1e-6, 1e-8, |_| vec![(0, 1.0)], &mut ws).unwrap();
+        let second = tran.run_ws(1e-6, 1e-8, |_| vec![(0, 1.0)], &mut ws).unwrap();
+        assert_eq!(fresh, first);
+        assert_eq!(fresh, second, "warm arena must not perturb a single bit");
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! `xtask` — repo automation, run as `cargo run -p xtask -- <task>`.
+//!
+//! The only task so far is `perf-gate`: run `evalbench` on the OTA
+//! benchmark and compare its uncached throughput (`cold_evals_per_sec`)
+//! against the committed baseline in `BENCH_eval.json`.
+//!
+//! ```text
+//! cargo run --release -p xtask -- perf-gate [--baseline BENCH_eval.json]
+//!     [--circuit ota] [--tolerance 0.30] [--out target/BENCH_eval.current.json]
+//! ```
+//!
+//! Gate rules:
+//!
+//! - the fresh measurement must report `metrics_identical: true` and a
+//!   cache `speedup >= 1` (correctness gates, never waived);
+//! - while the committed baseline is the `pending-baseline` marker, the
+//!   gate runs in **record mode**: it prints the measured numbers and
+//!   passes, so CI stays green until a baseline is recorded on real
+//!   hardware;
+//! - with a recorded baseline, the gate fails when throughput drops more
+//!   than `--tolerance` (default 30%, absorbing machine and scheduling
+//!   noise) below the baseline's `cold_evals_per_sec`.
+
+#![forbid(unsafe_code)]
+
+use std::process::{Command, ExitCode};
+
+use serde_json::Value;
+
+fn die(msg: &str) -> ! {
+    eprintln!("xtask: {msg}");
+    std::process::exit(2)
+}
+
+struct GateArgs {
+    baseline: String,
+    circuit: String,
+    tolerance: f64,
+    out: String,
+}
+
+fn parse_gate_args(argv: &[String]) -> GateArgs {
+    let mut args = GateArgs {
+        baseline: "BENCH_eval.json".into(),
+        circuit: "ota".into(),
+        tolerance: 0.30,
+        out: "target/BENCH_eval.current.json".into(),
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => {
+                args.baseline = it.next().cloned().unwrap_or_else(|| die("--baseline needs a path"))
+            }
+            "--circuit" => {
+                args.circuit = it.next().cloned().unwrap_or_else(|| die("--circuit needs a name"))
+            }
+            "--tolerance" => {
+                args.tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tolerance needs a fraction like 0.30"))
+            }
+            "--out" => args.out = it.next().cloned().unwrap_or_else(|| die("--out needs a path")),
+            other => die(&format!("unknown perf-gate flag `{other}`")),
+        }
+    }
+    args
+}
+
+/// Reads a JSON file, or [`None`] when it does not exist.
+fn read_json(path: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Some(serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("{path}: bad JSON: {e}"))))
+}
+
+fn perf_gate(args: &GateArgs) -> ExitCode {
+    // Measure on this machine. `--release`: a debug-build solver would
+    // gate on numbers an order of magnitude off from what users see.
+    let status = Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "breaksym-bench",
+            "--bin",
+            "evalbench",
+            "--",
+        ])
+        .args(["--circuit", &args.circuit, "--out", &args.out])
+        .status()
+        .unwrap_or_else(|e| die(&format!("failed to launch evalbench: {e}")));
+    if !status.success() {
+        eprintln!("perf-gate: evalbench failed ({status})");
+        return ExitCode::FAILURE;
+    }
+    let current = read_json(&args.out)
+        .unwrap_or_else(|| die(&format!("evalbench wrote no report at {}", args.out)));
+
+    // Correctness gates — never waived, baseline or not.
+    if current["metrics_identical"] != Value::Bool(true) {
+        eprintln!("perf-gate: FAIL — cached/batched metrics diverged from cold solves");
+        return ExitCode::FAILURE;
+    }
+    let speedup = current["speedup"].as_f64().unwrap_or(0.0);
+    if speedup < 1.0 {
+        eprintln!("perf-gate: FAIL — cache speedup {speedup:.2} < 1.0");
+        return ExitCode::FAILURE;
+    }
+    let measured = current["cold_evals_per_sec"]
+        .as_f64()
+        .unwrap_or_else(|| die("current report lacks cold_evals_per_sec"));
+
+    let Some(baseline) = read_json(&args.baseline) else {
+        println!(
+            "perf-gate: no baseline at {} — record mode, measured {measured:.0} evals/sec, PASS",
+            args.baseline
+        );
+        return ExitCode::SUCCESS;
+    };
+    if baseline["status"] == Value::String("pending-baseline".into()) {
+        println!(
+            "perf-gate: baseline is pending — record mode, measured {measured:.0} evals/sec \
+             (cache speedup {speedup:.1}x), PASS"
+        );
+        println!(
+            "perf-gate: to arm the gate, commit a recorded baseline: {}",
+            baseline["command"].as_str().unwrap_or("see BENCH_eval.json")
+        );
+        return ExitCode::SUCCESS;
+    }
+    let base = baseline["cold_evals_per_sec"]
+        .as_f64()
+        .unwrap_or_else(|| die(&format!("{}: lacks cold_evals_per_sec", args.baseline)));
+    let floor = base * (1.0 - args.tolerance);
+    println!(
+        "perf-gate: measured {measured:.0} evals/sec vs baseline {base:.0} \
+         (floor {floor:.0} at {:.0}% tolerance)",
+        args.tolerance * 100.0
+    );
+    if measured < floor {
+        eprintln!("perf-gate: FAIL — throughput regressed below the tolerance floor");
+        return ExitCode::FAILURE;
+    }
+    println!("perf-gate: PASS");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("perf-gate") => perf_gate(&parse_gate_args(&argv[1..])),
+        Some(other) => die(&format!("unknown task `{other}` (expected `perf-gate`)")),
+        None => die("usage: cargo run -p xtask -- perf-gate [flags]"),
+    }
+}
