@@ -8,11 +8,19 @@
 //!
 //! Subcommands: `fig1`, `fig2`, `fig3`, `ablation-traj`,
 //! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`,
-//! `portfolio`, `serve`, `chaos`, `all`.
+//! `portfolio`, `serve`, `cluster`, `coord`, `chaos`, `all`.
 //!
 //! `chaos --seed N` runs the seeded fault-injection harness twice and
 //! fails (exit 1) if any invariant breaks or the two runs differ — the
-//! determinism check in executable form.
+//! determinism check in executable form. With `--nodes N` (N ≥ 2) it
+//! runs the *multi-node* harness instead: a real fleet behind a
+//! coordinator, the busiest node killed mid-run, every affected job
+//! resumed on a survivor from its replicated checkpoint.
+//!
+//! `cluster --nodes N` starts an in-process fleet of N serve nodes
+//! behind one coordinator; `coord --node A --node B ...` fronts serve
+//! nodes that are already running elsewhere. Both speak the same HTTP
+//! protocol a single `serve` does.
 //!
 //! Ctrl-C is latched, never fatal mid-write: figure runs stop cleanly at
 //! the next experiment boundary (exit 130), and `serve` drains its worker
@@ -23,6 +31,7 @@ use std::env;
 use std::time::Duration;
 
 use breaksym_bench as bench;
+use breaksym_cluster::{run_cluster_chaos, ClusterChaosConfig, ClusterConfig, Coordinator};
 use breaksym_serve::chaos::{run_chaos, ChaosConfig};
 use breaksym_serve::{HttpServer, ServeConfig, ServeEngine};
 
@@ -135,6 +144,12 @@ fn main() {
     if argv.first().map(String::as_str) == Some("serve") {
         serve(&argv[1..]);
         return;
+    }
+    if argv.first().map(String::as_str) == Some("cluster") {
+        cluster(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("coord") {
+        coord(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("chaos") {
         chaos(&argv[1..]);
@@ -278,7 +293,7 @@ fn main() {
     }
     if !ran {
         die(&format!(
-            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve chaos all)",
+            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve cluster coord chaos all)",
             args.cmd
         ));
     }
@@ -394,6 +409,9 @@ fn serve(flags: &[String]) {
 /// only if chaos is both survivable and deterministic.
 fn chaos(flags: &[String]) {
     let mut cfg = ChaosConfig::default();
+    let mut nodes = 1usize;
+    let mut jobs: Option<usize> = None;
+    let mut faults: Option<usize> = None;
     let mut json = false;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -405,22 +423,48 @@ fn chaos(flags: &[String]) {
                     .unwrap_or_else(|| die("--seed needs an integer"))
             }
             "--jobs" => {
-                cfg.jobs = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--jobs needs an integer"))
+                jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--jobs needs an integer")),
+                )
             }
             "--faults" => {
-                cfg.faults = it
+                faults = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--faults needs an integer")),
+                )
+            }
+            "--nodes" => {
+                nodes = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--faults needs an integer"))
+                    .unwrap_or_else(|| die("--nodes needs an integer"))
             }
             "--json" => json = true,
-            other => {
-                die(&format!("unknown chaos flag `{other}` (try: --seed --jobs --faults --json)"))
-            }
+            other => die(&format!(
+                "unknown chaos flag `{other}` (try: --seed --jobs --faults --nodes --json)"
+            )),
         }
+    }
+    if nodes > 1 {
+        let defaults = ClusterChaosConfig::default();
+        cluster_chaos(
+            ClusterChaosConfig {
+                seed: cfg.seed,
+                nodes,
+                jobs: jobs.unwrap_or(defaults.jobs),
+                faults: faults.unwrap_or(defaults.faults),
+            },
+            json,
+        );
+    }
+    if let Some(jobs) = jobs {
+        cfg.jobs = jobs;
+    }
+    if let Some(faults) = faults {
+        cfg.faults = faults;
     }
 
     println!(
@@ -461,6 +505,263 @@ fn chaos(flags: &[String]) {
         if deterministic { "held" } else { "VIOLATED" },
     );
     std::process::exit(if ok { 0 } else { 1 });
+}
+
+/// `repro chaos --nodes N` — the multi-node variant: a real fleet behind
+/// a coordinator, the busiest node killed mid-run, every affected job
+/// resumed on a survivor. Run twice; the timing-independent projections
+/// of the two runs must be identical.
+fn cluster_chaos(cfg: ClusterChaosConfig, json: bool) -> ! {
+    println!(
+        "== cluster chaos — seed {}, {} nodes, {} jobs, {} sampled faults ==",
+        cfg.seed, cfg.nodes, cfg.jobs, cfg.faults
+    );
+    let first = run_cluster_chaos(&cfg);
+    let second = run_cluster_chaos(&cfg);
+
+    if json {
+        let doc = serde_json::json!({ "experiment": "cluster-chaos", "report": first });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialises"));
+    } else {
+        println!("fault plan: {} triggers", first.plan.triggers.len());
+        for t in &first.plan.triggers {
+            println!("  {} @ hit {} -> {:?}", t.site, t.at, t.action);
+        }
+        println!(
+            "killed node {} (the busiest); job states: {:?}",
+            first.doomed_node, first.job_states
+        );
+        for inv in &first.invariants {
+            println!("  [{}] {} — {}", if inv.ok { "ok" } else { "FAIL" }, inv.name, inv.details);
+        }
+    }
+
+    let deterministic = first.deterministic_view() == second.deterministic_view();
+    if !deterministic {
+        eprintln!(
+            "repro chaos: NON-DETERMINISTIC — two cluster runs with seed {} differ",
+            cfg.seed
+        );
+        eprintln!("  first : {:?}", first.deterministic_view());
+        eprintln!("  second: {:?}", second.deterministic_view());
+    }
+    let ok = first.ok() && second.ok() && deterministic;
+    println!(
+        "cluster chaos verdict: invariants {}, determinism {}",
+        if first.ok() && second.ok() {
+            "held"
+        } else {
+            "VIOLATED"
+        },
+        if deterministic { "held" } else { "VIOLATED" },
+    );
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+/// `repro cluster` — start an in-process fleet of N serve nodes plus a
+/// coordinator fronting them, and block until Ctrl-C. One process, real
+/// sockets: the quickest way to try the cluster protocol.
+fn cluster(flags: &[String]) -> ! {
+    let mut nodes = 3usize;
+    let mut addr = "127.0.0.1:8078".to_string();
+    let mut workers = 1usize;
+    let mut queue_cap = 64usize;
+    let mut slice_evals = 64u64;
+    let mut heartbeat_ms = 1000u64;
+    let mut threshold = 3u32;
+    let mut window = 32usize;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--nodes needs an integer"))
+            }
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| die("--addr needs host:port")),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs an integer (per node)"))
+            }
+            "--queue-cap" => {
+                queue_cap = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--queue-cap needs an integer (per node)"))
+            }
+            "--slice" => {
+                slice_evals = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--slice needs an integer"))
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--heartbeat-ms needs an integer"))
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threshold needs an integer"))
+            }
+            "--window" => {
+                window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--window needs an integer"))
+            }
+            other => die(&format!(
+                "unknown cluster flag `{other}` (try: --nodes --addr --workers --queue-cap \
+                 --slice --heartbeat-ms --threshold --window)"
+            )),
+        }
+    }
+    if nodes == 0 {
+        die("--nodes must be at least 1");
+    }
+
+    let mut local = Vec::with_capacity(nodes);
+    let mut node_addrs = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let engine = ServeEngine::start(ServeConfig {
+            workers,
+            queue_cap,
+            slice_evals,
+            ..ServeConfig::default()
+        });
+        let server = HttpServer::bind(engine.handle(), "127.0.0.1:0")
+            .unwrap_or_else(|e| die(&format!("cannot bind a node socket: {e}")));
+        node_addrs.push(server.addr().to_string());
+        local.push((engine, server));
+    }
+    println!(
+        "{nodes} in-process nodes ({workers} worker(s), queue {queue_cap}, {slice_evals} \
+         evals/slice each): {}",
+        node_addrs.join(", ")
+    );
+
+    let coordinator = Coordinator::start(
+        node_addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(heartbeat_ms),
+            failure_threshold: threshold,
+            inflight_window: window,
+            ..ClusterConfig::default()
+        },
+    );
+    run_cluster_front(coordinator, &addr, local)
+}
+
+/// `repro coord` — front serve nodes that are already running elsewhere
+/// (each started with `repro serve --addr ...`) with one coordinator.
+fn coord(flags: &[String]) -> ! {
+    let mut node_addrs: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:8078".to_string();
+    let mut heartbeat_ms = 1000u64;
+    let mut threshold = 3u32;
+    let mut window = 32usize;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--node" => {
+                node_addrs.push(it.next().cloned().unwrap_or_else(|| die("--node needs host:port")))
+            }
+            "--addr" => addr = it.next().cloned().unwrap_or_else(|| die("--addr needs host:port")),
+            "--heartbeat-ms" => {
+                heartbeat_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--heartbeat-ms needs an integer"))
+            }
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threshold needs an integer"))
+            }
+            "--window" => {
+                window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--window needs an integer"))
+            }
+            other => die(&format!(
+                "unknown coord flag `{other}` (try: --node --addr --heartbeat-ms --threshold \
+                 --window)"
+            )),
+        }
+    }
+    if node_addrs.is_empty() {
+        die("coord needs at least one --node host:port (a running `repro serve`)");
+    }
+    println!("fronting {} node(s): {}", node_addrs.len(), node_addrs.join(", "));
+
+    let coordinator = Coordinator::start(
+        node_addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(heartbeat_ms),
+            failure_threshold: threshold,
+            inflight_window: window,
+            ..ClusterConfig::default()
+        },
+    );
+    run_cluster_front(coordinator, &addr, Vec::new())
+}
+
+/// The shared tail of `cluster` and `coord`: mount the coordinator
+/// behind the same HTTP front-end a single node uses, block until
+/// Ctrl-C (or `POST /shutdown`), then drain the stack in order —
+/// front-end, coordinator, and any in-process nodes.
+fn run_cluster_front(
+    coordinator: Coordinator,
+    addr: &str,
+    local: Vec<(ServeEngine, HttpServer)>,
+) -> ! {
+    let handle = coordinator.handle();
+    let mut front = HttpServer::bind(handle.clone(), addr)
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+
+    println!("breaksym-cluster coordinator listening on http://{}", front.addr());
+    println!("  POST /jobs                  submit a JobSpec (consistent-hash routed)");
+    println!("  GET  /jobs/{{id}}             poll state + live progress");
+    println!("  GET  /jobs/{{id}}/report      final RunReport");
+    println!("  GET  /jobs/{{id}}/checkpoint  latest replicated checkpoint");
+    println!("  POST /jobs/{{id}}/cancel      cancel cluster-wide");
+    println!("  GET  /stats                 cluster fold + per-node detail");
+    println!("  GET  /healthz               coordinator liveness");
+    println!("  POST /shutdown              graceful drain");
+
+    while !sigint::requested() && !handle.is_draining() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let interrupted = sigint::requested();
+    eprintln!("repro cluster: draining...");
+    handle.request_drain();
+    front.stop();
+    let handle = coordinator.shutdown();
+    let stats = handle.stats();
+    eprintln!(
+        "repro cluster: drained — {} routed, {} done, {} failed, {} cancelled; {} reroutes, \
+         {} node deaths, {} resumed",
+        stats.jobs_routed,
+        stats.jobs_done,
+        stats.jobs_failed,
+        stats.jobs_cancelled,
+        stats.reroutes,
+        stats.node_deaths,
+        stats.jobs_resumed
+    );
+    for (engine, mut server) in local {
+        server.stop();
+        engine.shutdown();
+    }
+    std::process::exit(if interrupted { 130 } else { 0 });
 }
 
 fn fig1(seed: u64) {

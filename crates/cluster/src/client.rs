@@ -1,0 +1,222 @@
+//! A minimal std-net HTTP/1.1 client for coordinator→node RPC.
+//!
+//! One [`NodeClient`] per node, holding one keep-alive TCP connection:
+//! the serve front-end now speaks persistent connections, so a
+//! heartbeat's health probe and checkpoint pull ride the same socket
+//! instead of paying a fresh connect each. Any transport error drops the
+//! connection; the next call reconnects. Responses are parsed just far
+//! enough for this protocol — status line, `Content-Length`,
+//! `Connection` — because the peer is our own front-end, which always
+//! sends exactly that shape.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use breaksym_serve::ServeError;
+
+/// Largest response body accepted from a node — matches the server-side
+/// request cap; a node never sends more.
+const MAX_RESPONSE_BYTES: u64 = 16 * 1024 * 1024;
+
+/// A parsed HTTP response: status code plus raw JSON body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body, verbatim.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Deserialises the body as `T`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the body is not valid `T` JSON —
+    /// from the coordinator's point of view a malformed node response is
+    /// a protocol error worth surfacing, not a panic.
+    pub fn json<T: DeserializeOwned>(&self) -> Result<T, ServeError> {
+        serde_json::from_slice(&self.body).map_err(|e| ServeError::BadRequest {
+            reason: format!("node response does not parse: {e}"),
+        })
+    }
+
+    /// Interprets a non-200 response as the wire's tagged [`ServeError`];
+    /// falls back to `BadRequest` when the body is not one.
+    pub fn error(&self) -> ServeError {
+        serde_json::from_slice::<ServeError>(&self.body).unwrap_or_else(|_| {
+            ServeError::BadRequest {
+                reason: format!("node answered HTTP {} with an unrecognised body", self.status),
+            }
+        })
+    }
+}
+
+/// One live connection: the write half plus a buffered read half.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A keep-alive HTTP/1.1 client pinned to one node address.
+#[derive(Debug)]
+pub struct NodeClient {
+    addr: String,
+    timeout: Duration,
+    conn: Option<Conn>,
+    reconnects: u64,
+}
+
+impl NodeClient {
+    /// A client for `addr` (`host:port`) with the given per-call socket
+    /// timeout. No connection is opened until the first request.
+    pub fn new(addr: impl Into<String>, timeout: Duration) -> Self {
+        NodeClient { addr: addr.into(), timeout, conn: None, reconnects: 0 }
+    }
+
+    /// The node address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// How many TCP connects this client has performed — observability
+    /// for the keep-alive path (N requests over a healthy node should
+    /// cost 1 connect, not N).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn connect(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let addr: SocketAddr =
+                self.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotFound, "address resolves empty")
+                })?;
+            let stream = TcpStream::connect_timeout(&addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some(Conn { stream, reader });
+            self.reconnects += 1;
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// One request/response exchange on the kept-alive connection. Any
+    /// transport error tears the connection down (the next call
+    /// reconnects) and is returned to the caller, who decides whether the
+    /// operation is safe to retry.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<HttpResponse> {
+        let result = self.request_inner(method, path, body);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<HttpResponse> {
+        let conn = self.connect()?;
+        let payload = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: node\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            payload.len()
+        );
+        conn.stream.write_all(head.as_bytes())?;
+        conn.stream.write_all(payload)?;
+        conn.stream.flush()?;
+
+        let mut status_line = String::new();
+        conn.reader.read_line(&mut status_line)?;
+        if status_line.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "node closed mid-response"));
+        }
+        let status: u16 =
+            status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
+                || {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad status line {status_line:?}"),
+                    )
+                },
+            )?;
+
+        let mut content_length: u64 = 0;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            conn.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().unwrap_or(0);
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    close = true;
+                }
+            }
+        }
+        if content_length > MAX_RESPONSE_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "response body too large"));
+        }
+        let mut body = vec![0u8; content_length as usize];
+        conn.reader.read_exact(&mut body)?;
+        if close {
+            self.conn = None;
+        }
+        Ok(HttpResponse { status, body })
+    }
+
+    /// `GET path`, retried once over a fresh connection on a transport
+    /// error — GETs here are idempotent, and the single retry absorbs the
+    /// benign case of a keep-alive connection the peer idled out between
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// The second attempt's socket error.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        match self.request("GET", path, None) {
+            Ok(resp) => Ok(resp),
+            Err(_) => self.request("GET", path, None),
+        }
+    }
+
+    /// `POST path` with a JSON payload. *Not* retried: a POST may have
+    /// been applied even when its response was lost, and only the caller
+    /// knows whether a duplicate is safe.
+    ///
+    /// # Errors
+    ///
+    /// Serialisation failure (as `InvalidData`) or the socket error.
+    pub fn post_json<T: Serialize>(&mut self, path: &str, value: &T) -> io::Result<HttpResponse> {
+        let body =
+            serde_json::to_vec(value).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.request("POST", path, Some(&body))
+    }
+}

@@ -1,0 +1,1002 @@
+//! The coordinator: routes jobs across N `breaksym-serve` nodes,
+//! replicates their checkpoints, detects node death by heartbeat, and
+//! resumes a dead node's jobs on survivors — bit-identically, because
+//! resume rides the driver's proven checkpoint path.
+//!
+//! # Routing
+//!
+//! Every accepted job gets a cluster-wide id and is routed by consistent
+//! hashing on that id ([`HashRing`]): deterministic, stable across
+//! coordinator restarts, and with a fixed per-key fallback order when
+//! nodes are down. A bounded per-node in-flight window applies
+//! backpressure before a node's own queue does; the node's 429/503
+//! answers are propagated to the client verbatim, so the end-to-end
+//! semantics are exactly the single-node ones. Transport errors (a node
+//! that cannot be reached at all) walk the fallback order instead —
+//! every such detour is counted in [`ClusterStats::reroutes`].
+//!
+//! # Replication and failure
+//!
+//! A heartbeat thread probes each node's `/healthz` every
+//! [`ClusterConfig::heartbeat_interval`] (measured on the injected
+//! [`Clock`](breaksym_testkit::Clock), so tests drive it virtually) and,
+//! on each healthy beat, pulls the node's bulk `/checkpoints` export
+//! into the coordinator's replicated store. A node that misses
+//! [`ClusterConfig::failure_threshold`] consecutive probes is declared
+//! dead — exactly once — and every non-terminal job mapped to it is
+//! resubmitted to the ring's next surviving node with its replicated
+//! checkpoint attached; the receiving node resumes from it through the
+//! same code path a drain-requeue uses. Forward failures deliberately do
+//! *not* count toward node death: only the heartbeat kills, which keeps
+//! death decisions on one thread and the whole coordinator's behaviour a
+//! deterministic function of its inputs.
+//!
+//! # Lock discipline
+//!
+//! One registry mutex (`inner`: job table, liveness, windows) paired
+//! with a condvar for state transitions, one mutex per node client, and
+//! a heartbeat parking mutex. The registry lock is never held across an
+//! RPC, and no client lock is acquired while holding it — RPC stalls
+//! never serialise the control plane.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use breaksym_core::{RunCheckpoint, RunReport};
+use breaksym_serve::protocol::{
+    JobExport, JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse,
+    SubmitResponse,
+};
+use breaksym_serve::JobApi;
+use breaksym_testkit::{fault, real_clock, FaultAction, SharedClock};
+
+use crate::client::NodeClient;
+use crate::protocol::{fold_stats, ClusterHealthz, ClusterStats, JobInspect, NodeReport};
+use crate::ring::HashRing;
+
+/// Failpoint hit once per forward attempt (submit and death-resume
+/// alike), before the RPC goes out. `Fail` and `Drop` actions simulate a
+/// transport failure to that node, sending the forward down the ring's
+/// fallback order.
+pub const FAIL_FORWARD: &str = "cluster::forward";
+
+/// Failpoint hit once per node per heartbeat, before the `/healthz`
+/// probe. `Fail` and `Drop` actions count as a missed heartbeat.
+pub const FAIL_HEARTBEAT: &str = "cluster::heartbeat";
+
+/// Failpoint hit once per node per healthy heartbeat, before the
+/// `/checkpoints` replication pull. `Fail` and `Drop` actions skip the
+/// pull for this beat (stale replicas, not missed heartbeats).
+pub const FAIL_REPLICATE: &str = "cluster::replicate";
+
+const POISONED: &str = "cluster: a thread panicked while holding a coordinator lock";
+
+/// Tuning of one coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Time between heartbeats, on the injected clock.
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed heartbeats before a node is declared dead.
+    pub failure_threshold: u32,
+    /// Per-node cap on jobs routed and not yet terminal; beyond it
+    /// submissions are rejected with [`ServeError::QueueFull`] — the
+    /// cluster-level backpressure valve in front of each node's own
+    /// bounded queue.
+    pub inflight_window: usize,
+    /// Virtual nodes per real node on the hash ring.
+    pub vnodes: usize,
+    /// Socket timeout for every coordinator→node RPC.
+    pub rpc_timeout: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(1000),
+            failure_threshold: 3,
+            inflight_window: 32,
+            vnodes: 16,
+            rpc_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Everything the coordinator tracks about one routed job.
+#[derive(Debug)]
+struct RoutedJob {
+    /// The spec as submitted (its own `checkpoint` field untouched).
+    spec: JobSpec,
+    /// Node currently responsible.
+    node: usize,
+    /// The job's id on that node.
+    node_job_id: u64,
+    /// Last observed state; terminal is sticky.
+    state: JobState,
+    /// Last observed progress.
+    status: Option<RunStatus>,
+    /// Replicated checkpoint — what a death-resume restarts from.
+    checkpoint: Option<Box<RunCheckpoint>>,
+    cancel_requested: bool,
+    /// Submit-time fallback detours.
+    detours: u32,
+    /// Death-resumes.
+    resumes: u32,
+}
+
+/// The mutable registry behind the `inner` lock.
+#[derive(Debug)]
+struct Inner {
+    /// Routed jobs by cluster id. A `BTreeMap` so every iteration —
+    /// replication matching, death-resume order, exports — is in id
+    /// order, deterministically.
+    jobs: BTreeMap<u64, RoutedJob>,
+    alive: Vec<bool>,
+    /// Consecutive missed heartbeats per node.
+    misses: Vec<u32>,
+    /// Non-terminal jobs currently mapped to each node — the window.
+    inflight: Vec<usize>,
+    next_id: u64,
+}
+
+#[derive(Debug)]
+struct CoordShared {
+    cfg: ClusterConfig,
+    clock: SharedClock,
+    ring: HashRing,
+    addrs: Vec<String>,
+    clients: Vec<Mutex<NodeClient>>,
+    inner: Mutex<Inner>,
+    /// Notified on every observed job transition; pairs with `inner`.
+    state_cv: Condvar,
+    /// The heartbeat thread parks here between beats.
+    beat_mx: Mutex<()>,
+    beat_cv: Condvar,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    started: Instant,
+    jobs_routed: AtomicU64,
+    reroutes: AtomicU64,
+    node_deaths: AtomicU64,
+    jobs_resumed: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_timed_out: AtomicU64,
+    jobs_cancelled: AtomicU64,
+}
+
+/// A running coordinator: owns the heartbeat thread. Talk to it through
+/// [`Coordinator::handle`]; stop it with [`Coordinator::shutdown`] (the
+/// nodes it fronts are never touched).
+#[derive(Debug)]
+pub struct Coordinator {
+    shared: Arc<CoordShared>,
+    beat: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Starts a coordinator over `addrs` on the real clock.
+    pub fn start(addrs: Vec<String>, cfg: ClusterConfig) -> Self {
+        Self::start_with_clock(addrs, cfg, real_clock())
+    }
+
+    /// As [`Coordinator::start`] with an explicit time source: every
+    /// heartbeat and timeout decision reads this clock, so a
+    /// [`TestClock`](breaksym_testkit::TestClock) drives failure
+    /// detection deterministically.
+    pub fn start_with_clock(addrs: Vec<String>, cfg: ClusterConfig, clock: SharedClock) -> Self {
+        let nodes = addrs.len();
+        let started = clock.now();
+        let shared = Arc::new(CoordShared {
+            ring: HashRing::new(nodes, cfg.vnodes),
+            clients: addrs
+                .iter()
+                .map(|addr| Mutex::new(NodeClient::new(addr.clone(), cfg.rpc_timeout)))
+                .collect(),
+            addrs,
+            cfg,
+            clock,
+            inner: Mutex::new(Inner {
+                jobs: BTreeMap::new(),
+                alive: vec![true; nodes],
+                misses: vec![0; nodes],
+                inflight: vec![0; nodes],
+                next_id: 0,
+            }),
+            state_cv: Condvar::new(),
+            beat_mx: Mutex::new(()),
+            beat_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            started,
+            jobs_routed: AtomicU64::new(0),
+            reroutes: AtomicU64::new(0),
+            node_deaths: AtomicU64::new(0),
+            jobs_resumed: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_timed_out: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+        });
+        // A test-clock advance must wake the heartbeat thread and every
+        // wait() deadline so they re-read virtual time. Lock-notify-drop,
+        // one mutex at a time, so a checker that has not parked yet
+        // cannot miss its wakeup.
+        let weak = Arc::downgrade(&shared);
+        shared.clock.register_waker(Arc::new(move || {
+            if let Some(shared) = weak.upgrade() {
+                let beat = shared.beat_mx.lock().expect(POISONED);
+                shared.beat_cv.notify_all();
+                drop(beat);
+                let inner = shared.inner.lock().expect(POISONED);
+                shared.state_cv.notify_all();
+                drop(inner);
+            }
+        }));
+        let beat = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("breaksym-cluster-heartbeat".into())
+                .spawn(move || heartbeat_loop(&shared))
+                .expect("heartbeat thread spawns")
+        };
+        Coordinator { shared, beat: Some(beat) }
+    }
+
+    /// A clonable client of this coordinator.
+    pub fn handle(&self) -> ClusterHandle {
+        ClusterHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Stops the heartbeat thread and returns a handle for post-mortem
+    /// queries. The nodes keep running — a coordinator is a frontman,
+    /// not an owner.
+    pub fn shutdown(mut self) -> ClusterHandle {
+        self.halt();
+        ClusterHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    fn halt(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let guard = self.shared.beat_mx.lock().expect(POISONED);
+        self.shared.beat_cv.notify_all();
+        drop(guard);
+        if let Some(beat) = self.beat.take() {
+            let _ = beat.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Clonable client of a [`Coordinator`] — the same operations a
+/// [`ServeHandle`](breaksym_serve::ServeHandle) offers, so the HTTP
+/// front-end (and therefore every existing client) works unchanged
+/// against a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterHandle {
+    shared: Arc<CoordShared>,
+}
+
+impl ClusterHandle {
+    /// Submits a job: assigns a cluster id, routes it by consistent
+    /// hashing, and forwards it to the chosen node.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the target node's in-flight window
+    /// is full or the node itself answers 429 (end-to-end backpressure);
+    /// [`ServeError::ShuttingDown`] when draining or no node is
+    /// reachable; [`ServeError::BadRequest`] when the task does not
+    /// resolve.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        spec.task.resolve()?;
+        let id = {
+            let mut inner = self.shared.inner.lock().expect(POISONED);
+            inner.next_id += 1;
+            inner.next_id
+        };
+        let placed = forward(&self.shared, id, &spec, true)?;
+        let replicated = spec.checkpoint.clone();
+        let mut inner = self.shared.inner.lock().expect(POISONED);
+        inner.jobs.insert(
+            id,
+            RoutedJob {
+                spec,
+                node: placed.node,
+                node_job_id: placed.node_job_id,
+                state: JobState::Queued,
+                status: None,
+                checkpoint: replicated,
+                cancel_requested: false,
+                detours: placed.detours,
+                resumes: 0,
+            },
+        );
+        self.shared.jobs_routed.fetch_add(1, Ordering::Relaxed);
+        self.shared.reroutes.fetch_add(u64::from(placed.detours), Ordering::Relaxed);
+        self.shared.state_cv.notify_all();
+        Ok(JobId(id))
+    }
+
+    /// The job's state: live from its node when reachable, otherwise the
+    /// coordinator's replicated view (which is also what dead-node jobs
+    /// show while their resume is pending).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this coordinator never
+    /// routed.
+    pub fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        let (node, node_job_id, alive, cached) = {
+            let inner = self.shared.inner.lock().expect(POISONED);
+            let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+            (
+                job.node,
+                job.node_job_id,
+                inner.alive[job.node],
+                StatusResponse { id, state: job.state.clone(), status: job.status },
+            )
+        };
+        if cached.state.is_terminal() || !alive {
+            return Ok(cached);
+        }
+        let fetched = {
+            let mut client = self.shared.clients[node].lock().expect(POISONED);
+            client.get(&format!("/jobs/{node_job_id}"))
+        };
+        match fetched {
+            Ok(resp) if resp.status == 200 => match resp.json::<StatusResponse>() {
+                Ok(mut live) => {
+                    let mut inner = self.shared.inner.lock().expect(POISONED);
+                    observe(&self.shared, &mut inner, id.0, live.state.clone(), live.status);
+                    live.id = id;
+                    Ok(live)
+                }
+                Err(_) => Ok(cached),
+            },
+            // Unreachable node or node-side eviction: the replicated view
+            // is the answer until the heartbeat sorts the node out.
+            _ => Ok(cached),
+        }
+    }
+
+    /// The final report of a completed job, fetched from its node.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotReady`] while the job is unfinished or its node
+    /// is unreachable (a dead node's jobs become fetchable again once
+    /// resumed and finished on a survivor); the node's own error
+    /// otherwise, with ids rewritten to cluster ids.
+    pub fn report(&self, id: JobId) -> Result<RunReport, ServeError> {
+        let (node, node_job_id, alive) = {
+            let inner = self.shared.inner.lock().expect(POISONED);
+            let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+            (job.node, job.node_job_id, inner.alive[job.node])
+        };
+        if !alive {
+            return Err(ServeError::NotReady {
+                reason: format!("node {node} is dead; the job resumes on a survivor", node = node),
+            });
+        }
+        let fetched = {
+            let mut client = self.shared.clients[node].lock().expect(POISONED);
+            client.get(&format!("/jobs/{node_job_id}/report"))
+        };
+        match fetched {
+            Ok(resp) if resp.status == 200 => resp.json::<RunReport>(),
+            Ok(resp) => Err(rewrite_id(resp.error(), id)),
+            Err(_) => Err(ServeError::NotReady {
+                reason: "the job's node is unreachable; retry shortly".into(),
+            }),
+        }
+    }
+
+    /// The job's latest checkpoint: live from its node when possible,
+    /// otherwise the coordinator's replica.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this coordinator never
+    /// routed.
+    pub fn checkpoint(&self, id: JobId) -> Result<Option<RunCheckpoint>, ServeError> {
+        let (node, node_job_id, alive, replicated) = {
+            let inner = self.shared.inner.lock().expect(POISONED);
+            let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+            (
+                job.node,
+                job.node_job_id,
+                inner.alive[job.node],
+                job.checkpoint.as_deref().cloned(),
+            )
+        };
+        if alive {
+            let fetched = {
+                let mut client = self.shared.clients[node].lock().expect(POISONED);
+                client.get(&format!("/jobs/{node_job_id}/checkpoint"))
+            };
+            if let Ok(resp) = fetched {
+                if resp.status == 200 {
+                    if let Ok(ckpt) = resp.json::<RunCheckpoint>() {
+                        return Ok(Some(ckpt));
+                    }
+                }
+            }
+        }
+        Ok(replicated)
+    }
+
+    /// Cancels a job wherever it lives. On a live node the node decides
+    /// (its usual slice-boundary semantics); on a dead node the job is
+    /// cancelled locally instead of being resumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] for an id this coordinator never
+    /// routed.
+    pub fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        let (node, node_job_id, alive, terminal) = {
+            let mut inner = self.shared.inner.lock().expect(POISONED);
+            let job = inner.jobs.get_mut(&id.0).ok_or(ServeError::UnknownJob { id })?;
+            let terminal = job.state.is_terminal();
+            if !terminal {
+                job.cancel_requested = true;
+            }
+            (job.node, job.node_job_id, inner.alive[job.node], terminal)
+        };
+        if terminal {
+            return self.cached_status(id);
+        }
+        if !alive {
+            // Pending a death-resume: cancel it here, keeping the
+            // replicated checkpoint resumable.
+            let mut inner = self.shared.inner.lock().expect(POISONED);
+            let resumable = inner.jobs.get(&id.0).is_some_and(|job| job.checkpoint.is_some());
+            observe(&self.shared, &mut inner, id.0, JobState::Cancelled { resumable }, None);
+            drop(inner);
+            return self.cached_status(id);
+        }
+        let fetched = {
+            let mut client = self.shared.clients[node].lock().expect(POISONED);
+            client.request("POST", &format!("/jobs/{node_job_id}/cancel"), None)
+        };
+        match fetched {
+            Ok(resp) if resp.status == 200 => match resp.json::<StatusResponse>() {
+                Ok(mut live) => {
+                    let mut inner = self.shared.inner.lock().expect(POISONED);
+                    observe(&self.shared, &mut inner, id.0, live.state.clone(), live.status);
+                    live.id = id;
+                    Ok(live)
+                }
+                Err(_) => self.cached_status(id),
+            },
+            // The cancel flag is recorded: if the node later dies, the
+            // job is cancelled instead of resumed.
+            _ => self.cached_status(id),
+        }
+    }
+
+    fn cached_status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        let inner = self.shared.inner.lock().expect(POISONED);
+        let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+        Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
+    }
+
+    /// Cluster-wide statistics: per-node `/stats` polled live, folded,
+    /// plus the coordinator's own routing counters.
+    pub fn stats(&self) -> ClusterStats {
+        let (alive, misses) = {
+            let inner = self.shared.inner.lock().expect(POISONED);
+            (inner.alive.clone(), inner.misses.clone())
+        };
+        let mut nodes = Vec::with_capacity(self.shared.addrs.len());
+        for (node, addr) in self.shared.addrs.iter().enumerate() {
+            let stats = if alive[node] {
+                let mut client = self.shared.clients[node].lock().expect(POISONED);
+                client
+                    .get("/stats")
+                    .ok()
+                    .filter(|resp| resp.status == 200)
+                    .and_then(|resp| resp.json::<ServerStats>().ok())
+            } else {
+                None
+            };
+            nodes.push(NodeReport {
+                addr: addr.clone(),
+                alive: alive[node],
+                missed_heartbeats: misses[node],
+                stats,
+            });
+        }
+        let fold = fold_stats(nodes.iter().filter_map(|node| node.stats.as_ref()));
+        let jobs_inflight = {
+            let inner = self.shared.inner.lock().expect(POISONED);
+            inner.jobs.values().filter(|job| !job.state.is_terminal()).count() as u64
+        };
+        let shared = &self.shared;
+        ClusterStats {
+            nodes_total: shared.addrs.len(),
+            nodes_alive: alive.iter().filter(|&&a| a).count(),
+            jobs_routed: shared.jobs_routed.load(Ordering::Relaxed),
+            jobs_inflight,
+            jobs_done: shared.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_timed_out: shared.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
+            reroutes: shared.reroutes.load(Ordering::Relaxed),
+            node_deaths: shared.node_deaths.load(Ordering::Relaxed),
+            jobs_resumed: shared.jobs_resumed.load(Ordering::Relaxed),
+            fold,
+            nodes,
+        }
+    }
+
+    /// Coordinator liveness: ok while not draining and at least one node
+    /// is alive.
+    pub fn healthz(&self) -> ClusterHealthz {
+        let alive = {
+            let inner = self.shared.inner.lock().expect(POISONED);
+            inner.alive.iter().filter(|&&a| a).count()
+        };
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        ClusterHealthz {
+            ok: !draining && alive > 0,
+            draining,
+            uptime_ms: self.shared.clock.now().duration_since(self.shared.started).as_millis()
+                as u64,
+            nodes_total: self.shared.addrs.len(),
+            nodes_alive: alive,
+        }
+    }
+
+    /// The replicated store, in the same `JobExport` shape a node's
+    /// `/checkpoints` uses — ids are cluster ids. A coordinator fronting
+    /// a coordinator would replicate through this, and it makes the
+    /// replica auditable over plain HTTP.
+    pub fn export_jobs(&self) -> Vec<JobExport> {
+        let inner = self.shared.inner.lock().expect(POISONED);
+        inner
+            .jobs
+            .iter()
+            .map(|(&id, job)| JobExport {
+                id: JobId(id),
+                state: job.state.clone(),
+                status: job.status,
+                checkpoint: job.checkpoint.clone(),
+            })
+            .collect()
+    }
+
+    /// Per-job routing introspection for tests and the chaos harness.
+    pub fn inspect(&self) -> Vec<JobInspect> {
+        let inner = self.shared.inner.lock().expect(POISONED);
+        inner
+            .jobs
+            .iter()
+            .map(|(&id, job)| JobInspect {
+                id,
+                node: job.node,
+                node_job_id: job.node_job_id,
+                state: job.state.label().to_string(),
+                has_checkpoint: job.checkpoint.is_some(),
+                detours: job.detours,
+                resumes: job.resumes,
+                cancel_requested: job.cancel_requested,
+            })
+            .collect()
+    }
+
+    /// Whether the node at `index` is currently considered alive.
+    pub fn node_alive(&self, index: usize) -> bool {
+        let inner = self.shared.inner.lock().expect(POISONED);
+        inner.alive.get(index).copied().unwrap_or(false)
+    }
+
+    /// Stop accepting submissions; routed jobs keep running on their
+    /// nodes and stay queryable.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout`
+    /// elapses on the injected clock. Wakes on every coordinator-side
+    /// observation (heartbeat replication included) and re-polls the
+    /// node in between.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotReady`] on timeout; [`ServeError::UnknownJob`]
+    /// for an unrouted id.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Result<StatusResponse, ServeError> {
+        let deadline = self.shared.clock.now() + timeout;
+        loop {
+            let resp = self.status(id)?;
+            if resp.state.is_terminal() {
+                return Ok(resp);
+            }
+            if self.shared.clock.now() >= deadline {
+                return Err(ServeError::NotReady {
+                    reason: format!("job still {} after {timeout:?}", resp.state.label()),
+                });
+            }
+            // Short real-time poll: progress mostly arrives via our own
+            // RPCs, which no condvar observes.
+            let guard = self.shared.inner.lock().expect(POISONED);
+            let _ = self
+                .shared
+                .state_cv
+                .wait_timeout(guard, Duration::from_millis(25))
+                .expect(POISONED);
+        }
+    }
+}
+
+/// The coordinator behind the same HTTP front-end a node uses — this is
+/// what makes `examples/serve_client.rs` and every curl script work
+/// unchanged against a cluster.
+impl JobApi for ClusterHandle {
+    fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        ClusterHandle::submit(self, spec)
+    }
+
+    fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        ClusterHandle::status(self, id)
+    }
+
+    fn report(&self, id: JobId) -> Result<RunReport, ServeError> {
+        ClusterHandle::report(self, id)
+    }
+
+    fn checkpoint(&self, id: JobId) -> Result<Option<RunCheckpoint>, ServeError> {
+        ClusterHandle::checkpoint(self, id)
+    }
+
+    fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        ClusterHandle::cancel(self, id)
+    }
+
+    fn stats_value(&self) -> serde_json::Value {
+        serde_json::to_value(self.stats()).unwrap_or(serde_json::Value::Null)
+    }
+
+    fn healthz_value(&self) -> serde_json::Value {
+        serde_json::to_value(self.healthz()).unwrap_or(serde_json::Value::Null)
+    }
+
+    fn checkpoints_value(&self) -> serde_json::Value {
+        serde_json::to_value(self.export_jobs()).unwrap_or(serde_json::Value::Null)
+    }
+
+    fn request_drain(&self) {
+        ClusterHandle::request_drain(self);
+    }
+}
+
+// ------------------------------------------------------------ forwarding
+
+/// Where a forward landed.
+struct Placed {
+    node: usize,
+    node_job_id: u64,
+    detours: u32,
+}
+
+/// Rewrites node-local ids inside a node's error to the cluster id the
+/// client knows.
+fn rewrite_id(err: ServeError, id: JobId) -> ServeError {
+    match err {
+        ServeError::UnknownJob { .. } => ServeError::UnknownJob { id },
+        ServeError::JobEvicted { .. } => ServeError::JobEvicted { id },
+        other => other,
+    }
+}
+
+/// The ring's full fallback order for `key` over the live nodes.
+fn fallback_order(ring: &HashRing, key: u64, alive: &[bool]) -> Vec<usize> {
+    let mut alive = alive.to_vec();
+    let mut order = Vec::new();
+    while let Some(node) = ring.route(key, &alive) {
+        order.push(node);
+        alive[node] = false;
+    }
+    order
+}
+
+/// Forwards a spec down `key`'s fallback order until a node accepts it.
+///
+/// Backpressure (a full in-flight window here, or 429/503 from the node)
+/// is propagated to the caller when `reject_when_full` and the rejection
+/// came from the ring's first choice — that is the end-to-end 429/503
+/// contract. Transport errors always walk on to the next candidate; a
+/// death-resume (`reject_when_full == false`) walks past backpressure
+/// too, because it must land somewhere.
+fn forward(
+    shared: &CoordShared,
+    key: u64,
+    spec: &JobSpec,
+    reject_when_full: bool,
+) -> Result<Placed, ServeError> {
+    let order = {
+        let inner = shared.inner.lock().expect(POISONED);
+        fallback_order(&shared.ring, key, &inner.alive)
+    };
+    if order.is_empty() {
+        return Err(ServeError::ShuttingDown);
+    }
+    let mut detours: u32 = 0;
+    for (rank, &node) in order.iter().enumerate() {
+        // Reserve a window slot, or treat "full" as backpressure/detour.
+        {
+            let mut inner = shared.inner.lock().expect(POISONED);
+            if !inner.alive[node] {
+                detours += 1;
+                continue;
+            }
+            if inner.inflight[node] >= shared.cfg.inflight_window {
+                if reject_when_full && rank == 0 {
+                    return Err(ServeError::QueueFull { capacity: shared.cfg.inflight_window });
+                }
+                detours += 1;
+                continue;
+            }
+            inner.inflight[node] += 1;
+        }
+        let release = || {
+            let mut inner = shared.inner.lock().expect(POISONED);
+            inner.inflight[node] = inner.inflight[node].saturating_sub(1);
+        };
+        let injected = matches!(
+            fault::hit(FAIL_FORWARD),
+            Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
+        );
+        let outcome = if injected {
+            Err(io::Error::new(io::ErrorKind::ConnectionReset, "injected forward failure"))
+        } else {
+            let mut client = shared.clients[node].lock().expect(POISONED);
+            client.post_json("/jobs", spec)
+        };
+        match outcome {
+            Ok(resp) if resp.status == 200 => match resp.json::<SubmitResponse>() {
+                Ok(sub) => {
+                    return Ok(Placed { node, node_job_id: sub.id.0, detours });
+                }
+                Err(_) => {
+                    release();
+                    detours += 1;
+                }
+            },
+            Ok(resp) => {
+                release();
+                let err = resp.error();
+                let backpressure =
+                    matches!(err, ServeError::QueueFull { .. } | ServeError::ShuttingDown);
+                if backpressure && !(reject_when_full && rank == 0) {
+                    detours += 1;
+                } else {
+                    return Err(err);
+                }
+            }
+            Err(_) => {
+                release();
+                detours += 1;
+            }
+        }
+    }
+    Err(ServeError::ShuttingDown)
+}
+
+// ------------------------------------------------------------ observation
+
+/// Records an observed job transition under the `inner` lock: updates
+/// the cached state/progress, and on the *first* transition to terminal
+/// releases the window slot and bumps the matching coordinator counter —
+/// exactly once per job, whatever mixture of polls, heartbeats, and
+/// cancels observed it. Terminal is sticky: nothing a node says later
+/// can resurrect a job the coordinator has settled.
+fn observe(
+    shared: &CoordShared,
+    inner: &mut Inner,
+    id: u64,
+    state: JobState,
+    status: Option<RunStatus>,
+) {
+    let Some(job) = inner.jobs.get_mut(&id) else {
+        return;
+    };
+    if let Some(status) = status {
+        job.status = Some(status);
+    }
+    if job.state.is_terminal() {
+        return;
+    }
+    let node = job.node;
+    job.state = state;
+    if job.state.is_terminal() {
+        inner.inflight[node] = inner.inflight[node].saturating_sub(1);
+        let counter = match job.state {
+            JobState::Done => &shared.jobs_done,
+            JobState::Failed { .. } => &shared.jobs_failed,
+            JobState::TimedOut { .. } => &shared.jobs_timed_out,
+            JobState::Cancelled { .. } => &shared.jobs_cancelled,
+            _ => unreachable!("is_terminal covers exactly these"),
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.state_cv.notify_all();
+}
+
+// ------------------------------------------------------------ heartbeat
+
+fn heartbeat_loop(shared: &CoordShared) {
+    let interval = shared.cfg.heartbeat_interval;
+    let mut next = shared.clock.now() + interval;
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.clock.now() >= next {
+            beat(shared);
+            next = shared.clock.now() + interval;
+        }
+        // Park until roughly the next beat. On a real clock the timeout
+        // fires it; on a frozen test clock the timeout just re-checks (a
+        // no-op) and the clock's waker delivers the actual wakeups.
+        let remaining =
+            next.saturating_duration_since(shared.clock.now()).max(Duration::from_millis(1));
+        let guard = shared.beat_mx.lock().expect(POISONED);
+        let _ = shared.beat_cv.wait_timeout(guard, remaining).expect(POISONED);
+    }
+}
+
+/// One heartbeat: probe every live node, pull replicas from the healthy,
+/// declare the persistently silent dead.
+fn beat(shared: &CoordShared) {
+    for node in 0..shared.addrs.len() {
+        let alive = {
+            let inner = shared.inner.lock().expect(POISONED);
+            inner.alive[node]
+        };
+        if !alive {
+            continue;
+        }
+        let injected_miss = matches!(
+            fault::hit(FAIL_HEARTBEAT),
+            Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
+        );
+        let healthy = !injected_miss && {
+            let mut client = shared.clients[node].lock().expect(POISONED);
+            matches!(client.get("/healthz"), Ok(resp) if resp.status == 200)
+        };
+        if !healthy {
+            let dead_now = {
+                let mut inner = shared.inner.lock().expect(POISONED);
+                inner.misses[node] += 1;
+                inner.misses[node] >= shared.cfg.failure_threshold
+            };
+            if dead_now {
+                declare_dead(shared, node);
+            }
+            continue;
+        }
+        {
+            let mut inner = shared.inner.lock().expect(POISONED);
+            inner.misses[node] = 0;
+        }
+        replicate(shared, node);
+    }
+}
+
+/// Pulls one node's `/checkpoints` export into the replicated store.
+fn replicate(shared: &CoordShared, node: usize) {
+    if matches!(
+        fault::hit(FAIL_REPLICATE),
+        Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
+    ) {
+        return;
+    }
+    let exports = {
+        let mut client = shared.clients[node].lock().expect(POISONED);
+        client
+            .get("/checkpoints")
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .and_then(|resp| resp.json::<Vec<JobExport>>().ok())
+    };
+    let Some(exports) = exports else { return };
+    let mut inner = shared.inner.lock().expect(POISONED);
+    let by_node_id: HashMap<u64, u64> = inner
+        .jobs
+        .iter()
+        .filter(|(_, job)| job.node == node)
+        .map(|(&id, job)| (job.node_job_id, id))
+        .collect();
+    for export in exports {
+        let Some(&id) = by_node_id.get(&export.id.0) else {
+            continue;
+        };
+        if let Some(ckpt) = export.checkpoint {
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.checkpoint = Some(ckpt);
+            }
+        }
+        observe(shared, &mut inner, id, export.state, export.status);
+    }
+}
+
+/// Declares a node dead — exactly once — and moves its unfinished jobs:
+/// cancel-requested ones are cancelled in place; the rest are
+/// resubmitted, in ascending cluster-id order, to the ring's surviving
+/// fallback with their replicated checkpoints attached.
+fn declare_dead(shared: &CoordShared, node: usize) {
+    let to_resume: Vec<(u64, JobSpec)> = {
+        let mut inner = shared.inner.lock().expect(POISONED);
+        if !inner.alive[node] {
+            return;
+        }
+        inner.alive[node] = false;
+        inner.inflight[node] = 0;
+        shared.node_deaths.fetch_add(1, Ordering::Relaxed);
+        let affected: Vec<u64> = inner
+            .jobs
+            .iter()
+            .filter(|(_, job)| job.node == node && !job.state.is_terminal())
+            .map(|(&id, _)| id)
+            .collect();
+        let mut resume = Vec::new();
+        for id in affected {
+            let job = &inner.jobs[&id];
+            if job.cancel_requested {
+                let resumable = job.checkpoint.is_some();
+                observe(shared, &mut inner, id, JobState::Cancelled { resumable }, None);
+                continue;
+            }
+            let mut spec = job.spec.clone();
+            spec.checkpoint = job.checkpoint.clone();
+            resume.push((id, spec));
+        }
+        resume
+    };
+    for (id, spec) in to_resume {
+        match forward(shared, id, &spec, false) {
+            Ok(placed) => {
+                let mut inner = shared.inner.lock().expect(POISONED);
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.node = placed.node;
+                    job.node_job_id = placed.node_job_id;
+                    job.state = JobState::Queued;
+                    job.resumes += 1;
+                    job.detours += placed.detours;
+                }
+                shared.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+                shared.reroutes.fetch_add(1 + u64::from(placed.detours), Ordering::Relaxed);
+                shared.state_cv.notify_all();
+            }
+            Err(e) => {
+                let mut inner = shared.inner.lock().expect(POISONED);
+                observe(
+                    shared,
+                    &mut inner,
+                    id,
+                    JobState::Failed { error: format!("resume after node death failed: {e}") },
+                    None,
+                );
+            }
+        }
+    }
+}

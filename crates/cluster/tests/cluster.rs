@@ -1,0 +1,312 @@
+//! Integration tests for `breaksym-cluster`: a real fleet of serve nodes
+//! behind real sockets, one coordinator, and the failure modes the crate
+//! exists for — node death, resume on survivors, deterministic chaos.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use breaksym_cluster::{
+    run_cluster_chaos, ClusterChaosConfig, ClusterConfig, Coordinator, NodeClient, FAIL_HEARTBEAT,
+};
+use breaksym_core::{MethodSpec, MlmaConfig};
+use breaksym_serve::{
+    Healthz, HttpServer, JobSpec, JobState, ServeConfig, ServeEngine, SubmitResponse, TaskSpec,
+};
+use breaksym_testkit::{fault, FaultAction, FaultPlan, TestClock};
+
+/// The fault registry is process-global, and several tests here arm it
+/// (directly or via the chaos harness). Running them concurrently would
+/// let one test's coordinator consume another's failpoint hits, so every
+/// test in this binary takes this lock first.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn job(seed: u64, max_evals: u64, slice: u64) -> JobSpec {
+    let cfg =
+        MlmaConfig { episodes: 2, steps_per_episode: 6, max_evals, seed, ..MlmaConfig::default() };
+    let mut spec = JobSpec::new(TaskSpec::benchmark("diff_pair", 7), MethodSpec::Mlma(cfg));
+    spec.slice_evals = Some(slice);
+    spec
+}
+
+struct Node {
+    engine: ServeEngine,
+    server: HttpServer,
+}
+
+fn fleet(n: usize) -> (Vec<Node>, Vec<String>) {
+    let mut nodes = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let engine = ServeEngine::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+        let server = HttpServer::bind(engine.handle(), "127.0.0.1:0").expect("node binds");
+        addrs.push(server.addr().to_string());
+        nodes.push(Node { engine, server });
+    }
+    (nodes, addrs)
+}
+
+fn teardown(nodes: Vec<Node>) {
+    for mut node in nodes {
+        node.server.stop();
+        node.engine.shutdown();
+    }
+}
+
+fn poll_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if done() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    done()
+}
+
+#[test]
+fn node_client_keeps_the_connection_alive() {
+    let _serial = serial();
+    let (nodes, addrs) = fleet(1);
+    let mut client = NodeClient::new(addrs[0].clone(), Duration::from_secs(2));
+    for _ in 0..3 {
+        let resp = client.get("/healthz").expect("healthz");
+        assert_eq!(resp.status, 200);
+        let healthz: Healthz = resp.json().expect("healthz parses");
+        assert!(healthz.ok);
+    }
+    assert_eq!(client.reconnects(), 1, "three GETs must ride one connection");
+    teardown(nodes);
+}
+
+#[test]
+fn coordinator_routes_jobs_and_aggregates_stats() {
+    let _serial = serial();
+    let (nodes, addrs) = fleet(2);
+    let coordinator = Coordinator::start(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            rpc_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        },
+    );
+    let handle = coordinator.handle();
+
+    let ids: Vec<_> = (0..3).map(|i| handle.submit(job(i, 60, 16)).expect("submit")).collect();
+    for &id in &ids {
+        let done = handle.wait(id, Duration::from_secs(60)).expect("job settles");
+        assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+        let report = handle.report(id).expect("report fetchable");
+        assert!(report.best_cost <= report.initial_cost);
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.nodes_total, 2);
+    assert_eq!(stats.nodes_alive, 2);
+    assert_eq!(stats.jobs_routed, 3);
+    assert_eq!(stats.jobs_done, 3);
+    assert_eq!(stats.node_deaths, 0);
+    assert_eq!(stats.fold.jobs_done, 3, "fold must sum node counters");
+    assert!(handle.healthz().ok);
+    assert_eq!(handle.export_jobs().len(), 3);
+
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
+#[test]
+fn dead_node_jobs_resume_on_a_survivor() {
+    let _serial = serial();
+    let (mut nodes, addrs) = fleet(2);
+    let coordinator = Coordinator::start(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            failure_threshold: 3,
+            rpc_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        },
+    );
+    let handle = coordinator.handle();
+
+    let id = handle.submit(job(11, 600, 8)).expect("submit");
+    // Wait for a mid-run checkpoint to replicate, so the kill lands
+    // mid-slice and the resume genuinely continues from partial work.
+    assert!(
+        poll_until(Duration::from_secs(30), || {
+            handle.inspect().first().is_some_and(|j| j.has_checkpoint)
+        }),
+        "no checkpoint replicated in time: {:?}",
+        handle.inspect()
+    );
+    let home = handle.inspect()[0].node;
+    nodes[home].server.stop();
+
+    let done = handle.wait(id, Duration::from_secs(120)).expect("job settles");
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+    let report = handle.report(id).expect("report fetchable after resume");
+    assert_eq!(report.evaluations, 600);
+
+    let inspect = handle.inspect();
+    assert_eq!(inspect[0].resumes, 1, "{inspect:?}");
+    assert_ne!(inspect[0].node, home, "job must have moved off the dead node");
+    let stats = handle.stats();
+    assert_eq!(stats.node_deaths, 1);
+    assert_eq!(stats.jobs_resumed, 1);
+    assert!(stats.reroutes >= 1);
+    assert!(!stats.nodes[home].alive);
+
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
+#[test]
+fn heartbeat_failpoint_kills_a_node_on_the_virtual_clock() {
+    let _serial = serial();
+    let (nodes, addrs) = fleet(2);
+    // With both nodes alive each beat probes node 0 then node 1, so
+    // heartbeat hits 1, 3, 5 are three consecutive probes of node 0 —
+    // exactly the failure threshold.
+    let plan = FaultPlan::new()
+        .with(FAIL_HEARTBEAT, 1, FaultAction::Fail { what: "miss".into() })
+        .with(FAIL_HEARTBEAT, 3, FaultAction::Fail { what: "miss".into() })
+        .with(FAIL_HEARTBEAT, 5, FaultAction::Fail { what: "miss".into() });
+    let guard = fault::install(plan);
+
+    let clock = TestClock::new();
+    let coordinator = Coordinator::start_with_clock(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            failure_threshold: 3,
+            rpc_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        },
+        clock.to_shared(),
+    );
+    let handle = coordinator.handle();
+
+    // Step virtual time beat by beat until the misses accumulate. The
+    // trigger indices pin *which* node misses; how many advances it
+    // takes to deliver three beats is timing we need not assume.
+    let dead = poll_until(Duration::from_secs(30), || {
+        clock.advance_ms(100);
+        !handle.node_alive(0)
+    });
+    assert!(dead, "node 0 must be declared dead after three injected misses");
+    assert!(handle.node_alive(1), "node 1 answered every probe");
+    assert_eq!(handle.stats().node_deaths, 1);
+    drop(guard);
+
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
+/// One request over a short-lived connection, the way the pre-keep-alive
+/// clients (and curl) talk to the front-end.
+fn http_request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn cluster_serves_the_same_http_protocol_as_a_node() {
+    let _serial = serial();
+    let (nodes, addrs) = fleet(2);
+    let coordinator = Coordinator::start(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            rpc_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        },
+    );
+    let mut front = HttpServer::bind(coordinator.handle(), "127.0.0.1:0").expect("front binds");
+    let front_addr = front.addr().to_string();
+
+    let spec = serde_json::to_string(&job(3, 60, 16)).unwrap();
+    let (status, body) = http_request(&front_addr, "POST", "/jobs", Some(&spec));
+    assert_eq!(status, 200, "{body}");
+    let submit: SubmitResponse = serde_json::from_str(&body).expect("submit response");
+
+    let path = format!("/jobs/{}", submit.id);
+    assert!(
+        poll_until(Duration::from_secs(60), || {
+            let (status, body) = http_request(&front_addr, "GET", &path, None);
+            status == 200 && body.contains("\"done\"")
+        }),
+        "job did not finish through the cluster front-end"
+    );
+
+    let (status, body) = http_request(&front_addr, "GET", "/stats", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"nodes_total\":2"), "{body}");
+    let (status, body) = http_request(&front_addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\":true"), "{body}");
+    let (status, _) = http_request(&front_addr, "GET", "/jobs/999", None);
+    assert_eq!(status, 404);
+
+    front.stop();
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
+#[test]
+fn chaos_invariants_hold_and_replay_identically() {
+    let _serial = serial();
+    let config = ClusterChaosConfig { seed: 5, nodes: 3, jobs: 4, faults: 3 };
+    let first = run_cluster_chaos(&config);
+    assert!(first.ok(), "invariants violated: {:#?}", first.invariants);
+    let second = run_cluster_chaos(&config);
+    assert!(second.ok(), "invariants violated on replay: {:#?}", second.invariants);
+    assert_eq!(
+        first.deterministic_view(),
+        second.deterministic_view(),
+        "two runs from seed {} disagree",
+        config.seed
+    );
+}
+
+/// Nightly seed-matrix soak: `cargo test -p breaksym-cluster --test
+/// cluster -- --ignored` runs the multi-node chaos harness across seeds,
+/// each twice, checking invariants and run-twice determinism.
+#[test]
+#[ignore = "multi-minute soak; run explicitly or from the nightly workflow"]
+fn chaos_seed_matrix_soak() {
+    let _serial = serial();
+    for seed in 1..=6 {
+        let config = ClusterChaosConfig { seed, nodes: 3, jobs: 6, faults: 4 };
+        let first = run_cluster_chaos(&config);
+        assert!(first.ok(), "seed {seed}: {:#?}", first.invariants);
+        let second = run_cluster_chaos(&config);
+        assert!(second.ok(), "seed {seed} replay: {:#?}", second.invariants);
+        assert_eq!(
+            first.deterministic_view(),
+            second.deterministic_view(),
+            "seed {seed}: runs disagree"
+        );
+    }
+}

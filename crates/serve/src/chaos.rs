@@ -123,8 +123,10 @@ fn palette() -> Vec<(&'static str, Vec<FaultAction>)> {
 /// The seed-derived job mix: small MLMA/flat-Q placements of the
 /// `diff_pair` benchmark with varied seeds, budgets, and slice sizes —
 /// quick enough to run many, different enough to exercise distinct
-/// schedules.
-fn job_mix(seed: u64, jobs: usize) -> Vec<JobSpec> {
+/// schedules. Public so the multi-node chaos harness in
+/// `breaksym-cluster` derives its fleet-wide mixes from the same
+/// generator.
+pub fn job_mix(seed: u64, jobs: usize) -> Vec<JobSpec> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc4a0_5bad);
     (0..jobs)
         .map(|_| {
@@ -267,8 +269,10 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
 }
 
 /// Resumes the job's checkpoint twice from scratch and compares the two
-/// reports field-for-field (costs at the bit level).
-fn resumes_bit_identically(spec: &JobSpec, ckpt: &breaksym_core::RunCheckpoint) -> bool {
+/// reports field-for-field (costs at the bit level). Public for the
+/// multi-node harness, whose replicated checkpoints must satisfy the
+/// same bit-identity.
+pub fn resumes_bit_identically(spec: &JobSpec, ckpt: &breaksym_core::RunCheckpoint) -> bool {
     let run = || -> Option<RunReport> {
         let task = spec.task.resolve().ok()?;
         let method = match spec.seed {
@@ -293,16 +297,23 @@ fn resumes_bit_identically(spec: &JobSpec, ckpt: &breaksym_core::RunCheckpoint) 
     }
 }
 
-enum ReportVerdict {
+/// Outcome of replaying a completed job's reported claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportVerdict {
+    /// The placement applies and a fresh evaluation reproduces the
+    /// reported metrics exactly.
     Ok,
+    /// The reported best placement does not apply to a fresh environment.
     IllegalPlacement,
+    /// A fresh, cache-free evaluation disagrees with the reported
+    /// metrics.
     MetricsMismatch,
 }
 
 /// Replays a completed job's claim: its best placement must apply to a
 /// fresh environment, and a fresh cache-free evaluation must reproduce
-/// the reported metrics exactly.
-fn verify_report(spec: &JobSpec, report: &RunReport) -> ReportVerdict {
+/// the reported metrics exactly. Public for the multi-node harness.
+pub fn verify_report(spec: &JobSpec, report: &RunReport) -> ReportVerdict {
     let Ok(task) = spec.task.resolve() else {
         return ReportVerdict::IllegalPlacement;
     };

@@ -50,7 +50,8 @@ use breaksym_sim::{EvalCache, SimCounter, StatsSnapshot};
 use breaksym_testkit::{real_clock, FaultAction, SharedClock};
 
 use crate::protocol::{
-    JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse,
+    Healthz, JobExport, JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats,
+    StatusResponse,
 };
 
 /// Failpoint hit at every slice boundary, just before the worker drives
@@ -125,12 +126,16 @@ struct JobRecord {
 
 impl JobRecord {
     fn new(spec: JobSpec) -> Self {
+        // A spec that carries a checkpoint (a coordinator moving a dead
+        // node's job here) starts from it: the worker's slice loop resumes
+        // from `JobRecord::checkpoint` whenever one is present.
+        let checkpoint = spec.checkpoint.clone();
         JobRecord {
             spec,
             state: JobState::Queued,
             status: None,
             report: None,
-            checkpoint: None,
+            checkpoint,
             cancel: Arc::new(AtomicBool::new(false)),
             cache: EvalCache::default(),
             counter: SimCounter::new(),
@@ -488,6 +493,43 @@ impl ServeHandle {
             jobs_retired,
             cache,
         }
+    }
+
+    /// A cheap liveness probe: no retention beat, no cache folding — just
+    /// queue depth, worker busyness, and uptime. This is what a load
+    /// balancer or a cluster coordinator polls every heartbeat.
+    pub fn healthz(&self) -> Healthz {
+        let queue_depth = self.shared.queue.lock().expect(POISONED).len();
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let shared = &self.shared;
+        Healthz {
+            ok: !draining,
+            draining,
+            uptime_ms: shared.clock.now().duration_since(shared.started).as_millis() as u64,
+            queue_depth,
+            workers: shared.cfg.workers,
+            busy_workers: shared.busy_workers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Exports every live job's replicable state — id, lifecycle state,
+    /// latest progress, and latest slice-boundary checkpoint — sorted by
+    /// id. One call per heartbeat is how a coordinator keeps its
+    /// replicated checkpoint store fresh enough to resume this node's
+    /// jobs elsewhere if it dies.
+    pub fn export_jobs(&self) -> Vec<JobExport> {
+        let jobs = self.shared.jobs.lock().expect(POISONED);
+        let mut out: Vec<JobExport> = jobs
+            .iter()
+            .map(|(&id, job)| JobExport {
+                id: JobId(id),
+                state: job.state.clone(),
+                status: job.status,
+                checkpoint: job.checkpoint.clone(),
+            })
+            .collect();
+        out.sort_by_key(|e| e.id);
+        out
     }
 
     /// Flags the engine to drain — the same signal Ctrl-C raises in

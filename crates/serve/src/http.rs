@@ -1,18 +1,34 @@
-//! Minimal HTTP/1.1 front-end over a [`ServeHandle`], built on
-//! `std::net` only — no async runtime, no HTTP crate.
+//! Minimal HTTP/1.1 front-end over any [`JobApi`] service — the local
+//! [`ServeHandle`] or a cluster coordinator — built on `std::net` only;
+//! no async runtime, no HTTP crate.
 //!
 //! One accept thread hands sockets to a bounded pool of
 //! connection-handler threads over an in-process queue; every response is
-//! JSON and closes the connection. The pool is what keeps one slow or
-//! stalled client from head-of-line-blocking everyone else: a handler
-//! stuck in the 10 s socket timeout occupies one slot while the other
-//! handlers keep serving, and when every slot *and* the hand-off queue
-//! are busy the accept thread answers 503 immediately rather than
-//! queueing unbounded sockets. Request parsing is bounded end to end —
-//! header bytes and line counts are capped (431), bodies are capped
-//! (400), and chunked transfer encoding is refused (501) — so a hostile
-//! client cannot balloon memory. All of it stays inside the standard
-//! library, which the offline build environment requires.
+//! JSON. The pool is what keeps one slow or stalled client from
+//! head-of-line-blocking everyone else: a handler stuck in the 10 s
+//! socket timeout occupies one slot while the other handlers keep
+//! serving, and when every slot *and* the hand-off queue are busy the
+//! accept thread answers 503 immediately rather than queueing unbounded
+//! sockets. Request parsing is bounded end to end — header bytes and line
+//! counts are capped (431), bodies are capped (400), and chunked transfer
+//! encoding is refused (501) — so a hostile client cannot balloon memory.
+//! All of it stays inside the standard library, which the offline build
+//! environment requires.
+//!
+//! # Keep-alive
+//!
+//! Connections are persistent per HTTP/1.1 semantics: a handler serves
+//! requests back to back on one socket until the client sends
+//! `Connection: close` (HTTP/1.0 closes unless it asks for keep-alive),
+//! goes idle past [`KEEP_ALIVE_IDLE`], or hits the per-connection request
+//! cap. The idle deadline is measured on the injected [`Clock`], so tests
+//! on a `TestClock` control it exactly; between requests the handler
+//! polls the socket on a short real timeout so the server's stop flag is
+//! still observed promptly. Coordinator↔node RPC rides this: one
+//! heartbeat's health probe and checkpoint pull share one TCP connection
+//! instead of paying a fresh connect each.
+//!
+//! [`Clock`]: breaksym_testkit::Clock
 //!
 //! # Endpoints
 //!
@@ -24,11 +40,15 @@
 //! | `GET /jobs/{id}/checkpoint`| —                 | `RunCheckpoint`      |
 //! | `POST /jobs/{id}/cancel`   | —                 | [`StatusResponse`]   |
 //! | `GET /stats`               | —                 | [`ServerStats`]      |
+//! | `GET /healthz`             | —                 | [`Healthz`]          |
+//! | `GET /checkpoints`         | —                 | `[`[`JobExport`]`]`  |
 //! | `POST /shutdown`           | —                 | `{"draining": true}` |
 //!
 //! Failures use the [`ServeError`] wire shape with its
 //! [`http_status`](ServeError::http_status) code.
 //!
+//! [`Healthz`]: crate::protocol::Healthz
+//! [`JobExport`]: crate::protocol::JobExport
 //! [`ServerStats`]: crate::protocol::ServerStats
 //! [`StatusResponse`]: crate::protocol::StatusResponse
 
@@ -40,11 +60,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use breaksym_testkit::FaultAction;
+use breaksym_core::{RunCheckpoint, RunReport};
+use breaksym_testkit::{real_clock, FaultAction, SharedClock};
 use serde::Serialize;
 
 use crate::engine::ServeHandle;
-use crate::protocol::{JobId, JobSpec, ServeError, SubmitResponse};
+use crate::protocol::{JobId, JobSpec, ServeError, StatusResponse, SubmitResponse};
 
 /// Failpoint hit after routing, just before the response bytes go out. A
 /// `Drop` action closes the socket without responding (a mid-flight
@@ -65,9 +86,24 @@ const MAX_HEADER_BYTES: usize = 8 * 1024;
 /// cannot hold a handler hostage within the byte budget.
 const MAX_HEADER_LINES: usize = 64;
 
-/// Per-connection socket timeout, so a stalled client caps how long it
-/// can occupy one handler slot.
+/// Per-connection socket timeout while a request is in flight, so a
+/// client that stalls mid-request caps how long it occupies one handler
+/// slot.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a keep-alive connection may sit idle *between* requests
+/// before the server closes it, measured on the injected clock.
+pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// Real-time granularity of the between-requests idle poll: how often an
+/// idle handler re-checks the stop flag and the (possibly virtual) idle
+/// deadline while waiting for the next request's first byte.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Requests served per connection before the server closes it anyway — a
+/// fairness valve so one immortal connection cannot pin a handler slot
+/// forever while fresh connections are being shed.
+const MAX_REQUESTS_PER_CONN: usize = 1024;
 
 /// Default size of the connection-handler pool ([`HttpServer::bind`]).
 pub const DEFAULT_CONN_WORKERS: usize = 4;
@@ -76,6 +112,105 @@ pub const DEFAULT_CONN_WORKERS: usize = 4;
 /// this the accept thread sheds load with an immediate 503 instead of
 /// queueing sockets without bound.
 const PENDING_PER_WORKER: usize = 8;
+
+/// The service surface the HTTP front-end exposes: exactly the job
+/// lifecycle the wire protocol speaks, abstracted so the same front-end
+/// can sit over a single-node [`ServeHandle`] or a multi-node cluster
+/// coordinator. Stats and health have service-specific shapes (a node
+/// reports `ServerStats`, a cluster reports a fold over nodes), so those
+/// return pre-serialised JSON values.
+pub trait JobApi: Send + Sync {
+    /// Submits a job; see [`ServeHandle::submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] per the wire protocol — notably
+    /// [`ServeError::QueueFull`] (429) and [`ServeError::ShuttingDown`]
+    /// (503), the backpressure signals.
+    fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError>;
+
+    /// Lifecycle state plus latest progress; see [`ServeHandle::status`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] / [`ServeError::JobEvicted`].
+    fn status(&self, id: JobId) -> Result<StatusResponse, ServeError>;
+
+    /// Final report of a completed job; see [`ServeHandle::report`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotReady`] until done.
+    fn report(&self, id: JobId) -> Result<RunReport, ServeError>;
+
+    /// Latest resumable checkpoint; see [`ServeHandle::checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] / [`ServeError::JobEvicted`].
+    fn checkpoint(&self, id: JobId) -> Result<Option<RunCheckpoint>, ServeError>;
+
+    /// Cancels a job; see [`ServeHandle::cancel`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownJob`] / [`ServeError::JobEvicted`].
+    fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError>;
+
+    /// The `/stats` payload, already serialised — its shape is
+    /// service-specific.
+    fn stats_value(&self) -> serde_json::Value;
+
+    /// The `/healthz` payload, already serialised — its shape is
+    /// service-specific.
+    fn healthz_value(&self) -> serde_json::Value;
+
+    /// The `/checkpoints` payload (bulk replication export), already
+    /// serialised — its shape is service-specific.
+    fn checkpoints_value(&self) -> serde_json::Value;
+
+    /// Flags the service to drain; see [`ServeHandle::request_drain`].
+    fn request_drain(&self);
+}
+
+/// The single-node service: every method delegates to the engine handle.
+impl JobApi for ServeHandle {
+    fn submit(&self, spec: JobSpec) -> Result<JobId, ServeError> {
+        ServeHandle::submit(self, spec)
+    }
+
+    fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        ServeHandle::status(self, id)
+    }
+
+    fn report(&self, id: JobId) -> Result<RunReport, ServeError> {
+        ServeHandle::report(self, id)
+    }
+
+    fn checkpoint(&self, id: JobId) -> Result<Option<RunCheckpoint>, ServeError> {
+        ServeHandle::checkpoint(self, id)
+    }
+
+    fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError> {
+        ServeHandle::cancel(self, id)
+    }
+
+    fn stats_value(&self) -> serde_json::Value {
+        serde_json::to_value(self.stats()).unwrap_or(serde_json::Value::Null)
+    }
+
+    fn healthz_value(&self) -> serde_json::Value {
+        serde_json::to_value(self.healthz()).unwrap_or(serde_json::Value::Null)
+    }
+
+    fn checkpoints_value(&self) -> serde_json::Value {
+        serde_json::to_value(self.export_jobs()).unwrap_or(serde_json::Value::Null)
+    }
+
+    fn request_drain(&self) {
+        ServeHandle::request_drain(self);
+    }
+}
 
 /// The accept thread's hand-off point to the handler pool: a bounded
 /// queue of accepted sockets plus the shutdown latch.
@@ -134,10 +269,9 @@ impl ConnQueue {
     }
 }
 
-/// A running HTTP listener bound to a [`ServeHandle`]. Dropping it (or
+/// A running HTTP listener bound to a [`JobApi`] service. Dropping it (or
 /// calling [`HttpServer::stop`]) stops the accept thread and the handler
-/// pool; the engine behind the handle keeps running and is shut down
-/// separately.
+/// pool; the service behind it keeps running and is shut down separately.
 #[derive(Debug)]
 pub struct HttpServer {
     addr: SocketAddr,
@@ -147,30 +281,48 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Binds the listener with [`DEFAULT_CONN_WORKERS`] connection
-    /// handlers. Bind to port 0 to let the OS pick a free port, then read
-    /// it back from [`HttpServer::addr`].
+    /// handlers on the real clock. Bind to port 0 to let the OS pick a
+    /// free port, then read it back from [`HttpServer::addr`].
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
-    pub fn bind(handle: ServeHandle, addr: impl ToSocketAddrs) -> io::Result<Self> {
-        Self::bind_with(handle, addr, DEFAULT_CONN_WORKERS)
+    pub fn bind(service: impl JobApi + 'static, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(service, addr, DEFAULT_CONN_WORKERS)
+    }
+
+    /// As [`HttpServer::bind`] with an explicit handler-pool size, on the
+    /// real clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn bind_with(
+        service: impl JobApi + 'static,
+        addr: impl ToSocketAddrs,
+        conn_workers: usize,
+    ) -> io::Result<Self> {
+        Self::bind_with_clock(service, addr, conn_workers, real_clock())
     }
 
     /// Binds the listener and starts one accept thread plus
     /// `conn_workers` connection-handler threads (clamped to at least 1).
     /// The accept thread only moves sockets onto the hand-off queue, so a
     /// client that stalls mid-request ties up one handler slot — never
-    /// the accept path or the other handlers.
+    /// the accept path or the other handlers. The clock drives the
+    /// keep-alive idle deadline; tests pass a
+    /// [`TestClock`](breaksym_testkit::TestClock) to control it exactly.
     ///
     /// # Errors
     ///
     /// Propagates socket bind failures.
-    pub fn bind_with(
-        handle: ServeHandle,
+    pub fn bind_with_clock(
+        service: impl JobApi + 'static,
         addr: impl ToSocketAddrs,
         conn_workers: usize,
+        clock: SharedClock,
     ) -> io::Result<Self> {
+        let service: Arc<dyn JobApi> = Arc::new(service);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         // Non-blocking accept + short sleeps, so the thread can observe
@@ -188,7 +340,8 @@ impl HttpServer {
         });
         for i in 0..conn_workers {
             let queue = Arc::clone(&queue);
-            let handle = handle.clone();
+            let service = Arc::clone(&service);
+            let clock = clock.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("breaksym-serve-conn-{i}"))
@@ -197,7 +350,7 @@ impl HttpServer {
                             queue.busy.fetch_add(1, Ordering::SeqCst);
                             // A broken connection is the client's problem,
                             // not the server's: log-free best effort.
-                            let _ = handle_connection(&handle, stream);
+                            let _ = handle_connection(&*service, &queue, &clock, stream);
                             queue.busy.fetch_sub(1, Ordering::SeqCst);
                         }
                     })
@@ -220,7 +373,8 @@ impl HttpServer {
     }
 
     /// Stops the accept thread and the handler pool and waits for them to
-    /// exit; queued-but-unserved sockets are dropped. Idempotent.
+    /// exit; queued-but-unserved sockets are dropped and idle keep-alive
+    /// connections close at their next poll tick. Idempotent.
     pub fn stop(&mut self) {
         self.queue.shut_down();
         for thread in self.threads.drain(..) {
@@ -259,7 +413,7 @@ fn reject_busy(mut stream: TcpStream) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_write_timeout(Some(Duration::from_millis(250)))?;
     let body = "{\"error\": \"busy\", \"reason\": \"all connection handlers are busy; retry\"}";
-    write_response(&mut stream, 503, body)
+    write_response(&mut stream, 503, body, false)
 }
 
 /// One header (or request) line, read with a hard byte budget.
@@ -287,32 +441,106 @@ fn read_line_capped(reader: &mut impl BufRead, budget: &mut usize) -> io::Result
     Ok(HeaderLine::Line(line))
 }
 
-fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+/// What the between-requests wait observed.
+enum Waited {
+    /// Request bytes are buffered and ready to parse.
+    Data,
+    /// The connection should close: client EOF, idle deadline passed, or
+    /// the server is stopping.
+    Close,
+}
 
+/// Waits for the next request's first byte under the keep-alive idle
+/// budget. The socket polls on a short *real* timeout so the stop flag is
+/// observed promptly, while the idle deadline itself is measured on the
+/// injected clock — frozen virtual time never expires a connection on its
+/// own.
+fn await_request(
+    stream: &TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    queue: &ConnQueue,
+    clock: &SharedClock,
+) -> io::Result<Waited> {
+    let idle_from = clock.now();
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    loop {
+        if queue.stop.load(Ordering::SeqCst) {
+            return Ok(Waited::Close);
+        }
+        match reader.fill_buf() {
+            Ok([]) => return Ok(Waited::Close),
+            Ok(_) => {
+                stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+                return Ok(Waited::Data);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if clock.now().duration_since(idle_from) >= KEEP_ALIVE_IDLE {
+                    return Ok(Waited::Close);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one keep-alive connection: requests back to back on one socket
+/// until the client closes, asks to close, idles out, or the per-
+/// connection cap is reached.
+fn handle_connection(
+    api: &dyn JobApi,
+    queue: &ConnQueue,
+    clock: &SharedClock,
+    stream: TcpStream,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let mut stream = stream;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    for _ in 0..MAX_REQUESTS_PER_CONN {
+        match await_request(&stream, &mut reader, queue, clock)? {
+            Waited::Close => return Ok(()),
+            Waited::Data => {}
+        }
+        if !serve_request(api, &mut stream, &mut reader)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Parses and answers one request; returns whether the connection stays
+/// open for the next one.
+fn serve_request(
+    api: &dyn JobApi,
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+) -> io::Result<bool> {
     let mut header_budget = MAX_HEADER_BYTES;
-    let request_line = match read_line_capped(&mut reader, &mut header_budget)? {
+    let request_line = match read_line_capped(reader, &mut header_budget)? {
         HeaderLine::Line(line) => line,
         HeaderLine::TooLong => {
-            return reject(stream, reader, 431, &header_overflow_body());
+            reject(stream, reader, 431, &header_overflow_body())?;
+            return Ok(false);
         }
     };
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_ascii_uppercase();
     // Strip any query string: routing is path-only.
     let path = parts.next().unwrap_or("").split('?').next().unwrap_or("").to_string();
+    let http11 = parts.next().unwrap_or("HTTP/1.1").eq_ignore_ascii_case("HTTP/1.1");
 
     let mut content_length: u64 = 0;
     let mut chunked = false;
+    let mut connection = String::new();
     let mut lines = 0usize;
     loop {
-        let line = match read_line_capped(&mut reader, &mut header_budget)? {
+        let line = match read_line_capped(reader, &mut header_budget)? {
             HeaderLine::Line(line) => line,
             HeaderLine::TooLong => {
-                return reject(stream, reader, 431, &header_overflow_body());
+                reject(stream, reader, 431, &header_overflow_body())?;
+                return Ok(false);
             }
         };
         if line.is_empty() {
@@ -320,7 +548,8 @@ fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<
         }
         lines += 1;
         if lines > MAX_HEADER_LINES {
-            return reject(stream, reader, 431, &header_overflow_body());
+            reject(stream, reader, 431, &header_overflow_body())?;
+            return Ok(false);
         }
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -330,9 +559,18 @@ fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<
                 && value.to_ascii_lowercase().contains("chunked")
             {
                 chunked = true;
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
             }
         }
     }
+    // HTTP/1.1 defaults to keep-alive; 1.0 must opt in; an explicit
+    // `close` always wins.
+    let keep_alive = if connection.contains("close") {
+        false
+    } else {
+        http11 || connection.contains("keep-alive")
+    };
 
     if chunked {
         // Pretending a chunked body is empty would silently mis-serve the
@@ -340,42 +578,46 @@ fn handle_connection(handle: &ServeHandle, mut stream: TcpStream) -> io::Result<
         let err = ServeError::BadRequest {
             reason: "chunked transfer encoding is not supported; send Content-Length".into(),
         };
-        return reject(stream, reader, 501, &json(501, &err).1);
+        reject(stream, reader, 501, &json(501, &err).1)?;
+        return Ok(false);
     }
     if content_length > MAX_BODY_BYTES {
         let err = ServeError::BadRequest { reason: format!("body exceeds {MAX_BODY_BYTES} bytes") };
-        return reject(stream, reader, err.http_status(), &json(err.http_status(), &err).1);
+        reject(stream, reader, err.http_status(), &json(err.http_status(), &err).1)?;
+        return Ok(false);
     }
     // Read the body through the same BufReader — its buffer may already
     // hold body bytes pulled in while reading the headers.
     let mut request_body = vec![0u8; content_length as usize];
     reader.read_exact(&mut request_body)?;
-    let (status, body) = route(handle, &method, &path, &request_body);
+    let (status, body) = route(api, &method, &path, &request_body);
     if let Some(FaultAction::Drop) = breaksym_testkit::fault::hit(FAIL_HTTP_RESPOND) {
         // Injected connection loss: the request was served, the response
         // never leaves — the client sees a mid-flight drop. (A `DelayMs`
         // action stalls inside `hit` before this branch is reached.)
         let _ = stream.shutdown(Shutdown::Both);
-        return Ok(());
+        return Ok(false);
     }
-    write_response(&mut stream, status, &body)
+    write_response(stream, status, &body, keep_alive)?;
+    Ok(keep_alive)
 }
 
 /// Most bytes a rejected request's unread remainder is drained for.
 const MAX_DRAIN_BYTES: usize = 256 * 1024;
 
-/// Answers an early-rejected request whose body was never read. The
-/// response goes out first, then the write side shuts down and the
-/// unread input is drained (bounded in bytes and time) — closing with
-/// unread data would send an RST that can beat the response bytes to the
-/// client and destroy them.
+/// Answers an early-rejected request whose body was never read; the
+/// connection always closes afterwards (the request framing cannot be
+/// trusted). The response goes out first, then the write side shuts down
+/// and the unread input is drained (bounded in bytes and time) — closing
+/// with unread data would send an RST that can beat the response bytes to
+/// the client and destroy them.
 fn reject(
-    mut stream: TcpStream,
-    mut reader: BufReader<TcpStream>,
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
     status: u16,
     body: &str,
 ) -> io::Result<()> {
-    write_response(&mut stream, status, body)?;
+    write_response(stream, status, body, false)?;
     let _ = stream.shutdown(Shutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
     let mut sink = [0u8; 4096];
@@ -399,27 +641,29 @@ fn header_overflow_body() -> String {
 }
 
 /// Maps one request to a `(status, JSON body)` pair.
-fn route(handle: &ServeHandle, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+fn route(api: &dyn JobApi, method: &str, path: &str, body: &[u8]) -> (u16, String) {
     match (method, path) {
         ("POST", "/jobs") => match serde_json::from_slice::<JobSpec>(body) {
-            Ok(spec) => reply(handle.submit(spec).map(|id| SubmitResponse { id })),
+            Ok(spec) => reply(api.submit(spec).map(|id| SubmitResponse { id })),
             Err(e) => {
                 let err =
                     ServeError::BadRequest { reason: format!("job spec does not parse: {e}") };
                 json(err.http_status(), &err)
             }
         },
-        ("GET", "/stats") => json(200, &handle.stats()),
+        ("GET", "/stats") => (200, api.stats_value().to_string()),
+        ("GET", "/healthz") => (200, api.healthz_value().to_string()),
+        ("GET", "/checkpoints") => (200, api.checkpoints_value().to_string()),
         ("POST", "/shutdown") => {
-            handle.request_drain();
+            api.request_drain();
             (200, "{\"draining\": true}".to_string())
         }
-        _ => route_job(handle, method, path),
+        _ => route_job(api, method, path),
     }
 }
 
 /// The `/jobs/{id}[/…]` sub-tree.
-fn route_job(handle: &ServeHandle, method: &str, path: &str) -> (u16, String) {
+fn route_job(api: &dyn JobApi, method: &str, path: &str) -> (u16, String) {
     let Some(rest) = path.strip_prefix("/jobs/") else {
         return not_found();
     };
@@ -433,14 +677,14 @@ fn route_job(handle: &ServeHandle, method: &str, path: &str) -> (u16, String) {
     };
     let id = JobId(id);
     match (method, action) {
-        ("GET", None) => reply(handle.status(id)),
-        ("GET", Some("report")) => reply(handle.report(id)),
-        ("GET", Some("checkpoint")) => reply(handle.checkpoint(id).and_then(|ckpt| {
+        ("GET", None) => reply(api.status(id)),
+        ("GET", Some("report")) => reply(api.report(id)),
+        ("GET", Some("checkpoint")) => reply(api.checkpoint(id).and_then(|ckpt| {
             ckpt.ok_or_else(|| ServeError::NotReady {
                 reason: "no checkpoint captured yet; poll again after a slice completes".into(),
             })
         })),
-        ("POST", Some("cancel")) => reply(handle.cancel(id)),
+        ("POST", Some("cancel")) => reply(api.cancel(id)),
         _ => not_found(),
     }
 }
@@ -483,12 +727,18 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: \
-         {}\r\nConnection: close\r\n\r\n",
+         {}\r\nConnection: {}\r\n\r\n",
         status_reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
@@ -510,6 +760,8 @@ mod tests {
         assert_eq!(route(&handle, "GET", "/jobs/7", b"").0, 404);
         assert_eq!(route(&handle, "POST", "/jobs", b"{").0, 400);
         assert_eq!(route(&handle, "GET", "/stats", b"").0, 200);
+        assert_eq!(route(&handle, "GET", "/healthz", b"").0, 200);
+        assert_eq!(route(&handle, "GET", "/checkpoints", b"").0, 200);
         engine.shutdown();
     }
 

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use breaksym_core::{MethodSpec, PlacementTask, StatsSnapshot};
+use breaksym_core::{MethodSpec, PlacementTask, RunCheckpoint, StatsSnapshot};
 use breaksym_lde::LdeModel;
 use breaksym_netlist::circuits;
 use serde::{Deserialize, Serialize};
@@ -139,12 +139,26 @@ pub struct JobSpec {
     /// default.
     #[serde(default)]
     pub slice_evals: Option<u64>,
+    /// A mid-run checkpoint to resume from instead of starting fresh.
+    /// This is how a coordinator moves a dead node's job to a survivor:
+    /// resubmit the original spec carrying the last replicated
+    /// checkpoint, and the run continues bit-identically from it.
+    #[serde(default)]
+    pub checkpoint: Option<Box<RunCheckpoint>>,
 }
 
 impl JobSpec {
     /// A job with every serving knob left at the server's defaults.
     pub fn new(task: TaskSpec, method: MethodSpec) -> Self {
-        JobSpec { task, method, seed: None, max_evals: None, timeout_ms: None, slice_evals: None }
+        JobSpec {
+            task,
+            method,
+            seed: None,
+            max_evals: None,
+            timeout_ms: None,
+            slice_evals: None,
+            checkpoint: None,
+        }
     }
 }
 
@@ -291,6 +305,44 @@ impl ServerStats {
         let busy: u64 = self.worker_busy_ms.iter().sum();
         busy as f64 / (self.workers as f64 * self.uptime_ms as f64)
     }
+}
+
+/// A `/healthz` liveness probe answer — cheap enough for a load balancer
+/// or a cluster coordinator to poll every heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Healthz {
+    /// Whether the node accepts new work (false once draining).
+    pub ok: bool,
+    /// Whether a drain has been requested.
+    #[serde(default)]
+    pub draining: bool,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Jobs waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Workers currently running a job — worker liveness at a glance.
+    pub busy_workers: usize,
+}
+
+/// One job's replicable state, as returned by the bulk `/checkpoints`
+/// export: everything a coordinator needs to resume the job elsewhere if
+/// this node dies. Reports are deliberately excluded — they are final
+/// artifacts, not resume state, and can be regenerated from a checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobExport {
+    /// The node-local job id.
+    pub id: JobId,
+    /// Lifecycle state (flattened, as in [`StatusResponse`]).
+    #[serde(flatten)]
+    pub state: JobState,
+    /// Live progress, when at least one slice has completed.
+    #[serde(default)]
+    pub status: Option<RunStatus>,
+    /// The latest slice-boundary checkpoint, when one exists.
+    #[serde(default)]
+    pub checkpoint: Option<Box<RunCheckpoint>>,
 }
 
 /// Service-level request failures, serialised on the wire as a tagged

@@ -111,6 +111,16 @@ impl FaultPlan {
         self
     }
 
+    /// Concatenates another plan's triggers onto this one, keeping this
+    /// plan's seed annotation. Earlier triggers still win ties, so
+    /// merging is how a harness layers hand-written triggers over a
+    /// sampled schedule (or one subsystem's schedule over another's).
+    #[must_use]
+    pub fn merged(mut self, other: FaultPlan) -> Self {
+        self.triggers.extend(other.triggers);
+        self
+    }
+
     /// Sample `n` triggers deterministically from a seed.
     ///
     /// `palette` pairs each eligible site with the actions it understands;

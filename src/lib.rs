@@ -17,7 +17,10 @@
 //!
 //! To run placements as a service instead — a bounded job queue, a worker
 //! pool, and an HTTP wire protocol over the same driver — see [`serve`]
-//! (`repro serve` starts it from the command line).
+//! (`repro serve` starts it from the command line). To shard that service
+//! across several nodes behind one coordinator — consistent-hash routing,
+//! checkpoint replication, and resume-on-survivor when a node dies — see
+//! [`cluster`] (`repro cluster --nodes 3` starts an in-process fleet).
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use breaksym_anneal as anneal;
+pub use breaksym_cluster as cluster;
 pub use breaksym_core as core;
 pub use breaksym_geometry as geometry;
 pub use breaksym_layout as layout;

@@ -11,13 +11,14 @@
 
 use std::sync::OnceLock;
 
+use breaksym::cluster::{fold_stats, ClusterHealthz, ClusterStats, JobInspect, NodeReport};
 use breaksym::core::{
     Budget, Driver, MethodSpec, MlmaConfig, MultiLevelPlacer, PlacementTask, RunCheckpoint,
     RunReport,
 };
 use breaksym::lde::LdeModel;
 use breaksym::netlist::circuits;
-use breaksym::serve::{JobSpec, ServerStats, TaskSpec};
+use breaksym::serve::{JobSpec, JobState, ServeError, ServerStats, StatusResponse, TaskSpec};
 use breaksym::sim::StatsSnapshot;
 use proptest::prelude::*;
 use serde_json::Value;
@@ -222,6 +223,179 @@ fn stats_written_before_the_newer_counters_still_deserialize() {
     assert_eq!(back.jobs_retired, 0);
     assert_eq!(back.jobs_submitted, stats.jobs_submitted);
     assert_eq!(back.cache, stats.cache);
+}
+
+// ------------------------------------------------- cluster wire types
+
+fn sample_node_stats() -> ServerStats {
+    ServerStats {
+        queue_depth: 2,
+        queue_cap: 16,
+        workers: 1,
+        busy_workers: 1,
+        worker_jobs: vec![3],
+        worker_busy_ms: vec![150],
+        uptime_ms: 900,
+        jobs_submitted: 5,
+        jobs_done: 3,
+        jobs_failed: 1,
+        jobs_panicked: 0,
+        jobs_timed_out: 0,
+        jobs_cancelled: 1,
+        jobs_retired: 0,
+        cache: StatsSnapshot { hits: 7, misses: 40, entries: 30, sims: 40 },
+    }
+}
+
+fn sample_cluster_stats() -> ClusterStats {
+    ClusterStats {
+        nodes_total: 2,
+        nodes_alive: 1,
+        jobs_routed: 9,
+        jobs_inflight: 2,
+        jobs_done: 5,
+        jobs_failed: 1,
+        jobs_timed_out: 1,
+        jobs_cancelled: 0,
+        reroutes: 4,
+        node_deaths: 1,
+        jobs_resumed: 2,
+        fold: fold_stats([&sample_node_stats()]),
+        nodes: vec![
+            NodeReport {
+                addr: "127.0.0.1:8101".into(),
+                alive: true,
+                missed_heartbeats: 0,
+                stats: Some(sample_node_stats()),
+            },
+            NodeReport {
+                addr: "127.0.0.1:8102".into(),
+                alive: false,
+                missed_heartbeats: 3,
+                stats: None,
+            },
+        ],
+    }
+}
+
+#[test]
+fn cluster_stats_written_before_the_routing_counters_still_deserialize() {
+    // `reroutes`, `node_deaths`, and `jobs_resumed` postdate the first
+    // cluster `/stats` wire format, as does `missed_heartbeats` on the
+    // per-node reports; a document without them must read back with
+    // those counters at zero and everything else intact.
+    let stats = sample_cluster_stats();
+    let mut v = serde_json::to_value(&stats).unwrap();
+    let obj = v.as_object_mut().unwrap();
+    for newer in ["reroutes", "node_deaths", "jobs_resumed"] {
+        assert!(obj.remove(newer).is_some(), "{newer} missing from the wire format");
+    }
+    for node in v["nodes"].as_array_mut().unwrap() {
+        let node = node.as_object_mut().unwrap();
+        assert!(node.remove("missed_heartbeats").is_some());
+    }
+    let back: ClusterStats = serde_json::from_value(v).unwrap();
+    assert_eq!(back.reroutes, 0);
+    assert_eq!(back.node_deaths, 0);
+    assert_eq!(back.jobs_resumed, 0);
+    assert_eq!(back.nodes[1].missed_heartbeats, 0);
+    assert_eq!(back.jobs_routed, stats.jobs_routed);
+    assert_eq!(back.fold, stats.fold);
+    assert_eq!(back.nodes[0].stats, stats.nodes[0].stats);
+}
+
+#[test]
+fn cluster_healthz_and_job_inspect_without_optional_keys_still_deserialize() {
+    let healthz = ClusterHealthz {
+        ok: true,
+        draining: false,
+        uptime_ms: 5_000,
+        nodes_total: 3,
+        nodes_alive: 3,
+    };
+    let mut v = serde_json::to_value(&healthz).unwrap();
+    assert!(v.as_object_mut().unwrap().remove("draining").is_some());
+    let back: ClusterHealthz = serde_json::from_value(v).unwrap();
+    assert_eq!(back, healthz);
+
+    let inspect = JobInspect {
+        id: 4,
+        node: 1,
+        node_job_id: 2,
+        state: "running".into(),
+        has_checkpoint: true,
+        detours: 1,
+        resumes: 1,
+        cancel_requested: false,
+    };
+    let mut v = serde_json::to_value(&inspect).unwrap();
+    let obj = v.as_object_mut().unwrap();
+    for newer in ["detours", "resumes", "cancel_requested"] {
+        assert!(obj.remove(newer).is_some(), "{newer} missing from the wire format");
+    }
+    let back: JobInspect = serde_json::from_value(v).unwrap();
+    assert_eq!(back.detours, 0);
+    assert_eq!(back.resumes, 0);
+    assert!(!back.cancel_requested);
+    assert_eq!(back.id, inspect.id);
+    assert_eq!(back.state, inspect.state);
+}
+
+#[test]
+fn unknown_wire_tags_reject_with_an_error_not_a_panic() {
+    // A build from the future may speak job states and error kinds this
+    // one has never heard of; they must surface as deserialization
+    // errors a caller can handle, never panics.
+    let err = serde_json::from_value::<ServeError>(serde_json::json!({
+        "error": "warp_core_breach",
+        "reason": "plasma leak",
+    }));
+    assert!(err.is_err(), "unknown error tag must be rejected: {err:?}");
+
+    let state = serde_json::from_value::<JobState>(serde_json::json!({
+        "state": "transcended",
+    }));
+    assert!(state.is_err(), "unknown state tag must be rejected: {state:?}");
+
+    let status = serde_json::from_value::<StatusResponse>(serde_json::json!({
+        "id": 1,
+        "state": "transcended",
+    }));
+    assert!(status.is_err(), "unknown flattened state tag must be rejected: {status:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cluster `/stats` documents tolerate any subset of their
+    /// serde-defaulted keys going missing — the coordinator-side
+    /// counters and the per-node extras alike.
+    #[test]
+    fn prop_cluster_stats_survive_any_subset_of_missing_keys(
+        mask in proptest::collection::vec(proptest::bool::ANY, 16),
+    ) {
+        let stats = sample_cluster_stats();
+        let mut v = serde_json::to_value(&stats).unwrap();
+        let mut paths = null_paths(&v, &[]);
+        for newer in ["reroutes", "node_deaths", "jobs_resumed"] {
+            paths.push(vec![newer.to_string()]);
+        }
+        for i in 0..stats.nodes.len() {
+            paths.push(vec!["nodes".into(), i.to_string(), "missed_heartbeats".into()]);
+        }
+        for (path, &drop) in paths.iter().zip(mask.iter().chain(std::iter::repeat(&true))) {
+            if drop {
+                remove_path(&mut v, path);
+            }
+        }
+        let back: ClusterStats = serde_json::from_value(v).expect("still deserializes");
+        // Dropped keys land on their defaults; everything else survives.
+        prop_assert_eq!(back.nodes_total, stats.nodes_total);
+        prop_assert_eq!(back.jobs_routed, stats.jobs_routed);
+        prop_assert_eq!(&back.fold, &stats.fold);
+        prop_assert_eq!(&back.nodes[0].addr, &stats.nodes[0].addr);
+        prop_assert_eq!(back.nodes[1].alive, stats.nodes[1].alive);
+    }
 }
 
 #[test]
