@@ -16,10 +16,15 @@
 //! runs the *multi-node* harness instead: a real fleet behind a
 //! coordinator, the busiest node killed mid-run, every affected job
 //! resumed on a survivor from its replicated checkpoint.
+//! `--coord-restart` additionally kills and restarts a durable
+//! coordinator mid-run; `--revive` lets the killed node rejoin and take
+//! its jobs back.
 //!
 //! `cluster --nodes N` starts an in-process fleet of N serve nodes
 //! behind one coordinator; `coord --node A --node B ...` fronts serve
-//! nodes that are already running elsewhere. Both speak the same HTTP
+//! nodes that are already running elsewhere (add `--state-dir D` to
+//! write-ahead log the job table so a coordinator restarted over the
+//! same directory re-adopts the fleet). Both speak the same HTTP
 //! protocol a single `serve` does.
 //!
 //! Ctrl-C is latched, never fatal mid-write: figure runs stop cleanly at
@@ -412,6 +417,8 @@ fn chaos(flags: &[String]) {
     let mut nodes = 1usize;
     let mut jobs: Option<usize> = None;
     let mut faults: Option<usize> = None;
+    let mut coordinator_restart = false;
+    let mut revive = false;
     let mut json = false;
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
@@ -442,10 +449,18 @@ fn chaos(flags: &[String]) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--nodes needs an integer"))
             }
+            "--coord-restart" => coordinator_restart = true,
+            "--revive" => revive = true,
             "--json" => json = true,
             other => die(&format!(
-                "unknown chaos flag `{other}` (try: --seed --jobs --faults --nodes --json)"
+                "unknown chaos flag `{other}` (try: --seed --jobs --faults --nodes \
+                 --coord-restart --revive --json)"
             )),
+        }
+    }
+    if coordinator_restart || revive {
+        if nodes <= 1 {
+            die("--coord-restart and --revive need a fleet (--nodes 2 or more)");
         }
     }
     if nodes > 1 {
@@ -456,6 +471,8 @@ fn chaos(flags: &[String]) {
                 nodes,
                 jobs: jobs.unwrap_or(defaults.jobs),
                 faults: faults.unwrap_or(defaults.faults),
+                coordinator_restart,
+                revive,
             },
             json,
         );
@@ -513,8 +530,17 @@ fn chaos(flags: &[String]) {
 /// of the two runs must be identical.
 fn cluster_chaos(cfg: ClusterChaosConfig, json: bool) -> ! {
     println!(
-        "== cluster chaos — seed {}, {} nodes, {} jobs, {} sampled faults ==",
-        cfg.seed, cfg.nodes, cfg.jobs, cfg.faults
+        "== cluster chaos — seed {}, {} nodes, {} jobs, {} sampled faults{}{} ==",
+        cfg.seed,
+        cfg.nodes,
+        cfg.jobs,
+        cfg.faults,
+        if cfg.coordinator_restart {
+            ", coordinator restart"
+        } else {
+            ""
+        },
+        if cfg.revive { ", node revival" } else { "" },
     );
     let first = run_cluster_chaos(&cfg);
     let second = run_cluster_chaos(&cfg);
@@ -663,6 +689,7 @@ fn cluster(flags: &[String]) -> ! {
 fn coord(flags: &[String]) -> ! {
     let mut node_addrs: Vec<String> = Vec::new();
     let mut addr = "127.0.0.1:8078".to_string();
+    let mut state_dir: Option<String> = None;
     let mut heartbeat_ms = 1000u64;
     let mut threshold = 3u32;
     let mut window = 32usize;
@@ -673,6 +700,10 @@ fn coord(flags: &[String]) -> ! {
                 node_addrs.push(it.next().cloned().unwrap_or_else(|| die("--node needs host:port")))
             }
             "--addr" => addr = it.next().cloned().unwrap_or_else(|| die("--addr needs host:port")),
+            "--state-dir" => {
+                state_dir =
+                    Some(it.next().cloned().unwrap_or_else(|| die("--state-dir needs a path")))
+            }
             "--heartbeat-ms" => {
                 heartbeat_ms = it
                     .next()
@@ -692,8 +723,8 @@ fn coord(flags: &[String]) -> ! {
                     .unwrap_or_else(|| die("--window needs an integer"))
             }
             other => die(&format!(
-                "unknown coord flag `{other}` (try: --node --addr --heartbeat-ms --threshold \
-                 --window)"
+                "unknown coord flag `{other}` (try: --node --addr --state-dir --heartbeat-ms \
+                 --threshold --window)"
             )),
         }
     }
@@ -702,15 +733,20 @@ fn coord(flags: &[String]) -> ! {
     }
     println!("fronting {} node(s): {}", node_addrs.len(), node_addrs.join(", "));
 
-    let coordinator = Coordinator::start(
-        node_addrs,
-        ClusterConfig {
-            heartbeat_interval: Duration::from_millis(heartbeat_ms),
-            failure_threshold: threshold,
-            inflight_window: window,
-            ..ClusterConfig::default()
-        },
-    );
+    let cluster_cfg = ClusterConfig {
+        heartbeat_interval: Duration::from_millis(heartbeat_ms),
+        failure_threshold: threshold,
+        inflight_window: window,
+        ..ClusterConfig::default()
+    };
+    let coordinator = match state_dir {
+        Some(dir) => {
+            println!("durable: write-ahead logging to {dir} (restarts re-adopt the fleet)");
+            Coordinator::start_durable(node_addrs, cluster_cfg, dir)
+                .unwrap_or_else(|e| die(&format!("cannot open --state-dir: {e}")))
+        }
+        None => Coordinator::start(node_addrs, cluster_cfg),
+    };
     run_cluster_front(coordinator, &addr, Vec::new())
 }
 

@@ -37,7 +37,32 @@
 //! exact. Forward triggers are additionally spaced at least `nodes` hits
 //! apart, so an injected transport failure always detours to a survivor
 //! instead of exhausting the candidate list.
+//!
+//! # Variants
+//!
+//! Two optional twists compose with the base round (and each other):
+//!
+//! - [`ClusterChaosConfig::coordinator_restart`] — the coordinator runs
+//!   durable ([`Coordinator::start_durable`]) in a scratch state
+//!   directory and is abruptly dropped and restarted over the same
+//!   directory mid-run, once the doomed node's jobs are replicated. The
+//!   restarted coordinator must re-adopt the fleet and the round's
+//!   invariants must hold exactly as if it had never died.
+//! - [`ClusterChaosConfig::revive`] — instead of stopping the doomed
+//!   node's front-end for good, the kill is *scripted* through
+//!   [`FAIL_HEARTBEAT`]: because every node consumes exactly one
+//!   heartbeat hit per beat, three triggers at beat-aligned hit counts
+//!   inject exactly `failure_threshold` consecutive misses for the
+//!   doomed node — deterministically, unlike a *sampled* heartbeat
+//!   fault. The node (which never actually stopped) then answers the
+//!   revival hysteresis and rejoins, and home-keyed jobs migrate back.
+//!   The doomed node here is *predicted* from the pure ring rather than
+//!   observed, so the trigger schedule is a seed function. Invariants
+//!   additionally require a revival and the doomed node alive at the
+//!   end.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -51,7 +76,10 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::coordinator::{ClusterConfig, Coordinator, FAIL_FORWARD, FAIL_REPLICATE};
+use crate::coordinator::{
+    ClusterConfig, Coordinator, FAIL_FORWARD, FAIL_HEARTBEAT, FAIL_REPLICATE,
+};
+use crate::ring::HashRing;
 
 /// Knobs of one multi-node chaos run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,11 +92,27 @@ pub struct ClusterChaosConfig {
     pub jobs: usize,
     /// Triggers sampled into the fault plan.
     pub faults: usize,
+    /// Run the coordinator durable and kill-and-restart it mid-run (see
+    /// the module docs).
+    #[serde(default)]
+    pub coordinator_restart: bool,
+    /// Kill the doomed node via scripted heartbeat misses instead of
+    /// stopping it, then require it to revive and take its jobs back
+    /// (see the module docs).
+    #[serde(default)]
+    pub revive: bool,
 }
 
 impl Default for ClusterChaosConfig {
     fn default() -> Self {
-        ClusterChaosConfig { seed: 0, nodes: 3, jobs: 6, faults: 4 }
+        ClusterChaosConfig {
+            seed: 0,
+            nodes: 3,
+            jobs: 6,
+            faults: 4,
+            coordinator_restart: false,
+            revive: false,
+        }
     }
 }
 
@@ -193,6 +237,44 @@ pub fn cluster_fault_plan(seed: u64, faults: usize, nodes: usize) -> FaultPlan {
     plan
 }
 
+/// The beat (1-indexed) at which revive mode's scripted kill starts —
+/// late enough (~1s at the harness's 25ms interval) that first slices
+/// have checkpointed and replicated, fixed so the trigger schedule is a
+/// pure seed function.
+const REVIVE_KILL_BEAT: u64 = 40;
+
+/// Predicts the busiest node from the pure ring — where revive mode aims
+/// its scripted kill. Home routes (whole fleet alive) for ids
+/// `1..=jobs`, ties to the lowest index: a pure function of the
+/// configuration, so both runs of a seed aim at the same node.
+fn predicted_busiest(nodes: usize, jobs: usize) -> usize {
+    let ring = HashRing::new(nodes, ClusterConfig::default().vnodes);
+    let alive = vec![true; nodes];
+    let mut counts = vec![0usize; nodes];
+    for id in 1..=jobs as u64 {
+        if let Some(node) = ring.route(id, &alive) {
+            counts[node] += 1;
+        }
+    }
+    let mut busiest = 0;
+    for (node, &count) in counts.iter().enumerate() {
+        if count > counts[busiest] {
+            busiest = node;
+        }
+    }
+    busiest
+}
+
+/// A scratch state directory for the durable-coordinator variant.
+fn scratch_state_dir(seed: u64) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "breaksym-cluster-chaos-{}-{}-{seed}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 fn is_terminal_label(label: &str) -> bool {
     matches!(label, "done" | "failed" | "timed_out" | "cancelled")
 }
@@ -243,19 +325,37 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
         engines.push(engine);
         servers.push(server);
     }
-    let coordinator = Coordinator::start(
-        addrs,
-        ClusterConfig {
-            heartbeat_interval: Duration::from_millis(25),
-            failure_threshold: 3,
-            inflight_window: config.jobs.max(8),
-            rpc_timeout: Duration::from_secs(2),
-            ..ClusterConfig::default()
-        },
-    );
-    let handle = coordinator.handle();
+    let cluster_cfg = ClusterConfig {
+        heartbeat_interval: Duration::from_millis(25),
+        failure_threshold: 3,
+        inflight_window: config.jobs.max(8),
+        rpc_timeout: Duration::from_secs(2),
+        ..ClusterConfig::default()
+    };
+    let state_dir = config.coordinator_restart.then(|| scratch_state_dir(config.seed));
+    let mut coordinator = match &state_dir {
+        Some(dir) => Coordinator::start_durable(addrs.clone(), cluster_cfg, dir)
+            .expect("chaos durable coordinator starts"),
+        None => Coordinator::start(addrs.clone(), cluster_cfg),
+    };
+    let mut handle = coordinator.handle();
 
-    let plan = cluster_fault_plan(config.seed, config.faults, nodes);
+    let mut plan = cluster_fault_plan(config.seed, config.faults, nodes);
+    if config.revive {
+        // Script the kill: exactly `failure_threshold` consecutive
+        // missed probes for the predicted-busiest node, beat-aligned —
+        // node `k`'s probe on beat `b` is heartbeat hit
+        // `(b - 1) * nodes + k + 1` (see the module docs).
+        let target = predicted_busiest(nodes, config.jobs);
+        for beat in REVIVE_KILL_BEAT..REVIVE_KILL_BEAT + 3 {
+            let at = (beat - 1) * nodes as u64 + target as u64 + 1;
+            plan = plan.with(
+                FAIL_HEARTBEAT,
+                at,
+                FaultAction::Fail { what: "chaos revive kill".into() },
+            );
+        }
+    }
     let specs = cluster_job_mix(config.seed, config.jobs);
     let guard = fault::install(plan.clone());
     let ids: Vec<JobId> = specs
@@ -263,9 +363,13 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
         .map(|spec| handle.submit(spec.clone()).expect("cluster chaos submit"))
         .collect();
 
-    // The doomed node: the one routing the most jobs — a pure function
-    // of the (deterministic) routing, ties to the lowest index.
-    let doomed_node = {
+    // The doomed node: in revive mode, the ring prediction the trigger
+    // schedule already aimed at; otherwise the one routing the most
+    // jobs — a pure function of the (deterministic) routing, ties to the
+    // lowest index.
+    let doomed_node = if config.revive {
+        predicted_busiest(nodes, config.jobs)
+    } else {
         let mut counts = vec![0usize; nodes];
         for job in handle.inspect() {
             counts[job.node] += 1;
@@ -294,11 +398,27 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
         thread::sleep(Duration::from_millis(5));
     }
 
-    // Partition the doomed node: its front-end goes away, heartbeats
-    // start missing, and the coordinator must declare it dead and move
-    // its jobs. (The engine behind it keeps running — exactly like a
-    // real partition — and is drained at teardown.)
-    servers[doomed_node].stop();
+    // Kill and restart the coordinator mid-run: an abrupt drop (the WAL
+    // is flushed per append, so recovery from a drop is exactly recovery
+    // from a SIGKILL), then a fresh durable coordinator over the same
+    // state directory, which must re-adopt the fleet before the node
+    // kill lands under it.
+    if let Some(dir) = &state_dir {
+        drop(coordinator);
+        coordinator = Coordinator::start_durable(addrs.clone(), cluster_cfg, dir)
+            .expect("chaos coordinator restarts");
+        handle = coordinator.handle();
+    }
+
+    if !config.revive {
+        // Partition the doomed node: its front-end goes away, heartbeats
+        // start missing, and the coordinator must declare it dead and
+        // move its jobs. (The engine behind it keeps running — exactly
+        // like a real partition — and is drained at teardown.) In revive
+        // mode the scripted heartbeat misses already do the killing, and
+        // the untouched node then answers the revival hysteresis.
+        servers[doomed_node].stop();
+    }
 
     let mut job_states = Vec::with_capacity(ids.len());
     let mut stuck = Vec::new();
@@ -309,6 +429,22 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
                 job_states.push(format!("stuck ({e})"));
                 stuck.push(id);
             }
+        }
+    }
+
+    // In revive mode the doomed node must die and rejoin before the
+    // verdicts are taken; fast jobs can settle before the scripted kill
+    // even lands, so wait on the monotone counters, not on liveness.
+    if config.revive {
+        let revived_deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = handle.stats();
+            if (stats.node_deaths >= 1 && stats.node_revivals >= 1)
+                || Instant::now() >= revived_deadline
+            {
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
         }
     }
     drop(guard);
@@ -344,14 +480,18 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
         && stats.jobs_cancelled == cancelled;
     let reroute_ok =
         stats.jobs_resumed == resumes_total && stats.reroutes == resumes_total + detours_total;
-    let death_ok = stats.node_deaths >= 1 && !stats.nodes[doomed_node].alive;
+    let death_ok = if config.revive {
+        stats.node_deaths >= 1 && stats.node_revivals >= 1 && stats.nodes[doomed_node].alive
+    } else {
+        stats.node_deaths >= 1 && !stats.nodes[doomed_node].alive
+    };
     invariants.push(InvariantResult {
         name: "cluster-stats-accounting-exact".into(),
         ok: routed_ok && sum_ok && per_state_ok && reroute_ok && death_ok,
         details: format!(
             "stats: {}/{}/{}/{}/{} routed/done/failed/timed_out/cancelled, \
              {} reroutes ({} detours + {} resumes over {} resumed jobs), \
-             {} node deaths (doomed {} alive: {}); observed: \
+             {} node deaths / {} revivals (doomed {} alive: {}); observed: \
              {done}/{failed}/{timed_out}/{cancelled}",
             stats.jobs_routed,
             stats.jobs_done,
@@ -363,6 +503,7 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
             resumes_total,
             stats.jobs_resumed,
             stats.node_deaths,
+            stats.node_revivals,
             doomed_node,
             stats.nodes[doomed_node].alive,
         ),
@@ -450,6 +591,9 @@ pub fn run_cluster_chaos(config: &ClusterChaosConfig) -> ClusterChaosReport {
     }
     for engine in engines {
         engine.shutdown();
+    }
+    if let Some(dir) = &state_dir {
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     ClusterChaosReport {

@@ -15,13 +15,15 @@
 //! that cannot be reached at all) walk the fallback order instead —
 //! every such detour is counted in [`ClusterStats::reroutes`].
 //!
-//! # Replication and failure
+//! # Replication, failure, and rejoin
 //!
 //! A heartbeat thread probes each node's `/healthz` every
 //! [`ClusterConfig::heartbeat_interval`] (measured on the injected
 //! [`Clock`](breaksym_testkit::Clock), so tests drive it virtually) and,
 //! on each healthy beat, pulls the node's bulk `/checkpoints` export
-//! into the coordinator's replicated store. A node that misses
+//! into the coordinator's replicated store — checkpoints *and* the hot
+//! eval-cache entries piggybacked on them, so a moved job warm-starts
+//! its cache instead of re-simulating. A node that misses
 //! [`ClusterConfig::failure_threshold`] consecutive probes is declared
 //! dead — exactly once — and every non-terminal job mapped to it is
 //! resubmitted to the ring's next surviving node with its replicated
@@ -31,16 +33,38 @@
 //! death decisions on one thread and the whole coordinator's behaviour a
 //! deterministic function of its inputs.
 //!
+//! Dead nodes keep being probed. One that answers
+//! [`ClusterConfig::failure_threshold`] consecutive probes (hysteresis —
+//! a flapping node must re-earn its place) is revived, and every
+//! unfinished job whose *home* ring position is the revived node is
+//! migrated back at a slice boundary: cancel-with-checkpoint on the
+//! survivor, resume on the home node. A migration counts as one resume
+//! and `1 + detours` reroutes, exactly like a death-resume, so the
+//! `reroutes == detours + resumes` accounting identity survives rejoin.
+//!
+//! # Durability
+//!
+//! [`Coordinator::start_durable`] adds a write-ahead log
+//! ([`WalStore`](crate::wal)): every routing decision and observed
+//! transition is appended (and flushed) before it is visible, and a
+//! restart over the same state directory re-adopts the fleet — replaying
+//! the log, probing every node once, adopting live exports, resuming
+//! orphans, declaring the unreachable dead — before accepting traffic.
+//! See the [`wal`](crate::wal) module docs for the format and the
+//! recovery rules.
+//!
 //! # Lock discipline
 //!
 //! One registry mutex (`inner`: job table, liveness, windows) paired
-//! with a condvar for state transitions, one mutex per node client, and
-//! a heartbeat parking mutex. The registry lock is never held across an
-//! RPC, and no client lock is acquired while holding it — RPC stalls
-//! never serialise the control plane.
+//! with a condvar for state transitions, one mutex per node client, one
+//! for the WAL (ordered strictly after `inner`), and a heartbeat parking
+//! mutex. The registry lock is never held across an RPC, and no client
+//! lock is acquired while holding it — RPC stalls never serialise the
+//! control plane.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -48,8 +72,8 @@ use std::time::{Duration, Instant};
 
 use breaksym_core::{RunCheckpoint, RunReport};
 use breaksym_serve::protocol::{
-    JobExport, JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats, StatusResponse,
-    SubmitResponse,
+    CacheExportEntry, JobExport, JobId, JobSpec, JobState, RunStatus, ServeError, ServerStats,
+    StatusResponse, SubmitResponse,
 };
 use breaksym_serve::JobApi;
 use breaksym_testkit::{fault, real_clock, FaultAction, SharedClock};
@@ -57,6 +81,7 @@ use breaksym_testkit::{fault, real_clock, FaultAction, SharedClock};
 use crate::client::NodeClient;
 use crate::protocol::{fold_stats, ClusterHealthz, ClusterStats, JobInspect, NodeReport};
 use crate::ring::HashRing;
+use crate::wal::{CoordState, PersistedCounters, PersistedJob, WalRecord, WalStore};
 
 /// Failpoint hit once per forward attempt (submit and death-resume
 /// alike), before the RPC goes out. `Fail` and `Drop` actions simulate a
@@ -64,14 +89,27 @@ use crate::ring::HashRing;
 /// fallback order.
 pub const FAIL_FORWARD: &str = "cluster::forward";
 
-/// Failpoint hit once per node per heartbeat, before the `/healthz`
-/// probe. `Fail` and `Drop` actions count as a missed heartbeat.
+/// Failpoint hit exactly once per node per heartbeat — alive or dead, so
+/// the hit cadence is always `nodes` per beat and triggers can target a
+/// node by index arithmetic. `Fail` and `Drop` actions count as a missed
+/// heartbeat (for a dead node: a failed revival probe).
 pub const FAIL_HEARTBEAT: &str = "cluster::heartbeat";
 
 /// Failpoint hit once per node per healthy heartbeat, before the
 /// `/checkpoints` replication pull. `Fail` and `Drop` actions skip the
 /// pull for this beat (stale replicas, not missed heartbeats).
 pub const FAIL_REPLICATE: &str = "cluster::replicate";
+
+/// Failpoint hit once per rebalance candidate, before its migration.
+/// `Fail` and `Drop` actions skip the move — the job simply finishes on
+/// its survivor, which is always safe.
+pub const FAIL_REBALANCE: &str = "cluster::rebalance";
+
+/// Failpoint hit once per node per [`ClusterHandle::stats`] call, before
+/// the per-node `/stats` fetch. `Fail` and `Drop` actions simulate the
+/// fetch failing — the fold falls back to the node's last-known
+/// snapshot.
+pub const FAIL_STATS: &str = "cluster::stats";
 
 const POISONED: &str = "cluster: a thread panicked while holding a coordinator lock";
 
@@ -80,7 +118,8 @@ const POISONED: &str = "cluster: a thread panicked while holding a coordinator l
 pub struct ClusterConfig {
     /// Time between heartbeats, on the injected clock.
     pub heartbeat_interval: Duration,
-    /// Consecutive missed heartbeats before a node is declared dead.
+    /// Consecutive missed heartbeats before a node is declared dead, and
+    /// consecutive healthy probes before a dead node is revived.
     pub failure_threshold: u32,
     /// Per-node cap on jobs routed and not yet terminal; beyond it
     /// submissions are rejected with [`ServeError::QueueFull`] — the
@@ -120,10 +159,19 @@ struct RoutedJob {
     status: Option<RunStatus>,
     /// Replicated checkpoint — what a death-resume restarts from.
     checkpoint: Option<Box<RunCheckpoint>>,
+    /// Hot eval-cache entries replicated alongside the checkpoint — what
+    /// a resume elsewhere warm-starts from. Not persisted: the first
+    /// post-restart replication beat rebuilds them.
+    cache: Vec<CacheExportEntry>,
     cancel_requested: bool,
+    /// A rejoin migration owns this job right now: terminal states
+    /// observed from its (old) node are the migration's own cancel and
+    /// must not settle the job.
+    migrating: bool,
     /// Submit-time fallback detours.
     detours: u32,
-    /// Death-resumes.
+    /// Times the job moved: death-resumes, rejoin migrations, restart
+    /// reconciliations.
     resumes: u32,
 }
 
@@ -137,6 +185,9 @@ struct Inner {
     alive: Vec<bool>,
     /// Consecutive missed heartbeats per node.
     misses: Vec<u32>,
+    /// Consecutive healthy probes per *dead* node — the revival
+    /// hysteresis counter.
+    revive_hits: Vec<u32>,
     /// Non-terminal jobs currently mapped to each node — the window.
     inflight: Vec<usize>,
     next_id: u64,
@@ -150,6 +201,13 @@ struct CoordShared {
     addrs: Vec<String>,
     clients: Vec<Mutex<NodeClient>>,
     inner: Mutex<Inner>,
+    /// The write-ahead log, when started durable. Lock order: `inner`
+    /// first, then this — appends happen under `inner` so the log's
+    /// record order matches the order transitions were applied.
+    wal: Option<Mutex<WalStore>>,
+    /// Last successful per-node `/stats` snapshot — what the fold falls
+    /// back to when a node is dead or a fetch races its death.
+    last_stats: Mutex<Vec<Option<ServerStats>>>,
     /// Notified on every observed job transition; pairs with `inner`.
     state_cv: Condvar,
     /// The heartbeat thread parks here between beats.
@@ -161,6 +219,7 @@ struct CoordShared {
     jobs_routed: AtomicU64,
     reroutes: AtomicU64,
     node_deaths: AtomicU64,
+    node_revivals: AtomicU64,
     jobs_resumed: AtomicU64,
     jobs_done: AtomicU64,
     jobs_failed: AtomicU64,
@@ -188,8 +247,96 @@ impl Coordinator {
     /// [`TestClock`](breaksym_testkit::TestClock) drives failure
     /// detection deterministically.
     pub fn start_with_clock(addrs: Vec<String>, cfg: ClusterConfig, clock: SharedClock) -> Self {
+        Self::build(addrs, cfg, clock, None, None)
+    }
+
+    /// Starts a *durable* coordinator: state is write-ahead logged to
+    /// `state_dir`, and if the directory already holds state (a previous
+    /// coordinator ran here — cleanly shut down or SIGKILLed), the fleet
+    /// is re-adopted before this call returns: the job table is
+    /// recovered, every node is probed once, live exports are adopted,
+    /// orphaned jobs are resumed from their replicated checkpoints, and
+    /// unreachable nodes are declared dead with their jobs moved to
+    /// survivors.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening the state directory or reading a corrupt
+    /// snapshot — a coordinator asked to be durable must not start
+    /// half-durable.
+    pub fn start_durable(
+        addrs: Vec<String>,
+        cfg: ClusterConfig,
+        state_dir: impl Into<PathBuf>,
+    ) -> io::Result<Self> {
+        Self::start_durable_with_clock(addrs, cfg, state_dir, real_clock())
+    }
+
+    /// As [`Coordinator::start_durable`] with an explicit time source.
+    ///
+    /// # Errors
+    ///
+    /// As [`Coordinator::start_durable`].
+    pub fn start_durable_with_clock(
+        addrs: Vec<String>,
+        cfg: ClusterConfig,
+        state_dir: impl Into<PathBuf>,
+        clock: SharedClock,
+    ) -> io::Result<Self> {
+        let mut wal = WalStore::open(state_dir)?;
+        let recovered = wal.load()?;
+        // Compact immediately: recovery already paid for the replay;
+        // starting from a fresh snapshot bounds the next one.
+        if let Some(state) = &recovered {
+            wal.compact(state)?;
+        }
+        Ok(Self::build(addrs, cfg, clock, Some(wal), recovered))
+    }
+
+    fn build(
+        addrs: Vec<String>,
+        cfg: ClusterConfig,
+        clock: SharedClock,
+        wal: Option<WalStore>,
+        recovered: Option<CoordState>,
+    ) -> Self {
         let nodes = addrs.len();
         let started = clock.now();
+        let adopted = recovered.is_some();
+        let counters = recovered.as_ref().map(|state| state.counters).unwrap_or_default();
+        let mut jobs = BTreeMap::new();
+        let mut inflight = vec![0usize; nodes];
+        let mut next_id = 0;
+        let mut was_dead = Vec::new();
+        if let Some(state) = recovered {
+            next_id = state.next_id;
+            was_dead = state.dead_nodes.into_iter().filter(|&node| node < nodes).collect();
+            for job in state.jobs {
+                // A node index from a larger, older fleet maps nowhere
+                // now; park the job on node 0 — reconciliation will not
+                // find it there and will resume it properly.
+                let node = if job.node < nodes { job.node } else { 0 };
+                if !job.state.is_terminal() {
+                    inflight[node] += 1;
+                }
+                jobs.insert(
+                    job.id,
+                    RoutedJob {
+                        spec: job.spec,
+                        node,
+                        node_job_id: job.node_job_id,
+                        state: job.state,
+                        status: job.status,
+                        checkpoint: job.checkpoint,
+                        cache: Vec::new(),
+                        cancel_requested: job.cancel_requested,
+                        migrating: false,
+                        detours: job.detours,
+                        resumes: job.resumes,
+                    },
+                );
+            }
+        }
         let shared = Arc::new(CoordShared {
             ring: HashRing::new(nodes, cfg.vnodes),
             clients: addrs
@@ -200,26 +347,30 @@ impl Coordinator {
             cfg,
             clock,
             inner: Mutex::new(Inner {
-                jobs: BTreeMap::new(),
+                jobs,
                 alive: vec![true; nodes],
                 misses: vec![0; nodes],
-                inflight: vec![0; nodes],
-                next_id: 0,
+                revive_hits: vec![0; nodes],
+                inflight,
+                next_id,
             }),
+            wal: wal.map(Mutex::new),
+            last_stats: Mutex::new(vec![None; nodes]),
             state_cv: Condvar::new(),
             beat_mx: Mutex::new(()),
             beat_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             started,
-            jobs_routed: AtomicU64::new(0),
-            reroutes: AtomicU64::new(0),
-            node_deaths: AtomicU64::new(0),
-            jobs_resumed: AtomicU64::new(0),
-            jobs_done: AtomicU64::new(0),
-            jobs_failed: AtomicU64::new(0),
-            jobs_timed_out: AtomicU64::new(0),
-            jobs_cancelled: AtomicU64::new(0),
+            jobs_routed: AtomicU64::new(counters.jobs_routed),
+            reroutes: AtomicU64::new(counters.reroutes),
+            node_deaths: AtomicU64::new(counters.node_deaths),
+            node_revivals: AtomicU64::new(counters.node_revivals),
+            jobs_resumed: AtomicU64::new(counters.jobs_resumed),
+            jobs_done: AtomicU64::new(counters.jobs_done),
+            jobs_failed: AtomicU64::new(counters.jobs_failed),
+            jobs_timed_out: AtomicU64::new(counters.jobs_timed_out),
+            jobs_cancelled: AtomicU64::new(counters.jobs_cancelled),
         });
         // A test-clock advance must wake the heartbeat thread and every
         // wait() deadline so they re-read virtual time. Lock-notify-drop,
@@ -236,6 +387,12 @@ impl Coordinator {
                 drop(inner);
             }
         }));
+        // Re-adopt the fleet before the heartbeat thread exists and
+        // before the caller can submit: reconciliation is synchronous
+        // and single-threaded.
+        if adopted {
+            reconcile(&shared, &was_dead);
+        }
         let beat = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -309,6 +466,20 @@ impl ClusterHandle {
         let placed = forward(&self.shared, id, &spec, true)?;
         let replicated = spec.checkpoint.clone();
         let mut inner = self.shared.inner.lock().expect(POISONED);
+        let record = WalRecord::Routed {
+            job: PersistedJob {
+                id,
+                spec: spec.clone(),
+                node: placed.node,
+                node_job_id: placed.node_job_id,
+                state: JobState::Queued,
+                status: None,
+                checkpoint: replicated.clone(),
+                cancel_requested: false,
+                detours: placed.detours,
+                resumes: 0,
+            },
+        };
         inner.jobs.insert(
             id,
             RoutedJob {
@@ -318,37 +489,44 @@ impl ClusterHandle {
                 state: JobState::Queued,
                 status: None,
                 checkpoint: replicated,
+                cache: Vec::new(),
                 cancel_requested: false,
+                migrating: false,
                 detours: placed.detours,
                 resumes: 0,
             },
         );
         self.shared.jobs_routed.fetch_add(1, Ordering::Relaxed);
         self.shared.reroutes.fetch_add(u64::from(placed.detours), Ordering::Relaxed);
+        wal_append(&self.shared, &inner, record);
         self.shared.state_cv.notify_all();
         Ok(JobId(id))
     }
 
     /// The job's state: live from its node when reachable, otherwise the
-    /// coordinator's replicated view (which is also what dead-node jobs
-    /// show while their resume is pending).
+    /// coordinator's replicated view (which is also what dead-node and
+    /// mid-migration jobs show while their move is pending). The answer
+    /// is always the coordinator's *settled* view — a live poll is
+    /// folded through the same sticky-terminal observation every other
+    /// path uses.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownJob`] for an id this coordinator never
     /// routed.
     pub fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
-        let (node, node_job_id, alive, cached) = {
+        let (node, node_job_id, poll_live, cached) = {
             let inner = self.shared.inner.lock().expect(POISONED);
             let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
+            let poll_live = !job.state.is_terminal() && inner.alive[job.node] && !job.migrating;
             (
                 job.node,
                 job.node_job_id,
-                inner.alive[job.node],
+                poll_live,
                 StatusResponse { id, state: job.state.clone(), status: job.status },
             )
         };
-        if cached.state.is_terminal() || !alive {
+        if !poll_live {
             return Ok(cached);
         }
         let fetched = {
@@ -357,11 +535,11 @@ impl ClusterHandle {
         };
         match fetched {
             Ok(resp) if resp.status == 200 => match resp.json::<StatusResponse>() {
-                Ok(mut live) => {
+                Ok(live) => {
                     let mut inner = self.shared.inner.lock().expect(POISONED);
-                    observe(&self.shared, &mut inner, id.0, live.state.clone(), live.status);
-                    live.id = id;
-                    Ok(live)
+                    observe(&self.shared, &mut inner, id.0, live.state, live.status);
+                    drop(inner);
+                    self.cached_status(id)
                 }
                 Err(_) => Ok(cached),
             },
@@ -375,20 +553,21 @@ impl ClusterHandle {
     ///
     /// # Errors
     ///
-    /// [`ServeError::NotReady`] while the job is unfinished or its node
-    /// is unreachable (a dead node's jobs become fetchable again once
-    /// resumed and finished on a survivor); the node's own error
+    /// [`ServeError::NotReady`] while the job is unfinished, its node is
+    /// unreachable, or the node no longer knows it mid-death — all three
+    /// answer the same retryable "resumes on a survivor" shape, never a
+    /// raw transport error (a dead node's jobs become fetchable again
+    /// once resumed and finished elsewhere); the node's own error
     /// otherwise, with ids rewritten to cluster ids.
     pub fn report(&self, id: JobId) -> Result<RunReport, ServeError> {
-        let (node, node_job_id, alive) = {
+        let (node, node_job_id, alive, terminal) = {
             let inner = self.shared.inner.lock().expect(POISONED);
             let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
-            (job.node, job.node_job_id, inner.alive[job.node])
+            (job.node, job.node_job_id, inner.alive[job.node], job.state.is_terminal())
         };
+        let resuming = |reason: String| ServeError::NotReady { reason };
         if !alive {
-            return Err(ServeError::NotReady {
-                reason: format!("node {node} is dead; the job resumes on a survivor", node = node),
-            });
+            return Err(resuming(format!("node {node} is dead; the job resumes on a survivor")));
         }
         let fetched = {
             let mut client = self.shared.clients[node].lock().expect(POISONED);
@@ -396,10 +575,25 @@ impl ClusterHandle {
         };
         match fetched {
             Ok(resp) if resp.status == 200 => resp.json::<RunReport>(),
-            Ok(resp) => Err(rewrite_id(resp.error(), id)),
-            Err(_) => Err(ServeError::NotReady {
-                reason: "the job's node is unreachable; retry shortly".into(),
-            }),
+            Ok(resp) => {
+                let err = rewrite_id(resp.error(), id);
+                // A node that answers but no longer knows an unfinished
+                // job is mid-death or mid-move from the cluster's point
+                // of view: the client gets the same retryable answer as
+                // for a declared-dead node, not the node's raw error.
+                if !terminal
+                    && matches!(err, ServeError::UnknownJob { .. } | ServeError::JobEvicted { .. })
+                {
+                    Err(resuming(format!(
+                        "node {node} no longer holds the job; it resumes on a survivor"
+                    )))
+                } else {
+                    Err(err)
+                }
+            }
+            Err(_) => {
+                Err(resuming(format!("node {node} is unreachable; the job resumes on a survivor")))
+            }
         }
     }
 
@@ -439,23 +633,29 @@ impl ClusterHandle {
 
     /// Cancels a job wherever it lives. On a live node the node decides
     /// (its usual slice-boundary semantics); on a dead node the job is
-    /// cancelled locally instead of being resumed.
+    /// cancelled locally instead of being resumed; mid-migration the
+    /// request is recorded and the coordinator's view answers.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownJob`] for an id this coordinator never
     /// routed.
     pub fn cancel(&self, id: JobId) -> Result<StatusResponse, ServeError> {
-        let (node, node_job_id, alive, terminal) = {
+        let (node, node_job_id, alive, terminal, migrating) = {
             let mut inner = self.shared.inner.lock().expect(POISONED);
             let job = inner.jobs.get_mut(&id.0).ok_or(ServeError::UnknownJob { id })?;
             let terminal = job.state.is_terminal();
+            let newly_flagged = !terminal && !job.cancel_requested;
             if !terminal {
                 job.cancel_requested = true;
             }
-            (job.node, job.node_job_id, inner.alive[job.node], terminal)
+            let out = (job.node, job.node_job_id, inner.alive[job.node], terminal, job.migrating);
+            if newly_flagged {
+                wal_append(&self.shared, &inner, WalRecord::CancelRequested { id: id.0 });
+            }
+            out
         };
-        if terminal {
+        if terminal || migrating {
             return self.cached_status(id);
         }
         if !alive {
@@ -473,11 +673,11 @@ impl ClusterHandle {
         };
         match fetched {
             Ok(resp) if resp.status == 200 => match resp.json::<StatusResponse>() {
-                Ok(mut live) => {
+                Ok(live) => {
                     let mut inner = self.shared.inner.lock().expect(POISONED);
-                    observe(&self.shared, &mut inner, id.0, live.state.clone(), live.status);
-                    live.id = id;
-                    Ok(live)
+                    observe(&self.shared, &mut inner, id.0, live.state, live.status);
+                    drop(inner);
+                    self.cached_status(id)
                 }
                 Err(_) => self.cached_status(id),
             },
@@ -493,16 +693,25 @@ impl ClusterHandle {
         Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
     }
 
-    /// Cluster-wide statistics: per-node `/stats` polled live, folded,
-    /// plus the coordinator's own routing counters.
+    /// Cluster-wide statistics: per-node `/stats` polled live where
+    /// possible, folded together with each unreachable node's last-known
+    /// snapshot (marked [`NodeReport::stale`]) — a node dying between
+    /// its jobs finishing and this poll must not make finished work
+    /// vanish from the fold — plus the coordinator's own routing
+    /// counters.
     pub fn stats(&self) -> ClusterStats {
         let (alive, misses) = {
             let inner = self.shared.inner.lock().expect(POISONED);
             (inner.alive.clone(), inner.misses.clone())
         };
         let mut nodes = Vec::with_capacity(self.shared.addrs.len());
+        let mut last = self.shared.last_stats.lock().expect(POISONED);
         for (node, addr) in self.shared.addrs.iter().enumerate() {
-            let stats = if alive[node] {
+            let injected = matches!(
+                fault::hit(FAIL_STATS),
+                Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
+            );
+            let fetched = if alive[node] && !injected {
                 let mut client = self.shared.clients[node].lock().expect(POISONED);
                 client
                     .get("/stats")
@@ -512,13 +721,22 @@ impl ClusterHandle {
             } else {
                 None
             };
+            let (stats, stale) = match fetched {
+                Some(stats) => {
+                    last[node] = Some(stats.clone());
+                    (Some(stats), false)
+                }
+                None => (last[node].clone(), true),
+            };
             nodes.push(NodeReport {
                 addr: addr.clone(),
                 alive: alive[node],
                 missed_heartbeats: misses[node],
+                stale,
                 stats,
             });
         }
+        drop(last);
         let fold = fold_stats(nodes.iter().filter_map(|node| node.stats.as_ref()));
         let jobs_inflight = {
             let inner = self.shared.inner.lock().expect(POISONED);
@@ -536,6 +754,7 @@ impl ClusterHandle {
             jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
             reroutes: shared.reroutes.load(Ordering::Relaxed),
             node_deaths: shared.node_deaths.load(Ordering::Relaxed),
+            node_revivals: shared.node_revivals.load(Ordering::Relaxed),
             jobs_resumed: shared.jobs_resumed.load(Ordering::Relaxed),
             fold,
             nodes,
@@ -574,6 +793,7 @@ impl ClusterHandle {
                 state: job.state.clone(),
                 status: job.status,
                 checkpoint: job.checkpoint.clone(),
+                cache: job.cache.clone(),
             })
             .collect()
     }
@@ -685,6 +905,138 @@ impl JobApi for ClusterHandle {
 
     fn request_drain(&self) {
         ClusterHandle::request_drain(self);
+    }
+}
+
+// ------------------------------------------------------------ durability
+
+/// Appends one record to the WAL (when durable) and compacts when due.
+/// Callers hold the `inner` lock: the lock order is `inner` → `wal`, and
+/// holding it keeps the log's record order identical to the order the
+/// transitions were applied.
+fn wal_append(shared: &CoordShared, inner: &Inner, record: WalRecord) {
+    let Some(wal) = &shared.wal else { return };
+    let mut wal = wal.lock().expect(POISONED);
+    wal.append(&record);
+    if wal.wants_compaction() {
+        let state = persisted_state(shared, inner);
+        if let Err(e) = wal.compact(&state) {
+            eprintln!("breaksym-cluster: WAL compaction failed: {e}");
+        }
+    }
+}
+
+/// The durable projection of the current registry, for compaction.
+fn persisted_state(shared: &CoordShared, inner: &Inner) -> CoordState {
+    CoordState {
+        next_id: inner.next_id,
+        jobs: inner
+            .jobs
+            .iter()
+            .map(|(&id, job)| PersistedJob {
+                id,
+                spec: job.spec.clone(),
+                node: job.node,
+                node_job_id: job.node_job_id,
+                state: job.state.clone(),
+                status: job.status,
+                checkpoint: job.checkpoint.clone(),
+                cancel_requested: job.cancel_requested,
+                detours: job.detours,
+                resumes: job.resumes,
+            })
+            .collect(),
+        dead_nodes: inner
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &alive)| !alive)
+            .map(|(node, _)| node)
+            .collect(),
+        counters: PersistedCounters {
+            jobs_routed: shared.jobs_routed.load(Ordering::Relaxed),
+            reroutes: shared.reroutes.load(Ordering::Relaxed),
+            node_deaths: shared.node_deaths.load(Ordering::Relaxed),
+            node_revivals: shared.node_revivals.load(Ordering::Relaxed),
+            jobs_resumed: shared.jobs_resumed.load(Ordering::Relaxed),
+            jobs_done: shared.jobs_done.load(Ordering::Relaxed),
+            jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_timed_out: shared.jobs_timed_out.load(Ordering::Relaxed),
+            jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
+        },
+    }
+}
+
+/// Restart reconciliation, run synchronously before the heartbeat thread
+/// exists: probe every node once (ascending, deterministically), adopt
+/// live exports, resume jobs the live nodes no longer hold, and declare
+/// the unreachable dead — their jobs move to survivors through the usual
+/// death path. A node the *previous* coordinator had declared dead
+/// (`was_dead`, from the recovered state) that answers again counts as a
+/// revival, and after the whole fleet is adopted its home-keyed jobs are
+/// rebalanced back exactly as a live rejoin would. The probes and
+/// adoption consult no failpoints — reconciliation is startup, and
+/// keeping it off the fault registry keeps chaos hit cadences
+/// beat-aligned — though the rebalance migrations still consume their
+/// usual [`FAIL_REBALANCE`] hits.
+fn reconcile(shared: &CoordShared, was_dead: &[usize]) {
+    let mut revived = Vec::new();
+    for node in 0..shared.addrs.len() {
+        let healthy = {
+            let mut client = shared.clients[node].lock().expect(POISONED);
+            matches!(client.get("/healthz"), Ok(resp) if resp.status == 200)
+        };
+        if !healthy {
+            declare_dead(shared, node);
+            continue;
+        }
+        if was_dead.contains(&node) {
+            shared.node_revivals.fetch_add(1, Ordering::Relaxed);
+            let inner = shared.inner.lock().expect(POISONED);
+            wal_append(shared, &inner, WalRecord::NodeRevived { node });
+            drop(inner);
+            revived.push(node);
+        }
+        let exports = pull_exports(shared, node).unwrap_or_default();
+        let exported: HashSet<u64> = exports.iter().map(|export| export.id.0).collect();
+        adopt_exports(shared, node, exports);
+        // Non-terminal jobs the coordinator maps to this node but the
+        // node does not hold (it restarted, or evicted them while the
+        // coordinator was down): orphans, resumed from the replicated
+        // checkpoint like any other move. A cancel-requested orphan is
+        // cancelled in place instead.
+        let orphans: Vec<u64> = {
+            let inner = shared.inner.lock().expect(POISONED);
+            inner
+                .jobs
+                .iter()
+                .filter(|(_, job)| {
+                    job.node == node
+                        && !job.state.is_terminal()
+                        && !exported.contains(&job.node_job_id)
+                })
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in orphans {
+            let cancel_requested = {
+                let mut inner = shared.inner.lock().expect(POISONED);
+                let requested = inner.jobs.get(&id).is_some_and(|job| job.cancel_requested);
+                if requested {
+                    let resumable = inner.jobs.get(&id).is_some_and(|job| job.checkpoint.is_some());
+                    observe(shared, &mut inner, id, JobState::Cancelled { resumable }, None);
+                }
+                requested
+            };
+            if !cancel_requested {
+                resume_job(shared, id, Some(node));
+            }
+        }
+    }
+    // Rebalance after the whole fleet is adopted, so migrations see
+    // final liveness and the freshest replicated checkpoints.
+    for node in revived {
+        rebalance(shared, node);
     }
 }
 
@@ -808,7 +1160,10 @@ fn forward(
 /// releases the window slot and bumps the matching coordinator counter —
 /// exactly once per job, whatever mixture of polls, heartbeats, and
 /// cancels observed it. Terminal is sticky: nothing a node says later
-/// can resurrect a job the coordinator has settled.
+/// can resurrect a job the coordinator has settled. While a migration
+/// owns the job, terminal states from its old node are the migration's
+/// own cancel at work and are ignored here. State *changes* (not
+/// progress refreshes) are write-ahead logged.
 fn observe(
     shared: &CoordShared,
     inner: &mut Inner,
@@ -816,20 +1171,30 @@ fn observe(
     state: JobState,
     status: Option<RunStatus>,
 ) {
-    let Some(job) = inner.jobs.get_mut(&id) else {
-        return;
-    };
-    if let Some(status) = status {
-        job.status = Some(status);
+    let (node, now_terminal, settled, logged_status);
+    {
+        let Some(job) = inner.jobs.get_mut(&id) else {
+            return;
+        };
+        if let Some(status) = status {
+            job.status = Some(status);
+        }
+        if job.state.is_terminal() {
+            return;
+        }
+        if job.migrating && state.is_terminal() {
+            return;
+        }
+        let changed = job.state != state;
+        job.state = state;
+        node = job.node;
+        now_terminal = job.state.is_terminal();
+        settled = changed.then(|| job.state.clone());
+        logged_status = job.status;
     }
-    if job.state.is_terminal() {
-        return;
-    }
-    let node = job.node;
-    job.state = state;
-    if job.state.is_terminal() {
+    if now_terminal {
         inner.inflight[node] = inner.inflight[node].saturating_sub(1);
-        let counter = match job.state {
+        let counter = match inner.jobs[&id].state {
             JobState::Done => &shared.jobs_done,
             JobState::Failed { .. } => &shared.jobs_failed,
             JobState::TimedOut { .. } => &shared.jobs_timed_out,
@@ -837,6 +1202,9 @@ fn observe(
             _ => unreachable!("is_terminal covers exactly these"),
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Some(state) = settled {
+        wal_append(shared, inner, WalRecord::Observed { id, state, status: logged_status });
     }
     shared.state_cv.notify_all();
 }
@@ -864,25 +1232,44 @@ fn heartbeat_loop(shared: &CoordShared) {
     }
 }
 
-/// One heartbeat: probe every live node, pull replicas from the healthy,
-/// declare the persistently silent dead.
+/// One heartbeat: probe every node — live ones toward death counting and
+/// replication, dead ones toward revival — in index order. Every node
+/// consumes exactly one [`FAIL_HEARTBEAT`] hit per beat, alive or dead,
+/// so the hit cadence is `nodes` per beat and a trigger's target node is
+/// `(hit - 1) % nodes`, deterministically.
 fn beat(shared: &CoordShared) {
     for node in 0..shared.addrs.len() {
-        let alive = {
-            let inner = shared.inner.lock().expect(POISONED);
-            inner.alive[node]
-        };
-        if !alive {
-            continue;
-        }
         let injected_miss = matches!(
             fault::hit(FAIL_HEARTBEAT),
             Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
         );
+        let was_alive = {
+            let inner = shared.inner.lock().expect(POISONED);
+            inner.alive[node]
+        };
         let healthy = !injected_miss && {
             let mut client = shared.clients[node].lock().expect(POISONED);
             matches!(client.get("/healthz"), Ok(resp) if resp.status == 200)
         };
+        if !was_alive {
+            // A dead node re-earns its place with `failure_threshold`
+            // consecutive healthy probes — hysteresis, so a flapping
+            // node cannot bounce its jobs back and forth every beat.
+            let revived = {
+                let mut inner = shared.inner.lock().expect(POISONED);
+                if healthy {
+                    inner.revive_hits[node] += 1;
+                    inner.revive_hits[node] >= shared.cfg.failure_threshold
+                } else {
+                    inner.revive_hits[node] = 0;
+                    false
+                }
+            };
+            if revived {
+                revive(shared, node);
+            }
+            continue;
+        }
         if !healthy {
             let dead_now = {
                 let mut inner = shared.inner.lock().expect(POISONED);
@@ -902,23 +1289,21 @@ fn beat(shared: &CoordShared) {
     }
 }
 
-/// Pulls one node's `/checkpoints` export into the replicated store.
-fn replicate(shared: &CoordShared, node: usize) {
-    if matches!(
-        fault::hit(FAIL_REPLICATE),
-        Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
-    ) {
-        return;
-    }
-    let exports = {
-        let mut client = shared.clients[node].lock().expect(POISONED);
-        client
-            .get("/checkpoints")
-            .ok()
-            .filter(|resp| resp.status == 200)
-            .and_then(|resp| resp.json::<Vec<JobExport>>().ok())
-    };
-    let Some(exports) = exports else { return };
+/// Fetches one node's `/checkpoints` export.
+fn pull_exports(shared: &CoordShared, node: usize) -> Option<Vec<JobExport>> {
+    let mut client = shared.clients[node].lock().expect(POISONED);
+    client
+        .get("/checkpoints")
+        .ok()
+        .filter(|resp| resp.status == 200)
+        .and_then(|resp| resp.json::<Vec<JobExport>>().ok())
+}
+
+/// Adopts one node's export into the replicated store: fresher
+/// checkpoints (by evaluation count) replace the replica, the
+/// piggybacked hot-cache entries ride along, and states/progress flow
+/// through the usual observation.
+fn adopt_exports(shared: &CoordShared, node: usize, exports: Vec<JobExport>) {
     let mut inner = shared.inner.lock().expect(POISONED);
     let by_node_id: HashMap<u64, u64> = inner
         .jobs
@@ -931,27 +1316,127 @@ fn replicate(shared: &CoordShared, node: usize) {
             continue;
         };
         if let Some(ckpt) = export.checkpoint {
-            if let Some(job) = inner.jobs.get_mut(&id) {
-                job.checkpoint = Some(ckpt);
+            let fresher = inner.jobs.get(&id).is_some_and(|job| {
+                job.checkpoint.as_ref().map_or(true, |old| ckpt.evals > old.evals)
+            });
+            if fresher {
+                if let Some(job) = inner.jobs.get_mut(&id) {
+                    job.checkpoint = Some(ckpt);
+                    if !export.cache.is_empty() {
+                        job.cache = export.cache;
+                    }
+                }
+                wal_append_checkpoint(shared, &inner, id);
             }
         }
         observe(shared, &mut inner, id, export.state, export.status);
     }
 }
 
+/// Logs the job's current replicated checkpoint. Split out so the borrow
+/// on the job ends before the WAL needs `&Inner`.
+fn wal_append_checkpoint(shared: &CoordShared, inner: &Inner, id: u64) {
+    if shared.wal.is_none() {
+        return;
+    }
+    if let Some(ckpt) = inner.jobs.get(&id).and_then(|job| job.checkpoint.clone()) {
+        wal_append(shared, inner, WalRecord::Checkpoint { id, checkpoint: ckpt });
+    }
+}
+
+/// Pulls one node's `/checkpoints` export into the replicated store.
+fn replicate(shared: &CoordShared, node: usize) {
+    if matches!(
+        fault::hit(FAIL_REPLICATE),
+        Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
+    ) {
+        return;
+    }
+    let Some(exports) = pull_exports(shared, node) else {
+        return;
+    };
+    adopt_exports(shared, node, exports);
+}
+
+/// Re-forwards one non-terminal job — death-resume, rejoin migration, or
+/// restart reconciliation — with its replicated checkpoint and warm
+/// cache attached, updating the mapping and the resume accounting
+/// (`+1` resume, `1 + detours` reroutes). `vacated` names a node whose
+/// window slot the job leaves behind, when the caller has not already
+/// zeroed it.
+fn resume_job(shared: &CoordShared, id: u64, vacated: Option<usize>) {
+    let spec = {
+        let inner = shared.inner.lock().expect(POISONED);
+        let Some(job) = inner.jobs.get(&id) else {
+            return;
+        };
+        if job.state.is_terminal() {
+            return;
+        }
+        let mut spec = job.spec.clone();
+        spec.checkpoint = job.checkpoint.clone();
+        spec.warm_cache = job.cache.clone();
+        spec
+    };
+    match forward(shared, id, &spec, false) {
+        Ok(placed) => {
+            let mut inner = shared.inner.lock().expect(POISONED);
+            if let Some(node) = vacated {
+                inner.inflight[node] = inner.inflight[node].saturating_sub(1);
+            }
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.node = placed.node;
+                job.node_job_id = placed.node_job_id;
+                job.state = JobState::Queued;
+                job.resumes += 1;
+                job.detours += placed.detours;
+                job.migrating = false;
+            }
+            shared.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+            shared.reroutes.fetch_add(1 + u64::from(placed.detours), Ordering::Relaxed);
+            wal_append(
+                shared,
+                &inner,
+                WalRecord::Moved {
+                    id,
+                    node: placed.node,
+                    node_job_id: placed.node_job_id,
+                    detours_added: placed.detours,
+                },
+            );
+            shared.state_cv.notify_all();
+        }
+        Err(e) => {
+            let mut inner = shared.inner.lock().expect(POISONED);
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.migrating = false;
+            }
+            observe(
+                shared,
+                &mut inner,
+                id,
+                JobState::Failed { error: format!("resume after a move failed: {e}") },
+                None,
+            );
+        }
+    }
+}
+
 /// Declares a node dead — exactly once — and moves its unfinished jobs:
 /// cancel-requested ones are cancelled in place; the rest are
 /// resubmitted, in ascending cluster-id order, to the ring's surviving
-/// fallback with their replicated checkpoints attached.
+/// fallback with their replicated checkpoints and warm caches attached.
 fn declare_dead(shared: &CoordShared, node: usize) {
-    let to_resume: Vec<(u64, JobSpec)> = {
+    let to_resume: Vec<u64> = {
         let mut inner = shared.inner.lock().expect(POISONED);
         if !inner.alive[node] {
             return;
         }
         inner.alive[node] = false;
         inner.inflight[node] = 0;
+        inner.revive_hits[node] = 0;
         shared.node_deaths.fetch_add(1, Ordering::Relaxed);
+        wal_append(shared, &inner, WalRecord::NodeDead { node });
         let affected: Vec<u64> = inner
             .jobs
             .iter()
@@ -960,43 +1445,152 @@ fn declare_dead(shared: &CoordShared, node: usize) {
             .collect();
         let mut resume = Vec::new();
         for id in affected {
-            let job = &inner.jobs[&id];
-            if job.cancel_requested {
-                let resumable = job.checkpoint.is_some();
+            if inner.jobs[&id].cancel_requested {
+                let resumable = inner.jobs[&id].checkpoint.is_some();
                 observe(shared, &mut inner, id, JobState::Cancelled { resumable }, None);
                 continue;
             }
-            let mut spec = job.spec.clone();
-            spec.checkpoint = job.checkpoint.clone();
-            resume.push((id, spec));
+            resume.push(id);
         }
         resume
     };
-    for (id, spec) in to_resume {
-        match forward(shared, id, &spec, false) {
-            Ok(placed) => {
-                let mut inner = shared.inner.lock().expect(POISONED);
-                if let Some(job) = inner.jobs.get_mut(&id) {
-                    job.node = placed.node;
-                    job.node_job_id = placed.node_job_id;
-                    job.state = JobState::Queued;
-                    job.resumes += 1;
-                    job.detours += placed.detours;
+    for id in to_resume {
+        resume_job(shared, id, None);
+    }
+}
+
+// ------------------------------------------------------------ rejoin
+
+/// Revives a dead node and migrates its home-keyed jobs back.
+fn revive(shared: &CoordShared, node: usize) {
+    {
+        let mut inner = shared.inner.lock().expect(POISONED);
+        if inner.alive[node] {
+            return;
+        }
+        inner.alive[node] = true;
+        inner.misses[node] = 0;
+        inner.revive_hits[node] = 0;
+        shared.node_revivals.fetch_add(1, Ordering::Relaxed);
+        wal_append(shared, &inner, WalRecord::NodeRevived { node });
+        shared.state_cv.notify_all();
+    }
+    rebalance(shared, node);
+}
+
+/// Moves every unfinished job whose *home* ring position (the route with
+/// the whole fleet up) is the revived node back onto it, in ascending
+/// cluster-id order. Each candidate consumes one [`FAIL_REBALANCE`] hit;
+/// an injected fault skips that job's migration — it simply finishes on
+/// its survivor, which is always correct.
+fn rebalance(shared: &CoordShared, home: usize) {
+    let whole_fleet = vec![true; shared.addrs.len()];
+    let candidates: Vec<u64> = {
+        let inner = shared.inner.lock().expect(POISONED);
+        inner
+            .jobs
+            .iter()
+            .filter(|(&id, job)| {
+                !job.state.is_terminal()
+                    && !job.cancel_requested
+                    && !job.migrating
+                    && job.node != home
+                    && shared.ring.route(id, &whole_fleet) == Some(home)
+            })
+            .map(|(&id, _)| id)
+            .collect()
+    };
+    for id in candidates {
+        if matches!(
+            fault::hit(FAIL_REBALANCE),
+            Some(FaultAction::Fail { .. }) | Some(FaultAction::Drop)
+        ) {
+            continue;
+        }
+        migrate(shared, id, home);
+    }
+}
+
+/// Migrates one job back to its revived home node: cancel on the
+/// survivor, wait for the slice boundary, carry the cancellation
+/// checkpoint (at least as fresh as the replica) home, resume there.
+/// Runs on the heartbeat thread; the job is marked `migrating`
+/// throughout so no racing poll can settle it on the survivor's cancel.
+fn migrate(shared: &CoordShared, id: u64, home: usize) {
+    let Some((survivor, node_job_id)) = ({
+        let mut inner = shared.inner.lock().expect(POISONED);
+        match inner.jobs.get_mut(&id) {
+            Some(job) if !job.state.is_terminal() && !job.cancel_requested && !job.migrating => {
+                job.migrating = true;
+                Some((job.node, job.node_job_id))
+            }
+            _ => None,
+        }
+    }) else {
+        return;
+    };
+    // Ask the survivor to stop at the next slice boundary, then wait
+    // (bounded, on the real clock — the node runs on one) for it.
+    let posted = {
+        let mut client = shared.clients[survivor].lock().expect(POISONED);
+        client.request("POST", &format!("/jobs/{node_job_id}/cancel"), None).is_ok()
+    };
+    let mut finished_instead = None;
+    let mut fresh_ckpt: Option<Box<RunCheckpoint>> = None;
+    if posted {
+        let deadline = Instant::now() + shared.cfg.rpc_timeout;
+        loop {
+            let settled = {
+                let mut client = shared.clients[survivor].lock().expect(POISONED);
+                client
+                    .get(&format!("/jobs/{node_job_id}"))
+                    .ok()
+                    .filter(|resp| resp.status == 200)
+                    .and_then(|resp| resp.json::<StatusResponse>().ok())
+                    .filter(|resp| resp.state.is_terminal())
+            };
+            if let Some(resp) = settled {
+                if !matches!(resp.state, JobState::Cancelled { .. }) {
+                    // The job beat the cancel to its own finish line:
+                    // nothing to move, the terminal state is real.
+                    finished_instead = Some((resp.state, resp.status));
                 }
-                shared.jobs_resumed.fetch_add(1, Ordering::Relaxed);
-                shared.reroutes.fetch_add(1 + u64::from(placed.detours), Ordering::Relaxed);
-                shared.state_cv.notify_all();
+                break;
             }
-            Err(e) => {
-                let mut inner = shared.inner.lock().expect(POISONED);
-                observe(
-                    shared,
-                    &mut inner,
-                    id,
-                    JobState::Failed { error: format!("resume after node death failed: {e}") },
-                    None,
-                );
+            if Instant::now() >= deadline {
+                // The survivor is stalling or dying mid-migration; fall
+                // through to a resume from the replica — worst case both
+                // copies run, deterministically to the same answer.
+                break;
             }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if finished_instead.is_none() {
+            let mut client = shared.clients[survivor].lock().expect(POISONED);
+            fresh_ckpt = client
+                .get(&format!("/jobs/{node_job_id}/checkpoint"))
+                .ok()
+                .filter(|resp| resp.status == 200)
+                .and_then(|resp| resp.json::<RunCheckpoint>().ok())
+                .map(Box::new);
         }
     }
+    if let Some((state, status)) = finished_instead {
+        let mut inner = shared.inner.lock().expect(POISONED);
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.migrating = false;
+        }
+        observe(shared, &mut inner, id, state, status);
+        return;
+    }
+    {
+        let mut inner = shared.inner.lock().expect(POISONED);
+        if let Some(ckpt) = fresh_ckpt {
+            if let Some(job) = inner.jobs.get_mut(&id) {
+                job.checkpoint = Some(ckpt);
+            }
+            wal_append_checkpoint(shared, &inner, id);
+        }
+    }
+    resume_job(shared, id, Some(survivor));
 }

@@ -23,17 +23,36 @@
 //!   survivors with their replicated checkpoints — and because resume
 //!   rides the driver's checkpoint path, the moved job's final report is
 //!   bit-identical to one that never moved;
+//! - **rejoin rebalancing**: a dead node that answers the same
+//!   threshold's worth of *consecutive* probes (hysteresis) is revived,
+//!   and unfinished jobs whose home ring position is the revived node
+//!   migrate back at a slice boundary — cancel-with-checkpoint on the
+//!   survivor, resume at home — keeping the
+//!   `reroutes == detours + resumes` accounting identity;
+//! - **coordinator durability** ([`wal`]): started with a state
+//!   directory ([`Coordinator::start_durable`]), every routing decision
+//!   and observed transition is write-ahead logged, and a restarted
+//!   coordinator re-adopts the fleet — replaying the log, probing every
+//!   node, adopting live exports, resuming orphans from replicated
+//!   checkpoints — before accepting traffic, so a SIGKILLed coordinator
+//!   loses zero jobs;
+//! - **cross-node cache sharing**: the hot eval-cache entries each node
+//!   exports alongside its checkpoints are replicated too, and every
+//!   resume carries them as the spec's warm cache, so a moved job
+//!   re-hits instead of re-simulating;
 //! - **aggregated observability**: cluster `/stats` folds every node's
-//!   counters ([`fold_stats`]) and adds the coordinator's own — routed
-//!   jobs, reroutes, node deaths, resumed jobs.
+//!   counters ([`fold_stats`]) — last-known snapshots standing in for
+//!   unreachable nodes — and adds the coordinator's own: routed jobs,
+//!   reroutes, node deaths and revivals, resumed jobs.
 //!
 //! All timeout and heartbeat decisions go through the injected
 //! [`Clock`](breaksym_testkit::Clock), the cluster seams carry named
-//! failpoints ([`FAIL_FORWARD`], [`FAIL_HEARTBEAT`], [`FAIL_REPLICATE`]),
-//! and [`chaos`] extends the single-node chaos harness to whole fleets —
-//! `repro chaos --nodes 3 --seed N` kills the busiest node mid-run and
-//! proves, twice, that nothing is lost and everything resumes
-//! bit-identically.
+//! failpoints ([`FAIL_FORWARD`], [`FAIL_HEARTBEAT`], [`FAIL_REPLICATE`],
+//! [`FAIL_REBALANCE`], [`FAIL_STATS`], [`FAIL_WAL`]), and [`chaos`]
+//! extends the single-node chaos harness to whole fleets — `repro chaos
+//! --nodes 3 --seed N` kills the busiest node mid-run (with optional
+//! coordinator kill-and-restart and node-revival variants) and proves,
+//! twice, that nothing is lost and everything resumes bit-identically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,13 +62,16 @@ pub mod client;
 pub mod coordinator;
 pub mod protocol;
 pub mod ring;
+pub mod wal;
 
 pub use chaos::{
     run_cluster_chaos, ClusterChaosConfig, ClusterChaosReport, DeterministicView, JobFingerprint,
 };
 pub use client::{HttpResponse, NodeClient};
 pub use coordinator::{
-    ClusterConfig, ClusterHandle, Coordinator, FAIL_FORWARD, FAIL_HEARTBEAT, FAIL_REPLICATE,
+    ClusterConfig, ClusterHandle, Coordinator, FAIL_FORWARD, FAIL_HEARTBEAT, FAIL_REBALANCE,
+    FAIL_REPLICATE, FAIL_STATS,
 };
 pub use protocol::{fold_stats, ClusterHealthz, ClusterStats, JobInspect, NodeReport};
 pub use ring::HashRing;
+pub use wal::{CoordState, PersistedCounters, PersistedJob, WalRecord, WalStore, FAIL_WAL};

@@ -22,8 +22,14 @@ pub struct NodeReport {
     /// nodes freeze at the threshold that killed them).
     #[serde(default)]
     pub missed_heartbeats: u32,
-    /// The node's own `/stats` snapshot from this poll; absent for dead
-    /// or unreachable nodes.
+    /// Whether `stats` is a last-known snapshot rather than a fresh
+    /// fetch — set for dead nodes and for live nodes whose `/stats`
+    /// fetch raced their death.
+    #[serde(default)]
+    pub stale: bool,
+    /// The node's own `/stats` snapshot: fresh from this poll when
+    /// `stale` is false, otherwise the last snapshot the coordinator
+    /// managed to fetch (absent only if it never fetched one).
     #[serde(default)]
     pub stats: Option<ServerStats>,
 }
@@ -56,13 +62,18 @@ pub struct ClusterStats {
     /// Nodes declared dead after missing the heartbeat threshold.
     #[serde(default)]
     pub node_deaths: u64,
-    /// Jobs resumed on a surviving node from a replicated checkpoint
-    /// after their node died.
+    /// Dead nodes revived after answering the heartbeat threshold's
+    /// worth of consecutive probes.
+    #[serde(default)]
+    pub node_revivals: u64,
+    /// Jobs resumed from a replicated checkpoint on another node —
+    /// death-resumes, rejoin migrations, and restart reconciliations.
     #[serde(default)]
     pub jobs_resumed: u64,
-    /// Field-wise fold of every *reachable* node's [`ServerStats`]:
-    /// counters summed, per-worker vectors concatenated in node order,
-    /// uptime maxed, cache snapshots merged.
+    /// Field-wise fold of every node's [`ServerStats`] — fresh where the
+    /// node was reachable, its last-known snapshot otherwise: counters
+    /// summed, per-worker vectors concatenated in node order, uptime
+    /// maxed, cache snapshots merged.
     pub fold: ServerStats,
     /// Per-node detail, in configuration order.
     pub nodes: Vec<NodeReport>,
@@ -103,8 +114,8 @@ pub struct JobInspect {
     /// choice because of transport errors or node rejections.
     #[serde(default)]
     pub detours: u32,
-    /// Death-resumes: times the job was moved to a survivor after its
-    /// node died.
+    /// Times the job was moved and resumed from a replicated checkpoint:
+    /// death-resumes, rejoin migrations, restart reconciliations.
     #[serde(default)]
     pub resumes: u32,
     /// Whether a cancel was requested through the coordinator.
@@ -204,12 +215,14 @@ mod tests {
             jobs_cancelled: 0,
             reroutes: 3,
             node_deaths: 1,
+            node_revivals: 1,
             jobs_resumed: 2,
             fold: fold_stats([&node_stats(4, 10)]),
             nodes: vec![NodeReport {
                 addr: "127.0.0.1:1".into(),
                 alive: true,
                 missed_heartbeats: 0,
+                stale: false,
                 stats: Some(node_stats(4, 10)),
             }],
         };

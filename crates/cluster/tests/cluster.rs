@@ -4,16 +4,20 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use breaksym_cluster::{
     run_cluster_chaos, ClusterChaosConfig, ClusterConfig, Coordinator, NodeClient, FAIL_HEARTBEAT,
+    FAIL_REBALANCE, FAIL_STATS,
 };
-use breaksym_core::{MethodSpec, MlmaConfig};
+use breaksym_core::{Driver, MethodSpec, MlmaConfig, RunReport};
 use breaksym_serve::{
-    Healthz, HttpServer, JobSpec, JobState, ServeConfig, ServeEngine, SubmitResponse, TaskSpec,
+    Healthz, HttpServer, JobSpec, JobState, ServeConfig, ServeEngine, ServeError, SubmitResponse,
+    TaskSpec,
 };
 use breaksym_testkit::{fault, FaultAction, FaultPlan, TestClock};
 
@@ -68,6 +72,38 @@ fn poll_until(deadline: Duration, mut done: impl FnMut() -> bool) -> bool {
         thread::sleep(Duration::from_millis(5));
     }
     done()
+}
+
+fn state_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "breaksym-cluster-test-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The spec executed directly on a fresh driver — the uninterrupted
+/// answer a cluster-served report must match bit for bit.
+fn direct_report(spec: &JobSpec) -> RunReport {
+    let task = spec.task.resolve().expect("task resolves");
+    let method = match spec.seed {
+        Some(seed) => spec.method.clone().with_seed(seed),
+        None => spec.method.clone(),
+    };
+    let mut opt = method.build(&task).expect("method builds");
+    let mut budget = method.budget();
+    if let Some(max_evals) = spec.max_evals {
+        budget.max_evals = max_evals;
+    }
+    Driver::new(budget).run(&task, opt.as_mut()).expect("direct run")
+}
+
+fn assert_bit_identical(report: &RunReport, direct: &RunReport) {
+    assert_eq!(report.evaluations, direct.evaluations);
+    assert_eq!(report.best_cost.to_bits(), direct.best_cost.to_bits());
+    assert_eq!(report.trajectory, direct.trajectory);
+    assert_eq!(report.best_placement, direct.best_placement);
 }
 
 #[test]
@@ -209,6 +245,257 @@ fn heartbeat_failpoint_kills_a_node_on_the_virtual_clock() {
     teardown(nodes);
 }
 
+#[test]
+fn durable_coordinator_survives_an_abrupt_restart() {
+    let _serial = serial();
+    let (nodes, addrs) = fleet(2);
+    let dir = state_dir("restart");
+    let cfg = ClusterConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        failure_threshold: 3,
+        rpc_timeout: Duration::from_secs(2),
+        ..ClusterConfig::default()
+    };
+    let coordinator = Coordinator::start_durable(addrs.clone(), cfg, &dir).expect("durable start");
+    let handle = coordinator.handle();
+
+    let specs: Vec<JobSpec> = (0..3).map(|i| job(20 + i, 300, 8)).collect();
+    let ids: Vec<_> = specs.iter().map(|s| handle.submit(s.clone()).expect("submit")).collect();
+    // Let the restart land mid-run: every job checkpointed (or already
+    // done) before the coordinator goes away.
+    assert!(
+        poll_until(Duration::from_secs(30), || {
+            handle.inspect().iter().all(|j| j.has_checkpoint || j.state == "done")
+        }),
+        "jobs did not checkpoint in time: {:?}",
+        handle.inspect()
+    );
+
+    // An abrupt drop is WAL-equivalent to a SIGKILL: every append was
+    // flushed when it happened and drop compacts nothing, so recovery
+    // replays the log exactly as it would after a kill -9. (The CI
+    // cluster-smoke job exercises the literal kill -9 on a real
+    // `repro coord` process.)
+    drop(coordinator);
+
+    let coordinator = Coordinator::start_durable(addrs, cfg, &dir).expect("restart recovers");
+    let handle = coordinator.handle();
+    for (&id, spec) in ids.iter().zip(&specs) {
+        let done = handle.wait(id, Duration::from_secs(120)).expect("job settles after restart");
+        assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+        let report = handle.report(id).expect("report fetchable after restart");
+        assert_bit_identical(&report, &direct_report(spec));
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.jobs_routed, 3, "routing counters survive the restart");
+    assert_eq!(stats.jobs_done, 3);
+
+    coordinator.shutdown();
+    teardown(nodes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drives the full death-then-rejoin cycle on the virtual clock: kill
+/// the job's home node with scripted heartbeat misses (its server never
+/// stops), watch the job resume on the survivor, then let the revival
+/// hysteresis re-admit the node. With `rebalance_blocked` the
+/// [`FAIL_REBALANCE`] failpoint eats the migration and the job must
+/// simply finish on its survivor.
+fn rejoin_round(rebalance_blocked: bool) {
+    let (nodes, addrs) = fleet(2);
+    let clock = TestClock::new();
+    let coordinator = Coordinator::start_with_clock(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            failure_threshold: 3,
+            rpc_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        },
+        clock.to_shared(),
+    );
+    let handle = coordinator.handle();
+
+    let id = handle.submit(job(11, 600, 8)).expect("submit");
+    let home = handle.inspect()[0].node;
+    // Drive beats until a mid-run checkpoint replicates, so the kill
+    // interrupts real partial work.
+    assert!(
+        poll_until(Duration::from_secs(30), || {
+            clock.advance_ms(100);
+            handle.inspect()[0].has_checkpoint
+        }),
+        "no checkpoint replicated: {:?}",
+        handle.inspect()
+    );
+
+    // Let any beat triggered by the last advance finish: installing
+    // resets the hit counters, and a beat straddling the install would
+    // consume hits out of alignment.
+    thread::sleep(Duration::from_millis(50));
+
+    // Installing resets the hit counters, so beats count from zero here:
+    // with 2 nodes every beat consumes two heartbeat hits in node order,
+    // and node `home`'s probe on beat b is hit (b-1)*2 + home + 1. Three
+    // consecutive beats' worth is exactly the failure threshold.
+    let miss = |beat: u64| (beat - 1) * 2 + home as u64 + 1;
+    let mut plan = FaultPlan::new()
+        .with(FAIL_HEARTBEAT, miss(1), FaultAction::Fail { what: "miss".into() })
+        .with(FAIL_HEARTBEAT, miss(2), FaultAction::Fail { what: "miss".into() })
+        .with(FAIL_HEARTBEAT, miss(3), FaultAction::Fail { what: "miss".into() });
+    if rebalance_blocked {
+        plan = plan.with(FAIL_REBALANCE, 1, FaultAction::Drop);
+    }
+    let guard = fault::install(plan);
+
+    assert!(
+        poll_until(Duration::from_secs(30), || {
+            clock.advance_ms(100);
+            !handle.node_alive(home)
+        }),
+        "home node not declared dead"
+    );
+    // The server behind it never stopped, so the next three probes are
+    // healthy and the hysteresis re-admits it.
+    assert!(
+        poll_until(Duration::from_secs(30), || {
+            clock.advance_ms(100);
+            handle.node_alive(home)
+        }),
+        "home node not revived"
+    );
+    drop(guard);
+
+    let done = handle.wait(id, Duration::from_secs(120)).expect("job settles");
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+    let report = handle.report(id).expect("report fetchable");
+    assert_eq!(report.evaluations, 600, "no work lost across death and rejoin");
+
+    let inspect = handle.inspect();
+    let stats = handle.stats();
+    assert_eq!(stats.node_deaths, 1);
+    assert_eq!(stats.node_revivals, 1);
+    assert!(stats.nodes[home].alive);
+    if rebalance_blocked {
+        assert_eq!(inspect[0].resumes, 1, "blocked migration leaves the survivor copy");
+        assert_ne!(inspect[0].node, home);
+    } else {
+        assert_eq!(inspect[0].resumes, 2, "death-resume + rejoin migration: {inspect:?}");
+        assert_eq!(inspect[0].node, home, "job must finish back on its home node");
+    }
+    assert_eq!(stats.jobs_resumed, u64::from(inspect[0].resumes));
+    assert_eq!(
+        stats.reroutes,
+        u64::from(inspect[0].resumes) + u64::from(inspect[0].detours),
+        "reroutes == detours + resumes must survive rejoin"
+    );
+
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
+#[test]
+fn revived_node_takes_back_its_home_jobs() {
+    let _serial = serial();
+    rejoin_round(false);
+}
+
+#[test]
+fn rebalance_failpoint_leaves_the_job_on_its_survivor() {
+    let _serial = serial();
+    rejoin_round(true);
+}
+
+#[test]
+fn stats_folds_last_known_snapshot_when_a_fetch_fails() {
+    let _serial = serial();
+    let (nodes, addrs) = fleet(2);
+    let coordinator = Coordinator::start(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(50),
+            rpc_timeout: Duration::from_secs(2),
+            ..ClusterConfig::default()
+        },
+    );
+    let handle = coordinator.handle();
+
+    let id = handle.submit(job(31, 60, 16)).expect("submit");
+    let done = handle.wait(id, Duration::from_secs(60)).expect("job settles");
+    assert!(matches!(done.state, JobState::Done));
+    // First poll: fresh everywhere, and it seeds the last-known store.
+    let fresh = handle.stats();
+    assert!(fresh.nodes.iter().all(|n| !n.stale), "{:?}", fresh.nodes);
+    assert_eq!(fresh.fold.jobs_done, 1);
+
+    // Stats consumes one cluster::stats hit per node per call in node
+    // order, so hit 1 fails exactly the first node's next fetch — the
+    // same window a node dying between its jobs finishing and the poll
+    // hits.
+    let guard = fault::install(FaultPlan::new().with(FAIL_STATS, 1, FaultAction::Drop));
+    let degraded = handle.stats();
+    drop(guard);
+    assert!(degraded.nodes[0].stale, "failed fetch must fall back, marked stale");
+    assert!(!degraded.nodes[1].stale);
+    assert_eq!(
+        degraded.nodes[0].stats, fresh.nodes[0].stats,
+        "fallback is the last-known snapshot"
+    );
+    assert_eq!(
+        degraded.fold.jobs_done, fresh.fold.jobs_done,
+        "finished work must not vanish from the fold"
+    );
+
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
+#[test]
+fn report_on_an_unreachable_node_is_retryable() {
+    let _serial = serial();
+    let (mut nodes, addrs) = fleet(2);
+    let coordinator = Coordinator::start(
+        addrs,
+        ClusterConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            failure_threshold: 3,
+            rpc_timeout: Duration::from_millis(500),
+            ..ClusterConfig::default()
+        },
+    );
+    let handle = coordinator.handle();
+
+    let id = handle.submit(job(41, 600, 8)).expect("submit");
+    assert!(
+        poll_until(Duration::from_secs(30), || {
+            handle.inspect().first().is_some_and(|j| j.has_checkpoint)
+        }),
+        "no checkpoint replicated: {:?}",
+        handle.inspect()
+    );
+    let home = handle.inspect()[0].node;
+    nodes[home].server.stop();
+
+    // Mid-death — the node is gone but not yet declared dead — a report
+    // fetch must come back as a graceful retryable NotReady, never as a
+    // raw transport error.
+    let err = handle.report(id).expect_err("report can't succeed mid-death");
+    assert!(
+        matches!(err, ServeError::NotReady { .. }),
+        "mid-death report must be retryable, got {err:?}"
+    );
+
+    // And retrying eventually succeeds, once the job resumes and
+    // finishes on the survivor.
+    let done = handle.wait(id, Duration::from_secs(120)).expect("job settles");
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+    let report = handle.report(id).expect("report after the resume");
+    assert_eq!(report.evaluations, 600);
+
+    coordinator.shutdown();
+    teardown(nodes);
+}
+
 /// One request over a short-lived connection, the way the pre-keep-alive
 /// clients (and curl) talk to the front-end.
 fn http_request(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
@@ -277,7 +564,36 @@ fn cluster_serves_the_same_http_protocol_as_a_node() {
 #[test]
 fn chaos_invariants_hold_and_replay_identically() {
     let _serial = serial();
-    let config = ClusterChaosConfig { seed: 5, nodes: 3, jobs: 4, faults: 3 };
+    let config = ClusterChaosConfig {
+        seed: 5,
+        nodes: 3,
+        jobs: 4,
+        faults: 3,
+        ..ClusterChaosConfig::default()
+    };
+    let first = run_cluster_chaos(&config);
+    assert!(first.ok(), "invariants violated: {:#?}", first.invariants);
+    let second = run_cluster_chaos(&config);
+    assert!(second.ok(), "invariants violated on replay: {:#?}", second.invariants);
+    assert_eq!(
+        first.deterministic_view(),
+        second.deterministic_view(),
+        "two runs from seed {} disagree",
+        config.seed
+    );
+}
+
+#[test]
+fn chaos_with_coordinator_restart_and_revival_replays_identically() {
+    let _serial = serial();
+    let config = ClusterChaosConfig {
+        seed: 7,
+        nodes: 3,
+        jobs: 4,
+        faults: 2,
+        coordinator_restart: true,
+        revive: true,
+    };
     let first = run_cluster_chaos(&config);
     assert!(first.ok(), "invariants violated: {:#?}", first.invariants);
     let second = run_cluster_chaos(&config);
@@ -298,7 +614,17 @@ fn chaos_invariants_hold_and_replay_identically() {
 fn chaos_seed_matrix_soak() {
     let _serial = serial();
     for seed in 1..=6 {
-        let config = ClusterChaosConfig { seed, nodes: 3, jobs: 6, faults: 4 };
+        // Alternate the variants across the matrix so the soak covers
+        // the plain kill, the durable coordinator restart, and the
+        // kill-then-revive cycle (and their combination).
+        let config = ClusterChaosConfig {
+            seed,
+            nodes: 3,
+            jobs: 6,
+            faults: 4,
+            coordinator_restart: seed % 2 == 0,
+            revive: seed % 3 == 0,
+        };
         let first = run_cluster_chaos(&config);
         assert!(first.ok(), "seed {seed}: {:#?}", first.invariants);
         let second = run_cluster_chaos(&config);

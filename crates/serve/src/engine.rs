@@ -61,6 +61,12 @@ use crate::protocol::{
 /// `DelayMs` an artificially slow slice.
 pub const FAIL_SLICE: &str = "serve::slice";
 
+/// Hottest eval-cache entries exported per job in
+/// [`ServeHandle::export_jobs`]. Bounds the replication payload: at ~150
+/// bytes of JSON per entry this keeps a job's cache share under ~40 KB
+/// while still covering far more states than a slice revisits.
+pub const CACHE_EXPORT_LIMIT: usize = 256;
+
 /// What a poisoned lock means here: a worker panicked mid-update, and the
 /// registry can no longer be trusted. Slice execution itself is guarded by
 /// `catch_unwind`, so an optimizer panic cannot poison these locks — only
@@ -130,6 +136,11 @@ impl JobRecord {
         // node's job here) starts from it: the worker's slice loop resumes
         // from `JobRecord::checkpoint` whenever one is present.
         let checkpoint = spec.checkpoint.clone();
+        // Likewise a spec carrying replicated cache entries warm-starts
+        // its private cache — revisited placements hit instead of paying
+        // a fresh solve. Seeding never changes results, only sim counts.
+        let cache = EvalCache::default();
+        cache.absorb(&spec.warm_cache);
         JobRecord {
             spec,
             state: JobState::Queued,
@@ -137,7 +148,7 @@ impl JobRecord {
             report: None,
             checkpoint,
             cancel: Arc::new(AtomicBool::new(false)),
-            cache: EvalCache::default(),
+            cache,
             counter: SimCounter::new(),
             terminal_at: None,
         }
@@ -513,10 +524,11 @@ impl ServeHandle {
     }
 
     /// Exports every live job's replicable state — id, lifecycle state,
-    /// latest progress, and latest slice-boundary checkpoint — sorted by
-    /// id. One call per heartbeat is how a coordinator keeps its
-    /// replicated checkpoint store fresh enough to resume this node's
-    /// jobs elsewhere if it dies.
+    /// latest progress, latest slice-boundary checkpoint, and (alongside
+    /// a checkpoint) the hottest [`CACHE_EXPORT_LIMIT`] entries of the
+    /// job's eval cache — sorted by id. One call per heartbeat is how a
+    /// coordinator keeps its replicated checkpoint store fresh enough to
+    /// resume this node's jobs elsewhere, warm-cached, if it dies.
     pub fn export_jobs(&self) -> Vec<JobExport> {
         let jobs = self.shared.jobs.lock().expect(POISONED);
         let mut out: Vec<JobExport> = jobs
@@ -526,6 +538,11 @@ impl ServeHandle {
                 state: job.state.clone(),
                 status: job.status,
                 checkpoint: job.checkpoint.clone(),
+                cache: if job.checkpoint.is_some() {
+                    job.cache.export_hot(CACHE_EXPORT_LIMIT)
+                } else {
+                    Vec::new()
+                },
             })
             .collect();
         out.sort_by_key(|e| e.id);

@@ -22,9 +22,11 @@
 //! `Connection: close` (HTTP/1.0 closes unless it asks for keep-alive),
 //! goes idle past [`KEEP_ALIVE_IDLE`], or hits the per-connection request
 //! cap. The idle deadline is measured on the injected [`Clock`], so tests
-//! on a `TestClock` control it exactly; between requests the handler
-//! polls the socket on a short real timeout so the server's stop flag is
-//! still observed promptly. Coordinator↔node RPC rides this: one
+//! on a `TestClock` control it exactly. An idle handler *blocks* on the
+//! socket — there is no poll tick burning CPU: the server's stop path and
+//! the clock's waker hooks wake it by shutting the socket down, and on
+//! the real clock the read timeout is sized to the remaining idle budget
+//! so expiry costs exactly one wait. Coordinator↔node RPC rides this: one
 //! heartbeat's health probe and checkpoint pull share one TCP connection
 //! instead of paying a fresh connect each.
 //!
@@ -52,13 +54,13 @@
 //! [`ServerStats`]: crate::protocol::ServerStats
 //! [`StatusResponse`]: crate::protocol::StatusResponse
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use breaksym_core::{RunCheckpoint, RunReport};
 use breaksym_testkit::{real_clock, FaultAction, SharedClock};
@@ -94,11 +96,6 @@ const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 /// How long a keep-alive connection may sit idle *between* requests
 /// before the server closes it, measured on the injected clock.
 pub const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
-
-/// Real-time granularity of the between-requests idle poll: how often an
-/// idle handler re-checks the stop flag and the (possibly virtual) idle
-/// deadline while waiting for the next request's first byte.
-const IDLE_POLL: Duration = Duration::from_millis(100);
 
 /// Requests served per connection before the server closes it anyway — a
 /// fairness valve so one immortal connection cannot pin a handler slot
@@ -212,8 +209,23 @@ impl JobApi for ServeHandle {
     }
 }
 
+/// One connection currently inside a handler: a shared handle to its
+/// socket, and — while the handler is parked between requests — the
+/// deadline (on the injected clock) past which the idle wait must end.
+#[derive(Debug)]
+struct ActiveConn {
+    stream: TcpStream,
+    /// `Some` only while the handler is blocked in [`await_request`];
+    /// `None` while a request is in flight.
+    idle_deadline: Option<Instant>,
+}
+
 /// The accept thread's hand-off point to the handler pool: a bounded
-/// queue of accepted sockets plus the shutdown latch.
+/// queue of accepted sockets, the shutdown latch, and a registry of the
+/// connections currently being served. The registry is how blocked idle
+/// reads are woken without polling: [`ConnQueue::shut_down`] and the
+/// clock's waker hooks shut the registered sockets down, which unblocks
+/// the handler's `read(2)` immediately.
 #[derive(Debug)]
 struct ConnQueue {
     pending: Mutex<VecDeque<TcpStream>>,
@@ -223,16 +235,25 @@ struct ConnQueue {
     /// Handlers currently inside a connection — observability for tests
     /// that need "a handler is occupied" without guessing with sleeps.
     busy: AtomicUsize,
+    /// Connections currently being served, keyed by a per-server token.
+    active: Mutex<HashMap<u64, ActiveConn>>,
+    next_conn: AtomicU64,
+    /// The clock idle deadlines are measured on; [`ConnQueue::close_expired`]
+    /// runs from its waker hooks when virtual time steps.
+    clock: SharedClock,
 }
 
 impl ConnQueue {
-    fn new(cap: usize) -> Self {
+    fn new(cap: usize, clock: SharedClock) -> Self {
         ConnQueue {
             pending: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             cap,
             stop: AtomicBool::new(false),
             busy: AtomicUsize::new(0),
+            active: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            clock,
         }
     }
 
@@ -263,9 +284,62 @@ impl ConnQueue {
         }
     }
 
+    /// Registers a connection so shutdown and the clock waker can wake
+    /// its blocked reads; `None` (clone failure) degrades to an
+    /// untracked connection that still times out on the real clock.
+    fn track(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        if self.stop.load(Ordering::SeqCst) {
+            // Raced a shut_down that already swept the registry: close
+            // now rather than serve into a stopping server.
+            let _ = clone.shutdown(Shutdown::Both);
+        }
+        let token = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let mut active = self.active.lock().expect("http conn registry poisoned");
+        active.insert(token, ActiveConn { stream: clone, idle_deadline: None });
+        Some(token)
+    }
+
+    fn untrack(&self, token: Option<u64>) {
+        if let Some(token) = token {
+            self.active.lock().expect("http conn registry poisoned").remove(&token);
+        }
+    }
+
+    /// Marks a tracked connection as parked between requests (deadline on
+    /// the injected clock) or back in flight (`None`).
+    fn set_idle(&self, token: Option<u64>, deadline: Option<Instant>) {
+        if let Some(token) = token {
+            let mut active = self.active.lock().expect("http conn registry poisoned");
+            if let Some(conn) = active.get_mut(&token) {
+                conn.idle_deadline = deadline;
+            }
+        }
+    }
+
+    /// Shuts down every parked connection whose idle deadline has passed
+    /// on the injected clock. Runs from the clock's waker hooks, so a
+    /// virtual-time step expires idle keep-alive connections immediately
+    /// instead of leaving them blocked until a real-time timeout.
+    fn close_expired(&self) {
+        let now = self.clock.now();
+        let active = self.active.lock().expect("http conn registry poisoned");
+        for conn in active.values() {
+            if conn.idle_deadline.is_some_and(|deadline| now >= deadline) {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
     fn shut_down(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.available.notify_all();
+        // Wake every handler blocked in an idle or mid-request read —
+        // stopping must not wait out socket timeouts.
+        let active = self.active.lock().expect("http conn registry poisoned");
+        for conn in active.values() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
     }
 }
 
@@ -329,7 +403,20 @@ impl HttpServer {
         // the stop flag without a self-connect dance.
         listener.set_nonblocking(true)?;
         let conn_workers = conn_workers.max(1);
-        let queue = Arc::new(ConnQueue::new(conn_workers * PENDING_PER_WORKER));
+        let queue = Arc::new(ConnQueue::new(conn_workers * PENDING_PER_WORKER, clock.clone()));
+        // Virtual-time steps must expire idle keep-alive connections
+        // without any real-time polling: the clock's waker sweeps the
+        // registry and shuts down parked sockets past their deadline.
+        // (The real clock drops the waker; there, the idle read timeout
+        // itself is sized to the remaining budget.)
+        {
+            let weak = Arc::downgrade(&queue);
+            clock.register_waker(Arc::new(move || {
+                if let Some(queue) = weak.upgrade() {
+                    queue.close_expired();
+                }
+            }));
+        }
         let mut threads = Vec::with_capacity(conn_workers + 1);
         threads.push({
             let queue = Arc::clone(&queue);
@@ -373,8 +460,9 @@ impl HttpServer {
     }
 
     /// Stops the accept thread and the handler pool and waits for them to
-    /// exit; queued-but-unserved sockets are dropped and idle keep-alive
-    /// connections close at their next poll tick. Idempotent.
+    /// exit; queued-but-unserved sockets are dropped and in-flight
+    /// connections are woken immediately by shutting their sockets down.
+    /// Idempotent.
     pub fn stop(&mut self) {
         self.queue.shut_down();
         for thread in self.threads.drain(..) {
@@ -451,38 +539,55 @@ enum Waited {
 }
 
 /// Waits for the next request's first byte under the keep-alive idle
-/// budget. The socket polls on a short *real* timeout so the stop flag is
-/// observed promptly, while the idle deadline itself is measured on the
-/// injected clock — frozen virtual time never expires a connection on its
-/// own.
+/// budget, measured on the injected clock — frozen virtual time never
+/// expires a connection on its own. The wait *blocks*; there is no poll
+/// tick. Three things can wake it: request bytes, the stop path or clock
+/// waker shutting the socket down (via the [`ConnQueue`] registry), or —
+/// on the real clock — the read timeout, which is sized to the remaining
+/// idle budget so expiry costs exactly one wait.
 fn await_request(
     stream: &TcpStream,
     reader: &mut BufReader<TcpStream>,
     queue: &ConnQueue,
     clock: &SharedClock,
+    token: Option<u64>,
 ) -> io::Result<Waited> {
     let idle_from = clock.now();
-    stream.set_read_timeout(Some(IDLE_POLL))?;
-    loop {
+    let deadline = idle_from + KEEP_ALIVE_IDLE;
+    queue.set_idle(token, Some(deadline));
+    let waited = loop {
         if queue.stop.load(Ordering::SeqCst) {
-            return Ok(Waited::Close);
+            break Ok(Waited::Close);
         }
+        let now = clock.now();
+        if now.duration_since(idle_from) >= KEEP_ALIVE_IDLE {
+            break Ok(Waited::Close);
+        }
+        stream.set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))))?;
         match reader.fill_buf() {
-            Ok([]) => return Ok(Waited::Close),
-            Ok(_) => {
-                stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-                return Ok(Waited::Data);
-            }
+            Ok([]) => break Ok(Waited::Close),
+            Ok(_) => break Ok(Waited::Data),
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if clock.now().duration_since(idle_from) >= KEEP_ALIVE_IDLE {
-                    return Ok(Waited::Close);
-                }
+                // Real-clock expiry (or a spurious wake under a frozen
+                // TestClock, where the virtual deadline can't pass by
+                // itself); the loop head re-checks both clocks' views.
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                // A shutdown injected by shut_down or close_expired can
+                // surface as a reset instead of an EOF; both mean close.
+                let woken = queue.stop.load(Ordering::SeqCst)
+                    || clock.now().duration_since(idle_from) >= KEEP_ALIVE_IDLE;
+                break if woken { Ok(Waited::Close) } else { Err(e) };
+            }
         }
+    };
+    queue.set_idle(token, None);
+    if matches!(waited, Ok(Waited::Data)) {
+        stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
     }
+    waited
 }
 
 /// Serves one keep-alive connection: requests back to back on one socket
@@ -498,16 +603,23 @@ fn handle_connection(
     stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
     let mut stream = stream;
     let mut reader = BufReader::new(stream.try_clone()?);
-    for _ in 0..MAX_REQUESTS_PER_CONN {
-        match await_request(&stream, &mut reader, queue, clock)? {
-            Waited::Close => return Ok(()),
-            Waited::Data => {}
+    // Register with the queue so the stop path and the clock waker can
+    // wake this handler's blocked reads by shutting the socket down.
+    let token = queue.track(&stream);
+    let result = (|| {
+        for _ in 0..MAX_REQUESTS_PER_CONN {
+            match await_request(&stream, &mut reader, queue, clock, token)? {
+                Waited::Close => return Ok(()),
+                Waited::Data => {}
+            }
+            if !serve_request(api, &mut stream, &mut reader)? {
+                return Ok(());
+            }
         }
-        if !serve_request(api, &mut stream, &mut reader)? {
-            return Ok(());
-        }
-    }
-    Ok(())
+        Ok(())
+    })();
+    queue.untrack(token);
+    result
 }
 
 /// Parses and answers one request; returns whether the connection stays

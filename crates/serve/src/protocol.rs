@@ -15,6 +15,7 @@ use std::fmt;
 use breaksym_core::{MethodSpec, PlacementTask, RunCheckpoint, StatsSnapshot};
 use breaksym_lde::LdeModel;
 use breaksym_netlist::circuits;
+pub use breaksym_sim::CacheExportEntry;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one submitted job, unique within a server's lifetime.
@@ -145,6 +146,13 @@ pub struct JobSpec {
     /// checkpoint, and the run continues bit-identically from it.
     #[serde(default)]
     pub checkpoint: Option<Box<RunCheckpoint>>,
+    /// Hot eval-cache entries to pre-seed the job's private cache with —
+    /// the replicated export of the cache the job built before it moved.
+    /// Purely an accelerator: cached metrics are deterministic functions
+    /// of their keys, so seeding changes simulation counts, never
+    /// results.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warm_cache: Vec<CacheExportEntry>,
 }
 
 impl JobSpec {
@@ -158,6 +166,7 @@ impl JobSpec {
             timeout_ms: None,
             slice_evals: None,
             checkpoint: None,
+            warm_cache: Vec::new(),
         }
     }
 }
@@ -343,6 +352,12 @@ pub struct JobExport {
     /// The latest slice-boundary checkpoint, when one exists.
     #[serde(default)]
     pub checkpoint: Option<Box<RunCheckpoint>>,
+    /// A bounded export of the job's hottest eval-cache entries,
+    /// piggybacked on checkpoint replication so a resume elsewhere
+    /// warm-starts instead of re-simulating. Present only alongside a
+    /// checkpoint; empty from builds predating cache sharing.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub cache: Vec<CacheExportEntry>,
 }
 
 /// Service-level request failures, serialised on the wire as a tagged

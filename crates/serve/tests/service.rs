@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use breaksym_core::{runner, Budget, Driver, MethodSpec, MlmaConfig, SliceOutcome};
 use breaksym_serve::{
     HttpServer, JobId, JobSpec, JobState, ServeConfig, ServeEngine, ServeError, ServeHandle,
-    StatusResponse, TaskSpec,
+    StatusResponse, TaskSpec, KEEP_ALIVE_IDLE,
 };
 use breaksym_testkit::TestClock;
 
@@ -465,5 +465,133 @@ fn http_front_end_serves_submit_poll_report_stats() {
     assert!(engine.handle().is_draining());
 
     server.stop();
+    engine.shutdown();
+}
+
+#[test]
+fn virtual_idle_expiry_closes_keep_alive_connections() {
+    // The keep-alive idle deadline is measured on the injected clock and
+    // enforced by its waker hooks: a parked handler blocks on the socket
+    // and is woken by shutdown, not by a real-time poll tick. On a
+    // frozen TestClock the connection must therefore close as soon as
+    // *virtual* time passes KEEP_ALIVE_IDLE — far inside the 5 s the
+    // real-clock fallback would take.
+    let clock = TestClock::new();
+    let engine = ServeEngine::start_with_clock(
+        ServeConfig { workers: 1, ..ServeConfig::default() },
+        clock.to_shared(),
+    );
+    let mut server =
+        HttpServer::bind_with_clock(engine.handle(), "127.0.0.1:0", 1, clock.to_shared()).unwrap();
+    let addr = server.addr();
+
+    // One keep-alive request; the handler answers and parks for the next.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n")
+        .unwrap();
+    let mut buf = [0u8; 4096];
+    let n = stream.read(&mut buf).unwrap();
+    assert!(
+        std::str::from_utf8(&buf[..n]).unwrap().starts_with("HTTP/1.1 200"),
+        "healthz reply"
+    );
+
+    // Advance virtual time past the idle budget until the server hangs
+    // up. One advance can race the handler registering its deadline (the
+    // waker skips connections that are not parked yet), but the next
+    // advance lands past any deadline measured from the already-advanced
+    // clock, so a couple of rounds always suffice.
+    let started = Instant::now();
+    stream.set_read_timeout(Some(Duration::from_millis(100))).unwrap();
+    let mut closed = false;
+    for _ in 0..30 {
+        clock.advance(KEEP_ALIVE_IDLE + Duration::from_millis(1));
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                closed = true;
+                break;
+            }
+            Ok(_) => panic!("unexpected bytes after idle expiry"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {
+                closed = true;
+                break;
+            }
+            Err(e) => panic!("unexpected socket error: {e}"),
+        }
+    }
+    assert!(closed, "server never closed the idle keep-alive connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "idle close took {:?} — the real-clock timeout path, not the waker",
+        started.elapsed()
+    );
+
+    server.stop();
+    engine.shutdown();
+}
+
+#[test]
+fn warm_cache_resumes_simulate_less_than_cold_resumes() {
+    let engine =
+        ServeEngine::start(ServeConfig { workers: 1, slice_evals: 20, ..ServeConfig::default() });
+    let handle = engine.handle();
+
+    // Run a job a couple of slices in, cancel it, and capture the
+    // exported checkpoint plus the hot cache entries replicated with it.
+    let id = handle.submit(long_spec(9)).unwrap();
+    wait_until(&handle, id, |s| s.status.is_some_and(|rs| rs.evals >= 40));
+    handle.cancel(id).unwrap();
+    wait_until(&handle, id, |s| matches!(s.state, JobState::Cancelled { .. }));
+    let export = handle
+        .export_jobs()
+        .into_iter()
+        .find(|e| e.id == id)
+        .expect("cancelled job is exported");
+    let ckpt = export.checkpoint.clone().expect("cancelled mid-run keeps its checkpoint");
+    assert!(!export.cache.is_empty(), "a resumable export carries hot cache entries");
+
+    // Resume that checkpoint twice — once cold, once warm-seeded with the
+    // export — capped a finite distance past the cancellation point.
+    let target = ckpt.evals + 200;
+    let resume_spec = |warm_cache: Vec<breaksym_sim::CacheExportEntry>| {
+        let mut spec = long_spec(9);
+        spec.max_evals = Some(target);
+        spec.checkpoint = Some(ckpt.clone());
+        spec.warm_cache = warm_cache;
+        spec
+    };
+    let cold = handle.submit(resume_spec(Vec::new())).unwrap();
+    let done = handle.wait(cold, Duration::from_secs(120)).unwrap();
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+    let warm = handle.submit(resume_spec(export.cache.clone())).unwrap();
+    let done = handle.wait(warm, Duration::from_secs(120)).unwrap();
+    assert!(matches!(done.state, JobState::Done), "{:?}", done.state);
+
+    // Warm-seeding changes the accounting only: cached metrics are a
+    // deterministic function of their keys, so the reports stay
+    // bit-identical...
+    let cold_report = handle.report(cold).unwrap();
+    let warm_report = handle.report(warm).unwrap();
+    assert_eq!(cold_report.best_cost.to_bits(), warm_report.best_cost.to_bits());
+    assert_eq!(cold_report.evaluations, warm_report.evaluations);
+    assert_eq!(cold_report.trajectory, warm_report.trajectory);
+    assert_eq!(cold_report.best_placement, warm_report.best_placement);
+
+    // ...while the warm job answers early lookups from the imported
+    // entries instead of re-simulating them.
+    let cold_stats = handle.status(cold).unwrap().status.expect("cold ran").cache;
+    let warm_stats = handle.status(warm).unwrap().status.expect("warm ran").cache;
+    assert!(
+        warm_stats.sims < cold_stats.sims,
+        "warm resume re-simulated as much as cold: {warm_stats:?} vs {cold_stats:?}"
+    );
+    assert!(
+        warm_stats.hits > cold_stats.hits,
+        "warm resume hit no imported entries: {warm_stats:?} vs {cold_stats:?}"
+    );
     engine.shutdown();
 }

@@ -59,7 +59,7 @@ mod tran;
 mod workspace;
 
 pub use ac::{AcSolver, AcSweep};
-pub use cache::{CacheStats, EvalCache, StatsSnapshot, DEFAULT_CACHE_CAPACITY};
+pub use cache::{CacheExportEntry, CacheStats, EvalCache, StatsSnapshot, DEFAULT_CACHE_CAPACITY};
 pub use complex::Complex;
 pub use counter::SimCounter;
 pub use dc::{DcSolution, DcSolver};

@@ -259,6 +259,7 @@ fn sample_cluster_stats() -> ClusterStats {
         jobs_cancelled: 0,
         reroutes: 4,
         node_deaths: 1,
+        node_revivals: 1,
         jobs_resumed: 2,
         fold: fold_stats([&sample_node_stats()]),
         nodes: vec![
@@ -266,12 +267,14 @@ fn sample_cluster_stats() -> ClusterStats {
                 addr: "127.0.0.1:8101".into(),
                 alive: true,
                 missed_heartbeats: 0,
+                stale: false,
                 stats: Some(sample_node_stats()),
             },
             NodeReport {
                 addr: "127.0.0.1:8102".into(),
                 alive: false,
                 missed_heartbeats: 3,
+                stale: true,
                 stats: None,
             },
         ],
@@ -280,25 +283,29 @@ fn sample_cluster_stats() -> ClusterStats {
 
 #[test]
 fn cluster_stats_written_before_the_routing_counters_still_deserialize() {
-    // `reroutes`, `node_deaths`, and `jobs_resumed` postdate the first
-    // cluster `/stats` wire format, as does `missed_heartbeats` on the
-    // per-node reports; a document without them must read back with
-    // those counters at zero and everything else intact.
+    // `reroutes`, `node_deaths`, `node_revivals`, and `jobs_resumed`
+    // postdate the first cluster `/stats` wire format, as do
+    // `missed_heartbeats` and `stale` on the per-node reports; a document
+    // without them must read back with those counters at zero and
+    // everything else intact.
     let stats = sample_cluster_stats();
     let mut v = serde_json::to_value(&stats).unwrap();
     let obj = v.as_object_mut().unwrap();
-    for newer in ["reroutes", "node_deaths", "jobs_resumed"] {
+    for newer in ["reroutes", "node_deaths", "node_revivals", "jobs_resumed"] {
         assert!(obj.remove(newer).is_some(), "{newer} missing from the wire format");
     }
     for node in v["nodes"].as_array_mut().unwrap() {
         let node = node.as_object_mut().unwrap();
         assert!(node.remove("missed_heartbeats").is_some());
+        assert!(node.remove("stale").is_some());
     }
     let back: ClusterStats = serde_json::from_value(v).unwrap();
     assert_eq!(back.reroutes, 0);
     assert_eq!(back.node_deaths, 0);
+    assert_eq!(back.node_revivals, 0);
     assert_eq!(back.jobs_resumed, 0);
     assert_eq!(back.nodes[1].missed_heartbeats, 0);
+    assert!(!back.nodes[1].stale);
     assert_eq!(back.jobs_routed, stats.jobs_routed);
     assert_eq!(back.fold, stats.fold);
     assert_eq!(back.nodes[0].stats, stats.nodes[0].stats);
@@ -377,11 +384,12 @@ proptest! {
         let stats = sample_cluster_stats();
         let mut v = serde_json::to_value(&stats).unwrap();
         let mut paths = null_paths(&v, &[]);
-        for newer in ["reroutes", "node_deaths", "jobs_resumed"] {
+        for newer in ["reroutes", "node_deaths", "node_revivals", "jobs_resumed"] {
             paths.push(vec![newer.to_string()]);
         }
         for i in 0..stats.nodes.len() {
             paths.push(vec!["nodes".into(), i.to_string(), "missed_heartbeats".into()]);
+            paths.push(vec!["nodes".into(), i.to_string(), "stale".into()]);
         }
         for (path, &drop) in paths.iter().zip(mask.iter().chain(std::iter::repeat(&true))) {
             if drop {
