@@ -8,7 +8,13 @@
 //!
 //! Subcommands: `fig1`, `fig2`, `fig3`, `ablation-traj`,
 //! `ablation-multilevel`, `ablation-linearity`, `ablation-dummies`,
-//! `portfolio`, `serve`, `cluster`, `coord`, `chaos`, `all`.
+//! `portfolio`, `serve`, `cluster`, `coord`, `chaos`, `genbench`, `all`.
+//!
+//! `genbench --family mirror|ota|comparator --seed N` prints one
+//! seed-deterministic generated benchmark as SPICE with its ground-truth
+//! `.group` annotations (`--unannotated` strips them, `--json` wraps the
+//! dump with the ground truth); `--check` runs the automatic symmetry
+//! extractor against the ground truth and exits 2 on any mismatch.
 //!
 //! `chaos --seed N` runs the seeded fault-injection harness twice and
 //! fails (exit 1) if any invariant breaks or the two runs differ — the
@@ -160,6 +166,10 @@ fn main() {
         chaos(&argv[1..]);
         return;
     }
+    if argv.first().map(String::as_str) == Some("genbench") {
+        genbench(&argv[1..]);
+        return;
+    }
     let args = parse_args();
     // Checked at every experiment boundary: a latched Ctrl-C stops the
     // sweep cleanly between figures instead of dying mid-write.
@@ -298,7 +308,7 @@ fn main() {
     }
     if !ran {
         die(&format!(
-            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve cluster coord chaos all)",
+            "unknown subcommand `{}` (try: fig1 fig2 fig3 ablation-traj ablation-multilevel ablation-linearity ablation-dummies ablation-policy ablation-seeds ablation-weights ablation-budget portfolio serve cluster coord chaos genbench all)",
             args.cmd
         ));
     }
@@ -406,6 +416,81 @@ fn serve(flags: &[String]) {
         stats.jobs_done, stats.jobs_failed, stats.jobs_cancelled, stats.queue_depth, stats.cache
     );
     std::process::exit(if interrupted { 130 } else { 0 });
+}
+
+/// `repro genbench` — emit one seed-deterministic generated benchmark
+/// circuit as SPICE (ground-truth `.group` annotations included unless
+/// `--unannotated`), and with `--check` differentially verify that the
+/// automatic symmetry extractor reproduces the generator's ground truth
+/// (exit 2 on mismatch). Every `(family, seed)` pair is a reproducible
+/// test case for the whole parse → extract → place pipeline.
+fn genbench(flags: &[String]) {
+    use breaksym_genbench::{generate, Family};
+    use breaksym_symmetry::extract::{canonical, extract_groups};
+
+    let mut family = Family::Ota;
+    let mut seed = 0u64;
+    let mut json = false;
+    let mut unannotated = false;
+    let mut check = false;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--family" => {
+                family = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--family needs one of: mirror ota comparator"))
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--json" => json = true,
+            "--unannotated" => unannotated = true,
+            "--check" => check = true,
+            other => die(&format!(
+                "unknown genbench flag `{other}` (try: --family --seed --json --unannotated \
+                 --check)"
+            )),
+        }
+    }
+
+    let g = generate(family, seed);
+    if check {
+        let derived = canonical(&extract_groups(&g.circuit).groups);
+        let truth = canonical(&g.groups);
+        if derived != truth {
+            eprintln!("repro genbench: extraction MISMATCH on {family} seed {seed}");
+            eprintln!("  ground truth: {truth:?}");
+            eprintln!("  derived     : {derived:?}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "repro genbench: extraction matches ground truth on {family} seed {seed} \
+             ({} groups)",
+            g.groups.len()
+        );
+    }
+    let spice = if unannotated {
+        &g.spice_unannotated
+    } else {
+        &g.spice
+    };
+    if json {
+        let doc = serde_json::json!({
+            "family": family.to_string(),
+            "seed": seed,
+            "grid": g.grid_side,
+            "groups": g.groups,
+            "spice": spice,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialises"));
+    } else {
+        print!("{spice}");
+    }
 }
 
 /// `repro chaos` — run the seeded chaos/invariant harness twice with the

@@ -523,7 +523,12 @@ impl ClusterHandle {
                 job.node,
                 job.node_job_id,
                 poll_live,
-                StatusResponse { id, state: job.state.clone(), status: job.status },
+                StatusResponse {
+                    id,
+                    state: job.state.clone(),
+                    status: job.status,
+                    warnings: Vec::new(),
+                },
             )
         };
         if !poll_live {
@@ -690,7 +695,12 @@ impl ClusterHandle {
     fn cached_status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
         let inner = self.shared.inner.lock().expect(POISONED);
         let job = inner.jobs.get(&id.0).ok_or(ServeError::UnknownJob { id })?;
-        Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
+        Ok(StatusResponse {
+            id,
+            state: job.state.clone(),
+            status: job.status,
+            warnings: Vec::new(),
+        })
     }
 
     /// Cluster-wide statistics: per-node `/stats` polled live where

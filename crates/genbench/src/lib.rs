@@ -1,0 +1,554 @@
+//! Seed-deterministic generative benchmark circuits with ground-truth
+//! symmetry groups.
+//!
+//! Every call to [`generate`] produces a small analog circuit drawn from
+//! one of three parameterized families — current mirrors, OTAs, and
+//! StrongARM comparators — shaped exactly like the hand-built library
+//! benchmarks: the same primitive templates (input pairs, mirror rows,
+//! cascode rows, cross-coupled latches, precharge switches, matched
+//! passives), with sizings, leg counts, and variant choices drawn from a
+//! seeded PRNG. Because the topology templates are the ones the symmetry
+//! extractor is specified against, each generated circuit doubles as a
+//! differential test case for the whole pipeline:
+//!
+//! - [`Generated::groups`] is the ground-truth symmetry partition;
+//!   automatic extraction from [`Generated::spice_unannotated`] must
+//!   reproduce it exactly (canonically — names aside).
+//! - [`Generated::spice`] must survive a parse → write → parse round trip.
+//! - The circuit itself must place, evaluate, and optimise cleanly on a
+//!   [`Generated::grid_side`]-sized grid.
+//!
+//! Generation is a pure function of `(family, seed)` — no global state, no
+//! system randomness — so any failing case is reproducible from two
+//! integers (`repro genbench --family ota --seed 17`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+use breaksym_netlist::{
+    Circuit, CircuitBuilder, CircuitClass, GroupAssignment, GroupKind, MosParams, MosPolarity,
+    NetKind, PortRole,
+};
+
+/// Supply voltage used by the generated testbenches (matches the library
+/// benchmarks).
+pub use breaksym_netlist::circuits::VDD;
+
+/// A generator family: which class of circuit [`generate`] draws.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Family {
+    /// Cascoded or plain NMOS current mirrors with 1–3 output legs.
+    Mirror,
+    /// Five-transistor (either input polarity) or two-stage Miller OTAs.
+    Ota,
+    /// StrongARM dynamic comparators with 2 or 4 precharge switches.
+    Comparator,
+}
+
+/// All generator families, in a fixed order.
+pub const FAMILIES: [Family; 3] = [Family::Mirror, Family::Ota, Family::Comparator];
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Family::Mirror => "mirror",
+            Family::Ota => "ota",
+            Family::Comparator => "comparator",
+        })
+    }
+}
+
+impl FromStr for Family {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mirror" | "cm" => Ok(Family::Mirror),
+            "ota" => Ok(Family::Ota),
+            "comparator" | "comp" => Ok(Family::Comparator),
+            other => Err(format!("unknown family '{other}' (expected mirror|ota|comparator)")),
+        }
+    }
+}
+
+/// One generated benchmark: the circuit, its SPICE forms, and the ground
+/// truth a correct pipeline must reproduce.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Generated {
+    /// The fully wired, fully annotated circuit.
+    pub circuit: Circuit,
+    /// SPICE dump of [`Generated::circuit`], `.group` lines included.
+    pub spice: String,
+    /// The same dump with every `.group` line removed — a "bring your own
+    /// netlist" input whose symmetry must be derived automatically.
+    pub spice_unannotated: String,
+    /// Ground-truth symmetry partition (the `.group` annotations).
+    pub groups: Vec<GroupAssignment>,
+    /// A grid side the circuit places comfortably on.
+    pub grid_side: u32,
+}
+
+/// Generates the `seed`-th circuit of `family`.
+///
+/// Pure and deterministic: equal inputs produce byte-identical output.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_genbench::{generate, Family};
+///
+/// let a = generate(Family::Ota, 7);
+/// let b = generate(Family::Ota, 7);
+/// assert_eq!(a.spice, b.spice);
+/// assert!(!a.spice_unannotated.contains(".group"));
+/// assert!(!a.groups.is_empty());
+/// ```
+pub fn generate(family: Family, seed: u64) -> Generated {
+    let tag = match family {
+        Family::Mirror => 0x4d49_5252_4f52u64,
+        Family::Ota => 0x4f54_41u64,
+        Family::Comparator => 0x434f_4d50u64,
+    };
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ tag);
+    let name = format!("gen_{family}_{seed:04}");
+    let circuit = match family {
+        Family::Mirror => gen_mirror(&name, &mut rng),
+        Family::Ota => gen_ota(&name, &mut rng),
+        Family::Comparator => gen_comparator(&name, &mut rng),
+    };
+    let spice = breaksym_netlist::spice::write(&circuit);
+    let spice_unannotated = strip_annotations(&spice);
+    let groups = assignments(&circuit);
+    let units = circuit.num_units() as u32;
+    let grid_side = (((units * 4) as f64).sqrt().ceil() as u32).max(12);
+    Generated { circuit, spice, spice_unannotated, groups, grid_side }
+}
+
+/// Removes every `.group` annotation line from a SPICE dump, leaving a
+/// netlist with no symmetry information (the parser will place all devices
+/// in its implicit `ungrouped` bucket).
+pub fn strip_annotations(spice: &str) -> String {
+    let mut out: String = spice
+        .lines()
+        .filter(|l| !l.trim_start().starts_with(".group"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+/// The circuit's group structure as plain [`GroupAssignment`]s.
+fn assignments(c: &Circuit) -> Vec<GroupAssignment> {
+    c.groups()
+        .iter()
+        .map(|g| GroupAssignment {
+            name: g.name.clone(),
+            kind: g.kind,
+            devices: g.devices.iter().map(|&d| c.device(d).name.clone()).collect(),
+        })
+        .collect()
+}
+
+// ---- families -----------------------------------------------------------
+
+/// NMOS current mirror: a diode-connected reference column and 1–3 output
+/// legs, optionally cascoded with a matched bias-resistor divider (the
+/// `current_mirror_medium` template).
+fn gen_mirror(name: &str, rng: &mut SplitMix64) -> Circuit {
+    let n_out = rng.range(1, 3);
+    let cascode = rng.coin();
+    let u_m = rng.pick(&[2u32, 3, 4]);
+    let w_m = rng.pick(&[1.5, 2.0, 2.5]);
+    let l_m = rng.pick(&[0.3, 0.4, 0.5]);
+    let iref = rng.pick(&[10e-6, 20e-6, 40e-6]);
+    let u_c = rng.pick(&[1u32, 2]);
+    let w_c = rng.pick(&[1.5, 2.0]);
+    let r_b = rng.pick(&[10e3, 20e3]);
+
+    let mut b = CircuitBuilder::new(name, CircuitClass::CurrentMirror);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let nref = b.net("nref", NetKind::Signal);
+    let g_mirror = b.add_group("g_mirror", GroupKind::CurrentMirror).expect("fresh name");
+    let pm = MosParams::nmos_default(w_m, l_m);
+
+    if cascode {
+        let nmid_r = b.net("nmid_r", NetKind::Signal);
+        let ncasb = b.net("ncasb", NetKind::Bias);
+        let g_cas = b.add_group("g_cascode", GroupKind::CascodePair).expect("fresh name");
+        let g_bias = b.add_group("g_bias", GroupKind::Passive).expect("fresh name");
+        let pc = MosParams::nmos_default(w_c, 0.2);
+        b.add_mos("MREF", MosPolarity::Nmos, pm, u_m, g_mirror, nmid_r, nref, vss, vss)
+            .expect("valid");
+        b.add_mos("MCREF", MosPolarity::Nmos, pc, u_c, g_cas, nref, ncasb, nmid_r, vss)
+            .expect("valid");
+        for k in 0..n_out as u8 {
+            let nmid = b.net(&format!("nmid{k}"), NetKind::Signal);
+            let nout = b.net(&format!("iout{k}"), NetKind::Signal);
+            b.add_mos(
+                &format!("MOUT{k}"),
+                MosPolarity::Nmos,
+                pm,
+                u_m,
+                g_mirror,
+                nmid,
+                nref,
+                vss,
+                vss,
+            )
+            .expect("valid");
+            b.add_mos(
+                &format!("MCOUT{k}"),
+                MosPolarity::Nmos,
+                pc,
+                u_c,
+                g_cas,
+                nout,
+                ncasb,
+                nmid,
+                vss,
+            )
+            .expect("valid");
+            b.bind_port(PortRole::Iout(k), nout);
+        }
+        b.add_resistor("RB1", r_b, 2, g_bias, vdd, ncasb).expect("valid");
+        b.add_resistor("RB2", r_b, 2, g_bias, ncasb, vss).expect("valid");
+    } else {
+        b.add_mos("MREF", MosPolarity::Nmos, pm, u_m, g_mirror, nref, nref, vss, vss)
+            .expect("valid");
+        for k in 0..n_out as u8 {
+            let nout = b.net(&format!("iout{k}"), NetKind::Signal);
+            b.add_mos(
+                &format!("MOUT{k}"),
+                MosPolarity::Nmos,
+                pm,
+                u_m,
+                g_mirror,
+                nout,
+                nref,
+                vss,
+                vss,
+            )
+            .expect("valid");
+            b.bind_port(PortRole::Iout(k), nout);
+        }
+    }
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_isource("IREF", iref, vdd, nref).expect("valid");
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::Iref, nref);
+    b.build().expect("generated mirror is valid")
+}
+
+/// OTA: a five-transistor core with either input polarity, or a two-stage
+/// Miller-compensated amplifier (the `five_transistor_ota` /
+/// `two_stage_miller` templates).
+fn gen_ota(name: &str, rng: &mut SplitMix64) -> Circuit {
+    let variant = rng.range(0, 2);
+    let u_in = rng.pick(&[2u32, 3]);
+    let w_in = rng.pick(&[2.5, 3.0, 3.5]);
+    let w_ld = rng.pick(&[2.5, 3.0, 4.0]);
+    let u_ld = rng.pick(&[2u32, 3]);
+    let u_t = rng.pick(&[2u32, 4]);
+    let c_c = rng.pick(&[100e-15, 150e-15]);
+    let w_o = rng.pick(&[6.0, 8.0]);
+
+    let mut b = CircuitBuilder::new(name, CircuitClass::Ota);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let x = b.net("x", NetKind::Signal);
+    let out = b.net("out", NetKind::Signal);
+    let nb = b.net("nb_tail", NetKind::Bias);
+
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_ld = b.add_group("g_load", GroupKind::CurrentMirror).expect("fresh name");
+    let g_tail = b.add_group("g_tail", GroupKind::TailSource).expect("fresh name");
+
+    match variant {
+        // Five-transistor, NMOS input.
+        0 => {
+            let p_in = MosParams::nmos_default(w_in, 0.2);
+            let p_ld = MosParams::pmos_default(w_ld, 0.3);
+            let p_t = MosParams::nmos_default(3.0, 0.4);
+            b.add_mos("M1", MosPolarity::Nmos, p_in, u_in, g_in, x, inp, tail, vss)
+                .expect("valid");
+            b.add_mos("M2", MosPolarity::Nmos, p_in, u_in, g_in, out, inn, tail, vss)
+                .expect("valid");
+            b.add_mos("M3", MosPolarity::Pmos, p_ld, u_ld, g_ld, x, x, vdd, vdd)
+                .expect("valid");
+            b.add_mos("M4", MosPolarity::Pmos, p_ld, u_ld, g_ld, out, x, vdd, vdd)
+                .expect("valid");
+            b.add_mos("M5", MosPolarity::Nmos, p_t, u_t, g_tail, tail, nb, vss, vss)
+                .expect("valid");
+            b.add_vsource("VBT", 0.6, nb, vss).expect("valid");
+        }
+        // Five-transistor, PMOS input (mirrored rails).
+        1 => {
+            let p_in = MosParams::pmos_default(w_in, 0.2);
+            let p_ld = MosParams::nmos_default(w_ld, 0.3);
+            let p_t = MosParams::pmos_default(4.0, 0.4);
+            b.add_mos("M1", MosPolarity::Pmos, p_in, u_in, g_in, x, inp, tail, vdd)
+                .expect("valid");
+            b.add_mos("M2", MosPolarity::Pmos, p_in, u_in, g_in, out, inn, tail, vdd)
+                .expect("valid");
+            b.add_mos("M3", MosPolarity::Nmos, p_ld, u_ld, g_ld, x, x, vss, vss)
+                .expect("valid");
+            b.add_mos("M4", MosPolarity::Nmos, p_ld, u_ld, g_ld, out, x, vss, vss)
+                .expect("valid");
+            b.add_mos("M5", MosPolarity::Pmos, p_t, u_t, g_tail, tail, nb, vdd, vdd)
+                .expect("valid");
+            b.add_vsource("VBT", VDD - 0.6, nb, vss).expect("valid");
+        }
+        // Two-stage Miller (NMOS input, PMOS common-source second stage).
+        _ => {
+            let y = b.net("y", NetKind::Signal);
+            let g_out = b.add_group("g_out", GroupKind::Custom).expect("fresh name");
+            let g_comp = b.add_group("g_comp", GroupKind::Passive).expect("fresh name");
+            let p_in = MosParams::nmos_default(w_in, 0.2);
+            let p_ld = MosParams::pmos_default(w_ld, 0.3);
+            let p_t = MosParams::nmos_default(3.0, 0.4);
+            let p_o = MosParams::pmos_default(w_o, 0.3);
+            b.add_mos("M1", MosPolarity::Nmos, p_in, u_in, g_in, x, inp, tail, vss)
+                .expect("valid");
+            b.add_mos("M2", MosPolarity::Nmos, p_in, u_in, g_in, y, inn, tail, vss)
+                .expect("valid");
+            b.add_mos("M3", MosPolarity::Pmos, p_ld, u_ld, g_ld, x, x, vdd, vdd)
+                .expect("valid");
+            b.add_mos("M4", MosPolarity::Pmos, p_ld, u_ld, g_ld, y, x, vdd, vdd)
+                .expect("valid");
+            b.add_mos("M5", MosPolarity::Nmos, p_t, u_t, g_tail, tail, nb, vss, vss)
+                .expect("valid");
+            b.add_mos("M6", MosPolarity::Pmos, p_o, 3, g_out, out, y, vdd, vdd)
+                .expect("valid");
+            b.add_mos("M7", MosPolarity::Nmos, p_t, u_t, g_tail, out, nb, vss, vss)
+                .expect("valid");
+            b.add_capacitor("CC1", c_c, 1, g_comp, y, out).expect("valid");
+            b.add_capacitor("CC2", c_c, 1, g_comp, y, out).expect("valid");
+            b.add_vsource("VBT", 0.6, nb, vss).expect("valid");
+        }
+    }
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::Out, out);
+    b.bind_port(PortRole::Bias, nb);
+    b.build().expect("generated ota is valid")
+}
+
+/// StrongARM comparator: clocked tail, NMOS input pair, NMOS and PMOS
+/// cross-coupled latch pairs, and 2 or 4 PMOS precharge switches (the
+/// `comparator` template).
+fn gen_comparator(name: &str, rng: &mut SplitMix64) -> Circuit {
+    let n_sw = if rng.coin() { 4u8 } else { 2 };
+    let u_t = rng.pick(&[3u32, 4]);
+    let u_in = rng.pick(&[3u32, 4]);
+    let w_in = rng.pick(&[2.0, 2.5]);
+    let w_ln = rng.pick(&[2.0, 2.5]);
+    let w_lp = rng.pick(&[2.5, 3.0]);
+    let u_sw = rng.pick(&[1u32, 2]);
+
+    let mut b = CircuitBuilder::new(name, CircuitClass::Comparator);
+    let vdd = b.net("vdd", NetKind::Power);
+    let vss = b.net("vss", NetKind::Ground);
+    let clk = b.net("clk", NetKind::Signal);
+    let inp = b.net("inp", NetKind::Signal);
+    let inn = b.net("inn", NetKind::Signal);
+    let tail = b.net("ntail", NetKind::Signal);
+    let xp = b.net("xp", NetKind::Signal);
+    let xn = b.net("xn", NetKind::Signal);
+    let outp = b.net("outp", NetKind::Signal);
+    let outn = b.net("outn", NetKind::Signal);
+
+    let g_tail = b.add_group("g_tail", GroupKind::TailSource).expect("fresh name");
+    let g_in = b.add_group("g_in", GroupKind::InputPair).expect("fresh name");
+    let g_ccn = b.add_group("g_ccn", GroupKind::CrossCoupledPair).expect("fresh name");
+    let g_ccp = b.add_group("g_ccp", GroupKind::CrossCoupledPair).expect("fresh name");
+    let g_sw = b.add_group("g_sw", GroupKind::Switch).expect("fresh name");
+
+    let pt = MosParams::nmos_default(3.0, 0.1);
+    let pin = MosParams::nmos_default(w_in, 0.1);
+    let pcn = MosParams::nmos_default(w_ln, 0.15);
+    let pcp = MosParams::pmos_default(w_lp, 0.15);
+    let psw = MosParams::pmos_default(1.0, 0.1);
+
+    b.add_mos("MTAIL", MosPolarity::Nmos, pt, u_t, g_tail, tail, clk, vss, vss)
+        .expect("valid");
+    b.add_mos("MINP", MosPolarity::Nmos, pin, u_in, g_in, xp, inp, tail, vss)
+        .expect("valid");
+    b.add_mos("MINN", MosPolarity::Nmos, pin, u_in, g_in, xn, inn, tail, vss)
+        .expect("valid");
+    b.add_mos("MLN1", MosPolarity::Nmos, pcn, 2, g_ccn, outp, outn, xp, vss)
+        .expect("valid");
+    b.add_mos("MLN2", MosPolarity::Nmos, pcn, 2, g_ccn, outn, outp, xn, vss)
+        .expect("valid");
+    b.add_mos("MLP1", MosPolarity::Pmos, pcp, 2, g_ccp, outp, outn, vdd, vdd)
+        .expect("valid");
+    b.add_mos("MLP2", MosPolarity::Pmos, pcp, 2, g_ccp, outn, outp, vdd, vdd)
+        .expect("valid");
+    let precharged = [outp, outn, xp, xn];
+    for (i, &net) in precharged.iter().take(n_sw as usize).enumerate() {
+        b.add_mos(&format!("MS{}", i + 1), MosPolarity::Pmos, psw, u_sw, g_sw, net, clk, vdd, vdd)
+            .expect("valid");
+    }
+
+    b.add_vsource("VDD", VDD, vdd, vss).expect("valid");
+    b.add_vsource("VCM", 0.55, inp, vss).expect("valid");
+    b.bind_port(PortRole::Vdd, vdd);
+    b.bind_port(PortRole::Vss, vss);
+    b.bind_port(PortRole::InP, inp);
+    b.bind_port(PortRole::InN, inn);
+    b.bind_port(PortRole::OutP, outp);
+    b.bind_port(PortRole::OutN, outn);
+    b.bind_port(PortRole::Clock, clk);
+    b.build().expect("generated comparator is valid")
+}
+
+// ---- PRNG ---------------------------------------------------------------
+
+/// SplitMix64: tiny, fast, and statistically fine for picking discrete
+/// design parameters. Implemented inline to keep the crate dependency-free
+/// and the byte stream pinned forever (a `rand` version bump must never
+/// change what `(family, seed)` generates).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick from a non-empty slice (copies the element).
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[(self.next_u64() % xs.len() as u64) as usize]
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + (self.next_u64() % u64::from(hi - lo + 1)) as u32
+    }
+
+    /// Fair coin.
+    fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::spice;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for family in FAMILIES {
+            for seed in [0u64, 1, 17, 4096] {
+                let a = generate(family, seed);
+                let b = generate(family, seed);
+                assert_eq!(a.spice, b.spice, "{family}/{seed}");
+                assert_eq!(a.groups, b.groups, "{family}/{seed}");
+                assert_eq!(a.grid_side, b.grid_side, "{family}/{seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_actually_vary_the_output() {
+        for family in FAMILIES {
+            let distinct: std::collections::BTreeSet<String> =
+                (0..8u64).map(|s| generate(family, s).spice).collect();
+            assert!(distinct.len() >= 2, "{family}: all 8 seeds produced one circuit");
+        }
+    }
+
+    #[test]
+    fn annotated_and_unannotated_dumps_parse() {
+        for family in FAMILIES {
+            for seed in 0..8u64 {
+                let g = generate(family, seed);
+                let full = spice::parse(&g.spice)
+                    .unwrap_or_else(|e| panic!("{family}/{seed}: annotated parse: {e}"));
+                assert!(full.has_symmetry_annotations(), "{family}/{seed}");
+                let bare = spice::parse(&g.spice_unannotated)
+                    .unwrap_or_else(|e| panic!("{family}/{seed}: bare parse: {e}"));
+                assert!(!bare.has_symmetry_annotations(), "{family}/{seed}");
+                assert_eq!(full.num_units(), bare.num_units(), "{family}/{seed}");
+                assert_eq!(full.num_units(), g.circuit.num_units(), "{family}/{seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_groups_survive_the_spice_round_trip() {
+        for family in FAMILIES {
+            for seed in 0..8u64 {
+                let g = generate(family, seed);
+                let reparsed = spice::parse(&g.spice).expect("parses");
+                let canon = |gs: &[GroupAssignment]| {
+                    let mut v: Vec<(String, Vec<String>)> = gs
+                        .iter()
+                        .map(|a| {
+                            let mut d = a.devices.clone();
+                            d.sort();
+                            (a.kind.to_string(), d)
+                        })
+                        .collect();
+                    v.sort();
+                    v
+                };
+                let from_parse: Vec<GroupAssignment> = reparsed
+                    .groups()
+                    .iter()
+                    .map(|grp| GroupAssignment {
+                        name: grp.name.clone(),
+                        kind: grp.kind,
+                        devices: grp
+                            .devices
+                            .iter()
+                            .map(|&d| reparsed.device(d).name.clone())
+                            .collect(),
+                    })
+                    .collect();
+                assert_eq!(canon(&from_parse), canon(&g.groups), "{family}/{seed}");
+            }
+        }
+    }
+
+    /// The load-bearing differential property: automatic extraction from
+    /// the un-annotated dump reproduces the generator's ground truth.
+    #[test]
+    fn extraction_matches_ground_truth_on_every_family() {
+        use breaksym_symmetry::extract::{canonical, extract_groups};
+        for family in FAMILIES {
+            for seed in 0..16u64 {
+                let g = generate(family, seed);
+                let bare = spice::parse(&g.spice_unannotated).expect("parses");
+                let derived = extract_groups(&bare);
+                assert_eq!(
+                    canonical(&derived.groups),
+                    canonical(&g.groups),
+                    "{family}/{seed}: derived {:?}\nnotes: {:?}",
+                    derived.groups,
+                    derived.notes
+                );
+            }
+        }
+    }
+}

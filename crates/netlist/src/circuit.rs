@@ -270,6 +270,83 @@ impl Circuit {
     pub fn total_unit_cells(&self) -> usize {
         self.units.len()
     }
+
+    /// Whether the circuit carries meaningful symmetry annotations.
+    ///
+    /// The SPICE parser drops every device that has no `.group` line into a
+    /// single implicit `ungrouped` group of kind [`GroupKind::Custom`]; a
+    /// circuit whose *only* group is that marker has no symmetry information
+    /// at all and is a candidate for automatic extraction.
+    pub fn has_symmetry_annotations(&self) -> bool {
+        !(self.groups.len() == 1
+            && self.groups[0].name == "ungrouped"
+            && self.groups[0].kind == GroupKind::Custom)
+    }
+
+    /// Rebuilds this circuit with a different symmetry-group partition.
+    ///
+    /// Everything else — name, class, nets (order and kinds), devices
+    /// (order, pins, sizings, unit counts), testbench sources, and port
+    /// bindings — is preserved verbatim. Each placeable device must appear
+    /// in exactly one assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownName`] if an assignment names a device
+    /// that does not exist, [`NetlistError::DuplicateName`] if two
+    /// assignments share a group name or claim the same device, and
+    /// [`NetlistError::Ungrouped`] if a placeable device is not covered by
+    /// any assignment.
+    pub fn with_groups(&self, assignments: &[GroupAssignment]) -> Result<Circuit, NetlistError> {
+        let mut b = CircuitBuilder::new(self.name.clone(), self.class);
+        for net in &self.nets {
+            b.add_net(&net.name, net.kind)?;
+        }
+        let mut owner: HashMap<&str, GroupId> = HashMap::new();
+        for a in assignments {
+            let gid = b.add_group(&a.name, a.kind)?;
+            for dev in &a.devices {
+                if self.find_device(dev).is_none() {
+                    return Err(NetlistError::UnknownName { kind: "device", name: dev.clone() });
+                }
+                if owner.insert(dev.as_str(), gid).is_some() {
+                    return Err(NetlistError::DuplicateName {
+                        kind: "device assignment",
+                        name: dev.clone(),
+                    });
+                }
+            }
+        }
+        for dev in &self.devices {
+            let group = owner.get(dev.name.as_str()).copied();
+            if dev.kind.is_placeable() && group.is_none() {
+                return Err(NetlistError::Ungrouped { device: dev.name.clone() });
+            }
+            b.add_device(Device {
+                name: dev.name.clone(),
+                kind: dev.kind,
+                pins: dev.pins.clone(),
+                num_units: dev.num_units,
+                group,
+            })?;
+        }
+        for &(role, net) in &self.ports {
+            b.bind_port(role, net);
+        }
+        b.build()
+    }
+}
+
+/// One group of a replacement symmetry partition for
+/// [`Circuit::with_groups`]: a named [`GroupKind`] bucket over device names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupAssignment {
+    /// Group name (must be unique within the partition).
+    pub name: String,
+    /// Symmetry kind of the group.
+    pub kind: GroupKind,
+    /// Names of the member devices.
+    pub devices: Vec<String>,
 }
 
 impl fmt::Display for Circuit {

@@ -42,7 +42,7 @@ pub mod lint;
 mod net;
 pub mod spice;
 
-pub use circuit::{Circuit, CircuitBuilder, CircuitClass, PortRole};
+pub use circuit::{Circuit, CircuitBuilder, CircuitClass, GroupAssignment, PortRole};
 pub use device::{Device, DeviceKind, MosParams, MosPolarity, Terminal};
 pub use error::NetlistError;
 pub use group::{Group, GroupKind};

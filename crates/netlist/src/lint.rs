@@ -49,6 +49,13 @@ pub enum LintWarning {
         /// The missing role (display form).
         role: String,
     },
+    /// The circuit carries no symmetry annotations at all (every device
+    /// fell into the parser's implicit `ungrouped` bucket), so placement
+    /// would run unconstrained unless groups are derived automatically.
+    MissingSymmetry {
+        /// Number of placeable devices lacking annotations.
+        devices: usize,
+    },
 }
 
 impl fmt::Display for LintWarning {
@@ -69,6 +76,9 @@ impl fmt::Display for LintWarning {
             }
             LintWarning::MissingClassPort { role } => {
                 write!(f, "circuit class requires unbound port `{role}`")
+            }
+            LintWarning::MissingSymmetry { devices } => {
+                write!(f, "no symmetry annotations: {devices} placeable devices are ungrouped")
             }
         }
     }
@@ -92,7 +102,15 @@ pub fn lint(circuit: &Circuit) -> Vec<LintWarning> {
     lint_groups(circuit, &mut warnings);
     lint_bulk_ties(circuit, &mut warnings);
     lint_class_ports(circuit, &mut warnings);
+    lint_missing_symmetry(circuit, &mut warnings);
     warnings
+}
+
+fn lint_missing_symmetry(circuit: &Circuit, out: &mut Vec<LintWarning>) {
+    if !circuit.has_symmetry_annotations() {
+        let devices = circuit.placeable_devices().count();
+        out.push(LintWarning::MissingSymmetry { devices });
+    }
 }
 
 fn pin_count(circuit: &Circuit, net: NetId) -> usize {
@@ -376,6 +394,34 @@ mod tests {
             w.iter().filter(|w| matches!(w, LintWarning::MissingClassPort { .. })).collect();
         assert_eq!(missing.len(), 5, "{w:?}");
         let _ = (vdd, vss, b.build());
+    }
+
+    #[test]
+    fn missing_symmetry_detected_on_unannotated_spice() {
+        let src = "\
+* bare diff pair, no .group lines
+.class generic
+M1 outp inp tail vss NMOS W=2 L=0.2
+M2 outn inn tail vss NMOS W=2 L=0.2
+R1 vdd outp 10k
+R2 vdd outn 10k
+I1 tail vss 20u
+V1 vdd vss 1.1
+.port inp inp
+.port inn inn
+.end
+";
+        let c = crate::spice::parse(src).unwrap();
+        assert!(!c.has_symmetry_annotations());
+        let w = lint(&c);
+        assert!(
+            w.iter()
+                .any(|w| matches!(w, LintWarning::MissingSymmetry { devices } if *devices == 4)),
+            "{w:?}"
+        );
+        // Hand-annotated circuits never trigger it.
+        let clean = lint(&circuits::diff_pair());
+        assert!(!clean.iter().any(|w| matches!(w, LintWarning::MissingSymmetry { .. })));
     }
 
     #[test]

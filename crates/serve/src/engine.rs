@@ -121,6 +121,9 @@ struct JobRecord {
     spec: JobSpec,
     state: JobState,
     status: Option<RunStatus>,
+    /// Netlist health warnings captured when the submission resolved,
+    /// echoed verbatim in every [`StatusResponse`] for the job.
+    warnings: Vec<String>,
     report: Option<Box<RunReport>>,
     checkpoint: Option<Box<RunCheckpoint>>,
     cancel: Arc<AtomicBool>,
@@ -131,7 +134,7 @@ struct JobRecord {
 }
 
 impl JobRecord {
-    fn new(spec: JobSpec) -> Self {
+    fn new(spec: JobSpec, warnings: Vec<String>) -> Self {
         // A spec that carries a checkpoint (a coordinator moving a dead
         // node's job here) starts from it: the worker's slice loop resumes
         // from `JobRecord::checkpoint` whenever one is present.
@@ -145,6 +148,7 @@ impl JobRecord {
             spec,
             state: JobState::Queued,
             status: None,
+            warnings,
             report: None,
             checkpoint,
             cancel: Arc::new(AtomicBool::new(false)),
@@ -363,7 +367,7 @@ impl ServeHandle {
         if self.shared.draining.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
-        spec.task.resolve()?;
+        let (_, warnings) = spec.task.resolve_with_warnings()?;
         let mut queue = self.shared.queue.lock().expect(POISONED);
         if queue.len() >= self.shared.cfg.queue_cap {
             return Err(ServeError::QueueFull { capacity: self.shared.cfg.queue_cap });
@@ -371,7 +375,7 @@ impl ServeHandle {
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let mut jobs = self.shared.jobs.lock().expect(POISONED);
-            jobs.insert(id, JobRecord::new(spec));
+            jobs.insert(id, JobRecord::new(spec, warnings));
             // Submission is the natural beat of a busy server — enforce
             // retention here so the registry never outgrows the policy.
             self.shared.evict_terminal(&mut jobs);
@@ -392,7 +396,12 @@ impl ServeHandle {
     pub fn status(&self, id: JobId) -> Result<StatusResponse, ServeError> {
         let jobs = self.shared.jobs.lock().expect(POISONED);
         let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
-        Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
+        Ok(StatusResponse {
+            id,
+            state: job.state.clone(),
+            status: job.status,
+            warnings: job.warnings.clone(),
+        })
     }
 
     /// The final report of a completed job.
@@ -462,7 +471,12 @@ impl ServeHandle {
             JobState::Running => job.cancel.store(true, Ordering::SeqCst),
             _ => {}
         }
-        Ok(StatusResponse { id, state: job.state.clone(), status: job.status })
+        Ok(StatusResponse {
+            id,
+            state: job.state.clone(),
+            status: job.status,
+            warnings: job.warnings.clone(),
+        })
     }
 
     /// A point-in-time snapshot of the whole server: queue depth,
@@ -578,7 +592,12 @@ impl ServeHandle {
         loop {
             let job = jobs.get(&id.0).ok_or_else(|| self.shared.missing(id))?;
             if job.state.is_terminal() {
-                return Ok(StatusResponse { id, state: job.state.clone(), status: job.status });
+                return Ok(StatusResponse {
+                    id,
+                    state: job.state.clone(),
+                    status: job.status,
+                    warnings: job.warnings.clone(),
+                });
             }
             let Some(remaining) = deadline.checked_duration_since(self.shared.clock.now()) else {
                 return Err(ServeError::NotReady {

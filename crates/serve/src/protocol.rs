@@ -75,14 +75,35 @@ impl TaskSpec {
         TaskSpec::Benchmark { name: name.into(), lde_seed, lde: None }
     }
 
-    /// Resolves the spec into a runnable [`PlacementTask`]. Benchmarks
-    /// get the same grid sides the `repro` figures use.
+    /// Resolves the spec into a runnable [`PlacementTask`], discarding the
+    /// netlist health warnings [`TaskSpec::resolve_with_warnings`] reports.
     ///
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] on an unknown benchmark name or an
     /// unparsable netlist.
     pub fn resolve(&self) -> Result<PlacementTask, ServeError> {
+        self.resolve_with_warnings().map(|(task, _)| task)
+    }
+
+    /// Resolves the spec into a runnable [`PlacementTask`] plus the
+    /// warnings a caller should surface. Benchmarks get the same grid
+    /// sides the `repro` figures use and never warn.
+    ///
+    /// For [`TaskSpec::Spice`] the netlist is linted
+    /// ([`breaksym_netlist::lint`]); when it carries no symmetry
+    /// annotations at all, groups are derived automatically
+    /// ([`breaksym_symmetry::extract`]) instead of silently placing the
+    /// circuit unconstrained, and missing testbench wiring (ports,
+    /// supply/bias sources) is completed by [`breaksym_sim::autowire`].
+    /// Every derivation step is reported as a warning so the submitter
+    /// can audit what was assumed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on an unknown benchmark name or an
+    /// unparsable netlist.
+    pub fn resolve_with_warnings(&self) -> Result<(PlacementTask, Vec<String>), ServeError> {
         match self {
             TaskSpec::Benchmark { name, lde_seed, lde } => {
                 let (circuit, side) = match name.as_str() {
@@ -101,13 +122,31 @@ impl TaskSpec {
                         })
                     }
                 };
-                Ok(PlacementTask::new(circuit, side, lde_for(lde, *lde_seed)))
+                Ok((PlacementTask::new(circuit, side, lde_for(lde, *lde_seed)), Vec::new()))
             }
             TaskSpec::Spice { netlist, grid, lde_seed, lde } => {
-                let circuit = breaksym_netlist::spice::parse(netlist).map_err(|e| {
+                let mut circuit = breaksym_netlist::spice::parse(netlist).map_err(|e| {
                     ServeError::BadRequest { reason: format!("netlist does not parse: {e}") }
                 })?;
-                Ok(PlacementTask::new(circuit, *grid, lde_for(lde, *lde_seed)))
+                let mut warnings: Vec<String> =
+                    breaksym_netlist::lint::lint(&circuit).iter().map(|w| w.to_string()).collect();
+                if !circuit.has_symmetry_annotations() {
+                    let extraction = breaksym_symmetry::extract::extract_groups(&circuit);
+                    warnings.extend(extraction.notes.iter().map(|n| format!("extract: {n}")));
+                    warnings.push(format!(
+                        "derived {} symmetry groups automatically; add `.group` \
+                         annotations to override",
+                        extraction.groups.len()
+                    ));
+                    circuit = extraction.apply(&circuit).map_err(|e| ServeError::BadRequest {
+                        reason: format!("derived symmetry groups do not apply: {e}"),
+                    })?;
+                }
+                let wired = breaksym_sim::autowire(&circuit).map_err(|e| {
+                    ServeError::BadRequest { reason: format!("netlist cannot be auto-wired: {e}") }
+                })?;
+                warnings.extend(wired.actions.iter().map(|a| format!("autowire: {a}")));
+                Ok((PlacementTask::new(wired.circuit, *grid, lde_for(lde, *lde_seed)), warnings))
             }
         }
     }
@@ -251,6 +290,11 @@ pub struct StatusResponse {
     /// Live progress, present once at least one slice has completed.
     #[serde(default)]
     pub status: Option<RunStatus>,
+    /// Netlist health warnings recorded at submission: lint findings,
+    /// automatically derived symmetry groups, and auto-wiring actions.
+    /// Empty for built-in benchmarks and fully annotated netlists.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub warnings: Vec<String>,
 }
 
 /// Answer to a successful submission.
@@ -445,6 +489,38 @@ mod tests {
     }
 
     #[test]
+    fn benchmarks_resolve_without_warnings() {
+        let (_, warnings) = TaskSpec::benchmark("cm", 7).resolve_with_warnings().unwrap();
+        assert!(warnings.is_empty(), "benchmarks are curated: {warnings:?}");
+    }
+
+    #[test]
+    fn bare_spice_submissions_surface_derivation_warnings() {
+        // No `.group` lines, no ports, no sources: the server must derive
+        // symmetry groups and wire a testbench rather than silently
+        // placing the circuit unconstrained — and say so.
+        let bare = "
+.title bare_mirror
+M1 nref nref vss vss NMOS W=2 L=0.4 UNITS=2
+M2 iout0 nref vss vss NMOS W=2 L=0.4 UNITS=2
+.end
+";
+        let spec = TaskSpec::Spice { netlist: bare.to_string(), grid: 10, lde_seed: 3, lde: None };
+        let (task, warnings) = spec.resolve_with_warnings().unwrap();
+        assert!(task.circuit.has_symmetry_annotations(), "resolution applies the derived groups");
+        assert!(
+            warnings.iter().any(|w| w.contains("derived") && w.contains("symmetry")),
+            "missing derived-groups warning in {warnings:?}"
+        );
+        assert!(
+            warnings.iter().any(|w| w.starts_with("autowire: ")),
+            "missing autowire actions in {warnings:?}"
+        );
+        // Same spec, same warnings — resolution is deterministic.
+        assert_eq!(warnings, spec.resolve_with_warnings().unwrap().1);
+    }
+
+    #[test]
     fn job_spec_round_trips_and_defaults_apply() {
         let spec = JobSpec::new(
             TaskSpec::benchmark("cm", 7),
@@ -479,6 +555,7 @@ mod tests {
             id: JobId(3),
             state: JobState::Cancelled { resumable: true },
             status: None,
+            warnings: Vec::new(),
         };
         let v = serde_json::to_value(&s).unwrap();
         assert_eq!(v["id"], 3);

@@ -14,6 +14,9 @@
 //! - complex **AC** solver at the DC operating point ([`AcSolver`]);
 //! - class-specific testbenches ([`Testbench`]) producing [`Metrics`] for
 //!   the paper's three circuit classes (CM, COMP, OTA);
+//! - testbench auto-wiring ([`autowire`]) that completes bare user
+//!   netlists: ports inferred by net kind/name, missing supply/reference/
+//!   bias sources injected deterministically;
 //! - a per-circuit [`SolverWorkspace`] arena so repeated evaluations (and
 //!   [`Evaluator::evaluate_batch`] over many candidates) allocate nothing
 //!   after warmup, bit-identically to fresh solves;
@@ -42,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod ac;
+mod autowire;
 mod cache;
 mod complex;
 mod counter;
@@ -59,6 +63,7 @@ mod tran;
 mod workspace;
 
 pub use ac::{AcSolver, AcSweep};
+pub use autowire::{autowire, Autowired};
 pub use cache::{CacheExportEntry, CacheStats, EvalCache, StatsSnapshot, DEFAULT_CACHE_CAPACITY};
 pub use complex::Complex;
 pub use counter::SimCounter;

@@ -1,0 +1,708 @@
+//! Automatic symmetry-constraint extraction from an un-annotated circuit.
+//!
+//! Users bringing their own SPICE rarely annotate symmetry groups, yet the
+//! whole optimisation stack (mismatch weights, baseline generators,
+//! top-level agent moves) is built on them. This module derives the same
+//! [`GroupAssignment`] partition a designer would write by hand, using two
+//! cooperating mechanisms in the spirit of ALIGN's hierarchical annotation
+//! (Kunal et al., arXiv 2010.00051):
+//!
+//! 1. **Template classification.** Analog primitives have rigid local
+//!    signatures over the bipartite device/net graph: a cross-coupled pair
+//!    is two identical devices with gates swapped onto each other's drains;
+//!    an input pair shares a signal-kind source node; mirror legs share
+//!    gate and source rails; cascodes share a gate while their sources sit
+//!    on distinct drain nodes of the row below. The rules run in a fixed
+//!    order (cross-coupled → input pair → tail → switch → mirror → cascode
+//!    → passive) so that the structurally most specific pattern claims its
+//!    devices first — e.g. clocked precharge switches share gate *and*
+//!    source and would otherwise be mis-read as a mirror.
+//! 2. **Signature refinement.** A Weisfeiler-Lehman-style relabelling over
+//!    the device/net graph (device type + sizing + pin-to-net
+//!    neighbourhoods, iterated to a fixpoint) yields structural
+//!    equivalence classes. Refinement alone over-splits matched arrays —
+//!    the reference leg of a mirror sees a different far neighbourhood
+//!    than its outputs — so it is not the grouping engine; it merges
+//!    template-leftover devices into matched [`GroupKind::Custom`] arrays
+//!    and flags ambiguity.
+//!
+//! The partition is returned as plain [`GroupAssignment`]s; apply it with
+//! [`Circuit::with_groups`]. On every hand-annotated library benchmark the
+//! derived partition reproduces the annotations exactly (see the golden
+//! tests in `tests/extract_golden.rs`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use breaksym_netlist::{
+    Circuit, Device, DeviceId, DeviceKind, GroupAssignment, GroupKind, MosPolarity, NetId, NetKind,
+    NetlistError, PortRole, Terminal,
+};
+
+/// A derived symmetry partition plus human-readable derivation notes.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// The derived groups, covering every placeable device exactly once.
+    pub groups: Vec<GroupAssignment>,
+    /// Ambiguities and fallbacks encountered while deriving — empty when
+    /// every device matched a primitive template cleanly.
+    pub notes: Vec<String>,
+}
+
+impl Extraction {
+    /// Rebuilds `circuit` with the derived groups in place of whatever
+    /// grouping (typically the parser's implicit `ungrouped` bucket) it
+    /// carried.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::with_groups`] errors; extraction covers every
+    /// placeable device, so this only fails if `circuit` is not the one
+    /// the extraction was derived from.
+    pub fn apply(&self, circuit: &Circuit) -> Result<Circuit, NetlistError> {
+        circuit.with_groups(&self.groups)
+    }
+}
+
+/// Derives symmetry groups for every placeable device of `circuit`.
+///
+/// Existing group annotations are ignored entirely, which makes the
+/// function usable both on un-annotated parses and as a differential check
+/// against hand annotations.
+///
+/// # Examples
+///
+/// ```
+/// use breaksym_netlist::circuits;
+/// use breaksym_symmetry::extract::{canonical, extract_groups, hand_annotations};
+///
+/// let c = circuits::folded_cascode_ota();
+/// let derived = extract_groups(&c);
+/// assert_eq!(canonical(&derived.groups), canonical(&hand_annotations(&c)));
+/// ```
+pub fn extract_groups(circuit: &Circuit) -> Extraction {
+    Classifier::new(circuit).run()
+}
+
+/// The hand annotations of `circuit` as a [`GroupAssignment`] partition,
+/// for differential comparison against [`extract_groups`].
+pub fn hand_annotations(circuit: &Circuit) -> Vec<GroupAssignment> {
+    circuit
+        .groups()
+        .iter()
+        .map(|g| GroupAssignment {
+            name: g.name.clone(),
+            kind: g.kind,
+            devices: g.devices.iter().map(|&d| circuit.device(d).name.clone()).collect(),
+        })
+        .collect()
+}
+
+/// Canonical form of a partition: group names are dropped, device lists
+/// and the group list are sorted. Two partitions constrain placement
+/// identically iff their canonical forms are equal.
+pub fn canonical(groups: &[GroupAssignment]) -> Vec<(String, Vec<String>)> {
+    let mut v: Vec<(String, Vec<String>)> = groups
+        .iter()
+        .map(|g| {
+            let mut devices = g.devices.clone();
+            devices.sort();
+            (g.kind.to_string(), devices)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+struct Classifier<'a> {
+    c: &'a Circuit,
+    taken: Vec<bool>,
+    groups: Vec<GroupAssignment>,
+    notes: Vec<String>,
+    /// Shared source nets of the input pairs found by the input-pair rule;
+    /// the tail rule looks for devices whose drain feeds one of these.
+    pair_tails: Vec<NetId>,
+}
+
+impl<'a> Classifier<'a> {
+    fn new(c: &'a Circuit) -> Self {
+        Classifier {
+            c,
+            taken: vec![false; c.devices().len()],
+            groups: Vec::new(),
+            notes: Vec::new(),
+            pair_tails: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Extraction {
+        self.cross_coupled_pairs();
+        self.input_pairs();
+        self.tail_sources();
+        self.switches();
+        self.current_mirrors();
+        self.cascode_pairs();
+        self.passives();
+        self.leftovers();
+        Extraction { groups: self.groups, notes: self.notes }
+    }
+
+    // ---- shared helpers -------------------------------------------------
+
+    fn dev(&self, d: DeviceId) -> &Device {
+        self.c.device(d)
+    }
+
+    fn free_mos(&self) -> Vec<DeviceId> {
+        self.c
+            .placeable_devices()
+            .filter(|&d| !self.taken[d.index()] && self.dev(d).mos_polarity().is_some())
+            .collect()
+    }
+
+    fn emit(&mut self, name: String, kind: GroupKind, members: &[DeviceId]) {
+        let devices: Vec<String> = members.iter().map(|&d| self.c.device(d).name.clone()).collect();
+        for &d in members {
+            self.taken[d.index()] = true;
+        }
+        self.groups.push(GroupAssignment { name, kind, devices });
+    }
+
+    fn gate(&self, d: DeviceId) -> NetId {
+        self.dev(d).pin(Terminal::Gate).expect("MOS has a gate")
+    }
+
+    fn drain(&self, d: DeviceId) -> NetId {
+        self.dev(d).pin(Terminal::Drain).expect("MOS has a drain")
+    }
+
+    fn source(&self, d: DeviceId) -> NetId {
+        self.dev(d).pin(Terminal::Source).expect("MOS has a source")
+    }
+
+    fn pol_tag(&self, d: DeviceId) -> u8 {
+        match self.dev(d).mos_polarity().expect("MOS") {
+            MosPolarity::Nmos => 0,
+            MosPolarity::Pmos => 1,
+        }
+    }
+
+    // ---- rules, most specific first -------------------------------------
+
+    /// Cross-coupled pair: two identical same-polarity devices whose gates
+    /// land on each other's (distinct) drains. Requiring an identical type
+    /// signature rejects the cross-polarity false pairs a latch also
+    /// contains (its NMOS and PMOS halves satisfy the wiring relation).
+    fn cross_coupled_pairs(&mut self) {
+        let mos = self.free_mos();
+        let mut n = 0usize;
+        for (i, &a) in mos.iter().enumerate() {
+            if self.taken[a.index()] {
+                continue;
+            }
+            for &b in &mos[i + 1..] {
+                if self.taken[b.index()] {
+                    continue;
+                }
+                let coupled = type_sig(self.dev(a)) == type_sig(self.dev(b))
+                    && self.drain(a) != self.drain(b)
+                    && self.gate(a) != self.drain(a) // not a diode self-loop
+                    && self.gate(b) != self.drain(b)
+                    && self.gate(a) == self.drain(b)
+                    && self.gate(b) == self.drain(a);
+                if coupled {
+                    n += 1;
+                    self.emit(format!("x_cc{n}"), GroupKind::CrossCoupledPair, &[a, b]);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Differential input pair: exactly two identical devices sharing a
+    /// signal-kind source net with distinct gate nets. Supply- or
+    /// ground-sourced devices never qualify — that shape is a mirror row
+    /// or a switch bank.
+    fn input_pairs(&mut self) {
+        let mut buckets: BTreeMap<(u8, u64, NetId), Vec<DeviceId>> = BTreeMap::new();
+        for d in self.free_mos() {
+            let s = self.source(d);
+            if self.c.net(s).kind != NetKind::Signal {
+                continue;
+            }
+            buckets.entry((self.pol_tag(d), type_sig(self.dev(d)), s)).or_default().push(d);
+        }
+        let mut n = 0usize;
+        for ((_, _, s), members) in buckets {
+            if members.len() == 2 && self.gate(members[0]) != self.gate(members[1]) {
+                n += 1;
+                self.emit(format!("x_in{n}"), GroupKind::InputPair, &members);
+                self.pair_tails.push(s);
+            } else if members.len() > 2 {
+                self.notes.push(format!(
+                    "ambiguous input-pair candidate: {} identical devices share source net \
+                     `{}`; left to later rules",
+                    members.len(),
+                    self.c.net(s).name
+                ));
+            }
+        }
+    }
+
+    /// Tail current source: any device whose drain feeds an input pair's
+    /// shared source net, plus every free device sharing its polarity,
+    /// gate and source rails (a split tail, e.g. the matched second-stage
+    /// sink of a two-stage OTA).
+    fn tail_sources(&mut self) {
+        let tails = std::mem::take(&mut self.pair_tails);
+        let mut n = 0usize;
+        for tnet in tails {
+            let mut members: Vec<DeviceId> =
+                self.free_mos().into_iter().filter(|&d| self.drain(d) == tnet).collect();
+            if members.is_empty() {
+                continue;
+            }
+            // Absorb same-rail companions of any member until stable.
+            loop {
+                let candidates = self.free_mos();
+                let mut grew = false;
+                for d in candidates {
+                    if members.contains(&d) {
+                        continue;
+                    }
+                    let twin = members.iter().any(|&t| {
+                        self.pol_tag(d) == self.pol_tag(t)
+                            && self.gate(d) == self.gate(t)
+                            && self.source(d) == self.source(t)
+                    });
+                    if twin {
+                        members.push(d);
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    break;
+                }
+                // `free_mos` still lists `members` (marked taken in
+                // `emit`), so membership is tracked via the vec itself.
+            }
+            n += 1;
+            self.emit(format!("x_tail{n}"), GroupKind::TailSource, &members);
+        }
+    }
+
+    /// Clocked switches: devices gated by the clock net (the bound Clock
+    /// port, or failing that a net literally named `clk`/`clock`),
+    /// bucketed by polarity and size. Must run after the tail rule (a
+    /// dynamic comparator's tail is also clock-gated) and before the
+    /// mirror rule (precharge banks share gate and source rails).
+    fn switches(&mut self) {
+        let clock = self
+            .c
+            .port(PortRole::Clock)
+            .or_else(|| self.c.find_net("clk"))
+            .or_else(|| self.c.find_net("clock"));
+        let Some(clock) = clock else { return };
+        let mut buckets: BTreeMap<(u8, u64), Vec<DeviceId>> = BTreeMap::new();
+        for d in self.free_mos() {
+            if self.gate(d) == clock {
+                buckets.entry((self.pol_tag(d), type_sig(self.dev(d)))).or_default().push(d);
+            }
+        }
+        let mut n = 0usize;
+        for (_, members) in buckets {
+            if members.len() >= 2 {
+                n += 1;
+                self.emit(format!("x_sw{n}"), GroupKind::Switch, &members);
+            } else {
+                self.notes.push(format!(
+                    "lone clock-gated device `{}` has no switch partner",
+                    self.dev(members[0]).name
+                ));
+            }
+        }
+    }
+
+    /// Current mirror: two or more same-polarity devices sharing gate and
+    /// source rails. Widths and unit counts may differ (ratioed mirrors);
+    /// a shared channel length is required for the legs to track.
+    fn current_mirrors(&mut self) {
+        let mut buckets: BTreeMap<(u8, NetId, NetId), Vec<DeviceId>> = BTreeMap::new();
+        for d in self.free_mos() {
+            buckets
+                .entry((self.pol_tag(d), self.gate(d), self.source(d)))
+                .or_default()
+                .push(d);
+        }
+        let mut n = 0usize;
+        for ((_, g, _), members) in buckets {
+            if members.len() < 2 {
+                continue;
+            }
+            let l0 = self.dev(members[0]).mos_params().expect("MOS").l_um;
+            if members.iter().all(|&d| self.dev(d).mos_params().expect("MOS").l_um == l0) {
+                n += 1;
+                self.emit(format!("x_mir{n}"), GroupKind::CurrentMirror, &members);
+            } else {
+                self.notes.push(format!(
+                    "devices sharing gate net `{}` have mixed channel lengths; not \
+                     grouped as a mirror",
+                    self.c.net(g).name
+                ));
+            }
+        }
+    }
+
+    /// Cascode row: identical same-polarity devices sharing a gate whose
+    /// (pairwise distinct) sources each sit on a drain of the row below.
+    fn cascode_pairs(&mut self) {
+        let drains: BTreeSet<NetId> = self
+            .c
+            .placeable_devices()
+            .filter(|&d| self.dev(d).mos_polarity().is_some())
+            .map(|d| self.drain(d))
+            .collect();
+        let mut buckets: BTreeMap<(u8, u64, NetId), Vec<DeviceId>> = BTreeMap::new();
+        for d in self.free_mos() {
+            buckets
+                .entry((self.pol_tag(d), type_sig(self.dev(d)), self.gate(d)))
+                .or_default()
+                .push(d);
+        }
+        let mut n = 0usize;
+        for (_, members) in buckets {
+            if members.len() < 2 {
+                continue;
+            }
+            let sources: BTreeSet<NetId> = members.iter().map(|&d| self.source(d)).collect();
+            let stacked =
+                sources.len() == members.len() && sources.iter().all(|s| drains.contains(s));
+            if stacked {
+                n += 1;
+                self.emit(format!("x_cas{n}"), GroupKind::CascodePair, &members);
+            }
+        }
+    }
+
+    /// Matched passives: resistors/capacitors of identical value and unit
+    /// count form one matched array.
+    fn passives(&mut self) {
+        let mut buckets: BTreeMap<(char, u64, u32), Vec<DeviceId>> = BTreeMap::new();
+        for d in self.c.placeable_devices() {
+            if self.taken[d.index()] {
+                continue;
+            }
+            let dev = self.dev(d);
+            let value = match dev.kind {
+                DeviceKind::Resistor { ohms } => ohms,
+                DeviceKind::Capacitor { farads } => farads,
+                _ => continue,
+            };
+            buckets
+                .entry((dev.kind.prefix(), value.to_bits(), dev.num_units))
+                .or_default()
+                .push(d);
+        }
+        let mut n = 0usize;
+        for (_, members) in buckets {
+            if members.len() >= 2 {
+                n += 1;
+                self.emit(format!("x_pas{n}"), GroupKind::Passive, &members);
+            }
+        }
+    }
+
+    /// Whatever matched no template becomes custom groups; refinement
+    /// classes merge structurally interchangeable leftovers into one
+    /// matched array instead of scattering them as singletons.
+    fn leftovers(&mut self) {
+        let classes = refinement_classes(self.c);
+        let mut buckets: BTreeMap<u64, Vec<DeviceId>> = BTreeMap::new();
+        for d in self.c.placeable_devices() {
+            if !self.taken[d.index()] {
+                buckets.entry(classes[d.index()]).or_default().push(d);
+            }
+        }
+        let mut groups: Vec<Vec<DeviceId>> = buckets.into_values().collect();
+        groups.sort_by_key(|members| members[0]);
+        for (i, members) in groups.into_iter().enumerate() {
+            let names: Vec<String> =
+                members.iter().map(|&d| self.c.device(d).name.clone()).collect();
+            self.notes.push(format!(
+                "no primitive template matched [{}]; grouped as custom",
+                names.join(", ")
+            ));
+            self.emit(format!("x_custom{}", i + 1), GroupKind::Custom, &members);
+        }
+    }
+}
+
+// ---- signatures ---------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+fn mix_str(h: u64, s: &str) -> u64 {
+    s.bytes().fold(h, |h, b| mix(h, u64::from(b)))
+}
+
+/// Electrical type signature of a device: kind, polarity, sizing and unit
+/// count — everything that must agree for two devices to be matchable.
+fn type_sig(d: &Device) -> u64 {
+    let mut h = mix(FNV_OFFSET, u64::from(d.num_units));
+    match d.kind {
+        DeviceKind::Mos { polarity, params } => {
+            h = mix(h, 1);
+            h = mix(
+                h,
+                match polarity {
+                    MosPolarity::Nmos => 10,
+                    MosPolarity::Pmos => 11,
+                },
+            );
+            for f in [
+                params.w_um,
+                params.l_um,
+                params.vth0,
+                params.kp,
+                params.lambda,
+            ] {
+                h = mix(h, f.to_bits());
+            }
+        }
+        DeviceKind::Resistor { ohms } => {
+            h = mix(h, 2);
+            h = mix(h, ohms.to_bits());
+        }
+        DeviceKind::Capacitor { farads } => {
+            h = mix(h, 3);
+            h = mix(h, farads.to_bits());
+        }
+        DeviceKind::CurrentSource { amps } => {
+            h = mix(h, 4);
+            h = mix(h, amps.to_bits());
+        }
+        DeviceKind::VoltageSource { volts } => {
+            h = mix(h, 5);
+            h = mix(h, volts.to_bits());
+        }
+    }
+    h
+}
+
+/// Weisfeiler-Lehman-style signature refinement over the bipartite
+/// device/net graph, iterated until the partition stops splitting.
+///
+/// Device labels start from [`type_sig`]; net labels from the net kind and
+/// any bound port roles. Each round rehashes every device over its ordered
+/// pin labels and every net over the sorted multiset of (pin position,
+/// device label) pairs touching it. The returned vector gives one class
+/// label per device (indexed like [`Circuit::devices`]): equal labels mean
+/// the devices are structurally interchangeable at the fixpoint.
+pub fn refinement_classes(circuit: &Circuit) -> Vec<u64> {
+    let devices = circuit.devices();
+    let nets = circuit.nets();
+    let mut dev: Vec<u64> = devices.iter().map(type_sig).collect();
+    let mut net: Vec<u64> = (0..nets.len())
+        .map(|i| {
+            let id = NetId::new(i as u32);
+            let mut h = mix(
+                FNV_OFFSET,
+                match nets[i].kind {
+                    NetKind::Signal => 20,
+                    NetKind::Power => 21,
+                    NetKind::Ground => 22,
+                    NetKind::Bias => 23,
+                },
+            );
+            let mut roles: Vec<String> = circuit
+                .ports()
+                .iter()
+                .filter(|&&(_, n)| n == id)
+                .map(|(r, _)| r.to_string())
+                .collect();
+            roles.sort();
+            for r in &roles {
+                h = mix_str(h, r);
+            }
+            h
+        })
+        .collect();
+
+    let mut distinct = count_distinct(&dev) + count_distinct(&net);
+    for _ in 0..devices.len() + nets.len() {
+        // Nets absorb the sorted multiset of adjacent (pin position,
+        // device label) pairs; sorting keeps the hash independent of
+        // device declaration order.
+        let mut incident: Vec<Vec<u64>> = vec![Vec::new(); nets.len()];
+        for (di, d) in devices.iter().enumerate() {
+            for (pi, &p) in d.pins.iter().enumerate() {
+                incident[p.index()].push(mix(mix(FNV_OFFSET, pi as u64), dev[di]));
+            }
+        }
+        let net2: Vec<u64> = net
+            .iter()
+            .enumerate()
+            .map(|(i, &h0)| {
+                let mut inc = std::mem::take(&mut incident[i]);
+                inc.sort_unstable();
+                inc.iter().fold(mix(FNV_OFFSET, h0), |h, &v| mix(h, v))
+            })
+            .collect();
+        // Devices absorb their pin labels in terminal order.
+        let dev2: Vec<u64> = devices
+            .iter()
+            .enumerate()
+            .map(|(di, d)| {
+                d.pins.iter().enumerate().fold(mix(FNV_OFFSET, dev[di]), |h, (pi, &p)| {
+                    mix(mix(h, pi as u64), net2[p.index()])
+                })
+            })
+            .collect();
+        dev = dev2;
+        net = net2;
+        let now = count_distinct(&dev) + count_distinct(&net);
+        if now == distinct {
+            break;
+        }
+        distinct = now;
+    }
+    dev
+}
+
+fn count_distinct(labels: &[u64]) -> usize {
+    labels.iter().collect::<BTreeSet<_>>().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use breaksym_netlist::circuits;
+
+    fn assert_reproduces(c: &Circuit) {
+        let derived = extract_groups(c);
+        assert_eq!(
+            canonical(&derived.groups),
+            canonical(&hand_annotations(c)),
+            "{}: derived {:?}\nnotes: {:?}",
+            c.name(),
+            derived.groups,
+            derived.notes
+        );
+    }
+
+    #[test]
+    fn reproduces_all_hand_annotated_benchmarks() {
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+            circuits::five_transistor_ota(),
+            circuits::two_stage_miller(),
+            circuits::diff_pair(),
+            circuits::resistor_string(3),
+        ] {
+            assert_reproduces(&c);
+        }
+    }
+
+    #[test]
+    fn paper_benchmarks_extract_without_notes() {
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+        ] {
+            let derived = extract_groups(&c);
+            assert!(derived.notes.is_empty(), "{}: {:?}", c.name(), derived.notes);
+        }
+    }
+
+    #[test]
+    fn extraction_survives_a_spice_round_trip_without_annotations() {
+        for c in [
+            circuits::current_mirror_medium(),
+            circuits::comparator(),
+            circuits::folded_cascode_ota(),
+        ] {
+            let spice = breaksym_netlist::spice::write(&c);
+            let stripped: String = spice
+                .lines()
+                .filter(|l| !l.trim_start().starts_with(".group"))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            let bare = breaksym_netlist::spice::parse(&stripped).unwrap();
+            assert!(!bare.has_symmetry_annotations(), "{}", c.name());
+            let derived = extract_groups(&bare);
+            assert_eq!(
+                canonical(&derived.groups),
+                canonical(&hand_annotations(&c)),
+                "{}",
+                c.name()
+            );
+            // And applying the derivation yields an annotated circuit.
+            let regrouped = derived.apply(&bare).unwrap();
+            assert!(regrouped.has_symmetry_annotations());
+            assert_eq!(regrouped.num_units(), c.num_units());
+        }
+    }
+
+    #[test]
+    fn fig2_leftovers_merge_into_one_custom_array() {
+        // No primitive template matches fig2's abstract diode stacks; the
+        // refinement classes merge all six automorphic devices into a
+        // single matched custom array rather than six singletons.
+        let derived = extract_groups(&circuits::fig2_example());
+        assert_eq!(derived.groups.len(), 1, "{:?}", derived.groups);
+        assert_eq!(derived.groups[0].kind, GroupKind::Custom);
+        assert_eq!(derived.groups[0].devices.len(), 6);
+        assert!(!derived.notes.is_empty());
+    }
+
+    #[test]
+    fn apply_rejects_foreign_circuits() {
+        let derived = extract_groups(&circuits::diff_pair());
+        assert!(derived.apply(&circuits::comparator()).is_err());
+    }
+
+    #[test]
+    fn refinement_merges_automorphic_devices_and_splits_distinct_roles() {
+        // fig2's six diode-connected devices are pairwise automorphic:
+        // refinement must keep them in one class (the leftover rule then
+        // derives a single matched array for them).
+        let c = circuits::fig2_example();
+        let classes = refinement_classes(&c);
+        let id = |c: &Circuit, n: &str| c.find_device(n).unwrap().index();
+        let first = classes[id(&c, "M00")];
+        for name in ["M01", "M10", "M11", "M20", "M21"] {
+            assert_eq!(classes[id(&c, name)], first, "{name}");
+        }
+        // In the comparator, ports and the testbench break the symmetry —
+        // refinement over-splits matched pairs (which is exactly why the
+        // template rules, not refinement, do the grouping) but must still
+        // separate devices with genuinely different roles.
+        let c = circuits::comparator();
+        let classes = refinement_classes(&c);
+        assert_ne!(classes[id(&c, "MTAIL")], classes[id(&c, "MINP")]);
+        assert_ne!(classes[id(&c, "MLN1")], classes[id(&c, "MLP1")]);
+        assert_ne!(classes[id(&c, "MS1")], classes[id(&c, "MINP")]);
+    }
+
+    #[test]
+    fn canonical_ignores_names_and_order() {
+        let a = vec![GroupAssignment {
+            name: "x".into(),
+            kind: GroupKind::InputPair,
+            devices: vec!["M2".into(), "M1".into()],
+        }];
+        let b = vec![GroupAssignment {
+            name: "y".into(),
+            kind: GroupKind::InputPair,
+            devices: vec!["M1".into(), "M2".into()],
+        }];
+        assert_eq!(canonical(&a), canonical(&b));
+    }
+}

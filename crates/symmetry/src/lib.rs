@@ -13,6 +13,11 @@
 //!   groups, exercised by the dummy ablation (at the area cost the paper
 //!   calls out).
 //!
+//! The [`extract`] module goes the other way: instead of *consuming*
+//! symmetry annotations it *derives* them from an un-annotated circuit
+//! graph, so bring-your-own netlists get the same constraint structure the
+//! hand-annotated benchmarks ship with.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,6 +32,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod extract;
 
 use breaksym_geometry::{GridPoint, GridSpec, Transform};
 use breaksym_layout::{LayoutEnv, LayoutError, Placement};

@@ -1,0 +1,115 @@
+//! Regression pins and differential properties for the automatic
+//! symmetry extractor.
+//!
+//! The three paper benchmarks (CM, COMP, OTA) carry curated hand
+//! annotations; [`breaksym_symmetry::extract::extract_groups`] must
+//! reproduce them exactly, up to group names and ordering. The expected
+//! partitions are additionally pinned as golden JSON files so a drift in
+//! *either* the extractor *or* the library circuits fails loudly instead
+//! of the two moving together unnoticed.
+
+use breaksym_netlist::{circuits, spice, Circuit};
+use breaksym_symmetry::extract::{canonical, extract_groups, hand_annotations};
+use proptest::prelude::*;
+
+fn benches() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("cm", circuits::current_mirror_medium()),
+        ("comp", circuits::comparator()),
+        ("ota", circuits::folded_cascode_ota()),
+    ]
+}
+
+fn golden(name: &str) -> Vec<(String, Vec<String>)> {
+    let raw = match name {
+        "cm" => include_str!("golden/cm.json"),
+        "comp" => include_str!("golden/comp.json"),
+        "ota" => include_str!("golden/ota.json"),
+        other => panic!("no golden file for `{other}`"),
+    };
+    serde_json::from_str(raw).expect("golden file parses")
+}
+
+#[test]
+fn extraction_reproduces_every_hand_annotation() {
+    for (name, c) in benches() {
+        let derived = extract_groups(&c);
+        assert_eq!(
+            canonical(&derived.groups),
+            canonical(&hand_annotations(&c)),
+            "{name}: extractor disagrees with the hand annotations (notes: {:?})",
+            derived.notes
+        );
+    }
+}
+
+#[test]
+fn extraction_matches_the_golden_pins() {
+    for (name, c) in benches() {
+        let pinned = golden(name);
+        assert_eq!(
+            canonical(&extract_groups(&c).groups),
+            pinned,
+            "{name}: extractor drifted from the pinned partition"
+        );
+        assert_eq!(
+            canonical(&hand_annotations(&c)),
+            pinned,
+            "{name}: the library circuit's hand annotations drifted from the pinned partition"
+        );
+    }
+}
+
+#[test]
+fn extraction_needs_no_annotations_to_see_the_structure() {
+    // The differential in its production shape: strip every `.group`
+    // line from the dump, re-parse, and extraction must still land on
+    // the curated partition.
+    for (name, c) in benches() {
+        let stripped: String = spice::write(&c)
+            .lines()
+            .filter(|l| !l.trim_start().starts_with(".group"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let bare = spice::parse(&stripped).expect("stripped dump parses");
+        assert!(!bare.has_symmetry_annotations(), "{name}: strip failed");
+        assert_eq!(
+            canonical(&extract_groups(&bare).groups),
+            golden(name),
+            "{name}: extraction on the un-annotated parse missed the pin"
+        );
+    }
+}
+
+proptest! {
+    /// Extraction sees topology, not presentation: stripping the
+    /// annotations, sprinkling comments and blank lines anywhere into
+    /// the SPICE dump, and re-parsing never changes the derived
+    /// partition.
+    #[test]
+    fn extraction_is_stable_under_noisy_reserialization(
+        which in 0usize..3,
+        noise in proptest::collection::vec((0usize..256, 0u8..3), 0..12),
+    ) {
+        let (_, c) = benches().swap_remove(which);
+        let mut lines: Vec<String> = spice::write(&c)
+            .lines()
+            .filter(|l| !l.trim_start().starts_with(".group"))
+            .map(str::to_string)
+            .collect();
+        for &(pos, kind) in &noise {
+            let at = pos % (lines.len() + 1);
+            let line = match kind {
+                0 => "* fuzz comment".to_string(),
+                1 => String::new(),
+                _ => "  ; trailing-comment-only line".to_string(),
+            };
+            lines.insert(at, line);
+        }
+        let noisy = spice::parse(&lines.join("\n")).expect("noisy dump parses");
+        prop_assert_eq!(
+            canonical(&extract_groups(&noisy).groups),
+            canonical(&extract_groups(&c).groups)
+        );
+    }
+}

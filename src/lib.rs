@@ -42,6 +42,7 @@
 pub use breaksym_anneal as anneal;
 pub use breaksym_cluster as cluster;
 pub use breaksym_core as core;
+pub use breaksym_genbench as genbench;
 pub use breaksym_geometry as geometry;
 pub use breaksym_layout as layout;
 pub use breaksym_lde as lde;

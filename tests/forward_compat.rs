@@ -407,6 +407,59 @@ proptest! {
 }
 
 #[test]
+fn status_responses_written_before_warnings_still_deserialize() {
+    // `warnings` postdates the first StatusResponse wire format and is
+    // skipped when empty, so old documents and warning-free new ones are
+    // byte-compatible; a populated list round-trips.
+    let v = serde_json::json!({ "id": 7, "state": "done" });
+    let back: StatusResponse = serde_json::from_value(v).unwrap();
+    assert_eq!(back.state, JobState::Done);
+    assert!(back.warnings.is_empty());
+    assert!(
+        !serde_json::to_value(&back)
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .contains_key("warnings"),
+        "an empty warning list must stay off the wire"
+    );
+
+    let noisy = StatusResponse {
+        id: back.id,
+        state: JobState::Queued,
+        status: None,
+        warnings: vec!["derived 3 symmetry groups automatically".into()],
+    };
+    let round: StatusResponse =
+        serde_json::from_value(serde_json::to_value(&noisy).unwrap()).unwrap();
+    assert_eq!(round, noisy);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated benchmark circuits survive a parse → write → parse
+    /// round-trip with their symmetry partition and unit count intact,
+    /// for any (family, seed) the generator can produce.
+    #[test]
+    fn prop_generated_spice_round_trips(family_ix in 0usize..3, seed in 0u64..512) {
+        use breaksym::genbench::{generate, FAMILIES};
+        use breaksym::netlist::spice;
+        use breaksym::symmetry::extract::{canonical, hand_annotations};
+
+        let g = generate(FAMILIES[family_ix], seed);
+        let parsed = spice::parse(&g.spice).expect("generated dump parses");
+        let reparsed = spice::parse(&spice::write(&parsed)).expect("rewrite parses");
+        prop_assert_eq!(parsed.num_units(), reparsed.num_units());
+        prop_assert_eq!(
+            canonical(&hand_annotations(&parsed)),
+            canonical(&hand_annotations(&reparsed))
+        );
+        prop_assert_eq!(canonical(&hand_annotations(&parsed)), canonical(&g.groups));
+    }
+}
+
+#[test]
 fn oldest_job_spec_wire_format_still_parses() {
     // Submissions from before the per-job knobs existed: task + method
     // only. All four knobs must come back `None`.
